@@ -1,0 +1,33 @@
+/// \file bench_common.hpp
+/// \brief Shared helpers for the table-reproduction bench binaries.
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "src/core/engine.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/util/table.hpp"
+
+namespace iarank::bench {
+
+/// Prints a standard header identifying the experiment and the setup.
+inline void print_header(const std::string& experiment,
+                         const core::PaperSetup& setup) {
+  std::cout << "=====================================================\n";
+  std::cout << experiment << "\n";
+  std::cout << "Design: " << setup.design.node.name << ", "
+            << setup.design.gate_count << " gates, "
+            << setup.design.arch.global_pairs << "G+"
+            << setup.design.arch.semi_global_pairs << "S+"
+            << setup.design.arch.local_pairs << "L layer-pairs\n";
+  std::cout << "Baseline: K=" << setup.options.ild_permittivity
+            << " M=" << setup.options.miller_factor
+            << " C=" << setup.options.clock_frequency / 1e6 << "MHz"
+            << " R=" << setup.options.repeater_fraction
+            << " bunch=" << setup.options.bunch_size << "\n";
+  std::cout << "=====================================================\n";
+}
+
+}  // namespace iarank::bench

@@ -1,0 +1,80 @@
+/// Experiment E6 — paper Figure 2: suboptimality of greedy top-down
+/// assignment. Reproduces the constructed counterexample (greedy rank 2
+/// vs optimal rank 4 under an 8-repeater budget), then quantifies the
+/// greedy/DP gap on randomized instances and on the physical baseline.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/brute_force.hpp"
+#include "src/core/dp_rank.hpp"
+#include "src/core/figure2.hpp"
+#include "src/core/greedy_rank.hpp"
+#include "tests/helpers.hpp"
+
+int main() {
+  using namespace iarank;
+  std::cout << "E6 / Figure 2: suboptimality of greedy assignment\n\n";
+
+  // --- the paper's counterexample -----------------------------------------
+  const core::Instance fig2 = core::figure2_instance();
+  const auto greedy = core::greedy_rank(fig2);
+  const auto dp = core::dp_rank(fig2);
+  const auto oracle = core::brute_force_rank(fig2);
+
+  util::TextTable table("Figure 2 counterexample (4 wires, 2 pairs, 8 repeaters)");
+  table.set_header({"engine", "rank", "repeaters", "matches_paper"});
+  table.add_row({"greedy top-down", std::to_string(greedy.rank),
+                 std::to_string(greedy.repeater_count),
+                 greedy.rank == 2 ? "yes (rank 2)" : "NO"});
+  table.add_row({"DP (optimal)", std::to_string(dp.rank),
+                 std::to_string(dp.repeater_count),
+                 dp.rank == 4 ? "yes (rank 4)" : "NO"});
+  table.add_row({"brute force", std::to_string(oracle.rank), "-",
+                 oracle.rank == 4 ? "yes (rank 4)" : "NO"});
+  std::cout << table << "\n";
+
+  // --- randomized gap statistics -------------------------------------------
+  int strict_wins = 0;
+  int ties = 0;
+  std::int64_t total_gap = 0;
+  const int trials = 400;
+  for (int seed = 0; seed < trials; ++seed) {
+    const auto inst =
+        iarank::testing::random_instance(static_cast<std::uint64_t>(seed));
+    const auto g = core::greedy_rank(inst);
+    const auto d = core::dp_rank(inst);
+    if (d.rank > g.rank) {
+      ++strict_wins;
+      total_gap += d.rank - g.rank;
+    } else {
+      ++ties;
+    }
+  }
+  util::TextTable stats("greedy vs DP on " + std::to_string(trials) +
+                        " random instances");
+  stats.set_header({"outcome", "count"});
+  stats.add_row({"DP strictly better", std::to_string(strict_wins)});
+  stats.add_row({"tie", std::to_string(ties)});
+  stats.add_row({"total wires recovered by DP", std::to_string(total_gap)});
+  std::cout << stats << "\n";
+
+  // --- physical baseline ------------------------------------------------------
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  const auto phys_dp = core::compute_rank(setup.design, setup.options, wld);
+  const auto phys_greedy =
+      core::compute_rank_greedy(setup.design, setup.options, wld);
+  util::TextTable phys("130nm / 1M gate baseline");
+  phys.set_header({"engine", "normalized_rank"});
+  phys.add_row({"greedy", util::TextTable::num(phys_greedy.normalized, 6)});
+  phys.add_row({"DP", util::TextTable::num(phys_dp.normalized, 6)});
+  std::cout << phys;
+  std::cout << "(note: the DP is exact at bunch granularity — "
+            << setup.options.bunch_size
+            << " wires — while greedy splits bunches wire-by-wire, so on\n"
+               "coarsened physical instances the two may differ by up to one "
+               "bunch either way;\nthe randomized table above compares them "
+               "at equal granularity.)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Future-node projection — quantifies the paper's concluding claim: "it
+/// is not possible to enable future MPU-class designs by material
+/// improvements alone". The 130 nm node is projected to 90/65/45 nm by
+/// constant-field scaling (wire resistance per length grows as 1/s^2)
+/// and the baseline rank is evaluated at each node with (a) no material
+/// help, (b) aggressive low-k (K = 2.2), (c) low-k + full shielding
+/// (M = 1), and (d) the same plus a doubled repeater budget — showing
+/// that only the combined material + design lever keeps rank from
+/// collapsing as the node shrinks.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/dp_rank.hpp"
+#include "src/tech/scaling.hpp"
+#include "src/util/units.hpp"
+
+int main() {
+  using namespace iarank;
+  namespace units = util::units;
+  const core::PaperSetup base_setup = core::paper_baseline();
+  bench::print_header(
+      "future-node projection: can materials alone carry the rank?",
+      base_setup);
+  const wld::Wld wld = core::default_wld(base_setup.design);
+
+  for (const tech::DeviceScaling devices :
+       {tech::DeviceScaling::kFrozen, tech::DeviceScaling::kIdeal}) {
+    util::TextTable table(devices == tech::DeviceScaling::kFrozen
+                              ? "frozen devices (wire-limited pessimism)"
+                              : "ideal constant-field devices");
+    table.set_header({"node", "baseline", "low-k(2.2)", "+shield(M=1)",
+                      "+budget(R=0.5)"});
+
+    for (const double nm : {130.0, 90.0, 65.0, 45.0}) {
+      core::DesignSpec design = base_setup.design;
+      if (nm < 130.0) {
+        // Project the calibrated node; keep the die (gate pitch) fixed so
+        // the same WLD embedding gets harder purely through wire RC.
+        const double keep_pitch = design.node.gate_pitch();
+        design.node =
+            tech::scale_node(design.node, nm * units::nm, devices);
+        design.node.gate_pitch_factor = keep_pitch / design.node.feature_size;
+      }
+
+      auto rank_with = [&](double k, double m, double r) {
+        core::RankOptions o = base_setup.options;
+        o.ild_permittivity = k;
+        o.miller_factor = m;
+        o.repeater_fraction = r;
+        return core::compute_rank(design, o, wld).normalized;
+      };
+
+      table.add_row({util::TextTable::num(nm, 0) + "nm",
+                     util::TextTable::num(rank_with(3.9, 2.0, 0.4), 4),
+                     util::TextTable::num(rank_with(2.2, 2.0, 0.4), 4),
+                     util::TextTable::num(rank_with(2.2, 1.0, 0.4), 4),
+                     util::TextTable::num(rank_with(2.2, 1.0, 0.5), 4)});
+    }
+    std::cout << table << "\n";
+  }
+
+  std::cout << "Reading: with frozen devices (repeaters stop getting\n"
+               "cheaper) the rank collapses as wires worsen 1/s^2, and\n"
+               "material levers recover only part of it — the paper's\n"
+               "'materials alone cannot enable future designs'. With ideal\n"
+               "device scaling the repeater budget stretches faster than\n"
+               "wires degrade and the metric survives — locating the paper's\n"
+               "claim precisely in the device-scaling assumption.\n";
+  return 0;
+}

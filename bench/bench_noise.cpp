@@ -1,0 +1,68 @@
+/// Noise-constrained rank — the crosstalk extension: sweeps the
+/// charge-sharing noise budget and shows how the rank collapses as
+/// min-pitch layer-pairs are excluded from carrying delay-met wires,
+/// then how spacing tuning (shield-like de-coupling) buys it back.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/dp_rank.hpp"
+#include "src/tech/noise.hpp"
+#include "src/tech/tuning.hpp"
+
+int main() {
+  using namespace iarank;
+  const core::PaperSetup setup = core::paper_baseline();
+  bench::print_header("crosstalk extension: noise-constrained rank", setup);
+  const wld::Wld wld = core::default_wld(setup.design);
+
+  // Per-pair noise ratios under the regime's capacitance model.
+  const auto arch =
+      tech::Architecture::build(setup.design.node, setup.design.arch);
+  const tech::RcParams rc{setup.design.node.conductor,
+                          setup.options.ild_permittivity,
+                          setup.options.miller_factor, setup.options.cap_model};
+  util::TextTable ratios("charge-sharing noise ratio per layer-pair");
+  ratios.set_header({"pair", "noise_ratio"});
+  for (const auto& pair : arch.pairs()) {
+    ratios.add_row({pair.name,
+                    util::TextTable::num(
+                        tech::coupling_noise_ratio(pair.geometry, rc), 3)});
+  }
+  std::cout << ratios << "\n";
+
+  util::TextTable sweep("rank vs noise budget");
+  sweep.set_header({"max_noise_ratio", "normalized_rank", "all_assigned"});
+  for (const double budget : {1.0, 0.9, 0.85, 0.8, 0.75, 0.7, 0.5}) {
+    core::RankOptions opts = setup.options;
+    opts.max_noise_ratio = budget;
+    const auto r = core::compute_rank(setup.design, opts, wld);
+    sweep.add_row({util::TextTable::num(budget, 2),
+                   util::TextTable::num(r.normalized, 4),
+                   r.all_assigned ? "yes" : "no"});
+  }
+  std::cout << sweep << "\n";
+
+  // Spacing tuning as the recovery lever: widen semi-global spacing.
+  tech::NodeTuning tuning;
+  tuning.semi_global.spacing = 2.0;
+  tuning.local.spacing = 2.0;
+  core::DesignSpec tuned = setup.design;
+  tuned.node = tech::apply_tuning(setup.design.node, tuning);
+
+  core::RankOptions tight = setup.options;
+  tight.max_noise_ratio = 0.75;
+  const auto before = core::compute_rank(setup.design, tight, wld);
+  const auto after = core::compute_rank(tuned, tight, wld);
+  util::TextTable recover("recovery via 2x spacing (budget 0.75)");
+  recover.set_header({"design", "normalized_rank"});
+  recover.add_row({"min-pitch (Table 3)",
+                   util::TextTable::num(before.normalized, 4)});
+  recover.add_row({"2x spaced semi-global+local",
+                   util::TextTable::num(after.normalized, 4)});
+  std::cout << recover;
+  std::cout << "\nWider spacing lowers the coupling ratio below the budget\n"
+               "at the cost of routing pitch — the noise/density trade the\n"
+               "paper's co-optimization conclusion anticipates.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+/// Experiment E12a — rank-driven interconnect architecture optimization
+/// (the paper's Section 6 future work: "direct optimization of
+/// interconnect architectures according to our proposed metric").
+/// Searches layer-pair allocations around the Table 2 baseline and ranks
+/// them under the metric.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/optimizer.hpp"
+
+int main() {
+  using namespace iarank;
+  const core::PaperSetup setup = core::paper_baseline();
+  bench::print_header(
+      "E12a / Section 6: rank-driven architecture optimization", setup);
+
+  const wld::Wld wld = core::default_wld(setup.design);
+  core::OptimizerOptions search;
+  search.min_total_pairs = 2;
+  search.max_total_pairs = 5;
+  search.max_global_pairs = 2;
+  search.max_semi_global_pairs = 3;
+  search.max_local_pairs = 2;
+
+  const auto result = core::optimize_architecture(
+      setup.design.node, setup.design.gate_count, setup.options, wld, search);
+
+  util::TextTable table("evaluated architectures (G+S+L layer-pairs)");
+  table.set_header({"global", "semi", "local", "pairs", "normalized_rank",
+                    "all_assigned"});
+  for (const auto& cand : result.evaluated) {
+    table.add_row({std::to_string(cand.spec.global_pairs),
+                   std::to_string(cand.spec.semi_global_pairs),
+                   std::to_string(cand.spec.local_pairs),
+                   std::to_string(cand.spec.total_pairs()),
+                   util::TextTable::num(cand.result.normalized, 6),
+                   cand.result.all_assigned ? "yes" : "no"});
+  }
+  std::cout << table;
+
+  std::cout << "\nBest architecture: " << result.best.spec.global_pairs << "G+"
+            << result.best.spec.semi_global_pairs << "S+"
+            << result.best.spec.local_pairs << "L, normalized rank "
+            << util::TextTable::num(result.best.result.normalized, 6)
+            << " (Table 2 baseline is 1G+2S+1L)\n";
+  return 0;
+}

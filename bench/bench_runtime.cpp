@@ -1,0 +1,109 @@
+/// Experiment E7 — runtime validation (google-benchmark).
+///
+/// The paper reports that "no rank computation has runtime greater than
+/// 200s" on a dual-Xeon/2GB machine, achieved through WLD bunching
+/// (Section 5.1). These microbenchmarks measure the production DP's
+/// scaling in bunch count, layer-pair count and gate count, plus the
+/// substrates (Davis generation, delay-plan solving, delay-free packing).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/dp_rank.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/free_pack.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/delay/model.hpp"
+#include "src/wld/davis.hpp"
+#include "src/wld/coarsen.hpp"
+
+namespace {
+
+using namespace iarank;
+
+/// End-to-end rank computation for the paper baseline, bunch size swept.
+void BM_RankBaselineVsBunchSize(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  core::RankOptions opts = setup.options;
+  opts.bunch_size = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_rank(setup.design, opts, wld).rank);
+  }
+  state.counters["bunches"] = static_cast<double>(
+      wld::bunch_count(wld, opts.bunch_size));
+}
+BENCHMARK(BM_RankBaselineVsBunchSize)
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Rank computation vs gate count (die + WLD + DP end to end).
+void BM_RankVsGateCount(benchmark::State& state) {
+  const auto gates = static_cast<std::int64_t>(state.range(0));
+  const core::PaperSetup setup = core::paper_baseline("130nm", gates);
+  const wld::Wld wld = core::default_wld(setup.design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_rank(setup.design, setup.options, wld).rank);
+  }
+}
+BENCHMARK(BM_RankVsGateCount)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Arg(4000000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Rank computation vs layer-pair count.
+void BM_RankVsLayerPairs(benchmark::State& state) {
+  core::PaperSetup setup = core::paper_baseline();
+  setup.design.arch.semi_global_pairs = static_cast<int>(state.range(0));
+  const wld::Wld wld = core::default_wld(setup.design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_rank(setup.design, setup.options, wld).rank);
+  }
+}
+BENCHMARK(BM_RankVsLayerPairs)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Davis WLD generation.
+void BM_DavisGenerate(benchmark::State& state) {
+  const wld::DavisParams params{state.range(0), 0.6, 4.0, 3.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wld::DavisModel(params).generate().total_wires());
+  }
+}
+BENCHMARK(BM_DavisGenerate)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Arg(10000000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Closed-form repeater insertion (stages_to_meet).
+void BM_StagesToMeet(benchmark::State& state) {
+  const delay::WireDelayModel model({3e5, 3e-10}, {6.7e3, 1.5e-15, 1.5e-15});
+  double l = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.stages_to_meet(l, 1e-9));
+    l = l < 1e-2 ? l * 1.01 : 1e-4;
+  }
+}
+BENCHMARK(BM_StagesToMeet);
+
+/// Delay-free packing (greedy_assign / M'') on the full baseline.
+void BM_FreePack(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  const core::Instance inst =
+      core::build_instance(setup.design, setup.options, wld);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::free_pack_feasible(inst, {}));
+  }
+}
+BENCHMARK(BM_FreePack)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

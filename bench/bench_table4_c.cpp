@@ -1,0 +1,59 @@
+/// Experiment E3 — paper Table 4, column C: variation of normalized rank
+/// with target clock frequency (0.5 to 1.7 GHz) for the 130 nm / 1M gate
+/// baseline.
+///
+/// Paper reference series: 0.5 GHz -> 0.3973 declining gently to
+/// 1.0 GHz -> 0.3822, then plateaus 0.3097 (1.1-1.5 GHz) and 0.2356
+/// (1.6-1.7 GHz). Expected shape: monotone decline with plateau steps —
+/// the plateaus arise where short wires become unbufferable under the
+/// minimum repeater-spacing rule, quantized at integer-pitch lengths.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/sweep.hpp"
+
+int main() {
+  using namespace iarank;
+  const core::PaperSetup setup = core::paper_baseline();
+  bench::print_header("E3 / Table 4 column C: rank vs target clock frequency",
+                      setup);
+
+  const wld::Wld wld = core::default_wld(setup.design);
+  const auto sweep = core::sweep_parameter(
+      setup.design, setup.options, wld,
+      core::SweepParameter::kClockFrequency, core::table4_c_values(), 4);
+
+  util::TextTable table("rank vs C (130nm, 1M gates)");
+  table.set_header({"C_Hz", "normalized_rank", "rank_wires", "repeaters"});
+  for (const auto& p : sweep.points) {
+    table.add_row({util::TextTable::sci(p.value, 2),
+                   util::TextTable::num(p.result.normalized, 6),
+                   std::to_string(p.result.rank),
+                   std::to_string(p.result.repeater_count)});
+  }
+  std::cout << table;
+
+  // The paper's plateaus come from wires turning unbufferable in integer
+  // quanta; in our regime the analogous quantization shows up as steps in
+  // the repeater demand (stage-count ceilings) while the budget-bound
+  // rank keeps declining between them. Count both signatures.
+  int rank_plateaus = 0;
+  int demand_steps = 0;
+  for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+    if (sweep.points[i].result.rank == sweep.points[i - 1].result.rank) {
+      ++rank_plateaus;
+    }
+    const double prev =
+        static_cast<double>(sweep.points[i - 1].result.repeater_count);
+    const double cur =
+        static_cast<double>(sweep.points[i].result.repeater_count);
+    if (std::abs(cur - prev) > 0.01 * prev) ++demand_steps;
+  }
+  std::cout << "Rank plateau points: " << rank_plateaus
+            << "; repeater-demand quantization steps: " << demand_steps
+            << " (paper shows 8 of 12 C points on rank plateaus; see"
+               " EXPERIMENTS.md for the regime discussion)\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// Experiment E2 — paper Table 4, column M: variation of normalized rank
+/// with the Miller coupling factor (2.00 down to 1.00 in steps of 0.05)
+/// for the 130 nm / 1M gate baseline.
+///
+/// Paper reference series (M, normalized rank): 2.00 -> 0.3973,
+/// 1.75 -> 0.4238, 1.50 -> 0.4566, 1.25 -> 0.4981, 1.00 -> 0.5538.
+/// Expected shape: monotone improvement as M drops (M = 1 corresponds to
+/// double-sided shielding, paper footnote 8).
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/sweep.hpp"
+
+int main() {
+  using namespace iarank;
+  const core::PaperSetup setup = core::paper_baseline();
+  bench::print_header("E2 / Table 4 column M: rank vs Miller coupling factor",
+                      setup);
+
+  const wld::Wld wld = core::default_wld(setup.design);
+  const auto sweep =
+      core::sweep_parameter(setup.design, setup.options, wld,
+                            core::SweepParameter::kMillerFactor,
+                            core::table4_m_values(), 4);
+
+  util::TextTable table("rank vs M (130nm, 1M gates)");
+  table.set_header({"M", "normalized_rank", "rank_wires", "repeaters"});
+  for (const auto& p : sweep.points) {
+    table.add_row({util::TextTable::num(p.value, 2),
+                   util::TextTable::num(p.result.normalized, 6),
+                   std::to_string(p.result.rank),
+                   std::to_string(p.result.repeater_count)});
+  }
+  std::cout << table;
+  std::cout << "Improvement M 2.0 -> 1.0: "
+            << util::TextTable::num(sweep.points.back().result.normalized /
+                                        sweep.points.front().result.normalized,
+                                    3)
+            << "x (paper: 1.39x)\n";
+  return 0;
+}

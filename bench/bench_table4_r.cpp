@@ -1,0 +1,58 @@
+/// Experiment E4 — paper Table 4, column R: variation of normalized rank
+/// with the maximum repeater area fraction (0.1 to 0.5) for the
+/// 130 nm / 1M gate baseline.
+///
+/// Paper reference series: 0.1 -> 0.1174, 0.2 -> 0.2110, 0.3 -> 0.3037,
+/// 0.4 -> 0.3973, 0.5 -> 0.4910 — almost exactly linear in R, the
+/// signature of the budget-limited regime (each marginal wire costs the
+/// same repeater area).
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/sweep.hpp"
+
+int main() {
+  using namespace iarank;
+  const core::PaperSetup setup = core::paper_baseline();
+  bench::print_header("E4 / Table 4 column R: rank vs repeater area fraction",
+                      setup);
+
+  const wld::Wld wld = core::default_wld(setup.design);
+  const auto sweep = core::sweep_parameter(
+      setup.design, setup.options, wld,
+      core::SweepParameter::kRepeaterFraction, core::table4_r_values(), 4);
+
+  util::TextTable table("rank vs R (130nm, 1M gates)");
+  table.set_header({"R", "normalized_rank", "rank_wires", "paper_rank"});
+  const double paper[] = {0.117438, 0.210967, 0.303728, 0.397288, 0.491019};
+  std::size_t i = 0;
+  for (const auto& p : sweep.points) {
+    table.add_row({util::TextTable::num(p.value, 1),
+                   util::TextTable::num(p.result.normalized, 6),
+                   std::to_string(p.result.rank),
+                   util::TextTable::num(paper[i++], 6)});
+  }
+  std::cout << table;
+
+  // Linearity check: fit rank = a*R through least squares and report
+  // the residual.
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (const auto& p : sweep.points) {
+    sxx += p.value * p.value;
+    sxy += p.value * p.result.normalized;
+  }
+  const double slope = sxy / sxx;
+  double max_resid = 0.0;
+  for (const auto& p : sweep.points) {
+    max_resid = std::max(max_resid,
+                         std::abs(p.result.normalized - slope * p.value));
+  }
+  std::cout << "Best proportional fit rank ~= " << util::TextTable::num(slope, 3)
+            << " * R, max residual " << util::TextTable::num(max_resid, 4)
+            << " (paper residual ~0.01)\n";
+  return 0;
+}

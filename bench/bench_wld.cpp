@@ -1,0 +1,59 @@
+/// Experiment E11 — the WLD substrate: Davis stochastic wire length
+/// distributions (paper reference [4], used for all experiments with Rent
+/// p = 0.6). Prints totals, statistics and quantiles for the paper's
+/// three design sizes (1M, 4M, 10M gates) and validates the Rent-rule
+/// normalization.
+
+#include <iostream>
+
+#include "src/util/table.hpp"
+#include "src/wld/coarsen.hpp"
+#include "src/wld/davis.hpp"
+
+int main() {
+  using namespace iarank;
+  std::cout << "E11 / Davis WLD substrate (Rent p = 0.6, k = 4, f.o. = 3)\n\n";
+
+  util::TextTable table("Davis WLDs for the paper's design sizes");
+  table.set_header({"gates", "wires", "rent_total", "mean_len", "median",
+                    "max_len", "groups", "bunches@10000"});
+  for (const std::int64_t gates : {1000000LL, 4000000LL, 10000000LL}) {
+    const wld::DavisParams params{gates, 0.6, 4.0, 3.0};
+    const wld::DavisModel model(params);
+    const wld::Wld w = model.generate();
+    const auto stats = w.stats();
+    table.add_row({std::to_string(gates), std::to_string(w.total_wires()),
+                   util::TextTable::num(params.total_interconnects(), 0),
+                   util::TextTable::num(stats.mean_length, 2),
+                   util::TextTable::num(stats.median_length, 1),
+                   util::TextTable::num(stats.max_length, 0),
+                   std::to_string(w.group_count()),
+                   std::to_string(wld::bunch_count(w, 10000))});
+  }
+  std::cout << table << "\n";
+
+  // Cumulative shape of the 1M distribution: the fraction of wires longer
+  // than l, which is what the normalized rank axis of Table 4 traverses.
+  const wld::Wld w = wld::DavisModel({1000000, 0.6, 4.0, 3.0}).generate();
+  util::TextTable shape("1M-gate cumulative shape");
+  shape.set_header({"length_pitches", "wires_longer", "fraction"});
+  for (const double l : {1.0, 2.0, 3.0, 5.0, 10.0, 30.0, 100.0, 300.0,
+                         1000.0}) {
+    const auto n = w.count_longer_than(l);
+    shape.add_row({util::TextTable::num(l, 0), std::to_string(n),
+                   util::TextTable::num(static_cast<double>(n) /
+                                            static_cast<double>(w.total_wires()),
+                                        4)});
+  }
+  std::cout << shape << "\n";
+
+  // Region split at sqrt(N): region II (l > sqrt(N)) carries few wires.
+  const auto region2 = w.count_longer_than(1000.0);
+  std::cout << "Region II (l > sqrt(N)) wires: " << region2 << " ("
+            << util::TextTable::num(
+                   100.0 * static_cast<double>(region2) /
+                       static_cast<double>(w.total_wires()),
+                   4)
+            << "% of total)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end use of the iarank public API.
+///
+/// Builds the paper's baseline design (130 nm node, 1M gates, 1 global +
+/// 2 semi-global + 1 local layer-pair), generates the Davis WLD at Rent
+/// p = 0.6, and computes the rank of the architecture — the number of
+/// longest wires that meet their clock-derived target delay under the
+/// 40% repeater-area budget.
+
+#include <iostream>
+
+#include "src/iarank.hpp"
+
+int main() {
+  using namespace iarank;
+  namespace units = util::units;
+
+  // The paper's Table 2 baseline at 130 nm with 1M gates, in the
+  // calibrated operating regime (K=3.9, M=2, f_c=500 MHz, R=0.4,
+  // bunch 10000 — see EXPERIMENTS.md for the calibration).
+  const core::PaperSetup setup = core::paper_baseline("130nm");
+  const core::DesignSpec& design = setup.design;
+  const core::RankOptions& options = setup.options;
+
+  std::cout << "Technology   : " << design.node.name << "\n";
+  std::cout << "Gates        : " << design.gate_count << "\n";
+
+  const tech::Architecture arch =
+      tech::Architecture::build(design.node, design.arch);
+  std::cout << arch.describe();
+
+  const wld::Wld wld = core::default_wld(design);
+  std::cout << wld.describe() << "\n";
+
+  const core::RankResult result = core::compute_rank(design, options, wld);
+
+  std::cout << "\nRank r(alpha)      : " << result.rank << " wires\n";
+  std::cout << "Normalized rank    : " << result.normalized << "\n";
+  std::cout << "All wires assigned : " << (result.all_assigned ? "yes" : "no")
+            << "\n";
+  std::cout << "Repeaters used     : " << result.repeater_count << " ("
+            << result.repeater_area_used / units::mm2 << " mm^2 of "
+            << "budget)\n";
+
+  std::cout << "\nPer-layer-pair assignment (top to bottom):\n";
+  for (const core::PairUsage& u : result.usage) {
+    std::cout << "  " << u.pair_name << ": " << u.wires_total << " wires ("
+              << u.wires_meeting_delay << " meet delay), wiring "
+              << u.wire_area / units::mm2 << " mm^2, blockage "
+              << u.via_blockage / units::mm2 << " mm^2, " << u.repeaters
+              << " repeaters\n";
+  }
+  return 0;
+}

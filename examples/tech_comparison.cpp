@@ -1,0 +1,55 @@
+/// \file tech_comparison.cpp
+/// \brief Compares interconnect architectures across the three technology
+/// nodes of the paper's Table 3 (180/130/90 nm) and two design sizes,
+/// using the rank metric as the single figure of merit — exactly the
+/// cross-technology comparison the metric was designed for.
+
+#include <iostream>
+
+#include "src/iarank.hpp"
+
+int main() {
+  using namespace iarank;
+  namespace units = util::units;
+
+  std::cout << "Rank-based technology comparison (Table 2 baselines)\n\n";
+
+  util::TextTable table("per node and design size");
+  table.set_header({"node", "gates", "die_mm2", "budget_mm2", "wires",
+                    "normalized_rank", "repeaters"});
+  for (const char* node : {"180nm", "130nm", "90nm"}) {
+    for (const std::int64_t gates : {1000000LL, 4000000LL}) {
+      const core::PaperSetup setup = core::paper_baseline(node, gates);
+      const wld::Wld wld = core::default_wld(setup.design);
+      const tech::DieModel die({gates, setup.design.node.gate_pitch(),
+                                setup.options.repeater_fraction});
+      const auto r = core::compute_rank(setup.design, setup.options, wld);
+      table.add_row({node, std::to_string(gates),
+                     util::TextTable::num(die.die_area() / units::mm2, 1),
+                     util::TextTable::num(
+                         die.repeater_area_budget() / units::mm2, 1),
+                     std::to_string(wld.total_wires()),
+                     util::TextTable::num(r.normalized, 4),
+                     std::to_string(r.repeater_count)});
+    }
+  }
+  std::cout << table << "\n";
+
+  // What a low-k migration buys at each node (K 3.9 -> 2.7).
+  util::TextTable lowk("low-k migration (K 3.9 -> 2.7), 1M gates");
+  lowk.set_header({"node", "rank@3.9", "rank@2.7", "gain"});
+  for (const char* node : {"180nm", "130nm", "90nm"}) {
+    const core::PaperSetup setup = core::paper_baseline(node);
+    const wld::Wld wld = core::default_wld(setup.design);
+    const auto base = core::compute_rank(setup.design, setup.options, wld);
+    core::RankOptions low = setup.options;
+    low.ild_permittivity = 2.7;
+    const auto improved = core::compute_rank(setup.design, low, wld);
+    lowk.add_row({node, util::TextTable::num(base.normalized, 4),
+                  util::TextTable::num(improved.normalized, 4),
+                  util::TextTable::num(
+                      improved.normalized / base.normalized, 3) + "x"});
+  }
+  std::cout << lowk;
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file wld_report.cpp
+/// \brief Generates Davis wire-length distributions (the paper's WLD
+/// substrate, reference [4]) and prints a detailed report; optionally
+/// writes the distribution to a file that can be fed back into rank
+/// computations.
+///
+/// Usage: wld_report [gates] [rent_p] [output.wld]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/iarank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iarank;
+  const std::int64_t gates = argc > 1 ? std::atoll(argv[1]) : 1000000;
+  const double rent_p = argc > 2 ? std::atof(argv[2]) : 0.6;
+
+  const wld::DavisParams params{gates, rent_p, 4.0, 3.0};
+  const wld::DavisModel model(params);
+  const wld::Wld w = model.generate();
+  const auto stats = w.stats();
+
+  std::cout << "Davis WLD report\n";
+  std::cout << "  gates          : " << gates << "\n";
+  std::cout << "  Rent exponent  : " << rent_p << "\n";
+  std::cout << "  Rent total     : "
+            << util::TextTable::num(params.total_interconnects(), 0)
+            << " wires (alpha k N (1 - N^(p-1)))\n";
+  std::cout << "  generated      : " << w.total_wires() << " wires in "
+            << w.group_count() << " length groups\n";
+  std::cout << "  lengths        : [" << stats.min_length << ", "
+            << stats.max_length << "] gate pitches (2 sqrt(N) = "
+            << util::TextTable::num(params.max_length(), 0) << ")\n";
+  std::cout << "  mean / median  : " << util::TextTable::num(stats.mean_length, 2)
+            << " / " << util::TextTable::num(stats.median_length, 1) << "\n";
+  std::cout << "  total length   : "
+            << util::TextTable::num(stats.total_length, 0) << " pitches\n\n";
+
+  util::TextTable table("distribution detail");
+  table.set_header({"percentile_longest", "length_pitches"});
+  for (const double pct : {0.01, 0.1, 1.0, 5.0, 10.0, 25.0, 50.0}) {
+    const auto rank = static_cast<std::int64_t>(
+        pct / 100.0 * static_cast<double>(w.total_wires()));
+    table.add_row({util::TextTable::num(pct, 2),
+                   util::TextTable::num(
+                       w.length_at_rank(std::max<std::int64_t>(1, rank)), 1)});
+  }
+  std::cout << table << "\n";
+
+  util::TextTable coarse("coarsening preview");
+  coarse.set_header({"bunch_size", "assignment_units"});
+  for (const std::int64_t bs : {1LL, 1000LL, 10000LL, 100000LL}) {
+    coarse.add_row({std::to_string(bs),
+                    std::to_string(wld::bunch_count(w, bs))});
+  }
+  std::cout << coarse;
+
+  if (argc > 3) {
+    wld::save_wld(argv[3], w);
+    std::cout << "\nWrote distribution to " << argv[3] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "src/core/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+void AnnealOptions::validate() const {
+  iarank::util::require(iterations >= 1, "AnnealOptions: iterations >= 1");
+  iarank::util::require(
+      temperature_start > 0.0 && temperature_end > 0.0 &&
+          temperature_end <= temperature_start,
+      "AnnealOptions: need temperature_start >= temperature_end > 0");
+  iarank::util::require(max_total_pairs >= 1 && max_pairs_per_tier >= 1,
+                        "AnnealOptions: pair bounds must be >= 1");
+  iarank::util::require(!multipliers.empty() && !ild_factors.empty(),
+                        "AnnealOptions: empty search ladders");
+  for (const double m : multipliers) {
+    iarank::util::require(m > 0.0, "AnnealOptions: multipliers must be > 0");
+  }
+  for (const double f : ild_factors) {
+    iarank::util::require(f > 0.0, "AnnealOptions: ild_factors must be > 0");
+  }
+}
+
+namespace {
+
+/// Index-based encoding of the state so moves are uniform ladder steps.
+struct Encoded {
+  int global_pairs = 1;
+  int semi_pairs = 2;
+  int local_pairs = 1;
+  std::size_t ild = 0;
+  // Width/spacing multiplier indices per tier (local, semi, global).
+  std::size_t width[3] = {0, 0, 0};
+  std::size_t spacing[3] = {0, 0, 0};
+};
+
+AnnealState decode(const Encoded& e, const AnnealOptions& opt) {
+  AnnealState s;
+  s.arch.global_pairs = e.global_pairs;
+  s.arch.semi_global_pairs = e.semi_pairs;
+  s.arch.local_pairs = e.local_pairs;
+  s.arch.ild_height_factor = opt.ild_factors[e.ild];
+  tech::TierTuning* tiers[3] = {&s.tuning.local, &s.tuning.semi_global,
+                                &s.tuning.global};
+  for (int t = 0; t < 3; ++t) {
+    tiers[t]->width = opt.multipliers[e.width[t]];
+    tiers[t]->spacing = opt.multipliers[e.spacing[t]];
+  }
+  return s;
+}
+
+}  // namespace
+
+AnnealResult anneal_architecture(const tech::TechNode& node,
+                                 std::int64_t gate_count,
+                                 const RankOptions& options,
+                                 const wld::Wld& wld_in_pitches,
+                                 const AnnealOptions& anneal) {
+  anneal.validate();
+  std::mt19937_64 rng(anneal.seed);
+  auto rand_index = [&rng](std::size_t size) {
+    return std::uniform_int_distribution<std::size_t>(0, size - 1)(rng);
+  };
+  auto rand_unit = [&rng]() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  };
+
+  // Ladder index of 1.0, used as the starting point.
+  std::size_t unity = 0;
+  for (std::size_t i = 0; i < anneal.multipliers.size(); ++i) {
+    if (anneal.multipliers[i] == 1.0) unity = i;
+  }
+  std::size_t base_ild = 0;
+  for (std::size_t i = 0; i < anneal.ild_factors.size(); ++i) {
+    if (anneal.ild_factors[i] == 1.0) base_ild = i;
+  }
+
+  Encoded current;
+  current.ild = base_ild;
+  for (int t = 0; t < 3; ++t) current.width[t] = current.spacing[t] = unity;
+
+  AnnealResult result;
+  auto evaluate = [&](const Encoded& e) -> double {
+    const AnnealState state = decode(e, anneal);
+    DesignSpec design;
+    design.node = tech::apply_tuning(node, state.tuning);
+    design.arch = state.arch;
+    design.gate_count = gate_count;
+    const RankResult r = compute_rank(design, options, wld_in_pitches);
+    ++result.evaluations;
+    if (r.normalized > result.best_result.normalized ||
+        result.evaluations == 1) {
+      result.best = state;
+      result.best_result = r;
+    }
+    return r.all_assigned ? r.normalized : 0.0;
+  };
+
+  double current_score = evaluate(current);
+  const double cooling =
+      std::pow(anneal.temperature_end / anneal.temperature_start,
+               1.0 / static_cast<double>(anneal.iterations));
+  double temperature = anneal.temperature_start;
+
+  for (int iter = 0; iter < anneal.iterations; ++iter) {
+    Encoded next = current;
+    // Pick a move: pair counts, ILD factor, or a tier multiplier step.
+    const std::size_t move = rand_index(5);
+    if (move == 0) {
+      int* counts[3] = {&next.global_pairs, &next.semi_pairs,
+                        &next.local_pairs};
+      int& c = *counts[rand_index(3)];
+      c += (rand_unit() < 0.5 && c > 0) ? -1 : 1;
+      c = std::clamp(c, 0, anneal.max_pairs_per_tier);
+      if (next.global_pairs + next.semi_pairs + next.local_pairs == 0 ||
+          next.global_pairs + next.semi_pairs + next.local_pairs >
+              anneal.max_total_pairs) {
+        continue;  // out of bounds; skip the move
+      }
+    } else if (move == 1) {
+      next.ild = rand_index(anneal.ild_factors.size());
+    } else {
+      const std::size_t tier = rand_index(3);
+      std::size_t* slot = (move == 2) ? &next.width[tier] : &next.spacing[tier];
+      if (move == 4) slot = (rand_unit() < 0.5) ? &next.width[tier]
+                                                : &next.spacing[tier];
+      const std::size_t ladder = anneal.multipliers.size();
+      *slot = (*slot + 1 + rand_index(ladder - 1)) % ladder;  // any other rung
+    }
+
+    const double next_score = evaluate(next);
+    const double delta = next_score - current_score;
+    if (delta >= 0.0 || rand_unit() < std::exp(delta / temperature)) {
+      current = next;
+      current_score = next_score;
+    }
+    temperature *= cooling;
+    result.trajectory.push_back(result.best_result.normalized);
+  }
+  return result;
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,66 @@
+/// \file anneal.hpp
+/// \brief Simulated-annealing co-optimization of the interconnect
+///        architecture under the rank metric.
+///
+/// Extends the exhaustive layer-allocation search (core/optimizer) with
+/// the geometry dimension the paper's conclusion points at: the search
+/// state is (layer-pair allocation, ILD aspect factor, per-tier wire
+/// width/spacing multipliers), and the objective is the exact DP rank.
+/// Wider wires lower resistance but cost routing pitch and repeater-size
+/// area; the annealer trades these off per tier — the "co-optimization
+/// across material, process and design characteristics" of Section 6.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/tech/tuning.hpp"
+
+namespace iarank::core {
+
+/// Search-space and schedule knobs.
+struct AnnealOptions {
+  int iterations = 250;
+  double temperature_start = 0.05;  ///< in normalized-rank units
+  double temperature_end = 1e-3;
+  std::uint64_t seed = 1;
+
+  int max_total_pairs = 6;
+  int max_pairs_per_tier = 3;
+  /// Discrete ladder for width/spacing multipliers.
+  std::vector<double> multipliers = {0.8, 1.0, 1.25, 1.6, 2.0};
+  /// Discrete ILD aspect factors.
+  std::vector<double> ild_factors = {0.8, 1.0, 1.2};
+
+  /// Throws util::Error on empty ladders or bad schedule.
+  void validate() const;
+};
+
+/// A point in the search space.
+struct AnnealState {
+  tech::ArchitectureSpec arch;
+  tech::NodeTuning tuning;
+};
+
+/// Search outcome.
+struct AnnealResult {
+  AnnealState best;
+  RankResult best_result;
+  int evaluations = 0;
+  /// Best-so-far normalized rank after each iteration (for convergence
+  /// plots / regression tests).
+  std::vector<double> trajectory;
+};
+
+/// Runs the annealer from the Table 2 baseline state. The WLD is in gate
+/// pitches (node-independent), so one distribution serves all candidate
+/// geometries. Deterministic per seed.
+[[nodiscard]] AnnealResult anneal_architecture(const tech::TechNode& node,
+                                               std::int64_t gate_count,
+                                               const RankOptions& options,
+                                               const wld::Wld& wld_in_pitches,
+                                               const AnnealOptions& anneal = {});
+
+}  // namespace iarank::core

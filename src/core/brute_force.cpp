@@ -1,0 +1,134 @@
+#include "src/core/brute_force.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+/// Number of ordered partitions of n items into m chunks: C(n+m-1, m-1).
+double partition_count(std::size_t n, std::size_t m) {
+  double result = 1.0;
+  for (std::size_t i = 1; i < m; ++i) {
+    result *= static_cast<double>(n + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+class Enumerator {
+ public:
+  explicit Enumerator(const Instance& inst)
+      : inst_(inst), m_(inst.pair_count()), n_(inst.bunch_count()) {}
+
+  RankResult run() {
+    std::vector<std::size_t> chunk_end(m_, 0);  // exclusive end per pair
+    recurse(chunk_end, 0, 0);
+
+    RankResult res;
+    res.total_wires = inst_.total_wires();
+    res.all_assigned = any_feasible_;
+    res.rank = any_feasible_ ? best_rank_ : 0;
+    res.prefix_bunches = any_feasible_ ? best_prefix_ : 0;
+    res.normalized = res.total_wires > 0
+                         ? static_cast<double>(res.rank) /
+                               static_cast<double>(res.total_wires)
+                         : 0.0;
+    return res;
+  }
+
+ private:
+  const Instance& inst_;
+  const std::size_t m_;
+  const std::size_t n_;
+  std::int64_t best_rank_ = -1;
+  std::int64_t best_prefix_ = 0;
+  bool any_feasible_ = false;
+
+  void recurse(std::vector<std::size_t>& chunk_end, std::size_t pair,
+               std::size_t assigned) {
+    if (pair == m_) {
+      if (assigned == n_) evaluate(chunk_end);
+      return;
+    }
+    for (std::size_t take = 0; take <= n_ - assigned; ++take) {
+      chunk_end[pair] = assigned + take;
+      recurse(chunk_end, pair + 1, assigned + take);
+    }
+  }
+
+  /// For this partition, find the largest feasible delay-met prefix.
+  void evaluate(const std::vector<std::size_t>& chunk_end) {
+    for (std::size_t prefix = n_ + 1; prefix-- > 0;) {
+      if (feasible(chunk_end, prefix)) {
+        any_feasible_ = true;
+        const std::int64_t rank = inst_.wires_before(prefix);
+        if (rank > best_rank_) {
+          best_rank_ = rank;
+          best_prefix_ = static_cast<std::int64_t>(prefix);
+        }
+        return;  // smaller prefixes for this partition cannot beat it
+      }
+    }
+  }
+
+  [[nodiscard]] bool feasible(const std::vector<std::size_t>& chunk_end,
+                              std::size_t prefix) const {
+    // Delay feasibility and budget for prefix bunches.
+    double rep_area = 0.0;
+    std::vector<double> reps_per_pair(m_, 0.0);
+    std::size_t start = 0;
+    for (std::size_t q = 0; q < m_; ++q) {
+      for (std::size_t t = start; t < chunk_end[q]; ++t) {
+        if (t < prefix) {
+          const DelayPlan& plan = inst_.plan(t, q);
+          if (!plan.feasible) return false;
+          const auto count = static_cast<double>(inst_.bunch(t).count);
+          rep_area += count * plan.area_per_wire;
+          reps_per_pair[q] +=
+              count * static_cast<double>(plan.repeaters_per_wire());
+        }
+      }
+      start = chunk_end[q];
+    }
+    const double budget = inst_.repeater_budget();
+    if (rep_area > budget + budget * kRelTol + 1e-30) return false;
+
+    // Area + blockage per pair.
+    double wires_above = 0.0;
+    double reps_above = 0.0;
+    start = 0;
+    for (std::size_t q = 0; q < m_; ++q) {
+      double wire_area = 0.0;
+      double wires_here = 0.0;
+      for (std::size_t t = start; t < chunk_end[q]; ++t) {
+        const std::int64_t count = inst_.bunch(t).count;
+        wire_area += inst_.wire_area(t, q, count);
+        wires_here += static_cast<double>(count);
+      }
+      const double capacity =
+          inst_.pair_capacity() - inst_.blockage(q, wires_above, reps_above);
+      if (wire_area > capacity + inst_.pair_capacity() * kRelTol) return false;
+      wires_above += wires_here;
+      reps_above += reps_per_pair[q];
+      start = chunk_end[q];
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+RankResult brute_force_rank(const Instance& inst) {
+  iarank::util::require(
+      partition_count(inst.bunch_count(), inst.pair_count()) < 2e7,
+      "brute_force_rank: instance too large to enumerate");
+  Enumerator en(inst);
+  return en.run();
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,24 @@
+/// \file brute_force.hpp
+/// \brief Exhaustive rank oracle for validating the DP engines.
+///
+/// Enumerates every ordered partition of the bunch list into layer-pair
+/// chunks and every delay-met prefix length, checking feasibility from
+/// first principles (areas, blockage, budget). Exponential in instance
+/// size — use only on tiny instances (B + m <= ~16).
+///
+/// The oracle assigns whole bunches (no splitting). Build validation
+/// instances with one wire per bunch so wire and bunch granularity
+/// coincide with the production DP's.
+
+#pragma once
+
+#include "src/core/instance.hpp"
+#include "src/core/rank_result.hpp"
+
+namespace iarank::core {
+
+/// Exhaustively computes r(alpha). Throws util::Error when the instance
+/// is too large to enumerate (guard rail: more than ~2e7 partitions).
+[[nodiscard]] RankResult brute_force_rank(const Instance& inst);
+
+}  // namespace iarank::core

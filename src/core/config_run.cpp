@@ -1,0 +1,125 @@
+#include "src/core/config_run.hpp"
+
+#include "src/tech/io.hpp"
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/wld/io.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+bool looks_like_path(const std::string& name) {
+  return name.find('/') != std::string::npos ||
+         name.find(".tech") != std::string::npos;
+}
+
+tech::CapacitanceModel cap_model_from(const std::string& name) {
+  if (name == "parallel_plate") return tech::CapacitanceModel::kParallelPlate;
+  if (name == "sakurai") return tech::CapacitanceModel::kSakuraiTamaru;
+  throw iarank::util::Error("config: unknown cap_model '" + name + "'");
+}
+
+delay::TargetModel target_model_from(const std::string& name) {
+  if (name == "linear") return delay::TargetModel::kLinear;
+  if (name == "sqrt") return delay::TargetModel::kSqrt;
+  if (name == "quadratic") return delay::TargetModel::kQuadratic;
+  if (name == "uniform") return delay::TargetModel::kUniform;
+  throw iarank::util::Error("config: unknown target_model '" + name + "'");
+}
+
+}  // namespace
+
+RunSpec run_spec_from_config(const util::Config& config) {
+  RunSpec spec;
+
+  const std::string node_name =
+      config.has("node") ? config.get("node") : std::string("130nm");
+  const auto gates = config.get_int("gates", 1000000);
+  const bool paper_regime = config.get_int("paper_regime", 1) != 0;
+
+  if (paper_regime) {
+    PaperRegime regime;
+    regime.die_scale = config.get_double("regime.die_scale", regime.die_scale);
+    regime.device_ideality =
+        config.get_double("regime.device_ideality", regime.device_ideality);
+    regime.repeater_cell_f2 =
+        config.get_double("regime.repeater_cell_f2", regime.repeater_cell_f2);
+    regime.min_spacing_pitches = config.get_double(
+        "regime.min_spacing_pitches", regime.min_spacing_pitches);
+    regime.capacity_factor =
+        config.get_double("regime.capacity_factor", regime.capacity_factor);
+    // Custom node files get the regime applied on top of their raw values.
+    if (looks_like_path(node_name)) {
+      PaperSetup setup = paper_baseline("130nm", gates, regime);
+      tech::TechNode custom = tech::load_node(node_name);
+      custom.gate_pitch_factor *= regime.die_scale;
+      custom.device.r_o *= regime.device_ideality;
+      custom.device.c_o *= regime.device_ideality;
+      custom.device.c_p *= regime.device_ideality;
+      custom.device.min_inv_area = regime.repeater_cell_f2 *
+                                   custom.feature_size * custom.feature_size;
+      setup.design.node = custom;
+      spec.design = setup.design;
+      spec.options = setup.options;
+    } else {
+      const PaperSetup setup = paper_baseline(node_name, gates, regime);
+      spec.design = setup.design;
+      spec.options = setup.options;
+    }
+  } else {
+    spec.design.node = looks_like_path(node_name)
+                           ? tech::load_node(node_name)
+                           : tech::node_by_name(node_name);
+    spec.design.gate_count = gates;
+  }
+
+  // Architecture overrides.
+  spec.design.arch.global_pairs = static_cast<int>(
+      config.get_int("arch.global_pairs", spec.design.arch.global_pairs));
+  spec.design.arch.semi_global_pairs = static_cast<int>(config.get_int(
+      "arch.semi_global_pairs", spec.design.arch.semi_global_pairs));
+  spec.design.arch.local_pairs = static_cast<int>(
+      config.get_int("arch.local_pairs", spec.design.arch.local_pairs));
+  spec.design.arch.ild_height_factor = config.get_double(
+      "arch.ild_height_factor", spec.design.arch.ild_height_factor);
+
+  // Table 4 parameters and modelling options.
+  RankOptions& o = spec.options;
+  o.ild_permittivity = config.get_double("ild_permittivity", o.ild_permittivity);
+  o.miller_factor = config.get_double("miller_factor", o.miller_factor);
+  o.clock_frequency = config.get_double("clock_hz", o.clock_frequency);
+  o.repeater_fraction =
+      config.get_double("repeater_fraction", o.repeater_fraction);
+  if (config.has("cap_model")) o.cap_model = cap_model_from(config.get("cap_model"));
+  if (config.has("target_model")) {
+    o.target_model = target_model_from(config.get("target_model"));
+  }
+  o.max_noise_ratio = config.get_double("max_noise_ratio", o.max_noise_ratio);
+  o.charge_drivers =
+      config.get_int("charge_drivers", o.charge_drivers ? 1 : 0) != 0;
+  o.bunch_size = config.get_int("bunch_size", o.bunch_size);
+  o.bin_window = config.get_double("bin_window", o.bin_window);
+  o.refine_boundary =
+      config.get_int("refine_boundary", o.refine_boundary ? 1 : 0) != 0;
+  o.vias.vias_per_wire = config.get_double("vias_per_wire", o.vias.vias_per_wire);
+  o.vias.vias_per_repeater =
+      config.get_double("vias_per_repeater", o.vias.vias_per_repeater);
+
+  // WLD source.
+  spec.wld.rent_p = config.get_double("wld.rent_p", spec.wld.rent_p);
+  spec.wld.rent_k = config.get_double("wld.rent_k", spec.wld.rent_k);
+  spec.wld.avg_fanout = config.get_double("wld.fanout", spec.wld.avg_fanout);
+  if (config.has("wld.file")) spec.wld_file = config.get("wld.file");
+
+  spec.design.validate();
+  spec.options.validate();
+  return spec;
+}
+
+wld::Wld resolve_wld(const RunSpec& spec) {
+  if (!spec.wld_file.empty()) return wld::load_wld(spec.wld_file);
+  return default_wld(spec.design, spec.wld);
+}
+
+}  // namespace iarank::core

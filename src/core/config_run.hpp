@@ -1,0 +1,49 @@
+/// \file config_run.hpp
+/// \brief Builds a complete rank-computation setup from a `key = value`
+///        configuration — the backbone of the rank_tool CLI and of
+///        scripted experiments.
+///
+/// All keys are optional; omitted keys keep the calibrated paper-regime
+/// baseline (core::paper_baseline). Recognized keys:
+///
+///   node = 180nm | 130nm | 90nm | /path/to/custom.tech
+///   gates = <int>
+///   paper_regime = 0 | 1            (default 1; 0 = raw physical node)
+///   regime.die_scale, regime.device_ideality, regime.repeater_cell_f2,
+///   regime.min_spacing_pitches, regime.capacity_factor
+///   arch.global_pairs, arch.semi_global_pairs, arch.local_pairs,
+///   arch.ild_height_factor
+///   ild_permittivity, miller_factor, clock_hz, repeater_fraction
+///   cap_model = parallel_plate | sakurai
+///   target_model = linear | sqrt | quadratic | uniform
+///   bunch_size, bin_window, refine_boundary (0|1)
+///   vias_per_wire, vias_per_repeater
+///   wld.rent_p, wld.rent_k, wld.fanout   (Davis parameters)
+///   wld.file = /path/to/distribution.wld (overrides Davis generation)
+
+#pragma once
+
+#include <string>
+
+#include "src/core/engine.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/util/config.hpp"
+
+namespace iarank::core {
+
+/// Everything needed to run: design, options, and the WLD source.
+struct RunSpec {
+  DesignSpec design;
+  RankOptions options;
+  WldParams wld;          ///< Davis parameters (used when wld_file empty)
+  std::string wld_file;   ///< optional explicit distribution
+};
+
+/// Parses a RunSpec; throws util::Error on unknown enum values or invalid
+/// parameters (via the usual validators).
+[[nodiscard]] RunSpec run_spec_from_config(const util::Config& config);
+
+/// Resolves the WLD: loads wld_file when set, else generates Davis.
+[[nodiscard]] wld::Wld resolve_wld(const RunSpec& spec);
+
+}  // namespace iarank::core

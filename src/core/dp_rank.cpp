@@ -1,0 +1,444 @@
+#include "src/core/dp_rank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/core/free_pack.hpp"
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+/// One Pareto-frontier element: repeater area and count consumed by the
+/// delay-met prefix placed on pairs 0..level-1, plus reconstruction links.
+struct Node {
+  double r = 0.0;        ///< repeater area used [m^2]
+  std::int64_t z = 0;    ///< repeater count used
+  std::int32_t parent = -1;  ///< arena index of the predecessor
+  std::int32_t c = 0;    ///< bunches assigned to the previous pair
+};
+
+/// Heap entry: either an unverified iterator positioned at its best
+/// remaining break point, or a verified candidate.
+struct HeapEntry {
+  std::int64_t key = 0;  ///< upper bound (optimistic) or exact (verified) rank
+  bool verified = false;
+  std::int32_t node = -1;  ///< arena index of the state element
+  std::int32_t j = 0;      ///< break pair
+  std::int64_t b = 0;      ///< first bunch of pair j's chunk
+  std::int64_t c = 0;      ///< delay-met bunches on pair j
+  std::int64_t w_extra = 0;  ///< refined wires (verified entries only)
+};
+
+struct HeapCmp {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.key != b.key) return a.key < b.key;  // max-heap on rank
+    return a.verified < b.verified;            // verified first on ties
+  }
+};
+
+/// Cumulative cost of placing bunches b..b+c-1, all meeting delay, on
+/// pair j.
+struct ChunkCost {
+  double wire_area = 0.0;
+  double rep_area = 0.0;
+  std::int64_t rep_count = 0;
+  bool ok = true;
+};
+
+class DpSolver {
+ public:
+  DpSolver(const Instance& inst, const DpOptions& opt)
+      : inst_(inst), opt_(opt), m_(inst.pair_count()),
+        n_bunches_(static_cast<std::int64_t>(inst.bunch_count())) {}
+
+  RankResult solve();
+
+ private:
+  const Instance& inst_;
+  const DpOptions& opt_;
+  const std::size_t m_;
+  const std::int64_t n_bunches_;
+
+  std::vector<Node> arena_;
+  /// levels_[j] maps b -> active frontier (arena indices).
+  std::vector<std::map<std::int64_t, std::vector<std::int32_t>>> levels_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap_;
+
+  [[nodiscard]] double budget_tol() const {
+    return inst_.repeater_budget() * kRelTol + 1e-30;
+  }
+  [[nodiscard]] double area_tol() const { return inst_.pair_capacity() * kRelTol; }
+
+  [[nodiscard]] ChunkCost chunk_cost(std::int64_t b, std::size_t j,
+                                     std::int64_t c, double base_r,
+                                     double capacity) const;
+
+  /// Inserts a node into level/bunch state with dominance pruning:
+  /// dominated newcomers are dropped, newly dominated incumbents removed.
+  void add_node(std::size_t level, std::int64_t b, const Node& node);
+
+  void forward_pass();
+  void push_iterator(std::int32_t node, std::size_t j, std::int64_t b,
+                     std::int64_t c);
+  [[nodiscard]] std::int64_t optimistic_rank(std::int64_t b,
+                                             std::int64_t c) const;
+
+  /// Verifies entry `e` (runs free_pack, attempts refinement). Returns the
+  /// verified entry when some variant is feasible.
+  [[nodiscard]] std::optional<HeapEntry> verify(const HeapEntry& e) const;
+
+  [[nodiscard]] FreePackInput pack_input(const HeapEntry& e,
+                                         const ChunkCost& cost,
+                                         std::int64_t w_extra) const;
+
+  [[nodiscard]] RankResult assemble(const HeapEntry& best) const;
+};
+
+ChunkCost DpSolver::chunk_cost(std::int64_t b, std::size_t j, std::int64_t c,
+                               double base_r, double capacity) const {
+  ChunkCost cost;
+  for (std::int64_t t = 0; t < c; ++t) {
+    const auto bb = static_cast<std::size_t>(b + t);
+    const DelayPlan& plan = inst_.plan(bb, j);
+    if (!plan.feasible) {
+      cost.ok = false;
+      return cost;
+    }
+    const std::int64_t count = inst_.bunch(bb).count;
+    cost.wire_area += inst_.wire_area(bb, j, count);
+    cost.rep_area += static_cast<double>(count) * plan.area_per_wire;
+    cost.rep_count += count * plan.repeaters_per_wire();
+    if (cost.wire_area > capacity + area_tol() ||
+        base_r + cost.rep_area > inst_.repeater_budget() + budget_tol()) {
+      cost.ok = false;
+      return cost;
+    }
+  }
+  return cost;
+}
+
+std::int64_t DpSolver::optimistic_rank(std::int64_t b, std::int64_t c) const {
+  const std::int64_t base =
+      inst_.wires_before(static_cast<std::size_t>(std::min(b + c, n_bunches_)));
+  if (!opt_.refine_boundary || b + c >= n_bunches_) return base;
+  return base + inst_.bunch(static_cast<std::size_t>(b + c)).count;
+}
+
+void DpSolver::push_iterator(std::int32_t node, std::size_t j, std::int64_t b,
+                             std::int64_t c) {
+  heap_.push({optimistic_rank(b, c), false, node, static_cast<std::int32_t>(j),
+              b, c, 0});
+}
+
+void DpSolver::add_node(std::size_t level, std::int64_t b, const Node& node) {
+  auto& frontier = levels_[level][b];
+  for (const std::int32_t idx : frontier) {
+    const Node& have = arena_[static_cast<std::size_t>(idx)];
+    if (have.r <= node.r && have.z <= node.z) return;  // dominated newcomer
+  }
+  std::erase_if(frontier, [this, &node](std::int32_t idx) {
+    const Node& have = arena_[static_cast<std::size_t>(idx)];
+    return node.r <= have.r && node.z <= have.z;
+  });
+  arena_.push_back(node);
+  frontier.push_back(static_cast<std::int32_t>(arena_.size() - 1));
+}
+
+void DpSolver::forward_pass() {
+  levels_.resize(m_ + 1);
+  arena_.push_back({0.0, 0, -1, 0});
+  levels_[0][0] = {0};
+
+  for (std::size_t j = 0; j < m_; ++j) {
+    for (auto& [b, frontier] : levels_[j]) {
+      for (const std::int32_t idx : frontier) {
+        // Copy: arena_ may reallocate while we extend it below.
+        const Node node = arena_[static_cast<std::size_t>(idx)];
+        const double wires_above =
+            static_cast<double>(inst_.wires_before(static_cast<std::size_t>(b)));
+        const double capacity =
+            inst_.pair_capacity() -
+            inst_.blockage(j, wires_above, static_cast<double>(node.z));
+
+        // c = 0: leave pair j empty, the prefix continues below.
+        if (j + 1 < m_) add_node(j + 1, b, {node.r, node.z, idx, 0});
+
+        double cum_area = 0.0;
+        double cum_rep_area = 0.0;
+        std::int64_t cum_rep_count = 0;
+        std::int64_t c = 0;
+        while (b + c < n_bunches_) {
+          const auto bb = static_cast<std::size_t>(b + c);
+          const DelayPlan& plan = inst_.plan(bb, j);
+          if (!plan.feasible) break;
+          const std::int64_t count = inst_.bunch(bb).count;
+          const double next_area = cum_area + inst_.wire_area(bb, j, count);
+          const double next_rep =
+              cum_rep_area + static_cast<double>(count) * plan.area_per_wire;
+          if (next_area > capacity + area_tol()) break;
+          if (node.r + next_rep > inst_.repeater_budget() + budget_tol()) break;
+          cum_area = next_area;
+          cum_rep_area = next_rep;
+          cum_rep_count += count * plan.repeaters_per_wire();
+          ++c;
+          if (j + 1 < m_ && b + c < n_bunches_) {
+            add_node(j + 1, b + c,
+                     {node.r + cum_rep_area, node.z + cum_rep_count, idx,
+                      static_cast<std::int32_t>(c)});
+          }
+        }
+        // One iterator per state element, positioned at its largest c.
+        push_iterator(idx, j, b, c);
+      }
+    }
+  }
+}
+
+FreePackInput DpSolver::pack_input(const HeapEntry& e, const ChunkCost& cost,
+                                   std::int64_t w_extra) const {
+  const Node& node = arena_[static_cast<std::size_t>(e.node)];
+  FreePackInput in;
+  in.first_pair = static_cast<std::size_t>(e.j);
+  in.first_bunch = static_cast<std::size_t>(std::min(e.b + e.c, n_bunches_));
+  in.first_bunch_offset = w_extra;
+  in.area_used_first_pair = cost.wire_area;
+  in.wires_above_first =
+      static_cast<double>(inst_.wires_before(static_cast<std::size_t>(e.b)));
+  in.repeaters_above_first = static_cast<double>(node.z);
+  in.repeaters_total = static_cast<double>(node.z + cost.rep_count);
+  if (w_extra > 0) {
+    const auto bb = static_cast<std::size_t>(e.b + e.c);
+    const DelayPlan& plan = inst_.plan(bb, static_cast<std::size_t>(e.j));
+    in.area_used_first_pair +=
+        inst_.wire_area(bb, static_cast<std::size_t>(e.j), w_extra);
+    in.repeaters_total +=
+        static_cast<double>(w_extra * plan.repeaters_per_wire());
+  }
+  return in;
+}
+
+std::optional<HeapEntry> DpSolver::verify(const HeapEntry& e) const {
+  const Node& node = arena_[static_cast<std::size_t>(e.node)];
+  const double wires_above =
+      static_cast<double>(inst_.wires_before(static_cast<std::size_t>(e.b)));
+  const double capacity =
+      inst_.pair_capacity() - inst_.blockage(static_cast<std::size_t>(e.j),
+                                        wires_above,
+                                        static_cast<double>(node.z));
+  const ChunkCost cost = chunk_cost(e.b, static_cast<std::size_t>(e.j), e.c,
+                                    node.r, capacity);
+  if (!cost.ok) return std::nullopt;
+
+  const std::int64_t base =
+      inst_.wires_before(static_cast<std::size_t>(std::min(e.b + e.c, n_bunches_)));
+
+  // Boundary refinement: push w_extra wires of the first failing bunch
+  // onto pair j, still meeting delay, within budget and area.
+  std::int64_t w_extra = 0;
+  if (opt_.refine_boundary && e.b + e.c < n_bunches_) {
+    const auto bb = static_cast<std::size_t>(e.b + e.c);
+    const DelayPlan& plan = inst_.plan(bb, static_cast<std::size_t>(e.j));
+    if (plan.feasible) {
+      const Bunch& bunch = inst_.bunch(bb);
+      std::int64_t by_budget = bunch.count;
+      if (plan.area_per_wire > 0.0) {
+        const double left =
+            inst_.repeater_budget() + budget_tol() - node.r - cost.rep_area;
+        by_budget = left <= 0.0
+                        ? 0
+                        : static_cast<std::int64_t>(
+                              std::floor(left / plan.area_per_wire));
+      }
+      const double area_left = capacity + area_tol() - cost.wire_area;
+      const double per_wire =
+          bunch.length * inst_.pair(static_cast<std::size_t>(e.j)).pitch;
+      const auto by_area = static_cast<std::int64_t>(
+          std::floor(std::max(0.0, area_left) / per_wire));
+      w_extra = std::clamp<std::int64_t>(std::min(by_budget, by_area), 0,
+                                         bunch.count);
+    }
+  }
+
+  // Try the refined break first, then fall back to the plain one.
+  for (const std::int64_t w : {w_extra, std::int64_t{0}}) {
+    if (free_pack_feasible(inst_, pack_input(e, cost, w))) {
+      HeapEntry out = e;
+      out.verified = true;
+      out.w_extra = w;
+      out.key = base + w;
+      return out;
+    }
+    if (w == 0) break;
+  }
+  return std::nullopt;
+}
+
+RankResult DpSolver::assemble(const HeapEntry& best) const {
+  RankResult res;
+  res.total_wires = inst_.total_wires();
+  res.rank = best.key;
+  res.normalized = res.total_wires > 0
+                       ? static_cast<double>(res.rank) /
+                             static_cast<double>(res.total_wires)
+                       : 0.0;
+  res.all_assigned = true;
+  res.prefix_bunches = best.b + best.c;
+  res.refined_wires = best.w_extra;
+
+  const Node& node = arena_[static_cast<std::size_t>(best.node)];
+  const double wires_above =
+      static_cast<double>(inst_.wires_before(static_cast<std::size_t>(best.b)));
+  const double capacity =
+      inst_.pair_capacity() - inst_.blockage(static_cast<std::size_t>(best.j),
+                                        wires_above,
+                                        static_cast<double>(node.z));
+  const ChunkCost cost = chunk_cost(best.b, static_cast<std::size_t>(best.j),
+                                    best.c, node.r, capacity);
+
+  double refine_rep_area = 0.0;
+  std::int64_t refine_rep_count = 0;
+  if (best.w_extra > 0) {
+    const auto bb = static_cast<std::size_t>(best.b + best.c);
+    const DelayPlan& plan = inst_.plan(bb, static_cast<std::size_t>(best.j));
+    refine_rep_area = static_cast<double>(best.w_extra) * plan.area_per_wire;
+    refine_rep_count = best.w_extra * plan.repeaters_per_wire();
+  }
+  res.repeater_area_used = node.r + cost.rep_area + refine_rep_area;
+  res.repeater_count = node.z + cost.rep_count + refine_rep_count;
+
+  if (!opt_.build_trace) return res;
+
+  // Reconstruct the prefix chunks by walking parents: chain[j'] = first
+  // bunch of pair j's chunk.
+  std::vector<std::int64_t> chunk_first(static_cast<std::size_t>(best.j) + 1, 0);
+  {
+    std::int64_t b = best.b;
+    std::int32_t idx = best.node;
+    for (std::int32_t j = best.j; j > 0; --j) {
+      chunk_first[static_cast<std::size_t>(j)] = b;
+      const Node& nd = arena_[static_cast<std::size_t>(idx)];
+      b -= nd.c;
+      idx = nd.parent;
+    }
+    chunk_first[0] = 0;
+  }
+
+  res.usage.resize(m_);
+  double z_above = 0.0;
+  for (std::size_t j = 0; j < m_; ++j) res.usage[j].pair_name = inst_.pair(j).name;
+
+  for (std::size_t j = 0; j <= static_cast<std::size_t>(best.j); ++j) {
+    const std::int64_t lo = chunk_first[j];
+    const std::int64_t hi = (j == static_cast<std::size_t>(best.j))
+                                ? best.b + best.c
+                                : chunk_first[j + 1];
+    PairUsage& u = res.usage[j];
+    u.via_blockage = inst_.blockage(
+        j, static_cast<double>(inst_.wires_before(static_cast<std::size_t>(lo))),
+        z_above);
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const auto bb = static_cast<std::size_t>(t);
+      const DelayPlan& plan = inst_.plan(bb, j);
+      const std::int64_t count = inst_.bunch(bb).count;
+      u.wires_meeting_delay += count;
+      u.wires_total += count;
+      u.wire_area += inst_.wire_area(bb, j, count);
+      u.repeaters += count * plan.repeaters_per_wire();
+      u.repeater_area += static_cast<double>(count) * plan.area_per_wire;
+      res.placements.push_back({bb, j, count, count});
+    }
+    if (j == static_cast<std::size_t>(best.j) && best.w_extra > 0) {
+      const auto bb = static_cast<std::size_t>(best.b + best.c);
+      const DelayPlan& plan = inst_.plan(bb, j);
+      u.wires_meeting_delay += best.w_extra;
+      u.wires_total += best.w_extra;
+      u.wire_area += inst_.wire_area(bb, j, best.w_extra);
+      u.repeaters += best.w_extra * plan.repeaters_per_wire();
+      u.repeater_area += static_cast<double>(best.w_extra) * plan.area_per_wire;
+      res.placements.push_back({bb, j, best.w_extra, best.w_extra});
+    }
+    z_above += static_cast<double>(u.repeaters);
+  }
+
+  // Suffix loads from the packer, at per-bunch detail.
+  const auto detail =
+      free_pack_detailed(inst_, pack_input(best, cost, best.w_extra));
+  iarank::util::require(detail.has_value(),
+                        "dp_rank: winning candidate failed re-packing");
+  for (const BunchPlacement& p : *detail) {
+    PairUsage& u = res.usage[p.pair];
+    u.wires_total += p.wires;
+    u.wire_area += inst_.wire_area(p.bunch, p.pair, p.wires);
+    res.placements.push_back(p);
+  }
+  std::sort(res.placements.begin(), res.placements.end(),
+            [](const BunchPlacement& a, const BunchPlacement& b) {
+              if (a.bunch != b.bunch) return a.bunch < b.bunch;
+              return a.pair < b.pair;
+            });
+
+  // Recompute blockage uniformly now that every pair's load is known.
+  double wires_above_total = 0.0;
+  double reps_above_total = 0.0;
+  for (std::size_t j = 0; j < m_; ++j) {
+    res.usage[j].via_blockage =
+        inst_.blockage(j, wires_above_total, reps_above_total);
+    wires_above_total += static_cast<double>(res.usage[j].wires_total);
+    reps_above_total += static_cast<double>(res.usage[j].repeaters);
+  }
+  return res;
+}
+
+RankResult DpSolver::solve() {
+  // Definition 3 fast path: delay-free packing of the whole WLD is the
+  // least constrained assignment (Lemma 1); if it fails, nothing fits.
+  if (!free_pack_feasible(inst_, FreePackInput{})) {
+    RankResult res;
+    res.total_wires = inst_.total_wires();
+    res.rank = 0;
+    res.normalized = 0.0;
+    res.all_assigned = false;
+    return res;
+  }
+
+  forward_pass();
+
+  while (!heap_.empty()) {
+    const HeapEntry e = heap_.top();
+    heap_.pop();
+    if (e.verified) return assemble(e);
+    const auto verified = verify(e);
+    if (verified) heap_.push(*verified);
+    if (e.c > 0) {
+      // Retry this state's next-lower break point later.
+      push_iterator(e.node, static_cast<std::size_t>(e.j), e.b, e.c - 1);
+    }
+  }
+
+  // Not even delay-free assignment exists: Definition 3.
+  RankResult res;
+  res.total_wires = inst_.total_wires();
+  res.rank = 0;
+  res.normalized = 0.0;
+  res.all_assigned = false;
+  return res;
+}
+
+}  // namespace
+
+RankResult dp_rank(const Instance& inst, const DpOptions& options) {
+  DpSolver solver(inst, options);
+  return solver.solve();
+}
+
+}  // namespace iarank::core

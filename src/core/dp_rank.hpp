@@ -1,0 +1,48 @@
+/// \file dp_rank.hpp
+/// \brief Exact rank computation by dynamic programming.
+///
+/// Semantically equivalent to the paper's Algorithms 1-3 / Equation 1, but
+/// reformulated for exactness and speed (DESIGN.md Section 3.2):
+///
+///  * A feasible embedding is a partition of the (longest-first) bunch list
+///    into contiguous chunks, one per layer-pair top-down, with a prefix of
+///    delay-met bunches. The DP state after filling pairs 0..j-1 with
+///    bunches 0..b-1 (all meeting delay) is the Pareto frontier of
+///    (repeater area used, repeater count used) — repeater area is budget,
+///    repeater count drives via blockage below. No discretization of
+///    repeater area is needed: for a given assignment the paper's
+///    "incremental insertion until the target is met" fixes the repeater
+///    area exactly (delay::WireDelayModel::stages_to_meet).
+///
+///  * Once the prefix breaks, the rest is delay-free packing, which
+///    bottom-up greedy solves optimally (paper Lemma 1; core/free_pack).
+///
+///  * Break candidates are verified best-first (highest rank first), so
+///    the expensive suffix-packing check runs only a handful of times on
+///    typical instances.
+///
+/// The result is the exact optimum at bunch granularity — the paper's own
+/// granularity, with rank error bounded by the largest bunch (Section
+/// 5.1). The optional boundary refinement extends the prefix into the
+/// first failing bunch wire-by-wire when the leftover budget allows.
+
+#pragma once
+
+#include "src/core/instance.hpp"
+#include "src/core/rank_result.hpp"
+
+namespace iarank::core {
+
+/// Engine knobs.
+struct DpOptions {
+  bool build_trace = true;       ///< reconstruct per-pair usage
+  bool refine_boundary = true;   ///< wire-level extension into failing bunch
+};
+
+/// Computes r(alpha) for the instance. Never throws on well-formed
+/// instances; infeasible assignment (Definition 3) yields rank 0 with
+/// all_assigned = false.
+[[nodiscard]] RankResult dp_rank(const Instance& inst,
+                                 const DpOptions& options = {});
+
+}  // namespace iarank::core

@@ -1,0 +1,43 @@
+#include "src/core/engine.hpp"
+
+#include "src/core/greedy_rank.hpp"
+#include "src/tech/node.hpp"
+#include "src/wld/davis.hpp"
+
+namespace iarank::core {
+
+wld::Wld default_wld(const DesignSpec& design, const WldParams& params) {
+  const wld::DavisModel model(
+      {design.gate_count, params.rent_p, params.rent_k, params.avg_fanout});
+  return model.generate();
+}
+
+DesignSpec baseline_design(const std::string& node_name,
+                           std::int64_t gate_count) {
+  DesignSpec design;
+  design.node = tech::node_by_name(node_name);
+  design.arch = tech::ArchitectureSpec{};  // 1 global + 2 semi + 1 local
+  design.gate_count = gate_count;
+  return design;
+}
+
+RankResult compute_rank(const DesignSpec& design, const RankOptions& options,
+                        const wld::Wld& wld_in_pitches) {
+  const Instance inst = build_instance(design, options, wld_in_pitches);
+  DpOptions dp;
+  dp.refine_boundary = options.refine_boundary;
+  return dp_rank(inst, dp);
+}
+
+RankResult compute_rank(const DesignSpec& design, const RankOptions& options) {
+  return compute_rank(design, options, default_wld(design));
+}
+
+RankResult compute_rank_greedy(const DesignSpec& design,
+                               const RankOptions& options,
+                               const wld::Wld& wld_in_pitches) {
+  const Instance inst = build_instance(design, options, wld_in_pitches);
+  return greedy_rank(inst);
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,53 @@
+/// \file engine.hpp
+/// \brief High-level entry points: design + options + WLD -> rank.
+///
+/// This is the facade a downstream user calls. It wires the substrates
+/// together exactly as the paper's Section 5.2 flow does: Davis WLD at
+/// Rent p = 0.6, die sizing per Eq. 6, architecture from Table 2/3,
+/// coarsening, then the exact DP.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/dp_rank.hpp"
+#include "src/core/instance.hpp"
+#include "src/core/options.hpp"
+#include "src/core/rank_result.hpp"
+#include "src/wld/wld.hpp"
+
+namespace iarank::core {
+
+/// Parameters of the default (Davis) WLD generation.
+struct WldParams {
+  double rent_p = 0.6;     ///< the paper's value
+  double rent_k = 4.0;
+  double avg_fanout = 3.0;
+};
+
+/// Generates the Davis WLD (lengths in gate pitches) for the design's
+/// gate count.
+[[nodiscard]] wld::Wld default_wld(const DesignSpec& design,
+                                   const WldParams& params = {});
+
+/// The paper's Table 2 baseline design at the given node: 1 global +
+/// 2 semi-global + 1 local layer-pair, 1M gates (overridable).
+[[nodiscard]] DesignSpec baseline_design(const std::string& node_name,
+                                         std::int64_t gate_count = 1000000);
+
+/// Full evaluation flow: build the instance and run the exact DP.
+[[nodiscard]] RankResult compute_rank(const DesignSpec& design,
+                                      const RankOptions& options,
+                                      const wld::Wld& wld_in_pitches);
+
+/// Same, with the Davis WLD generated internally.
+[[nodiscard]] RankResult compute_rank(const DesignSpec& design,
+                                      const RankOptions& options = {});
+
+/// The greedy baseline on the identical instance (for comparisons).
+[[nodiscard]] RankResult compute_rank_greedy(const DesignSpec& design,
+                                             const RankOptions& options,
+                                             const wld::Wld& wld_in_pitches);
+
+}  // namespace iarank::core

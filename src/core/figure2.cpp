@@ -1,0 +1,39 @@
+#include "src/core/figure2.hpp"
+
+namespace iarank::core {
+
+Instance figure2_instance() {
+  // Four wires of length 1 (abstract units), one per bunch so wire and
+  // bunch granularity coincide.
+  std::vector<Bunch> bunches(4, Bunch{1.0, 1, 1.0});
+
+  // Upper pair holds at most 2 wires (pitch 5, die 10); lower pair holds
+  // at most 3 (pitch 3.3). Vias are disabled for clarity.
+  std::vector<PairInfo> pairs = {
+      {"upper (slow RC)", 5.0, 0.0, 1.0, 1.0},
+      {"lower (fast RC)", 10.0 / 3.0, 0.0, 1.0, 1.0},
+  };
+
+  // Meeting the target needs 4 repeaters per wire on the upper pair and
+  // 1 on the lower pair; each repeater has unit area.
+  DelayPlan upper;
+  upper.feasible = true;
+  upper.stages = 5;
+  upper.delay = 1.0;
+  upper.area_per_wire = 4.0;
+  DelayPlan lower;
+  lower.feasible = true;
+  lower.stages = 2;
+  lower.delay = 1.0;
+  lower.area_per_wire = 1.0;
+
+  std::vector<std::vector<DelayPlan>> plans(4, {upper, lower});
+
+  return Instance::from_raw(std::move(bunches), std::move(pairs),
+                            std::move(plans), /*pair_capacity=*/10.0,
+                            /*repeater_budget=*/8.0, tech::ViaSpec{});
+}
+
+Figure2Expectation figure2_expectation() { return {}; }
+
+}  // namespace iarank::core

@@ -1,0 +1,30 @@
+/// \file figure2.hpp
+/// \brief The paper's Figure 2 counterexample: greedy rank 2, optimal 4.
+///
+/// Four equal-length wires, two layer-pairs, a budget of eight repeaters.
+/// The upper pair has much larger RC delay, so a wire assigned there needs
+/// four repeaters against one on the lower pair. Greedy top-down fills the
+/// upper pair with two wires (8 repeaters — the whole budget); the two
+/// remaining wires get no repeaters and fail: rank 2. The optimum places
+/// one wire up (4 repeaters) and three down (3 repeaters): rank 4.
+
+#pragma once
+
+#include "src/core/instance.hpp"
+
+namespace iarank::core {
+
+/// Constants of the constructed counterexample.
+struct Figure2Expectation {
+  std::int64_t greedy_rank = 2;
+  std::int64_t optimal_rank = 4;
+  std::int64_t repeater_budget = 8;
+};
+
+/// Builds the counterexample instance (abstract units, via-free).
+[[nodiscard]] Instance figure2_instance();
+
+/// The ranks the construction is designed to produce.
+[[nodiscard]] Figure2Expectation figure2_expectation();
+
+}  // namespace iarank::core

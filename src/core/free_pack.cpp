@@ -1,0 +1,147 @@
+#include "src/core/free_pack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+/// Relative slack for floating-point capacity comparisons.
+constexpr double kAreaTol = 1e-9;
+
+}  // namespace
+
+std::optional<std::vector<BunchPlacement>> free_pack_detailed(
+    const Instance& inst, const FreePackInput& input) {
+  const std::size_t m = inst.pair_count();
+  const std::size_t n_bunches = inst.bunch_count();
+  iarank::util::require(input.first_pair <= m,
+                        "free_pack: first_pair out of range");
+  iarank::util::require(input.first_bunch <= n_bunches,
+                        "free_pack: first_bunch out of range");
+  if (input.first_bunch < n_bunches) {
+    iarank::util::require(
+        input.first_bunch_offset >= 0 &&
+            input.first_bunch_offset <= inst.bunch(input.first_bunch).count,
+        "free_pack: first_bunch_offset out of range");
+  }
+
+  // Total wires still to place.
+  std::int64_t to_place = inst.total_wires() -
+                          inst.wires_before(input.first_bunch) -
+                          (input.first_bunch < n_bunches
+                               ? input.first_bunch_offset
+                               : 0);
+  if (to_place == 0) return std::vector<BunchPlacement>{};
+  if (input.first_pair >= m) return std::nullopt;
+
+  const double die = inst.pair_capacity();
+  const double tol = die * kAreaTol;
+  const double total_wires = static_cast<double>(inst.total_wires());
+
+  // Walk bunches from the shortest backward.
+  std::size_t b = n_bunches;  // b-1 is the current bunch
+  std::int64_t remaining_in_bunch = 0;
+  auto advance_bunch = [&]() -> bool {
+    while (remaining_in_bunch == 0) {
+      if (b == input.first_bunch) return false;
+      --b;
+      remaining_in_bunch = inst.bunch(b).count;
+      if (b == input.first_bunch) {
+        remaining_in_bunch -= input.first_bunch_offset;
+        if (remaining_in_bunch == 0) return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<BunchPlacement> placements;
+  std::int64_t packed = 0;  // free wires placed in pairs >= current pair
+
+  for (std::size_t qi = m; qi-- > input.first_pair;) {
+    const std::size_t q = qi;
+    const double initial_area =
+        (q == input.first_pair) ? input.area_used_first_pair : 0.0;
+    double area = initial_area;
+
+    while (advance_bunch()) {
+      const Bunch& bunch = inst.bunch(b);
+      const double per_wire = bunch.length * inst.pair(q).pitch;
+      const std::int64_t avail = remaining_in_bunch;
+      std::int64_t w = 0;
+
+      if (q == input.first_pair) {
+        // Blockage here is fixed: only the prefix pairs sit above.
+        const double blocked = inst.blockage(q, input.wires_above_first,
+                                             input.repeaters_above_first);
+        const double free_area = die + tol - blocked - area;
+        if (per_wire <= 0.0) {
+          w = free_area >= 0.0 ? avail : 0;
+        } else {
+          w = std::clamp<std::int64_t>(
+              static_cast<std::int64_t>(std::floor(free_area / per_wire)), 0,
+              avail);
+        }
+      } else {
+        // Blockage shrinks as wires are packed at or below this pair:
+        //   area + w*per_wire + blockage(q, T - packed - w, Z) <= A_d.
+        const double va = inst.pair(q).via_area;
+        const double vw = inst.vias().vias_per_wire;
+        const double vr = inst.vias().vias_per_repeater;
+        const double fixed_block =
+            va * (vr * input.repeaters_total +
+                  vw * (total_wires - static_cast<double>(packed)));
+        const double coef = per_wire - va * vw;
+        const double rhs = die + tol - area - fixed_block;
+        if (coef > 0.0) {
+          w = std::clamp<std::int64_t>(
+              static_cast<std::int64_t>(std::floor(rhs / coef)), 0, avail);
+        } else {
+          // Adding wires only relaxes the constraint; check the full take.
+          const double lhs_at_avail = static_cast<double>(avail) * coef;
+          w = (lhs_at_avail <= rhs) ? avail : 0;
+        }
+      }
+
+      if (w <= 0) break;  // pair q is full for this (and any longer) bunch
+      area += static_cast<double>(w) * per_wire;
+      packed += w;
+      remaining_in_bunch -= w;
+      to_place -= w;
+      placements.push_back({b, q, w, 0});
+      if (w < avail) break;  // pair q filled mid-bunch
+    }
+
+    if (to_place == 0) return placements;
+  }
+
+  return std::nullopt;  // wires left over after the topmost available pair
+}
+
+std::optional<std::vector<PairLoad>> free_pack(const Instance& inst,
+                                               const FreePackInput& input) {
+  const auto detail = free_pack_detailed(inst, input);
+  if (!detail) return std::nullopt;
+
+  // Aggregate per pair, emitting top-pair-first.
+  std::vector<PairLoad> loads;
+  for (std::size_t q = input.first_pair; q < inst.pair_count(); ++q) {
+    PairLoad load{q, 0, 0.0};
+    for (const BunchPlacement& p : *detail) {
+      if (p.pair != q) continue;
+      load.wires += p.wires;
+      load.wire_area += inst.wire_area(p.bunch, q, p.wires);
+    }
+    if (load.wires > 0) loads.push_back(load);
+  }
+  return loads;
+}
+
+bool free_pack_feasible(const Instance& inst, const FreePackInput& input) {
+  return free_pack_detailed(inst, input).has_value();
+}
+
+}  // namespace iarank::core

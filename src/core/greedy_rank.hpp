@@ -1,0 +1,23 @@
+/// \file greedy_rank.hpp
+/// \brief Greedy top-down rank computation — the baseline the paper's
+///        Figure 2 proves suboptimal.
+///
+/// Wires are taken longest-first and placed on the highest layer-pair with
+/// room; repeaters are inserted per wire until its target is met, first
+/// come first served against the budget. The first wire that cannot meet
+/// its target (budget exhausted, no feasible repeatering, or nothing
+/// proactively saved for cheaper pairs below) ends the delay-met prefix;
+/// remaining wires are packed on for the Definition-3 feasibility check.
+/// dp_rank() >= greedy_rank() always; strict on Figure-2-like instances.
+
+#pragma once
+
+#include "src/core/instance.hpp"
+#include "src/core/rank_result.hpp"
+
+namespace iarank::core {
+
+/// Computes the greedy assignment's rank on the same Instance the DP uses.
+[[nodiscard]] RankResult greedy_rank(const Instance& inst);
+
+}  // namespace iarank::core

@@ -1,0 +1,195 @@
+#include "src/core/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tech/die.hpp"
+#include "src/util/error.hpp"
+#include "src/tech/noise.hpp"
+#include "src/wld/coarsen.hpp"
+
+namespace iarank::core {
+
+Instance Instance::from_raw(std::vector<Bunch> bunches,
+                            std::vector<PairInfo> pairs,
+                            std::vector<std::vector<DelayPlan>> plans,
+                            double pair_capacity, double repeater_budget,
+                            tech::ViaSpec vias) {
+  iarank::util::require(!pairs.empty(), "Instance: need >= 1 layer-pair");
+  iarank::util::require(plans.size() == bunches.size(),
+                        "Instance: plans rows must match bunch count");
+  for (const auto& row : plans) {
+    iarank::util::require(row.size() == pairs.size(),
+                          "Instance: plans columns must match pair count");
+  }
+  for (std::size_t b = 0; b + 1 < bunches.size(); ++b) {
+    iarank::util::require(bunches[b].length >= bunches[b + 1].length,
+                          "Instance: bunches must be sorted longest first");
+  }
+  for (const Bunch& b : bunches) {
+    iarank::util::require(b.length > 0.0 && b.count >= 1,
+                          "Instance: bunches need positive length and count");
+    iarank::util::require(b.target_delay >= 0.0,
+                          "Instance: target delay must be >= 0");
+  }
+  for (const PairInfo& p : pairs) {
+    iarank::util::require(p.pitch > 0.0 && p.via_area >= 0.0 &&
+                              p.repeater_area >= 0.0,
+                          "Instance: invalid pair parameters");
+  }
+  iarank::util::require(pair_capacity > 0.0, "Instance: pair_capacity must be > 0");
+  iarank::util::require(repeater_budget >= 0.0,
+                        "Instance: repeater_budget must be >= 0");
+  vias.validate();
+
+  Instance inst;
+  inst.bunches_ = std::move(bunches);
+  inst.pairs_ = std::move(pairs);
+  inst.plans_ = std::move(plans);
+  inst.pair_capacity_ = pair_capacity;
+  inst.repeater_budget_ = repeater_budget;
+  inst.vias_ = vias;
+  inst.wires_before_.resize(inst.bunches_.size() + 1, 0);
+  for (std::size_t b = 0; b < inst.bunches_.size(); ++b) {
+    inst.wires_before_[b + 1] = inst.wires_before_[b] + inst.bunches_[b].count;
+  }
+  inst.total_wires_ = inst.wires_before_.back();
+  return inst;
+}
+
+std::int64_t Instance::wires_before(std::size_t b) const {
+  iarank::util::require(b < wires_before_.size(),
+                        "Instance: bunch index out of range");
+  return wires_before_[b];
+}
+
+double Instance::wire_area(std::size_t b, std::size_t j,
+                           std::int64_t wires) const {
+  return bunches_[b].length * pairs_[j].pitch * static_cast<double>(wires);
+}
+
+const DelayPlan& Instance::plan(std::size_t b, std::size_t j) const {
+  iarank::util::require(b < plans_.size() && j < pairs_.size(),
+                        "Instance: plan index out of range");
+  return plans_[b][j];
+}
+
+double Instance::blockage(std::size_t j, double wires_above,
+                          double repeaters_above) const {
+  return (vias_.vias_per_wire * wires_above +
+          vias_.vias_per_repeater * repeaters_above) *
+         pairs_[j].via_area;
+}
+
+std::int64_t Instance::max_fit(std::size_t b, std::size_t j,
+                               std::int64_t offset, double area_used,
+                               double wires_above,
+                               double repeaters_above) const {
+  const Bunch& bunch = bunches_[b];
+  const std::int64_t available = bunch.count - offset;
+  if (available <= 0) return 0;
+  const double free_area =
+      pair_capacity_ - area_used - blockage(j, wires_above, repeaters_above);
+  const double per_wire = bunch.length * pairs_[j].pitch;
+  if (per_wire <= 0.0) return available;
+  if (free_area <= 0.0) return 0;
+  const auto fit = static_cast<std::int64_t>(std::floor(
+      free_area / per_wire * (1.0 + 1e-12)));
+  return std::clamp<std::int64_t>(fit, 0, available);
+}
+
+Instance build_instance(const DesignSpec& design, const RankOptions& options,
+                        const wld::Wld& wld_in_pitches) {
+  design.validate();
+  options.validate();
+  iarank::util::require(!wld_in_pitches.empty(),
+                        "build_instance: empty wire length distribution");
+
+  // Die sizing (paper Eq. 6): repeater area inflates the die, gates are
+  // redistributed, and the effective gate pitch converts WLD lengths.
+  const tech::DieModel die({design.gate_count, design.node.gate_pitch(),
+                            options.repeater_fraction});
+
+  // Coarsen in pitch space: optional binning, then bunching.
+  wld::Wld coarse = options.bin_window > 0.0
+                        ? wld::bin_absolute(wld_in_pitches, options.bin_window)
+                        : wld_in_pitches;
+  const std::vector<wld::WireGroup> groups =
+      wld::bunch(coarse, options.bunch_size);
+
+  // Electrical stack.
+  const tech::Architecture arch =
+      tech::Architecture::build(design.node, design.arch);
+  const tech::RcParams rc{design.node.conductor, options.ild_permittivity,
+                          options.miller_factor, options.cap_model};
+  const delay::ElectricalStack stack(arch, rc, options.switching);
+
+  // Target delays from the longest *physical* wire.
+  const double pitch_to_m = die.effective_gate_pitch();
+  const double l_max = wld_in_pitches.max_length() * pitch_to_m;
+  const delay::TargetDelay targets(options.target_model,
+                                   options.clock_frequency, l_max);
+
+  std::vector<Bunch> bunches;
+  bunches.reserve(groups.size());
+  for (const wld::WireGroup& g : groups) {
+    const double length_m = g.length * pitch_to_m;
+    bunches.push_back({length_m, g.count, targets.target(length_m)});
+  }
+
+  // A layer-pair offers `pair_capacity_factor` layers' worth of routing
+  // area; a via cut blocks that many layers' worth of via area.
+  std::vector<PairInfo> pairs;
+  pairs.reserve(arch.pair_count());
+  const double a_inv = design.node.device.min_inv_area;
+  for (std::size_t j = 0; j < arch.pair_count(); ++j) {
+    const tech::LayerPair& lp = arch.pair(j);
+    const delay::PairElectricals& el = stack.pair(j);
+    pairs.push_back({lp.name, lp.geometry.pitch(),
+                     options.pair_capacity_factor * lp.geometry.via_area(),
+                     el.s_opt, el.s_opt * a_inv});
+  }
+
+  std::vector<std::vector<DelayPlan>> plans(
+      bunches.size(), std::vector<DelayPlan>(pairs.size()));
+  for (std::size_t b = 0; b < bunches.size(); ++b) {
+    // Repeater-interval cap: at most floor(l / spacing) stages per wire
+    // (paper Section 4.1: insertion stops when repeaters cannot be placed
+    // at appropriate intervals).
+    std::optional<std::int64_t> max_stages = options.max_stages;
+    if (options.min_repeater_spacing > 0.0) {
+      const auto by_spacing = static_cast<std::int64_t>(
+          std::floor(bunches[b].length / options.min_repeater_spacing));
+      const std::int64_t capped = std::max<std::int64_t>(1, by_spacing);
+      max_stages = max_stages ? std::min(*max_stages, capped) : capped;
+    }
+    for (std::size_t j = 0; j < pairs.size(); ++j) {
+      // Noise-constrained pairs cannot carry delay-met wires.
+      if (options.max_noise_ratio < 1.0 &&
+          tech::coupling_noise_ratio(arch.pair(j).geometry, rc) >
+              options.max_noise_ratio) {
+        continue;
+      }
+      const auto sol = stack.pair(j).model.stages_to_meet(
+          bunches[b].length, bunches[b].target_delay, max_stages);
+      DelayPlan& p = plans[b][j];
+      if (sol) {
+        p.feasible = true;
+        p.stages = sol->stages;
+        p.delay = sol->delay;
+        // Footnote 3: optionally charge the sized driver too.
+        const auto cells =
+            options.charge_drivers ? sol->stages : sol->stages - 1;
+        p.area_per_wire =
+            static_cast<double>(cells) * pairs[j].repeater_area;
+      }
+    }
+  }
+
+  return Instance::from_raw(std::move(bunches), std::move(pairs),
+                            std::move(plans),
+                            options.pair_capacity_factor * die.die_area(),
+                            die.repeater_area_budget(), options.vias);
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,139 @@
+/// \file instance.hpp
+/// \brief The concrete assignment problem consumed by every rank engine.
+///
+/// An Instance freezes one rank computation: the coarsened WLD (bunches of
+/// identical-length wires, longest first — paper Section 5.1), the
+/// layer-pair stack with derived electrical and area parameters (topmost
+/// first), the die area, the repeater area budget, and a precomputed
+/// (bunch x pair) table of wiring areas and repeater plans. All engines —
+/// the exact DP, the paper-faithful 4-D reference DP, the greedy baseline
+/// and the brute-force oracle — operate on this one structure, which is
+/// what makes their cross-validation meaningful.
+///
+/// Geometry and blockage conventions (paper Section 3 / 4.2 / 4.3):
+///  * wire area of a length-l wire on pair j is l * (W_j + S_j); the
+///    L-corner via is folded into this area;
+///  * a wire on pair j blocks via area in every pair strictly below j
+///    (vias_per_wire cuts of that pair's via size);
+///  * a repeater on pair j blocks one via cut in every pair strictly
+///    below j;
+///  * available area per pair is the pair's routing capacity
+///    (pair_capacity_factor x A_d; two layers per pair by default) minus
+///    that blockage.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/options.hpp"
+#include "src/delay/stack.hpp"
+#include "src/wld/wld.hpp"
+
+namespace iarank::core {
+
+/// One assignment unit: `count` wires of identical physical length.
+struct Bunch {
+  double length = 0.0;        ///< physical wire length [m]
+  std::int64_t count = 0;     ///< wires in this bunch
+  double target_delay = 0.0;  ///< d_i of each wire [s]
+};
+
+/// Per-layer-pair parameters needed by the assignment engines.
+struct PairInfo {
+  std::string name;        ///< e.g. "G1 (global)"
+  double pitch = 0.0;      ///< W_j + S_j [m]
+  double via_area = 0.0;   ///< v_a of this pair [m^2]
+  double s_opt = 0.0;      ///< optimal repeater size [min-inverter units]
+  double repeater_area = 0.0;  ///< silicon area of ONE repeater (s_opt x a_inv) [m^2]
+};
+
+/// Result of planning repeater insertion for one wire of a bunch on one
+/// pair (paper Section 4.1 incremental insertion, solved in closed form).
+struct DelayPlan {
+  bool feasible = false;        ///< can this wire meet its target here?
+  std::int64_t stages = 1;      ///< eta; repeaters per wire = stages - 1
+  double delay = 0.0;           ///< achieved delay [s]
+  double area_per_wire = 0.0;   ///< repeater area per wire [m^2]
+
+  [[nodiscard]] std::int64_t repeaters_per_wire() const { return stages - 1; }
+};
+
+/// Frozen rank-computation input. Build via `build_instance` (physical
+/// flow) or `Instance::from_raw` (hand-crafted scenarios, e.g. the
+/// Figure 2 counterexample and unit tests).
+class Instance {
+ public:
+  /// Raw constructor: bunches must be sorted by non-increasing length,
+  /// pairs ordered top to bottom. `plans[b][j]` gives the delay plan of
+  /// bunch b on pair j. Throws util::Error on inconsistent shapes.
+  [[nodiscard]] static Instance from_raw(std::vector<Bunch> bunches,
+                                         std::vector<PairInfo> pairs,
+                                         std::vector<std::vector<DelayPlan>> plans,
+                                         double pair_capacity,
+                                         double repeater_budget,
+                                         tech::ViaSpec vias);
+
+  // --- Shape ----------------------------------------------------------------
+  [[nodiscard]] std::size_t bunch_count() const { return bunches_.size(); }
+  [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
+  [[nodiscard]] const std::vector<Bunch>& bunches() const { return bunches_; }
+  [[nodiscard]] const std::vector<PairInfo>& pairs() const { return pairs_; }
+  [[nodiscard]] const Bunch& bunch(std::size_t b) const { return bunches_[b]; }
+  [[nodiscard]] const PairInfo& pair(std::size_t j) const { return pairs_[j]; }
+
+  // --- Globals ----------------------------------------------------------------
+  [[nodiscard]] double pair_capacity() const { return pair_capacity_; }
+  [[nodiscard]] double repeater_budget() const { return repeater_budget_; }
+  [[nodiscard]] const tech::ViaSpec& vias() const { return vias_; }
+  [[nodiscard]] std::int64_t total_wires() const { return total_wires_; }
+
+  /// Wires in bunches [0, b) — the number of wires strictly above the
+  /// first wire of bunch b in rank order.
+  [[nodiscard]] std::int64_t wires_before(std::size_t b) const;
+
+  // --- Per (bunch, pair) quantities ---------------------------------------------
+  /// Wiring area of `wires` wires of bunch b on pair j.
+  [[nodiscard]] double wire_area(std::size_t b, std::size_t j,
+                                 std::int64_t wires) const;
+
+  /// Delay/repeater plan of one wire of bunch b on pair j.
+  [[nodiscard]] const DelayPlan& plan(std::size_t b, std::size_t j) const;
+
+  /// Via blockage charged against pair j when `wires_above` wires and
+  /// `repeaters_above` repeaters live on pairs 0..j-1.
+  [[nodiscard]] double blockage(std::size_t j, double wires_above,
+                                double repeaters_above) const;
+
+  /// Max wires of bunch b, starting at `offset` wires already consumed,
+  /// that fit in pair j given `area_used` wiring area already in the pair
+  /// and the blockage arguments. Used by the packing engines.
+  [[nodiscard]] std::int64_t max_fit(std::size_t b, std::size_t j,
+                                     std::int64_t offset, double area_used,
+                                     double wires_above,
+                                     double repeaters_above) const;
+
+ private:
+  Instance() = default;
+
+  std::vector<Bunch> bunches_;
+  std::vector<PairInfo> pairs_;
+  std::vector<std::vector<DelayPlan>> plans_;  ///< [bunch][pair]
+  std::vector<std::int64_t> wires_before_;     ///< prefix sums, size B+1
+  double pair_capacity_ = 0.0;
+  double repeater_budget_ = 0.0;
+  tech::ViaSpec vias_;
+  std::int64_t total_wires_ = 0;
+};
+
+/// Builds the physical instance: scales the (gate-pitch) WLD to metres via
+/// the die model, derives per-pair electricals, computes target delays and
+/// the (bunch x pair) plan table, applies binning and bunching.
+/// Throws util::Error on invalid inputs.
+[[nodiscard]] Instance build_instance(const DesignSpec& design,
+                                      const RankOptions& options,
+                                      const wld::Wld& wld_in_pitches);
+
+}  // namespace iarank::core

@@ -1,0 +1,87 @@
+#include "src/core/optimizer.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+/// True when `a` beats `b` under (rank desc, total pairs asc, globals asc).
+bool better(const ArchCandidate& a, const ArchCandidate& b) {
+  if (a.result.rank != b.result.rank) return a.result.rank > b.result.rank;
+  if (a.spec.total_pairs() != b.spec.total_pairs()) {
+    return a.spec.total_pairs() < b.spec.total_pairs();
+  }
+  return a.spec.global_pairs < b.spec.global_pairs;
+}
+
+}  // namespace
+
+OptimizerResult optimize_architecture(const tech::TechNode& node,
+                                      std::int64_t gate_count,
+                                      const RankOptions& options,
+                                      const wld::Wld& wld_in_pitches,
+                                      const OptimizerOptions& search) {
+  OptimizerResult out;
+  bool have_best = false;
+
+  for (const double ild : search.ild_height_factors) {
+    for (int g = 0; g <= search.max_global_pairs; ++g) {
+      for (int s = 0; s <= search.max_semi_global_pairs; ++s) {
+        for (int l = 1; l <= search.max_local_pairs; ++l) {
+          const int total = g + s + l;
+          if (total < search.min_total_pairs || total > search.max_total_pairs) {
+            continue;
+          }
+          DesignSpec design;
+          design.node = node;
+          design.arch = {g, s, l, ild};
+          design.gate_count = gate_count;
+          ArchCandidate cand;
+          cand.spec = design.arch;
+          cand.result = compute_rank(design, options, wld_in_pitches);
+          if (!have_best || better(cand, out.best)) {
+            out.best = cand;
+            have_best = true;
+          }
+          out.evaluated.push_back(std::move(cand));
+        }
+      }
+    }
+  }
+  iarank::util::require(have_best, "optimize_architecture: empty search grid");
+  return out;
+}
+
+MinPairsResult min_pairs_for_rank(const tech::TechNode& node,
+                                  std::int64_t gate_count,
+                                  const RankOptions& options,
+                                  const wld::Wld& wld_in_pitches,
+                                  double target_normalized,
+                                  const OptimizerOptions& search) {
+  iarank::util::require(target_normalized >= 0.0 && target_normalized <= 1.0,
+                        "min_pairs_for_rank: target must be in [0, 1]");
+  MinPairsResult out;
+  for (int total = search.min_total_pairs; total <= search.max_total_pairs;
+       ++total) {
+    OptimizerOptions level = search;
+    level.min_total_pairs = total;
+    level.max_total_pairs = total;
+    OptimizerResult best_at_level;
+    try {
+      best_at_level = optimize_architecture(node, gate_count, options,
+                                            wld_in_pitches, level);
+    } catch (const iarank::util::Error&) {
+      continue;  // no valid allocation at this pair count
+    }
+    if (best_at_level.best.result.normalized >= target_normalized) {
+      out.achievable = true;
+      out.spec = best_at_level.best.spec;
+      out.result = best_at_level.best.result;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace iarank::core

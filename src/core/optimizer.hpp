@@ -1,0 +1,65 @@
+/// \file optimizer.hpp
+/// \brief Rank-driven interconnect architecture optimization.
+///
+/// The paper's Section 6 names "direct optimization of interconnect
+/// architectures according to our proposed metric" as future work; this
+/// module implements it as exhaustive search over layer-pair allocations
+/// (how many global / semi-global / local pairs to build) and, optionally,
+/// over the ILD aspect factor. The objective is the rank; ties prefer
+/// fewer total pairs (cheaper BEOL), then fewer global pairs.
+
+#pragma once
+
+#include <vector>
+
+#include "src/core/engine.hpp"
+
+namespace iarank::core {
+
+/// Search-space bounds.
+struct OptimizerOptions {
+  int min_total_pairs = 2;
+  int max_total_pairs = 6;
+  int max_global_pairs = 3;
+  int max_semi_global_pairs = 4;
+  int max_local_pairs = 3;
+  /// ILD height factors to try (1.0 only by default).
+  std::vector<double> ild_height_factors = {1.0};
+};
+
+/// One evaluated architecture.
+struct ArchCandidate {
+  tech::ArchitectureSpec spec;
+  RankResult result;
+};
+
+/// Search outcome: every evaluated candidate plus the winner.
+struct OptimizerResult {
+  std::vector<ArchCandidate> evaluated;
+  ArchCandidate best;
+};
+
+/// Exhaustively evaluates the allocation grid and returns the best
+/// architecture under the rank metric. Throws util::Error when the grid
+/// is empty.
+[[nodiscard]] OptimizerResult optimize_architecture(
+    const tech::TechNode& node, std::int64_t gate_count,
+    const RankOptions& options, const wld::Wld& wld_in_pitches,
+    const OptimizerOptions& search = {});
+
+/// Minimum-layer-count search (after Venkatesan et al., the paper's
+/// reference [13]): the smallest layer-pair stack whose rank reaches
+/// `target_normalized`, scanning total pair counts ascending within the
+/// same bounds.
+struct MinPairsResult {
+  bool achievable = false;   ///< false when no stack in bounds reaches it
+  tech::ArchitectureSpec spec;
+  RankResult result;
+};
+
+[[nodiscard]] MinPairsResult min_pairs_for_rank(
+    const tech::TechNode& node, std::int64_t gate_count,
+    const RankOptions& options, const wld::Wld& wld_in_pitches,
+    double target_normalized, const OptimizerOptions& search = {});
+
+}  // namespace iarank::core

@@ -1,0 +1,39 @@
+#include "src/core/options.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+void DesignSpec::validate() const {
+  node.validate();
+  arch.validate();
+  iarank::util::require(gate_count > 0, "DesignSpec: gate_count must be > 0");
+}
+
+void RankOptions::validate() const {
+  iarank::util::require(ild_permittivity >= 1.0,
+                        "RankOptions: ild_permittivity must be >= 1");
+  iarank::util::require(miller_factor >= 0.0,
+                        "RankOptions: miller_factor must be >= 0");
+  iarank::util::require(clock_frequency > 0.0,
+                        "RankOptions: clock_frequency must be > 0");
+  iarank::util::require(repeater_fraction >= 0.0 && repeater_fraction < 1.0,
+                        "RankOptions: repeater_fraction must be in [0, 1)");
+  switching.validate();
+  vias.validate();
+  if (max_stages) {
+    iarank::util::require(*max_stages >= 1,
+                          "RankOptions: max_stages must be >= 1");
+  }
+  iarank::util::require(max_noise_ratio >= 0.0 && max_noise_ratio <= 1.0,
+                        "RankOptions: max_noise_ratio must be in [0, 1]");
+  iarank::util::require(min_repeater_spacing >= 0.0,
+                        "RankOptions: min_repeater_spacing must be >= 0");
+  iarank::util::require(pair_capacity_factor > 0.0,
+                        "RankOptions: pair_capacity_factor must be > 0");
+  iarank::util::require(bunch_size >= 1, "RankOptions: bunch_size must be >= 1");
+  iarank::util::require(bin_window >= 0.0,
+                        "RankOptions: bin_window must be >= 0");
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,96 @@
+/// \file options.hpp
+/// \brief User-facing knobs of a rank computation.
+///
+/// The four headline parameters of the paper's Table 4 sweep — ILD
+/// permittivity K, Miller coupling factor M, target clock frequency C and
+/// repeater area fraction R — live here, next to the modelling options
+/// (capacitance model, target-delay model, via accounting, coarsening).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/delay/model.hpp"
+#include "src/delay/target.hpp"
+#include "src/tech/architecture.hpp"
+#include "src/tech/node.hpp"
+#include "src/tech/rc.hpp"
+#include "src/tech/via.hpp"
+#include "src/util/units.hpp"
+
+namespace iarank::core {
+
+/// The design under evaluation: node + layer stack + size.
+struct DesignSpec {
+  tech::TechNode node;                ///< process node (Table 3)
+  tech::ArchitectureSpec arch;        ///< layer-pair stack (Table 2 baseline)
+  std::int64_t gate_count = 1000000;  ///< N (paper: 1M / 4M / 10M)
+
+  /// Throws util::Error via member validators.
+  void validate() const;
+};
+
+/// All tunable parameters of one rank evaluation. Defaults reproduce the
+/// paper's Table 2 baseline for the 130 nm / 1M gate design.
+struct RankOptions {
+  // --- Table 4 sweep parameters -------------------------------------------
+  double ild_permittivity = 3.9;  ///< K
+  double miller_factor = 2.0;     ///< M
+  double clock_frequency = 500.0 * util::units::MHz;  ///< C (f_c)
+  double repeater_fraction = 0.4;                     ///< R (of die area)
+
+  // --- Modelling choices -----------------------------------------------------
+  tech::CapacitanceModel cap_model = tech::CapacitanceModel::kSakuraiTamaru;
+  delay::TargetModel target_model = delay::TargetModel::kLinear;
+  delay::SwitchingConstants switching;  ///< a = 0.4, b = 0.7
+  tech::ViaSpec vias;                   ///< via blockage accounting
+
+  /// Optional global cap on stages per wire; nullopt lets insertion run to
+  /// the delay-optimal stage count.
+  std::optional<std::int64_t> max_stages = std::nullopt;
+
+  /// Minimum spacing between consecutive repeaters [m]. Caps a length-l
+  /// wire at floor(l / spacing) stages — the paper's Section 4.1 stopping
+  /// rule "repeaters cannot be placed at appropriate intervals". 0
+  /// disables the constraint. This is what makes high target clocks
+  /// unattainable for short wires (the paper's Table 4 C-column plateaus).
+  double min_repeater_spacing = 0.0;
+
+  /// Paper footnote 3 extension: when true, the *driver* of each
+  /// delay-met wire is also charged against the repeater area budget
+  /// (stage count eta instead of eta - 1 cells of size s_opt,j) —
+  /// reconciling implied driver sizing with the gate-area budget, which
+  /// the paper explicitly leaves to future work. Drivers sit at the
+  /// source gate, so via accounting is unchanged.
+  bool charge_drivers = false;
+
+  /// Crosstalk budget: layer-pairs whose charge-sharing noise ratio
+  /// (tech::coupling_noise_ratio) exceeds this cannot carry delay-met
+  /// wires — they may still hold non-critical wires in the packing
+  /// phase. 1.0 disables the constraint (the paper's behaviour).
+  double max_noise_ratio = 1.0;
+
+  /// Routing capacity of one layer-pair, as a multiple of the die area.
+  /// A pair has two orthogonal routing layers, so the physical capacity
+  /// is 2 x A_d (an L-shaped wire's two segments land one per layer);
+  /// vias are charged against both layers symmetrically. Set to 1.0 for
+  /// the paper's literal B_j = A_d accounting (which corresponds to 50%
+  /// per-layer utilization).
+  double pair_capacity_factor = 2.0;
+
+  // --- Coarsening (paper Section 5.1 / footnote 7) ---------------------------
+  std::int64_t bunch_size = 10000;  ///< max wires per assignment unit
+  double bin_window = 0.0;          ///< binning window [pitches]; 0 = off
+
+  /// When true, after the DP finds the optimal bunch-granular prefix, try
+  /// to extend the prefix into the first failing bunch wire-by-wire with
+  /// the leftover repeater area (reduces the bunching error; extension
+  /// beyond the paper).
+  bool refine_boundary = true;
+
+  /// Throws util::Error for out-of-range values.
+  void validate() const;
+};
+
+}  // namespace iarank::core

@@ -1,0 +1,53 @@
+/// \file paper_algorithms.hpp
+/// \brief Literal, step-by-step implementations of the paper's Algorithm 4
+///        (wire_assign, the M' oracle) and Algorithm 5 (greedy_assign, the
+///        M'' oracle), kept as close to the printed pseudocode as C++
+///        allows — one loop per pseudocode line, the paper's variable
+///        names in comments.
+///
+/// The production engines use vectorized/closed-form equivalents
+/// (core/dp_rank computes chunk costs from the precomputed plan table;
+/// core/free_pack packs with per-bunch arithmetic). This module exists to
+/// demonstrate the paper's procedures as printed and to cross-validate
+/// the production code against them: tests assert that, on the shared
+/// Instance representation, the literal procedures and the production
+/// ones agree.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/instance.hpp"
+
+namespace iarank::core {
+
+/// Result of the literal Algorithm 4.
+struct WireAssignResult {
+  bool feasible = false;       ///< the paper's boolean M'(.)
+  double repeater_area = 0.0;  ///< r_2: repeater area actually used
+  std::int64_t repeaters = 0;  ///< repeater count inserted in this pair
+  double wire_area = 0.0;      ///< wiring area consumed in this pair
+};
+
+/// Algorithm 4 (wire_assign): assign wires (bunches) i1'..i1'+i2'-1 to
+/// layer-pair j meeting delay within repeater area r3, then wires
+/// i1'+i2'..i-1 to the same pair ignoring delay. `z_r1` is the repeater
+/// count already used above (drives A_{u,j-1}); the paper's B_j
+/// initialization (step 1) is the pair capacity minus via blockage.
+/// Wire-at-a-time, repeater-increment-at-a-time, as printed.
+[[nodiscard]] WireAssignResult paper_wire_assign(const Instance& inst,
+                                                 std::size_t i1_prime,
+                                                 std::size_t i2_prime,
+                                                 std::size_t i_total,
+                                                 std::size_t j, double r3,
+                                                 double z_r1);
+
+/// Algorithm 5 (greedy_assign): assign bunches i..n-1 to layer-pairs
+/// j+1..m-1 bottom-up ignoring delay, with via blockage from the z
+/// repeaters and the wires above (steps 1-2 of the pseudocode). Returns
+/// the paper's boolean M''(.). Whole-bunch granularity, exactly as the
+/// printed wire-at-a-time loop.
+[[nodiscard]] bool paper_greedy_assign(const Instance& inst, std::size_t i,
+                                       std::size_t j_plus_1, double z_total);
+
+}  // namespace iarank::core

@@ -1,0 +1,56 @@
+#include "src/core/paper_setup.hpp"
+
+#include <cmath>
+
+#include "src/tech/die.hpp"
+#include "src/tech/node.hpp"
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+PaperRegime scaled_regime(std::int64_t gate_count) {
+  iarank::util::require(gate_count > 0, "scaled_regime: gate_count must be > 0");
+  const double n_ratio = 1e6 / static_cast<double>(gate_count);
+  PaperRegime regime;
+  regime.die_scale *= std::sqrt(n_ratio);
+  regime.repeater_cell_f2 *= n_ratio;
+  regime.capacity_factor /= n_ratio;
+  return regime;
+}
+
+PaperSetup paper_baseline(const std::string& node_name, std::int64_t gate_count,
+                          const PaperRegime& regime) {
+  iarank::util::require(regime.die_scale > 0.0 &&
+                            regime.device_ideality > 0.0 &&
+                            regime.repeater_cell_f2 > 0.0 &&
+                            regime.min_spacing_pitches >= 0.0 &&
+                            regime.capacity_factor > 0.0,
+                        "paper_baseline: invalid regime parameters");
+
+  PaperSetup setup;
+  setup.design.node = tech::node_by_name(node_name);
+  setup.design.arch = tech::ArchitectureSpec{};  // Table 2: 1G + 2S + 1L
+  setup.design.gate_count = gate_count;
+
+  tech::TechNode& node = setup.design.node;
+  node.gate_pitch_factor *= regime.die_scale;
+  node.device.r_o *= regime.device_ideality;
+  node.device.c_o *= regime.device_ideality;
+  node.device.c_p *= regime.device_ideality;
+  node.device.min_inv_area =
+      regime.repeater_cell_f2 * node.feature_size * node.feature_size;
+
+  RankOptions& opt = setup.options;  // Table 2 defaults otherwise
+  opt.target_model = delay::TargetModel::kQuadratic;
+  opt.cap_model = tech::CapacitanceModel::kParallelPlate;
+  opt.pair_capacity_factor = regime.capacity_factor;
+
+  // Fix the repeater interval in metres at the baseline R = 0.4 die.
+  const tech::DieModel die(
+      {gate_count, node.gate_pitch(), opt.repeater_fraction});
+  opt.min_repeater_spacing =
+      regime.min_spacing_pitches * die.effective_gate_pitch();
+  return setup;
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,67 @@
+/// \file rank_result.hpp
+/// \brief Result of a rank computation, with an optional assignment trace.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iarank::core {
+
+/// Per-layer-pair utilization in the winning assignment (the textual
+/// equivalent of the paper's Figure 1).
+struct PairUsage {
+  std::string pair_name;
+  std::int64_t wires_meeting_delay = 0;  ///< delay-met wires on this pair
+  std::int64_t wires_total = 0;          ///< all wires on this pair
+  double wire_area = 0.0;                ///< wiring area consumed [m^2]
+  double via_blockage = 0.0;             ///< blockage charged [m^2]
+  std::int64_t repeaters = 0;            ///< repeaters driving this pair's wires
+  double repeater_area = 0.0;            ///< their silicon area [m^2]
+};
+
+/// One row of the assignment certificate: `wires` wires of bunch `bunch`
+/// placed on layer-pair `pair`, `meeting_delay` of them buffered to meet
+/// their target. A bunch may appear in several rows (splitting).
+struct BunchPlacement {
+  std::size_t bunch = 0;
+  std::size_t pair = 0;
+  std::int64_t wires = 0;
+  std::int64_t meeting_delay = 0;
+};
+
+/// Outcome of one rank evaluation.
+struct RankResult {
+  /// r(alpha): number of longest wires meeting their target delay in the
+  /// best feasible assignment; 0 when the WLD cannot be assigned at all
+  /// (paper Definition 3).
+  std::int64_t rank = 0;
+
+  /// rank / total wires (the paper's Table 4 reports this).
+  double normalized = 0.0;
+
+  /// False iff even delay-free assignment is infeasible (Definition 3).
+  bool all_assigned = false;
+
+  /// Bunches fully inside the delay-met prefix (coarsening granularity).
+  std::int64_t prefix_bunches = 0;
+
+  /// Wires added to the prefix by the boundary-refinement extension.
+  std::int64_t refined_wires = 0;
+
+  std::int64_t repeater_count = 0;     ///< repeaters used by the prefix
+  double repeater_area_used = 0.0;     ///< [m^2], <= budget
+  std::int64_t total_wires = 0;        ///< WLD size
+
+  /// Per-pair trace of the winning assignment (top pair first). Filled by
+  /// engines when trace reconstruction is requested.
+  std::vector<PairUsage> usage;
+
+  /// Full assignment certificate (bunch-by-bunch placements, bunch order).
+  /// Filled by dp_rank when the trace is built; core::verify_placements
+  /// re-checks it against the instance from first principles.
+  std::vector<BunchPlacement> placements;
+};
+
+}  // namespace iarank::core

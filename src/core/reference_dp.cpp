@@ -1,0 +1,203 @@
+#include "src/core/reference_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/free_pack.hpp"
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+class RefDp {
+ public:
+  RefDp(const Instance& inst, const ReferenceDpOptions& opt)
+      : inst_(inst), n_(inst.bunch_count()), m_(inst.pair_count()),
+        q_(opt.area_quanta) {
+    iarank::util::require(q_ >= 1, "reference_dp: area_quanta must be >= 1");
+    const double cells = static_cast<double>(n_ + 1) * static_cast<double>(m_) *
+                         static_cast<double>(q_ + 1) *
+                         static_cast<double>(n_ + 1);
+    iarank::util::require(cells < 5e7, "reference_dp: table too large");
+    quantum_ = inst_.repeater_budget() / static_cast<double>(q_);
+    table_.assign(static_cast<std::size_t>(cells), 0);
+  }
+
+  RankResult run();
+
+  /// Direct table access for tests: the paper's M[i, j, r, i'] with
+  /// 1-based j as in the paper (j layer-pairs used).
+  [[nodiscard]] bool cell(std::size_t i, std::size_t j, int r,
+                          std::size_t ip) const {
+    return table_[index(i, j, r, ip)] != 0;
+  }
+
+ private:
+  const Instance& inst_;
+  const std::size_t n_;
+  const std::size_t m_;
+  const int q_;
+  double quantum_ = 0.0;
+  std::vector<char> table_;
+
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j, int r,
+                                  std::size_t ip) const {
+    return ((i * m_ + (j - 1)) * static_cast<std::size_t>(q_ + 1) +
+            static_cast<std::size_t>(r)) *
+               (n_ + 1) +
+           ip;
+  }
+
+  void set_from(std::size_t i, std::size_t j, int r_min, std::size_t ip) {
+    for (int r = r_min; r <= q_; ++r) table_[index(i, j, r, ip)] = 1;
+  }
+
+  /// Eq. 5: repeater count approximated from area, using the repeater
+  /// size of the pair whose blockage is being computed.
+  [[nodiscard]] double z_of(int quanta, std::size_t pair) const {
+    const double rep_area = inst_.pair(pair).repeater_area;
+    if (rep_area <= 0.0) return 0.0;
+    return static_cast<double>(quanta) * quantum_ / rep_area;
+  }
+
+  /// Quanta needed (rounded up) for the exact repeater area `area`.
+  [[nodiscard]] int quanta_up(double area) const {
+    if (area <= 0.0) return 0;
+    if (quantum_ <= 0.0) return q_ + 1;  // no budget: any demand overflows
+    return static_cast<int>(std::ceil(area / quantum_ - kRelTol));
+  }
+
+  /// M' (wire_assign, Alg. 4): bunches [i1, ip) meet delay and bunches
+  /// [ip, i) are placed delay-free, all on pair `j`, with `z_above`
+  /// repeaters above. Returns the quanta consumed, or -1 if infeasible.
+  [[nodiscard]] int wire_assign(std::size_t i1, std::size_t ip, std::size_t i,
+                                std::size_t j, int quanta_avail,
+                                double z_above) const;
+
+  /// M'' (greedy_assign, Alg. 5): bunches [i, n) into pairs (j, m).
+  [[nodiscard]] bool suffix_ok(std::size_t i, std::size_t j,
+                               int quanta_used) const;
+};
+
+int RefDp::wire_assign(std::size_t i1, std::size_t ip, std::size_t i,
+                       std::size_t j, int quanta_avail, double z_above) const {
+  const double wires_above = static_cast<double>(inst_.wires_before(i1));
+  const double capacity =
+      inst_.pair_capacity() - inst_.blockage(j, wires_above, z_above);
+
+  double wire_area = 0.0;
+  double rep_area = 0.0;
+  for (std::size_t t = i1; t < ip; ++t) {
+    const DelayPlan& plan = inst_.plan(t, j);
+    if (!plan.feasible) return -1;
+    const std::int64_t count = inst_.bunch(t).count;
+    wire_area += inst_.wire_area(t, j, count);
+    rep_area += static_cast<double>(count) * plan.area_per_wire;
+  }
+  for (std::size_t t = ip; t < i; ++t) {
+    wire_area += inst_.wire_area(t, j, inst_.bunch(t).count);
+  }
+  if (wire_area > capacity + inst_.pair_capacity() * kRelTol) return -1;
+  const int quanta = quanta_up(rep_area);
+  if (quanta > quanta_avail) return -1;
+  return quanta;
+}
+
+bool RefDp::suffix_ok(std::size_t i, std::size_t j, int quanta_used) const {
+  FreePackInput in;
+  in.first_pair = j + 1;
+  in.first_bunch = i;
+  if (j + 1 < m_) {
+    in.wires_above_first = static_cast<double>(inst_.wires_before(i));
+    in.repeaters_above_first = z_of(quanta_used, j + 1);
+    in.repeaters_total = in.repeaters_above_first;
+  }
+  return free_pack_feasible(inst_, in);
+}
+
+RankResult RefDp::run() {
+  // min_quanta[i]: cheapest quanta putting bunches [0, i) all-delay-met on
+  // the pairs processed so far (the diagonal states the recurrence reads).
+  constexpr int kInf = 1 << 28;
+  std::vector<int> min_quanta(n_ + 1, kInf);
+
+  // --- Initialize_M (Alg. 2): pair 0, i.e. the paper's j = 1. ----------------
+  std::vector<int> next_min(n_ + 1, kInf);
+  for (std::size_t i = 0; i <= n_; ++i) {
+    for (std::size_t ip = 0; ip <= i; ++ip) {
+      const int quanta = wire_assign(0, ip, i, 0, q_, 0.0);
+      if (quanta < 0) continue;
+      if (!suffix_ok(i, 0, quanta)) continue;
+      set_from(i, 1, quanta, ip);
+      if (ip == i) next_min[i] = std::min(next_min[i], quanta);
+    }
+  }
+  min_quanta = next_min;
+
+  // --- update_M (Alg. 3): pairs 1..m-1 (paper j+1 = 2..m). -------------------
+  for (std::size_t j = 1; j < m_; ++j) {
+    next_min.assign(n_ + 1, kInf);
+    for (std::size_t i1 = 0; i1 <= n_; ++i1) {
+      const int q1 = min_quanta[i1];
+      if (q1 > q_) continue;
+      const double z_above = z_of(q1, j);
+      for (std::size_t ip = i1; ip <= n_; ++ip) {
+        for (std::size_t i = ip; i <= n_; ++i) {
+          const int q2 = wire_assign(i1, ip, i, j, q_ - q1, z_above);
+          if (q2 < 0) continue;
+          if (!suffix_ok(i, j, q1 + q2)) continue;
+          set_from(i, j + 1, q1 + q2, ip);
+          if (ip == i) next_min[i] = std::min(next_min[i], q1 + q2);
+        }
+      }
+    }
+    // A diagonal state can also persist without using the new pair.
+    for (std::size_t i = 0; i <= n_; ++i) {
+      next_min[i] = std::min(next_min[i], min_quanta[i]);
+    }
+    min_quanta = next_min;
+  }
+
+  // --- Rank query (Alg. 1): max i' over all true cells. ------------------------
+  RankResult res;
+  res.total_wires = inst_.total_wires();
+  std::int64_t best_ip = -1;
+  for (std::size_t j = m_; j >= 1; --j) {
+    for (std::size_t i = n_ + 1; i-- > 0;) {
+      for (std::size_t ip = i + 1; ip-- > 0;) {
+        if (cell(i, j, q_, ip)) {
+          best_ip = std::max(best_ip, static_cast<std::int64_t>(ip));
+          break;
+        }
+      }
+    }
+    if (j == 1) break;
+  }
+  if (best_ip < 0) {
+    res.rank = 0;
+    res.all_assigned = false;
+    return res;
+  }
+  res.all_assigned = true;
+  res.prefix_bunches = best_ip;
+  res.rank = inst_.wires_before(static_cast<std::size_t>(best_ip));
+  res.normalized = res.total_wires > 0
+                       ? static_cast<double>(res.rank) /
+                             static_cast<double>(res.total_wires)
+                       : 0.0;
+  return res;
+}
+
+}  // namespace
+
+RankResult reference_dp_rank(const Instance& inst,
+                             const ReferenceDpOptions& options) {
+  RefDp dp(inst, options);
+  return dp.run();
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,43 @@
+/// \file reference_dp.hpp
+/// \brief Paper-faithful 4-D boolean dynamic program (Algorithms 1-3).
+///
+/// Materializes the paper's table M[i, j, r, i']: i bunches assigned to
+/// the top j layer-pairs, i' of them (a prefix) meeting delay using at
+/// most r units of repeater area, with the remaining bunches packable into
+/// the remaining pairs ignoring delay (checked by greedy_assign / M'').
+/// Repeater area is discretized into `area_quanta` equal units of the
+/// budget, with per-chunk areas rounded UP (conservative), and repeater
+/// counts are derived from area through the paper's Eq. 5 approximation
+/// z_r = r / s_j using the receiving pair's repeater size.
+///
+/// Two documented repairs of gaps in the printed pseudocode:
+///  * Initialize_M (Alg. 2) only sets diagonal entries (all assigned wires
+///    meet delay); we also set i' < i entries so a prefix may break on the
+///    topmost pair.
+///  * Eq. 3's l^2/eta^2 term is used as l^2/eta (see delay/model.hpp).
+///
+/// Complexity is the paper's O(m n^4 A_R^3) shape — use only on small
+/// instances. The production dp_rank() is the exact, fast engine; this
+/// one exists to validate the paper's own formulation against the
+/// brute-force oracle and the production DP.
+
+#pragma once
+
+#include "src/core/instance.hpp"
+#include "src/core/rank_result.hpp"
+
+namespace iarank::core {
+
+/// Discretization control for the reference DP.
+struct ReferenceDpOptions {
+  int area_quanta = 64;  ///< number of repeater-area units (paper's A_R)
+};
+
+/// Runs Algorithms 1-3 on the instance. Because area quantization rounds
+/// up, the result is a lower bound on the exact rank, converging to it as
+/// area_quanta grows. Throws util::Error when the table would exceed
+/// ~5e7 cells.
+[[nodiscard]] RankResult reference_dp_rank(const Instance& inst,
+                                           const ReferenceDpOptions& options = {});
+
+}  // namespace iarank::core

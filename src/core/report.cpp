@@ -1,0 +1,60 @@
+#include "src/core/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+void write_result_csv(std::ostream& os, const RankResult& result) {
+  os << "key,value\n";
+  os << "rank," << result.rank << "\n";
+  os << "normalized," << result.normalized << "\n";
+  os << "total_wires," << result.total_wires << "\n";
+  os << "all_assigned," << (result.all_assigned ? 1 : 0) << "\n";
+  os << "prefix_bunches," << result.prefix_bunches << "\n";
+  os << "refined_wires," << result.refined_wires << "\n";
+  os << "repeater_count," << result.repeater_count << "\n";
+  os << "repeater_area_m2," << result.repeater_area_used << "\n";
+  if (!result.usage.empty()) {
+    os << "pair,wires_total,wires_meeting,repeaters,wire_area_m2,"
+          "blockage_m2\n";
+    for (const PairUsage& u : result.usage) {
+      os << u.pair_name << "," << u.wires_total << ","
+         << u.wires_meeting_delay << "," << u.repeaters << "," << u.wire_area
+         << "," << u.via_blockage << "\n";
+    }
+  }
+}
+
+void write_sweep_csv(std::ostream& os, const SweepResult& sweep) {
+  os << "# " << to_string(sweep.parameter) << "\n";
+  os << "value,normalized_rank,rank,repeaters\n";
+  for (const SweepPoint& p : sweep.points) {
+    os << p.value << "," << p.result.normalized << "," << p.result.rank << ","
+       << p.result.repeater_count << "\n";
+  }
+}
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  iarank::util::require(out.good(), "report: cannot open '" + path + "'");
+  return out;
+}
+
+}  // namespace
+
+void save_result_csv(const std::string& path, const RankResult& result) {
+  auto out = open_or_throw(path);
+  write_result_csv(out, result);
+}
+
+void save_sweep_csv(const std::string& path, const SweepResult& sweep) {
+  auto out = open_or_throw(path);
+  write_sweep_csv(out, sweep);
+}
+
+}  // namespace iarank::core

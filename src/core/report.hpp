@@ -1,0 +1,27 @@
+/// \file report.hpp
+/// \brief CSV export of rank results and sweeps — the bridge from bench
+///        output to plotting scripts and regression artefacts.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/rank_result.hpp"
+#include "src/core/sweep.hpp"
+
+namespace iarank::core {
+
+/// Writes one result as `key,value` rows (rank, normalized, repeaters,
+/// repeater_area, all_assigned, per-pair usage rows).
+void write_result_csv(std::ostream& os, const RankResult& result);
+
+/// Writes a sweep as `value,normalized_rank,rank,repeaters` rows with a
+/// header naming the swept parameter.
+void write_sweep_csv(std::ostream& os, const SweepResult& sweep);
+
+/// File variants; throw util::Error when the file cannot be opened.
+void save_result_csv(const std::string& path, const RankResult& result);
+void save_sweep_csv(const std::string& path, const SweepResult& sweep);
+
+}  // namespace iarank::core

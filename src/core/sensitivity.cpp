@@ -1,0 +1,66 @@
+#include "src/core/sensitivity.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+double parameter_value(const RankOptions& options, SweepParameter p) {
+  switch (p) {
+    case SweepParameter::kIldPermittivity:
+      return options.ild_permittivity;
+    case SweepParameter::kMillerFactor:
+      return options.miller_factor;
+    case SweepParameter::kClockFrequency:
+      return options.clock_frequency;
+    case SweepParameter::kRepeaterFraction:
+      return options.repeater_fraction;
+  }
+  throw iarank::util::Error("rank_sensitivities: unknown parameter");
+}
+
+}  // namespace
+
+std::vector<Sensitivity> rank_sensitivities(const DesignSpec& design,
+                                            const RankOptions& baseline,
+                                            const wld::Wld& wld_in_pitches,
+                                            double rel_step) {
+  iarank::util::require(rel_step > 0.0 && rel_step <= 0.5,
+                        "rank_sensitivities: rel_step must be in (0, 0.5]");
+  const RankResult base = compute_rank(design, baseline, wld_in_pitches);
+  iarank::util::require(base.rank > 0,
+                        "rank_sensitivities: baseline rank is zero");
+
+  std::vector<Sensitivity> out;
+  for (const SweepParameter p :
+       {SweepParameter::kIldPermittivity, SweepParameter::kMillerFactor,
+        SweepParameter::kClockFrequency, SweepParameter::kRepeaterFraction}) {
+    Sensitivity s;
+    s.parameter = p;
+    s.base_value = parameter_value(baseline, p);
+    s.base_normalized = base.normalized;
+    s.low_value = s.base_value * (1.0 - rel_step);
+    s.high_value = s.base_value * (1.0 + rel_step);
+
+    const auto sweep = sweep_parameter(design, baseline, wld_in_pitches, p,
+                                       {s.low_value, s.high_value});
+    s.low_normalized = sweep.points[0].result.normalized;
+    s.high_normalized = sweep.points[1].result.normalized;
+
+    if (s.low_normalized > 0.0 && s.high_normalized > 0.0) {
+      s.elasticity = std::log(s.high_normalized / s.low_normalized) /
+                     std::log(s.high_value / s.low_value);
+    } else {
+      // One side collapsed to rank 0: report a one-sided slope.
+      s.elasticity = (s.high_normalized - s.low_normalized) /
+                     (2.0 * rel_step * s.base_normalized);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace iarank::core

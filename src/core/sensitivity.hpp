@@ -1,0 +1,41 @@
+/// \file sensitivity.hpp
+/// \brief Rank elasticities: how strongly each knob moves the metric.
+///
+/// The paper's conclusion — "it is not possible to enable future MPU-class
+/// designs by material improvements alone; ... co-optimize across several
+/// material, process, and design characteristics" — is a statement about
+/// relative sensitivities. This module quantifies it: for each parameter,
+/// the elasticity (relative rank change per relative parameter change)
+/// around a baseline, using central differences over the exact DP.
+
+#pragma once
+
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/core/sweep.hpp"
+
+namespace iarank::core {
+
+/// Elasticity of one parameter at the baseline.
+struct Sensitivity {
+  SweepParameter parameter{};
+  double base_value = 0.0;
+  double low_value = 0.0;         ///< base * (1 - rel_step)
+  double high_value = 0.0;        ///< base * (1 + rel_step)
+  double base_normalized = 0.0;
+  double low_normalized = 0.0;
+  double high_normalized = 0.0;
+  /// d(ln rank)/d(ln parameter), central difference. Negative for
+  /// parameters whose increase hurts (K, M, C); positive for R.
+  double elasticity = 0.0;
+};
+
+/// Evaluates all four Table 4 parameters at +-rel_step around the given
+/// baseline. Throws util::Error when the baseline rank is zero (no
+/// meaningful elasticity). rel_step must be in (0, 0.5].
+[[nodiscard]] std::vector<Sensitivity> rank_sensitivities(
+    const DesignSpec& design, const RankOptions& baseline,
+    const wld::Wld& wld_in_pitches, double rel_step = 0.05);
+
+}  // namespace iarank::core

@@ -1,0 +1,145 @@
+#include "src/core/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace iarank::core {
+
+namespace units = iarank::util::units;
+
+std::string to_string(SweepParameter p) {
+  switch (p) {
+    case SweepParameter::kIldPermittivity:
+      return "K (ILD permittivity)";
+    case SweepParameter::kMillerFactor:
+      return "M (Miller coupling factor)";
+    case SweepParameter::kClockFrequency:
+      return "C (target clock frequency)";
+    case SweepParameter::kRepeaterFraction:
+      return "R (max repeater fraction)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+RankOptions with_value(const RankOptions& base, SweepParameter parameter,
+                       double v) {
+  RankOptions opt = base;
+  switch (parameter) {
+    case SweepParameter::kIldPermittivity:
+      opt.ild_permittivity = v;
+      break;
+    case SweepParameter::kMillerFactor:
+      opt.miller_factor = v;
+      break;
+    case SweepParameter::kClockFrequency:
+      opt.clock_frequency = v;
+      break;
+    case SweepParameter::kRepeaterFraction:
+      opt.repeater_fraction = v;
+      break;
+  }
+  return opt;
+}
+
+}  // namespace
+
+SweepResult sweep_parameter(const DesignSpec& design, const RankOptions& base,
+                            const wld::Wld& wld_in_pitches,
+                            SweepParameter parameter,
+                            const std::vector<double>& values,
+                            unsigned threads) {
+  iarank::util::require(threads >= 1, "sweep_parameter: threads must be >= 1");
+  SweepResult out;
+  out.parameter = parameter;
+  out.points.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.points[i].value = values[i];
+  }
+
+  if (threads == 1 || values.size() <= 1) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out.points[i].result = compute_rank(
+          design, with_value(base, parameter, values[i]), wld_in_pitches);
+    }
+    return out;
+  }
+
+  // Static interleaved partition: point i goes to worker i % threads.
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  std::vector<std::thread> workers;
+  const unsigned worker_count =
+      std::min<unsigned>(threads, static_cast<unsigned>(values.size()));
+  workers.reserve(worker_count);
+  for (unsigned w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&, w]() {
+      try {
+        for (std::size_t i = w; i < values.size(); i += worker_count) {
+          out.points[i].result = compute_rank(
+              design, with_value(base, parameter, values[i]), wld_in_pitches);
+        }
+      } catch (...) {
+        const std::scoped_lock lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  if (failure) std::rethrow_exception(failure);
+  return out;
+}
+
+namespace {
+
+std::vector<double> descending(double from, double to, double step) {
+  std::vector<double> values;
+  for (double v = from; v >= to - 1e-9; v -= step) values.push_back(v);
+  return values;
+}
+
+}  // namespace
+
+std::vector<double> table4_k_values() { return descending(3.9, 1.8, 0.1); }
+
+std::vector<double> table4_m_values() { return descending(2.0, 1.0, 0.05); }
+
+std::vector<double> table4_c_values() {
+  std::vector<double> values;
+  for (double f = 0.5; f <= 1.7 + 1e-9; f += 0.1) {
+    values.push_back(f * units::GHz);
+  }
+  return values;
+}
+
+std::vector<double> table4_r_values() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5};
+}
+
+double value_reaching_rank(const SweepResult& sweep,
+                           double target_normalized) {
+  // Points are ordered as swept (K and M descending, C and R ascending);
+  // find the first crossing of the target and interpolate linearly.
+  const auto& pts = sweep.points;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].result.normalized >= target_normalized) {
+      if (i == 0) return pts[0].value;
+      const double r0 = pts[i - 1].result.normalized;
+      const double r1 = pts[i].result.normalized;
+      if (r1 == r0) return pts[i].value;
+      const double t = (target_normalized - r0) / (r1 - r0);
+      return pts[i - 1].value + t * (pts[i].value - pts[i - 1].value);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,60 @@
+/// \file sweep.hpp
+/// \brief Parameter sweeps reproducing the paper's Table 4, and the
+///        K-vs-M equivalence analysis of Section 5.2.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+
+namespace iarank::core {
+
+/// Which RankOptions field a sweep varies.
+enum class SweepParameter {
+  kIldPermittivity,   ///< Table 4 column K
+  kMillerFactor,      ///< Table 4 column M
+  kClockFrequency,    ///< Table 4 column C [Hz]
+  kRepeaterFraction,  ///< Table 4 column R
+};
+
+[[nodiscard]] std::string to_string(SweepParameter p);
+
+/// One evaluated sweep point.
+struct SweepPoint {
+  double value = 0.0;  ///< the swept parameter's value
+  RankResult result;
+};
+
+/// A completed sweep.
+struct SweepResult {
+  SweepParameter parameter{};
+  std::vector<SweepPoint> points;
+};
+
+/// Evaluates `values` of `parameter`, all other options at `base`.
+/// The WLD is in gate pitches and shared across points. Points are
+/// independent; `threads` > 1 evaluates them concurrently (results are
+/// identical and ordered regardless of thread count).
+[[nodiscard]] SweepResult sweep_parameter(const DesignSpec& design,
+                                          const RankOptions& base,
+                                          const wld::Wld& wld_in_pitches,
+                                          SweepParameter parameter,
+                                          const std::vector<double>& values,
+                                          unsigned threads = 1);
+
+/// The exact value grids of the paper's Table 4 (130 nm, 1M gates).
+[[nodiscard]] std::vector<double> table4_k_values();  ///< 3.9 down to 1.8
+[[nodiscard]] std::vector<double> table4_m_values();  ///< 2.00 down to 1.00
+[[nodiscard]] std::vector<double> table4_c_values();  ///< 0.5 to 1.7 GHz
+[[nodiscard]] std::vector<double> table4_r_values();  ///< 0.1 to 0.5
+
+/// Smallest swept value whose normalized rank reaches `target` (linear
+/// interpolation between adjacent points). Used for the paper's headline:
+/// the K reduction and the M reduction that buy the same rank. Returns
+/// NaN when the target is never reached.
+[[nodiscard]] double value_reaching_rank(const SweepResult& sweep,
+                                         double target_normalized);
+
+}  // namespace iarank::core

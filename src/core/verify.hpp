@@ -1,0 +1,41 @@
+/// \file verify.hpp
+/// \brief Independent certificate checker for rank results.
+///
+/// dp_rank emits a full assignment certificate (RankResult::placements);
+/// this module re-validates it against the Instance from first principles,
+/// without sharing any code with the DP:
+///
+///  * every wire placed exactly once;
+///  * order constraint: longer bunches never sit below shorter ones
+///    (paper Section 3, assumption 3);
+///  * prefix property: the delay-met wires are exactly the `rank` longest
+///    (Definitions 1-2), each on a pair whose plan is feasible;
+///  * repeater budget respected (Definition 2's area budget);
+///  * per-pair wiring area + via blockage within the routing capacity.
+///
+/// On instances too large for the brute-force oracle, this is the
+/// independent evidence that a reported rank is *achieved* by a concrete
+/// legal embedding (it certifies feasibility; optimality is the DP's and
+/// the oracle tests' job).
+
+#pragma once
+
+#include <string>
+
+#include "src/core/instance.hpp"
+#include "src/core/rank_result.hpp"
+
+namespace iarank::core {
+
+/// Verdict of the checker: ok == true, or the first violated invariant.
+struct VerifyOutcome {
+  bool ok = false;
+  std::string failure;  ///< human-readable reason when !ok
+};
+
+/// Checks `result.placements` (and the headline fields it implies)
+/// against `inst`. A result without placements fails with a clear reason.
+[[nodiscard]] VerifyOutcome verify_placements(const Instance& inst,
+                                              const RankResult& result);
+
+}  // namespace iarank::core

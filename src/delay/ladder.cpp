@@ -1,0 +1,127 @@
+#include "src/delay/ladder.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace iarank::delay {
+
+void LadderSpec::validate() const {
+  iarank::util::require(driver_resistance > 0.0,
+                        "LadderSpec: driver_resistance must be > 0");
+  iarank::util::require(driver_parasitic >= 0.0,
+                        "LadderSpec: driver_parasitic must be >= 0");
+  iarank::util::require(load_capacitance >= 0.0,
+                        "LadderSpec: load_capacitance must be >= 0");
+  iarank::util::require(resistance_per_m > 0.0 && capacitance_per_m > 0.0,
+                        "LadderSpec: line RC must be > 0");
+  iarank::util::require(length > 0.0, "LadderSpec: length must be > 0");
+  iarank::util::require(sections >= 1, "LadderSpec: sections must be >= 1");
+}
+
+RcLadder::RcLadder(const LadderSpec& spec) : spec_(spec) {
+  spec_.validate();
+  const auto n = static_cast<std::size_t>(spec_.sections);
+  const double r_sec =
+      spec_.resistance_per_m * spec_.length / static_cast<double>(n);
+  const double c_sec =
+      spec_.capacitance_per_m * spec_.length / static_cast<double>(n);
+
+  // Node 0 is the driver output (parasitic cap); nodes 1..n are section
+  // ends along the line; the load hangs on node n.
+  res_.resize(n + 1);
+  cap_.resize(n + 1);
+  res_[0] = spec_.driver_resistance;
+  cap_[0] = spec_.driver_parasitic;
+  for (std::size_t i = 1; i <= n; ++i) {
+    res_[i] = r_sec;
+    cap_[i] = c_sec;
+  }
+  cap_[n] += spec_.load_capacitance;
+}
+
+double RcLadder::elmore_delay() const {
+  // Chain topology: shared resistance of node i with the far end is the
+  // path resistance from the source to node i.
+  double delay = 0.0;
+  double path_resistance = 0.0;
+  for (std::size_t i = 0; i < res_.size(); ++i) {
+    path_resistance += res_[i];
+    delay += path_resistance * cap_[i];
+  }
+  return delay;
+}
+
+double RcLadder::transient_delay50() const {
+  const std::size_t n = res_.size();
+  const double elmore = elmore_delay();
+  const double dt = elmore / 400.0;
+  const std::size_t max_steps = 100000;
+
+  // Conductances: g[i] connects node i-1 (or the source for i = 0) to i.
+  std::vector<double> g(n);
+  for (std::size_t i = 0; i < n; ++i) g[i] = 1.0 / res_[i];
+
+  std::vector<double> v(n, 0.0);
+  std::vector<double> diag(n);
+  std::vector<double> lower(n, 0.0);
+  std::vector<double> upper(n, 0.0);
+  std::vector<double> rhs(n);
+  std::vector<double> scratch_c(n);
+  std::vector<double> scratch_d(n);
+
+  double prev_out = 0.0;
+  double t = 0.0;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    // Assemble (C/dt + G) v_new = C/dt v_old + source.
+    for (std::size_t i = 0; i < n; ++i) {
+      diag[i] = cap_[i] / dt + g[i] + (i + 1 < n ? g[i + 1] : 0.0);
+      if (i + 1 < n) upper[i] = -g[i + 1];
+      if (i > 0) lower[i] = -g[i];
+      rhs[i] = cap_[i] / dt * v[i];
+    }
+    rhs[0] += g[0];  // unit step through the driver resistance
+
+    // Thomas algorithm.
+    scratch_c[0] = upper[0] / diag[0];
+    scratch_d[0] = rhs[0] / diag[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      const double m = diag[i] - lower[i] * scratch_c[i - 1];
+      scratch_c[i] = (i + 1 < n) ? upper[i] / m : 0.0;
+      scratch_d[i] = (rhs[i] - lower[i] * scratch_d[i - 1]) / m;
+    }
+    v[n - 1] = scratch_d[n - 1];
+    for (std::size_t i = n - 1; i-- > 0;) {
+      v[i] = scratch_d[i] - scratch_c[i] * v[i + 1];
+    }
+
+    t += dt;
+    const double out = v[n - 1];
+    if (out >= 0.5) {
+      // Linear interpolation inside the crossing step.
+      const double frac = (0.5 - prev_out) / (out - prev_out);
+      return t - dt + frac * dt;
+    }
+    prev_out = out;
+  }
+  throw iarank::util::Error("RcLadder: 50% crossing not reached");
+}
+
+double simulate_repeated_wire(const WireDelayModel& model, double length,
+                              std::int64_t stages, double size, int sections) {
+  iarank::util::require(length > 0.0 && stages >= 1 && size > 0.0,
+                        "simulate_repeated_wire: invalid arguments");
+  LadderSpec spec;
+  spec.driver_resistance = model.driver().r_o / size;
+  spec.driver_parasitic = model.driver().c_p * size;
+  spec.load_capacitance = model.driver().c_o * size;
+  spec.resistance_per_m = model.line().resistance;
+  spec.capacitance_per_m = model.line().capacitance;
+  spec.length = length / static_cast<double>(stages);
+  spec.sections = sections;
+  const RcLadder ladder(spec);
+  return static_cast<double>(stages) * ladder.transient_delay50();
+}
+
+}  // namespace iarank::delay

@@ -1,0 +1,133 @@
+#include "src/delay/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace iarank::delay {
+
+void SwitchingConstants::validate() const {
+  iarank::util::require(a > 0.0 && b > 0.0,
+                        "SwitchingConstants: a and b must be > 0");
+}
+
+void LineParams::validate() const {
+  iarank::util::require(resistance > 0.0, "LineParams: resistance must be > 0");
+  iarank::util::require(capacitance > 0.0,
+                        "LineParams: capacitance must be > 0");
+}
+
+void DriverParams::validate() const {
+  iarank::util::require(r_o > 0.0, "DriverParams: r_o must be > 0");
+  iarank::util::require(c_o > 0.0, "DriverParams: c_o must be > 0");
+  iarank::util::require(c_p >= 0.0, "DriverParams: c_p must be >= 0");
+}
+
+WireDelayModel::WireDelayModel(LineParams line, DriverParams driver,
+                               SwitchingConstants sw)
+    : line_(line), driver_(driver), sw_(sw) {
+  line_.validate();
+  driver_.validate();
+  sw_.validate();
+  s_opt_ = std::sqrt(line_.capacitance * driver_.r_o /
+                     (driver_.c_o * line_.resistance));
+}
+
+double WireDelayModel::optimal_repeater_size() const { return s_opt_; }
+
+double WireDelayModel::coeff_a() const {
+  return sw_.b * driver_.r_o * (driver_.c_o + driver_.c_p);
+}
+
+double WireDelayModel::coeff_b(double size) const {
+  return sw_.b * (line_.capacitance * driver_.r_o / size +
+                  line_.resistance * driver_.c_o * size);
+}
+
+double WireDelayModel::coeff_c(double length) const {
+  return sw_.a * line_.resistance * line_.capacitance * length * length;
+}
+
+double WireDelayModel::delay(double length, std::int64_t stages,
+                             double size) const {
+  iarank::util::require(length >= 0.0, "WireDelayModel: length must be >= 0");
+  iarank::util::require(stages >= 1, "WireDelayModel: stages must be >= 1");
+  iarank::util::require(size > 0.0, "WireDelayModel: size must be > 0");
+  const double eta = static_cast<double>(stages);
+  return coeff_a() * eta + coeff_b(size) * length + coeff_c(length) / eta;
+}
+
+double WireDelayModel::delay_opt_size(double length,
+                                      std::int64_t stages) const {
+  return delay(length, stages, s_opt_);
+}
+
+std::int64_t WireDelayModel::optimal_stage_count(double length) const {
+  iarank::util::require(length >= 0.0, "WireDelayModel: length must be >= 0");
+  const double continuous = continuous_optimal_stages(length);
+  if (continuous <= 1.0) return 1;
+  // D(eta) = A eta + B l + C/eta is convex in eta: the best integer is
+  // floor or ceil of the continuous optimum.
+  const auto lo = static_cast<std::int64_t>(std::floor(continuous));
+  const auto hi = lo + 1;
+  return delay_opt_size(length, lo) <= delay_opt_size(length, hi) ? lo : hi;
+}
+
+double WireDelayModel::min_achievable_delay(double length) const {
+  return delay_opt_size(length, optimal_stage_count(length));
+}
+
+double WireDelayModel::continuous_optimal_stages(double length) const {
+  return length * std::sqrt(sw_.a * line_.resistance * line_.capacitance /
+                            (sw_.b * driver_.r_o *
+                             (driver_.c_o + driver_.c_p)));
+}
+
+std::optional<RepeaterSolution> WireDelayModel::stages_to_meet(
+    double length, double target,
+    std::optional<std::int64_t> max_stages) const {
+  iarank::util::require(length >= 0.0, "WireDelayModel: length must be >= 0");
+  iarank::util::require(target >= 0.0, "WireDelayModel: target must be >= 0");
+  if (max_stages) {
+    iarank::util::require(*max_stages >= 1,
+                          "WireDelayModel: max_stages must be >= 1");
+  }
+
+  // D(eta) <= target  <=>  A eta^2 - (target - B l) eta + C <= 0.
+  const double a = coeff_a();
+  const double slack = target - coeff_b(s_opt_) * length;
+  const double c = coeff_c(length);
+  if (slack <= 0.0) return std::nullopt;
+
+  const double disc = slack * slack - 4.0 * a * c;
+  if (disc < 0.0) return std::nullopt;  // even the continuous optimum misses
+
+  const double sqrt_disc = std::sqrt(disc);
+  const double eta_lo = (slack - sqrt_disc) / (2.0 * a);
+  const double eta_hi = (slack + sqrt_disc) / (2.0 * a);
+
+  std::int64_t stages =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(
+                                    eta_lo - 1e-12)));
+  const auto ceiling =
+      max_stages.value_or(std::numeric_limits<std::int64_t>::max());
+  if (stages > ceiling) return std::nullopt;
+  if (static_cast<double>(stages) > eta_hi + 1e-12) return std::nullopt;
+
+  RepeaterSolution sol;
+  sol.stages = stages;
+  sol.size = s_opt_;
+  sol.delay = delay_opt_size(length, stages);
+  // Guard against floating-point edge cases at the interval endpoints.
+  if (sol.delay > target * (1.0 + 1e-12)) {
+    if (stages + 1 > ceiling) return std::nullopt;
+    sol.stages = stages + 1;
+    sol.delay = delay_opt_size(length, sol.stages);
+    if (sol.delay > target * (1.0 + 1e-12)) return std::nullopt;
+  }
+  return sol;
+}
+
+}  // namespace iarank::delay

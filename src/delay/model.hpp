@@ -1,0 +1,114 @@
+/// \file model.hpp
+/// \brief Repeated-wire delay model (paper Eq. 2-4, after Otten-Brayton
+///        "Planning for Performance", DAC 1998).
+///
+/// A wire of length l driven through eta equal stages (eta - 1 repeaters,
+/// all of size s in min-inverter multiples) has delay
+///
+///   D(l, eta, s) = b r_o (c_o + c_p) eta
+///                + b (cbar r_o / s + rbar c_o s) l
+///                + a rbar cbar l^2 / eta
+///
+/// with switching constants a = 0.4, b = 0.7. This is the algebraically
+/// consistent form D = eta * tau(l/eta); the paper's Eq. 3 final line
+/// prints l^2/eta^2, which contradicts its own D = eta*tau derivation —
+/// see EXPERIMENTS.md. The delay-minimizing repeater size
+/// s_opt = sqrt(cbar r_o / (c_o rbar)) (paper Eq. 4) is independent of l
+/// and eta, so one repeater type per layer-pair suffices (paper Sec. 4.1).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace iarank::delay {
+
+/// Switching-model constants of the repeater (paper footnote 5).
+struct SwitchingConstants {
+  double a = 0.4;  ///< quadratic (distributed-RC) coefficient
+  double b = 0.7;  ///< linear (lumped) coefficient
+
+  /// Throws util::Error unless both are positive.
+  void validate() const;
+};
+
+/// Per-unit-length electrical parameters of the wire's layer-pair.
+struct LineParams {
+  double resistance = 0.0;   ///< rbar [ohm/m]
+  double capacitance = 0.0;  ///< cbar [F/m]
+
+  /// Throws util::Error unless both are positive.
+  void validate() const;
+};
+
+/// Min-inverter driver/repeater parameters (see tech::DeviceParams).
+struct DriverParams {
+  double r_o = 0.0;  ///< output resistance [ohm]
+  double c_o = 0.0;  ///< input capacitance [F]
+  double c_p = 0.0;  ///< parasitic capacitance [F]
+
+  /// Throws util::Error unless r_o, c_o > 0 and c_p >= 0.
+  void validate() const;
+};
+
+/// Stages + size solution for one wire.
+struct RepeaterSolution {
+  std::int64_t stages = 1;  ///< eta (repeaters = stages - 1)
+  double size = 1.0;        ///< repeater size [min-inverter multiples]
+  double delay = 0.0;       ///< resulting wire delay [s]
+
+  [[nodiscard]] std::int64_t repeater_count() const { return stages - 1; }
+};
+
+/// Delay calculator for wires on one layer-pair.
+class WireDelayModel {
+ public:
+  /// Validates all parameter structs; throws util::Error on failure.
+  WireDelayModel(LineParams line, DriverParams driver,
+                 SwitchingConstants sw = {});
+
+  [[nodiscard]] const LineParams& line() const { return line_; }
+  [[nodiscard]] const DriverParams& driver() const { return driver_; }
+  [[nodiscard]] const SwitchingConstants& switching() const { return sw_; }
+
+  /// Delay-minimizing repeater size s_opt (Eq. 4) [min-inverter multiples].
+  [[nodiscard]] double optimal_repeater_size() const;
+
+  /// D(l, eta, s) per the header formula. Throws for l < 0, eta < 1, s <= 0.
+  [[nodiscard]] double delay(double length, std::int64_t stages,
+                             double size) const;
+
+  /// D(l, eta, s_opt).
+  [[nodiscard]] double delay_opt_size(double length, std::int64_t stages) const;
+
+  /// Integer stage count minimizing D(l, ., s_opt); always >= 1.
+  [[nodiscard]] std::int64_t optimal_stage_count(double length) const;
+
+  /// Minimum achievable delay of a length-l wire on this pair (optimal
+  /// size and integer stage count).
+  [[nodiscard]] double min_achievable_delay(double length) const;
+
+  /// Smallest stage count eta (>= 1, <= max_stages when given) such that
+  /// D(l, eta, s_opt) <= target; nullopt when the target is unattainable.
+  /// Fewest stages == least repeater area, which is what the rank DP wants.
+  [[nodiscard]] std::optional<RepeaterSolution> stages_to_meet(
+      double length, double target,
+      std::optional<std::int64_t> max_stages = std::nullopt) const;
+
+  /// Bakoglu's closed-form (continuous) optimal stage count
+  /// l * sqrt(a rbar cbar / (b r_o (c_o + c_p))) — for cross-checks.
+  [[nodiscard]] double continuous_optimal_stages(double length) const;
+
+ private:
+  LineParams line_;
+  DriverParams driver_;
+  SwitchingConstants sw_;
+  double s_opt_ = 0.0;
+
+  /// Coefficients of D = A*eta + B(l)*l + C(l)/eta at s_opt.
+  [[nodiscard]] double coeff_a() const;
+  [[nodiscard]] double coeff_b(double size) const;
+  [[nodiscard]] double coeff_c(double length) const;
+};
+
+}  // namespace iarank::delay

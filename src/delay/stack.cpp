@@ -1,0 +1,26 @@
+#include "src/delay/stack.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iarank::delay {
+
+ElectricalStack::ElectricalStack(const tech::Architecture& arch,
+                                 const tech::RcParams& rc,
+                                 SwitchingConstants sw) {
+  pairs_.reserve(arch.pair_count());
+  const tech::DeviceParams& dev = arch.node().device;
+  const DriverParams driver{dev.r_o, dev.c_o, dev.c_p};
+  for (const tech::LayerPair& lp : arch.pairs()) {
+    const tech::RcValues values = tech::extract_rc(lp.geometry, rc);
+    WireDelayModel model({values.resistance, values.capacitance}, driver, sw);
+    pairs_.push_back({values, model.optimal_repeater_size(), model});
+  }
+}
+
+const PairElectricals& ElectricalStack::pair(std::size_t index) const {
+  iarank::util::require(index < pairs_.size(),
+                        "ElectricalStack: pair index out of range");
+  return pairs_[index];
+}
+
+}  // namespace iarank::delay

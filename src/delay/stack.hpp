@@ -1,0 +1,50 @@
+/// \file stack.hpp
+/// \brief Per-layer-pair electrical view of an architecture.
+///
+/// Binds a tech::Architecture to an electrical environment (conductor,
+/// ILD permittivity, Miller factor) and exposes, for each layer-pair, the
+/// extracted RC values, the optimal repeater size s_opt,j (paper Eq. 4)
+/// and a ready-to-use WireDelayModel. This is the object the rank engines
+/// consult for all delay and repeater questions.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/delay/model.hpp"
+#include "src/tech/architecture.hpp"
+#include "src/tech/rc.hpp"
+
+namespace iarank::delay {
+
+/// Electrical summary of one layer-pair.
+struct PairElectricals {
+  tech::RcValues rc;     ///< extracted r̄, c̄
+  double s_opt = 0.0;    ///< optimal repeater size [min-inverter multiples]
+  WireDelayModel model;  ///< delay calculator for wires on this pair
+};
+
+/// Immutable stack of per-pair electricals, ordered like the architecture
+/// (index 0 = topmost pair).
+class ElectricalStack {
+ public:
+  /// Extracts RC and builds delay models for every pair. Throws
+  /// util::Error on invalid parameters.
+  ElectricalStack(const tech::Architecture& arch, const tech::RcParams& rc,
+                  SwitchingConstants sw = {});
+
+  [[nodiscard]] std::size_t size() const { return pairs_.size(); }
+
+  /// Electricals of pair `index` (0 = topmost). Throws when out of range.
+  [[nodiscard]] const PairElectricals& pair(std::size_t index) const;
+
+  [[nodiscard]] const std::vector<PairElectricals>& pairs() const {
+    return pairs_;
+  }
+
+ private:
+  std::vector<PairElectricals> pairs_;
+};
+
+}  // namespace iarank::delay

@@ -1,0 +1,48 @@
+#include "src/delay/target.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iarank::delay {
+
+std::string to_string(TargetModel model) {
+  switch (model) {
+    case TargetModel::kLinear:
+      return "linear";
+    case TargetModel::kSqrt:
+      return "sqrt";
+    case TargetModel::kQuadratic:
+      return "quadratic";
+    case TargetModel::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+TargetDelay::TargetDelay(TargetModel model, double clock_frequency,
+                         double max_length)
+    : model_(model), clock_(clock_frequency), max_length_(max_length) {
+  iarank::util::require(clock_ > 0.0, "TargetDelay: clock must be > 0");
+  iarank::util::require(max_length_ > 0.0, "TargetDelay: max_length must be > 0");
+}
+
+double TargetDelay::target(double length) const {
+  iarank::util::require(length >= 0.0, "TargetDelay: length must be >= 0");
+  const double period = 1.0 / clock_;
+  const double ratio = std::min(length / max_length_, 1.0);
+  switch (model_) {
+    case TargetModel::kLinear:
+      return ratio * period;
+    case TargetModel::kSqrt:
+      return std::sqrt(ratio) * period;
+    case TargetModel::kQuadratic:
+      return ratio * ratio * period;
+    case TargetModel::kUniform:
+      return period;
+  }
+  throw iarank::util::Error("TargetDelay: unknown model");
+}
+
+}  // namespace iarank::delay

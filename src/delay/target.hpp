@@ -1,0 +1,50 @@
+/// \file target.hpp
+/// \brief Per-wire target delay models.
+///
+/// The paper (Section 4.1) sets the target delay of wire i to
+/// d_i = (l_i / l_max) * (1 / f_c) — linear in length, so longer wires get
+/// a larger share of the clock period. Section 6 notes this is pessimistic
+/// for short wires (actual repeated-wire delay is closer to linear with a
+/// constant offset) and announces a study of alternatives; we implement the
+/// paper's linear model plus three alternatives as that extension.
+
+#pragma once
+
+#include <string>
+
+namespace iarank::delay {
+
+/// Shape of the target-delay curve d(l).
+enum class TargetModel {
+  kLinear,     ///< d = (l/l_max) / f_c — the paper's model
+  kSqrt,       ///< d = sqrt(l/l_max) / f_c — gentler on short wires
+  kQuadratic,  ///< d = (l/l_max)^2 / f_c — tracks unrepeated RC delay
+  kUniform,    ///< d = 1 / f_c — every wire gets a full cycle
+};
+
+[[nodiscard]] std::string to_string(TargetModel model);
+
+/// Computes per-wire target delays from the clock frequency and the
+/// longest wire length (both fixed per rank computation).
+class TargetDelay {
+ public:
+  /// `clock_frequency` [Hz], `max_length` [m]. Throws util::Error on
+  /// non-positive arguments.
+  TargetDelay(TargetModel model, double clock_frequency, double max_length);
+
+  [[nodiscard]] TargetModel model() const { return model_; }
+  [[nodiscard]] double clock_frequency() const { return clock_; }
+  [[nodiscard]] double max_length() const { return max_length_; }
+
+  /// Target delay d(l) [s] for a wire of length l [m]. Lengths above
+  /// max_length are clamped (their target is the full period fraction of
+  /// the longest wire). Throws util::Error for negative lengths.
+  [[nodiscard]] double target(double length) const;
+
+ private:
+  TargetModel model_;
+  double clock_ = 0.0;
+  double max_length_ = 0.0;
+};
+
+}  // namespace iarank::delay

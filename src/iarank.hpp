@@ -1,0 +1,81 @@
+/// \file iarank.hpp
+/// \brief Umbrella header for the iarank library.
+///
+/// iarank reproduces "A Novel Metric for Interconnect Architecture
+/// Performance" (Dasgupta, Kahng, Muddu — DATE 2003): the *rank* of an
+/// interconnect architecture with respect to a wire length distribution,
+/// computed by optimal assignment of wires to layer-pairs with repeater
+/// insertion under a repeater-area budget and via blockage.
+///
+/// Quick start:
+/// \code
+///   using namespace iarank;
+///   const core::DesignSpec design = core::baseline_design("130nm");
+///   const core::RankOptions options;  // Table 2 baseline
+///   const core::RankResult r = core::compute_rank(design, options);
+///   std::cout << "normalized rank: " << r.normalized << "\n";
+/// \endcode
+
+#pragma once
+
+// Utilities
+#include "src/util/config.hpp"
+#include "src/util/error.hpp"
+#include "src/util/numeric.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+// Technology substrate
+#include "src/tech/architecture.hpp"
+#include "src/tech/device.hpp"
+#include "src/tech/die.hpp"
+#include "src/tech/layer.hpp"
+#include "src/tech/material.hpp"
+#include "src/tech/node.hpp"
+#include "src/tech/noise.hpp"
+#include "src/tech/rc.hpp"
+#include "src/tech/scaling.hpp"
+#include "src/tech/io.hpp"
+#include "src/tech/tuning.hpp"
+#include "src/tech/via.hpp"
+
+// Wire length distributions
+#include "src/wld/coarsen.hpp"
+#include "src/wld/davis.hpp"
+#include "src/wld/discrete.hpp"
+#include "src/wld/io.hpp"
+#include "src/wld/synthetic.hpp"
+#include "src/wld/wld.hpp"
+
+// Synthetic netlists and placement
+#include "src/netlist/generate.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/netlist/place.hpp"
+
+// Delay models
+#include "src/delay/ladder.hpp"
+#include "src/delay/model.hpp"
+#include "src/delay/stack.hpp"
+#include "src/delay/target.hpp"
+
+// The rank metric
+#include "src/core/anneal.hpp"
+#include "src/core/brute_force.hpp"
+#include "src/core/config_run.hpp"
+#include "src/core/dp_rank.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/figure2.hpp"
+#include "src/core/free_pack.hpp"
+#include "src/core/greedy_rank.hpp"
+#include "src/core/instance.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/options.hpp"
+#include "src/core/paper_algorithms.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/core/rank_result.hpp"
+#include "src/core/report.hpp"
+#include "src/core/reference_dp.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/core/sweep.hpp"
+#include "src/core/verify.hpp"

@@ -1,0 +1,123 @@
+#include "src/netlist/generate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+
+#include "src/util/error.hpp"
+
+namespace iarank::netlist {
+
+void GeneratorParams::validate() const {
+  iarank::util::require(levels >= 1 && levels <= 12,
+                        "GeneratorParams: levels must be in [1, 12]");
+  iarank::util::require(rent_p > 0.0 && rent_p < 1.0,
+                        "GeneratorParams: rent_p must be in (0, 1)");
+  iarank::util::require(rent_k > 0.0, "GeneratorParams: rent_k must be > 0");
+  iarank::util::require(two_pin_fraction >= 0.0 && two_pin_fraction <= 1.0,
+                        "GeneratorParams: two_pin_fraction must be in [0, 1]");
+}
+
+namespace {
+
+/// Open terminal stubs of a block: gate ids that still want connections.
+using Stubs = std::vector<std::int32_t>;
+
+}  // namespace
+
+Netlist generate_netlist(const GeneratorParams& params) {
+  params.validate();
+  std::mt19937_64 rng(params.seed);
+
+  const std::int64_t n_total = params.gate_count();
+  iarank::util::require(n_total <= (std::int64_t{1} << 24),
+                        "generate_netlist: too many gates");
+
+  // Level 0: each gate exposes ~rent_k stubs (rounded stochastically so
+  // the average matches a fractional k).
+  std::vector<Stubs> blocks(static_cast<std::size_t>(n_total));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const auto k_floor = static_cast<int>(std::floor(params.rent_k));
+  const double k_frac = params.rent_k - static_cast<double>(k_floor);
+  for (std::int64_t g = 0; g < n_total; ++g) {
+    const int stubs = k_floor + (unit(rng) < k_frac ? 1 : 0);
+    blocks[static_cast<std::size_t>(g)].assign(
+        static_cast<std::size_t>(std::max(1, stubs)),
+        static_cast<std::int32_t>(g));
+  }
+
+  std::vector<Net> nets;
+  std::int64_t block_gates = 1;
+
+  for (int level = 1; level <= params.levels; ++level) {
+    block_gates *= 4;
+    std::vector<Stubs> merged(blocks.size() / 4);
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      // Collect the four children's stubs, tagged by child for diversity.
+      std::array<Stubs*, 4> children{&blocks[4 * b], &blocks[4 * b + 1],
+                                     &blocks[4 * b + 2], &blocks[4 * b + 3]};
+      std::int64_t have = 0;
+      for (const Stubs* c : children) {
+        have += static_cast<std::int64_t>(c->size());
+      }
+      const double want =
+          params.rent_k * std::pow(static_cast<double>(block_gates),
+                                   params.rent_p);
+      std::int64_t to_absorb =
+          have - static_cast<std::int64_t>(std::llround(want));
+
+      // Absorb stubs into internal nets. Each net takes one stub from
+      // each of `pins` distinct children (guaranteeing the net crosses
+      // child boundaries, as a merge-level net should).
+      for (Stubs* c : children) {
+        std::shuffle(c->begin(), c->end(), rng);
+      }
+      while (to_absorb >= 2) {
+        const int pins =
+            (unit(rng) < params.two_pin_fraction || to_absorb < 3)
+                ? 2
+                : (unit(rng) < 0.5 ? 3 : 4);
+        // Pick `pins` children with non-empty stub lists.
+        std::array<int, 4> order{0, 1, 2, 3};
+        std::shuffle(order.begin(), order.end(), rng);
+        Net net;
+        for (const int ci : order) {
+          if (static_cast<int>(net.pins.size()) == pins) break;
+          Stubs& c = *children[static_cast<std::size_t>(ci)];
+          if (!c.empty()) {
+            net.pins.push_back(c.back());
+            c.pop_back();
+          }
+        }
+        if (net.pins.size() < 2) {
+          // Children exhausted unevenly; take from any non-empty child.
+          for (Stubs* c : children) {
+            while (net.pins.size() < 2 && !c->empty()) {
+              net.pins.push_back(c->back());
+              c->pop_back();
+            }
+          }
+        }
+        if (net.pins.size() < 2) break;  // nothing left to absorb
+        to_absorb -= static_cast<std::int64_t>(net.pins.size());
+        nets.push_back(std::move(net));
+      }
+
+      // Surviving stubs become the merged block's terminals.
+      Stubs& up = merged[b];
+      for (Stubs* c : children) {
+        up.insert(up.end(), c->begin(), c->end());
+        c->clear();
+        c->shrink_to_fit();
+      }
+    }
+    blocks = std::move(merged);
+  }
+
+  // Top-level leftovers would be primary I/O; the paper's WLD covers
+  // gate-to-gate wires only, so they are dropped.
+  return Netlist(static_cast<std::int32_t>(n_total), std::move(nets));
+}
+
+}  // namespace iarank::netlist

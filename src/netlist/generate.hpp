@@ -1,0 +1,43 @@
+/// \file generate.hpp
+/// \brief Rent-driven synthetic netlist generation.
+///
+/// Bottom-up construction (after Stroobandt's gnl-style generators): the
+/// N = 4^L gates start as singleton blocks, each exposing k terminal
+/// stubs; at every level four sibling blocks merge, and Rent's rule says
+/// the merged block of n gates exposes T = k n^p terminals — so the merge
+/// must *absorb* the surplus 4 k (n/4)^p - k n^p stubs by wiring them
+/// into nets internal to the new block (pins drawn from distinct
+/// siblings). Gate ids are assigned so every level-l block is the
+/// contiguous id range of 4^l gates, which is also its physical quadrant
+/// under the Z-order placement (netlist/place).
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/netlist/netlist.hpp"
+
+namespace iarank::netlist {
+
+/// Generation parameters.
+struct GeneratorParams {
+  int levels = 6;            ///< N = 4^levels gates
+  double rent_p = 0.6;       ///< target Rent exponent
+  double rent_k = 4.0;       ///< terminals of a single gate
+  double two_pin_fraction = 0.75;  ///< fraction of 2-pin nets; rest 3-4 pin
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::int64_t gate_count() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < levels; ++i) n *= 4;
+    return n;
+  }
+
+  /// Throws util::Error on out-of-range values.
+  void validate() const;
+};
+
+/// Generates the netlist; deterministic per seed.
+[[nodiscard]] Netlist generate_netlist(const GeneratorParams& params);
+
+}  // namespace iarank::netlist

@@ -1,0 +1,94 @@
+#include "src/netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iarank::netlist {
+
+Netlist::Netlist(std::int32_t gate_count, std::vector<Net> nets)
+    : gate_count_(gate_count), nets_(std::move(nets)) {
+  iarank::util::require(gate_count_ >= 1, "Netlist: gate_count must be >= 1");
+  for (const Net& net : nets_) {
+    iarank::util::require(net.pins.size() >= 2, "Netlist: net needs >= 2 pins");
+    for (const std::int32_t pin : net.pins) {
+      iarank::util::require(pin >= 0 && pin < gate_count_,
+                            "Netlist: pin out of range");
+    }
+  }
+}
+
+std::int64_t Netlist::pin_count() const {
+  std::int64_t pins = 0;
+  for (const Net& net : nets_) pins += static_cast<std::int64_t>(net.pins.size());
+  return pins;
+}
+
+double Netlist::average_degree() const {
+  if (nets_.empty()) return 0.0;
+  return static_cast<double>(pin_count()) / static_cast<double>(nets_.size());
+}
+
+std::vector<RentPoint> rent_characteristic(const Netlist& netlist) {
+  std::vector<RentPoint> points;
+  const std::int64_t n = netlist.gate_count();
+  for (std::int64_t size = 4; size < n; size *= 4) {
+    const std::int64_t blocks = n / size;
+    if (blocks < 2) break;
+    std::vector<std::int64_t> crossings(static_cast<std::size_t>(blocks), 0);
+    for (const Net& net : netlist.nets()) {
+      // Count this net once per block it crosses into/out of.
+      std::int64_t first_block = net.pins.front() / size;
+      bool multi = false;
+      for (const std::int32_t pin : net.pins) {
+        if (pin / size != first_block) {
+          multi = true;
+          break;
+        }
+      }
+      if (!multi) continue;
+      // Mark every block touched by the net.
+      std::vector<std::int64_t> touched;
+      for (const std::int32_t pin : net.pins) {
+        const std::int64_t b = pin / size;
+        if (std::find(touched.begin(), touched.end(), b) == touched.end()) {
+          touched.push_back(b);
+        }
+      }
+      for (const std::int64_t b : touched) {
+        ++crossings[static_cast<std::size_t>(b)];
+      }
+    }
+    double total = 0.0;
+    for (const std::int64_t c : crossings) total += static_cast<double>(c);
+    points.push_back({size, total / static_cast<double>(blocks)});
+  }
+  return points;
+}
+
+RentFit fit_rent(const std::vector<RentPoint>& points) {
+  iarank::util::require(points.size() >= 2, "fit_rent: need >= 2 points");
+  // Least squares on log T = log k + p log n.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double count = static_cast<double>(points.size());
+  for (const RentPoint& pt : points) {
+    iarank::util::require(pt.block_gates > 0 && pt.avg_terminals > 0.0,
+                          "fit_rent: non-positive point");
+    const double x = std::log(static_cast<double>(pt.block_gates));
+    const double y = std::log(pt.avg_terminals);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  RentFit fit;
+  fit.exponent = (count * sxy - sx * sy) / (count * sxx - sx * sx);
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / count);
+  return fit;
+}
+
+}  // namespace iarank::netlist

@@ -1,0 +1,67 @@
+/// \file netlist.hpp
+/// \brief Gate-level netlist container with Rent-statistics estimation.
+///
+/// The paper takes its WLD from the *a priori* Davis model (reference
+/// [4]), which is itself derived from Rent's rule on a placed gate array.
+/// This substrate closes the loop: a synthetic netlist with a prescribed
+/// Rent exponent (netlist/generate), placed on the same sqrt(N) x sqrt(N)
+/// array (netlist/place), yields an *extracted* WLD whose agreement with
+/// the Davis closed form is checked in tests and bench_netlist_wld — and
+/// which can drive rank computations directly, making the metric
+/// design-dependent in the literal sense.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iarank::netlist {
+
+/// A multi-pin net: the gates it connects (no direction, no weights).
+struct Net {
+  std::vector<std::int32_t> pins;  ///< gate ids, distinct
+};
+
+/// An immutable-after-build netlist over gates 0..gate_count-1.
+class Netlist {
+ public:
+  Netlist(std::int32_t gate_count, std::vector<Net> nets);
+
+  [[nodiscard]] std::int32_t gate_count() const { return gate_count_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+
+  /// Total pin count over all nets.
+  [[nodiscard]] std::int64_t pin_count() const;
+
+  /// Average pins per net.
+  [[nodiscard]] double average_degree() const;
+
+ private:
+  std::int32_t gate_count_ = 0;
+  std::vector<Net> nets_;
+};
+
+/// One point of the Rent characteristic: blocks of `block_gates` gates
+/// expose on average `avg_terminals` external net crossings.
+struct RentPoint {
+  std::int64_t block_gates = 0;
+  double avg_terminals = 0.0;
+};
+
+/// Least-squares fit T = k n^p over the given points (log-log).
+struct RentFit {
+  double exponent = 0.0;     ///< p
+  double coefficient = 0.0;  ///< k
+};
+
+/// Measures the Rent characteristic of a netlist under a given placement
+/// hierarchy: gates are assumed placed in Z-order (netlist/place), so the
+/// contiguous id range [b*size, (b+1)*size) is a physical block. For each
+/// power-of-4 block size, counts nets crossing the block boundary.
+[[nodiscard]] std::vector<RentPoint> rent_characteristic(const Netlist& netlist);
+
+/// Fits the Rent parameters; throws util::Error with fewer than 2 points.
+[[nodiscard]] RentFit fit_rent(const std::vector<RentPoint>& points);
+
+}  // namespace iarank::netlist

@@ -1,0 +1,49 @@
+#include "src/netlist/place.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace iarank::netlist {
+
+Position z_order_position(std::int32_t gate_id) {
+  iarank::util::require(gate_id >= 0, "z_order_position: negative id");
+  Position pos;
+  auto id = static_cast<std::uint32_t>(gate_id);
+  for (int bit = 0; id != 0; ++bit) {
+    pos.x |= static_cast<std::int32_t>((id & 1u) << bit);
+    id >>= 1u;
+    pos.y |= static_cast<std::int32_t>((id & 1u) << bit);
+    id >>= 1u;
+  }
+  return pos;
+}
+
+double net_length(const Net& net) {
+  iarank::util::require(!net.pins.empty(), "net_length: empty net");
+  std::int32_t min_x = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_x = std::numeric_limits<std::int32_t>::min();
+  std::int32_t min_y = min_x;
+  std::int32_t max_y = max_x;
+  for (const std::int32_t pin : net.pins) {
+    const Position p = z_order_position(pin);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  return static_cast<double>((max_x - min_x) + (max_y - min_y));
+}
+
+wld::Wld extract_wld(const Netlist& netlist) {
+  std::vector<wld::WireGroup> groups;
+  groups.reserve(netlist.net_count());
+  for (const Net& net : netlist.nets()) {
+    const double length = net_length(net);
+    if (length >= 1.0) groups.push_back({length, 1});
+  }
+  return wld::Wld(std::move(groups));
+}
+
+}  // namespace iarank::netlist

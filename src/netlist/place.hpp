@@ -1,0 +1,41 @@
+/// \file place.hpp
+/// \brief Hierarchical (Z-order) placement and wire-length extraction.
+///
+/// The generator's block hierarchy maps directly onto the sqrt(N) x
+/// sqrt(N) gate array: the four children of a block occupy its four
+/// quadrants, i.e. gate id -> position is the Morton (Z-order) decoding
+/// of the id. This is the placement implied by the recursive Rent
+/// construction, and the one under which the Davis derivation's
+/// occupancy argument applies. Net lengths are extracted as Manhattan
+/// distance (2-pin nets) or half-perimeter wirelength (multi-pin nets),
+/// in gate pitches — ready to feed core::compute_rank.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "src/netlist/netlist.hpp"
+#include "src/wld/wld.hpp"
+
+namespace iarank::netlist {
+
+/// Grid position of a gate [gate pitches].
+struct Position {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+};
+
+/// Morton decoding: gate id -> (x, y) on the 2^levels x 2^levels grid.
+/// Throws util::Error when id is negative.
+[[nodiscard]] Position z_order_position(std::int32_t gate_id);
+
+/// Net length under the given placement: Manhattan distance for 2-pin
+/// nets, half-perimeter wirelength for multi-pin nets [gate pitches].
+[[nodiscard]] double net_length(const Net& net);
+
+/// Extracts the placed WLD of a netlist (zero-length nets — all pins on
+/// one gate site — are dropped, as are nets shorter than 1 pitch).
+[[nodiscard]] wld::Wld extract_wld(const Netlist& netlist);
+
+}  // namespace iarank::netlist

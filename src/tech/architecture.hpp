@@ -1,0 +1,70 @@
+/// \file architecture.hpp
+/// \brief The interconnect architecture (IA): an ordered stack of layer-pairs.
+///
+/// Following the paper, layer-pairs are indexed from the TOP of the stack:
+/// pair 0 is the topmost (global tier, coarsest wires) and the last pair is
+/// the bottommost (local tier, finest wires). Longer wires are assigned to
+/// higher pairs (paper Section 3). The paper's Table 2 baseline is
+/// 1 global + 2 semi-global + 1 local pair.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/tech/layer.hpp"
+#include "src/tech/node.hpp"
+
+namespace iarank::tech {
+
+/// How many layer-pairs of each tier to build, plus the ILD height
+/// assumption (Table 3 does not print ILD heights; we default to
+/// ILD height = thickness, i.e. unit aspect dielectric gaps).
+struct ArchitectureSpec {
+  int global_pairs = 1;       ///< topmost pairs, Mt geometry
+  int semi_global_pairs = 2;  ///< middle pairs, Mx geometry
+  int local_pairs = 1;        ///< bottom pairs, M1 geometry
+  double ild_height_factor = 1.0;  ///< ILD height = factor x layer thickness
+
+  [[nodiscard]] int total_pairs() const {
+    return global_pairs + semi_global_pairs + local_pairs;
+  }
+
+  /// Throws util::Error when counts are negative, the stack is empty, or
+  /// the ILD factor is non-positive.
+  void validate() const;
+};
+
+/// An immutable interconnect architecture built from a technology node.
+class Architecture {
+ public:
+  /// Builds the layer-pair stack from the node's Table 3 tier geometries.
+  /// Throws util::Error on invalid specs.
+  [[nodiscard]] static Architecture build(const TechNode& node,
+                                          const ArchitectureSpec& spec);
+
+  /// Layer-pairs ordered top (index 0) to bottom (index pair_count()-1).
+  [[nodiscard]] const std::vector<LayerPair>& pairs() const { return pairs_; }
+
+  [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
+
+  /// 0-based access from the top; throws util::Error when out of range.
+  [[nodiscard]] const LayerPair& pair(std::size_t index) const;
+
+  [[nodiscard]] const TechNode& node() const { return node_; }
+  [[nodiscard]] const ArchitectureSpec& spec() const { return spec_; }
+
+  /// One-line-per-pair human-readable description.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  Architecture(TechNode node, ArchitectureSpec spec,
+               std::vector<LayerPair> pairs);
+
+  TechNode node_;
+  ArchitectureSpec spec_;
+  std::vector<LayerPair> pairs_;
+};
+
+}  // namespace iarank::tech

@@ -1,0 +1,15 @@
+#include "src/tech/device.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iarank::tech {
+
+void DeviceParams::validate() const {
+  iarank::util::require(r_o > 0.0, "DeviceParams: r_o must be > 0");
+  iarank::util::require(c_o > 0.0, "DeviceParams: c_o must be > 0");
+  iarank::util::require(c_p >= 0.0, "DeviceParams: c_p must be >= 0");
+  iarank::util::require(min_inv_area > 0.0,
+                        "DeviceParams: min_inv_area must be > 0");
+}
+
+}  // namespace iarank::tech

@@ -1,0 +1,29 @@
+/// \file device.hpp
+/// \brief Device (driver / repeater cell) parameters per technology node.
+///
+/// The paper's delay model (its Eq. 2-3, from Otten-Brayton) needs the
+/// output resistance r_o, input capacitance c_o and parasitic capacitance
+/// c_p of a minimum-sized inverter, plus the silicon area such an inverter
+/// occupies (repeater area is budgeted in min-inverter units, Eq. 5).
+///
+/// The paper does not print its device constants; the values in device.cpp
+/// are representative of the respective nodes (FO4-consistent) and are
+/// documented in EXPERIMENTS.md. All rank trends reported by the paper are
+/// driven by ratios of these constants, not their absolute values.
+
+#pragma once
+
+namespace iarank::tech {
+
+/// Electrical and area parameters of the minimum-sized inverter of a node.
+struct DeviceParams {
+  double r_o = 0.0;        ///< output resistance of min inverter [ohm]
+  double c_o = 0.0;        ///< input capacitance of min inverter [F]
+  double c_p = 0.0;        ///< parasitic (diffusion) capacitance [F]
+  double min_inv_area = 0.0;  ///< silicon area of a min inverter [m^2]
+
+  /// Throws util::Error unless all parameters are strictly positive.
+  void validate() const;
+};
+
+}  // namespace iarank::tech

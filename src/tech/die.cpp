@@ -1,0 +1,25 @@
+#include "src/tech/die.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iarank::tech {
+
+void DieSpec::validate() const {
+  iarank::util::require(gate_count > 0, "DieSpec: gate_count must be > 0");
+  iarank::util::require(gate_pitch > 0.0, "DieSpec: gate_pitch must be > 0");
+  iarank::util::require(repeater_fraction >= 0.0 && repeater_fraction < 1.0,
+                        "DieSpec: repeater_fraction must be in [0, 1)");
+}
+
+DieModel::DieModel(const DieSpec& spec) : spec_(spec) {
+  spec_.validate();
+  const double n = static_cast<double>(spec_.gate_count);
+  gate_area_ = spec_.gate_pitch * spec_.gate_pitch * n;
+  die_area_ = gate_area_ / (1.0 - spec_.repeater_fraction);
+  repeater_budget_ = spec_.repeater_fraction * die_area_;
+  effective_pitch_ = std::sqrt(die_area_ / n);
+}
+
+}  // namespace iarank::tech

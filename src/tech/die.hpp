@@ -1,0 +1,56 @@
+/// \file die.hpp
+/// \brief Die-area model: the paper's Eq. 6 and Section 5.2 sizing flow.
+///
+/// Die area due to gates is g^2 * N (gate pitch g, gate count N). The
+/// repeater budget A_r is a fraction R of the *actual* die area A_d, and
+/// the repeater area is added on top of the gate area:
+///     A_r = R * A_d,   A_d = A_r + g^2 N   =>   A_d = g^2 N / (1 - R).
+/// Gates are then redistributed evenly over A_d, giving the effective gate
+/// pitch used to convert WLD lengths (in gate pitches) into metres.
+
+#pragma once
+
+#include <cstdint>
+
+namespace iarank::tech {
+
+/// Die sizing inputs: gate count, nominal gate pitch, repeater fraction R.
+struct DieSpec {
+  std::int64_t gate_count = 0;    ///< N
+  double gate_pitch = 0.0;        ///< g [m] (ITRS: 12.6 x node)
+  double repeater_fraction = 0.0; ///< R in [0, 1)
+
+  /// Throws util::Error on invalid values.
+  void validate() const;
+};
+
+/// Derived die quantities (all areas in m^2, lengths in m).
+class DieModel {
+ public:
+  /// Builds the model; throws util::Error via DieSpec::validate().
+  explicit DieModel(const DieSpec& spec);
+
+  [[nodiscard]] const DieSpec& spec() const { return spec_; }
+
+  /// g^2 * N — die area due to gates alone.
+  [[nodiscard]] double gate_area() const { return gate_area_; }
+
+  /// A_d — actual die area after repeater-area inflation (Eq. 6).
+  [[nodiscard]] double die_area() const { return die_area_; }
+
+  /// A_r = R * A_d — maximum total repeater area budget.
+  [[nodiscard]] double repeater_area_budget() const { return repeater_budget_; }
+
+  /// sqrt(A_d / N) — pitch after distributing gates evenly over A_d;
+  /// multiplies WLD lengths (in gate pitches) to obtain metres.
+  [[nodiscard]] double effective_gate_pitch() const { return effective_pitch_; }
+
+ private:
+  DieSpec spec_;
+  double gate_area_ = 0.0;
+  double die_area_ = 0.0;
+  double repeater_budget_ = 0.0;
+  double effective_pitch_ = 0.0;
+};
+
+}  // namespace iarank::tech

@@ -1,0 +1,93 @@
+#include "src/tech/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace iarank::tech {
+
+namespace units = iarank::util::units;
+
+namespace {
+
+void write_tier(std::ostream& os, const std::string& prefix,
+                const TierGeometry& tier) {
+  os << prefix << ".width_um = " << tier.min_width / units::um << "\n";
+  os << prefix << ".spacing_um = " << tier.min_spacing / units::um << "\n";
+  os << prefix << ".thickness_um = " << tier.thickness / units::um << "\n";
+  os << prefix << ".via_um = " << tier.via_width / units::um << "\n";
+}
+
+TierGeometry read_tier(const util::Config& config, const std::string& prefix) {
+  TierGeometry tier;
+  tier.min_width = config.get_double(prefix + ".width_um") * units::um;
+  tier.min_spacing = config.get_double(prefix + ".spacing_um") * units::um;
+  tier.thickness = config.get_double(prefix + ".thickness_um") * units::um;
+  tier.via_width = config.get_double(prefix + ".via_um") * units::um;
+  return tier;
+}
+
+}  // namespace
+
+void write_node(std::ostream& os, const TechNode& node) {
+  os << "# iarank technology node\n";
+  os << "name = " << node.name << "\n";
+  os << "feature_size_um = " << node.feature_size / units::um << "\n";
+  write_tier(os, "local", node.local);
+  write_tier(os, "semi_global", node.semi_global);
+  write_tier(os, "global", node.global);
+  os << "device.r_o_ohm = " << node.device.r_o << "\n";
+  os << "device.c_o_f = " << node.device.c_o << "\n";
+  os << "device.c_p_f = " << node.device.c_p << "\n";
+  os << "device.min_inv_area_m2 = " << node.device.min_inv_area << "\n";
+  os << "conductor = " << (node.conductor.name == "Al" ? "al" : "cu") << "\n";
+  os << "total_metal_layers = " << node.total_metal_layers << "\n";
+  os << "gate_pitch_factor = " << node.gate_pitch_factor << "\n";
+  os << "max_clock_hz = " << node.max_clock << "\n";
+}
+
+void save_node(const std::string& path, const TechNode& node) {
+  std::ofstream out(path);
+  iarank::util::require(out.good(), "save_node: cannot open '" + path + "'");
+  write_node(out, node);
+}
+
+TechNode node_from_config(const util::Config& config) {
+  TechNode node;
+  node.name = config.get("name");
+  node.feature_size = config.get_double("feature_size_um") * units::um;
+  node.local = read_tier(config, "local");
+  node.semi_global = read_tier(config, "semi_global");
+  node.global = read_tier(config, "global");
+  node.device.r_o = config.get_double("device.r_o_ohm");
+  node.device.c_o = config.get_double("device.c_o_f");
+  node.device.c_p = config.get_double("device.c_p_f");
+  node.device.min_inv_area = config.get_double("device.min_inv_area_m2");
+
+  const std::string conductor = config.has("conductor")
+                                    ? config.get("conductor")
+                                    : std::string("cu");
+  if (conductor == "cu") {
+    node.conductor = copper();
+  } else if (conductor == "al") {
+    node.conductor = aluminum();
+  } else {
+    throw iarank::util::Error("node_from_config: unknown conductor '" +
+                              conductor + "' (expected cu or al)");
+  }
+
+  node.total_metal_layers =
+      static_cast<int>(config.get_int("total_metal_layers"));
+  node.gate_pitch_factor = config.get_double("gate_pitch_factor", 12.6);
+  node.max_clock = config.get_double("max_clock_hz", 1e9);
+  node.validate();
+  return node;
+}
+
+TechNode load_node(const std::string& path) {
+  return node_from_config(util::Config::load(path));
+}
+
+}  // namespace iarank::tech

@@ -1,0 +1,37 @@
+/// \file io.hpp
+/// \brief Technology-node serialization to/from the `key = value` config
+///        format, so users can define custom nodes (or tweak the Table 3
+///        ones) without recompiling.
+///
+/// All geometric keys are in micrometres, electrical keys in SI units.
+/// See configs/*.tech in the repository for generated samples.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/tech/node.hpp"
+#include "src/util/config.hpp"
+
+namespace iarank::tech {
+
+/// Serializes a node to config text (round-trips through node_from_config).
+void write_node(std::ostream& os, const TechNode& node);
+
+/// Writes to a file; throws util::Error when the file cannot be opened.
+void save_node(const std::string& path, const TechNode& node);
+
+/// Builds a node from parsed config. Required keys:
+///   name, feature_size_um,
+///   {local|semi_global|global}.{width|spacing|thickness|via}_um,
+///   device.{r_o_ohm|c_o_f|c_p_f|min_inv_area_m2},
+///   total_metal_layers
+/// Optional (with defaults): conductor (cu|al), gate_pitch_factor,
+/// max_clock_hz. Throws util::Error on missing/invalid keys.
+[[nodiscard]] TechNode node_from_config(const util::Config& config);
+
+/// Loads and parses a .tech file.
+[[nodiscard]] TechNode load_node(const std::string& path);
+
+}  // namespace iarank::tech

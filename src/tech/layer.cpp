@@ -1,0 +1,25 @@
+#include "src/tech/layer.hpp"
+
+namespace iarank::tech {
+
+std::string to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kLocal:
+      return "local";
+    case Tier::kSemiGlobal:
+      return "semi-global";
+    case Tier::kGlobal:
+      return "global";
+  }
+  return "unknown";
+}
+
+void LayerGeometry::validate() const {
+  iarank::util::require(width > 0.0, "LayerGeometry: width must be > 0");
+  iarank::util::require(spacing > 0.0, "LayerGeometry: spacing must be > 0");
+  iarank::util::require(thickness > 0.0, "LayerGeometry: thickness must be > 0");
+  iarank::util::require(ild_height > 0.0, "LayerGeometry: ild_height must be > 0");
+  iarank::util::require(via_width > 0.0, "LayerGeometry: via_width must be > 0");
+}
+
+}  // namespace iarank::tech

@@ -1,0 +1,53 @@
+/// \file layer.hpp
+/// \brief Layer-pair geometry: the unit of wiring resource in the paper.
+///
+/// The paper characterizes an interconnect architecture (IA) as a stack of
+/// *layer-pairs*: two orthogonal routing layers with identical wire width,
+/// spacing and thickness, separated from adjacent pairs by a fixed-height
+/// inter-layer dielectric (paper Section 3, first assumption).
+
+#pragma once
+
+#include <string>
+
+#include "src/util/error.hpp"
+
+namespace iarank::tech {
+
+/// Routing tier a layer-pair belongs to. The paper's architectures have
+/// local (M1-class), semi-global (Mx-class) and global (Mt-class) tiers
+/// with the geometries of Table 3.
+enum class Tier { kLocal, kSemiGlobal, kGlobal };
+
+/// Human-readable tier name ("local", "semi-global", "global").
+[[nodiscard]] std::string to_string(Tier tier);
+
+/// Physical cross-section of the wires of one layer-pair. All values in
+/// metres. `ild_height` is the dielectric height between this pair and the
+/// neighbouring conductors (used by the capacitance models).
+struct LayerGeometry {
+  double width = 0.0;       ///< wire width W_j [m]
+  double spacing = 0.0;     ///< wire spacing S_j [m]
+  double thickness = 0.0;   ///< wire thickness T_j [m]
+  double ild_height = 0.0;  ///< inter-layer dielectric height H_j [m]
+  double via_width = 0.0;   ///< width of vias landing on this pair [m]
+
+  /// Routing pitch W + S [m] — multiplied by length to charge wiring area
+  /// (paper Alg. 4 step 4: wire_area = l * (W_j + S_j)).
+  [[nodiscard]] double pitch() const { return width + spacing; }
+
+  /// Area of one via cut through this pair [m^2] (v_a in the paper).
+  [[nodiscard]] double via_area() const { return via_width * via_width; }
+
+  /// Throws util::Error unless all dimensions are strictly positive.
+  void validate() const;
+};
+
+/// One layer-pair of an architecture: tier + geometry + a display name.
+struct LayerPair {
+  std::string name;  ///< e.g. "M7/M8 (global)"
+  Tier tier = Tier::kLocal;
+  LayerGeometry geometry;
+};
+
+}  // namespace iarank::tech

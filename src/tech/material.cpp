@@ -1,0 +1,23 @@
+#include "src/tech/material.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace iarank::tech {
+
+namespace units = iarank::util::units;
+
+Conductor copper() { return {"Cu", units::rho_copper}; }
+
+Conductor aluminum() { return {"Al", units::rho_aluminum}; }
+
+Dielectric silicon_dioxide() { return {"SiO2", 3.9}; }
+
+Dielectric low_k() { return {"low-k", 2.7}; }
+
+Dielectric dielectric_with_k(double k) {
+  iarank::util::require(k >= 1.0, "dielectric_with_k: permittivity must be >= 1");
+  return {"custom", k};
+}
+
+}  // namespace iarank::tech

@@ -1,0 +1,44 @@
+/// \file material.hpp
+/// \brief Conductor and dielectric material models.
+///
+/// The paper sweeps ILD permittivity (its "K" experiment, Table 4) from the
+/// SiO2 value 3.9 down to 1.8, approaching the air-gap limit; the conductor
+/// determines wire sheet resistance. Both are first-class inputs here.
+
+#pragma once
+
+#include <string>
+
+namespace iarank::tech {
+
+/// Metal (or other conductor) used for interconnect wires.
+struct Conductor {
+  std::string name;
+  /// Bulk resistivity [ohm * m]. Barrier/liner and surface-scattering
+  /// derating can be folded into an effective value by the caller.
+  double resistivity = 0.0;
+};
+
+/// Inter-layer / inter-wire dielectric.
+struct Dielectric {
+  std::string name;
+  /// Relative permittivity (k). 3.9 for SiO2, ~2.7 for typical low-k.
+  double permittivity = 0.0;
+};
+
+/// Copper with a mild effective-resistivity derating for barrier/liner.
+[[nodiscard]] Conductor copper();
+
+/// Aluminum (older nodes).
+[[nodiscard]] Conductor aluminum();
+
+/// Silicon dioxide, k = 3.9 — the paper's baseline dielectric.
+[[nodiscard]] Dielectric silicon_dioxide();
+
+/// Representative low-k dielectric (k = 2.7).
+[[nodiscard]] Dielectric low_k();
+
+/// Arbitrary dielectric with the given permittivity (used by the K sweep).
+[[nodiscard]] Dielectric dielectric_with_k(double k);
+
+}  // namespace iarank::tech

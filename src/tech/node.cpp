@@ -1,0 +1,102 @@
+#include "src/tech/node.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace iarank::tech {
+
+namespace units = iarank::util::units;
+
+void TechNode::validate() const {
+  iarank::util::require(feature_size > 0.0, "TechNode: feature_size must be > 0");
+  for (const TierGeometry* tier : {&local, &semi_global, &global}) {
+    iarank::util::require(tier->min_width > 0.0, "TechNode: width must be > 0");
+    iarank::util::require(tier->min_spacing > 0.0,
+                          "TechNode: spacing must be > 0");
+    iarank::util::require(tier->thickness > 0.0,
+                          "TechNode: thickness must be > 0");
+    iarank::util::require(tier->via_width > 0.0,
+                          "TechNode: via width must be > 0");
+  }
+  device.validate();
+  iarank::util::require(conductor.resistivity > 0.0,
+                        "TechNode: conductor resistivity must be > 0");
+  iarank::util::require(total_metal_layers > 0,
+                        "TechNode: total_metal_layers must be > 0");
+  iarank::util::require(gate_pitch_factor > 0.0,
+                        "TechNode: gate_pitch_factor must be > 0");
+  iarank::util::require(max_clock > 0.0, "TechNode: max_clock must be > 0");
+}
+
+// Device parameters are representative of the node (FO4-consistent),
+// not printed in the paper; see DESIGN.md section 3.6 and EXPERIMENTS.md.
+// min_inv_area is taken as 100 x (feature size)^2, about 2/3 of a gate
+// site at the ITRS gate pitch of 12.6 x node.
+
+TechNode node_180nm() {
+  TechNode n;
+  n.name = "180nm";
+  n.feature_size = 180 * units::nm;
+  n.local = {0.230 * units::um, 0.230 * units::um, 0.483 * units::um,
+             0.260 * units::um};
+  n.semi_global = {0.280 * units::um, 0.280 * units::um, 0.588 * units::um,
+                   0.260 * units::um};
+  n.global = {0.440 * units::um, 0.460 * units::um, 0.960 * units::um,
+              0.360 * units::um};
+  n.device = {8.0 * units::kohm, 2.2 * units::fF, 2.2 * units::fF,
+              100.0 * n.feature_size * n.feature_size};
+  n.conductor = copper();
+  n.total_metal_layers = 6;  // x = 2..5, t = 6
+  n.max_clock = 1.25 * units::GHz;
+  return n;
+}
+
+TechNode node_130nm() {
+  TechNode n;
+  n.name = "130nm";
+  n.feature_size = 130 * units::nm;
+  n.local = {0.160 * units::um, 0.180 * units::um, 0.336 * units::um,
+             0.190 * units::um};
+  n.semi_global = {0.200 * units::um, 0.210 * units::um, 0.340 * units::um,
+                   0.260 * units::um};
+  n.global = {0.440 * units::um, 0.460 * units::um, 1.020 * units::um,
+              0.360 * units::um};
+  n.device = {6.7 * units::kohm, 1.5 * units::fF, 1.5 * units::fF,
+              100.0 * n.feature_size * n.feature_size};
+  n.conductor = copper();
+  n.total_metal_layers = 7;  // x = 2..6, t = 7
+  n.max_clock = 1.7 * units::GHz;  // ITRS 2001 value quoted by the paper
+  return n;
+}
+
+TechNode node_90nm() {
+  TechNode n;
+  n.name = "90nm";
+  n.feature_size = 90 * units::nm;
+  n.local = {0.120 * units::um, 0.120 * units::um, 0.260 * units::um,
+             0.130 * units::um};
+  n.semi_global = {0.140 * units::um, 0.140 * units::um, 0.300 * units::um,
+                   0.130 * units::um};
+  n.global = {0.420 * units::um, 0.420 * units::um, 0.880 * units::um,
+              0.360 * units::um};
+  n.device = {5.6 * units::kohm, 1.0 * units::fF, 1.0 * units::fF,
+              100.0 * n.feature_size * n.feature_size};
+  n.conductor = copper();
+  n.total_metal_layers = 8;  // x = 2..7, t = 8
+  n.max_clock = 4.0 * units::GHz;
+  return n;
+}
+
+TechNode node_by_name(const std::string& name) {
+  for (const TechNode& n : all_nodes()) {
+    if (n.name == name) return n;
+  }
+  throw iarank::util::Error("node_by_name: unknown node '" + name +
+                            "' (expected 180nm, 130nm or 90nm)");
+}
+
+std::vector<TechNode> all_nodes() {
+  return {node_180nm(), node_130nm(), node_90nm()};
+}
+
+}  // namespace iarank::tech

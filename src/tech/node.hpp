@@ -1,0 +1,67 @@
+/// \file node.hpp
+/// \brief Technology-node database: the paper's Table 3 (TSMC-style
+///        180/130/90 nm geometries) plus device parameters and ITRS-derived
+///        constants (gate pitch = 12.6 x node, max MPU clock).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/tech/device.hpp"
+#include "src/tech/material.hpp"
+
+namespace iarank::tech {
+
+/// Raw per-tier geometry as printed in the paper's Table 3 (metres).
+struct TierGeometry {
+  double min_width = 0.0;    ///< minimum wire width
+  double min_spacing = 0.0;  ///< minimum wire spacing
+  double thickness = 0.0;    ///< wire thickness
+  double via_width = 0.0;    ///< minimum via width for this tier
+};
+
+/// A process node: Table 3 geometries for the local (M1), semi-global (Mx)
+/// and global (Mt) tiers, device parameters, conductor, and ITRS constants.
+struct TechNode {
+  std::string name;          ///< "180nm", "130nm", "90nm"
+  double feature_size = 0.0; ///< drawn feature size [m]
+
+  TierGeometry local;        ///< M1 row of Table 3 (via = V1)
+  TierGeometry semi_global;  ///< Mx row of Table 3 (via = V_{x-1})
+  TierGeometry global;       ///< Mt row of Table 3 (via = V_{t-1})
+
+  DeviceParams device;       ///< min-inverter parameters
+  Conductor conductor;       ///< wire conductor (Cu for these nodes)
+
+  int total_metal_layers = 0;  ///< Table 3 footnote: 6 / 7 / 8 layers
+
+  /// ITRS empirical constant: gate pitch = `gate_pitch_factor` x node
+  /// (paper Section 5.2 uses 12.6).
+  double gate_pitch_factor = 12.6;
+
+  /// ITRS 2001 maximum MPU clock frequency for this node [Hz]
+  /// (the paper quotes 1.7 GHz for 130 nm).
+  double max_clock = 0.0;
+
+  /// Gate pitch before repeater-area inflation [m].
+  [[nodiscard]] double gate_pitch() const {
+    return gate_pitch_factor * feature_size;
+  }
+
+  /// Throws util::Error if any field is missing or non-physical.
+  void validate() const;
+};
+
+/// The three nodes of the paper's Table 3.
+[[nodiscard]] TechNode node_180nm();
+[[nodiscard]] TechNode node_130nm();
+[[nodiscard]] TechNode node_90nm();
+
+/// Lookup by name ("180nm" | "130nm" | "90nm"); throws util::Error otherwise.
+[[nodiscard]] TechNode node_by_name(const std::string& name);
+
+/// All known nodes, in descending feature size.
+[[nodiscard]] std::vector<TechNode> all_nodes();
+
+}  // namespace iarank::tech

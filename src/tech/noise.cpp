@@ -1,0 +1,14 @@
+#include "src/tech/noise.hpp"
+
+namespace iarank::tech {
+
+double coupling_noise_ratio(const LayerGeometry& geometry,
+                            const RcParams& params) {
+  // Use the raw (Miller-independent) components: worst-case noise has
+  // both aggressors switching against a quiet victim, i.e. the full
+  // lateral capacitance couples charge in.
+  const RcValues rc = extract_rc(geometry, params);
+  return rc.coupling_cap / (rc.coupling_cap + rc.ground_cap);
+}
+
+}  // namespace iarank::tech

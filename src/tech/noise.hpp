@@ -1,0 +1,29 @@
+/// \file noise.hpp
+/// \brief Crosstalk noise estimation for a layer-pair cross-section.
+///
+/// The paper's introduction lists crosstalk noise among the factors an IA
+/// evaluation should cover; its metric handles coupling only through the
+/// Miller factor's effect on delay. This extension adds the noise view: a
+/// charge-sharing estimate of the worst-case glitch a quiet victim sees
+/// when both neighbours switch — V_noise / V_dd = C_couple / C_total on
+/// the victim — which depends on the pair's geometry (notably spacing)
+/// and is the quantity double-sided shielding (the paper's footnote 8)
+/// drives to zero. core::RankOptions::max_noise_ratio turns it into an
+/// assignment constraint: pairs that exceed the budget cannot carry
+/// delay-critical (delay-met) wires.
+
+#pragma once
+
+#include "src/tech/rc.hpp"
+
+namespace iarank::tech {
+
+/// Worst-case charge-sharing noise ratio V_noise/V_dd for a victim with
+/// both neighbours switching: full (unshielded) coupling over total
+/// victim capacitance. In [0, 1); independent of the dielectric constant
+/// (numerator and denominator scale together) but strongly dependent on
+/// spacing and thickness.
+[[nodiscard]] double coupling_noise_ratio(const LayerGeometry& geometry,
+                                          const RcParams& params);
+
+}  // namespace iarank::tech

@@ -1,0 +1,73 @@
+#include "src/tech/rc.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace iarank::tech {
+
+namespace units = iarank::util::units;
+
+void RcParams::validate() const {
+  iarank::util::require(conductor.resistivity > 0.0,
+                        "RcParams: conductor resistivity must be > 0");
+  iarank::util::require(ild_permittivity >= 1.0,
+                        "RcParams: ILD permittivity must be >= 1");
+  iarank::util::require(miller_factor >= 0.0,
+                        "RcParams: Miller factor must be >= 0");
+}
+
+namespace {
+
+/// Parallel-plate ground capacitance per metre of one face: eps * W / H.
+double plate_ground(double eps, double w, double h) { return eps * w / h; }
+
+/// Parallel-plate lateral coupling per metre to one neighbour: eps * T / S.
+double plate_coupling(double eps, double t, double s) { return eps * t / s; }
+
+/// Sakurai-Tamaru ground capacitance per metre of a line over one plane:
+/// C/eps = 1.15 (W/H) + 2.80 (T/H)^0.222.
+double sakurai_ground(double eps, double w, double t, double h) {
+  return eps * (1.15 * (w / h) + 2.80 * std::pow(t / h, 0.222));
+}
+
+/// Sakurai-Tamaru coupling capacitance per metre to one neighbour:
+/// C/eps = [0.03 (W/H) + 0.83 (T/H) - 0.07 (T/H)^0.222] (S/H)^-1.34.
+double sakurai_coupling(double eps, double w, double t, double h, double s) {
+  const double th = t / h;
+  return eps * (0.03 * (w / h) + 0.83 * th - 0.07 * std::pow(th, 0.222)) *
+         std::pow(s / h, -1.34);
+}
+
+}  // namespace
+
+RcValues extract_rc(const LayerGeometry& geometry, const RcParams& params) {
+  geometry.validate();
+  params.validate();
+
+  RcValues rc;
+  rc.resistance =
+      params.conductor.resistivity / (geometry.width * geometry.thickness);
+
+  const double eps = units::eps0 * params.ild_permittivity;
+  const double w = geometry.width;
+  const double s = geometry.spacing;
+  const double t = geometry.thickness;
+  const double h = geometry.ild_height;
+
+  switch (params.model) {
+    case CapacitanceModel::kParallelPlate:
+      rc.ground_cap = 2.0 * plate_ground(eps, w, h);
+      rc.coupling_cap = 2.0 * plate_coupling(eps, t, s);
+      break;
+    case CapacitanceModel::kSakuraiTamaru:
+      rc.ground_cap = 2.0 * sakurai_ground(eps, w, t, h);
+      rc.coupling_cap = 2.0 * sakurai_coupling(eps, w, t, h, s);
+      break;
+  }
+  rc.capacitance = rc.ground_cap + params.miller_factor * rc.coupling_cap;
+  return rc;
+}
+
+}  // namespace iarank::tech

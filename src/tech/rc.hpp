@@ -1,0 +1,54 @@
+/// \file rc.hpp
+/// \brief Per-unit-length RC extraction for a layer-pair cross-section.
+///
+/// The paper's delay model (Eq. 2-3) consumes resistance r̄_j and
+/// capacitance c̄_j per unit length, "determined completely by the wire
+/// width, spacing and thickness of a layer-pair" plus the ILD permittivity
+/// (K sweep) and Miller coupling factor (M sweep) of Table 4.
+///
+/// Two capacitance models are provided:
+///  * kParallelPlate — transparent area + sidewall plates; exact algebra is
+///    easy to verify in unit tests.
+///  * kSakuraiTamaru — the classic empirical fit (Sakurai & Tamaru, 1983)
+///    with fringe terms; the default for experiments.
+///
+/// In both models the line is treated as sandwiched between two reference
+/// planes at ILD height H (ground component counted twice) with two
+/// same-layer neighbours at spacing S (coupling counted twice and scaled by
+/// the Miller coupling factor).
+
+#pragma once
+
+#include "src/tech/layer.hpp"
+#include "src/tech/material.hpp"
+
+namespace iarank::tech {
+
+/// Selectable capacitance model.
+enum class CapacitanceModel { kParallelPlate, kSakuraiTamaru };
+
+/// Electrical environment for RC extraction.
+struct RcParams {
+  Conductor conductor;            ///< wire metal
+  double ild_permittivity = 3.9;  ///< K (paper Table 4 sweep; SiO2 = 3.9)
+  double miller_factor = 2.0;     ///< MCF multiplying coupling capacitance
+  CapacitanceModel model = CapacitanceModel::kSakuraiTamaru;
+
+  /// Throws util::Error on non-physical values (k < 1, MCF < 0, rho <= 0).
+  void validate() const;
+};
+
+/// Extracted per-unit-length values.
+struct RcValues {
+  double resistance = 0.0;    ///< r̄ [ohm/m]
+  double capacitance = 0.0;   ///< c̄ = ground + MCF * coupling [F/m]
+  double ground_cap = 0.0;    ///< ground (area + fringe) component [F/m]
+  double coupling_cap = 0.0;  ///< lateral coupling before MCF scaling [F/m]
+};
+
+/// Extracts r̄ and c̄ for one layer-pair geometry under `params`.
+/// Throws util::Error for invalid geometry or parameters.
+[[nodiscard]] RcValues extract_rc(const LayerGeometry& geometry,
+                                  const RcParams& params);
+
+}  // namespace iarank::tech

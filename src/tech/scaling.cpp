@@ -1,0 +1,54 @@
+#include "src/tech/scaling.hpp"
+
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace iarank::tech {
+
+namespace {
+
+void scale_tier(TierGeometry& tier, double s) {
+  tier.min_width *= s;
+  tier.min_spacing *= s;
+  tier.thickness *= s;
+  tier.via_width *= s;
+}
+
+}  // namespace
+
+TechNode scale_node(const TechNode& node, double target_feature_size,
+                    DeviceScaling devices) {
+  iarank::util::require(target_feature_size > 0.0,
+                        "scale_node: target feature size must be > 0");
+  iarank::util::require(target_feature_size <= node.feature_size,
+                        "scale_node: projection must shrink the node");
+  const double s = target_feature_size / node.feature_size;
+
+  TechNode scaled = node;
+  scaled.feature_size = target_feature_size;
+  scale_tier(scaled.local, s);
+  scale_tier(scaled.semi_global, s);
+  scale_tier(scaled.global, s);
+
+  // Device scaling policy: ideal constant-field, or frozen (wire-limited
+  // pessimism — drive stops improving while the BEOL shrinks).
+  if (devices == DeviceScaling::kIdeal) {
+    scaled.device.c_o *= s;
+    scaled.device.c_p *= s;
+    scaled.device.min_inv_area *= s * s;
+  }
+
+  // ITRS trend: clock scales roughly inversely with the feature size.
+  scaled.max_clock = node.max_clock / s;
+
+  std::ostringstream name;
+  name << static_cast<int>(target_feature_size / util::units::nm + 0.5)
+       << "nm (scaled from " << node.name << ")";
+  scaled.name = name.str();
+  scaled.validate();
+  return scaled;
+}
+
+}  // namespace iarank::tech

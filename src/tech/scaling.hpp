@@ -1,0 +1,39 @@
+/// \file scaling.hpp
+/// \brief Constant-field projection of a technology node to a future
+///        feature size.
+///
+/// The paper's conclusion is a statement about *future* nodes ("it is not
+/// possible to enable future MPU-class designs by material improvements
+/// alone"); this utility lets the rank metric be evaluated there. The
+/// projection is classic constant-field scaling of the BEOL: all drawn
+/// geometries (widths, spacings, thicknesses, vias) shrink by the feature
+/// ratio s < 1, so wire resistance per length grows as 1/s^2 while
+/// capacitance per length is roughly constant — the "interconnect does
+/// not scale" crisis the 2003 literature (paper refs [2], [6], [10])
+/// revolves around. Devices follow ideal scaling: r_o constant (W/L
+/// preserved), c_o and c_p shrink by s, cell area by s^2.
+
+#pragma once
+
+#include "src/tech/node.hpp"
+
+namespace iarank::tech {
+
+/// How devices track the BEOL shrink.
+enum class DeviceScaling {
+  /// Ideal constant-field devices: r_o constant, c_o/c_p shrink by s,
+  /// cell area by s^2 — repeaters get cheaper as fast as wires worsen.
+  kIdeal,
+  /// Frozen devices: the pessimistic projection where transistor drive
+  /// stops improving; only the wires (and via/cell geometry) shrink.
+  kFrozen,
+};
+
+/// Projects `node` to `target_feature_size` (must be positive and no
+/// larger than the source feature size — this is a shrink, not a
+/// de-shrink). Throws util::Error otherwise.
+[[nodiscard]] TechNode scale_node(const TechNode& node,
+                                  double target_feature_size,
+                                  DeviceScaling devices = DeviceScaling::kIdeal);
+
+}  // namespace iarank::tech

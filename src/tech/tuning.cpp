@@ -1,0 +1,39 @@
+#include "src/tech/tuning.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iarank::tech {
+
+void TierTuning::validate() const {
+  iarank::util::require(width > 0.0 && spacing > 0.0 && thickness > 0.0,
+                        "TierTuning: multipliers must be > 0");
+}
+
+void NodeTuning::validate() const {
+  local.validate();
+  semi_global.validate();
+  global.validate();
+}
+
+namespace {
+
+void apply_tier(TierGeometry& tier, const TierTuning& tuning) {
+  tier.min_width *= tuning.width;
+  tier.min_spacing *= tuning.spacing;
+  tier.thickness *= tuning.thickness;
+}
+
+}  // namespace
+
+TechNode apply_tuning(const TechNode& node, const NodeTuning& tuning) {
+  tuning.validate();
+  TechNode tuned = node;
+  apply_tier(tuned.local, tuning.local);
+  apply_tier(tuned.semi_global, tuning.semi_global);
+  apply_tier(tuned.global, tuning.global);
+  if (!tuning.is_identity()) tuned.name += " (tuned)";
+  tuned.validate();
+  return tuned;
+}
+
+}  // namespace iarank::tech

@@ -1,0 +1,54 @@
+/// \file tuning.hpp
+/// \brief Per-tier wire geometry tuning: width/spacing/thickness
+///        multipliers applied to a technology node.
+///
+/// The paper's related work ([1] Anand et al., [13] Venkatesan et al.)
+/// optimizes interconnect geometric parameters per tier; its own
+/// conclusion calls for co-optimizing geometry with materials and process.
+/// This module provides the design-space handle: a TierTuning scales one
+/// tier's drawn geometry (wider/fatter wires lower r̄ but cost pitch;
+/// wider spacing lowers coupling but costs pitch), and applying a
+/// NodeTuning yields a new, validated TechNode the rest of the library
+/// consumes unchanged. Used by the annealing optimizer and the geometry
+/// bench.
+
+#pragma once
+
+#include "src/tech/node.hpp"
+
+namespace iarank::tech {
+
+/// Multipliers for one tier's drawn geometry (1.0 = untouched).
+struct TierTuning {
+  double width = 1.0;
+  double spacing = 1.0;
+  double thickness = 1.0;
+
+  /// Throws util::Error unless all multipliers are positive.
+  void validate() const;
+
+  [[nodiscard]] bool is_identity() const {
+    return width == 1.0 && spacing == 1.0 && thickness == 1.0;
+  }
+};
+
+/// Tuning for all three tiers of a node.
+struct NodeTuning {
+  TierTuning local;
+  TierTuning semi_global;
+  TierTuning global;
+
+  void validate() const;
+  [[nodiscard]] bool is_identity() const {
+    return local.is_identity() && semi_global.is_identity() &&
+           global.is_identity();
+  }
+};
+
+/// Returns a copy of `node` with the tuning applied to each tier's width,
+/// spacing and thickness (via sizes are left at the process minimum).
+/// Throws util::Error if the tuned node fails validation.
+[[nodiscard]] TechNode apply_tuning(const TechNode& node,
+                                    const NodeTuning& tuning);
+
+}  // namespace iarank::tech

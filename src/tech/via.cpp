@@ -1,0 +1,24 @@
+#include "src/tech/via.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iarank::tech {
+
+void ViaSpec::validate() const {
+  iarank::util::require(vias_per_wire >= 0.0,
+                        "ViaSpec: vias_per_wire must be >= 0");
+  iarank::util::require(vias_per_repeater >= 0.0,
+                        "ViaSpec: vias_per_repeater must be >= 0");
+}
+
+double via_blockage_area(const LayerGeometry& blocked_pair, const ViaSpec& spec,
+                         double wires_above, double repeaters_above) {
+  spec.validate();
+  iarank::util::require(wires_above >= 0.0 && repeaters_above >= 0.0,
+                        "via_blockage_area: counts must be >= 0");
+  return (spec.vias_per_repeater * repeaters_above +
+          spec.vias_per_wire * wires_above) *
+         blocked_pair.via_area();
+}
+
+}  // namespace iarank::tech

@@ -1,0 +1,40 @@
+/// \file via.hpp
+/// \brief Via-blockage model (paper footnote 1, Alg. 4 step 1, Alg. 5 step 2).
+///
+/// Wires routed on a layer-pair connect to gates on the substrate through
+/// vias that pass through — and block area in — every layer-pair BELOW
+/// their own. Repeaters inserted in upper-pair wires likewise punch vias
+/// through all lower pairs. The paper charges, against pair q,
+///     B_q = A_d - (z + v * i) * v_a
+/// where i wires (v end-vias each) and z repeaters lie above pair q, and
+/// v_a is the via area of the blocked pair. The corner via of each
+/// L-shaped wire stays within its own pair and is folded into the wire
+/// area (paper Section 3, assumption 2).
+
+#pragma once
+
+#include "src/tech/layer.hpp"
+
+namespace iarank::tech {
+
+/// Via accounting policy.
+struct ViaSpec {
+  /// End vias per wire that descend through lower pairs (v in the paper).
+  /// Two ends per connection.
+  double vias_per_wire = 2.0;
+
+  /// Vias per repeater descending through lower pairs (the paper charges
+  /// one via cut per repeater: Alg. 5 step 2).
+  double vias_per_repeater = 1.0;
+
+  /// Throws util::Error on negative counts.
+  void validate() const;
+};
+
+/// Area blocked in `blocked_pair` by `wires_above` wires and
+/// `repeaters_above` repeaters living on higher pairs.
+[[nodiscard]] double via_blockage_area(const LayerGeometry& blocked_pair,
+                                       const ViaSpec& spec, double wires_above,
+                                       double repeaters_above);
+
+}  // namespace iarank::tech

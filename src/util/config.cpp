@@ -1,0 +1,67 @@
+#include "src/util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iarank::util {
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    auto nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = trim(text.substr(start, nl - start));
+    start = nl + 1;
+
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    require(eq != std::string_view::npos,
+            "Config: missing '=' on line " + std::to_string(line_no));
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string value{trim(line.substr(eq + 1))};
+    require(!key.empty(), "Config: empty key on line " + std::to_string(line_no));
+    require(!cfg.values_.contains(key), "Config: duplicate key '" + key + "'");
+    cfg.values_.emplace(key, value);
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "Config: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool Config::has(const std::string& key) const { return values_.contains(key); }
+
+const std::string& Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  require(it != values_.end(), "Config: missing key '" + key + "'");
+  return it->second;
+}
+
+double Config::get_double(const std::string& key) const {
+  return parse_double(get(key));
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+long long Config::get_int(const std::string& key) const {
+  return parse_int(get(key));
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+}  // namespace iarank::util

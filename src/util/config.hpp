@@ -1,0 +1,45 @@
+/// \file config.hpp
+/// \brief Minimal `key = value` configuration reader.
+///
+/// Technology overrides and experiment setups can be loaded from simple
+/// text files: one `key = value` pair per line, `#` comments, blank lines
+/// ignored. No external parser dependency.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace iarank::util {
+
+/// Parsed configuration: ordered map from key to raw string value.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses configuration text. Throws util::Error on malformed lines and
+  /// on duplicate keys.
+  [[nodiscard]] static Config parse(std::string_view text);
+
+  /// Loads and parses a file. Throws util::Error when unreadable.
+  [[nodiscard]] static Config load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string accessor; throws util::Error for a missing key.
+  [[nodiscard]] const std::string& get(const std::string& key) const;
+
+  /// Typed accessors with defaults for missing keys.
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace iarank::util

@@ -1,0 +1,30 @@
+/// \file error.hpp
+/// \brief Error type and precondition checks for the iarank library.
+
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace iarank::util {
+
+/// Exception thrown for all iarank domain errors (bad parameters,
+/// inconsistent models, malformed input files).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Throws util::Error with a message that includes the failing call site
+/// when `condition` is false. Use for validating user-supplied parameters.
+inline void require(bool condition, std::string_view message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw Error(std::string(message) + " [" + loc.file_name() + ":" +
+                std::to_string(loc.line()) + "]");
+  }
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,159 @@
+#include "src/util/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iarank::util {
+
+bool almost_equal(double a, double b, double rel_tol, double abs_tol) {
+  return std::fabs(a - b) <=
+         abs_tol + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  require(count >= 1, "linspace: count must be >= 1");
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;  // avoid accumulated rounding on the final endpoint
+  return out;
+}
+
+double brent_root(const std::function<double(double)>& f, double lo, double hi,
+                  double tol, int max_iter) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  require(fa * fb < 0.0, "brent_root: interval does not bracket a root");
+
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  bool used_bisection = true;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::fabs(b - a) < tol || fb == 0.0) return b;
+
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant step.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double mid = (3.0 * a + b) / 4.0;
+    const bool out_of_range = (s < std::min(mid, b)) || (s > std::max(mid, b));
+    const bool step_too_small =
+        used_bisection ? std::fabs(s - b) >= std::fabs(b - c) / 2.0
+                       : std::fabs(s - b) >= std::fabs(c - d) / 2.0;
+    if (out_of_range || step_too_small) {
+      s = (a + b) / 2.0;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (fa * fs < 0.0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return b;
+}
+
+namespace {
+
+double simpson(double a, double b, double fa, double fm, double fb) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double b,
+                double fa, double fm, double fb, double whole, double tol,
+                int depth) {
+  const double m = (a + b) / 2.0;
+  const double lm = (a + m) / 2.0;
+  const double rm = (m + b) / 2.0;
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, m, fa, flm, fm);
+  const double right = simpson(m, b, fm, frm, fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1) +
+         adaptive(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double lo, double hi,
+                 double tol) {
+  if (lo == hi) return 0.0;
+  const double fa = f(lo);
+  const double fb = f(hi);
+  const double fm = f((lo + hi) / 2.0);
+  const double whole = simpson(lo, hi, fa, fm, fb);
+  return adaptive(f, lo, hi, fa, fm, fb, whole, tol, 48);
+}
+
+double golden_min(const std::function<double(double)>& f, double lo, double hi,
+                  double tol) {
+  require(lo <= hi, "golden_min: lo must be <= hi");
+  constexpr double inv_phi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * inv_phi;
+  double d = a + (b - a) * inv_phi;
+  double fc = f(c);
+  double fd = f(d);
+  while (std::fabs(b - a) > tol * (1.0 + std::fabs(a) + std::fabs(b))) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * inv_phi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * inv_phi;
+      fd = f(d);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace iarank::util

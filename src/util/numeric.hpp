@@ -1,0 +1,39 @@
+/// \file numeric.hpp
+/// \brief Small numeric toolkit: root finding, quadrature, comparisons,
+///        and grid generation. No external dependencies.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace iarank::util {
+
+/// Returns true when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+[[nodiscard]] bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                                double abs_tol = 1e-12);
+
+/// `count` evenly spaced samples over [lo, hi], inclusive of both endpoints.
+/// count == 1 yields {lo}. Throws util::Error for count == 0.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// Finds a root of `f` in the bracketing interval [lo, hi] using Brent's
+/// method. Requires f(lo) and f(hi) to have opposite signs (or either to be
+/// zero). Throws util::Error when the bracket is invalid.
+[[nodiscard]] double brent_root(const std::function<double(double)>& f, double lo,
+                                double hi, double tol = 1e-12,
+                                int max_iter = 200);
+
+/// Adaptive Simpson quadrature of `f` over [lo, hi] to absolute tolerance
+/// `tol`. Intended for the smooth Davis WLD densities; not a general-purpose
+/// oscillatory integrator.
+[[nodiscard]] double integrate(const std::function<double(double)>& f, double lo,
+                               double hi, double tol = 1e-10);
+
+/// Golden-section minimization of a unimodal function over [lo, hi].
+/// Returns the minimizing abscissa.
+[[nodiscard]] double golden_min(const std::function<double(double)>& f, double lo,
+                                double hi, double tol = 1e-10);
+
+}  // namespace iarank::util

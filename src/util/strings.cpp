@@ -1,0 +1,62 @@
+#include "src/util/strings.hpp"
+
+#include <charconv>
+
+#include "src/util/error.hpp"
+
+namespace iarank::util {
+
+namespace {
+constexpr std::string_view kWhitespace = " \t\r\n";
+}
+
+std::string_view trim(std::string_view text) {
+  const auto first = text.find_first_not_of(kWhitespace);
+  if (first == std::string_view::npos) return {};
+  const auto last = text.find_last_not_of(kWhitespace);
+  return text.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(trim(text.substr(start)));
+      break;
+    }
+    out.emplace_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+double parse_double(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  double value = 0.0;
+  const auto* begin = trimmed.data();
+  const auto* end = trimmed.data() + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  require(ec == std::errc{} && ptr == end,
+          "parse_double: invalid number '" + std::string(trimmed) + "'");
+  return value;
+}
+
+long long parse_int(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  long long value = 0;
+  const auto* begin = trimmed.data();
+  const auto* end = trimmed.data() + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  require(ec == std::errc{} && ptr == end,
+          "parse_int: invalid integer '" + std::string(trimmed) + "'");
+  require(value >= 0, "parse_int: expected a non-negative integer");
+  return value;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace iarank::util

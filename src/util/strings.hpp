@@ -1,0 +1,30 @@
+/// \file strings.hpp
+/// \brief Tiny string toolkit (trim/split/parse) used by the config parser
+///        and the WLD file readers.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iarank::util {
+
+/// Removes leading and trailing whitespace (space, tab, CR, LF).
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Splits `text` on `delimiter`, trimming each piece. Empty pieces are kept
+/// so that "a,,b" yields {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Parses a double, throwing util::Error (with the offending text in the
+/// message) on failure or trailing garbage.
+[[nodiscard]] double parse_double(std::string_view text);
+
+/// Parses a non-negative integer, throwing util::Error on failure.
+[[nodiscard]] long long parse_int(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace iarank::util

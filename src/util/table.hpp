@@ -1,0 +1,52 @@
+/// \file table.hpp
+/// \brief Plain-text and CSV table rendering for benches and examples.
+///
+/// The paper's evaluation is a set of tables; every bench binary uses
+/// TextTable to print its reproduction in a stable, diff-friendly format.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iarank::util {
+
+/// Column-aligned plain-text table with an optional title. All cells are
+/// strings; numeric helpers format with a fixed precision so bench output
+/// is reproducible.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its size must match the header (if one is set) or
+  /// the first row otherwise.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  [[nodiscard]] static std::string num(double value, int precision = 6);
+
+  /// Formats a double in scientific notation with `precision` digits.
+  [[nodiscard]] static std::string sci(double value, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (title, header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header first when present), suitable for plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace iarank::util

@@ -1,0 +1,50 @@
+/// \file units.hpp
+/// \brief SI unit helpers and physical constants used throughout iarank.
+///
+/// All quantities in the library are stored in base SI units (metres, seconds,
+/// ohms, farads, square metres). These helpers make call sites read like the
+/// paper: `130 * units::nm`, `500 * units::MHz`.
+
+#pragma once
+
+namespace iarank::util::units {
+
+// --- Length -----------------------------------------------------------------
+inline constexpr double m = 1.0;          ///< metre
+inline constexpr double cm = 1e-2;        ///< centimetre
+inline constexpr double mm = 1e-3;        ///< millimetre
+inline constexpr double um = 1e-6;        ///< micrometre
+inline constexpr double nm = 1e-9;        ///< nanometre
+
+// --- Area --------------------------------------------------------------------
+inline constexpr double m2 = 1.0;         ///< square metre
+inline constexpr double mm2 = 1e-6;       ///< square millimetre
+inline constexpr double um2 = 1e-12;      ///< square micrometre
+
+// --- Time / frequency ---------------------------------------------------------
+inline constexpr double s = 1.0;          ///< second
+inline constexpr double ms = 1e-3;        ///< millisecond
+inline constexpr double us = 1e-6;        ///< microsecond
+inline constexpr double ns = 1e-9;        ///< nanosecond
+inline constexpr double ps = 1e-12;       ///< picosecond
+inline constexpr double Hz = 1.0;         ///< hertz
+inline constexpr double kHz = 1e3;        ///< kilohertz
+inline constexpr double MHz = 1e6;        ///< megahertz
+inline constexpr double GHz = 1e9;        ///< gigahertz
+
+// --- Electrical ----------------------------------------------------------------
+inline constexpr double ohm = 1.0;        ///< ohm
+inline constexpr double kohm = 1e3;       ///< kiloohm
+inline constexpr double F = 1.0;          ///< farad
+inline constexpr double pF = 1e-12;       ///< picofarad
+inline constexpr double fF = 1e-15;       ///< femtofarad
+
+// --- Physical constants ----------------------------------------------------------
+/// Vacuum permittivity [F/m].
+inline constexpr double eps0 = 8.854187817e-12;
+/// Resistivity of bulk copper at room temperature [ohm * m].
+inline constexpr double rho_copper = 2.2e-8;
+/// Resistivity of aluminum interconnect at room temperature [ohm * m].
+inline constexpr double rho_aluminum = 3.3e-8;
+
+}  // namespace iarank::util::units

@@ -1,0 +1,74 @@
+#include "src/wld/coarsen.hpp"
+
+#include <functional>
+
+#include "src/util/error.hpp"
+
+namespace iarank::wld {
+
+std::vector<WireGroup> bunch(const Wld& wld, std::int64_t bunch_size) {
+  iarank::util::require(bunch_size >= 1, "bunch: bunch_size must be >= 1");
+  std::vector<WireGroup> bunches;
+  bunches.reserve(static_cast<std::size_t>(bunch_count(wld, bunch_size)));
+  for (const WireGroup& g : wld.groups()) {
+    std::int64_t remaining = g.count;
+    while (remaining > 0) {
+      const std::int64_t take = std::min(remaining, bunch_size);
+      bunches.push_back({g.length, take});
+      remaining -= take;
+    }
+  }
+  return bunches;
+}
+
+std::int64_t bunch_count(const Wld& wld, std::int64_t bunch_size) {
+  iarank::util::require(bunch_size >= 1, "bunch_count: bunch_size must be >= 1");
+  std::int64_t total = 0;
+  for (const WireGroup& g : wld.groups()) {
+    total += (g.count + bunch_size - 1) / bunch_size;
+  }
+  return total;
+}
+
+namespace {
+
+Wld bin_with_predicate(
+    const Wld& wld,
+    const std::function<bool(double first_length, double length)>& in_bin) {
+  std::vector<WireGroup> out;
+  const auto& groups = wld.groups();
+  std::size_t i = 0;
+  while (i < groups.size()) {
+    const double first_length = groups[i].length;
+    double weighted_length = 0.0;
+    std::int64_t count = 0;
+    std::size_t j = i;
+    while (j < groups.size() && in_bin(first_length, groups[j].length)) {
+      weighted_length += groups[j].length * static_cast<double>(groups[j].count);
+      count += groups[j].count;
+      ++j;
+    }
+    out.push_back({weighted_length / static_cast<double>(count), count});
+    i = j;
+  }
+  return Wld(std::move(out));
+}
+
+}  // namespace
+
+Wld bin_absolute(const Wld& wld, double window) {
+  iarank::util::require(window >= 0.0, "bin_absolute: window must be >= 0");
+  return bin_with_predicate(wld, [window](double first, double len) {
+    return first - len <= window;
+  });
+}
+
+Wld bin_relative(const Wld& wld, double relative_width) {
+  iarank::util::require(relative_width >= 0.0,
+                        "bin_relative: relative_width must be >= 0");
+  return bin_with_predicate(wld, [relative_width](double first, double len) {
+    return first - len <= relative_width * first;
+  });
+}
+
+}  // namespace iarank::wld

@@ -1,0 +1,126 @@
+#include "src/wld/davis.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "src/util/error.hpp"
+#include "src/util/numeric.hpp"
+
+namespace iarank::wld {
+
+void DavisParams::validate() const {
+  iarank::util::require(gate_count >= 4, "DavisParams: gate_count must be >= 4");
+  iarank::util::require(rent_p > 0.0 && rent_p < 1.0,
+                        "DavisParams: rent_p must be in (0, 1)");
+  iarank::util::require(rent_k > 0.0, "DavisParams: rent_k must be > 0");
+  iarank::util::require(avg_fanout > 0.0, "DavisParams: avg_fanout must be > 0");
+}
+
+double DavisParams::max_length() const {
+  return 2.0 * std::sqrt(static_cast<double>(gate_count));
+}
+
+double DavisParams::total_interconnects() const {
+  const double n = static_cast<double>(gate_count);
+  return alpha() * rent_k * n * (1.0 - std::pow(n, rent_p - 1.0));
+}
+
+DavisModel::DavisModel(const DavisParams& params) : params_(params) {
+  params_.validate();
+  sqrt_n_ = std::sqrt(static_cast<double>(params_.gate_count));
+
+  // Gamma makes the integral of alpha*k*Gamma*raw_shape equal the Rent
+  // total. Integrate the two smooth regions separately (the l^(2p-4)
+  // factor is steep near l = 1).
+  auto shape = [this](double l) { return raw_shape(l); };
+  const double raw_total = iarank::util::integrate(shape, 1.0, sqrt_n_, 1e-9) +
+                           iarank::util::integrate(shape, sqrt_n_,
+                                                   params_.max_length(), 1e-9);
+  iarank::util::require(raw_total > 0.0,
+                        "DavisModel: degenerate distribution shape");
+  gamma_ = params_.total_interconnects() /
+           (params_.alpha() * params_.rent_k * raw_total);
+}
+
+double DavisModel::raw_shape(double length) const {
+  if (length < 1.0 || length > params_.max_length()) return 0.0;
+  const double n = static_cast<double>(params_.gate_count);
+  const double occupancy = std::pow(length, 2.0 * params_.rent_p - 4.0);
+  if (length < sqrt_n_) {
+    const double poly = length * length * length / 3.0 -
+                        2.0 * sqrt_n_ * length * length + 2.0 * n * length;
+    return 0.5 * poly * occupancy;
+  }
+  const double rem = 2.0 * sqrt_n_ - length;
+  return rem * rem * rem / 6.0 * occupancy;
+}
+
+double DavisModel::density(double length) const {
+  return params_.alpha() * params_.rent_k * gamma_ * raw_shape(length);
+}
+
+double DavisModel::expected_count(double lo, double hi) const {
+  iarank::util::require(lo <= hi, "DavisModel: bad interval");
+  const double a = std::max(lo, 1.0);
+  const double b = std::min(hi, params_.max_length());
+  if (a >= b) return 0.0;
+  auto f = [this](double l) { return density(l); };
+  // Split at the region boundary for quadrature accuracy.
+  if (a < sqrt_n_ && b > sqrt_n_) {
+    return iarank::util::integrate(f, a, sqrt_n_, 1e-9) +
+           iarank::util::integrate(f, sqrt_n_, b, 1e-9);
+  }
+  return iarank::util::integrate(f, a, b, 1e-9);
+}
+
+Wld DavisModel::generate() const {
+  const auto l_max = static_cast<std::int64_t>(std::floor(params_.max_length()));
+  std::vector<WireGroup> groups;
+  groups.reserve(static_cast<std::size_t>(l_max));
+
+  // Integrate density over unit-length cells centred at integer lengths,
+  // carrying the rounding remainder forward so the grand total is exact.
+  double carry = 0.0;
+  for (std::int64_t l = 1; l <= l_max; ++l) {
+    const double lo = (l == 1) ? 1.0 : static_cast<double>(l) - 0.5;
+    const double hi = (l == l_max) ? params_.max_length()
+                                   : static_cast<double>(l) + 0.5;
+    const double expected = expected_count(lo, hi) + carry;
+    const auto count = static_cast<std::int64_t>(std::llround(expected));
+    carry = expected - static_cast<double>(count);
+    if (count > 0) groups.push_back({static_cast<double>(l), count});
+  }
+  return Wld(std::move(groups));
+}
+
+Wld DavisModel::sample(std::int64_t wires, std::uint64_t seed) const {
+  iarank::util::require(wires >= 1, "DavisModel::sample: wires must be >= 1");
+
+  // Tabulate per-integer-length weights once, then draw from the discrete
+  // distribution.
+  const auto l_max = static_cast<std::int64_t>(std::floor(params_.max_length()));
+  std::vector<double> weights;
+  weights.reserve(static_cast<std::size_t>(l_max));
+  for (std::int64_t l = 1; l <= l_max; ++l) {
+    const double lo = (l == 1) ? 1.0 : static_cast<double>(l) - 0.5;
+    const double hi = (l == l_max) ? params_.max_length()
+                                   : static_cast<double>(l) + 0.5;
+    weights.push_back(std::max(0.0, expected_count(lo, hi)));
+  }
+  std::mt19937_64 rng(seed);
+  std::discrete_distribution<std::int64_t> dist(weights.begin(), weights.end());
+
+  std::vector<std::int64_t> counts(weights.size(), 0);
+  for (std::int64_t i = 0; i < wires; ++i) {
+    ++counts[static_cast<std::size_t>(dist(rng))];
+  }
+  std::vector<WireGroup> groups;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) {
+      groups.push_back({static_cast<double>(i + 1), counts[i]});
+    }
+  }
+  return Wld(std::move(groups));
+}
+
+}  // namespace iarank::wld

@@ -1,0 +1,87 @@
+/// \file davis.hpp
+/// \brief Davis-De-Meindl stochastic wire length distribution.
+///
+/// Implements the closed-form a-priori WLD of J. A. Davis, V. K. De and
+/// J. D. Meindl, "A Stochastic Wire-Length Distribution for Gigascale
+/// Integration (GSI) - Part I", IEEE T-ED 45(3), 1998 — reference [4] of
+/// the paper and the WLD used in its experiments (Rent parameter p = 0.6).
+///
+/// The interconnect density (expected wires per unit length, lengths in
+/// gate pitches, N gates on a square array):
+///
+///   region I  (1 <= l < sqrt(N)):
+///       i(l) = (alpha k / 2) * Gamma * (l^3/3 - 2 sqrt(N) l^2 + 2 N l) * l^(2p-4)
+///   region II (sqrt(N) <= l <= 2 sqrt(N)):
+///       i(l) = (alpha k / 6) * Gamma * (2 sqrt(N) - l)^3 * l^(2p-4)
+///
+/// Gamma normalizes the total wire count to the Rent-rule total
+/// T = alpha k N (1 - N^(p-1)); we compute it by numerical quadrature,
+/// which makes the normalization exact by construction.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/wld/wld.hpp"
+
+namespace iarank::wld {
+
+/// Inputs of the Davis model.
+struct DavisParams {
+  std::int64_t gate_count = 0;  ///< N (gates on a sqrt(N) x sqrt(N) array)
+  double rent_p = 0.6;          ///< Rent exponent (paper uses 0.6)
+  double rent_k = 4.0;          ///< Rent coefficient
+  double avg_fanout = 3.0;      ///< average fanout f.o.; alpha = fo/(fo+1)
+
+  /// Fraction alpha = fo / (fo + 1) of the Davis derivation.
+  [[nodiscard]] double alpha() const { return avg_fanout / (avg_fanout + 1.0); }
+
+  /// Longest possible length 2 sqrt(N) [gate pitches].
+  [[nodiscard]] double max_length() const;
+
+  /// Rent-rule total interconnect count T = alpha k N (1 - N^(p-1)).
+  [[nodiscard]] double total_interconnects() const;
+
+  /// Throws util::Error on invalid values (N < 4, p outside (0,1), ...).
+  void validate() const;
+};
+
+/// Evaluator and generator for the Davis WLD.
+class DavisModel {
+ public:
+  /// Validates and pre-computes the normalization constant Gamma.
+  explicit DavisModel(const DavisParams& params);
+
+  [[nodiscard]] const DavisParams& params() const { return params_; }
+
+  /// Normalization constant Gamma (wires, not pairs).
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+  /// Un-normalized density shape (the bracketed polynomial x l^(2p-4),
+  /// including the 1/2 and 1/6 region prefactors but not alpha k Gamma).
+  [[nodiscard]] double raw_shape(double length) const;
+
+  /// Normalized density i(l): expected wires per unit length at `length`
+  /// [gate pitches]. Zero outside [1, 2 sqrt(N)].
+  [[nodiscard]] double density(double length) const;
+
+  /// Expected number of wires with length in [lo, hi].
+  [[nodiscard]] double expected_count(double lo, double hi) const;
+
+  /// Generates the histogram at integer gate-pitch lengths 1..2 sqrt(N).
+  /// Counts are rounded with running-remainder correction so the total
+  /// matches total_interconnects() to within 1 wire.
+  [[nodiscard]] Wld generate() const;
+
+  /// Monte-Carlo variant: samples `wires` lengths from the (integerized)
+  /// density. Models the run-to-run variation a real design's WLD shows
+  /// around the closed-form expectation; deterministic per seed.
+  [[nodiscard]] Wld sample(std::int64_t wires, std::uint64_t seed) const;
+
+ private:
+  DavisParams params_;
+  double sqrt_n_ = 0.0;
+  double gamma_ = 0.0;
+};
+
+}  // namespace iarank::wld

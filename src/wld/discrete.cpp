@@ -1,0 +1,45 @@
+#include "src/wld/discrete.hpp"
+
+#include <cstdlib>
+
+#include "src/util/error.hpp"
+
+namespace iarank::wld {
+
+std::vector<std::int64_t> pair_counts_brute_force(int n) {
+  iarank::util::require(n >= 1 && n <= 64,
+                        "pair_counts_brute_force: n must be in [1, 64]");
+  const int max_l = 2 * (n - 1);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(
+                                       max_l > 0 ? max_l : 0),
+                                   0);
+  for (int x1 = 0; x1 < n; ++x1) {
+    for (int y1 = 0; y1 < n; ++y1) {
+      for (int x2 = 0; x2 < n; ++x2) {
+        for (int y2 = 0; y2 < n; ++y2) {
+          const int l = std::abs(x1 - x2) + std::abs(y1 - y2);
+          if (l >= 1) ++counts[static_cast<std::size_t>(l - 1)];
+        }
+      }
+    }
+  }
+  for (std::int64_t& c : counts) c /= 2;  // ordered -> unordered
+  return counts;
+}
+
+std::int64_t pair_count_exact(int n, int l) {
+  iarank::util::require(n >= 1, "pair_count_exact: n must be >= 1");
+  if (l < 1 || l > 2 * (n - 1)) return 0;
+  std::int64_t ordered = 0;
+  for (int dx = 0; dx <= l; ++dx) {
+    const int dy = l - dx;
+    if (dx > n - 1 || dy > n - 1) continue;
+    const std::int64_t positions = static_cast<std::int64_t>(n - dx) *
+                                   static_cast<std::int64_t>(n - dy);
+    const std::int64_t sign_variants = (dx > 0 && dy > 0) ? 4 : 2;
+    ordered += sign_variants * positions;
+  }
+  return ordered / 2;
+}
+
+}  // namespace iarank::wld

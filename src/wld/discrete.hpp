@@ -1,0 +1,29 @@
+/// \file discrete.hpp
+/// \brief Exact discrete gate-pair enumeration on a square array.
+///
+/// The Davis closed form is derived from the count of gate pairs at each
+/// Manhattan distance on a sqrt(N) x sqrt(N) placement. This module
+/// computes that count exactly — by brute force (O(n^4), tiny arrays) and
+/// by displacement summation (O(l) per distance, any array) — so tests can
+/// validate the continuous model against ground truth.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iarank::wld {
+
+/// Number of *unordered* gate pairs at each Manhattan distance
+/// l = 1 .. 2(n-1) on an n x n array, computed by brute force over all
+/// position pairs. Index 0 of the result corresponds to l = 1.
+/// O(n^4); intended for n <= ~32 in tests.
+[[nodiscard]] std::vector<std::int64_t> pair_counts_brute_force(int n);
+
+/// Unordered gate pairs at Manhattan distance l on an n x n array,
+/// computed exactly by summing over displacement vectors in O(l).
+/// Matches pair_counts_brute_force for all valid l; returns 0 outside
+/// 1 <= l <= 2(n-1).
+[[nodiscard]] std::int64_t pair_count_exact(int n, int l);
+
+}  // namespace iarank::wld

@@ -1,0 +1,51 @@
+#include "src/wld/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iarank::wld {
+
+void write_wld(std::ostream& os, const Wld& wld) {
+  os << "# iarank WLD: " << wld.total_wires() << " wires, "
+     << wld.group_count() << " groups\n";
+  os << "# length_in_gate_pitches count\n";
+  for (const WireGroup& g : wld.groups()) {
+    os << g.length << " " << g.count << "\n";
+  }
+}
+
+void save_wld(const std::string& path, const Wld& wld) {
+  std::ofstream out(path);
+  iarank::util::require(out.good(), "save_wld: cannot open '" + path + "'");
+  write_wld(out, wld);
+}
+
+Wld read_wld(std::istream& is) {
+  std::vector<WireGroup> groups;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = iarank::util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    double length = 0.0;
+    std::int64_t count = 0;
+    fields >> length >> count;
+    iarank::util::require(!fields.fail(),
+                          "read_wld: malformed line " + std::to_string(line_no));
+    groups.push_back({length, count});
+  }
+  return Wld(std::move(groups));
+}
+
+Wld load_wld(const std::string& path) {
+  std::ifstream in(path);
+  iarank::util::require(in.good(), "load_wld: cannot open '" + path + "'");
+  return read_wld(in);
+}
+
+}  // namespace iarank::wld

@@ -1,0 +1,28 @@
+/// \file io.hpp
+/// \brief Plain-text WLD serialization.
+///
+/// Format: one "length count" pair per line (whitespace-separated),
+/// `#` comments and blank lines ignored. Lengths are gate pitches.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/wld/wld.hpp"
+
+namespace iarank::wld {
+
+/// Writes `wld` (longest group first) with a descriptive header comment.
+void write_wld(std::ostream& os, const Wld& wld);
+
+/// Writes to a file; throws util::Error when the file cannot be opened.
+void save_wld(const std::string& path, const Wld& wld);
+
+/// Parses a WLD from a stream; throws util::Error on malformed lines.
+[[nodiscard]] Wld read_wld(std::istream& is);
+
+/// Loads from a file; throws util::Error when unreadable.
+[[nodiscard]] Wld load_wld(const std::string& path);
+
+}  // namespace iarank::wld

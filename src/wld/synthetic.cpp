@@ -1,0 +1,90 @@
+#include "src/wld/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "src/util/error.hpp"
+#include "src/util/numeric.hpp"
+
+namespace iarank::wld {
+
+Wld uniform_length(double length, std::int64_t count) {
+  iarank::util::require(count >= 1, "uniform_length: count must be >= 1");
+  return Wld({{length, count}});
+}
+
+Wld uniform_spread(double min_length, double max_length, std::int64_t groups,
+                   std::int64_t total) {
+  iarank::util::require(groups >= 1, "uniform_spread: groups must be >= 1");
+  iarank::util::require(total >= groups,
+                        "uniform_spread: need at least one wire per group");
+  iarank::util::require(min_length > 0.0 && max_length >= min_length,
+                        "uniform_spread: invalid length range");
+  const auto lengths = iarank::util::linspace(
+      min_length, max_length, static_cast<std::size_t>(groups));
+  const std::int64_t per_group = total / groups;
+  std::int64_t remainder = total - per_group * groups;
+
+  std::vector<WireGroup> out;
+  out.reserve(lengths.size());
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    std::int64_t count = per_group;
+    if (i == 0) count += remainder;  // lengths[0] is the shortest
+    out.push_back({lengths[i], count});
+  }
+  return Wld(std::move(out));
+}
+
+Wld geometric(double max_length, std::int64_t first_count, double decay,
+              double shrink, std::int64_t max_groups) {
+  iarank::util::require(max_length > 0.0, "geometric: max_length must be > 0");
+  iarank::util::require(first_count >= 1, "geometric: first_count must be >= 1");
+  iarank::util::require(decay > 0.0, "geometric: decay must be > 0");
+  iarank::util::require(shrink > 0.0 && shrink < 1.0,
+                        "geometric: shrink must be in (0, 1)");
+  iarank::util::require(max_groups >= 1, "geometric: max_groups must be >= 1");
+
+  std::vector<WireGroup> out;
+  double length = max_length;
+  double count = static_cast<double>(first_count);
+  for (std::int64_t g = 0; g < max_groups; ++g) {
+    const auto rounded = static_cast<std::int64_t>(std::llround(count));
+    if (rounded < 1 || length < 1e-12) break;
+    out.push_back({length, rounded});
+    length *= shrink;
+    count *= decay;
+  }
+  return Wld(std::move(out));
+}
+
+Wld power_law(std::int64_t max_length, double scale, double exponent) {
+  iarank::util::require(max_length >= 1, "power_law: max_length must be >= 1");
+  iarank::util::require(scale > 0.0, "power_law: scale must be > 0");
+  std::vector<WireGroup> out;
+  for (std::int64_t l = 1; l <= max_length; ++l) {
+    const double expected =
+        scale * std::pow(static_cast<double>(l), -exponent);
+    const auto count = static_cast<std::int64_t>(std::llround(expected));
+    if (count > 0) out.push_back({static_cast<double>(l), count});
+  }
+  return Wld(std::move(out));
+}
+
+Wld sampled_exponential(std::int64_t wires, double mean_length,
+                        double max_length, std::uint64_t seed) {
+  iarank::util::require(wires >= 1, "sampled_exponential: wires must be >= 1");
+  iarank::util::require(mean_length > 0.0 && max_length >= 1.0,
+                        "sampled_exponential: invalid lengths");
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> dist(1.0 / mean_length);
+  std::vector<double> lengths;
+  lengths.reserve(static_cast<std::size_t>(wires));
+  for (std::int64_t i = 0; i < wires; ++i) {
+    const double raw = std::clamp(dist(rng), 1.0, max_length);
+    lengths.push_back(std::round(raw));
+  }
+  return Wld::from_lengths(lengths);
+}
+
+}  // namespace iarank::wld

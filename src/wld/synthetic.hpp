@@ -1,0 +1,43 @@
+/// \file synthetic.hpp
+/// \brief Synthetic wire length distributions for tests, examples and
+///        the Figure-2 counterexample.
+///
+/// These generators produce deterministic histograms (no sampling noise)
+/// unless a seed-based sampler is requested explicitly; deterministic
+/// inputs keep rank results reproducible across runs.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/wld/wld.hpp"
+
+namespace iarank::wld {
+
+/// `count` wires all of length `length` [pitches].
+[[nodiscard]] Wld uniform_length(double length, std::int64_t count);
+
+/// `total` wires spread evenly over `groups` lengths equally spaced in
+/// [min_length, max_length] (remainder goes to the shortest group).
+[[nodiscard]] Wld uniform_spread(double min_length, double max_length,
+                                 std::int64_t groups, std::int64_t total);
+
+/// Geometrically decaying counts: group g (longest first) has
+/// round(first_count * decay^g) wires at length max_length * shrink^g,
+/// stopping when the count reaches zero or `max_groups` groups exist.
+[[nodiscard]] Wld geometric(double max_length, std::int64_t first_count,
+                            double decay, double shrink,
+                            std::int64_t max_groups);
+
+/// Power-law histogram over integer lengths 1..max_length:
+/// count(l) = round(scale * l^(-exponent)); zero-count lengths dropped.
+[[nodiscard]] Wld power_law(std::int64_t max_length, double scale,
+                            double exponent);
+
+/// Random lengths from an exponential distribution with the given mean,
+/// clamped to [1, max_length], rounded to integers. Deterministic for a
+/// fixed seed.
+[[nodiscard]] Wld sampled_exponential(std::int64_t wires, double mean_length,
+                                      double max_length, std::uint64_t seed);
+
+}  // namespace iarank::wld

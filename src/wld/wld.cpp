@@ -1,0 +1,112 @@
+#include "src/wld/wld.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace iarank::wld {
+
+Wld::Wld(std::vector<WireGroup> groups) {
+  std::map<double, std::int64_t, std::greater<>> merged;
+  for (const WireGroup& g : groups) {
+    iarank::util::require(g.count >= 0, "Wld: group count must be >= 0");
+    if (g.count == 0) continue;
+    iarank::util::require(g.length > 0.0, "Wld: wire length must be > 0");
+    merged[g.length] += g.count;
+  }
+  groups_.reserve(merged.size());
+  for (const auto& [length, count] : merged) {
+    groups_.push_back({length, count});
+    total_wires_ += count;
+  }
+}
+
+Wld Wld::from_lengths(const std::vector<double>& lengths) {
+  std::vector<WireGroup> groups;
+  groups.reserve(lengths.size());
+  for (const double l : lengths) groups.push_back({l, 1});
+  return Wld(std::move(groups));
+}
+
+double Wld::max_length() const {
+  iarank::util::require(!groups_.empty(), "Wld: empty distribution");
+  return groups_.front().length;
+}
+
+WldStats Wld::stats() const {
+  iarank::util::require(!groups_.empty(), "Wld: empty distribution");
+  WldStats s;
+  s.total_wires = total_wires_;
+  s.max_length = groups_.front().length;
+  s.min_length = groups_.back().length;
+  for (const WireGroup& g : groups_) {
+    s.total_length += g.length * static_cast<double>(g.count);
+  }
+  s.mean_length = s.total_length / static_cast<double>(total_wires_);
+  s.median_length = length_at_rank((total_wires_ + 1) / 2);
+  return s;
+}
+
+std::int64_t Wld::count_longer_than(double length) const {
+  std::int64_t count = 0;
+  for (const WireGroup& g : groups_) {
+    if (g.length <= length) break;
+    count += g.count;
+  }
+  return count;
+}
+
+double Wld::length_at_rank(std::int64_t rank) const {
+  iarank::util::require(rank >= 1 && rank <= total_wires_,
+                        "Wld: rank out of range");
+  std::int64_t seen = 0;
+  for (const WireGroup& g : groups_) {
+    seen += g.count;
+    if (rank <= seen) return g.length;
+  }
+  throw iarank::util::Error("Wld: internal rank accounting error");
+}
+
+Wld Wld::scaled(double factor) const {
+  iarank::util::require(factor > 0.0, "Wld: scale factor must be > 0");
+  std::vector<WireGroup> scaled_groups = groups_;
+  for (WireGroup& g : scaled_groups) g.length *= factor;
+  return Wld(std::move(scaled_groups));
+}
+
+Wld Wld::replicated(std::int64_t factor) const {
+  iarank::util::require(factor >= 1, "Wld: replication factor must be >= 1");
+  std::vector<WireGroup> groups = groups_;
+  for (WireGroup& g : groups) g.count *= factor;
+  return Wld(std::move(groups));
+}
+
+Wld Wld::sliced(double lo, double hi) const {
+  iarank::util::require(lo <= hi, "Wld: invalid slice bounds");
+  std::vector<WireGroup> kept;
+  for (const WireGroup& g : groups_) {
+    if (g.length >= lo && g.length <= hi) kept.push_back(g);
+  }
+  return Wld(std::move(kept));
+}
+
+Wld Wld::merged(const Wld& a, const Wld& b) {
+  std::vector<WireGroup> groups = a.groups_;
+  groups.insert(groups.end(), b.groups_.begin(), b.groups_.end());
+  return Wld(std::move(groups));
+}
+
+std::string Wld::describe() const {
+  std::ostringstream os;
+  os << "WLD: " << total_wires_ << " wires in " << groups_.size() << " groups";
+  if (!groups_.empty()) {
+    os << ", lengths [" << groups_.back().length << ", "
+       << groups_.front().length << "] pitches";
+  }
+  return os.str();
+}
+
+}  // namespace iarank::wld

@@ -1,0 +1,90 @@
+/// \file wld.hpp
+/// \brief Wire length distribution (WLD) container.
+///
+/// A WLD is a histogram: groups of wires sharing one length, kept sorted by
+/// non-increasing length. The paper's Definition 1 ranks wires by that
+/// order: wire rank 1 is the longest. Lengths are in *gate pitches*
+/// (dimensionless); conversion to metres happens where the die model is
+/// known (core::RankEngine).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iarank::wld {
+
+/// A maximal set of wires sharing one length.
+struct WireGroup {
+  double length = 0.0;      ///< wire length [gate pitches]
+  std::int64_t count = 0;   ///< number of wires of this length
+};
+
+/// Summary statistics of a WLD (see Wld::stats()).
+struct WldStats {
+  std::int64_t total_wires = 0;
+  double total_length = 0.0;   ///< sum of all wire lengths [pitches]
+  double mean_length = 0.0;    ///< [pitches]
+  double max_length = 0.0;     ///< [pitches]
+  double min_length = 0.0;     ///< [pitches]
+  double median_length = 0.0;  ///< [pitches]
+};
+
+/// Immutable-after-construction histogram of wire lengths.
+///
+/// Invariants: every group has positive length and count; groups are
+/// strictly decreasing in length (equal lengths are merged).
+class Wld {
+ public:
+  Wld() = default;
+
+  /// Builds from arbitrary groups: merges equal lengths, drops zero-count
+  /// groups, sorts by non-increasing length. Throws util::Error on
+  /// non-positive lengths or negative counts.
+  explicit Wld(std::vector<WireGroup> groups);
+
+  /// Builds from an explicit list of individual wire lengths.
+  [[nodiscard]] static Wld from_lengths(const std::vector<double>& lengths);
+
+  /// Groups, longest first.
+  [[nodiscard]] const std::vector<WireGroup>& groups() const { return groups_; }
+
+  [[nodiscard]] bool empty() const { return groups_.empty(); }
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  [[nodiscard]] std::int64_t total_wires() const { return total_wires_; }
+
+  /// Longest wire length (l_max in the paper); throws util::Error if empty.
+  [[nodiscard]] double max_length() const;
+
+  /// Summary statistics; throws util::Error if empty.
+  [[nodiscard]] WldStats stats() const;
+
+  /// Number of wires with length strictly greater than `length`.
+  [[nodiscard]] std::int64_t count_longer_than(double length) const;
+
+  /// Length of the wire at 1-based rank `rank` (rank 1 = longest).
+  /// Throws util::Error when rank is out of [1, total_wires()].
+  [[nodiscard]] double length_at_rank(std::int64_t rank) const;
+
+  /// Returns a new WLD scaled by `factor` in length (counts unchanged).
+  [[nodiscard]] Wld scaled(double factor) const;
+
+  /// Returns a new WLD with every count multiplied by `factor` (>= 1).
+  [[nodiscard]] Wld replicated(std::int64_t factor) const;
+
+  /// Returns the sub-distribution of wires with length in [lo, hi].
+  [[nodiscard]] Wld sliced(double lo, double hi) const;
+
+  /// Merges two distributions (equal lengths combine).
+  [[nodiscard]] static Wld merged(const Wld& a, const Wld& b);
+
+  /// One-line summary for logs.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<WireGroup> groups_;
+  std::int64_t total_wires_ = 0;
+};
+
+}  // namespace iarank::wld

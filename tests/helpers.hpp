@@ -1,0 +1,91 @@
+/// \file helpers.hpp
+/// \brief Shared test fixtures: deterministic random instances for
+///        oracle cross-validation, and small canned designs.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/core/instance.hpp"
+#include "src/core/options.hpp"
+
+namespace iarank::testing {
+
+/// Parameters of the random-instance generator.
+struct RandomInstanceSpec {
+  int min_pairs = 2;
+  int max_pairs = 3;
+  int min_bunches = 3;
+  int max_bunches = 7;
+  bool with_vias = true;
+  bool allow_infeasible_plans = true;
+};
+
+/// Builds a small random Instance with one wire per bunch (so wire and
+/// bunch granularity coincide and brute force is exact). Deterministic
+/// for a given seed.
+inline core::Instance random_instance(std::uint64_t seed,
+                                      const RandomInstanceSpec& spec = {}) {
+  std::mt19937_64 rng(seed);
+  auto uniform = [&rng](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+  auto uniform_int = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  const int m = uniform_int(spec.min_pairs, spec.max_pairs);
+  const int n = uniform_int(spec.min_bunches, spec.max_bunches);
+
+  std::vector<double> lengths;
+  lengths.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) lengths.push_back(uniform(1.0, 10.0));
+  std::sort(lengths.rbegin(), lengths.rend());
+
+  std::vector<core::Bunch> bunches;
+  for (const double l : lengths) bunches.push_back({l, 1, 1.0});
+
+  std::vector<core::PairInfo> pairs;
+  for (int j = 0; j < m; ++j) {
+    core::PairInfo p;
+    p.name = "pair" + std::to_string(j);
+    p.pitch = uniform(0.5, 3.0);
+    p.via_area = spec.with_vias ? uniform(0.0, 0.05) : 0.0;
+    p.s_opt = 1.0;
+    p.repeater_area = uniform(0.2, 1.5);
+    pairs.push_back(p);
+  }
+
+  std::vector<std::vector<core::DelayPlan>> plans(
+      static_cast<std::size_t>(n),
+      std::vector<core::DelayPlan>(static_cast<std::size_t>(m)));
+  for (int b = 0; b < n; ++b) {
+    for (int j = 0; j < m; ++j) {
+      core::DelayPlan& plan = plans[static_cast<std::size_t>(b)]
+                                   [static_cast<std::size_t>(j)];
+      plan.feasible =
+          !spec.allow_infeasible_plans || uniform(0.0, 1.0) > 0.25;
+      if (plan.feasible) {
+        plan.stages = uniform_int(1, 4);
+        plan.delay = 0.9;
+        plan.area_per_wire =
+            static_cast<double>(plan.stages - 1) *
+            pairs[static_cast<std::size_t>(j)].repeater_area;
+      }
+    }
+  }
+
+  const double capacity = uniform(8.0, 40.0);
+  const double budget = uniform(0.0, 6.0);
+  tech::ViaSpec vias;
+  vias.vias_per_wire = spec.with_vias ? 2.0 : 0.0;
+  vias.vias_per_repeater = spec.with_vias ? 1.0 : 0.0;
+
+  return core::Instance::from_raw(std::move(bunches), std::move(pairs),
+                                  std::move(plans), capacity, budget, vias);
+}
+
+}  // namespace iarank::testing

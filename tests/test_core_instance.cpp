@@ -1,0 +1,198 @@
+/// Tests for core::Instance (raw construction, accounting helpers) and
+/// build_instance (the physical flow of paper Section 5.2).
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hpp"
+#include "src/core/instance.hpp"
+#include "src/tech/die.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+#include "src/wld/synthetic.hpp"
+
+namespace core = iarank::core;
+namespace tech = iarank::tech;
+namespace wld = iarank::wld;
+namespace units = iarank::util::units;
+using iarank::util::Error;
+
+namespace {
+
+core::Instance tiny_instance() {
+  std::vector<core::Bunch> bunches = {{4.0, 2, 1.0}, {2.0, 3, 0.5}};
+  std::vector<core::PairInfo> pairs = {{"top", 1.0, 0.01, 1.0, 0.5},
+                                       {"bottom", 0.5, 0.02, 1.0, 0.25}};
+  core::DelayPlan ok;
+  ok.feasible = true;
+  ok.stages = 3;
+  ok.area_per_wire = 1.0;
+  core::DelayPlan no;  // infeasible
+  std::vector<std::vector<core::DelayPlan>> plans = {{ok, no}, {ok, ok}};
+  return core::Instance::from_raw(bunches, pairs, plans, 20.0, 5.0,
+                                  tech::ViaSpec{});
+}
+
+}  // namespace
+
+TEST(Instance, Shape) {
+  const auto inst = tiny_instance();
+  EXPECT_EQ(inst.bunch_count(), 2u);
+  EXPECT_EQ(inst.pair_count(), 2u);
+  EXPECT_EQ(inst.total_wires(), 5);
+}
+
+TEST(Instance, WiresBeforePrefixSums) {
+  const auto inst = tiny_instance();
+  EXPECT_EQ(inst.wires_before(0), 0);
+  EXPECT_EQ(inst.wires_before(1), 2);
+  EXPECT_EQ(inst.wires_before(2), 5);
+  EXPECT_THROW((void)inst.wires_before(3), Error);
+}
+
+TEST(Instance, WireAreaFormula) {
+  const auto inst = tiny_instance();
+  EXPECT_DOUBLE_EQ(inst.wire_area(0, 0, 2), 4.0 * 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(inst.wire_area(1, 1, 3), 2.0 * 0.5 * 3.0);
+}
+
+TEST(Instance, BlockageUsesPairViaArea) {
+  const auto inst = tiny_instance();
+  // vias_per_wire = 2, vias_per_repeater = 1 (defaults)
+  EXPECT_DOUBLE_EQ(inst.blockage(0, 10.0, 4.0), (2.0 * 10.0 + 4.0) * 0.01);
+  EXPECT_DOUBLE_EQ(inst.blockage(1, 10.0, 4.0), (2.0 * 10.0 + 4.0) * 0.02);
+}
+
+TEST(Instance, MaxFitRespectsAreaAndCount) {
+  const auto inst = tiny_instance();
+  // Pair 0, bunch 0: per-wire area 4.0, capacity 20 -> 5 would fit, but
+  // the bunch only has 2 wires.
+  EXPECT_EQ(inst.max_fit(0, 0, 0, 0.0, 0.0, 0.0), 2);
+  // With 18 units already used only half a wire fits -> 0.
+  EXPECT_EQ(inst.max_fit(0, 0, 0, 18.0, 0.0, 0.0), 0);
+  // Offset consumes bunch wires.
+  EXPECT_EQ(inst.max_fit(0, 0, 1, 0.0, 0.0, 0.0), 1);
+}
+
+TEST(Instance, PlanLookup) {
+  const auto inst = tiny_instance();
+  EXPECT_TRUE(inst.plan(0, 0).feasible);
+  EXPECT_FALSE(inst.plan(0, 1).feasible);
+  EXPECT_EQ(inst.plan(0, 0).repeaters_per_wire(), 2);
+  EXPECT_THROW((void)inst.plan(2, 0), Error);
+}
+
+TEST(Instance, FromRawValidation) {
+  std::vector<core::Bunch> unsorted = {{2.0, 1, 1.0}, {4.0, 1, 1.0}};
+  std::vector<core::PairInfo> pairs = {{"p", 1.0, 0.0, 1.0, 0.5}};
+  std::vector<std::vector<core::DelayPlan>> plans(2,
+                                                  std::vector<core::DelayPlan>(1));
+  EXPECT_THROW((void)core::Instance::from_raw(unsorted, pairs, plans, 10.0,
+                                              1.0, tech::ViaSpec{}),
+               Error);
+
+  std::vector<core::Bunch> ok = {{4.0, 1, 1.0}, {2.0, 1, 1.0}};
+  EXPECT_THROW((void)core::Instance::from_raw(ok, {}, plans, 10.0, 1.0,
+                                              tech::ViaSpec{}),
+               Error);
+  EXPECT_THROW((void)core::Instance::from_raw(ok, pairs, plans, 0.0, 1.0,
+                                              tech::ViaSpec{}),
+               Error);
+  std::vector<std::vector<core::DelayPlan>> short_plans(
+      1, std::vector<core::DelayPlan>(1));
+  EXPECT_THROW((void)core::Instance::from_raw(ok, pairs, short_plans, 10.0,
+                                              1.0, tech::ViaSpec{}),
+               Error);
+}
+
+// --- build_instance ------------------------------------------------------------------
+
+TEST(BuildInstance, BaselineDimensions) {
+  const core::DesignSpec design = core::baseline_design("130nm", 10000);
+  core::RankOptions options;
+  options.bunch_size = 100;
+  const auto wld_pitches = wld::uniform_spread(1.0, 50.0, 10, 1000);
+  const auto inst = core::build_instance(design, options, wld_pitches);
+
+  EXPECT_EQ(inst.pair_count(), 4u);
+  EXPECT_EQ(inst.total_wires(), 1000);
+  // 10 groups x ceil(100/100) bunches each.
+  EXPECT_EQ(inst.bunch_count(), 10u);
+  EXPECT_GT(inst.repeater_budget(), 0.0);
+  // Capacity defaults to 2 x A_d.
+  const tech::DieModel die({10000, design.node.gate_pitch(), 0.4});
+  EXPECT_NEAR(inst.pair_capacity(), 2.0 * die.die_area(), 1e-18);
+}
+
+TEST(BuildInstance, LengthsScaledByEffectivePitch) {
+  const core::DesignSpec design = core::baseline_design("130nm", 10000);
+  const core::RankOptions options;
+  const auto wld_pitches = wld::uniform_length(50.0, 10);
+  const auto inst = core::build_instance(design, options, wld_pitches);
+  const tech::DieModel die({10000, design.node.gate_pitch(), 0.4});
+  EXPECT_NEAR(inst.bunch(0).length, 50.0 * die.effective_gate_pitch(), 1e-15);
+}
+
+TEST(BuildInstance, TargetsFollowLinearModel) {
+  const core::DesignSpec design = core::baseline_design("130nm", 10000);
+  core::RankOptions options;  // linear targets, 500 MHz
+  const auto wld_pitches = wld::Wld({{100.0, 5}, {50.0, 5}});
+  const auto inst = core::build_instance(design, options, wld_pitches);
+  // Longest wire gets the full period; the half-length wire half of it.
+  EXPECT_NEAR(inst.bunch(0).target_delay, 2.0 * units::ns, 1e-15);
+  EXPECT_NEAR(inst.bunch(1).target_delay, 1.0 * units::ns, 1e-15);
+}
+
+TEST(BuildInstance, BunchSizeControlsGranularity) {
+  const core::DesignSpec design = core::baseline_design("130nm", 10000);
+  core::RankOptions coarse;
+  coarse.bunch_size = 1000;
+  core::RankOptions fine;
+  fine.bunch_size = 10;
+  const auto wld_pitches = wld::uniform_length(20.0, 100);
+  EXPECT_EQ(core::build_instance(design, coarse, wld_pitches).bunch_count(),
+            1u);
+  EXPECT_EQ(core::build_instance(design, fine, wld_pitches).bunch_count(),
+            10u);
+}
+
+TEST(BuildInstance, BinningReducesBunches) {
+  const core::DesignSpec design = core::baseline_design("130nm", 10000);
+  core::RankOptions options;
+  options.bin_window = 5.0;
+  const auto wld_pitches =
+      wld::Wld({{100.0, 1}, {99.0, 1}, {98.0, 1}, {50.0, 1}});
+  const auto inst = core::build_instance(design, options, wld_pitches);
+  EXPECT_EQ(inst.bunch_count(), 2u);
+  EXPECT_EQ(inst.total_wires(), 4);
+}
+
+TEST(BuildInstance, MinRepeaterSpacingCapsStages) {
+  core::PaperSetup setup = core::paper_baseline("130nm", 10000);
+  // One long and one very short wire.
+  const auto wld_pitches = wld::Wld({{500.0, 1}, {1.0, 1}});
+  setup.options.clock_frequency = 100.0 * units::GHz;  // brutally tight
+  const auto inst =
+      core::build_instance(setup.design, setup.options, wld_pitches);
+  // The 1-pitch wire can hold at most a handful of stages; at 100 GHz the
+  // quadratic target is unattainable within that cap on every pair.
+  for (std::size_t j = 0; j < inst.pair_count(); ++j) {
+    EXPECT_FALSE(inst.plan(1, j).feasible) << "pair " << j;
+  }
+}
+
+TEST(BuildInstance, EmptyWldThrows) {
+  const core::DesignSpec design = core::baseline_design("130nm", 10000);
+  EXPECT_THROW(
+      (void)core::build_instance(design, core::RankOptions{}, wld::Wld{}),
+      Error);
+}
+
+TEST(BuildInstance, InvalidOptionsThrow) {
+  const core::DesignSpec design = core::baseline_design("130nm", 10000);
+  core::RankOptions options;
+  options.repeater_fraction = 1.0;
+  EXPECT_THROW((void)core::build_instance(design, options,
+                                          wld::uniform_length(10.0, 5)),
+               Error);
+}

@@ -1,0 +1,281 @@
+/// Tests for src/delay: the Otten-Brayton wire delay model (paper Eq. 2-3),
+/// optimal repeater sizing (Eq. 4), insertion solving (Section 4.1), target
+/// models, and the per-architecture electrical stack.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/delay/model.hpp"
+#include "src/delay/stack.hpp"
+#include "src/delay/target.hpp"
+#include "src/tech/node.hpp"
+#include "src/util/error.hpp"
+#include "src/util/numeric.hpp"
+#include "src/util/units.hpp"
+
+namespace delay = iarank::delay;
+namespace tech = iarank::tech;
+namespace units = iarank::util::units;
+using iarank::util::Error;
+
+namespace {
+
+delay::WireDelayModel sample_model() {
+  // Representative semi-global 130nm wire and driver.
+  const delay::LineParams line{300.0 * units::kohm, 300e-12};  // per metre
+  const delay::DriverParams driver{6.7 * units::kohm, 1.5 * units::fF,
+                                   1.5 * units::fF};
+  return delay::WireDelayModel(line, driver);
+}
+
+}  // namespace
+
+// --- construction & validation ------------------------------------------------
+
+TEST(DelayModel, RejectsInvalidParams) {
+  const delay::DriverParams driver{1000.0, 1e-15, 1e-15};
+  EXPECT_THROW(delay::WireDelayModel({0.0, 1e-10}, driver), Error);
+  EXPECT_THROW(delay::WireDelayModel({1e5, -1.0}, driver), Error);
+  EXPECT_THROW(delay::WireDelayModel({1e5, 1e-10}, {0.0, 1e-15, 0.0}), Error);
+  EXPECT_THROW(delay::WireDelayModel({1e5, 1e-10}, {1e3, 1e-15, 1e-15},
+                                     {0.0, 0.7}),
+               Error);
+}
+
+// --- Eq. 4: optimal repeater size ------------------------------------------------
+
+TEST(DelayModel, OptimalSizeClosedForm) {
+  const auto m = sample_model();
+  const double expected = std::sqrt((300e-12 * 6.7e3) / (1.5e-15 * 3.0e5));
+  EXPECT_NEAR(m.optimal_repeater_size(), expected, expected * 1e-12);
+}
+
+TEST(DelayModel, OptimalSizeMinimizesDelayNumerically) {
+  const auto m = sample_model();
+  const double l = 2e-3;
+  const double s_star = iarank::util::golden_min(
+      [&](double s) { return m.delay(l, 8, s); }, 1.0, 10000.0, 1e-12);
+  EXPECT_NEAR(s_star, m.optimal_repeater_size(),
+              m.optimal_repeater_size() * 1e-3);
+}
+
+// --- Eq. 3: delay formula ------------------------------------------------------------
+
+TEST(DelayModel, DelayMatchesManualFormula) {
+  const auto m = sample_model();
+  const double l = 1e-3;
+  const double s = 50.0;
+  const std::int64_t eta = 4;
+  const double a = 0.4;
+  const double b = 0.7;
+  const double manual = b * 6.7e3 * (1.5e-15 + 1.5e-15) * 4.0 +
+                        b * (300e-12 * 6.7e3 / s + 3.0e5 * 1.5e-15 * s) * l +
+                        a * 3.0e5 * 300e-12 * l * l / 4.0;
+  EXPECT_NEAR(m.delay(l, eta, s), manual, manual * 1e-12);
+}
+
+TEST(DelayModel, DelayConvexInStages) {
+  const auto m = sample_model();
+  const double l = 5e-3;
+  const auto opt = m.optimal_stage_count(l);
+  ASSERT_GT(opt, 1);
+  EXPECT_LT(m.delay_opt_size(l, opt), m.delay_opt_size(l, opt - 1));
+  EXPECT_LE(m.delay_opt_size(l, opt), m.delay_opt_size(l, opt + 1));
+}
+
+TEST(DelayModel, ZeroLengthDelayIsDriverOnly) {
+  const auto m = sample_model();
+  const double expected = 0.7 * 6.7e3 * 3.0e-15;  // b r_o (c_o + c_p)
+  EXPECT_NEAR(m.delay(0.0, 1, 10.0), expected, expected * 1e-12);
+}
+
+TEST(DelayModel, InvalidDelayArgsThrow) {
+  const auto m = sample_model();
+  EXPECT_THROW((void)m.delay(-1.0, 1, 1.0), Error);
+  EXPECT_THROW((void)m.delay(1.0, 0, 1.0), Error);
+  EXPECT_THROW((void)m.delay(1.0, 1, 0.0), Error);
+}
+
+// --- stage counts ---------------------------------------------------------------------
+
+TEST(DelayModel, ShortWireNeedsOneStage) {
+  EXPECT_EQ(sample_model().optimal_stage_count(1e-6), 1);
+}
+
+TEST(DelayModel, ContinuousOptimalScalesLinearly) {
+  const auto m = sample_model();
+  EXPECT_NEAR(m.continuous_optimal_stages(2e-3),
+              2.0 * m.continuous_optimal_stages(1e-3), 1e-9);
+}
+
+TEST(DelayModel, MinAchievableDecreasingInBudgetSense) {
+  const auto m = sample_model();
+  // min achievable delay grows with length.
+  EXPECT_LT(m.min_achievable_delay(1e-3), m.min_achievable_delay(2e-3));
+}
+
+// --- stages_to_meet (incremental insertion, Section 4.1) ----------------------------------
+
+TEST(StagesToMeet, GenerousTargetNeedsNoRepeaters) {
+  const auto m = sample_model();
+  const auto sol = m.stages_to_meet(1e-3, 1.0);  // one full second
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->stages, 1);
+  EXPECT_EQ(sol->repeater_count(), 0);
+}
+
+TEST(StagesToMeet, UnattainableTargetReturnsNullopt) {
+  const auto m = sample_model();
+  EXPECT_FALSE(m.stages_to_meet(5e-3, 1e-15).has_value());
+}
+
+TEST(StagesToMeet, SolutionMeetsTargetMinimally) {
+  const auto m = sample_model();
+  const double l = 5e-3;
+  const double target = 1.2 * m.min_achievable_delay(l);
+  const auto sol = m.stages_to_meet(l, target);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_LE(sol->delay, target * (1.0 + 1e-9));
+  if (sol->stages > 1) {
+    // One fewer stage must miss the target (minimality).
+    EXPECT_GT(m.delay_opt_size(l, sol->stages - 1), target);
+  }
+}
+
+TEST(StagesToMeet, MaxStagesCapBlocksSolution) {
+  const auto m = sample_model();
+  const double l = 5e-3;
+  const auto unconstrained = m.stages_to_meet(l, 1.05 * m.min_achievable_delay(l));
+  ASSERT_TRUE(unconstrained.has_value());
+  ASSERT_GT(unconstrained->stages, 2);
+  const auto capped = m.stages_to_meet(l, 1.05 * m.min_achievable_delay(l),
+                                       unconstrained->stages - 1);
+  EXPECT_FALSE(capped.has_value());
+}
+
+TEST(StagesToMeet, ExactlyAchievableAtOptimum) {
+  const auto m = sample_model();
+  const double l = 3e-3;
+  const double target = m.min_achievable_delay(l);
+  const auto sol = m.stages_to_meet(l, target);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->delay, target, target * 1e-9);
+}
+
+/// Property sweep: for many lengths, stages_to_meet at a target slightly
+/// above the minimum achievable must succeed and be minimal.
+class StagesSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StagesSweep, MinimalFeasibleStageCount) {
+  const auto m = sample_model();
+  const double l = GetParam();
+  const double target = 1.1 * m.min_achievable_delay(l);
+  const auto sol = m.stages_to_meet(l, target);
+  ASSERT_TRUE(sol.has_value()) << "l=" << l;
+  EXPECT_LE(sol->delay, target * (1.0 + 1e-9));
+  if (sol->stages > 1) {
+    EXPECT_GT(m.delay_opt_size(l, sol->stages - 1), target * (1.0 - 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, StagesSweep,
+                         ::testing::Values(1e-5, 1e-4, 5e-4, 1e-3, 3e-3, 1e-2,
+                                           3e-2));
+
+// --- target models --------------------------------------------------------------------------
+
+TEST(TargetDelay, LinearMatchesPaperFormula) {
+  // d_i = (l_i / l_max) (1 / f_c), paper Section 4.1.
+  const delay::TargetDelay t(delay::TargetModel::kLinear, 500.0 * units::MHz,
+                             1e-2);
+  EXPECT_NEAR(t.target(1e-2), 2.0 * units::ns, 1e-18);
+  EXPECT_NEAR(t.target(5e-3), 1.0 * units::ns, 1e-18);
+}
+
+TEST(TargetDelay, QuadraticTracksSquare) {
+  const delay::TargetDelay t(delay::TargetModel::kQuadratic, 1.0 * units::GHz,
+                             1e-2);
+  EXPECT_NEAR(t.target(5e-3), 0.25 * units::ns, 1e-18);
+}
+
+TEST(TargetDelay, SqrtLooserForShortWires) {
+  const delay::TargetDelay lin(delay::TargetModel::kLinear, 1e9, 1.0);
+  const delay::TargetDelay sq(delay::TargetModel::kSqrt, 1e9, 1.0);
+  EXPECT_GT(sq.target(0.01), lin.target(0.01));
+  EXPECT_DOUBLE_EQ(sq.target(1.0), lin.target(1.0));
+}
+
+TEST(TargetDelay, UniformIgnoresLength) {
+  const delay::TargetDelay t(delay::TargetModel::kUniform, 2e9, 1.0);
+  EXPECT_DOUBLE_EQ(t.target(0.1), t.target(0.9));
+  EXPECT_DOUBLE_EQ(t.target(0.1), 0.5e-9);
+}
+
+TEST(TargetDelay, ClampsAboveMaxLength) {
+  const delay::TargetDelay t(delay::TargetModel::kLinear, 1e9, 1.0);
+  EXPECT_DOUBLE_EQ(t.target(2.0), t.target(1.0));
+}
+
+TEST(TargetDelay, MonotoneInLength) {
+  for (const auto model :
+       {delay::TargetModel::kLinear, delay::TargetModel::kSqrt,
+        delay::TargetModel::kQuadratic}) {
+    const delay::TargetDelay t(model, 1e9, 1.0);
+    double prev = 0.0;
+    for (double l = 0.1; l <= 1.0; l += 0.1) {
+      EXPECT_GE(t.target(l), prev) << delay::to_string(model);
+      prev = t.target(l);
+    }
+  }
+}
+
+TEST(TargetDelay, InvalidArgsThrow) {
+  EXPECT_THROW(delay::TargetDelay(delay::TargetModel::kLinear, 0.0, 1.0),
+               Error);
+  EXPECT_THROW(delay::TargetDelay(delay::TargetModel::kLinear, 1e9, -1.0),
+               Error);
+  const delay::TargetDelay t(delay::TargetModel::kLinear, 1e9, 1.0);
+  EXPECT_THROW((void)t.target(-0.1), Error);
+}
+
+// --- electrical stack ---------------------------------------------------------------------------
+
+TEST(ElectricalStack, OnePerPairTopFirst) {
+  const auto arch =
+      tech::Architecture::build(tech::node_130nm(), tech::ArchitectureSpec{});
+  const delay::ElectricalStack stack(
+      arch, {tech::copper(), 3.9, 2.0, tech::CapacitanceModel::kSakuraiTamaru});
+  ASSERT_EQ(stack.size(), 4u);
+  // Global wires (wide, thick) have lower resistance than local ones.
+  EXPECT_LT(stack.pair(0).rc.resistance, stack.pair(3).rc.resistance);
+  EXPECT_THROW((void)stack.pair(4), Error);
+}
+
+TEST(ElectricalStack, SoptConsistentWithModel) {
+  const auto arch =
+      tech::Architecture::build(tech::node_90nm(), tech::ArchitectureSpec{});
+  const delay::ElectricalStack stack(
+      arch, {tech::copper(), 3.9, 2.0, tech::CapacitanceModel::kParallelPlate});
+  for (std::size_t j = 0; j < stack.size(); ++j) {
+    EXPECT_DOUBLE_EQ(stack.pair(j).s_opt,
+                     stack.pair(j).model.optimal_repeater_size());
+  }
+}
+
+TEST(ElectricalStack, GlobalPairBuffersLessOften) {
+  // For the same length and generous target, the global pair needs no
+  // more stages than the local pair.
+  const auto arch =
+      tech::Architecture::build(tech::node_130nm(), tech::ArchitectureSpec{});
+  const delay::ElectricalStack stack(
+      arch, {tech::copper(), 3.9, 2.0, tech::CapacitanceModel::kSakuraiTamaru});
+  const double l = 5e-3;
+  const double target = 1.5 * stack.pair(0).model.min_achievable_delay(l);
+  const auto global = stack.pair(0).model.stages_to_meet(l, target);
+  ASSERT_TRUE(global.has_value());
+  const auto local = stack.pair(3).model.stages_to_meet(l, target);
+  if (local.has_value()) {
+    EXPECT_GE(local->stages, global->stages);
+  }
+}

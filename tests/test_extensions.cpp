@@ -1,0 +1,316 @@
+/// Tests for the extension modules: Davis Monte-Carlo sampling, technology
+/// file I/O, geometry tuning, rank sensitivities, the annealing optimizer
+/// and the config-driven run builder.
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/anneal.hpp"
+#include "src/core/config_run.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/tech/io.hpp"
+#include "src/tech/rc.hpp"
+#include "src/tech/tuning.hpp"
+#include "src/util/error.hpp"
+#include "src/wld/davis.hpp"
+
+namespace core = iarank::core;
+namespace tech = iarank::tech;
+namespace wld = iarank::wld;
+using iarank::util::Error;
+
+// --- Davis sampling ---------------------------------------------------------------
+
+TEST(DavisSample, TotalAndDeterminism) {
+  const wld::DavisModel model({100000, 0.6, 4.0, 3.0});
+  const auto a = model.sample(50000, 7);
+  const auto b = model.sample(50000, 7);
+  EXPECT_EQ(a.total_wires(), 50000);
+  EXPECT_EQ(a.group_count(), b.group_count());
+  EXPECT_DOUBLE_EQ(a.stats().mean_length, b.stats().mean_length);
+}
+
+TEST(DavisSample, DifferentSeedsDiffer) {
+  const wld::DavisModel model({100000, 0.6, 4.0, 3.0});
+  const auto a = model.sample(20000, 1);
+  const auto b = model.sample(20000, 2);
+  EXPECT_NE(a.stats().total_length, b.stats().total_length);
+}
+
+TEST(DavisSample, ConvergesToModelMean) {
+  const wld::DavisModel model({100000, 0.6, 4.0, 3.0});
+  const auto expected = model.generate().stats();
+  const auto sampled = model.sample(400000, 3).stats();
+  EXPECT_NEAR(sampled.mean_length / expected.mean_length, 1.0, 0.03);
+}
+
+TEST(DavisSample, InvalidCountThrows) {
+  const wld::DavisModel model({10000, 0.6, 4.0, 3.0});
+  EXPECT_THROW((void)model.sample(0, 1), Error);
+}
+
+// --- technology file I/O ---------------------------------------------------------------
+
+TEST(TechIo, RoundTripAllNodes) {
+  for (const tech::TechNode& node : tech::all_nodes()) {
+    std::ostringstream os;
+    tech::write_node(os, node);
+    const tech::TechNode loaded =
+        tech::node_from_config(iarank::util::Config::parse(os.str()));
+    EXPECT_EQ(loaded.name, node.name);
+    EXPECT_DOUBLE_EQ(loaded.feature_size, node.feature_size);
+    EXPECT_DOUBLE_EQ(loaded.local.min_width, node.local.min_width);
+    EXPECT_DOUBLE_EQ(loaded.global.thickness, node.global.thickness);
+    EXPECT_DOUBLE_EQ(loaded.device.r_o, node.device.r_o);
+    EXPECT_EQ(loaded.total_metal_layers, node.total_metal_layers);
+    EXPECT_DOUBLE_EQ(loaded.max_clock, node.max_clock);
+    EXPECT_EQ(loaded.conductor.name, node.conductor.name);
+  }
+}
+
+TEST(TechIo, MissingKeyThrows) {
+  EXPECT_THROW((void)tech::node_from_config(
+                   iarank::util::Config::parse("name = broken")),
+               Error);
+}
+
+TEST(TechIo, UnknownConductorThrows) {
+  std::ostringstream os;
+  tech::write_node(os, tech::node_130nm());
+  std::string text = os.str();
+  text.replace(text.find("conductor = cu"), 14, "conductor = au");
+  EXPECT_THROW(
+      (void)tech::node_from_config(iarank::util::Config::parse(text)), Error);
+}
+
+TEST(TechIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)tech::load_node("/nonexistent.tech"), Error);
+}
+
+// --- geometry tuning --------------------------------------------------------------------
+
+TEST(Tuning, IdentityLeavesNodeUnchanged) {
+  const tech::TechNode node = tech::node_130nm();
+  const tech::TechNode tuned = tech::apply_tuning(node, {});
+  EXPECT_EQ(tuned.name, node.name);
+  EXPECT_DOUBLE_EQ(tuned.global.min_width, node.global.min_width);
+}
+
+TEST(Tuning, ScalesRequestedTier) {
+  tech::NodeTuning tuning;
+  tuning.global = {2.0, 1.5, 1.2};
+  const tech::TechNode node = tech::node_130nm();
+  const tech::TechNode tuned = tech::apply_tuning(node, tuning);
+  EXPECT_DOUBLE_EQ(tuned.global.min_width, 2.0 * node.global.min_width);
+  EXPECT_DOUBLE_EQ(tuned.global.min_spacing, 1.5 * node.global.min_spacing);
+  EXPECT_DOUBLE_EQ(tuned.global.thickness, 1.2 * node.global.thickness);
+  EXPECT_DOUBLE_EQ(tuned.local.min_width, node.local.min_width);
+  EXPECT_NE(tuned.name, node.name);
+}
+
+TEST(Tuning, WiderGlobalWiresLowerResistance) {
+  tech::NodeTuning tuning;
+  tuning.global.width = 2.0;
+  const tech::TechNode base = tech::node_130nm();
+  const tech::TechNode tuned = tech::apply_tuning(base, tuning);
+  const tech::RcParams params{tech::copper(), 3.9, 2.0,
+                              tech::CapacitanceModel::kParallelPlate};
+  const tech::LayerGeometry g0{base.global.min_width, base.global.min_spacing,
+                               base.global.thickness, base.global.thickness,
+                               base.global.via_width};
+  const tech::LayerGeometry g1{tuned.global.min_width,
+                               tuned.global.min_spacing,
+                               tuned.global.thickness, tuned.global.thickness,
+                               tuned.global.via_width};
+  EXPECT_LT(tech::extract_rc(g1, params).resistance,
+            tech::extract_rc(g0, params).resistance);
+}
+
+TEST(Tuning, InvalidMultiplierThrows) {
+  tech::NodeTuning tuning;
+  tuning.local.width = 0.0;
+  EXPECT_THROW((void)tech::apply_tuning(tech::node_130nm(), tuning), Error);
+}
+
+// --- fixtures for engine-level extension tests --------------------------------------------
+
+namespace {
+
+core::PaperSetup small_setup() {
+  core::PaperSetup setup =
+      core::paper_baseline("130nm", 50000, core::scaled_regime(50000));
+  setup.options.bunch_size = 500;
+  return setup;
+}
+
+const wld::Wld& small_wld() {
+  static const wld::Wld w = core::default_wld(small_setup().design);
+  return w;
+}
+
+}  // namespace
+
+// --- sensitivities -----------------------------------------------------------------------
+
+TEST(Sensitivity, SignsMatchTable4Trends) {
+  const auto setup = small_setup();
+  const auto sens = core::rank_sensitivities(setup.design, setup.options,
+                                             small_wld(), 0.10);
+  ASSERT_EQ(sens.size(), 4u);
+  for (const auto& s : sens) {
+    switch (s.parameter) {
+      case core::SweepParameter::kIldPermittivity:
+      case core::SweepParameter::kMillerFactor:
+      case core::SweepParameter::kClockFrequency:
+        EXPECT_LE(s.elasticity, 0.0) << core::to_string(s.parameter);
+        break;
+      case core::SweepParameter::kRepeaterFraction:
+        EXPECT_GT(s.elasticity, 0.0);
+        break;
+    }
+    EXPECT_GT(s.base_normalized, 0.0);
+    EXPECT_LT(s.low_value, s.high_value);
+  }
+}
+
+TEST(Sensitivity, BudgetElasticityNearUnity) {
+  // The budget-limited regime's signature: rank ~ R.
+  const auto setup = small_setup();
+  const auto sens = core::rank_sensitivities(setup.design, setup.options,
+                                             small_wld(), 0.10);
+  for (const auto& s : sens) {
+    if (s.parameter == core::SweepParameter::kRepeaterFraction) {
+      EXPECT_NEAR(s.elasticity, 1.0, 0.45);
+    }
+  }
+}
+
+TEST(Sensitivity, InvalidStepThrows) {
+  const auto setup = small_setup();
+  EXPECT_THROW((void)core::rank_sensitivities(setup.design, setup.options,
+                                              small_wld(), 0.0),
+               Error);
+}
+
+// --- annealing optimizer -----------------------------------------------------------------------
+
+TEST(Anneal, ImprovesOnBaselineAndIsDeterministic) {
+  const auto setup = small_setup();
+  core::AnnealOptions opts;
+  opts.iterations = 60;
+  opts.seed = 11;
+  const auto a = core::anneal_architecture(setup.design.node, 50000,
+                                           setup.options, small_wld(), opts);
+  const auto b = core::anneal_architecture(setup.design.node, 50000,
+                                           setup.options, small_wld(), opts);
+  const auto baseline =
+      core::compute_rank(setup.design, setup.options, small_wld());
+  EXPECT_GE(a.best_result.rank, baseline.rank);
+  EXPECT_EQ(a.best_result.rank, b.best_result.rank);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_TRUE(a.best_result.all_assigned);
+}
+
+TEST(Anneal, TrajectoryIsMonotoneBestSoFar) {
+  const auto setup = small_setup();
+  core::AnnealOptions opts;
+  opts.iterations = 40;
+  const auto result = core::anneal_architecture(
+      setup.design.node, 50000, setup.options, small_wld(), opts);
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_GE(result.trajectory[i], result.trajectory[i - 1]);
+  }
+}
+
+TEST(Anneal, InvalidOptionsThrow) {
+  const auto setup = small_setup();
+  core::AnnealOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW((void)core::anneal_architecture(setup.design.node, 50000,
+                                               setup.options, small_wld(),
+                                               opts),
+               Error);
+  opts = {};
+  opts.multipliers.clear();
+  EXPECT_THROW((void)core::anneal_architecture(setup.design.node, 50000,
+                                               setup.options, small_wld(),
+                                               opts),
+               Error);
+}
+
+// --- config-driven runs ---------------------------------------------------------------------------
+
+TEST(ConfigRun, DefaultsAreThePaperBaseline) {
+  const auto spec =
+      core::run_spec_from_config(iarank::util::Config::parse(""));
+  EXPECT_EQ(spec.design.node.name, "130nm");
+  EXPECT_EQ(spec.design.gate_count, 1000000);
+  EXPECT_DOUBLE_EQ(spec.options.ild_permittivity, 3.9);
+  EXPECT_DOUBLE_EQ(spec.options.repeater_fraction, 0.4);
+  EXPECT_EQ(spec.options.target_model, iarank::delay::TargetModel::kQuadratic);
+}
+
+TEST(ConfigRun, OverridesApply) {
+  const auto spec = core::run_spec_from_config(iarank::util::Config::parse(
+      "node = 90nm\n"
+      "gates = 250000\n"
+      "ild_permittivity = 2.7\n"
+      "miller_factor = 1.5\n"
+      "clock_hz = 1e9\n"
+      "repeater_fraction = 0.2\n"
+      "arch.semi_global_pairs = 3\n"
+      "bunch_size = 2000\n"
+      "target_model = linear\n"
+      "cap_model = sakurai\n"
+      "wld.rent_p = 0.65\n"));
+  EXPECT_EQ(spec.design.node.name, "90nm");
+  EXPECT_EQ(spec.design.gate_count, 250000);
+  EXPECT_DOUBLE_EQ(spec.options.ild_permittivity, 2.7);
+  EXPECT_DOUBLE_EQ(spec.options.miller_factor, 1.5);
+  EXPECT_DOUBLE_EQ(spec.options.clock_frequency, 1e9);
+  EXPECT_EQ(spec.design.arch.semi_global_pairs, 3);
+  EXPECT_EQ(spec.options.bunch_size, 2000);
+  EXPECT_EQ(spec.options.target_model, iarank::delay::TargetModel::kLinear);
+  EXPECT_EQ(spec.options.cap_model,
+            tech::CapacitanceModel::kSakuraiTamaru);
+  EXPECT_DOUBLE_EQ(spec.wld.rent_p, 0.65);
+}
+
+TEST(ConfigRun, RawPhysicalMode) {
+  const auto spec = core::run_spec_from_config(
+      iarank::util::Config::parse("paper_regime = 0\nnode = 180nm"));
+  // Raw mode: untouched physical node, default options.
+  EXPECT_DOUBLE_EQ(spec.design.node.gate_pitch_factor, 12.6);
+  EXPECT_EQ(spec.options.target_model, iarank::delay::TargetModel::kLinear);
+}
+
+TEST(ConfigRun, UnknownEnumThrows) {
+  EXPECT_THROW((void)core::run_spec_from_config(
+                   iarank::util::Config::parse("cap_model = magic")),
+               Error);
+  EXPECT_THROW((void)core::run_spec_from_config(
+                   iarank::util::Config::parse("target_model = cubic")),
+               Error);
+}
+
+TEST(ConfigRun, ResolveWldUsesDavisByDefault) {
+  auto spec =
+      core::run_spec_from_config(iarank::util::Config::parse("gates = 10000"));
+  const auto w = core::resolve_wld(spec);
+  EXPECT_GT(w.total_wires(), 10000);
+}
+
+TEST(ConfigRun, EndToEndRank) {
+  const auto spec = core::run_spec_from_config(iarank::util::Config::parse(
+      "gates = 50000\n"
+      "regime.die_scale = 27\n"
+      "regime.repeater_cell_f2 = 160\n"
+      "regime.capacity_factor = 0.0665\n"
+      "bunch_size = 500\n"));
+  const auto w = core::resolve_wld(spec);
+  const auto r = core::compute_rank(spec.design, spec.options, w);
+  EXPECT_TRUE(r.all_assigned);
+  EXPECT_GT(r.rank, 0);
+}

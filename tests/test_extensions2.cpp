@@ -1,0 +1,163 @@
+/// Tests for the second extension wave: driver-area reconciliation
+/// (paper footnote 3), minimum-layer-count search, and parallel sweeps.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/error.hpp"
+
+namespace core = iarank::core;
+namespace wld = iarank::wld;
+using iarank::util::Error;
+
+namespace {
+
+core::PaperSetup small_setup() {
+  core::PaperSetup setup =
+      core::paper_baseline("130nm", 50000, core::scaled_regime(50000));
+  setup.options.bunch_size = 500;
+  return setup;
+}
+
+const wld::Wld& small_wld() {
+  static const wld::Wld w = core::default_wld(small_setup().design);
+  return w;
+}
+
+}  // namespace
+
+// --- footnote 3: driver-area reconciliation --------------------------------------
+
+TEST(ChargeDrivers, ReducesRankInBudgetLimitedRegime) {
+  const auto setup = small_setup();
+  const auto base = core::compute_rank(setup.design, setup.options, small_wld());
+  core::RankOptions charged = setup.options;
+  charged.charge_drivers = true;
+  const auto with = core::compute_rank(setup.design, charged, small_wld());
+  // Charging one extra cell per wire strictly increases per-wire demand.
+  EXPECT_LT(with.rank, base.rank);
+  EXPECT_GT(with.rank, 0);
+}
+
+TEST(ChargeDrivers, PlanAreasIncludeDriverCell) {
+  const auto setup = small_setup();
+  core::RankOptions charged = setup.options;
+  charged.charge_drivers = true;
+  const auto base_inst =
+      core::build_instance(setup.design, setup.options, small_wld());
+  const auto charged_inst =
+      core::build_instance(setup.design, charged, small_wld());
+  ASSERT_EQ(base_inst.bunch_count(), charged_inst.bunch_count());
+  bool found = false;
+  for (std::size_t b = 0; b < base_inst.bunch_count() && !found; ++b) {
+    for (std::size_t j = 0; j < base_inst.pair_count(); ++j) {
+      const auto& p0 = base_inst.plan(b, j);
+      const auto& p1 = charged_inst.plan(b, j);
+      if (p0.feasible) {
+        EXPECT_TRUE(p1.feasible);
+        EXPECT_NEAR(p1.area_per_wire - p0.area_per_wire,
+                    base_inst.pair(j).repeater_area,
+                    base_inst.pair(j).repeater_area * 1e-9);
+        found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- minimum layer count --------------------------------------------------------------
+
+TEST(MinPairs, FindsSmallestStackForModestTarget) {
+  const auto setup = small_setup();
+  core::OptimizerOptions bounds;
+  bounds.min_total_pairs = 1;
+  bounds.max_total_pairs = 5;
+  bounds.max_global_pairs = 2;
+  bounds.max_semi_global_pairs = 2;
+  bounds.max_local_pairs = 2;
+
+  const auto result = core::min_pairs_for_rank(
+      setup.design.node, 50000, setup.options, small_wld(), 0.10, bounds);
+  ASSERT_TRUE(result.achievable);
+  EXPECT_GE(result.result.normalized, 0.10);
+
+  // A tighter target needs at least as many pairs.
+  const auto harder = core::min_pairs_for_rank(
+      setup.design.node, 50000, setup.options, small_wld(), 0.35, bounds);
+  if (harder.achievable) {
+    EXPECT_GE(harder.spec.total_pairs(), result.spec.total_pairs());
+  }
+}
+
+TEST(MinPairs, ImpossibleTargetReportsUnachievable) {
+  const auto setup = small_setup();
+  core::OptimizerOptions bounds;
+  bounds.min_total_pairs = 1;
+  bounds.max_total_pairs = 2;
+  bounds.max_global_pairs = 1;
+  bounds.max_semi_global_pairs = 1;
+  bounds.max_local_pairs = 1;
+  const auto result = core::min_pairs_for_rank(
+      setup.design.node, 50000, setup.options, small_wld(), 0.999, bounds);
+  EXPECT_FALSE(result.achievable);
+}
+
+TEST(MinPairs, InvalidTargetThrows) {
+  const auto setup = small_setup();
+  EXPECT_THROW((void)core::min_pairs_for_rank(setup.design.node, 50000,
+                                              setup.options, small_wld(), 1.5),
+               Error);
+}
+
+// --- parallel sweeps -------------------------------------------------------------------------
+
+TEST(ParallelSweep, MatchesSequentialExactly) {
+  const auto setup = small_setup();
+  const std::vector<double> values = {3.9, 3.5, 3.1, 2.7, 2.3, 1.9};
+  const auto seq = core::sweep_parameter(setup.design, setup.options,
+                                         small_wld(),
+                                         core::SweepParameter::kIldPermittivity,
+                                         values, 1);
+  const auto par = core::sweep_parameter(setup.design, setup.options,
+                                         small_wld(),
+                                         core::SweepParameter::kIldPermittivity,
+                                         values, 4);
+  ASSERT_EQ(seq.points.size(), par.points.size());
+  for (std::size_t i = 0; i < seq.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq.points[i].value, par.points[i].value);
+    EXPECT_EQ(seq.points[i].result.rank, par.points[i].result.rank);
+    EXPECT_EQ(seq.points[i].result.repeater_count,
+              par.points[i].result.repeater_count);
+  }
+}
+
+TEST(ParallelSweep, MoreThreadsThanPoints) {
+  const auto setup = small_setup();
+  const auto sweep = core::sweep_parameter(
+      setup.design, setup.options, small_wld(),
+      core::SweepParameter::kRepeaterFraction, {0.2, 0.4}, 16);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_GT(sweep.points[1].result.rank, 0);
+}
+
+TEST(ParallelSweep, ZeroThreadsThrows) {
+  const auto setup = small_setup();
+  EXPECT_THROW((void)core::sweep_parameter(
+                   setup.design, setup.options, small_wld(),
+                   core::SweepParameter::kMillerFactor, {2.0}, 0),
+               Error);
+}
+
+TEST(ParallelSweep, PropagatesWorkerExceptions) {
+  const auto setup = small_setup();
+  // An invalid value (negative Miller factor) must surface as util::Error
+  // even when thrown inside a worker thread.
+  EXPECT_THROW((void)core::sweep_parameter(
+                   setup.design, setup.options, small_wld(),
+                   core::SweepParameter::kMillerFactor, {2.0, -1.0, 1.5}, 3),
+               Error);
+}

@@ -1,0 +1,213 @@
+/// Tests for core::free_pack — the paper's greedy_assign (Alg. 5 / M''),
+/// the delay-free bottom-up packer proven optimal by Lemma 1.
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/core/free_pack.hpp"
+#include "src/core/instance.hpp"
+#include "tests/helpers.hpp"
+
+namespace core = iarank::core;
+namespace tech = iarank::tech;
+
+namespace {
+
+/// Instance with no delay plans (packing only): lengths/counts and two
+/// pairs with different pitches.
+core::Instance pack_instance(double capacity, double via_area = 0.0,
+                             tech::ViaSpec vias = {0.0, 0.0}) {
+  std::vector<core::Bunch> bunches = {{4.0, 2, 1.0}, {2.0, 4, 1.0},
+                                      {1.0, 6, 1.0}};
+  std::vector<core::PairInfo> pairs = {{"top", 1.0, via_area, 1.0, 1.0},
+                                       {"bottom", 1.0, via_area, 1.0, 1.0}};
+  std::vector<std::vector<core::DelayPlan>> plans(
+      3, std::vector<core::DelayPlan>(2));
+  return core::Instance::from_raw(bunches, pairs, plans, capacity, 0.0, vias);
+}
+
+}  // namespace
+
+TEST(FreePack, EverythingFitsComfortably) {
+  // Total demand: 2*4 + 4*2 + 6*1 = 22; two pairs of 20 each.
+  const auto inst = pack_instance(20.0);
+  const auto loads = core::free_pack(inst, {});
+  ASSERT_TRUE(loads.has_value());
+  std::int64_t placed = 0;
+  for (const auto& l : *loads) placed += l.wires;
+  EXPECT_EQ(placed, inst.total_wires());
+}
+
+TEST(FreePack, BottomPairFilledFirst) {
+  const auto inst = pack_instance(20.0);
+  const auto loads = core::free_pack(inst, {});
+  ASSERT_TRUE(loads.has_value());
+  // Bottom pair (index 1) holds the short wires: 6*1 + 4*2 + ...
+  // Greedy bottom-up packs 6+4 wires (area 6+8=14) then 1 long wire (18),
+  // leaving 1 long wire for the top pair.
+  ASSERT_EQ(loads->size(), 2u);
+  EXPECT_EQ((*loads)[0].pair, 0u);
+  EXPECT_EQ((*loads)[0].wires, 1);
+  EXPECT_EQ((*loads)[1].pair, 1u);
+  EXPECT_EQ((*loads)[1].wires, 11);
+}
+
+TEST(FreePack, InfeasibleWhenTooTight) {
+  // Demand 22 > 2 x 10.
+  const auto inst = pack_instance(10.0);
+  EXPECT_FALSE(core::free_pack(inst, {}).has_value());
+}
+
+TEST(FreePack, WireGranularityBlocksFractionalFit) {
+  // Capacity 11 per pair, demand 22: an exact split would need 2.5 of the
+  // length-2 wires in the bottom pair — wires are atomic, so infeasible.
+  const auto inst = pack_instance(11.0);
+  EXPECT_FALSE(core::free_pack(inst, {}).has_value());
+}
+
+TEST(FreePack, SplitsBunchAcrossPairs) {
+  const auto inst = pack_instance(12.0);
+  const auto loads = core::free_pack(inst, {});
+  ASSERT_TRUE(loads.has_value());
+  // Bottom: 6 shorts (6) + 3 mids (6) = 12 full; the mid bunch splits,
+  // its 4th wire lands on the top pair with the 2 longs (2 + 8 = 10).
+  ASSERT_EQ(loads->size(), 2u);
+  EXPECT_EQ((*loads)[1].wires, 9);
+  EXPECT_EQ((*loads)[0].wires, 3);
+  std::int64_t total = 0;
+  for (const auto& l : *loads) total += l.wires;
+  EXPECT_EQ(total, 12);
+}
+
+TEST(FreePack, OffsetSkipsPrefixWires) {
+  const auto inst = pack_instance(20.0);
+  core::FreePackInput in;
+  in.first_bunch = 0;
+  in.first_bunch_offset = 2;  // both long wires already placed elsewhere
+  const auto loads = core::free_pack(inst, in);
+  ASSERT_TRUE(loads.has_value());
+  std::int64_t total = 0;
+  for (const auto& l : *loads) total += l.wires;
+  EXPECT_EQ(total, 10);
+}
+
+TEST(FreePack, FirstPairAreaAlreadyUsed) {
+  // Capacity 12 per pair fits the suffix; pre-using 5 units in the first
+  // pair must make it infeasible.
+  const auto inst = pack_instance(12.0);
+  EXPECT_TRUE(core::free_pack(inst, {}).has_value());
+  core::FreePackInput in;
+  in.area_used_first_pair = 5.0;
+  EXPECT_FALSE(core::free_pack(inst, in).has_value());
+}
+
+TEST(FreePack, StartAtLowerPairOnly) {
+  const auto inst = pack_instance(22.0);
+  core::FreePackInput in;
+  in.first_pair = 1;  // only the bottom pair is available
+  EXPECT_TRUE(core::free_pack(inst, in).has_value());
+  core::FreePackInput tight = in;
+  tight.area_used_first_pair = 1.0;
+  EXPECT_FALSE(core::free_pack(inst, tight).has_value());
+}
+
+TEST(FreePack, NothingToPlaceIsTriviallyFeasible) {
+  const auto inst = pack_instance(1.0);
+  core::FreePackInput in;
+  in.first_bunch = 3;  // past the last bunch
+  const auto loads = core::free_pack(inst, in);
+  ASSERT_TRUE(loads.has_value());
+  EXPECT_TRUE(loads->empty());
+}
+
+TEST(FreePack, RepeaterViasShrinkLowerPairs) {
+  // Via blockage from repeaters above: each repeater blocks via_area in
+  // every pair below the first.
+  tech::ViaSpec vias{0.0, 1.0};  // only repeater vias
+  const auto inst = pack_instance(12.0, /*via_area=*/0.5, vias);
+  core::FreePackInput in;
+  in.repeaters_total = 0.0;
+  EXPECT_TRUE(core::free_pack(inst, in).has_value());
+  in.repeaters_total = 10.0;  // blocks 5.0 area in the bottom pair
+  EXPECT_FALSE(core::free_pack(inst, in).has_value());
+}
+
+TEST(FreePack, WireViasShrinkButReleaseAsPacked) {
+  // Wires above a pair block it; wires packed at or below it do not.
+  // With vias_per_wire = 1 and via_area = 0.2: if all 12 wires were
+  // "above" the bottom pair it would lose 2.4 of its 12.2; packing wires
+  // into it releases blockage as they move at-or-below, leaving exactly
+  // enough room for the 2-mid + 2-long top load.
+  tech::ViaSpec vias{1.0, 0.0};
+  const auto inst = pack_instance(12.2, /*via_area=*/0.2, vias);
+  EXPECT_TRUE(core::free_pack(inst, {}).has_value());
+}
+
+TEST(FreePack, LoadsAreaAccountingConsistent) {
+  const auto inst = pack_instance(20.0);
+  const auto loads = core::free_pack(inst, {});
+  ASSERT_TRUE(loads.has_value());
+  for (const auto& l : *loads) {
+    EXPECT_GT(l.wires, 0);
+    EXPECT_LE(l.wire_area, inst.pair_capacity() * (1.0 + 1e-9));
+  }
+}
+
+/// Randomized cross-check: free_pack feasibility equals exhaustive
+/// packing feasibility on tiny delay-free instances.
+class FreePackOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+
+/// Exhaustive packing check at wire granularity (count-1 bunches):
+/// all monotone assignments bunch -> pair, with blockage accounting.
+bool exhaustive_packable(const core::Instance& inst) {
+  const std::size_t n = inst.bunch_count();
+  const std::size_t m = inst.pair_count();
+  std::vector<std::size_t> ends(m, 0);
+  std::function<bool(std::size_t, std::size_t)> rec =
+      [&](std::size_t pair, std::size_t assigned) -> bool {
+    if (pair == m) {
+      if (assigned != n) return false;
+      // Verify areas with blockage (no repeaters).
+      std::size_t start = 0;
+      double wires_above = 0.0;
+      for (std::size_t q = 0; q < m; ++q) {
+        double area = 0.0;
+        double here = 0.0;
+        for (std::size_t t = start; t < ends[q]; ++t) {
+          area += inst.wire_area(t, q, inst.bunch(t).count);
+          here += static_cast<double>(inst.bunch(t).count);
+        }
+        if (area > inst.pair_capacity() - inst.blockage(q, wires_above, 0.0) +
+                       inst.pair_capacity() * 1e-9) {
+          return false;
+        }
+        wires_above += here;
+        start = ends[q];
+      }
+      return true;
+    }
+    for (std::size_t take = 0; take <= n - assigned; ++take) {
+      ends[pair] = assigned + take;
+      if (rec(pair + 1, assigned + take)) return true;
+    }
+    return false;
+  };
+  return rec(0, 0);
+}
+
+}  // namespace
+
+TEST_P(FreePackOracle, MatchesExhaustivePacking) {
+  iarank::testing::RandomInstanceSpec spec;
+  spec.min_bunches = 3;
+  spec.max_bunches = 6;
+  const auto inst = iarank::testing::random_instance(GetParam(), spec);
+  EXPECT_EQ(core::free_pack_feasible(inst, {}), exhaustive_packable(inst))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreePackOracle,
+                         ::testing::Range<std::uint64_t>(0, 60));

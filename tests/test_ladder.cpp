@@ -1,0 +1,162 @@
+/// Tests for the RC-ladder simulator (src/delay/ladder) and its
+/// cross-validation of the paper's closed-form delay model: the Elmore
+/// delay must match the closed form at (a, b) = (0.5, 1.0) and the true
+/// 50% transient must be approximated by the paper's (0.4, 0.7).
+
+#include <gtest/gtest.h>
+
+#include "src/delay/ladder.hpp"
+#include "src/delay/model.hpp"
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace delay = iarank::delay;
+namespace units = iarank::util::units;
+using iarank::util::Error;
+
+namespace {
+
+delay::LadderSpec sample_spec() {
+  delay::LadderSpec spec;
+  spec.driver_resistance = 1.0 * units::kohm;
+  spec.driver_parasitic = 5.0 * units::fF;
+  spec.load_capacitance = 10.0 * units::fF;
+  spec.resistance_per_m = 300.0 * units::kohm;
+  spec.capacitance_per_m = 300e-12;
+  spec.length = 1.0 * units::mm;
+  spec.sections = 400;
+  return spec;
+}
+
+delay::WireDelayModel sample_model() {
+  return delay::WireDelayModel({300.0 * units::kohm, 300e-12},
+                               {6.7 * units::kohm, 1.5 * units::fF,
+                                1.5 * units::fF});
+}
+
+}  // namespace
+
+TEST(Ladder, SpecValidation) {
+  auto spec = sample_spec();
+  spec.sections = 0;
+  EXPECT_THROW((void)delay::RcLadder(spec), Error);
+  spec = sample_spec();
+  spec.driver_resistance = 0.0;
+  EXPECT_THROW((void)delay::RcLadder(spec), Error);
+}
+
+TEST(Ladder, ElmoreMatchesAnalyticFormula) {
+  const auto spec = sample_spec();
+  const delay::RcLadder ladder(spec);
+  // Continuous-limit Elmore: R(CL + cp + cl) + r l (CL + cl/2), with the
+  // discretized line carrying a +cl/(2n) lumping correction.
+  const double r = spec.driver_resistance;
+  const double cw = spec.capacitance_per_m * spec.length;
+  const double rw = spec.resistance_per_m * spec.length;
+  const double continuous = r * (spec.load_capacitance + spec.driver_parasitic +
+                                 cw) +
+                            rw * (spec.load_capacitance + cw / 2.0);
+  EXPECT_NEAR(ladder.elmore_delay(), continuous, continuous * 5e-3);
+}
+
+TEST(Ladder, ElmoreConvergesWithSections) {
+  auto coarse_spec = sample_spec();
+  coarse_spec.sections = 10;
+  auto fine_spec = sample_spec();
+  fine_spec.sections = 2000;
+  const double coarse = delay::RcLadder(coarse_spec).elmore_delay();
+  const double fine = delay::RcLadder(fine_spec).elmore_delay();
+  // The discretization error shrinks ~1/n.
+  EXPECT_NEAR(coarse / fine, 1.0, 0.03);
+}
+
+TEST(Ladder, TransientBelowElmore) {
+  // Elmore overestimates the 50% delay of RC ladders (it is the mean of
+  // the impulse response, and the response is skewed right).
+  const delay::RcLadder ladder(sample_spec());
+  const double t50 = ladder.transient_delay50();
+  EXPECT_LT(t50, ladder.elmore_delay());
+  EXPECT_GT(t50, 0.3 * ladder.elmore_delay());
+}
+
+TEST(Ladder, TransientScalesWithLength) {
+  auto spec = sample_spec();
+  const double t1 = delay::RcLadder(spec).transient_delay50();
+  spec.length *= 2.0;
+  const double t2 = delay::RcLadder(spec).transient_delay50();
+  // Wire-dominated: delay grows superlinearly (towards quadratically).
+  EXPECT_GT(t2, 1.8 * t1);
+}
+
+TEST(Ladder, ClosedFormElmoreCoefficients) {
+  // The paper's Eq. 2 with (a, b) = (0.5, 1.0) IS the Elmore delay of the
+  // driven distributed line; verify against the ladder.
+  const auto model = sample_model();
+  const double l = 2.0 * units::mm;
+  const double s = model.optimal_repeater_size();
+
+  delay::LadderSpec spec;
+  spec.driver_resistance = model.driver().r_o / s;
+  spec.driver_parasitic = model.driver().c_p * s;
+  spec.load_capacitance = model.driver().c_o * s;
+  spec.resistance_per_m = model.line().resistance;
+  spec.capacitance_per_m = model.line().capacitance;
+  spec.length = l;
+  spec.sections = 2000;
+
+  const delay::WireDelayModel elmore_model(model.line(), model.driver(),
+                                           {0.5, 1.0});
+  EXPECT_NEAR(delay::RcLadder(spec).elmore_delay(),
+              elmore_model.delay(l, 1, s),
+              elmore_model.delay(l, 1, s) * 5e-3);
+}
+
+TEST(Ladder, PaperConstantsApproximateTransient) {
+  // a = 0.4, b = 0.7 are 50%-crossing fitting constants; the closed form
+  // should track the simulated 50% delay within ~25% across lengths.
+  const auto model = sample_model();
+  const double s = model.optimal_repeater_size();
+  for (const double l : {0.5e-3, 1e-3, 2e-3, 5e-3}) {
+    const double simulated = delay::simulate_repeated_wire(model, l, 1, s, 400);
+    const double closed = model.delay(l, 1, s);
+    EXPECT_NEAR(closed / simulated, 1.0, 0.25) << "l=" << l;
+  }
+}
+
+TEST(Ladder, RepeatedWireSimulationTracksClosedForm) {
+  const auto model = sample_model();
+  const double l = 4e-3;
+  const double s = model.optimal_repeater_size();
+  const auto stages = model.optimal_stage_count(l);
+  const double simulated =
+      delay::simulate_repeated_wire(model, l, stages, s, 200);
+  const double closed = model.delay(l, stages, s);
+  EXPECT_NEAR(closed / simulated, 1.0, 0.25);
+}
+
+TEST(Ladder, RepeatersReduceSimulatedDelayOfLongWires) {
+  const auto model = sample_model();
+  const double l = 5e-3;
+  const double s = model.optimal_repeater_size();
+  const double unbuffered = delay::simulate_repeated_wire(model, l, 1, s, 200);
+  const auto opt = model.optimal_stage_count(l);
+  ASSERT_GT(opt, 1);
+  const double buffered = delay::simulate_repeated_wire(model, l, opt, s, 200);
+  EXPECT_LT(buffered, unbuffered);
+}
+
+TEST(Ladder, OptimalSizeNearSimulatedOptimum) {
+  // The Eq. 4 closed-form s_opt should sit near the simulated optimum.
+  const auto model = sample_model();
+  const double l = 2e-3;
+  const double s_opt = model.optimal_repeater_size();
+  const double at_opt = delay::simulate_repeated_wire(model, l, 4, s_opt, 200);
+  EXPECT_LT(at_opt, delay::simulate_repeated_wire(model, l, 4, s_opt * 3.0, 200));
+  EXPECT_LT(at_opt, delay::simulate_repeated_wire(model, l, 4, s_opt / 3.0, 200));
+}
+
+TEST(Ladder, InvalidSimulateArgsThrow) {
+  const auto model = sample_model();
+  EXPECT_THROW((void)delay::simulate_repeated_wire(model, -1.0, 1, 1.0), Error);
+  EXPECT_THROW((void)delay::simulate_repeated_wire(model, 1.0, 0, 1.0), Error);
+}

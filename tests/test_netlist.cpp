@@ -1,0 +1,187 @@
+/// Tests for the synthetic netlist substrate: Rent-driven generation,
+/// Z-order placement, wire-length extraction, Rent-characteristic
+/// measurement, and end-to-end agreement with the Davis model.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/generate.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/netlist/place.hpp"
+#include "src/util/error.hpp"
+#include "src/wld/davis.hpp"
+
+namespace netlist = iarank::netlist;
+namespace wld = iarank::wld;
+using iarank::util::Error;
+
+// --- container ----------------------------------------------------------------
+
+TEST(Netlist, ValidatesPins) {
+  EXPECT_THROW(netlist::Netlist(2, {{{0, 5}}}), Error);   // pin out of range
+  EXPECT_THROW(netlist::Netlist(2, {{{0}}}), Error);      // < 2 pins
+  EXPECT_THROW(netlist::Netlist(0, {}), Error);           // no gates
+}
+
+TEST(Netlist, Degrees) {
+  const netlist::Netlist nl(4, {{{0, 1}}, {{1, 2, 3}}});
+  EXPECT_EQ(nl.pin_count(), 5);
+  EXPECT_DOUBLE_EQ(nl.average_degree(), 2.5);
+}
+
+// --- Z-order placement -----------------------------------------------------------
+
+TEST(Place, ZOrderFirstQuad) {
+  // Gates 0..3 fill the 2x2 block at the origin.
+  EXPECT_EQ(netlist::z_order_position(0).x, 0);
+  EXPECT_EQ(netlist::z_order_position(0).y, 0);
+  EXPECT_EQ(netlist::z_order_position(1).x, 1);
+  EXPECT_EQ(netlist::z_order_position(1).y, 0);
+  EXPECT_EQ(netlist::z_order_position(2).x, 0);
+  EXPECT_EQ(netlist::z_order_position(2).y, 1);
+  EXPECT_EQ(netlist::z_order_position(3).x, 1);
+  EXPECT_EQ(netlist::z_order_position(3).y, 1);
+}
+
+TEST(Place, ZOrderBlocksAreQuadrants) {
+  // Gates [4k, 4k+4) always occupy a 2x2 block.
+  for (const int base : {4, 8, 32, 1020}) {
+    const auto p0 = netlist::z_order_position(base);
+    for (int i = 1; i < 4; ++i) {
+      const auto p = netlist::z_order_position(base + i);
+      EXPECT_LE(std::abs(p.x - p0.x), 1);
+      EXPECT_LE(std::abs(p.y - p0.y), 1);
+    }
+  }
+}
+
+TEST(Place, NetLengthTwoPin) {
+  // Gates 0 (0,0) and 3 (1,1): Manhattan 2.
+  EXPECT_DOUBLE_EQ(netlist::net_length({{0, 3}}), 2.0);
+}
+
+TEST(Place, NetLengthMultiPinIsHpwl) {
+  // Gates 0 (0,0), 1 (1,0), 2 (0,1): bounding box 1x1 -> HPWL 2.
+  EXPECT_DOUBLE_EQ(netlist::net_length({{0, 1, 2}}), 2.0);
+}
+
+TEST(Place, ExtractDropsZeroLengthNets) {
+  // A net between a gate and itself has zero span.
+  const netlist::Netlist nl(4, {{{0, 0}}, {{0, 3}}});
+  const auto w = netlist::extract_wld(nl);
+  EXPECT_EQ(w.total_wires(), 1);
+}
+
+// --- generator ---------------------------------------------------------------------
+
+TEST(Generator, ParamsValidate) {
+  netlist::GeneratorParams p;
+  p.levels = 0;
+  EXPECT_THROW((void)netlist::generate_netlist(p), Error);
+  p = {};
+  p.rent_p = 1.5;
+  EXPECT_THROW((void)netlist::generate_netlist(p), Error);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  netlist::GeneratorParams p;
+  p.levels = 4;
+  const auto a = netlist::generate_netlist(p);
+  const auto b = netlist::generate_netlist(p);
+  EXPECT_EQ(a.net_count(), b.net_count());
+  p.seed = 99;
+  const auto c = netlist::generate_netlist(p);
+  EXPECT_NE(a.net_count(), c.net_count());
+}
+
+TEST(Generator, PinsStayInRangeAndNetsAreSmall) {
+  netlist::GeneratorParams p;
+  p.levels = 5;
+  const auto nl = netlist::generate_netlist(p);
+  for (const auto& net : nl.nets()) {
+    EXPECT_GE(net.pins.size(), 2u);
+    EXPECT_LE(net.pins.size(), 4u);
+    for (const auto pin : net.pins) {
+      EXPECT_GE(pin, 0);
+      EXPECT_LT(pin, nl.gate_count());
+    }
+  }
+}
+
+TEST(Generator, SmallBlockTerminalsMatchRentRule) {
+  // T(4) should be ~ k * 4^p: the bottom of the characteristic is pinned
+  // by construction.
+  netlist::GeneratorParams p;
+  p.levels = 6;
+  const auto nl = netlist::generate_netlist(p);
+  const auto points = netlist::rent_characteristic(nl);
+  ASSERT_GE(points.size(), 2u);
+  const double expected = 4.0 * std::pow(4.0, 0.6);
+  EXPECT_NEAR(points.front().avg_terminals, expected, expected * 0.15);
+}
+
+TEST(Generator, RentExponentRecovered) {
+  netlist::GeneratorParams p;
+  p.levels = 7;
+  const auto nl = netlist::generate_netlist(p);
+  auto points = netlist::rent_characteristic(nl);
+  // Fit below the region-II rolloff (drop the top two levels).
+  ASSERT_GE(points.size(), 4u);
+  points.resize(points.size() - 2);
+  const auto fit = netlist::fit_rent(points);
+  EXPECT_NEAR(fit.exponent, 0.6, 0.12);
+}
+
+TEST(Generator, HigherRentPLeavesMoreExternalNets) {
+  netlist::GeneratorParams low;
+  low.levels = 5;
+  low.rent_p = 0.45;
+  netlist::GeneratorParams high = low;
+  high.rent_p = 0.75;
+  const auto wl = netlist::extract_wld(netlist::generate_netlist(low));
+  const auto wh = netlist::extract_wld(netlist::generate_netlist(high));
+  // Higher p -> more long (high-level) wires -> larger mean length.
+  EXPECT_GT(wh.stats().mean_length, wl.stats().mean_length);
+}
+
+TEST(FitRent, ExactPowerLaw) {
+  std::vector<netlist::RentPoint> points;
+  for (const std::int64_t n : {4LL, 16LL, 64LL, 256LL}) {
+    points.push_back({n, 3.0 * std::pow(static_cast<double>(n), 0.55)});
+  }
+  const auto fit = netlist::fit_rent(points);
+  EXPECT_NEAR(fit.exponent, 0.55, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-6);
+}
+
+TEST(FitRent, TooFewPointsThrows) {
+  EXPECT_THROW((void)netlist::fit_rent({{4, 9.0}}), Error);
+}
+
+// --- end-to-end: extracted WLD vs Davis ---------------------------------------------
+
+TEST(NetlistWld, ShapeTracksDavis) {
+  netlist::GeneratorParams p;
+  p.levels = 7;  // 16384 gates
+  const auto nl = netlist::generate_netlist(p);
+  const auto extracted = netlist::extract_wld(nl);
+  const auto davis =
+      wld::DavisModel({p.gate_count(), 0.6, 4.0, 3.0}).generate();
+
+  // Same support (up to ~2 sqrt(N)) and comparable central tendency.
+  EXPECT_LT(extracted.max_length(), 2.0 * 128.0 + 1.0);
+  EXPECT_GT(extracted.max_length(), 60.0);
+  EXPECT_NEAR(extracted.stats().mean_length / davis.stats().mean_length, 1.0,
+              0.8);
+
+  // Both are dominated by short wires.
+  const double ex_short =
+      1.0 - static_cast<double>(extracted.count_longer_than(4.0)) /
+                static_cast<double>(extracted.total_wires());
+  const double dv_short =
+      1.0 - static_cast<double>(davis.count_longer_than(4.0)) /
+                static_cast<double>(davis.total_wires());
+  EXPECT_GT(ex_short, 0.4);
+  EXPECT_GT(dv_short, 0.4);
+}

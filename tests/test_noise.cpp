@@ -1,0 +1,131 @@
+/// Tests for the crosstalk-noise extension: the charge-sharing estimator
+/// and the noise-constrained rank.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/tech/noise.hpp"
+#include "src/tech/node.hpp"
+#include "src/tech/tuning.hpp"
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+#include "src/wld/wld.hpp"
+
+namespace core = iarank::core;
+namespace tech = iarank::tech;
+namespace wld = iarank::wld;
+namespace units = iarank::util::units;
+
+namespace {
+
+tech::LayerGeometry geometry_of(const tech::TierGeometry& tier) {
+  return {tier.min_width, tier.min_spacing, tier.thickness, tier.thickness,
+          tier.via_width};
+}
+
+tech::RcParams params() {
+  return {tech::copper(), 3.9, 2.0, tech::CapacitanceModel::kSakuraiTamaru};
+}
+
+}  // namespace
+
+TEST(Noise, RatioInUnitInterval) {
+  for (const tech::TechNode& node : tech::all_nodes()) {
+    for (const auto* tier : {&node.local, &node.semi_global, &node.global}) {
+      const double ratio =
+          tech::coupling_noise_ratio(geometry_of(*tier), params());
+      EXPECT_GT(ratio, 0.0);
+      EXPECT_LT(ratio, 1.0);
+    }
+  }
+}
+
+TEST(Noise, IndependentOfPermittivity) {
+  const auto g = geometry_of(tech::node_130nm().local);
+  auto p1 = params();
+  auto p2 = params();
+  p2.ild_permittivity = 2.0;
+  EXPECT_NEAR(tech::coupling_noise_ratio(g, p1),
+              tech::coupling_noise_ratio(g, p2), 1e-12);
+}
+
+TEST(Noise, WiderSpacingReducesNoise) {
+  auto g = geometry_of(tech::node_130nm().local);
+  const double base = tech::coupling_noise_ratio(g, params());
+  g.spacing *= 2.0;
+  EXPECT_LT(tech::coupling_noise_ratio(g, params()), base);
+}
+
+TEST(Noise, MinPitchWiresAreCouplingDominated) {
+  // At minimum pitch, lateral plates dominate the parallel-plate budget —
+  // the motivation for the paper's M sweep. (The Sakurai model's fringe
+  // terms inflate the ground component and moderate the ratio.)
+  tech::RcParams pp = params();
+  pp.model = tech::CapacitanceModel::kParallelPlate;
+  const double plate_ratio =
+      tech::coupling_noise_ratio(geometry_of(tech::node_130nm().local), pp);
+  EXPECT_GT(plate_ratio, 0.5);
+  const double sakurai_ratio = tech::coupling_noise_ratio(
+      geometry_of(tech::node_130nm().local), params());
+  EXPECT_LT(sakurai_ratio, plate_ratio);
+}
+
+TEST(NoiseRank, UnconstrainedMatchesBaseline) {
+  core::PaperSetup setup =
+      core::paper_baseline("130nm", 50000, core::scaled_regime(50000));
+  setup.options.bunch_size = 500;
+  const auto w = core::default_wld(setup.design);
+  const auto base = core::compute_rank(setup.design, setup.options, w);
+  core::RankOptions off = setup.options;
+  off.max_noise_ratio = 1.0;
+  EXPECT_EQ(core::compute_rank(setup.design, off, w).rank, base.rank);
+}
+
+TEST(NoiseRank, TightBudgetReducesRank) {
+  core::PaperSetup setup =
+      core::paper_baseline("130nm", 50000, core::scaled_regime(50000));
+  setup.options.bunch_size = 500;
+  const auto w = core::default_wld(setup.design);
+  const auto base = core::compute_rank(setup.design, setup.options, w);
+
+  core::RankOptions tight = setup.options;
+  tight.max_noise_ratio = 0.3;  // excludes min-pitch pairs
+  const auto constrained = core::compute_rank(setup.design, tight, w);
+  EXPECT_LT(constrained.rank, base.rank);
+  // Packing is unaffected: everything still fits.
+  EXPECT_TRUE(constrained.all_assigned);
+}
+
+TEST(NoiseRank, ZeroBudgetMeansNoDelayMetWires) {
+  core::PaperSetup setup =
+      core::paper_baseline("130nm", 50000, core::scaled_regime(50000));
+  setup.options.bunch_size = 500;
+  setup.options.max_noise_ratio = 0.0;
+  const auto w = core::default_wld(setup.design);
+  const auto r = core::compute_rank(setup.design, setup.options, w);
+  EXPECT_EQ(r.rank, 0);
+  EXPECT_TRUE(r.all_assigned);
+}
+
+TEST(NoiseRank, SpacingTuningRecoversRank) {
+  // Doubling the spacing on a tier pushes its noise ratio under a budget
+  // that previously excluded it (trading routing pitch for noise) —
+  // the co-optimization knob the annealer exercises.
+  const tech::TechNode node = tech::node_130nm();
+  const double base_ratio =
+      tech::coupling_noise_ratio(geometry_of(node.semi_global), params());
+  tech::NodeTuning tuning;
+  tuning.semi_global.spacing = 2.5;
+  const tech::TechNode tuned = tech::apply_tuning(node, tuning);
+  const double tuned_ratio =
+      tech::coupling_noise_ratio(geometry_of(tuned.semi_global), params());
+  EXPECT_LT(tuned_ratio, base_ratio);
+  EXPECT_LT(tuned_ratio, 0.45);
+}
+
+TEST(NoiseRank, InvalidBudgetThrows) {
+  core::RankOptions opts;
+  opts.max_noise_ratio = 1.5;
+  EXPECT_THROW(opts.validate(), iarank::util::Error);
+}

@@ -1,0 +1,265 @@
+/// Cross-cutting property tests: invariances of the rank metric
+/// (scaling, bunch merging), packer monotonicities, node projection,
+/// WLD algebra, and parameterized sweeps across nodes and Rent exponents.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/dp_rank.hpp"
+#include "src/core/free_pack.hpp"
+#include "src/tech/rc.hpp"
+#include "src/tech/scaling.hpp"
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+#include "src/wld/davis.hpp"
+#include "tests/helpers.hpp"
+
+namespace core = iarank::core;
+namespace tech = iarank::tech;
+namespace wld = iarank::wld;
+namespace units = iarank::util::units;
+using iarank::util::Error;
+
+// --- rank invariances --------------------------------------------------------------
+
+namespace {
+
+/// Rebuilds an instance with all lengths scaled by `c` and all areas
+/// (pitch-derived wire areas, via areas, repeater areas, capacity,
+/// budget) scaled consistently — rank must be invariant.
+core::Instance scaled_copy(const core::Instance& inst, double c) {
+  std::vector<core::Bunch> bunches = inst.bunches();
+  for (auto& b : bunches) b.length *= c;
+  std::vector<core::PairInfo> pairs = inst.pairs();
+  for (auto& p : pairs) {
+    p.via_area *= c;       // wire areas scale by c via length; match vias
+    p.repeater_area *= c;  // and the repeater budget below
+  }
+  std::vector<std::vector<core::DelayPlan>> plans;
+  plans.reserve(inst.bunch_count());
+  for (std::size_t b = 0; b < inst.bunch_count(); ++b) {
+    std::vector<core::DelayPlan> row;
+    for (std::size_t j = 0; j < inst.pair_count(); ++j) {
+      core::DelayPlan p = inst.plan(b, j);
+      p.area_per_wire *= c;
+      row.push_back(p);
+    }
+    plans.push_back(std::move(row));
+  }
+  return core::Instance::from_raw(std::move(bunches), std::move(pairs),
+                                  std::move(plans), inst.pair_capacity() * c,
+                                  inst.repeater_budget() * c, inst.vias());
+}
+
+}  // namespace
+
+class RankInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RankInvariance, ScaleInvariant) {
+  const auto inst = iarank::testing::random_instance(GetParam() + 9000);
+  const auto base = core::dp_rank(inst);
+  for (const double c : {0.01, 7.3}) {
+    const auto scaled = scaled_copy(inst, c);
+    EXPECT_EQ(core::dp_rank(scaled).rank, base.rank)
+        << "seed " << GetParam() << " c=" << c;
+  }
+}
+
+TEST_P(RankInvariance, MergingIdenticalBunchesPreservesRank) {
+  // Split every bunch of count >= 2 into two; rank must not change
+  // (the DP's chunk enumeration sees a finer but equivalent instance).
+  iarank::testing::RandomInstanceSpec spec;
+  spec.min_bunches = 3;
+  spec.max_bunches = 5;
+  const auto inst = iarank::testing::random_instance(GetParam() + 9500, spec);
+
+  std::vector<core::Bunch> bunches;
+  std::vector<std::vector<core::DelayPlan>> plans;
+  for (std::size_t b = 0; b < inst.bunch_count(); ++b) {
+    std::vector<core::DelayPlan> row;
+    for (std::size_t j = 0; j < inst.pair_count(); ++j) {
+      row.push_back(inst.plan(b, j));
+    }
+    // Duplicate the bunch (count 1 each in the helper) as two entries of
+    // the same length: a legal sorted order.
+    bunches.push_back(inst.bunch(b));
+    plans.push_back(row);
+    bunches.push_back(inst.bunch(b));
+    plans.push_back(std::move(row));
+  }
+  const auto doubled = core::Instance::from_raw(
+      std::move(bunches), inst.pairs(), std::move(plans),
+      inst.pair_capacity(), inst.repeater_budget(), inst.vias());
+
+  // Doubling every bunch doubles the wire population; compare against
+  // the brute-force optimum of the doubled instance for exactness.
+  const auto dp = core::dp_rank(doubled);
+  const auto oracle = core::brute_force_rank(doubled);
+  EXPECT_EQ(dp.rank, oracle.rank) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankInvariance,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+// --- packer monotonicities --------------------------------------------------------------
+
+class PackerMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackerMonotone, MoreRepeatersAboveNeverHelps) {
+  const auto inst = iarank::testing::random_instance(GetParam() + 11000);
+  core::FreePackInput few;
+  few.repeaters_total = 1.0;
+  core::FreePackInput many = few;
+  many.repeaters_total = 50.0;
+  if (core::free_pack_feasible(inst, many)) {
+    EXPECT_TRUE(core::free_pack_feasible(inst, few)) << "seed " << GetParam();
+  }
+}
+
+TEST_P(PackerMonotone, PreUsedAreaNeverHelps) {
+  const auto inst = iarank::testing::random_instance(GetParam() + 12000);
+  core::FreePackInput used;
+  used.area_used_first_pair = 0.3 * inst.pair_capacity();
+  if (core::free_pack_feasible(inst, used)) {
+    EXPECT_TRUE(core::free_pack_feasible(inst, {})) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackerMonotone,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+// --- node projection -----------------------------------------------------------------------
+
+TEST(ScaleNode, GeometryShrinksProportionally) {
+  const tech::TechNode n130 = tech::node_130nm();
+  const tech::TechNode n65 = tech::scale_node(n130, 65 * units::nm);
+  EXPECT_NEAR(n65.local.min_width, 0.5 * n130.local.min_width, 1e-15);
+  EXPECT_NEAR(n65.global.thickness, 0.5 * n130.global.thickness, 1e-15);
+  EXPECT_NEAR(n65.device.c_o, 0.5 * n130.device.c_o, 1e-24);
+  EXPECT_NEAR(n65.device.min_inv_area, 0.25 * n130.device.min_inv_area,
+              1e-24);
+  EXPECT_DOUBLE_EQ(n65.device.r_o, n130.device.r_o);
+  EXPECT_NE(n65.name.find("65nm"), std::string::npos);
+}
+
+TEST(ScaleNode, ResistancePerLengthGrowsQuadratically) {
+  const tech::TechNode n130 = tech::node_130nm();
+  const tech::TechNode n65 = tech::scale_node(n130, 65 * units::nm);
+  const tech::RcParams params{tech::copper(), 3.9, 2.0,
+                              tech::CapacitanceModel::kParallelPlate};
+  auto r_of = [&params](const tech::TierGeometry& t) {
+    return tech::extract_rc({t.min_width, t.min_spacing, t.thickness,
+                             t.thickness, t.via_width},
+                            params)
+        .resistance;
+  };
+  EXPECT_NEAR(r_of(n65.local) / r_of(n130.local), 4.0, 1e-9);
+  // Capacitance per length is scale-free for fixed aspect ratios.
+  auto c_of = [&params](const tech::TierGeometry& t) {
+    return tech::extract_rc({t.min_width, t.min_spacing, t.thickness,
+                             t.thickness, t.via_width},
+                            params)
+        .capacitance;
+  };
+  EXPECT_NEAR(c_of(n65.local) / c_of(n130.local), 1.0, 1e-9);
+}
+
+TEST(ScaleNode, FrozenDevicesKeepDeviceParams) {
+  const tech::TechNode n130 = tech::node_130nm();
+  const tech::TechNode n65 =
+      tech::scale_node(n130, 65 * units::nm, tech::DeviceScaling::kFrozen);
+  EXPECT_DOUBLE_EQ(n65.device.c_o, n130.device.c_o);
+  EXPECT_DOUBLE_EQ(n65.device.min_inv_area, n130.device.min_inv_area);
+  // Wires still shrink.
+  EXPECT_NEAR(n65.local.min_width, 0.5 * n130.local.min_width, 1e-15);
+}
+
+TEST(ScaleNode, DeShrinkThrows) {
+  EXPECT_THROW(
+      (void)tech::scale_node(tech::node_130nm(), 180 * units::nm), Error);
+  EXPECT_THROW((void)tech::scale_node(tech::node_130nm(), 0.0), Error);
+}
+
+// --- WLD algebra ------------------------------------------------------------------------------
+
+TEST(WldAlgebra, ReplicatedScalesCounts) {
+  const wld::Wld w({{10.0, 2}, {5.0, 3}});
+  const auto r = w.replicated(4);
+  EXPECT_EQ(r.total_wires(), 20);
+  EXPECT_EQ(r.group_count(), 2u);
+  EXPECT_THROW((void)w.replicated(0), Error);
+}
+
+TEST(WldAlgebra, SlicedKeepsRange) {
+  const wld::Wld w({{10.0, 1}, {5.0, 2}, {2.0, 4}});
+  const auto s = w.sliced(3.0, 10.0);
+  EXPECT_EQ(s.total_wires(), 3);
+  EXPECT_DOUBLE_EQ(s.max_length(), 10.0);
+  EXPECT_TRUE(w.sliced(100.0, 200.0).empty());
+}
+
+TEST(WldAlgebra, MergedCombinesEqualLengths) {
+  const wld::Wld a({{10.0, 1}, {5.0, 2}});
+  const wld::Wld b({{5.0, 3}, {1.0, 1}});
+  const auto m = wld::Wld::merged(a, b);
+  EXPECT_EQ(m.total_wires(), 7);
+  EXPECT_EQ(m.group_count(), 3u);
+  EXPECT_EQ(m.count_longer_than(4.0), 6);
+}
+
+TEST(WldAlgebra, SliceAndMergeRoundTrip) {
+  const auto w = wld::DavisModel({10000, 0.6, 4.0, 3.0}).generate();
+  const auto lower = w.sliced(0.0, 10.0);
+  const auto upper = w.sliced(10.0 + 1e-9, 1e9);
+  const auto back = wld::Wld::merged(lower, upper);
+  EXPECT_EQ(back.total_wires(), w.total_wires());
+  EXPECT_EQ(back.group_count(), w.group_count());
+}
+
+// --- Davis parameter sweep --------------------------------------------------------------------
+
+class DavisSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DavisSweep, NormalizationHoldsAcrossRentP) {
+  const double p = GetParam();
+  const wld::DavisParams params{40000, p, 4.0, 3.0};
+  const wld::DavisModel model(params);
+  EXPECT_NEAR(model.expected_count(1.0, params.max_length()),
+              params.total_interconnects(),
+              params.total_interconnects() * 1e-6);
+}
+
+TEST_P(DavisSweep, GeneratedMeanMonotoneInP) {
+  const double p = GetParam();
+  if (p >= 0.75) return;  // compare p with p + 0.1
+  const auto low = wld::DavisModel({40000, p, 4.0, 3.0}).generate();
+  const auto high = wld::DavisModel({40000, p + 0.1, 4.0, 3.0}).generate();
+  EXPECT_GT(high.stats().mean_length, low.stats().mean_length) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(RentExponents, DavisSweep,
+                         ::testing::Values(0.45, 0.55, 0.6, 0.65, 0.75));
+
+// --- cross-node RC ordering ------------------------------------------------------------------
+
+class NodeRc : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NodeRc, TierResistanceOrdering) {
+  const tech::TechNode node = tech::node_by_name(GetParam());
+  const tech::RcParams params{tech::copper(), 3.9, 2.0,
+                              tech::CapacitanceModel::kSakuraiTamaru};
+  auto r_of = [&params](const tech::TierGeometry& t) {
+    return tech::extract_rc({t.min_width, t.min_spacing, t.thickness,
+                             t.thickness, t.via_width},
+                            params)
+        .resistance;
+  };
+  // Local wires are the thinnest, global the fattest.
+  EXPECT_GT(r_of(node.local), r_of(node.semi_global));
+  EXPECT_GT(r_of(node.semi_global), r_of(node.global));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, NodeRc,
+                         ::testing::Values("180nm", "130nm", "90nm"));

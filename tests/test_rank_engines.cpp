@@ -1,0 +1,216 @@
+/// Cross-validation of the rank engines: production DP (dp_rank) against
+/// the brute-force oracle and the paper-faithful reference DP; the greedy
+/// baseline's suboptimality (paper Figure 2); trace consistency.
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.hpp"
+#include "src/core/dp_rank.hpp"
+#include "src/core/figure2.hpp"
+#include "src/core/greedy_rank.hpp"
+#include "src/core/reference_dp.hpp"
+#include "tests/helpers.hpp"
+
+namespace core = iarank::core;
+namespace tech = iarank::tech;
+
+// --- Figure 2 (the paper's counterexample) ------------------------------------------
+
+TEST(Figure2, GreedyAchievesRankTwo) {
+  const auto inst = core::figure2_instance();
+  const auto greedy = core::greedy_rank(inst);
+  EXPECT_EQ(greedy.rank, core::figure2_expectation().greedy_rank);
+  EXPECT_TRUE(greedy.all_assigned);
+}
+
+TEST(Figure2, DpAchievesRankFour) {
+  const auto inst = core::figure2_instance();
+  const auto dp = core::dp_rank(inst);
+  EXPECT_EQ(dp.rank, core::figure2_expectation().optimal_rank);
+  EXPECT_TRUE(dp.all_assigned);
+  // Optimal solution: 1 wire up (4 repeaters) + 3 down (3 repeaters).
+  EXPECT_LE(dp.repeater_area_used, inst.repeater_budget() + 1e-9);
+}
+
+TEST(Figure2, BruteForceConfirmsOptimum) {
+  const auto inst = core::figure2_instance();
+  EXPECT_EQ(core::brute_force_rank(inst).rank, 4);
+}
+
+TEST(Figure2, ReferenceDpConfirmsOptimum) {
+  const auto inst = core::figure2_instance();
+  // Budget 8 with unit repeater areas: 8 quanta are exact.
+  EXPECT_EQ(core::reference_dp_rank(inst, {8}).rank, 4);
+}
+
+// --- randomized oracle cross-validation ----------------------------------------------
+
+class DpOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpOracle, DpMatchesBruteForce) {
+  const auto inst = iarank::testing::random_instance(GetParam());
+  const auto oracle = core::brute_force_rank(inst);
+  const auto dp = core::dp_rank(inst);
+  EXPECT_EQ(dp.rank, oracle.rank) << "seed " << GetParam();
+  EXPECT_EQ(dp.all_assigned, oracle.all_assigned) << "seed " << GetParam();
+}
+
+TEST_P(DpOracle, DpAtLeastGreedy) {
+  const auto inst = iarank::testing::random_instance(GetParam() + 1000);
+  const auto dp = core::dp_rank(inst);
+  const auto greedy = core::greedy_rank(inst);
+  EXPECT_GE(dp.rank, greedy.rank) << "seed " << GetParam();
+}
+
+TEST_P(DpOracle, ReferenceDpNeverExceedsOracle) {
+  const auto inst = iarank::testing::random_instance(GetParam() + 2000);
+  const auto oracle = core::brute_force_rank(inst);
+  const auto ref = core::reference_dp_rank(inst, {96});
+  EXPECT_LE(ref.rank, oracle.rank) << "seed " << GetParam();
+}
+
+TEST_P(DpOracle, ReferenceDpConvergesWithQuanta) {
+  const auto inst = iarank::testing::random_instance(GetParam() + 3000);
+  const auto coarse = core::reference_dp_rank(inst, {8});
+  const auto fine = core::reference_dp_rank(inst, {256});
+  EXPECT_LE(coarse.rank, fine.rank) << "seed " << GetParam();
+}
+
+TEST_P(DpOracle, NoViasVariant) {
+  iarank::testing::RandomInstanceSpec spec;
+  spec.with_vias = false;
+  const auto inst = iarank::testing::random_instance(GetParam() + 4000, spec);
+  EXPECT_EQ(core::dp_rank(inst).rank, core::brute_force_rank(inst).rank)
+      << "seed " << GetParam();
+}
+
+TEST_P(DpOracle, AllPlansFeasibleVariant) {
+  iarank::testing::RandomInstanceSpec spec;
+  spec.allow_infeasible_plans = false;
+  const auto inst = iarank::testing::random_instance(GetParam() + 5000, spec);
+  EXPECT_EQ(core::dp_rank(inst).rank, core::brute_force_rank(inst).rank)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOracle,
+                         ::testing::Range<std::uint64_t>(0, 120));
+
+// --- trace consistency ------------------------------------------------------------------
+
+class DpTrace : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpTrace, UsageAccountsForEveryWireAndStaysInBudget) {
+  const auto inst = iarank::testing::random_instance(GetParam() + 7000);
+  const auto dp = core::dp_rank(inst);
+  if (!dp.all_assigned) {
+    EXPECT_EQ(dp.rank, 0);
+    return;
+  }
+  ASSERT_EQ(dp.usage.size(), inst.pair_count());
+  std::int64_t wires = 0;
+  std::int64_t meeting = 0;
+  std::int64_t repeaters = 0;
+  double rep_area = 0.0;
+  for (std::size_t j = 0; j < dp.usage.size(); ++j) {
+    const core::PairUsage& u = dp.usage[j];
+    wires += u.wires_total;
+    meeting += u.wires_meeting_delay;
+    repeaters += u.repeaters;
+    rep_area += u.repeater_area;
+    EXPECT_GE(u.wires_total, u.wires_meeting_delay);
+    EXPECT_LE(u.wire_area,
+              inst.pair_capacity() * (1.0 + 1e-9));
+  }
+  EXPECT_EQ(wires, inst.total_wires());
+  EXPECT_EQ(meeting, dp.rank);
+  EXPECT_EQ(repeaters, dp.repeater_count);
+  EXPECT_NEAR(rep_area, dp.repeater_area_used, 1e-9);
+  EXPECT_LE(dp.repeater_area_used,
+            inst.repeater_budget() * (1.0 + 1e-9) + 1e-12);
+  EXPECT_NEAR(dp.normalized,
+              static_cast<double>(dp.rank) /
+                  static_cast<double>(inst.total_wires()),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpTrace,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+// --- degenerate and edge cases -------------------------------------------------------------
+
+namespace {
+
+core::Instance single_pair_instance(double capacity, double budget,
+                                    bool feasible_plan) {
+  std::vector<core::Bunch> bunches = {{2.0, 1, 1.0}, {1.0, 1, 1.0}};
+  std::vector<core::PairInfo> pairs = {{"only", 1.0, 0.0, 1.0, 1.0}};
+  core::DelayPlan plan;
+  plan.feasible = feasible_plan;
+  plan.stages = 2;
+  plan.area_per_wire = 1.0;
+  std::vector<std::vector<core::DelayPlan>> plans(
+      2, std::vector<core::DelayPlan>{plan});
+  return core::Instance::from_raw(bunches, pairs, plans, capacity, budget,
+                                  tech::ViaSpec{});
+}
+
+}  // namespace
+
+TEST(DpEdge, SinglePairAllMeet) {
+  const auto inst = single_pair_instance(10.0, 5.0, true);
+  const auto dp = core::dp_rank(inst);
+  EXPECT_EQ(dp.rank, 2);
+  EXPECT_EQ(dp.prefix_bunches + (dp.refined_wires > 0 ? 1 : 0), 2);
+}
+
+TEST(DpEdge, ZeroBudgetMeansNoDelayMet) {
+  const auto inst = single_pair_instance(10.0, 0.0, true);
+  const auto dp = core::dp_rank(inst);
+  // Plans need 1 repeater per wire; zero budget -> rank 0, still packable.
+  EXPECT_EQ(dp.rank, 0);
+  EXPECT_TRUE(dp.all_assigned);
+}
+
+TEST(DpEdge, Definition3InfeasiblePacking) {
+  const auto inst = single_pair_instance(2.0, 5.0, true);  // demand 3 > 2
+  const auto dp = core::dp_rank(inst);
+  EXPECT_EQ(dp.rank, 0);
+  EXPECT_FALSE(dp.all_assigned);
+  const auto oracle = core::brute_force_rank(inst);
+  EXPECT_FALSE(oracle.all_assigned);
+}
+
+TEST(DpEdge, InfeasiblePlansEverywhere) {
+  const auto inst = single_pair_instance(10.0, 5.0, false);
+  const auto dp = core::dp_rank(inst);
+  EXPECT_EQ(dp.rank, 0);
+  EXPECT_TRUE(dp.all_assigned);
+}
+
+TEST(DpEdge, RefinementExtendsIntoBigBunch) {
+  // One bunch of 10 identical wires, budget for exactly 7 repeaters
+  // (1 per wire): bunch-granular rank is 0, refinement reaches 7.
+  std::vector<core::Bunch> bunches = {{1.0, 10, 1.0}};
+  std::vector<core::PairInfo> pairs = {{"only", 1.0, 0.0, 1.0, 1.0}};
+  core::DelayPlan plan;
+  plan.feasible = true;
+  plan.stages = 2;
+  plan.area_per_wire = 1.0;
+  std::vector<std::vector<core::DelayPlan>> plans = {{plan}};
+  const auto inst = core::Instance::from_raw(bunches, pairs, plans, 20.0, 7.0,
+                                             tech::ViaSpec{});
+  const auto with = core::dp_rank(inst, {true, true});
+  EXPECT_EQ(with.rank, 7);
+  EXPECT_EQ(with.refined_wires, 7);
+  const auto without = core::dp_rank(inst, {true, false});
+  EXPECT_EQ(without.rank, 0);
+}
+
+TEST(DpEdge, GreedyTraceConsistent) {
+  const auto inst = core::figure2_instance();
+  const auto g = core::greedy_rank(inst);
+  std::int64_t wires = 0;
+  for (const auto& u : g.usage) wires += u.wires_total;
+  EXPECT_EQ(wires, inst.total_wires());
+  EXPECT_LE(g.repeater_area_used, inst.repeater_budget() + 1e-9);
+}

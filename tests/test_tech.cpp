@@ -1,0 +1,313 @@
+/// Unit and property tests for src/tech: materials, layers, nodes
+/// (paper Table 3), RC extraction, die model (paper Eq. 6), vias,
+/// architectures (paper Table 2).
+
+#include <gtest/gtest.h>
+
+#include "src/tech/architecture.hpp"
+#include "src/tech/die.hpp"
+#include "src/tech/material.hpp"
+#include "src/tech/node.hpp"
+#include "src/tech/rc.hpp"
+#include "src/tech/via.hpp"
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace tech = iarank::tech;
+namespace units = iarank::util::units;
+using iarank::util::Error;
+
+// --- materials -------------------------------------------------------------------
+
+TEST(Material, CopperBeatsAluminum) {
+  EXPECT_LT(tech::copper().resistivity, tech::aluminum().resistivity);
+}
+
+TEST(Material, OxidePermittivity) {
+  EXPECT_DOUBLE_EQ(tech::silicon_dioxide().permittivity, 3.9);
+}
+
+TEST(Material, CustomDielectricValidated) {
+  EXPECT_DOUBLE_EQ(tech::dielectric_with_k(2.2).permittivity, 2.2);
+  EXPECT_THROW((void)tech::dielectric_with_k(0.5), Error);
+}
+
+// --- layer geometry -----------------------------------------------------------------
+
+TEST(LayerGeometry, PitchAndViaArea) {
+  tech::LayerGeometry g{0.2 * units::um, 0.3 * units::um, 0.4 * units::um,
+                        0.4 * units::um, 0.25 * units::um};
+  EXPECT_DOUBLE_EQ(g.pitch(), 0.5 * units::um);
+  EXPECT_DOUBLE_EQ(g.via_area(), 0.0625 * units::um2);
+}
+
+TEST(LayerGeometry, ValidateRejectsZeroDimensions) {
+  tech::LayerGeometry g{0.0, 0.3e-6, 0.4e-6, 0.4e-6, 0.2e-6};
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Tier, Names) {
+  EXPECT_EQ(tech::to_string(tech::Tier::kLocal), "local");
+  EXPECT_EQ(tech::to_string(tech::Tier::kGlobal), "global");
+}
+
+// --- nodes: the paper's Table 3 --------------------------------------------------------
+
+TEST(Node, Table3Values130nm) {
+  const tech::TechNode n = tech::node_130nm();
+  EXPECT_DOUBLE_EQ(n.local.min_width, 0.160 * units::um);
+  EXPECT_DOUBLE_EQ(n.local.min_spacing, 0.180 * units::um);
+  EXPECT_DOUBLE_EQ(n.local.thickness, 0.336 * units::um);
+  EXPECT_DOUBLE_EQ(n.semi_global.min_width, 0.200 * units::um);
+  EXPECT_DOUBLE_EQ(n.global.thickness, 1.020 * units::um);
+  EXPECT_DOUBLE_EQ(n.local.via_width, 0.190 * units::um);
+  EXPECT_EQ(n.total_metal_layers, 7);
+}
+
+TEST(Node, Table3Values180nm) {
+  const tech::TechNode n = tech::node_180nm();
+  EXPECT_DOUBLE_EQ(n.local.min_width, 0.230 * units::um);
+  EXPECT_DOUBLE_EQ(n.global.min_spacing, 0.460 * units::um);
+  EXPECT_EQ(n.total_metal_layers, 6);
+}
+
+TEST(Node, Table3Values90nm) {
+  const tech::TechNode n = tech::node_90nm();
+  EXPECT_DOUBLE_EQ(n.semi_global.thickness, 0.300 * units::um);
+  EXPECT_DOUBLE_EQ(n.global.min_width, 0.420 * units::um);
+  EXPECT_EQ(n.total_metal_layers, 8);
+}
+
+TEST(Node, GatePitchIs12Point6F) {
+  const tech::TechNode n = tech::node_130nm();
+  EXPECT_NEAR(n.gate_pitch(), 12.6 * 0.13 * units::um, 1e-12);
+}
+
+TEST(Node, LookupByName) {
+  EXPECT_EQ(tech::node_by_name("90nm").name, "90nm");
+  EXPECT_THROW((void)tech::node_by_name("65nm"), Error);
+}
+
+TEST(Node, AllNodesValidate) {
+  for (const tech::TechNode& n : tech::all_nodes()) {
+    EXPECT_NO_THROW(n.validate()) << n.name;
+  }
+}
+
+TEST(Node, FeatureSizesDescendButClocksRise) {
+  const auto nodes = tech::all_nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GT(nodes[i - 1].feature_size, nodes[i].feature_size);
+    EXPECT_LT(nodes[i - 1].max_clock, nodes[i].max_clock);
+  }
+}
+
+// --- RC extraction ---------------------------------------------------------------------
+
+namespace {
+
+tech::LayerGeometry sample_geometry() {
+  return {0.2 * units::um, 0.21 * units::um, 0.34 * units::um, 0.34 * units::um,
+          0.26 * units::um};
+}
+
+tech::RcParams sample_params(tech::CapacitanceModel model) {
+  return {tech::copper(), 3.9, 2.0, model};
+}
+
+}  // namespace
+
+TEST(Rc, ResistanceMatchesSheetFormula) {
+  const auto rc = tech::extract_rc(
+      sample_geometry(), sample_params(tech::CapacitanceModel::kParallelPlate));
+  const double expected =
+      tech::copper().resistivity / (0.2 * units::um * 0.34 * units::um);
+  EXPECT_NEAR(rc.resistance, expected, expected * 1e-12);
+}
+
+TEST(Rc, ParallelPlateAlgebra) {
+  const auto g = sample_geometry();
+  const auto rc = tech::extract_rc(
+      g, sample_params(tech::CapacitanceModel::kParallelPlate));
+  const double eps = units::eps0 * 3.9;
+  const double ground = 2.0 * eps * g.width / g.ild_height;
+  const double coupling = 2.0 * eps * g.thickness / g.spacing;
+  EXPECT_NEAR(rc.ground_cap, ground, ground * 1e-12);
+  EXPECT_NEAR(rc.coupling_cap, coupling, coupling * 1e-12);
+  EXPECT_NEAR(rc.capacitance, ground + 2.0 * coupling, 1e-22);
+}
+
+TEST(Rc, SakuraiExceedsParallelPlateGround) {
+  // The empirical model adds fringe capacitance.
+  const auto pp = tech::extract_rc(
+      sample_geometry(), sample_params(tech::CapacitanceModel::kParallelPlate));
+  const auto sk = tech::extract_rc(
+      sample_geometry(), sample_params(tech::CapacitanceModel::kSakuraiTamaru));
+  EXPECT_GT(sk.ground_cap, pp.ground_cap);
+}
+
+TEST(Rc, CapacitanceScalesLinearlyWithK) {
+  auto p1 = sample_params(tech::CapacitanceModel::kSakuraiTamaru);
+  auto p2 = p1;
+  p2.ild_permittivity = 1.95;
+  const auto rc1 = tech::extract_rc(sample_geometry(), p1);
+  const auto rc2 = tech::extract_rc(sample_geometry(), p2);
+  EXPECT_NEAR(rc2.capacitance / rc1.capacitance, 0.5, 1e-12);
+}
+
+TEST(Rc, MillerScalesOnlyCoupling) {
+  auto p1 = sample_params(tech::CapacitanceModel::kSakuraiTamaru);
+  auto p2 = p1;
+  p2.miller_factor = 1.0;
+  const auto rc1 = tech::extract_rc(sample_geometry(), p1);
+  const auto rc2 = tech::extract_rc(sample_geometry(), p2);
+  EXPECT_DOUBLE_EQ(rc1.ground_cap, rc2.ground_cap);
+  EXPECT_NEAR(rc1.capacitance - rc2.capacitance, rc1.coupling_cap, 1e-22);
+}
+
+TEST(Rc, InvalidParamsThrow) {
+  EXPECT_THROW(
+      (void)tech::extract_rc(sample_geometry(),
+                             {tech::copper(), 0.5, 2.0,
+                              tech::CapacitanceModel::kParallelPlate}),
+      Error);
+  EXPECT_THROW(
+      (void)tech::extract_rc(sample_geometry(),
+                             {tech::copper(), 3.9, -1.0,
+                              tech::CapacitanceModel::kParallelPlate}),
+      Error);
+}
+
+/// Property sweep: capacitance decreases with spacing, resistance with
+/// width, for both models.
+class RcMonotonicity
+    : public ::testing::TestWithParam<tech::CapacitanceModel> {};
+
+TEST_P(RcMonotonicity, WiderSpacingLowersCoupling) {
+  auto g = sample_geometry();
+  const auto base = tech::extract_rc(g, sample_params(GetParam()));
+  g.spacing *= 2.0;
+  const auto wide = tech::extract_rc(g, sample_params(GetParam()));
+  EXPECT_LT(wide.coupling_cap, base.coupling_cap);
+}
+
+TEST_P(RcMonotonicity, WiderWireLowersResistance) {
+  auto g = sample_geometry();
+  const auto base = tech::extract_rc(g, sample_params(GetParam()));
+  g.width *= 2.0;
+  const auto wide = tech::extract_rc(g, sample_params(GetParam()));
+  EXPECT_LT(wide.resistance, base.resistance);
+  EXPECT_GT(wide.ground_cap, base.ground_cap);
+}
+
+TEST_P(RcMonotonicity, TallerDielectricLowersGround) {
+  auto g = sample_geometry();
+  const auto base = tech::extract_rc(g, sample_params(GetParam()));
+  g.ild_height *= 2.0;
+  const auto tall = tech::extract_rc(g, sample_params(GetParam()));
+  EXPECT_LT(tall.ground_cap, base.ground_cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, RcMonotonicity,
+                         ::testing::Values(
+                             tech::CapacitanceModel::kParallelPlate,
+                             tech::CapacitanceModel::kSakuraiTamaru));
+
+// --- die model (Eq. 6) -------------------------------------------------------------------
+
+TEST(Die, Equation6) {
+  const tech::DieModel die({1000000, 1.638 * units::um, 0.4});
+  const double gate_area = 1.638e-6 * 1.638e-6 * 1e6;
+  EXPECT_NEAR(die.gate_area(), gate_area, gate_area * 1e-12);
+  EXPECT_NEAR(die.die_area(), gate_area / 0.6, gate_area * 1e-9);
+  EXPECT_NEAR(die.repeater_area_budget(), 0.4 * die.die_area(), 1e-18);
+}
+
+TEST(Die, EffectivePitchRedistributesGates) {
+  const tech::DieModel die({1000000, 1.0 * units::um, 0.36});
+  EXPECT_NEAR(die.effective_gate_pitch(), 1.25 * units::um, 1e-12);
+}
+
+TEST(Die, ZeroRepeaterFraction) {
+  const tech::DieModel die({100, 1.0 * units::um, 0.0});
+  EXPECT_DOUBLE_EQ(die.die_area(), die.gate_area());
+  EXPECT_DOUBLE_EQ(die.repeater_area_budget(), 0.0);
+}
+
+TEST(Die, InvalidSpecThrows) {
+  EXPECT_THROW((void)tech::DieModel({0, 1e-6, 0.4}), Error);
+  EXPECT_THROW((void)tech::DieModel({100, 1e-6, 1.0}), Error);
+  EXPECT_THROW((void)tech::DieModel({100, -1e-6, 0.4}), Error);
+}
+
+// --- vias --------------------------------------------------------------------------------
+
+TEST(Via, BlockageFormula) {
+  tech::LayerGeometry g = sample_geometry();
+  tech::ViaSpec spec;  // 2 vias per wire, 1 per repeater
+  const double area =
+      tech::via_blockage_area(g, spec, /*wires=*/10.0, /*repeaters=*/5.0);
+  EXPECT_NEAR(area, (2.0 * 10.0 + 5.0) * g.via_area(), 1e-24);
+}
+
+TEST(Via, ZeroAboveMeansZeroBlockage) {
+  EXPECT_DOUBLE_EQ(
+      tech::via_blockage_area(sample_geometry(), tech::ViaSpec{}, 0.0, 0.0),
+      0.0);
+}
+
+TEST(Via, NegativeCountsThrow) {
+  EXPECT_THROW((void)tech::via_blockage_area(sample_geometry(),
+                                             tech::ViaSpec{}, -1.0, 0.0),
+               Error);
+}
+
+// --- architecture ----------------------------------------------------------------------------
+
+TEST(Architecture, Table2BaselineStack) {
+  const auto arch =
+      tech::Architecture::build(tech::node_130nm(), tech::ArchitectureSpec{});
+  ASSERT_EQ(arch.pair_count(), 4u);  // 1 global + 2 semi + 1 local
+  EXPECT_EQ(arch.pair(0).tier, tech::Tier::kGlobal);
+  EXPECT_EQ(arch.pair(1).tier, tech::Tier::kSemiGlobal);
+  EXPECT_EQ(arch.pair(2).tier, tech::Tier::kSemiGlobal);
+  EXPECT_EQ(arch.pair(3).tier, tech::Tier::kLocal);
+}
+
+TEST(Architecture, GeometriesComeFromNodeTiers) {
+  const tech::TechNode n = tech::node_130nm();
+  const auto arch = tech::Architecture::build(n, tech::ArchitectureSpec{});
+  EXPECT_DOUBLE_EQ(arch.pair(0).geometry.width, n.global.min_width);
+  EXPECT_DOUBLE_EQ(arch.pair(3).geometry.width, n.local.min_width);
+  // Default ILD height = thickness.
+  EXPECT_DOUBLE_EQ(arch.pair(0).geometry.ild_height, n.global.thickness);
+}
+
+TEST(Architecture, IldHeightFactorApplies) {
+  tech::ArchitectureSpec spec;
+  spec.ild_height_factor = 1.5;
+  const auto arch = tech::Architecture::build(tech::node_130nm(), spec);
+  EXPECT_DOUBLE_EQ(arch.pair(0).geometry.ild_height,
+                   1.5 * tech::node_130nm().global.thickness);
+}
+
+TEST(Architecture, EmptySpecThrows) {
+  tech::ArchitectureSpec spec{0, 0, 0, 1.0};
+  EXPECT_THROW(
+      (void)tech::Architecture::build(tech::node_130nm(), spec), Error);
+}
+
+TEST(Architecture, PairIndexOutOfRangeThrows) {
+  const auto arch =
+      tech::Architecture::build(tech::node_130nm(), tech::ArchitectureSpec{});
+  EXPECT_THROW((void)arch.pair(4), Error);
+}
+
+TEST(Architecture, DescribeMentionsEveryPair) {
+  const auto arch =
+      tech::Architecture::build(tech::node_90nm(), tech::ArchitectureSpec{});
+  const std::string text = arch.describe();
+  for (const auto& p : arch.pairs()) {
+    EXPECT_NE(text.find(p.name), std::string::npos);
+  }
+}

@@ -1,0 +1,248 @@
+/// Unit tests for src/util: numerics, strings, config, tables.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/util/config.hpp"
+#include "src/util/error.hpp"
+#include "src/util/numeric.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+namespace util = iarank::util;
+
+// --- almost_equal -------------------------------------------------------------
+
+TEST(AlmostEqual, EqualValues) { EXPECT_TRUE(util::almost_equal(1.0, 1.0)); }
+
+TEST(AlmostEqual, RelativeTolerance) {
+  EXPECT_TRUE(util::almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(util::almost_equal(1.0, 1.001));
+}
+
+TEST(AlmostEqual, AbsoluteToleranceNearZero) {
+  EXPECT_TRUE(util::almost_equal(0.0, 1e-13));
+  EXPECT_FALSE(util::almost_equal(0.0, 1e-3));
+}
+
+// --- linspace ------------------------------------------------------------------
+
+TEST(Linspace, EndpointsIncluded) {
+  const auto v = util::linspace(1.0, 2.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 1.5);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = util::linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(Linspace, ZeroCountThrows) {
+  EXPECT_THROW((void)util::linspace(0.0, 1.0, 0), util::Error);
+}
+
+TEST(Linspace, DescendingRange) {
+  const auto v = util::linspace(2.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(v[1], 1.5);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+}
+
+// --- brent_root ------------------------------------------------------------------
+
+TEST(BrentRoot, Linear) {
+  const double r = util::brent_root([](double x) { return 2.0 * x - 4.0; },
+                                    0.0, 10.0);
+  EXPECT_NEAR(r, 2.0, 1e-10);
+}
+
+TEST(BrentRoot, Cubic) {
+  const double r = util::brent_root(
+      [](double x) { return x * x * x - 2.0 * x - 5.0; }, 1.0, 3.0);
+  EXPECT_NEAR(r, 2.0945514815423265, 1e-9);
+}
+
+TEST(BrentRoot, RootAtBracketEdge) {
+  const double r = util::brent_root([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(BrentRoot, NoSignChangeThrows) {
+  EXPECT_THROW((void)util::brent_root([](double x) { return x * x + 1.0; },
+                                      -1.0, 1.0),
+               util::Error);
+}
+
+// --- integrate ------------------------------------------------------------------
+
+TEST(Integrate, Polynomial) {
+  // Simpson is exact for cubics.
+  const double v =
+      util::integrate([](double x) { return x * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 4.0, 1e-12);
+}
+
+TEST(Integrate, Transcendental) {
+  const double v = util::integrate([](double x) { return std::sin(x); }, 0.0,
+                                   M_PI);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(Integrate, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(util::integrate([](double) { return 1.0; }, 3.0, 3.0), 0.0);
+}
+
+TEST(Integrate, SteepPowerLaw) {
+  // Same shape as the Davis occupancy factor l^(2p-4), p = 0.6.
+  const double v = util::integrate(
+      [](double x) { return std::pow(x, -2.8); }, 1.0, 1000.0, 1e-12);
+  const double exact = (1.0 - std::pow(1000.0, -1.8)) / 1.8;
+  EXPECT_NEAR(v, exact, 1e-8);
+}
+
+// --- golden_min ------------------------------------------------------------------
+
+TEST(GoldenMin, Parabola) {
+  const double x = util::golden_min(
+      [](double t) { return (t - 1.5) * (t - 1.5); }, 0.0, 10.0);
+  EXPECT_NEAR(x, 1.5, 1e-7);
+}
+
+TEST(GoldenMin, RepeaterSizeShape) {
+  // f(s) = a/s + b*s has minimum at sqrt(a/b) — the s_opt shape (Eq. 4).
+  const double x = util::golden_min(
+      [](double s) { return 9.0 / s + 4.0 * s; }, 0.1, 100.0);
+  EXPECT_NEAR(x, 1.5, 1e-6);
+}
+
+// --- strings --------------------------------------------------------------------
+
+TEST(Strings, TrimBothEnds) { EXPECT_EQ(util::trim("  a b \t\n"), "a b"); }
+
+TEST(Strings, TrimAllWhitespace) { EXPECT_EQ(util::trim(" \t "), ""); }
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = util::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitTrimsFields) {
+  const auto parts = util::split(" x ; y ", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[1], "y");
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(util::parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(util::parse_double(" -1e-3 "), -1e-3);
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage) {
+  EXPECT_THROW((void)util::parse_double("3.2x"), util::Error);
+  EXPECT_THROW((void)util::parse_double(""), util::Error);
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(util::parse_int("42"), 42);
+  EXPECT_THROW((void)util::parse_int("-3"), util::Error);
+  EXPECT_THROW((void)util::parse_int("4.2"), util::Error);
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(util::starts_with("foobar", "foo"));
+  EXPECT_FALSE(util::starts_with("fo", "foo"));
+}
+
+// --- config ---------------------------------------------------------------------
+
+TEST(Config, ParseBasic) {
+  const auto cfg = util::Config::parse("a = 1\n# comment\nb = hello\n\n");
+  EXPECT_EQ(cfg.size(), 2u);
+  EXPECT_EQ(cfg.get("b"), "hello");
+  EXPECT_DOUBLE_EQ(cfg.get_double("a"), 1.0);
+}
+
+TEST(Config, DefaultsForMissing) {
+  const auto cfg = util::Config::parse("x = 2");
+  EXPECT_DOUBLE_EQ(cfg.get_double("y", 7.5), 7.5);
+  EXPECT_EQ(cfg.get_int("z", 3), 3);
+}
+
+TEST(Config, MissingKeyThrows) {
+  const auto cfg = util::Config::parse("");
+  EXPECT_THROW((void)cfg.get("nope"), util::Error);
+}
+
+TEST(Config, DuplicateKeyThrows) {
+  EXPECT_THROW((void)util::Config::parse("a=1\na=2"), util::Error);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW((void)util::Config::parse("just text"), util::Error);
+}
+
+// --- table ----------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedRows) {
+  util::TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"k", "3.9"});
+  t.add_row({"miller", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| miller | 2"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  util::TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  util::TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), util::Error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(util::TextTable::num(0.3973, 4), "0.3973");
+  EXPECT_EQ(util::TextTable::sci(5e8, 2), "5.00e+08");
+}
+
+// --- require / error -------------------------------------------------------------
+
+TEST(Require, PassesOnTrue) { EXPECT_NO_THROW(util::require(true, "ok")); }
+
+TEST(Require, ThrowsWithLocation) {
+  try {
+    util::require(false, "boom");
+    FAIL() << "expected throw";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+// --- units ----------------------------------------------------------------------
+
+TEST(Units, Consistency) {
+  namespace units = util::units;
+  EXPECT_DOUBLE_EQ(1000.0 * units::nm, units::um);
+  EXPECT_DOUBLE_EQ(1e6 * units::um2, units::m2 * 1e-6);
+  EXPECT_DOUBLE_EQ(2.0 * units::GHz, 2e9);
+  EXPECT_NEAR(units::eps0, 8.854e-12, 1e-15);
+}

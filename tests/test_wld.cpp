@@ -1,0 +1,342 @@
+/// Tests for src/wld: the container, Davis model (paper ref [4]),
+/// discrete validation, coarsening (paper Section 5.1 + footnote 7),
+/// synthetic generators and I/O.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+#include "src/wld/coarsen.hpp"
+#include "src/wld/davis.hpp"
+#include "src/wld/discrete.hpp"
+#include "src/wld/io.hpp"
+#include "src/wld/synthetic.hpp"
+#include "src/wld/wld.hpp"
+
+namespace wld = iarank::wld;
+using iarank::util::Error;
+
+// --- Wld container ---------------------------------------------------------------
+
+TEST(Wld, MergesEqualLengthsAndSorts) {
+  const wld::Wld w({{5.0, 2}, {7.0, 1}, {5.0, 3}});
+  ASSERT_EQ(w.group_count(), 2u);
+  EXPECT_DOUBLE_EQ(w.groups()[0].length, 7.0);
+  EXPECT_EQ(w.groups()[1].count, 5);
+  EXPECT_EQ(w.total_wires(), 6);
+}
+
+TEST(Wld, DropsZeroCounts) {
+  const wld::Wld w({{5.0, 0}, {3.0, 2}});
+  EXPECT_EQ(w.group_count(), 1u);
+}
+
+TEST(Wld, RejectsNegativeCountsAndLengths) {
+  EXPECT_THROW((void)wld::Wld({{5.0, -1}}), Error);
+  EXPECT_THROW((void)wld::Wld({{-2.0, 3}}), Error);
+}
+
+TEST(Wld, FromLengths) {
+  const auto w = wld::Wld::from_lengths({3.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(w.total_wires(), 4);
+  EXPECT_EQ(w.groups()[0].count, 2);  // two wires of length 3
+}
+
+TEST(Wld, RankLookup) {
+  const wld::Wld w({{10.0, 2}, {5.0, 3}});
+  EXPECT_DOUBLE_EQ(w.length_at_rank(1), 10.0);
+  EXPECT_DOUBLE_EQ(w.length_at_rank(2), 10.0);
+  EXPECT_DOUBLE_EQ(w.length_at_rank(3), 5.0);
+  EXPECT_DOUBLE_EQ(w.length_at_rank(5), 5.0);
+  EXPECT_THROW((void)w.length_at_rank(6), Error);
+  EXPECT_THROW((void)w.length_at_rank(0), Error);
+}
+
+TEST(Wld, CountLongerThan) {
+  const wld::Wld w({{10.0, 2}, {5.0, 3}});
+  EXPECT_EQ(w.count_longer_than(10.0), 0);
+  EXPECT_EQ(w.count_longer_than(7.0), 2);
+  EXPECT_EQ(w.count_longer_than(1.0), 5);
+}
+
+TEST(Wld, Stats) {
+  const wld::Wld w({{10.0, 1}, {2.0, 3}});
+  const auto s = w.stats();
+  EXPECT_EQ(s.total_wires, 4);
+  EXPECT_DOUBLE_EQ(s.total_length, 16.0);
+  EXPECT_DOUBLE_EQ(s.mean_length, 4.0);
+  EXPECT_DOUBLE_EQ(s.max_length, 10.0);
+  EXPECT_DOUBLE_EQ(s.min_length, 2.0);
+  EXPECT_DOUBLE_EQ(s.median_length, 2.0);
+}
+
+TEST(Wld, ScaledPreservesCounts) {
+  const wld::Wld w({{10.0, 2}, {5.0, 3}});
+  const auto s = w.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.max_length(), 20.0);
+  EXPECT_EQ(s.total_wires(), 5);
+  EXPECT_THROW((void)w.scaled(0.0), Error);
+}
+
+TEST(Wld, EmptyDistribution) {
+  const wld::Wld w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_THROW((void)w.max_length(), Error);
+  EXPECT_THROW((void)w.stats(), Error);
+}
+
+// --- Davis model ------------------------------------------------------------------
+
+TEST(Davis, ParamsValidate) {
+  wld::DavisParams p{1000, 0.6, 4.0, 3.0};
+  EXPECT_NO_THROW(p.validate());
+  p.rent_p = 1.2;
+  EXPECT_THROW(p.validate(), Error);
+  p = {2, 0.6, 4.0, 3.0};
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Davis, AlphaFromFanout) {
+  const wld::DavisParams p{1000, 0.6, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(p.alpha(), 0.75);
+}
+
+TEST(Davis, RentTotal) {
+  const wld::DavisParams p{10000, 0.6, 4.0, 3.0};
+  const double expected =
+      0.75 * 4.0 * 10000.0 * (1.0 - std::pow(10000.0, -0.4));
+  EXPECT_NEAR(p.total_interconnects(), expected, 1e-9);
+}
+
+TEST(Davis, DensityZeroOutsideSupport) {
+  const wld::DavisModel m({10000, 0.6, 4.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.density(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.density(201.0), 0.0);  // beyond 2 sqrt(N)
+}
+
+TEST(Davis, DensityContinuousAtRegionBoundary) {
+  const wld::DavisModel m({10000, 0.6, 4.0, 3.0});
+  const double sqrt_n = 100.0;
+  const double below = m.density(sqrt_n - 1e-6);
+  const double above = m.density(sqrt_n + 1e-6);
+  EXPECT_NEAR(below, above, below * 1e-4);
+}
+
+TEST(Davis, DensityDecreasesWithLength) {
+  const wld::DavisModel m({10000, 0.6, 4.0, 3.0});
+  EXPECT_GT(m.density(1.0), m.density(2.0));
+  EXPECT_GT(m.density(2.0), m.density(10.0));
+  EXPECT_GT(m.density(100.0), m.density(190.0));
+}
+
+TEST(Davis, NormalizationIntegratesToRentTotal) {
+  const wld::DavisParams p{10000, 0.6, 4.0, 3.0};
+  const wld::DavisModel m(p);
+  const double integral = m.expected_count(1.0, p.max_length());
+  EXPECT_NEAR(integral, p.total_interconnects(),
+              p.total_interconnects() * 1e-6);
+}
+
+TEST(Davis, GenerateTotalMatches) {
+  const wld::DavisParams p{100000, 0.6, 4.0, 3.0};
+  const auto w = wld::DavisModel(p).generate();
+  EXPECT_NEAR(static_cast<double>(w.total_wires()), p.total_interconnects(),
+              2.0);
+  EXPECT_LE(w.max_length(), p.max_length());
+}
+
+TEST(Davis, GenerateIsDeterministic) {
+  const wld::DavisParams p{50000, 0.6, 4.0, 3.0};
+  const auto a = wld::DavisModel(p).generate();
+  const auto b = wld::DavisModel(p).generate();
+  ASSERT_EQ(a.group_count(), b.group_count());
+  EXPECT_EQ(a.total_wires(), b.total_wires());
+}
+
+TEST(Davis, HigherRentExponentMeansLongerWires) {
+  const auto low = wld::DavisModel({100000, 0.5, 4.0, 3.0}).generate();
+  const auto high = wld::DavisModel({100000, 0.7, 4.0, 3.0}).generate();
+  EXPECT_GT(high.stats().mean_length, low.stats().mean_length);
+}
+
+/// The continuous density shape must be proportional to the exact
+/// discrete gate-pair counts (times occupancy l^(2p-4)) on a small array.
+/// The closed form approximates the lattice count up to a constant factor
+/// absorbed by Gamma, so we compare shapes normalized at a reference
+/// length.
+TEST(Davis, ShapeTracksDiscretePairCounts) {
+  const int n = 24;  // 576 gates
+  const wld::DavisModel m({n * n, 0.6, 4.0, 3.0});
+  auto discrete_shape = [n](int l) {
+    const double occupancy = std::pow(static_cast<double>(l), 2.0 * 0.6 - 4.0);
+    return static_cast<double>(wld::pair_count_exact(n, l)) * occupancy;
+  };
+  const int ref = 4;
+  const double scale =
+      m.raw_shape(static_cast<double>(ref)) / discrete_shape(ref);
+  for (int l = 6; l < n; l += 4) {
+    const double expected = scale * discrete_shape(l);
+    const double continuous = m.raw_shape(static_cast<double>(l));
+    EXPECT_NEAR(continuous / expected, 1.0, 0.2) << "l=" << l;
+  }
+}
+
+// --- discrete pair counts -----------------------------------------------------------
+
+TEST(Discrete, BruteForceMatchesExactFormula) {
+  for (const int n : {2, 3, 5, 8, 12}) {
+    const auto brute = wld::pair_counts_brute_force(n);
+    for (int l = 1; l <= 2 * (n - 1); ++l) {
+      EXPECT_EQ(brute[static_cast<std::size_t>(l - 1)],
+                wld::pair_count_exact(n, l))
+          << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+TEST(Discrete, TotalPairs) {
+  const int n = 6;
+  const auto counts = wld::pair_counts_brute_force(n);
+  std::int64_t total = 0;
+  for (const auto c : counts) total += c;
+  const std::int64_t gates = n * n;
+  EXPECT_EQ(total, gates * (gates - 1) / 2);
+}
+
+TEST(Discrete, OutOfRangeIsZero) {
+  EXPECT_EQ(wld::pair_count_exact(4, 0), 0);
+  EXPECT_EQ(wld::pair_count_exact(4, 7), 0);
+}
+
+// --- coarsening -----------------------------------------------------------------------
+
+TEST(Bunch, PaperExample) {
+  // 100 wires of one size, bunch 40 -> bunches of 40, 40, 20.
+  const wld::Wld w({{10.0, 100}});
+  const auto bunches = wld::bunch(w, 40);
+  ASSERT_EQ(bunches.size(), 3u);
+  EXPECT_EQ(bunches[0].count, 40);
+  EXPECT_EQ(bunches[1].count, 40);
+  EXPECT_EQ(bunches[2].count, 20);
+}
+
+TEST(Bunch, PreservesTotalAndOrder) {
+  const wld::Wld w({{10.0, 25}, {5.0, 7}, {2.0, 13}});
+  const auto bunches = wld::bunch(w, 10);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < bunches.size(); ++i) {
+    total += bunches[i].count;
+    EXPECT_LE(bunches[i].count, 10);
+    if (i > 0) EXPECT_LE(bunches[i].length, bunches[i - 1].length);
+  }
+  EXPECT_EQ(total, w.total_wires());
+  EXPECT_EQ(wld::bunch_count(w, 10), static_cast<std::int64_t>(bunches.size()));
+}
+
+TEST(Bunch, SizeOneIsWireGranularity) {
+  const wld::Wld w({{4.0, 3}});
+  EXPECT_EQ(wld::bunch(w, 1).size(), 3u);
+}
+
+TEST(Bunch, InvalidSizeThrows) {
+  EXPECT_THROW((void)wld::bunch(wld::Wld({{1.0, 1}}), 0), Error);
+}
+
+TEST(Bin, PaperFootnote7Example) {
+  // Lengths 5996..6000 with counts 3,2,2,1,1 -> one group of 9 at 5998.
+  const wld::Wld w(
+      {{5996.0, 3}, {5997.0, 2}, {5998.0, 2}, {5999.0, 1}, {6000.0, 1}});
+  const auto binned = wld::bin_absolute(w, 4.0);
+  ASSERT_EQ(binned.group_count(), 1u);
+  EXPECT_EQ(binned.groups()[0].count, 9);
+  EXPECT_NEAR(binned.groups()[0].length, 5998.0, 0.75);
+}
+
+TEST(Bin, ZeroWindowIsIdentity) {
+  const wld::Wld w({{10.0, 2}, {5.0, 3}});
+  const auto binned = wld::bin_absolute(w, 0.0);
+  EXPECT_EQ(binned.group_count(), 2u);
+}
+
+TEST(Bin, PreservesTotalCountAndLength) {
+  const wld::Wld w({{10.0, 2}, {9.0, 4}, {5.0, 3}, {4.5, 1}});
+  const auto binned = wld::bin_absolute(w, 1.0);
+  EXPECT_EQ(binned.total_wires(), w.total_wires());
+  EXPECT_NEAR(binned.stats().total_length, w.stats().total_length, 1e-9);
+  EXPECT_LT(binned.group_count(), w.group_count());
+}
+
+TEST(Bin, RelativeWindow) {
+  const wld::Wld w({{100.0, 1}, {99.0, 1}, {50.0, 1}});
+  const auto binned = wld::bin_relative(w, 0.02);
+  EXPECT_EQ(binned.group_count(), 2u);
+}
+
+// --- synthetic generators -----------------------------------------------------------------
+
+TEST(Synthetic, UniformLength) {
+  const auto w = wld::uniform_length(7.0, 4);
+  EXPECT_EQ(w.total_wires(), 4);
+  EXPECT_DOUBLE_EQ(w.max_length(), 7.0);
+}
+
+TEST(Synthetic, UniformSpread) {
+  const auto w = wld::uniform_spread(1.0, 10.0, 4, 21);
+  EXPECT_EQ(w.total_wires(), 21);
+  EXPECT_EQ(w.group_count(), 4u);
+  EXPECT_DOUBLE_EQ(w.max_length(), 10.0);
+}
+
+TEST(Synthetic, Geometric) {
+  const auto w = wld::geometric(100.0, 1, 2.0, 0.5, 4);
+  EXPECT_EQ(w.group_count(), 4u);
+  EXPECT_DOUBLE_EQ(w.max_length(), 100.0);
+  // counts 1, 2, 4, 8 at lengths 100, 50, 25, 12.5
+  EXPECT_EQ(w.groups()[3].count, 8);
+}
+
+TEST(Synthetic, PowerLawMonotone) {
+  const auto w = wld::power_law(100, 1e6, 2.8);
+  const auto& g = w.groups();
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_GE(g[i].count, g[i - 1].count);  // shorter wires more numerous
+  }
+}
+
+TEST(Synthetic, SampledExponentialDeterministic) {
+  const auto a = wld::sampled_exponential(1000, 5.0, 100.0, 42);
+  const auto b = wld::sampled_exponential(1000, 5.0, 100.0, 42);
+  EXPECT_EQ(a.total_wires(), 1000);
+  EXPECT_EQ(a.group_count(), b.group_count());
+  EXPECT_GE(a.stats().min_length, 1.0);
+  EXPECT_LE(a.max_length(), 100.0);
+}
+
+// --- I/O -------------------------------------------------------------------------------------
+
+TEST(WldIo, RoundTrip) {
+  const wld::Wld w({{10.5, 2}, {5.0, 30}});
+  std::stringstream ss;
+  wld::write_wld(ss, w);
+  const auto loaded = wld::read_wld(ss);
+  ASSERT_EQ(loaded.group_count(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.max_length(), 10.5);
+  EXPECT_EQ(loaded.total_wires(), 32);
+}
+
+TEST(WldIo, IgnoresCommentsAndBlanks) {
+  std::istringstream in("# header\n\n3.0 4\n# tail\n1.0 2\n");
+  const auto w = wld::read_wld(in);
+  EXPECT_EQ(w.total_wires(), 6);
+}
+
+TEST(WldIo, MalformedLineThrows) {
+  std::istringstream in("3.0 oops\n");
+  EXPECT_THROW((void)wld::read_wld(in), Error);
+}
+
+TEST(WldIo, MissingFileThrows) {
+  EXPECT_THROW((void)wld::load_wld("/nonexistent/path.wld"), Error);
+}

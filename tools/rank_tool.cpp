@@ -1,0 +1,154 @@
+/// \file rank_tool.cpp
+/// \brief Config-driven command-line front end for the rank metric.
+///
+/// Usage:
+///   rank_tool <config-file> [command] [args...]
+///
+/// Commands:
+///   rank                      (default) compute and print the rank
+///   sweep <K|M|C|R> <lo> <hi> <steps> [--csv] [--out file.csv]
+///                             sweep one Table 4 parameter (4 threads)
+///   profile                   print the per-layer-pair assignment trace
+///                             and verify its placement certificate
+///   sensitivity               print rank elasticities of K, M, C, R
+///   wld                       print the WLD summary used for this design
+///
+/// The config format is documented in src/core/config_run.hpp; sample
+/// files live under configs/.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/iarank.hpp"
+#include "src/core/config_run.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/core/verify.hpp"
+
+namespace {
+
+using namespace iarank;
+
+int cmd_rank(const core::RunSpec& spec, const wld::Wld& wld) {
+  const auto r = core::compute_rank(spec.design, spec.options, wld);
+  std::cout << "rank            = " << r.rank << "\n";
+  std::cout << "normalized_rank = " << util::TextTable::num(r.normalized, 6)
+            << "\n";
+  std::cout << "all_assigned    = " << (r.all_assigned ? "yes" : "no") << "\n";
+  std::cout << "repeaters       = " << r.repeater_count << "\n";
+  std::cout << "repeater_area   = " << r.repeater_area_used << " m^2\n";
+  return 0;
+}
+
+int cmd_profile(const core::RunSpec& spec, const wld::Wld& wld) {
+  const auto inst = core::build_instance(spec.design, spec.options, wld);
+  const auto r = core::dp_rank(inst);
+  util::TextTable table("assignment profile (top pair first)");
+  table.set_header({"pair", "wires", "meet_delay", "repeaters"});
+  for (const auto& u : r.usage) {
+    table.add_row({u.pair_name, std::to_string(u.wires_total),
+                   std::to_string(u.wires_meeting_delay),
+                   std::to_string(u.repeaters)});
+  }
+  std::cout << table;
+  const auto verdict = core::verify_placements(inst, r);
+  std::cout << "certificate: " << (verdict.ok ? "PASS" : verdict.failure)
+            << "\n";
+  return 0;
+}
+
+int cmd_sensitivity(const core::RunSpec& spec, const wld::Wld& wld) {
+  const auto sens =
+      core::rank_sensitivities(spec.design, spec.options, wld, 0.05);
+  util::TextTable table("rank elasticities (+-5%)");
+  table.set_header({"parameter", "value", "elasticity"});
+  for (const auto& s : sens) {
+    table.add_row({core::to_string(s.parameter),
+                   util::TextTable::num(s.base_value, 3),
+                   util::TextTable::num(s.elasticity, 2)});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_wld(const core::RunSpec& /*spec*/, const wld::Wld& wld) {
+  std::cout << wld.describe() << "\n";
+  const auto stats = wld.stats();
+  std::cout << "mean length   = " << stats.mean_length << " pitches\n";
+  std::cout << "median length = " << stats.median_length << " pitches\n";
+  std::cout << "total length  = " << stats.total_length << " pitches\n";
+  return 0;
+}
+
+int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
+              char** argv) {
+  if (argc < 4) {
+    std::cerr << "usage: rank_tool <config> sweep <K|M|C|R> <lo> <hi> <steps>"
+                 " [--csv]\n";
+    return 2;
+  }
+  core::SweepParameter parameter;
+  switch (argv[0][0]) {
+    case 'K': parameter = core::SweepParameter::kIldPermittivity; break;
+    case 'M': parameter = core::SweepParameter::kMillerFactor; break;
+    case 'C': parameter = core::SweepParameter::kClockFrequency; break;
+    case 'R': parameter = core::SweepParameter::kRepeaterFraction; break;
+    default:
+      std::cerr << "unknown sweep parameter '" << argv[0] << "'\n";
+      return 2;
+  }
+  const double lo = std::atof(argv[1]);
+  const double hi = std::atof(argv[2]);
+  const auto steps = static_cast<std::size_t>(std::atoll(argv[3]));
+  const bool csv = argc > 4 && std::strcmp(argv[4], "--csv") == 0;
+
+  const auto sweep = core::sweep_parameter(spec.design, spec.options, wld,
+                                           parameter,
+                                           util::linspace(lo, hi, steps), 4);
+  for (int a = 4; a + 1 < argc; ++a) {
+    if (std::strcmp(argv[a], "--out") == 0) {
+      core::save_sweep_csv(argv[a + 1], sweep);
+      std::cout << "wrote " << argv[a + 1] << "\n";
+    }
+  }
+  util::TextTable table(core::to_string(parameter));
+  table.set_header({"value", "normalized_rank", "rank"});
+  for (const auto& p : sweep.points) {
+    table.add_row({util::TextTable::num(p.value, 4),
+                   util::TextTable::num(p.result.normalized, 6),
+                   std::to_string(p.result.rank)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    std::cout << table;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rank_tool <config-file> [rank|sweep|profile|wld] ...\n";
+    return 2;
+  }
+  try {
+    const auto config = iarank::util::Config::load(argv[1]);
+    const auto spec = iarank::core::run_spec_from_config(config);
+    const auto wld = iarank::core::resolve_wld(spec);
+
+    const std::string command = argc > 2 ? argv[2] : "rank";
+    if (command == "rank") return cmd_rank(spec, wld);
+    if (command == "profile") return cmd_profile(spec, wld);
+    if (command == "wld") return cmd_wld(spec, wld);
+    if (command == "sensitivity") return cmd_sensitivity(spec, wld);
+    if (command == "sweep") return cmd_sweep(spec, wld, argc - 3, argv + 3);
+    std::cerr << "unknown command '" << command << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "rank_tool: " << e.what() << "\n";
+    return 1;
+  }
+}
