@@ -8,11 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "src/core/dp_rank.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/free_pack.hpp"
+#include "src/core/instance_builder.hpp"
 #include "src/core/paper_setup.hpp"
 #include "src/delay/model.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/wld/davis.hpp"
 #include "src/wld/coarsen.hpp"
 
@@ -91,6 +95,60 @@ void BM_StagesToMeet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StagesToMeet);
+
+/// Cold instance construction: a fresh builder per call, every stage a
+/// cache miss (the old build_instance cost).
+void BM_BuildInstanceCold(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  for (auto _ : state) {
+    core::InstanceBuilder builder(setup.design, wld);
+    benchmark::DoNotOptimize(builder.build(setup.options).bunch_count());
+  }
+}
+BENCHMARK(BM_BuildInstanceCold)->Unit(benchmark::kMicrosecond);
+
+/// Cached instance construction: stage caches warm, assembly only — the
+/// per-point cost a Table 4 sweep pays for an already-seen option set.
+void BM_BuildInstanceCached(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  core::InstanceBuilder builder(setup.design, wld);
+  benchmark::DoNotOptimize(builder.build(setup.options).bunch_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(setup.options).bunch_count());
+  }
+}
+BENCHMARK(BM_BuildInstanceCached)->Unit(benchmark::kMicrosecond);
+
+/// A K-sweep point against a warm builder: only the RC-dependent stages
+/// (stack + plans) recompute; coarsening and die sizing are hits.
+void BM_BuildInstanceKPoint(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  core::InstanceBuilder builder(setup.design, wld);
+  core::RankOptions opts = setup.options;
+  benchmark::DoNotOptimize(builder.build(opts).bunch_count());
+  double k = 1.8;
+  for (auto _ : state) {
+    opts.ild_permittivity = k;  // fresh K each iteration: stack+plans miss
+    k = k < 3.9 ? k + 1e-4 : 1.8;
+    benchmark::DoNotOptimize(builder.build(opts).bunch_count());
+  }
+}
+BENCHMARK(BM_BuildInstanceKPoint)->Unit(benchmark::kMicrosecond);
+
+/// Shared thread-pool dispatch overhead (empty tasks).
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    util::ThreadPool::shared().parallel_for(
+        n, 0, [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(16)->Arg(256);
 
 /// Delay-free packing (greedy_assign / M'') on the full baseline.
 void BM_FreePack(benchmark::State& state) {

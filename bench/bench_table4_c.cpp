@@ -55,5 +55,20 @@ int main() {
             << "; repeater-demand quantization steps: " << demand_steps
             << " (paper shows 8 of 12 C points on rank plateaus; see"
                " EXPERIMENTS.md for the regime discussion)\n";
+
+  const core::SweepProfile& prof = sweep.profile;
+  std::cout << "sweep profile: " << prof.build.builds << " builds ("
+            << prof.build.coarsen.hits + prof.build.die.hits +
+                   prof.build.stack.hits + prof.build.plans.hits
+            << " stage cache hits, "
+            << prof.build.coarsen.misses + prof.build.die.misses +
+                   prof.build.stack.misses + prof.build.plans.misses
+            << " misses), build "
+            << util::TextTable::num(prof.build.total_seconds * 1e3, 1)
+            << " ms, dp " << util::TextTable::num(prof.dp_seconds * 1e3, 1)
+            << " ms (" << prof.dp_arena_nodes << " nodes, "
+            << prof.dp_heap_pops << " heap pops), wall "
+            << util::TextTable::num(prof.total_seconds * 1e3, 1) << " ms on "
+            << prof.threads << " threads\n";
   return 0;
 }

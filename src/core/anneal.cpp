@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <vector>
 
 #include "src/util/error.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace iarank::core {
 
@@ -18,6 +20,8 @@ void AnnealOptions::validate() const {
                         "AnnealOptions: pair bounds must be >= 1");
   iarank::util::require(!multipliers.empty() && !ild_factors.empty(),
                         "AnnealOptions: empty search ladders");
+  iarank::util::require(restarts >= 1, "AnnealOptions: restarts must be >= 1");
+  iarank::util::require(threads >= 1, "AnnealOptions: threads must be >= 1");
   for (const double m : multipliers) {
     iarank::util::require(m > 0.0, "AnnealOptions: multipliers must be > 0");
   }
@@ -56,13 +60,14 @@ AnnealState decode(const Encoded& e, const AnnealOptions& opt) {
 
 }  // namespace
 
-AnnealResult anneal_architecture(const tech::TechNode& node,
-                                 std::int64_t gate_count,
-                                 const RankOptions& options,
-                                 const wld::Wld& wld_in_pitches,
-                                 const AnnealOptions& anneal) {
-  anneal.validate();
-  std::mt19937_64 rng(anneal.seed);
+namespace {
+
+/// One annealing chain, exactly the pre-restart algorithm, from `seed`.
+AnnealResult anneal_chain(const tech::TechNode& node, std::int64_t gate_count,
+                          const RankOptions& options,
+                          const wld::Wld& wld_in_pitches,
+                          const AnnealOptions& anneal, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
   auto rand_index = [&rng](std::size_t size) {
     return std::uniform_int_distribution<std::size_t>(0, size - 1)(rng);
   };
@@ -143,6 +148,40 @@ AnnealResult anneal_architecture(const tech::TechNode& node,
     result.trajectory.push_back(result.best_result.normalized);
   }
   return result;
+}
+
+}  // namespace
+
+AnnealResult anneal_architecture(const tech::TechNode& node,
+                                 std::int64_t gate_count,
+                                 const RankOptions& options,
+                                 const wld::Wld& wld_in_pitches,
+                                 const AnnealOptions& anneal) {
+  anneal.validate();
+  if (anneal.restarts == 1) {
+    return anneal_chain(node, gate_count, options, wld_in_pitches, anneal,
+                        anneal.seed);
+  }
+
+  // Independent chains; the merge scans them in restart order, so the
+  // outcome is identical for any thread count.
+  std::vector<AnnealResult> runs(static_cast<std::size_t>(anneal.restarts));
+  iarank::util::ThreadPool::shared().parallel_for(
+      runs.size(), anneal.threads, [&](std::size_t i) {
+        runs[i] = anneal_chain(node, gate_count, options, wld_in_pitches,
+                               anneal, anneal.seed + i);
+      });
+
+  AnnealResult out = runs.front();
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    out.evaluations += runs[i].evaluations;
+    if (runs[i].best_result.normalized > out.best_result.normalized) {
+      out.best = runs[i].best;
+      out.best_result = runs[i].best_result;
+      out.trajectory = runs[i].trajectory;
+    }
+  }
+  return out;
 }
 
 }  // namespace iarank::core

@@ -34,6 +34,14 @@ struct AnnealOptions {
   /// Discrete ILD aspect factors.
   std::vector<double> ild_factors = {0.8, 1.0, 1.2};
 
+  /// Independent chains started from seeds seed, seed+1, ... A chain is
+  /// inherently sequential; restarts are the parallelism unit. The merged
+  /// result is deterministic: chains are compared in restart order, ties
+  /// keep the earlier chain.
+  int restarts = 1;
+  /// Chains run concurrently on the shared util::ThreadPool.
+  unsigned threads = 1;
+
   /// Throws util::Error on empty ladders or bad schedule.
   void validate() const;
 };
@@ -44,7 +52,8 @@ struct AnnealState {
   tech::NodeTuning tuning;
 };
 
-/// Search outcome.
+/// Search outcome. With restarts > 1, `evaluations` counts all chains and
+/// `best`/`best_result`/`trajectory` come from the winning chain.
 struct AnnealResult {
   AnnealState best;
   RankResult best_result;

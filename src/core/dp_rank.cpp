@@ -4,13 +4,13 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "src/core/free_pack.hpp"
 #include "src/util/error.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace iarank::core {
 
@@ -25,6 +25,15 @@ struct Node {
   std::int64_t z = 0;    ///< repeater count used
   std::int32_t parent = -1;  ///< arena index of the predecessor
   std::int32_t c = 0;    ///< bunches assigned to the previous pair
+};
+
+/// Frontier entry: the Pareto key duplicated next to the arena index, so
+/// dominance scans touch one contiguous array instead of chasing arena
+/// pointers (the scans dominate forward-pass time).
+struct FrontEntry {
+  double r = 0.0;
+  std::int64_t z = 0;
+  std::int32_t idx = -1;  ///< arena index of the full node
 };
 
 /// Heap entry: either an unverified iterator positioned at its best
@@ -70,9 +79,14 @@ class DpSolver {
   const std::int64_t n_bunches_;
 
   std::vector<Node> arena_;
-  /// levels_[j] maps b -> active frontier (arena indices).
-  std::vector<std::map<std::int64_t, std::vector<std::int32_t>>> levels_;
+  /// levels_[j][b] = active Pareto frontier of states entering pair j with
+  /// bunch b unassigned. Dense by bunch index (was a std::map): the
+  /// forward pass walks buckets in the same ascending-b order, so survivor
+  /// sets, arena order and heap push order — hence results — are
+  /// unchanged, but lookup is an index instead of a tree walk.
+  std::vector<std::vector<std::vector<FrontEntry>>> levels_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap_;
+  RankResult::DpStats stats_;
 
   [[nodiscard]] double budget_tol() const {
     return inst_.repeater_budget() * kRelTol + 1e-30;
@@ -141,31 +155,39 @@ void DpSolver::push_iterator(std::int32_t node, std::size_t j, std::int64_t b,
 }
 
 void DpSolver::add_node(std::size_t level, std::int64_t b, const Node& node) {
-  auto& frontier = levels_[level][b];
-  for (const std::int32_t idx : frontier) {
-    const Node& have = arena_[static_cast<std::size_t>(idx)];
+  auto& frontier = levels_[level][static_cast<std::size_t>(b)];
+  for (const FrontEntry& have : frontier) {
     if (have.r <= node.r && have.z <= node.z) return;  // dominated newcomer
   }
-  std::erase_if(frontier, [this, &node](std::int32_t idx) {
-    const Node& have = arena_[static_cast<std::size_t>(idx)];
+  std::erase_if(frontier, [&node](const FrontEntry& have) {
     return node.r <= have.r && node.z <= have.z;
   });
   arena_.push_back(node);
-  frontier.push_back(static_cast<std::int32_t>(arena_.size() - 1));
+  frontier.push_back({node.r, node.z, static_cast<std::int32_t>(arena_.size() - 1)});
+  stats_.max_frontier = std::max(
+      stats_.max_frontier, static_cast<std::int64_t>(frontier.size()));
 }
 
 void DpSolver::forward_pass() {
-  levels_.resize(m_ + 1);
+  // One bucket per bunch index plus one, so the root state (b = 0) has a
+  // home even for a degenerate empty instance.
+  const std::size_t buckets = static_cast<std::size_t>(n_bunches_) + 1;
+  levels_.assign(m_ + 1, std::vector<std::vector<FrontEntry>>(buckets));
   arena_.push_back({0.0, 0, -1, 0});
-  levels_[0][0] = {0};
+  levels_[0][0].push_back({0.0, 0, 0});
+  stats_.max_frontier = std::max<std::int64_t>(stats_.max_frontier, 1);
 
   for (std::size_t j = 0; j < m_; ++j) {
-    for (auto& [b, frontier] : levels_[j]) {
-      for (const std::int32_t idx : frontier) {
+    for (std::size_t bi = 0; bi < buckets; ++bi) {
+      // add_node only touches level j+1, so this reference stays valid.
+      const std::vector<FrontEntry>& frontier = levels_[j][bi];
+      if (frontier.empty()) continue;
+      const auto b = static_cast<std::int64_t>(bi);
+      const double wires_above = static_cast<double>(inst_.wires_before(bi));
+      for (const FrontEntry& entry : frontier) {
+        const std::int32_t idx = entry.idx;
         // Copy: arena_ may reallocate while we extend it below.
         const Node node = arena_[static_cast<std::size_t>(idx)];
-        const double wires_above =
-            static_cast<double>(inst_.wires_before(static_cast<std::size_t>(b)));
         const double capacity =
             inst_.pair_capacity() -
             inst_.blockage(j, wires_above, static_cast<double>(node.z));
@@ -400,6 +422,8 @@ RankResult DpSolver::assemble(const HeapEntry& best) const {
 }
 
 RankResult DpSolver::solve() {
+  util::Stopwatch total;
+
   // Definition 3 fast path: delay-free packing of the whole WLD is the
   // least constrained assignment (Lemma 1); if it fails, nothing fits.
   if (!free_pack_feasible(inst_, FreePackInput{})) {
@@ -408,15 +432,27 @@ RankResult DpSolver::solve() {
     res.rank = 0;
     res.normalized = 0.0;
     res.all_assigned = false;
+    res.dp = stats_;
+    res.dp.seconds = total.seconds();
     return res;
   }
 
+  util::Stopwatch forward;
   forward_pass();
+  stats_.forward_seconds = forward.seconds();
+  stats_.arena_nodes = static_cast<std::int64_t>(arena_.size());
 
   while (!heap_.empty()) {
     const HeapEntry e = heap_.top();
     heap_.pop();
-    if (e.verified) return assemble(e);
+    ++stats_.heap_pops;
+    if (e.verified) {
+      RankResult res = assemble(e);
+      res.dp = stats_;
+      res.dp.seconds = total.seconds();
+      return res;
+    }
+    ++stats_.verify_calls;
     const auto verified = verify(e);
     if (verified) heap_.push(*verified);
     if (e.c > 0) {
@@ -431,6 +467,8 @@ RankResult DpSolver::solve() {
   res.rank = 0;
   res.normalized = 0.0;
   res.all_assigned = false;
+  res.dp = stats_;
+  res.dp.seconds = total.seconds();
   return res;
 }
 

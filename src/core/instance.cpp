@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/tech/die.hpp"
 #include "src/util/error.hpp"
-#include "src/tech/noise.hpp"
-#include "src/wld/coarsen.hpp"
 
 namespace iarank::core {
 
@@ -93,103 +90,18 @@ std::int64_t Instance::max_fit(std::size_t b, std::size_t j,
   const double per_wire = bunch.length * pairs_[j].pitch;
   if (per_wire <= 0.0) return available;
   if (free_area <= 0.0) return 0;
-  const auto fit = static_cast<std::int64_t>(std::floor(
-      free_area / per_wire * (1.0 + 1e-12)));
-  return std::clamp<std::int64_t>(fit, 0, available);
+  // Clamp in double space: for degenerate (near-zero) pitches the quotient
+  // can exceed the int64 range, and casting such a double is undefined
+  // behaviour. `available` is a wire count, so the round-trip through
+  // double below is exact.
+  const double fit = std::floor(free_area / per_wire * (1.0 + 1e-12));
+  if (fit <= 0.0) return 0;
+  if (fit >= static_cast<double>(available)) return available;
+  return static_cast<std::int64_t>(fit);
 }
 
-Instance build_instance(const DesignSpec& design, const RankOptions& options,
-                        const wld::Wld& wld_in_pitches) {
-  design.validate();
-  options.validate();
-  iarank::util::require(!wld_in_pitches.empty(),
-                        "build_instance: empty wire length distribution");
-
-  // Die sizing (paper Eq. 6): repeater area inflates the die, gates are
-  // redistributed, and the effective gate pitch converts WLD lengths.
-  const tech::DieModel die({design.gate_count, design.node.gate_pitch(),
-                            options.repeater_fraction});
-
-  // Coarsen in pitch space: optional binning, then bunching.
-  wld::Wld coarse = options.bin_window > 0.0
-                        ? wld::bin_absolute(wld_in_pitches, options.bin_window)
-                        : wld_in_pitches;
-  const std::vector<wld::WireGroup> groups =
-      wld::bunch(coarse, options.bunch_size);
-
-  // Electrical stack.
-  const tech::Architecture arch =
-      tech::Architecture::build(design.node, design.arch);
-  const tech::RcParams rc{design.node.conductor, options.ild_permittivity,
-                          options.miller_factor, options.cap_model};
-  const delay::ElectricalStack stack(arch, rc, options.switching);
-
-  // Target delays from the longest *physical* wire.
-  const double pitch_to_m = die.effective_gate_pitch();
-  const double l_max = wld_in_pitches.max_length() * pitch_to_m;
-  const delay::TargetDelay targets(options.target_model,
-                                   options.clock_frequency, l_max);
-
-  std::vector<Bunch> bunches;
-  bunches.reserve(groups.size());
-  for (const wld::WireGroup& g : groups) {
-    const double length_m = g.length * pitch_to_m;
-    bunches.push_back({length_m, g.count, targets.target(length_m)});
-  }
-
-  // A layer-pair offers `pair_capacity_factor` layers' worth of routing
-  // area; a via cut blocks that many layers' worth of via area.
-  std::vector<PairInfo> pairs;
-  pairs.reserve(arch.pair_count());
-  const double a_inv = design.node.device.min_inv_area;
-  for (std::size_t j = 0; j < arch.pair_count(); ++j) {
-    const tech::LayerPair& lp = arch.pair(j);
-    const delay::PairElectricals& el = stack.pair(j);
-    pairs.push_back({lp.name, lp.geometry.pitch(),
-                     options.pair_capacity_factor * lp.geometry.via_area(),
-                     el.s_opt, el.s_opt * a_inv});
-  }
-
-  std::vector<std::vector<DelayPlan>> plans(
-      bunches.size(), std::vector<DelayPlan>(pairs.size()));
-  for (std::size_t b = 0; b < bunches.size(); ++b) {
-    // Repeater-interval cap: at most floor(l / spacing) stages per wire
-    // (paper Section 4.1: insertion stops when repeaters cannot be placed
-    // at appropriate intervals).
-    std::optional<std::int64_t> max_stages = options.max_stages;
-    if (options.min_repeater_spacing > 0.0) {
-      const auto by_spacing = static_cast<std::int64_t>(
-          std::floor(bunches[b].length / options.min_repeater_spacing));
-      const std::int64_t capped = std::max<std::int64_t>(1, by_spacing);
-      max_stages = max_stages ? std::min(*max_stages, capped) : capped;
-    }
-    for (std::size_t j = 0; j < pairs.size(); ++j) {
-      // Noise-constrained pairs cannot carry delay-met wires.
-      if (options.max_noise_ratio < 1.0 &&
-          tech::coupling_noise_ratio(arch.pair(j).geometry, rc) >
-              options.max_noise_ratio) {
-        continue;
-      }
-      const auto sol = stack.pair(j).model.stages_to_meet(
-          bunches[b].length, bunches[b].target_delay, max_stages);
-      DelayPlan& p = plans[b][j];
-      if (sol) {
-        p.feasible = true;
-        p.stages = sol->stages;
-        p.delay = sol->delay;
-        // Footnote 3: optionally charge the sized driver too.
-        const auto cells =
-            options.charge_drivers ? sol->stages : sol->stages - 1;
-        p.area_per_wire =
-            static_cast<double>(cells) * pairs[j].repeater_area;
-      }
-    }
-  }
-
-  return Instance::from_raw(std::move(bunches), std::move(pairs),
-                            std::move(plans),
-                            options.pair_capacity_factor * die.die_area(),
-                            die.repeater_area_budget(), options.vias);
-}
+// build_instance lives in instance_builder.cpp: it is a thin wrapper over
+// the staged InstanceBuilder, which caches per-stage results across sweep
+// points.
 
 }  // namespace iarank::core

@@ -1,0 +1,203 @@
+#include "src/core/instance_builder.hpp"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "src/delay/target.hpp"
+#include "src/tech/noise.hpp"
+#include "src/util/error.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/wld/coarsen.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+/// Validates the fixed inputs before any member that derives from them
+/// is initialized (arch_ and wld_max_pitches_ both need a valid design
+/// and a non-empty WLD).
+tech::Architecture make_arch(const DesignSpec& design, const wld::Wld& wld) {
+  design.validate();
+  iarank::util::require(!wld.empty(),
+                        "build_instance: empty wire length distribution");
+  return tech::Architecture::build(design.node, design.arch);
+}
+
+/// Cache lookup wrapper that books the hit/miss and miss wall-time into
+/// `counters`.
+template <typename Cache, typename Key, typename Compute>
+const auto& cached(Cache& cache, const Key& key, StageCounters& counters,
+                   Compute&& compute) {
+  bool hit = false;
+  util::Stopwatch timer;
+  const auto& value =
+      cache.get_or_compute(key, std::forward<Compute>(compute), &hit);
+  if (hit) {
+    ++counters.hits;
+  } else {
+    ++counters.misses;
+    counters.seconds += timer.seconds();
+  }
+  return value;
+}
+
+}  // namespace
+
+InstanceBuilder::InstanceBuilder(DesignSpec design, wld::Wld wld_in_pitches)
+    : design_(std::move(design)),
+      wld_(std::move(wld_in_pitches)),
+      arch_(make_arch(design_, wld_)),
+      wld_max_pitches_(wld_.max_length()) {}
+
+const std::vector<wld::WireGroup>& InstanceBuilder::coarsen_stage(
+    const RankOptions& options) {
+  const CoarsenKey key{options.bin_window, options.bunch_size};
+  return cached(coarsen_cache_, key, profile_.coarsen, [&] {
+    const wld::Wld coarse =
+        options.bin_window > 0.0
+            ? wld::bin_absolute(wld_, options.bin_window)
+            : wld_;
+    return wld::bunch(coarse, options.bunch_size);
+  });
+}
+
+const tech::DieModel& InstanceBuilder::die_stage(const RankOptions& options) {
+  const DieKey key = options.repeater_fraction;
+  return cached(die_cache_, key, profile_.die, [&] {
+    // Die sizing (paper Eq. 6): repeater area inflates the die, gates are
+    // redistributed, and the effective gate pitch converts WLD lengths.
+    return tech::DieModel({design_.gate_count, design_.node.gate_pitch(),
+                           options.repeater_fraction});
+  });
+}
+
+const InstanceBuilder::StackStage& InstanceBuilder::stack_stage(
+    const RankOptions& options) {
+  const StackKey key{options.ild_permittivity, options.miller_factor,
+                     static_cast<int>(options.cap_model), options.switching.a,
+                     options.switching.b};
+  return cached(stack_cache_, key, profile_.stack, [&] {
+    const tech::RcParams rc{design_.node.conductor, options.ild_permittivity,
+                            options.miller_factor, options.cap_model};
+    return StackStage{rc, delay::ElectricalStack(arch_, rc, options.switching)};
+  });
+}
+
+const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
+    const RankOptions& options, const std::vector<wld::WireGroup>& groups,
+    const tech::DieModel& die, const StackStage& electrical) {
+  const StackKey stack_key{options.ild_permittivity, options.miller_factor,
+                           static_cast<int>(options.cap_model),
+                           options.switching.a, options.switching.b};
+  const PlanKey key{
+      stack_key,
+      options.repeater_fraction,
+      CoarsenKey{options.bin_window, options.bunch_size},
+      static_cast<int>(options.target_model),
+      options.clock_frequency,
+      options.min_repeater_spacing,
+      options.max_stages ? *options.max_stages : std::int64_t{-1},
+      options.charge_drivers,
+      options.max_noise_ratio};
+  return cached(plan_cache_, key, profile_.plans, [&] {
+    // Target delays from the longest *physical* wire.
+    const double pitch_to_m = die.effective_gate_pitch();
+    const double l_max = wld_max_pitches_ * pitch_to_m;
+    const delay::TargetDelay targets(options.target_model,
+                                     options.clock_frequency, l_max);
+
+    PlanStage result;
+    result.bunches.reserve(groups.size());
+    for (const wld::WireGroup& g : groups) {
+      const double length_m = g.length * pitch_to_m;
+      result.bunches.push_back({length_m, g.count, targets.target(length_m)});
+    }
+
+    const double a_inv = design_.node.device.min_inv_area;
+    result.plans.assign(result.bunches.size(),
+                        std::vector<DelayPlan>(arch_.pair_count()));
+    for (std::size_t b = 0; b < result.bunches.size(); ++b) {
+      // Repeater-interval cap: at most floor(l / spacing) stages per wire
+      // (paper Section 4.1: insertion stops when repeaters cannot be
+      // placed at appropriate intervals).
+      std::optional<std::int64_t> max_stages = options.max_stages;
+      if (options.min_repeater_spacing > 0.0) {
+        const auto by_spacing = static_cast<std::int64_t>(std::floor(
+            result.bunches[b].length / options.min_repeater_spacing));
+        const std::int64_t capped = std::max<std::int64_t>(1, by_spacing);
+        max_stages = max_stages ? std::min(*max_stages, capped) : capped;
+      }
+      for (std::size_t j = 0; j < arch_.pair_count(); ++j) {
+        // Noise-constrained pairs cannot carry delay-met wires.
+        if (options.max_noise_ratio < 1.0 &&
+            tech::coupling_noise_ratio(arch_.pair(j).geometry, electrical.rc) >
+                options.max_noise_ratio) {
+          continue;
+        }
+        const auto sol = electrical.stack.pair(j).model.stages_to_meet(
+            result.bunches[b].length, result.bunches[b].target_delay,
+            max_stages);
+        DelayPlan& p = result.plans[b][j];
+        if (sol) {
+          p.feasible = true;
+          p.stages = sol->stages;
+          p.delay = sol->delay;
+          // Footnote 3: optionally charge the sized driver too.
+          const auto cells =
+              options.charge_drivers ? sol->stages : sol->stages - 1;
+          p.area_per_wire = static_cast<double>(cells) *
+                            (electrical.stack.pair(j).s_opt * a_inv);
+        }
+      }
+    }
+    return result;
+  });
+}
+
+Instance InstanceBuilder::build(const RankOptions& options) {
+  options.validate();
+  const std::scoped_lock lock(mutex_);
+  util::Stopwatch timer;
+
+  const std::vector<wld::WireGroup>& groups = coarsen_stage(options);
+  const tech::DieModel& die = die_stage(options);
+  const StackStage& electrical = stack_stage(options);
+  const PlanStage& planned = plan_stage(options, groups, die, electrical);
+
+  // A layer-pair offers `pair_capacity_factor` layers' worth of routing
+  // area; a via cut blocks that many layers' worth of via area. Assembled
+  // per build — it is the only capacity-factor-dependent piece and costs
+  // a handful of multiplies.
+  std::vector<PairInfo> pairs;
+  pairs.reserve(arch_.pair_count());
+  const double a_inv = design_.node.device.min_inv_area;
+  for (std::size_t j = 0; j < arch_.pair_count(); ++j) {
+    const tech::LayerPair& lp = arch_.pair(j);
+    const delay::PairElectricals& el = electrical.stack.pair(j);
+    pairs.push_back({lp.name, lp.geometry.pitch(),
+                     options.pair_capacity_factor * lp.geometry.via_area(),
+                     el.s_opt, el.s_opt * a_inv});
+  }
+
+  Instance inst = Instance::from_raw(
+      planned.bunches, std::move(pairs), planned.plans,
+      options.pair_capacity_factor * die.die_area(),
+      die.repeater_area_budget(), options.vias);
+
+  ++profile_.builds;
+  profile_.total_seconds += timer.seconds();
+  return inst;
+}
+
+BuildProfile InstanceBuilder::profile() const {
+  const std::scoped_lock lock(mutex_);
+  return profile_;
+}
+
+Instance build_instance(const DesignSpec& design, const RankOptions& options,
+                        const wld::Wld& wld_in_pitches) {
+  return InstanceBuilder(design, wld_in_pitches).build(options);
+}
+
+}  // namespace iarank::core

@@ -1,6 +1,9 @@
 #include "src/core/optimizer.hpp"
 
+#include <algorithm>
+
 #include "src/util/error.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace iarank::core {
 
@@ -22,9 +25,10 @@ OptimizerResult optimize_architecture(const tech::TechNode& node,
                                       const RankOptions& options,
                                       const wld::Wld& wld_in_pitches,
                                       const OptimizerOptions& search) {
-  OptimizerResult out;
-  bool have_best = false;
-
+  // Enumerate the grid first so candidates can be evaluated concurrently
+  // yet scanned for the winner in the original grid order — the result is
+  // identical for any thread count.
+  std::vector<tech::ArchitectureSpec> grid;
   for (const double ild : search.ild_height_factors) {
     for (int g = 0; g <= search.max_global_pairs; ++g) {
       for (int s = 0; s <= search.max_semi_global_pairs; ++s) {
@@ -33,23 +37,29 @@ OptimizerResult optimize_architecture(const tech::TechNode& node,
           if (total < search.min_total_pairs || total > search.max_total_pairs) {
             continue;
           }
-          DesignSpec design;
-          design.node = node;
-          design.arch = {g, s, l, ild};
-          design.gate_count = gate_count;
-          ArchCandidate cand;
-          cand.spec = design.arch;
-          cand.result = compute_rank(design, options, wld_in_pitches);
-          if (!have_best || better(cand, out.best)) {
-            out.best = cand;
-            have_best = true;
-          }
-          out.evaluated.push_back(std::move(cand));
+          grid.push_back({g, s, l, ild});
         }
       }
     }
   }
-  iarank::util::require(have_best, "optimize_architecture: empty search grid");
+  iarank::util::require(!grid.empty(), "optimize_architecture: empty search grid");
+
+  OptimizerResult out;
+  out.evaluated.resize(grid.size());
+  iarank::util::ThreadPool::shared().parallel_for(
+      grid.size(), std::max(1u, search.threads), [&](std::size_t i) {
+        DesignSpec design;
+        design.node = node;
+        design.arch = grid[i];
+        design.gate_count = gate_count;
+        out.evaluated[i].spec = design.arch;
+        out.evaluated[i].result = compute_rank(design, options, wld_in_pitches);
+      });
+
+  out.best = out.evaluated.front();
+  for (const ArchCandidate& cand : out.evaluated) {
+    if (better(cand, out.best)) out.best = cand;
+  }
   return out;
 }
 

@@ -25,6 +25,10 @@ struct OptimizerOptions {
   int max_local_pairs = 3;
   /// ILD height factors to try (1.0 only by default).
   std::vector<double> ild_height_factors = {1.0};
+  /// Candidates evaluated concurrently on the shared util::ThreadPool.
+  /// The evaluation order, tie-breaking and result are identical for any
+  /// value (candidates are enumerated first, then scanned in grid order).
+  unsigned threads = 1;
 };
 
 /// One evaluated architecture.

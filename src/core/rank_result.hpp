@@ -54,6 +54,19 @@ struct RankResult {
   double repeater_area_used = 0.0;     ///< [m^2], <= budget
   std::int64_t total_wires = 0;        ///< WLD size
 
+  /// DP observability, filled by dp_rank: wall time, state-space size and
+  /// search effort. Zero for other engines. Timing fields vary run to run;
+  /// the count fields are deterministic and comparable across hosts.
+  struct DpStats {
+    double seconds = 0.0;          ///< wall time inside dp_rank
+    double forward_seconds = 0.0;  ///< of which: the forward pass
+    std::int64_t arena_nodes = 0;  ///< state elements created
+    std::int64_t max_frontier = 0; ///< largest per-(pair,bunch) frontier
+    std::int64_t heap_pops = 0;    ///< best-first candidates examined
+    std::int64_t verify_calls = 0; ///< free-pack verifications run
+  };
+  DpStats dp;
+
   /// Per-pair trace of the winning assignment (top pair first). Filled by
   /// engines when trace reconstruction is requested.
   std::vector<PairUsage> usage;

@@ -27,10 +27,22 @@ double parameter_value(const RankOptions& options, SweepParameter p) {
 std::vector<Sensitivity> rank_sensitivities(const DesignSpec& design,
                                             const RankOptions& baseline,
                                             const wld::Wld& wld_in_pitches,
-                                            double rel_step) {
+                                            double rel_step,
+                                            unsigned threads) {
   iarank::util::require(rel_step > 0.0 && rel_step <= 0.5,
                         "rank_sensitivities: rel_step must be in (0, 0.5]");
-  const RankResult base = compute_rank(design, baseline, wld_in_pitches);
+  iarank::util::require(threads >= 1,
+                        "rank_sensitivities: threads must be >= 1");
+
+  // One builder for all nine evaluations: the baseline plus each
+  // parameter's +-step pair leave three of the four stages untouched.
+  InstanceBuilder builder(design, wld_in_pitches);
+  const RankResult base = [&] {
+    const Instance inst = builder.build(baseline);
+    DpOptions dp;
+    dp.refine_boundary = baseline.refine_boundary;
+    return dp_rank(inst, dp);
+  }();
   iarank::util::require(base.rank > 0,
                         "rank_sensitivities: baseline rank is zero");
 
@@ -45,8 +57,8 @@ std::vector<Sensitivity> rank_sensitivities(const DesignSpec& design,
     s.low_value = s.base_value * (1.0 - rel_step);
     s.high_value = s.base_value * (1.0 + rel_step);
 
-    const auto sweep = sweep_parameter(design, baseline, wld_in_pitches, p,
-                                       {s.low_value, s.high_value});
+    const auto sweep = sweep_parameter(builder, baseline, p,
+                                       {s.low_value, s.high_value}, threads);
     s.low_normalized = sweep.points[0].result.normalized;
     s.high_normalized = sweep.points[1].result.normalized;
 

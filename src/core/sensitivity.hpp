@@ -32,10 +32,14 @@ struct Sensitivity {
 };
 
 /// Evaluates all four Table 4 parameters at +-rel_step around the given
-/// baseline. Throws util::Error when the baseline rank is zero (no
+/// baseline. All nine evaluations share one staged InstanceBuilder, so
+/// common stages are computed once; `threads` > 1 evaluates each
+/// parameter's two perturbed points concurrently (results are identical
+/// for any value). Throws util::Error when the baseline rank is zero (no
 /// meaningful elasticity). rel_step must be in (0, 0.5].
 [[nodiscard]] std::vector<Sensitivity> rank_sensitivities(
     const DesignSpec& design, const RankOptions& baseline,
-    const wld::Wld& wld_in_pitches, double rel_step = 0.05);
+    const wld::Wld& wld_in_pitches, double rel_step = 0.05,
+    unsigned threads = 1);
 
 }  // namespace iarank::core

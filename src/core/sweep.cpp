@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <exception>
 #include <limits>
-#include <mutex>
-#include <thread>
 
 #include "src/util/error.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/units.hpp"
 
 namespace iarank::core {
@@ -52,12 +51,14 @@ RankOptions with_value(const RankOptions& base, SweepParameter parameter,
 
 }  // namespace
 
-SweepResult sweep_parameter(const DesignSpec& design, const RankOptions& base,
-                            const wld::Wld& wld_in_pitches,
+SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
                             SweepParameter parameter,
                             const std::vector<double>& values,
                             unsigned threads) {
   iarank::util::require(threads >= 1, "sweep_parameter: threads must be >= 1");
+  util::Stopwatch total;
+  const BuildProfile before = builder.profile();
+
   SweepResult out;
   out.parameter = parameter;
   out.points.resize(values.size());
@@ -65,57 +66,85 @@ SweepResult sweep_parameter(const DesignSpec& design, const RankOptions& base,
     out.points[i].value = values[i];
   }
 
-  if (threads == 1 || values.size() <= 1) {
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      out.points[i].result = compute_rank(
-          design, with_value(base, parameter, values[i]), wld_in_pitches);
-    }
-    return out;
-  }
+  // Points are independent and write disjoint slots; the pool propagates
+  // the lowest-index exception. Each evaluation mirrors compute_rank, but
+  // through the shared builder so unchanged stages are cache hits.
+  util::ThreadPool::shared().parallel_for(
+      values.size(), threads, [&](std::size_t i) {
+        const RankOptions opt = with_value(base, parameter, values[i]);
+        const Instance inst = builder.build(opt);
+        DpOptions dp;
+        dp.refine_boundary = opt.refine_boundary;
+        out.points[i].result = dp_rank(inst, dp);
+      });
 
-  // Static interleaved partition: point i goes to worker i % threads.
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-  std::vector<std::thread> workers;
-  const unsigned worker_count =
-      std::min<unsigned>(threads, static_cast<unsigned>(values.size()));
-  workers.reserve(worker_count);
-  for (unsigned w = 0; w < worker_count; ++w) {
-    workers.emplace_back([&, w]() {
-      try {
-        for (std::size_t i = w; i < values.size(); i += worker_count) {
-          out.points[i].result = compute_rank(
-              design, with_value(base, parameter, values[i]), wld_in_pitches);
-        }
-      } catch (...) {
-        const std::scoped_lock lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-      }
-    });
+  // Aggregate observability. The DP counters are sums of deterministic
+  // per-point values, so they too are identical across thread counts.
+  const BuildProfile after = builder.profile();
+  out.profile.build = after;
+  out.profile.build.coarsen.hits -= before.coarsen.hits;
+  out.profile.build.coarsen.misses -= before.coarsen.misses;
+  out.profile.build.coarsen.seconds -= before.coarsen.seconds;
+  out.profile.build.die.hits -= before.die.hits;
+  out.profile.build.die.misses -= before.die.misses;
+  out.profile.build.die.seconds -= before.die.seconds;
+  out.profile.build.stack.hits -= before.stack.hits;
+  out.profile.build.stack.misses -= before.stack.misses;
+  out.profile.build.stack.seconds -= before.stack.seconds;
+  out.profile.build.plans.hits -= before.plans.hits;
+  out.profile.build.plans.misses -= before.plans.misses;
+  out.profile.build.plans.seconds -= before.plans.seconds;
+  out.profile.build.builds -= before.builds;
+  out.profile.build.total_seconds -= before.total_seconds;
+  for (const SweepPoint& p : out.points) {
+    out.profile.dp_seconds += p.result.dp.seconds;
+    out.profile.dp_arena_nodes += p.result.dp.arena_nodes;
+    out.profile.dp_heap_pops += p.result.dp.heap_pops;
+    out.profile.dp_verify_calls += p.result.dp.verify_calls;
+    out.profile.dp_max_frontier =
+        std::max(out.profile.dp_max_frontier, p.result.dp.max_frontier);
   }
-  for (std::thread& t : workers) t.join();
-  if (failure) std::rethrow_exception(failure);
+  out.profile.threads = threads;
+  out.profile.total_seconds = total.seconds();
   return out;
 }
 
-namespace {
+SweepResult sweep_parameter(const DesignSpec& design, const RankOptions& base,
+                            const wld::Wld& wld_in_pitches,
+                            SweepParameter parameter,
+                            const std::vector<double>& values,
+                            unsigned threads) {
+  InstanceBuilder builder(design, wld_in_pitches);
+  return sweep_parameter(builder, base, parameter, values, threads);
+}
 
-std::vector<double> descending(double from, double to, double step) {
+std::vector<double> table4_k_values() {
+  // K = 3.9, 3.8, ..., 1.8 — 22 points. Integer numerators keep every
+  // entry exact-by-rounding instead of drifting with a running sum.
   std::vector<double> values;
-  for (double v = from; v >= to - 1e-9; v -= step) values.push_back(v);
+  values.reserve(22);
+  for (int i = 0; i < 22; ++i) {
+    values.push_back(static_cast<double>(39 - i) / 10.0);
+  }
   return values;
 }
 
-}  // namespace
-
-std::vector<double> table4_k_values() { return descending(3.9, 1.8, 0.1); }
-
-std::vector<double> table4_m_values() { return descending(2.0, 1.0, 0.05); }
+std::vector<double> table4_m_values() {
+  // M = 2.00, 1.95, ..., 1.00 — 21 points.
+  std::vector<double> values;
+  values.reserve(21);
+  for (int i = 0; i < 21; ++i) {
+    values.push_back(static_cast<double>(200 - 5 * i) / 100.0);
+  }
+  return values;
+}
 
 std::vector<double> table4_c_values() {
+  // C = 0.5, 0.6, ..., 1.7 GHz — 13 points.
   std::vector<double> values;
-  for (double f = 0.5; f <= 1.7 + 1e-9; f += 0.1) {
-    values.push_back(f * units::GHz);
+  values.reserve(13);
+  for (int i = 0; i < 13; ++i) {
+    values.push_back(static_cast<double>(5 + i) / 10.0 * units::GHz);
   }
   return values;
 }
@@ -126,20 +155,47 @@ std::vector<double> table4_r_values() {
 
 double value_reaching_rank(const SweepResult& sweep,
                            double target_normalized) {
-  // Points are ordered as swept (K and M descending, C and R ascending);
-  // find the first crossing of the target and interpolate linearly.
   const auto& pts = sweep.points;
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    if (pts[i].result.normalized >= target_normalized) {
-      if (i == 0) return pts[0].value;
-      const double r0 = pts[i - 1].result.normalized;
-      const double r1 = pts[i].result.normalized;
+  if (pts.empty()) return std::numeric_limits<double>::quiet_NaN();
+
+  // Sweep shape: K/M/R improve rank along the sweep order (the met region
+  // is a suffix), C degrades it (the met region is a prefix).
+  const bool rank_decreases =
+      pts.back().result.normalized < pts.front().result.normalized;
+
+  if (!rank_decreases) {
+    // First point at or above the target; interpolate from its unmet
+    // predecessor.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i].result.normalized >= target_normalized) {
+        if (i == 0) return pts[0].value;
+        const double r0 = pts[i - 1].result.normalized;
+        const double r1 = pts[i].result.normalized;
+        if (r1 == r0) return pts[i].value;
+        const double t = (target_normalized - r0) / (r1 - r0);
+        return pts[i - 1].value + t * (pts[i].value - pts[i - 1].value);
+      }
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // Rank decreases along the sweep: walking forward, find where the met
+  // prefix ends and interpolate across that crossing. (The old code took
+  // the "first met point" here, which is always point 0 of a C sweep —
+  // it reported the smallest swept clock no matter the target.)
+  if (pts.front().result.normalized < target_normalized) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    if (pts[i + 1].result.normalized < target_normalized) {
+      const double r0 = pts[i].result.normalized;
+      const double r1 = pts[i + 1].result.normalized;
       if (r1 == r0) return pts[i].value;
       const double t = (target_normalized - r0) / (r1 - r0);
-      return pts[i - 1].value + t * (pts[i].value - pts[i - 1].value);
+      return pts[i].value + t * (pts[i + 1].value - pts[i].value);
     }
   }
-  return std::numeric_limits<double>::quiet_NaN();
+  return pts.back().value;  // every point meets the target
 }
 
 }  // namespace iarank::core

@@ -26,7 +26,8 @@ Config Config::parse(std::string_view text) {
     const std::string key{trim(line.substr(0, eq))};
     const std::string value{trim(line.substr(eq + 1))};
     require(!key.empty(), "Config: empty key on line " + std::to_string(line_no));
-    require(!cfg.values_.contains(key), "Config: duplicate key '" + key + "'");
+    require(!cfg.values_.contains(key), "Config: duplicate key '" + key +
+                                            "' on line " + std::to_string(line_no));
     cfg.values_.emplace(key, value);
   }
   return cfg;

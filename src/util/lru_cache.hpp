@@ -1,0 +1,60 @@
+/// \file lru_cache.hpp
+/// \brief Small bounded least-recently-used cache for the staged
+///        instance builder.
+///
+/// Keyed on comparable value types (the builder uses tuples of the
+/// RankOptions fields a stage depends on). Not thread-safe by itself —
+/// the builder serializes access; stage recomputation is microseconds
+/// next to the rank DP it feeds, so coarse locking costs nothing.
+
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace iarank::util {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// `capacity` = maximum retained entries; must be >= 1.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value for `key`, or computes it via `compute()`
+  /// (a nullary returning Value), inserts and returns it. Eviction drops
+  /// the least recently used entry. `hit` reports which path was taken.
+  template <typename Compute>
+  const Value& get_or_compute(const Key& key, Compute&& compute, bool* hit) {
+    if (const auto it = index_.find(key); it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      if (hit) *hit = true;
+      return it->second->second;
+    }
+    if (hit) *hit = false;
+    order_.emplace_front(key, compute());
+    index_.emplace(key, order_.begin());
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    return order_.front().second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+  std::size_t capacity_;
+  std::list<Entry> order_;  ///< most recently used first
+  std::map<Key, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace iarank::util

@@ -1,0 +1,31 @@
+/// \file stopwatch.hpp
+/// \brief Minimal wall-clock stopwatch for the profiling hooks.
+///
+/// Wraps std::chrono::steady_clock; used by the sweep engine, the staged
+/// instance builder and the DP to report per-stage wall time. Timing
+/// fields are observability only — they never influence results.
+
+#pragma once
+
+#include <chrono>
+
+namespace iarank::util {
+
+/// Starts running on construction; `seconds()` reads without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace iarank::util

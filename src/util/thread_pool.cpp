@@ -1,0 +1,136 @@
+#include "src/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+
+namespace iarank::util {
+
+namespace {
+
+/// Shared state of one parallel_for batch. Helper tasks enqueued on the
+/// pool and the calling thread all claim indices from the same counter.
+/// The batch is complete when no index is claimable and none is running —
+/// helpers that start late (or never) find the counter exhausted and
+/// return immediately, so the caller never depends on a helper actually
+/// running. Kept alive by shared_ptr until the last late helper fires.
+struct Batch {
+  std::size_t n = 0;
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t running = 0;  ///< claimed indices still executing (guarded)
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  void drain() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      {
+        const std::scoped_lock lock(mutex);
+        ++running;
+      }
+      std::exception_ptr thrown;
+      try {
+        fn(i);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      {
+        const std::scoped_lock lock(mutex);
+        --running;
+        if (thrown) {
+          failed.store(true, std::memory_order_relaxed);
+          if (i < error_index) {
+            error_index = i;
+            error = thrown;
+          }
+        }
+      }
+      done.notify_all();
+    }
+  }
+
+  /// Caller must hold `mutex`.
+  [[nodiscard]] bool complete() const {
+    return running == 0 &&
+           (failed.load(std::memory_order_relaxed) ||
+            next.load(std::memory_order_relaxed) >= n);
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, unsigned parallelism,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned capacity = worker_count() + 1;  // workers + calling thread
+  unsigned p = parallelism == 0 ? capacity : std::min(parallelism, capacity);
+  p = static_cast<unsigned>(std::min<std::size_t>(p, n));
+  if (p <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = fn;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (unsigned h = 0; h + 1 < p; ++h) {
+      queue_.emplace_back([batch] { batch->drain(); });
+    }
+  }
+  work_ready_.notify_all();
+
+  batch->drain();  // the calling thread always participates
+  {
+    std::unique_lock lock(batch->mutex);
+    batch->done.wait(lock, [&batch] { return batch->complete(); });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,68 @@
+/// \file thread_pool.hpp
+/// \brief Persistent worker pool shared by every parallel driver.
+///
+/// The sweep engine, the architecture optimizer, the annealer restarts and
+/// the sensitivity analysis all fan independent rank evaluations out over
+/// the same process-wide pool instead of spawning raw std::threads per
+/// call. Guarantees:
+///
+///  * deterministic result ordering — parallel_for hands each task its
+///    index, so callers write results[i] and ordering never depends on
+///    scheduling;
+///  * exception propagation — the lowest-index failure among executed
+///    tasks is rethrown on the calling thread;
+///  * no nested deadlock — the calling thread always participates in its
+///    own batch, so a batch completes even when every worker is busy (or
+///    the pool has zero workers on a single-core host).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iarank::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` persistent threads (0 is allowed: every batch then
+  /// runs inline on the calling thread).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(0) .. fn(n-1) with at most `parallelism` tasks in flight
+  /// (0 = workers + the calling thread). Blocks until every index ran.
+  /// Indices are claimed from a shared counter, so ordering of *writes*
+  /// is up to the caller (index into a presized vector for deterministic
+  /// output). If any invocation throws, the exception of the lowest
+  /// executed failing index is rethrown after the batch drains; remaining
+  /// unclaimed indices are skipped.
+  void parallel_for(std::size_t n, unsigned parallelism,
+                    const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// The process-wide pool, sized to the hardware concurrency. Created on
+  /// first use; lives until process exit.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace iarank::util

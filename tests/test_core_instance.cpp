@@ -74,6 +74,25 @@ TEST(Instance, MaxFitRespectsAreaAndCount) {
   EXPECT_EQ(inst.max_fit(0, 0, 1, 0.0, 0.0, 0.0), 1);
 }
 
+TEST(Instance, MaxFitDegeneratePitchClampsBeforeCast) {
+  // A near-zero (but positive) pitch makes free_area / per_wire exceed
+  // the int64 range; the old code cast that double directly — undefined
+  // behaviour. The clamp must resolve it to "everything fits".
+  std::vector<core::Bunch> bunches = {{1.0, 7, 1.0}};
+  std::vector<core::PairInfo> pairs = {{"thin", 1e-300, 0.0, 1.0, 0.0}};
+  core::DelayPlan ok;
+  ok.feasible = true;
+  ok.stages = 1;
+  std::vector<std::vector<core::DelayPlan>> plans = {{ok}};
+  const auto inst =
+      core::Instance::from_raw(bunches, pairs, plans, 20.0, 5.0,
+                               tech::ViaSpec{});
+  EXPECT_EQ(inst.max_fit(0, 0, 0, 0.0, 0.0, 0.0), 7);
+  EXPECT_EQ(inst.max_fit(0, 0, 3, 0.0, 0.0, 0.0), 4);
+  // Exhausted area still yields zero, not a wrapped negative.
+  EXPECT_EQ(inst.max_fit(0, 0, 0, 25.0, 0.0, 0.0), 0);
+}
+
 TEST(Instance, PlanLookup) {
   const auto inst = tiny_instance();
   EXPECT_TRUE(inst.plan(0, 0).feasible);

@@ -178,6 +178,32 @@ TEST(Sweep, Table4Grids) {
   EXPECT_NEAR(core::table4_c_values().back(), 1.7e9, 1.0);
 }
 
+TEST(Sweep, Table4GridsAreExactByIndex) {
+  // Every entry must be the double nearest its printed decimal — i.e. the
+  // index formula, not a running sum that drifts by a few ULPs per step
+  // and can drop the final point on some platforms.
+  const auto k = core::table4_k_values();
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    EXPECT_DOUBLE_EQ(k[i], static_cast<double>(39 - i) / 10.0) << "K[" << i << "]";
+  }
+  EXPECT_DOUBLE_EQ(k.back(), 1.8);
+
+  const auto m = core::table4_m_values();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m[i], static_cast<double>(200 - 5 * i) / 100.0)
+        << "M[" << i << "]";
+  }
+  EXPECT_DOUBLE_EQ(m.back(), 1.0);
+
+  const auto c = core::table4_c_values();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c[i], static_cast<double>(5 + i) / 10.0 * units::GHz)
+        << "C[" << i << "]";
+  }
+  EXPECT_DOUBLE_EQ(c.front(), 0.5 * units::GHz);
+  EXPECT_DOUBLE_EQ(c.back(), 1.7 * units::GHz);
+}
+
 TEST(Sweep, ValueReachingRankInterpolates) {
   core::SweepResult sweep;
   sweep.parameter = core::SweepParameter::kIldPermittivity;

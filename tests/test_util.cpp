@@ -185,6 +185,18 @@ TEST(Config, DuplicateKeyThrows) {
   EXPECT_THROW((void)util::Config::parse("a=1\na=2"), util::Error);
 }
 
+TEST(Config, DuplicateKeyReportsLineNumber) {
+  // The duplicate is on line 4 (comments and blanks count as lines).
+  try {
+    (void)util::Config::parse("a = 1\n# comment\nb = 2\na = 3\n");
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("duplicate key 'a'"), std::string::npos) << message;
+    EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  }
+}
+
 TEST(Config, MalformedLineThrows) {
   EXPECT_THROW((void)util::Config::parse("just text"), util::Error);
 }

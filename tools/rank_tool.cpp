@@ -8,8 +8,10 @@
 ///   rank                      (default) compute and print the rank
 ///   sweep <K|M|C|R> <lo> <hi> <steps> [--csv] [--out file.csv]
 ///                             sweep one Table 4 parameter (4 threads)
-///   profile                   print the per-layer-pair assignment trace
-///                             and verify its placement certificate
+///   profile                   print the per-layer-pair assignment trace,
+///                             DP effort counters and the staged builder's
+///                             cache profile, and verify its placement
+///                             certificate
 ///   sensitivity               print rank elasticities of K, M, C, R
 ///   wld                       print the WLD summary used for this design
 ///
@@ -23,6 +25,7 @@
 
 #include "src/iarank.hpp"
 #include "src/core/config_run.hpp"
+#include "src/core/instance_builder.hpp"
 #include "src/core/sensitivity.hpp"
 #include "src/core/verify.hpp"
 
@@ -42,7 +45,8 @@ int cmd_rank(const core::RunSpec& spec, const wld::Wld& wld) {
 }
 
 int cmd_profile(const core::RunSpec& spec, const wld::Wld& wld) {
-  const auto inst = core::build_instance(spec.design, spec.options, wld);
+  core::InstanceBuilder builder(spec.design, wld);
+  const auto inst = builder.build(spec.options);
   const auto r = core::dp_rank(inst);
   util::TextTable table("assignment profile (top pair first)");
   table.set_header({"pair", "wires", "meet_delay", "repeaters"});
@@ -52,6 +56,36 @@ int cmd_profile(const core::RunSpec& spec, const wld::Wld& wld) {
                    std::to_string(u.repeaters)});
   }
   std::cout << table;
+
+  util::TextTable dp_table("dp effort");
+  dp_table.set_header({"metric", "value"});
+  dp_table.add_row({"arena nodes", std::to_string(r.dp.arena_nodes)});
+  dp_table.add_row({"max frontier", std::to_string(r.dp.max_frontier)});
+  dp_table.add_row({"heap pops", std::to_string(r.dp.heap_pops)});
+  dp_table.add_row({"verify calls", std::to_string(r.dp.verify_calls)});
+  dp_table.add_row(
+      {"forward ms", util::TextTable::num(r.dp.forward_seconds * 1e3, 3)});
+  dp_table.add_row({"total ms", util::TextTable::num(r.dp.seconds * 1e3, 3)});
+  std::cout << dp_table;
+
+  // Rebuild once more: the second pass hits every stage cache, which is
+  // what a Table 4 sweep exploits point to point.
+  (void)builder.build(spec.options);
+  const core::BuildProfile prof = builder.profile();
+  util::TextTable stage_table("instance builder stages (2 builds)");
+  stage_table.set_header({"stage", "hits", "misses", "miss ms"});
+  const auto stage_row = [&](const char* name,
+                             const core::StageCounters& c) {
+    stage_table.add_row({name, std::to_string(c.hits),
+                         std::to_string(c.misses),
+                         util::TextTable::num(c.seconds * 1e3, 3)});
+  };
+  stage_row("coarsen", prof.coarsen);
+  stage_row("die", prof.die);
+  stage_row("stack", prof.stack);
+  stage_row("plans", prof.plans);
+  std::cout << stage_table;
+
   const auto verdict = core::verify_placements(inst, r);
   std::cout << "certificate: " << (verdict.ok ? "PASS" : verdict.failure)
             << "\n";
