@@ -192,8 +192,12 @@ void DpSolver::forward_pass() {
             inst_.pair_capacity() -
             inst_.blockage(j, wires_above, static_cast<double>(node.z));
 
-        // c = 0: leave pair j empty, the prefix continues below.
-        if (j + 1 < m_) add_node(j + 1, b, {node.r, node.z, idx, 0});
+        // c = 0: leave pair j empty, the prefix continues below — legal
+        // only when the via shadow from above fits the empty pair's
+        // capacity (the per-pair constraint binds even with no wires).
+        if (j + 1 < m_ && capacity >= -area_tol()) {
+          add_node(j + 1, b, {node.r, node.z, idx, 0});
+        }
 
         double cum_area = 0.0;
         double cum_rep_area = 0.0;

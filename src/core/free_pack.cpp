@@ -35,8 +35,10 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
                           (input.first_bunch < n_bunches
                                ? input.first_bunch_offset
                                : 0);
-  if (to_place == 0) return std::vector<BunchPlacement>{};
-  if (input.first_pair >= m) return std::nullopt;
+  if (input.first_pair >= m) {
+    return to_place == 0 ? std::optional(std::vector<BunchPlacement>{})
+                         : std::nullopt;
+  }
 
   const double die = inst.pair_capacity();
   const double tol = die * kAreaTol;
@@ -63,8 +65,9 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
 
   for (std::size_t qi = m; qi-- > input.first_pair;) {
     const std::size_t q = qi;
+    const bool fixed_blockage = (q == input.first_pair);
     const double initial_area =
-        (q == input.first_pair) ? input.area_used_first_pair : 0.0;
+        fixed_blockage ? input.area_used_first_pair : 0.0;
     double area = initial_area;
 
     while (advance_bunch()) {
@@ -73,7 +76,7 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
       const std::int64_t avail = remaining_in_bunch;
       std::int64_t w = 0;
 
-      if (q == input.first_pair) {
+      if (fixed_blockage) {
         // Blockage here is fixed: only the prefix pairs sit above.
         const double blocked = inst.blockage(q, input.wires_above_first,
                                              input.repeaters_above_first);
@@ -91,18 +94,21 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
         const double va = inst.pair(q).via_area;
         const double vw = inst.vias().vias_per_wire;
         const double vr = inst.vias().vias_per_repeater;
-        const double fixed_block =
-            va * (vr * input.repeaters_total +
-                  vw * (total_wires - static_cast<double>(packed)));
         const double coef = per_wire - va * vw;
-        const double rhs = die + tol - area - fixed_block;
-        if (coef > 0.0) {
+        if (coef <= 0.0) {
+          // Shadow-dominant: each wire moved down to this pair frees at
+          // least its own wiring area in via blockage, so the full take is
+          // never worse — even if the pair is over-blocked right now, later
+          // (longer) bunches keep relaxing it. Legality of the final load
+          // is settled by the close-of-pair check below.
+          w = avail;
+        } else {
+          const double fixed_block =
+              va * (vr * input.repeaters_total +
+                    vw * (total_wires - static_cast<double>(packed)));
+          const double rhs = die + tol - area - fixed_block;
           w = std::clamp<std::int64_t>(
               static_cast<std::int64_t>(std::floor(rhs / coef)), 0, avail);
-        } else {
-          // Adding wires only relaxes the constraint; check the full take.
-          const double lhs_at_avail = static_cast<double>(avail) * coef;
-          w = (lhs_at_avail <= rhs) ? avail : 0;
         }
       }
 
@@ -115,10 +121,23 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
       if (w < avail) break;  // pair q filled mid-bunch
     }
 
-    if (to_place == 0) return placements;
+    // Close of pair q: the per-pair constraint must hold for the final
+    // load — including a pair left empty, whose routing area is still
+    // consumed by the via shadow of everything that stays above it.
+    const double wires_above =
+        fixed_blockage ? input.wires_above_first
+                       : total_wires - static_cast<double>(packed);
+    const double reps_above = fixed_blockage ? input.repeaters_above_first
+                                             : input.repeaters_total;
+    if (area > die + tol - inst.blockage(q, wires_above, reps_above)) {
+      return std::nullopt;
+    }
   }
 
-  return std::nullopt;  // wires left over after the topmost available pair
+  if (to_place != 0) {
+    return std::nullopt;  // wires left over after the topmost available pair
+  }
+  return placements;
 }
 
 std::optional<std::vector<PairLoad>> free_pack(const Instance& inst,

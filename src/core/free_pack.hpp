@@ -11,6 +11,15 @@
 ///
 /// Bunches may split across pairs here: delay-free wires are independent,
 /// so packing at wire granularity matches the paper's wire-at-a-time loop.
+///
+/// The per-pair constraint applies to every pair, including pairs the
+/// packer leaves empty: the via shadow of wires and repeaters that stay
+/// above a pair consumes its routing area whether or not a wire lands
+/// there (DESIGN.md Section 6). When a pair's via shadow exceeds the
+/// per-wire wiring area (shadow-dominant regime), moving a whole group of
+/// wires down can be legal where moving one is not; the packer handles
+/// both by taking full bunches in that regime and validating each pair's
+/// final load as it closes.
 
 #pragma once
 

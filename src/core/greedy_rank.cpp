@@ -38,7 +38,15 @@ RankResult greedy_rank(const Instance& inst) {
       const std::int64_t fit =
           inst.max_fit(b, j, offset, area_used, wires_above, reps_above);
       if (fit <= 0) {
-        // Advance to the next pair down.
+        // Advance to the next pair down. A pair left behind must be legal
+        // as it stands: if the via shadow from above already overruns its
+        // capacity (possible when it was skipped outright), nothing placed
+        // below can repair it — the greedy gives up (Definition 3).
+        if (area_used + inst.blockage(j, wires_above, reps_above) >
+            inst.pair_capacity() * (1.0 + 1e-9)) {
+          overflow = true;
+          break;
+        }
         wires_above += static_cast<double>(placed_in_pair);
         reps_above += static_cast<double>(reps_in_pair);
         ++j;
@@ -84,6 +92,21 @@ RankResult greedy_rank(const Instance& inst) {
       remaining -= take;
       res.usage[j].wires_total += take;
       res.usage[j].wire_area += added;
+      res.placements.push_back({b, j, take, met});
+    }
+  }
+
+  // Trailing pairs below the last one used carry the via shadow of every
+  // wire and repeater placed; the per-pair constraint binds there too,
+  // even though they end up empty (the certificate checker enforces it).
+  if (!overflow) {
+    const double wa = wires_above + static_cast<double>(placed_in_pair);
+    const double ra = reps_above + static_cast<double>(reps_in_pair);
+    for (std::size_t q = j + 1; q < m; ++q) {
+      res.usage[q].via_blockage = inst.blockage(q, wa, ra);
+      if (res.usage[q].via_blockage > inst.pair_capacity() * (1.0 + 1e-9)) {
+        overflow = true;
+      }
     }
   }
 

@@ -9,6 +9,14 @@
 /// proactively saved for cheaper pairs below) ends the delay-met prefix;
 /// remaining wires are packed on for the Definition-3 feasibility check.
 /// dp_rank() >= greedy_rank() always; strict on Figure-2-like instances.
+///
+/// Emits a full placement certificate (RankResult::placements), so greedy
+/// results re-validate under core::verify_placements just like the DP's —
+/// the differential self-check harness relies on this. If a pair it skips
+/// (or a trailing pair below the packing) is over-blocked by via shadows
+/// from above, no greedy completion is legal and the result degrades to
+/// Definition 3 (all_assigned = false, rank 0); the DP may still find a
+/// feasible assignment there.
 
 #pragma once
 

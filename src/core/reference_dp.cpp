@@ -155,9 +155,19 @@ RankResult RefDp::run() {
         }
       }
     }
-    // A diagonal state can also persist without using the new pair.
+    // A diagonal state can also persist without using the new pair — but
+    // only if that pair may legally stay empty: the via shadow of the
+    // wires and repeaters above must still fit its capacity. (The
+    // wire_assign path covers the same case via an empty chunk, but
+    // requires suffix_ok at this pair; persistence is for states that
+    // complete further down.)
     for (std::size_t i = 0; i <= n_; ++i) {
-      next_min[i] = std::min(next_min[i], min_quanta[i]);
+      const int q1 = min_quanta[i];
+      if (q1 > q_) continue;
+      const double blocked = inst_.blockage(
+          j, static_cast<double>(inst_.wires_before(i)), z_of(q1, j));
+      if (blocked > inst_.pair_capacity() * (1.0 + kRelTol)) continue;
+      next_min[i] = std::min(next_min[i], q1);
     }
     min_quanta = next_min;
   }

@@ -1,0 +1,150 @@
+/// \file selfcheck.hpp
+/// \brief Differential self-check harness across all four rank engines.
+///
+/// The paper's central claim is that the DP computes rank *exactly* while
+/// greedy assignment is provably suboptimal (Figure 2). The repo therefore
+/// carries four engines with provable pairwise contracts:
+///
+///  * `dp_rank` (bunch-granular, no refinement) equals `brute_force_rank`
+///    on wire-granular instances, and never falls below it otherwise;
+///  * `reference_dp_rank` (paper Alg. 1-3, conservative area quantization)
+///    is a lower bound on the DP, exact when the quantization is;
+///  * `greedy_rank` never exceeds the DP;
+///  * every engine's certificate re-validates under `verify_placements`.
+///
+/// This module turns those contracts into a randomized differential test:
+/// a deterministic scenario sampler (seeded `util::Rng`, validity
+/// envelopes from `tech::sampling_envelopes`) draws raw engine-level
+/// instances and full physical stacks (tech node + WLD + RankOptions ->
+/// build_instance), a checker runs every applicable engine pair, and a
+/// greedy shrinker minimizes any mismatching scenario before printing a
+/// copy-pasteable repro (seed + full-precision instance dump).
+///
+/// Exposed as `rank_tool selfcheck <seeds> [--shrink]`, as the tier-1
+/// tests in tests/test_differential.cpp, and as the bench_selfcheck
+/// throughput target. The engine-equivalence contracts are tabulated in
+/// DESIGN.md Section 6.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/instance.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace iarank::core {
+
+/// How a scenario was sampled (which contracts apply follows from the
+/// instance itself, not the family; the family steers the envelopes).
+enum class ScenarioFamily {
+  kRawSmall,   ///< tiny raw instance, wire-granular, brute-forceable
+  kRawExact,   ///< unit-quantized repeater areas: reference DP is exact
+  kPhysical,   ///< sampled tech stack + WLD + RankOptions -> build_instance
+};
+
+[[nodiscard]] const char* to_string(ScenarioFamily family);
+
+/// One sampled differential scenario: the frozen assignment problem every
+/// engine consumes, plus the contract knobs. Holds the *raw* instance data
+/// (physical scenarios are lowered to raw form after build_instance) so
+/// one shrinker and one printer cover every family.
+struct Scenario {
+  std::uint64_t seed = 0;
+  ScenarioFamily family = ScenarioFamily::kRawSmall;
+  std::string provenance;  ///< human-readable sampling trail (node, WLD, ...)
+
+  std::vector<Bunch> bunches;
+  std::vector<PairInfo> pairs;
+  std::vector<std::vector<DelayPlan>> plans;  ///< [bunch][pair]
+  double pair_capacity = 0.0;
+  double repeater_budget = 0.0;
+  tech::ViaSpec vias;
+
+  int ref_quanta = 64;  ///< area quanta for the reference-DP contract
+  /// True when the quantization provably loses nothing (integer areas,
+  /// quantum 1, no via coupling): reference DP must then match the DP
+  /// exactly instead of lower-bounding it.
+  bool quantization_exact = false;
+
+  /// Materializes the Instance (throws util::Error on malformed data —
+  /// cannot happen for sampled scenarios).
+  [[nodiscard]] Instance instance() const;
+
+  /// True when every bunch holds exactly one wire, i.e. bunch and wire
+  /// granularity coincide and the brute-force contract is an equality.
+  [[nodiscard]] bool wire_granular() const;
+
+  /// Copy-pasteable repro: `key = value` lines with full double precision,
+  /// restorable scenario-for-scenario. Printed on mismatch.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Draws the scenario for `seed`. Deterministic and platform-independent:
+/// the same seed always yields the identical scenario (see util::Rng).
+[[nodiscard]] Scenario sample_scenario(std::uint64_t seed);
+
+/// Outcome of checking one scenario against every applicable contract.
+struct ScenarioCheck {
+  bool ok = true;
+  std::string mismatch;  ///< first violated contract (empty when ok)
+
+  // Headline ranks, -1 when the engine was not run on this scenario.
+  std::int64_t dp = -1;         ///< dp_rank, boundary refinement on
+  std::int64_t dp_bunch = -1;   ///< dp_rank, refinement off
+  std::int64_t greedy = -1;
+  std::int64_t brute = -1;
+  std::int64_t reference = -1;
+
+  bool brute_checked = false;
+  bool reference_checked = false;
+};
+
+/// Runs every engine the scenario is small enough for and cross-checks
+/// the contracts listed in the file header. Never throws: an engine
+/// exception is itself reported as a mismatch.
+[[nodiscard]] ScenarioCheck check_scenario(const Scenario& scenario);
+
+/// Greedy scenario minimization: repeatedly tries to drop bunches and
+/// pairs, collapse bunch counts to one wire, zero the via coupling and
+/// simplify plans, keeping each mutation only while `still_fails` holds.
+/// The default predicate is `!check_scenario(s).ok`. Deterministic;
+/// terminates (every accepted mutation strictly shrinks the scenario).
+[[nodiscard]] Scenario shrink_scenario(
+    const Scenario& scenario,
+    const std::function<bool(const Scenario&)>& still_fails = {});
+
+/// One mismatch as reported by the sweep driver.
+struct SelfCheckFailure {
+  std::uint64_t seed = 0;
+  std::string mismatch;     ///< violated contract of the original scenario
+  Scenario shrunk;          ///< minimized repro (== original when not shrunk)
+};
+
+/// Aggregate of a seed sweep.
+struct SelfCheckReport {
+  std::int64_t scenarios = 0;
+  std::int64_t brute_checked = 0;      ///< scenarios the oracle also ran on
+  std::int64_t reference_checked = 0;  ///< scenarios the reference DP ran on
+  std::vector<SelfCheckFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Sweep knobs for run_selfcheck.
+struct SelfCheckOptions {
+  std::uint64_t first_seed = 0;
+  bool shrink = true;          ///< minimize failures before reporting
+  std::size_t max_failures = 8;  ///< stop collecting (not checking) beyond
+  unsigned parallelism = 0;    ///< thread-pool fan-out; 0 = all workers
+};
+
+/// Checks seeds [first_seed, first_seed + count) over `pool` (the shared
+/// pool when null). Results are deterministic regardless of parallelism.
+[[nodiscard]] SelfCheckReport run_selfcheck(std::int64_t count,
+                                            const SelfCheckOptions& options = {},
+                                            util::ThreadPool* pool = nullptr);
+
+}  // namespace iarank::core

@@ -1,0 +1,59 @@
+/// \file envelope.hpp
+/// \brief Documented validity envelopes for randomized scenario sampling.
+///
+/// The differential self-check harness (core/selfcheck) stress-tests the
+/// rank engines on random technology stacks and RankOptions. "Random"
+/// must still mean *valid*: every sampled point has to pass the library's
+/// validators AND stay inside the physical regime the models were built
+/// for (e.g. ILD permittivity of a real dielectric, clocks the node can
+/// plausibly reach). This module is the single place those sampling
+/// ranges are written down, next to the technology database they
+/// describe; the rationale for each bound is documented in envelope.cpp.
+///
+/// These are *sampling* envelopes, deliberately tighter than what
+/// validate() accepts — validators reject the nonsensical, envelopes
+/// describe the meaningful.
+
+#pragma once
+
+#include "src/tech/node.hpp"
+
+namespace iarank::tech {
+
+/// Closed interval of valid values for one scalar knob.
+struct Envelope {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// Inclusive integer interval (layer-pair counts, coarsening sizes).
+struct IntEnvelope {
+  int lo = 0;
+  int hi = 0;
+
+  [[nodiscard]] bool contains(int v) const { return v >= lo && v <= hi; }
+};
+
+/// Validity envelopes for everything the scenario sampler draws: the
+/// paper's four Table 4 knobs, the modelling options, and the
+/// architecture shape. Node-dependent where the physics is (clock).
+struct SamplingEnvelopes {
+  Envelope ild_permittivity;     ///< K: air-gap low-k .. SiN-capped oxide
+  Envelope miller_factor;        ///< M: shielded .. worst-case both-switch
+  Envelope clock_frequency;      ///< C [Hz]: up to the node's ITRS max
+  Envelope repeater_fraction;    ///< R: fraction of die area for repeaters
+  Envelope ild_height_factor;    ///< dielectric gap aspect around unity
+  Envelope pair_capacity_factor; ///< per-pair routing capacity x A_d
+  Envelope max_noise_ratio;      ///< crosstalk budget knob
+  IntEnvelope global_pairs;      ///< architecture stack shape...
+  IntEnvelope semi_global_pairs;
+  IntEnvelope local_pairs;
+};
+
+/// The envelopes for one technology node. Every returned interval is
+/// non-empty and sits inside the corresponding validator's accepted set.
+[[nodiscard]] SamplingEnvelopes sampling_envelopes(const TechNode& node);
+
+}  // namespace iarank::tech

@@ -1,0 +1,99 @@
+/// \file rng.hpp
+/// \brief Deterministic, portable random-number plumbing.
+///
+/// The differential self-check harness (core/selfcheck) prints seeds as
+/// bug repros, so the stream behind a seed must be bit-identical across
+/// compilers, standard libraries and platforms. `std::mt19937_64` gives
+/// that for the raw engine, but the `std::uniform_*_distribution` adapters
+/// are implementation-defined — the same seed yields different scenarios
+/// under libstdc++ and libc++. This header therefore implements both the
+/// generator (xoshiro256++, seeded through splitmix64) and the
+/// distributions from scratch.
+///
+/// `fork(stream)` derives statistically independent substreams from one
+/// master seed, so a scenario sampler can hand each component (WLD, stack,
+/// options) its own stream and stay reproducible even when one component
+/// changes how many variates it draws.
+
+#pragma once
+
+#include <cstdint>
+
+namespace iarank::util {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference
+/// implementation), state-seeded with splitmix64 as its authors recommend.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  /// Next raw 64-bit word.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi; returns lo when equal.
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in the inclusive range [lo, hi]. Modulo reduction:
+  /// the bias is < span / 2^64 — irrelevant for test sampling — and the
+  /// mapping is fully deterministic and portable.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full range
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Picks an index in [0, count) — convenience for array choices.
+  std::size_t pick(std::size_t count) {
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(count) - 1));
+  }
+
+  /// Derives an independent generator for substream `stream`: the child is
+  /// seeded from a splitmix64 hash of (master state, stream), so children
+  /// with different stream ids never correlate and the parent's own
+  /// sequence is not consumed.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    std::uint64_t x = state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL);
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(x);
+    return child;
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace iarank::util

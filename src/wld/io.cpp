@@ -31,12 +31,32 @@ Wld read_wld(std::istream& is) {
     ++line_no;
     const std::string_view trimmed = iarank::util::trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
+
+    const std::string at_line = "read_wld: line " + std::to_string(line_no);
     std::istringstream fields{std::string(trimmed)};
+    std::string length_token;
+    std::string count_token;
+    std::string extra;
+    fields >> length_token >> count_token;
+    iarank::util::require(!fields.fail(),
+                          at_line + ": expected '<length> <count>', got '" +
+                              std::string(trimmed) + "'");
+    iarank::util::require(!(fields >> extra),
+                          at_line + ": trailing token '" + extra + "'");
+
     double length = 0.0;
     std::int64_t count = 0;
-    fields >> length >> count;
-    iarank::util::require(!fields.fail(),
-                          "read_wld: malformed line " + std::to_string(line_no));
+    try {
+      length = iarank::util::parse_double(length_token);
+      count = iarank::util::parse_int(count_token);
+    } catch (const iarank::util::Error& e) {
+      throw iarank::util::Error(at_line + ": " + e.what());
+    }
+    iarank::util::require(length > 0.0,
+                          at_line + ": length must be > 0, got " +
+                              length_token);
+    iarank::util::require(count >= 0,
+                          at_line + ": count must be >= 0, got " + count_token);
     groups.push_back({length, count});
   }
   return Wld(std::move(groups));

@@ -6,6 +6,7 @@
 
 #include "src/tech/architecture.hpp"
 #include "src/tech/die.hpp"
+#include "src/tech/envelope.hpp"
 #include "src/tech/material.hpp"
 #include "src/tech/node.hpp"
 #include "src/tech/rc.hpp"
@@ -309,5 +310,65 @@ TEST(Architecture, DescribeMentionsEveryPair) {
   const std::string text = arch.describe();
   for (const auto& p : arch.pairs()) {
     EXPECT_NE(text.find(p.name), std::string::npos);
+  }
+}
+
+// --- sampling envelopes (selfcheck validity ranges) -----------------------------
+
+TEST(Envelope, EveryNodeYieldsNonEmptyIntervals) {
+  for (const auto& node : tech::all_nodes()) {
+    const tech::SamplingEnvelopes env = tech::sampling_envelopes(node);
+    for (const auto* e :
+         {&env.ild_permittivity, &env.miller_factor, &env.clock_frequency,
+          &env.repeater_fraction, &env.ild_height_factor,
+          &env.pair_capacity_factor, &env.max_noise_ratio}) {
+      EXPECT_LT(e->lo, e->hi) << node.name;
+    }
+    for (const auto* e :
+         {&env.global_pairs, &env.semi_global_pairs, &env.local_pairs}) {
+      EXPECT_LE(e->lo, e->hi) << node.name;
+    }
+  }
+}
+
+TEST(Envelope, ClockBoundedByNodeMaximum) {
+  for (const auto& node : tech::all_nodes()) {
+    const auto env = tech::sampling_envelopes(node);
+    EXPECT_DOUBLE_EQ(env.clock_frequency.hi, node.max_clock) << node.name;
+    EXPECT_GT(env.clock_frequency.lo, 0.0);
+  }
+}
+
+TEST(Envelope, ContainsIsInclusive) {
+  const tech::Envelope e{1.0, 2.0};
+  EXPECT_TRUE(e.contains(1.0));
+  EXPECT_TRUE(e.contains(2.0));
+  EXPECT_FALSE(e.contains(0.999));
+  EXPECT_FALSE(e.contains(2.001));
+  const tech::IntEnvelope ie{0, 2};
+  EXPECT_TRUE(ie.contains(0));
+  EXPECT_TRUE(ie.contains(2));
+  EXPECT_FALSE(ie.contains(3));
+}
+
+TEST(Envelope, ArchitectureBoundsBuildValidStacks) {
+  // Every corner of the architecture envelope must pass the library's own
+  // validation — the sampler relies on this.
+  for (const auto& node : tech::all_nodes()) {
+    const auto env = tech::sampling_envelopes(node);
+    for (const int g : {env.global_pairs.lo, env.global_pairs.hi}) {
+      for (const int sg : {env.semi_global_pairs.lo, env.semi_global_pairs.hi}) {
+        for (const int l : {env.local_pairs.lo, env.local_pairs.hi}) {
+          tech::ArchitectureSpec spec;
+          spec.global_pairs = g;
+          spec.semi_global_pairs = sg;
+          spec.local_pairs = l;
+          ASSERT_GE(spec.total_pairs(), 1) << node.name;
+          EXPECT_NO_THROW(spec.validate()) << node.name;
+          EXPECT_NO_THROW((void)tech::Architecture::build(node, spec))
+              << node.name;
+        }
+      }
+    }
   }
 }

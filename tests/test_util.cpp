@@ -8,6 +8,7 @@
 #include "src/util/config.hpp"
 #include "src/util/error.hpp"
 #include "src/util/numeric.hpp"
+#include "src/util/rng.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 #include "src/util/units.hpp"
@@ -257,4 +258,81 @@ TEST(Units, Consistency) {
   EXPECT_DOUBLE_EQ(1e6 * units::um2, units::m2 * 1e-6);
   EXPECT_DOUBLE_EQ(2.0 * units::GHz, 2e9);
   EXPECT_NEAR(units::eps0, 8.854e-12, 1e-15);
+}
+
+// --- Rng (portable deterministic sampling for the selfcheck harness) -----------
+
+TEST(Rng, GoldenSequenceIsPortable) {
+  // Pinned outputs of xoshiro256++ under splitmix64 seeding: the selfcheck
+  // harness prints seeds as bug repros, so these values must never change
+  // across compilers, standard libraries or platforms.
+  util::Rng r(42);
+  EXPECT_EQ(r.next(), 15021278609987233951ull);
+  EXPECT_EQ(r.next(), 5881210131331364753ull);
+  EXPECT_EQ(r.next(), 18149643915985481100ull);
+
+  util::Rng u(7);
+  EXPECT_DOUBLE_EQ(u.uniform01(), 0.055360436478333108);
+  EXPECT_EQ(u.uniform_int(10, 20), 10);
+
+  util::Rng f(123);
+  EXPECT_EQ(f.fork(1).next(), 16043893320582157476ull);
+  EXPECT_EQ(f.fork(2).next(), 7939852756940248847ull);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  util::Rng a(999);
+  util::Rng b(999);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, Uniform01StaysInRange) {
+  util::Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  util::Rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(r.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, ForkDoesNotConsumeParentState) {
+  util::Rng a(31);
+  util::Rng b(31);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  util::Rng r(64);
+  EXPECT_NE(r.fork(1).next(), r.fork(2).next());
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  util::Rng r(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.1));
+  }
+}
+
+TEST(Rng, PickStaysInBounds) {
+  util::Rng r(17);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(r.pick(5), 5u);
 }

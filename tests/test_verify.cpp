@@ -135,7 +135,63 @@ TEST(Verify, BudgetViolationFails) {
   // Keep the claimed rank consistent so the budget check is what trips.
   r.rank = 2;
   r.repeater_count = 2;
-  EXPECT_FALSE(core::verify_placements(inst, r).ok);
+  const auto outcome = core::verify_placements(inst, r);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.failure.find("repeater area exceeds the budget"),
+            std::string::npos)
+      << outcome.failure;
+}
+
+TEST(Verify, ViaBlockageOverflowFails) {
+  // Two equal wires, one pair of capacity 4 above a pair whose via area
+  // is large. Packing both below (the DP's choice) is fine; corrupting
+  // the certificate to route one wire on top puts its via shadow over the
+  // bottom pair and must trip the capacity check with the blockage
+  // folded in.
+  std::vector<core::Bunch> bunches = {{2.0, 1, 1.0}, {2.0, 1, 1.0}};
+  std::vector<core::PairInfo> pairs = {{"top", 1.0, 0.0, 1.0, 1.0},
+                                       {"bottom", 1.0, 3.0, 1.0, 1.0}};
+  std::vector<std::vector<core::DelayPlan>> plans(
+      2, std::vector<core::DelayPlan>(2));  // no feasible plans: rank 0
+  iarank::tech::ViaSpec vias;
+  vias.vias_per_wire = 1.0;
+  vias.vias_per_repeater = 0.0;
+  const auto inst =
+      core::Instance::from_raw(bunches, pairs, plans, 4.0, 0.0, vias);
+  auto r = core::dp_rank(inst);
+  ASSERT_TRUE(r.all_assigned);
+  ASSERT_TRUE(core::verify_placements(inst, r).ok);
+  ASSERT_FALSE(r.placements.empty());
+  for (auto& p : r.placements) {
+    if (p.bunch == 0) p.pair = 0;  // move the first wire above the other
+  }
+  const auto outcome = core::verify_placements(inst, r);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.failure.find("over capacity"), std::string::npos)
+      << outcome.failure;
+}
+
+TEST(Verify, CorruptedOrderReportsOrderViolation) {
+  // Start from a valid free-packed result, then swap the pairs of the
+  // longest and shortest wires so a longer wire sits strictly below a
+  // shorter one.
+  std::vector<core::Bunch> bunches = {{4.0, 1, 1.0}, {1.0, 1, 1.0}};
+  std::vector<core::PairInfo> pairs = {{"top", 1.0, 0.0, 1.0, 1.0},
+                                       {"bottom", 1.0, 0.0, 1.0, 1.0}};
+  std::vector<std::vector<core::DelayPlan>> plans(
+      2, std::vector<core::DelayPlan>(2));
+  const auto inst = core::Instance::from_raw(bunches, pairs, plans, 10.0, 0.0,
+                                             iarank::tech::ViaSpec{});
+  auto r = core::dp_rank(inst);
+  ASSERT_TRUE(core::verify_placements(inst, r).ok);
+  ASSERT_FALSE(r.placements.empty());
+  for (auto& p : r.placements) {
+    p.pair = p.bunch == 0 ? 1 : 0;  // long wire below, short wire above
+  }
+  const auto outcome = core::verify_placements(inst, r);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.failure.find("order violation"), std::string::npos)
+      << outcome.failure;
 }
 
 TEST(Verify, InfeasibleResultWithZeroRankPasses) {

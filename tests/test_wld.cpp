@@ -340,3 +340,51 @@ TEST(WldIo, MalformedLineThrows) {
 TEST(WldIo, MissingFileThrows) {
   EXPECT_THROW((void)wld::load_wld("/nonexistent/path.wld"), Error);
 }
+
+TEST(WldIo, TrailingTokenRejected) {
+  // "5 10 junk" used to parse as {5, 10}, silently dropping the rest.
+  std::istringstream in("5.0 10 junk\n");
+  EXPECT_THROW((void)wld::read_wld(in), Error);
+}
+
+TEST(WldIo, TrailingNumberRejected) {
+  std::istringstream in("5.0 10 7\n");
+  EXPECT_THROW((void)wld::read_wld(in), Error);
+}
+
+TEST(WldIo, NonPositiveLengthRejected) {
+  std::istringstream zero("0 4\n");
+  EXPECT_THROW((void)wld::read_wld(zero), Error);
+  std::istringstream negative("-2.5 4\n");
+  EXPECT_THROW((void)wld::read_wld(negative), Error);
+}
+
+TEST(WldIo, NegativeCountRejected) {
+  std::istringstream in("3.0 -1\n");
+  EXPECT_THROW((void)wld::read_wld(in), Error);
+}
+
+TEST(WldIo, ZeroCountGroupIsDropped) {
+  std::istringstream in("3.0 0\n2.0 5\n");
+  const auto w = wld::read_wld(in);
+  EXPECT_EQ(w.group_count(), 1u);
+  EXPECT_EQ(w.total_wires(), 5);
+}
+
+TEST(WldIo, ErrorsNameTheLine) {
+  // Comments and blanks count toward the reported line number.
+  std::istringstream in("# header\n3.0 4\n\n5.0 10 junk\n");
+  try {
+    (void)wld::read_wld(in);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WldIo, PartialNumberRejected) {
+  // atof-style prefix parsing ("3.0abc" -> 3.0) must not be accepted.
+  std::istringstream in("3.0abc 4\n");
+  EXPECT_THROW((void)wld::read_wld(in), Error);
+}

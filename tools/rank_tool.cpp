@@ -3,6 +3,7 @@
 ///
 /// Usage:
 ///   rank_tool <config-file> [command] [args...]
+///   rank_tool selfcheck <seeds> [--shrink] [--first-seed N] [--jobs N]
 ///
 /// Commands:
 ///   rank                      (default) compute and print the rank
@@ -14,20 +15,27 @@
 ///                             certificate
 ///   sensitivity               print rank elasticities of K, M, C, R
 ///   wld                       print the WLD summary used for this design
+///   selfcheck                 differential self-check: run every rank
+///                             engine on <seeds> random scenarios and
+///                             cross-check the engine-equivalence
+///                             contracts (DESIGN.md Section 6); needs no
+///                             config file. Exit 1 on any mismatch, with a
+///                             seed repro (minimized when --shrink).
 ///
 /// The config format is documented in src/core/config_run.hpp; sample
 /// files live under configs/.
 
-#include <cstdlib>
-#include <cstring>
+#include <cmath>
 #include <iostream>
 #include <string>
 
 #include "src/iarank.hpp"
 #include "src/core/config_run.hpp"
 #include "src/core/instance_builder.hpp"
+#include "src/core/selfcheck.hpp"
 #include "src/core/sensitivity.hpp"
 #include "src/core/verify.hpp"
+#include "src/util/strings.hpp"
 
 namespace {
 
@@ -115,36 +123,76 @@ int cmd_wld(const core::RunSpec& /*spec*/, const wld::Wld& wld) {
   return 0;
 }
 
+int sweep_usage() {
+  std::cerr << "usage: rank_tool <config> sweep <K|M|C|R> <lo> <hi> <steps>"
+               " [--csv] [--out file.csv]\n";
+  return 2;
+}
+
 int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
               char** argv) {
-  if (argc < 4) {
-    std::cerr << "usage: rank_tool <config> sweep <K|M|C|R> <lo> <hi> <steps>"
-                 " [--csv]\n";
-    return 2;
-  }
-  core::SweepParameter parameter;
-  switch (argv[0][0]) {
-    case 'K': parameter = core::SweepParameter::kIldPermittivity; break;
-    case 'M': parameter = core::SweepParameter::kMillerFactor; break;
-    case 'C': parameter = core::SweepParameter::kClockFrequency; break;
-    case 'R': parameter = core::SweepParameter::kRepeaterFraction; break;
-    default:
-      std::cerr << "unknown sweep parameter '" << argv[0] << "'\n";
-      return 2;
-  }
-  const double lo = std::atof(argv[1]);
-  const double hi = std::atof(argv[2]);
-  const auto steps = static_cast<std::size_t>(std::atoll(argv[3]));
-  const bool csv = argc > 4 && std::strcmp(argv[4], "--csv") == 0;
+  if (argc < 4) return sweep_usage();
 
-  const auto sweep = core::sweep_parameter(spec.design, spec.options, wld,
-                                           parameter,
-                                           util::linspace(lo, hi, steps), 4);
-  for (int a = 4; a + 1 < argc; ++a) {
-    if (std::strcmp(argv[a], "--out") == 0) {
-      core::save_sweep_csv(argv[a + 1], sweep);
-      std::cout << "wrote " << argv[a + 1] << "\n";
+  const std::string token = argv[0];
+  core::SweepParameter parameter;
+  if (token == "K") {
+    parameter = core::SweepParameter::kIldPermittivity;
+  } else if (token == "M") {
+    parameter = core::SweepParameter::kMillerFactor;
+  } else if (token == "C") {
+    parameter = core::SweepParameter::kClockFrequency;
+  } else if (token == "R") {
+    parameter = core::SweepParameter::kRepeaterFraction;
+  } else {
+    std::cerr << "sweep: unknown parameter '" << token << "'\n";
+    return sweep_usage();
+  }
+
+  double lo = 0.0;
+  double hi = 0.0;
+  long long steps = 0;
+  try {
+    lo = util::parse_double(argv[1]);
+    hi = util::parse_double(argv[2]);
+    steps = util::parse_int(argv[3]);
+  } catch (const util::Error& e) {
+    std::cerr << "sweep: " << e.what() << "\n";
+    return sweep_usage();
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    std::cerr << "sweep: bounds must be finite, got lo=" << argv[1]
+              << " hi=" << argv[2] << "\n";
+    return sweep_usage();
+  }
+  if (steps < 2) {
+    std::cerr << "sweep: steps must be >= 2, got " << steps << "\n";
+    return sweep_usage();
+  }
+
+  bool csv = false;
+  std::string out;
+  for (int a = 4; a < argc; ++a) {
+    const std::string flag = argv[a];
+    if (flag == "--csv") {
+      csv = true;
+    } else if (flag == "--out") {
+      if (a + 1 >= argc) {
+        std::cerr << "sweep: --out needs a file argument\n";
+        return sweep_usage();
+      }
+      out = argv[++a];
+    } else {
+      std::cerr << "sweep: unknown flag '" << flag << "'\n";
+      return sweep_usage();
     }
+  }
+
+  const auto sweep = core::sweep_parameter(
+      spec.design, spec.options, wld, parameter,
+      util::linspace(lo, hi, static_cast<std::size_t>(steps)), 4);
+  if (!out.empty()) {
+    core::save_sweep_csv(out, sweep);
+    std::cout << "wrote " << out << "\n";
   }
   util::TextTable table(core::to_string(parameter));
   table.set_header({"value", "normalized_rank", "rank"});
@@ -161,14 +209,85 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
   return 0;
 }
 
+int selfcheck_usage() {
+  std::cerr << "usage: rank_tool selfcheck <seeds> [--shrink]"
+               " [--first-seed N] [--jobs N]\n";
+  return 2;
+}
+
+int cmd_selfcheck(int argc, char** argv) {
+  if (argc < 1) return selfcheck_usage();
+
+  long long seeds = 0;
+  core::SelfCheckOptions options;
+  options.shrink = false;
+  try {
+    seeds = util::parse_int(argv[0]);
+    for (int a = 1; a < argc; ++a) {
+      const std::string flag = argv[a];
+      if (flag == "--shrink") {
+        options.shrink = true;
+      } else if (flag == "--first-seed") {
+        if (a + 1 >= argc) {
+          std::cerr << "selfcheck: --first-seed needs a value\n";
+          return selfcheck_usage();
+        }
+        options.first_seed =
+            static_cast<std::uint64_t>(util::parse_int(argv[++a]));
+      } else if (flag == "--jobs") {
+        if (a + 1 >= argc) {
+          std::cerr << "selfcheck: --jobs needs a value\n";
+          return selfcheck_usage();
+        }
+        options.parallelism =
+            static_cast<unsigned>(util::parse_int(argv[++a]));
+      } else {
+        std::cerr << "selfcheck: unknown flag '" << flag << "'\n";
+        return selfcheck_usage();
+      }
+    }
+  } catch (const util::Error& e) {
+    std::cerr << "selfcheck: " << e.what() << "\n";
+    return selfcheck_usage();
+  }
+  if (seeds < 1) {
+    std::cerr << "selfcheck: seed count must be >= 1, got " << seeds << "\n";
+    return selfcheck_usage();
+  }
+
+  const core::SelfCheckReport report = core::run_selfcheck(seeds, options);
+  std::cout << "selfcheck: " << report.scenarios << " scenarios from seed "
+            << options.first_seed << "\n";
+  std::cout << "  brute-force oracle ran on " << report.brute_checked
+            << "\n";
+  std::cout << "  reference dp ran on       " << report.reference_checked
+            << "\n";
+  std::cout << "  mismatches                " << report.failures.size()
+            << "\n";
+  for (const core::SelfCheckFailure& f : report.failures) {
+    std::cout << "\nMISMATCH seed " << f.seed << ": " << f.mismatch << "\n";
+    std::cout << (options.shrink ? "--- shrunk repro ---\n"
+                                 : "--- repro ---\n");
+    std::cout << f.shrunk.describe();
+    std::cout << "repro: rank_tool selfcheck 1 --first-seed " << f.seed
+              << " --shrink\n";
+  }
+  std::cout << (report.ok() ? "OK" : "FAIL") << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: rank_tool <config-file> [rank|sweep|profile|wld] ...\n";
+    std::cerr << "usage: rank_tool <config-file> [rank|sweep|profile|wld] ...\n"
+                 "       rank_tool selfcheck <seeds> [--shrink]\n";
     return 2;
   }
   try {
+    if (std::string(argv[1]) == "selfcheck") {
+      return cmd_selfcheck(argc - 2, argv + 2);
+    }
     const auto config = iarank::util::Config::load(argv[1]);
     const auto spec = iarank::core::run_spec_from_config(config);
     const auto wld = iarank::core::resolve_wld(spec);
