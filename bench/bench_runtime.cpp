@@ -9,12 +9,15 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <filesystem>
+#include <string>
 
 #include "src/core/dp_rank.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/free_pack.hpp"
 #include "src/core/instance_builder.hpp"
 #include "src/core/paper_setup.hpp"
+#include "src/core/sweep.hpp"
 #include "src/delay/model.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/wld/davis.hpp"
@@ -149,6 +152,53 @@ void BM_ThreadPoolParallelFor(benchmark::State& state) {
   benchmark::DoNotOptimize(sink.load());
 }
 BENCHMARK(BM_ThreadPoolParallelFor)->Arg(16)->Arg(256);
+
+/// The paper-scale Table 4 C-column sweep (1M gates, 13 clock points):
+/// the uncheckpointed baseline for the journal-overhead comparison below.
+void BM_SweepTable4C(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  core::InstanceBuilder builder(setup.design, wld);
+  const std::vector<double> values = core::table4_c_values();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::sweep_parameter(builder, setup.options,
+                              core::SweepParameter::kClockFrequency, values, 1)
+            .points.size());
+  }
+}
+BENCHMARK(BM_SweepTable4C)->Unit(benchmark::kMillisecond);
+
+/// The same sweep with a journaled checkpoint (fsync off, the high-rate
+/// mode). The journal is deleted each iteration so every point is
+/// encoded and appended, never resumed. The "checkpoint_frac" counter is
+/// the journal's share of sweep wall time — the budget is < 2%.
+void BM_SweepTable4CCheckpointed(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  core::InstanceBuilder builder(setup.design, wld);
+  const std::vector<double> values = core::table4_c_values();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iarank_bench_c.journal")
+          .string();
+  core::SweepRunOptions run;
+  run.checkpoint_path = path;
+  run.fsync_checkpoint = false;
+  double frac = 0.0;
+  for (auto _ : state) {
+    std::filesystem::remove(path);
+    const core::SweepResult sweep = core::sweep_parameter(
+        builder, setup.options, core::SweepParameter::kClockFrequency, values,
+        run);
+    benchmark::DoNotOptimize(sweep.points.size());
+    frac = sweep.profile.total_seconds > 0.0
+               ? sweep.profile.checkpoint_seconds / sweep.profile.total_seconds
+               : 0.0;
+  }
+  std::filesystem::remove(path);
+  state.counters["checkpoint_frac"] = frac;
+}
+BENCHMARK(BM_SweepTable4CCheckpointed)->Unit(benchmark::kMillisecond);
 
 /// Delay-free packing (greedy_assign / M'') on the full baseline.
 void BM_FreePack(benchmark::State& state) {

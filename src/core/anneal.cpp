@@ -96,10 +96,21 @@ AnnealResult anneal_chain(const tech::TechNode& node, std::int64_t gate_count,
     design.node = tech::apply_tuning(node, state.tuning);
     design.arch = state.arch;
     design.gate_count = gate_count;
-    const RankResult r = compute_rank(design, options, wld_in_pitches);
     ++result.evaluations;
-    if (r.normalized > result.best_result.normalized ||
-        result.evaluations == 1) {
+    RankResult r;
+    try {
+      r = compute_rank(design, options, wld_in_pitches);
+    } catch (const std::exception& ex) {
+      // A throwing state scores below every legitimate score, so it can
+      // neither become `best` nor look attractive to the move rule; the
+      // chain continues.
+      ++result.failed_evaluations;
+      if (result.first_failure.empty()) result.first_failure = ex.what();
+      return -1.0;
+    }
+    const bool first_success =
+        result.evaluations - result.failed_evaluations == 1;
+    if (r.normalized > result.best_result.normalized || first_success) {
       result.best = state;
       result.best_result = r;
     }
@@ -175,6 +186,10 @@ AnnealResult anneal_architecture(const tech::TechNode& node,
   AnnealResult out = runs.front();
   for (std::size_t i = 1; i < runs.size(); ++i) {
     out.evaluations += runs[i].evaluations;
+    out.failed_evaluations += runs[i].failed_evaluations;
+    if (out.first_failure.empty()) {
+      out.first_failure = runs[i].first_failure;
+    }
     if (runs[i].best_result.normalized > out.best_result.normalized) {
       out.best = runs[i].best;
       out.best_result = runs[i].best_result;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/engine.hpp"
@@ -61,6 +62,12 @@ struct AnnealResult {
   /// Best-so-far normalized rank after each iteration (for convergence
   /// plots / regression tests).
   std::vector<double> trajectory;
+
+  /// Throwing evaluations, counted across all chains. A failed state
+  /// scores worst-possible (it can never become `best`) and the chain
+  /// moves on — one pathological candidate must not kill the search.
+  int failed_evaluations = 0;
+  std::string first_failure;  ///< message of the first failed evaluation
 };
 
 /// Runs the annealer from the Table 2 baseline state. The WLD is in gate

@@ -1,0 +1,345 @@
+#include "src/core/checkpoint.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstdlib>
+
+namespace iarank::core {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// 16-hex-digit IEEE-754 bit pattern: round-trips every double bitwise,
+/// including -0.0 and NaN payloads.
+std::string hex_f64(double v) {
+  auto bits = std::bit_cast<std::uint64_t>(v);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[bits & 0xF];
+    bits >>= 4;
+  }
+  return out;
+}
+
+/// Hex bytes; "." stands for the empty string (a bare empty token would
+/// vanish in the whitespace-separated stream).
+std::string hex_str(std::string_view s) {
+  if (s.empty()) return ".";
+  std::string out;
+  out.reserve(2 * s.size());
+  for (const char c : s) {
+    const auto b = static_cast<unsigned char>(c);
+    out += kHexDigits[b >> 4];
+    out += kHexDigits[b & 0xF];
+  }
+  return out;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Whitespace-token pull parser over one encoded record.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string_view text) : text_(text) {}
+
+  bool next(std::string_view& out) {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+    if (pos_ >= text_.size()) return false;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ') ++pos_;
+    out = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool next_i64(std::int64_t& out) {
+    std::string_view tok;
+    if (!next(tok)) return false;
+    errno = 0;
+    char* end = nullptr;
+    const std::string buf(tok);
+    const long long v = std::strtoll(buf.c_str(), &end, 10);
+    if (errno != 0 || end != buf.c_str() + buf.size() || buf.empty()) {
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  bool next_size(std::size_t& out) {
+    std::int64_t v = 0;
+    if (!next_i64(v) || v < 0) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  }
+
+  bool next_f64(double& out) {
+    std::string_view tok;
+    if (!next(tok) || tok.size() != 16) return false;
+    std::uint64_t bits = 0;
+    for (const char c : tok) {
+      const int v = hex_value(c);
+      if (v < 0) return false;
+      bits = (bits << 4) | static_cast<std::uint64_t>(v);
+    }
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool next_str(std::string& out) {
+    std::string_view tok;
+    if (!next(tok)) return false;
+    out.clear();
+    if (tok == ".") return true;
+    if (tok.size() % 2 != 0) return false;
+    out.reserve(tok.size() / 2);
+    for (std::size_t i = 0; i < tok.size(); i += 2) {
+      const int hi = hex_value(tok[i]);
+      const int lo = hex_value(tok[i + 1]);
+      if (hi < 0 || lo < 0) return false;
+      out += static_cast<char>((hi << 4) | lo);
+    }
+    return true;
+  }
+
+  bool next_bool(bool& out) {
+    std::int64_t v = 0;
+    if (!next_i64(v) || (v != 0 && v != 1)) return false;
+    out = v == 1;
+    return true;
+  }
+
+  bool done() {
+    std::string_view tok;
+    return !next(tok);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void digest_tier(util::Digest& d, const tech::TierGeometry& tier) {
+  d.f64(tier.min_width)
+      .f64(tier.min_spacing)
+      .f64(tier.thickness)
+      .f64(tier.via_width);
+}
+
+}  // namespace
+
+void digest_design(util::Digest& d, const DesignSpec& design) {
+  const tech::TechNode& node = design.node;
+  d.str(node.name).f64(node.feature_size);
+  digest_tier(d, node.local);
+  digest_tier(d, node.semi_global);
+  digest_tier(d, node.global);
+  d.f64(node.device.r_o)
+      .f64(node.device.c_o)
+      .f64(node.device.c_p)
+      .f64(node.device.min_inv_area);
+  d.str(node.conductor.name).f64(node.conductor.resistivity);
+  d.i64(node.total_metal_layers)
+      .f64(node.gate_pitch_factor)
+      .f64(node.max_clock);
+  d.i64(design.arch.global_pairs)
+      .i64(design.arch.semi_global_pairs)
+      .i64(design.arch.local_pairs)
+      .f64(design.arch.ild_height_factor);
+  d.i64(design.gate_count);
+}
+
+void digest_wld(util::Digest& d, const wld::Wld& wld) {
+  d.u64(wld.group_count());
+  for (const wld::WireGroup& g : wld.groups()) {
+    d.f64(g.length).i64(g.count);
+  }
+}
+
+void digest_rank_options(util::Digest& d, const RankOptions& options) {
+  d.f64(options.ild_permittivity)
+      .f64(options.miller_factor)
+      .f64(options.clock_frequency)
+      .f64(options.repeater_fraction);
+  d.i64(static_cast<int>(options.cap_model))
+      .i64(static_cast<int>(options.target_model));
+  d.f64(options.switching.a).f64(options.switching.b);
+  d.f64(options.vias.vias_per_wire).f64(options.vias.vias_per_repeater);
+  d.boolean(options.max_stages.has_value())
+      .i64(options.max_stages ? *options.max_stages : 0);
+  d.f64(options.min_repeater_spacing)
+      .boolean(options.charge_drivers)
+      .f64(options.max_noise_ratio)
+      .f64(options.pair_capacity_factor);
+  d.i64(options.bunch_size)
+      .f64(options.bin_window)
+      .boolean(options.refine_boundary);
+}
+
+std::uint64_t sweep_checkpoint_key(std::uint64_t builder_fingerprint,
+                                   const RankOptions& base,
+                                   SweepParameter parameter,
+                                   const std::vector<double>& values) {
+  util::Digest d;
+  d.str("iarank.sweep.v1");
+  d.u64(builder_fingerprint);
+  digest_rank_options(d, base);
+  d.i64(static_cast<int>(parameter));
+  d.u64(values.size());
+  for (const double v : values) d.f64(v);
+  return d.value();
+}
+
+std::uint64_t selfcheck_checkpoint_key(std::int64_t count,
+                                       std::uint64_t first_seed) {
+  util::Digest d;
+  d.str("iarank.selfcheck.v1");
+  d.i64(count);
+  d.u64(first_seed);
+  return d.value();
+}
+
+std::string encode_sweep_point(const SweepPoint& point) {
+  const RankResult& r = point.result;
+  std::string out;
+  out.reserve(256);
+  const auto add = [&out](const std::string& token) {
+    if (!out.empty()) out += ' ';
+    out += token;
+  };
+  add(hex_f64(point.value));
+  add(std::to_string(static_cast<int>(point.status.code)));
+  add(hex_str(point.status.message));
+  add(std::to_string(r.rank));
+  add(hex_f64(r.normalized));
+  add(r.all_assigned ? "1" : "0");
+  add(std::to_string(r.prefix_bunches));
+  add(std::to_string(r.refined_wires));
+  add(std::to_string(r.repeater_count));
+  add(hex_f64(r.repeater_area_used));
+  add(std::to_string(r.total_wires));
+  add(hex_f64(r.dp.seconds));
+  add(hex_f64(r.dp.forward_seconds));
+  add(std::to_string(r.dp.arena_nodes));
+  add(std::to_string(r.dp.max_frontier));
+  add(std::to_string(r.dp.heap_pops));
+  add(std::to_string(r.dp.verify_calls));
+  add(std::to_string(r.usage.size()));
+  for (const PairUsage& u : r.usage) {
+    add(hex_str(u.pair_name));
+    add(std::to_string(u.wires_meeting_delay));
+    add(std::to_string(u.wires_total));
+    add(hex_f64(u.wire_area));
+    add(hex_f64(u.via_blockage));
+    add(std::to_string(u.repeaters));
+    add(hex_f64(u.repeater_area));
+  }
+  add(std::to_string(r.placements.size()));
+  for (const BunchPlacement& p : r.placements) {
+    add(std::to_string(p.bunch));
+    add(std::to_string(p.pair));
+    add(std::to_string(p.wires));
+    add(std::to_string(p.meeting_delay));
+  }
+  return out;
+}
+
+bool decode_sweep_point(std::string_view text, SweepPoint& point) {
+  TokenReader in(text);
+  SweepPoint out;
+  RankResult& r = out.result;
+
+  std::int64_t code = 0;
+  if (!in.next_f64(out.value)) return false;
+  if (!in.next_i64(code) || code < 0 ||
+      code > static_cast<int>(util::StatusCode::kTimedOut)) {
+    return false;
+  }
+  out.status.code = static_cast<util::StatusCode>(code);
+  if (!in.next_str(out.status.message)) return false;
+
+  if (!in.next_i64(r.rank)) return false;
+  if (!in.next_f64(r.normalized)) return false;
+  if (!in.next_bool(r.all_assigned)) return false;
+  if (!in.next_i64(r.prefix_bunches)) return false;
+  if (!in.next_i64(r.refined_wires)) return false;
+  if (!in.next_i64(r.repeater_count)) return false;
+  if (!in.next_f64(r.repeater_area_used)) return false;
+  if (!in.next_i64(r.total_wires)) return false;
+  if (!in.next_f64(r.dp.seconds)) return false;
+  if (!in.next_f64(r.dp.forward_seconds)) return false;
+  if (!in.next_i64(r.dp.arena_nodes)) return false;
+  if (!in.next_i64(r.dp.max_frontier)) return false;
+  if (!in.next_i64(r.dp.heap_pops)) return false;
+  if (!in.next_i64(r.dp.verify_calls)) return false;
+
+  std::size_t usage_count = 0;
+  if (!in.next_size(usage_count) || usage_count > (1u << 20)) return false;
+  r.usage.resize(usage_count);
+  for (PairUsage& u : r.usage) {
+    if (!in.next_str(u.pair_name)) return false;
+    if (!in.next_i64(u.wires_meeting_delay)) return false;
+    if (!in.next_i64(u.wires_total)) return false;
+    if (!in.next_f64(u.wire_area)) return false;
+    if (!in.next_f64(u.via_blockage)) return false;
+    if (!in.next_i64(u.repeaters)) return false;
+    if (!in.next_f64(u.repeater_area)) return false;
+  }
+
+  std::size_t placement_count = 0;
+  if (!in.next_size(placement_count) || placement_count > (1u << 24)) {
+    return false;
+  }
+  r.placements.resize(placement_count);
+  for (BunchPlacement& p : r.placements) {
+    if (!in.next_size(p.bunch)) return false;
+    if (!in.next_size(p.pair)) return false;
+    if (!in.next_i64(p.wires)) return false;
+    if (!in.next_i64(p.meeting_delay)) return false;
+  }
+
+  if (!in.done()) return false;
+  point = std::move(out);
+  return true;
+}
+
+std::string encode_scenario_check(const ScenarioCheck& check) {
+  std::string out;
+  const auto add = [&out](const std::string& token) {
+    if (!out.empty()) out += ' ';
+    out += token;
+  };
+  add(check.ok ? "1" : "0");
+  add(hex_str(check.mismatch));
+  add(std::to_string(check.dp));
+  add(std::to_string(check.dp_bunch));
+  add(std::to_string(check.greedy));
+  add(std::to_string(check.brute));
+  add(std::to_string(check.reference));
+  add(check.brute_checked ? "1" : "0");
+  add(check.reference_checked ? "1" : "0");
+  return out;
+}
+
+bool decode_scenario_check(std::string_view text, ScenarioCheck& check) {
+  TokenReader in(text);
+  ScenarioCheck out;
+  if (!in.next_bool(out.ok)) return false;
+  if (!in.next_str(out.mismatch)) return false;
+  if (!in.next_i64(out.dp)) return false;
+  if (!in.next_i64(out.dp_bunch)) return false;
+  if (!in.next_i64(out.greedy)) return false;
+  if (!in.next_i64(out.brute)) return false;
+  if (!in.next_i64(out.reference)) return false;
+  if (!in.next_bool(out.brute_checked)) return false;
+  if (!in.next_bool(out.reference_checked)) return false;
+  if (!in.done()) return false;
+  check = std::move(out);
+  return true;
+}
+
+}  // namespace iarank::core

@@ -1,0 +1,69 @@
+/// \file checkpoint.hpp
+/// \brief Digest keys and record codecs for journaled checkpoint/resume.
+///
+/// A checkpoint journal (util/journal.hpp) is only resumable against the
+/// exact work that wrote it. This module provides both halves of that
+/// contract for the batch drivers:
+///
+///  * keys — FNV-1a digests over everything that determines a run's
+///    results (design, WLD, options, swept parameter, value grid; or the
+///    selfcheck seed range). Doubles enter as IEEE-754 bit patterns, so
+///    the key is exactly as strict as the bitwise-identity guarantee the
+///    resumed results themselves carry.
+///  * codecs — lossless textual encodings of per-point results
+///    (SweepPoint, ScenarioCheck). Doubles round-trip as 16-hex-digit bit
+///    patterns; strings as hex bytes. decode_* returns false on any
+///    malformation instead of throwing, so a stale or hand-edited record
+///    degrades to "recompute this point".
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/selfcheck.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/digest.hpp"
+#include "src/wld/wld.hpp"
+
+namespace iarank::core {
+
+/// Feeds every field of `design` (node geometry, device, conductor,
+/// architecture, gate count) into `d`.
+void digest_design(util::Digest& d, const DesignSpec& design);
+
+/// Feeds every (length, count) group of `wld` into `d`.
+void digest_wld(util::Digest& d, const wld::Wld& wld);
+
+/// Feeds every RankOptions field into `d` (doubles as bit patterns).
+void digest_rank_options(util::Digest& d, const RankOptions& options);
+
+/// Journal key of one sweep: builder fingerprint (design + WLD) x base
+/// options x swept parameter x exact value grid.
+[[nodiscard]] std::uint64_t sweep_checkpoint_key(
+    std::uint64_t builder_fingerprint, const RankOptions& base,
+    SweepParameter parameter, const std::vector<double>& values);
+
+/// Journal key of one selfcheck sweep: seed range only (the scenario
+/// sampler is deterministic per seed by contract).
+[[nodiscard]] std::uint64_t selfcheck_checkpoint_key(std::int64_t count,
+                                                     std::uint64_t first_seed);
+
+/// Lossless one-line encoding of a completed sweep point (value, status,
+/// full RankResult including usage and placements).
+[[nodiscard]] std::string encode_sweep_point(const SweepPoint& point);
+
+/// Inverse of encode_sweep_point; false on malformed input.
+[[nodiscard]] bool decode_sweep_point(std::string_view text,
+                                      SweepPoint& point);
+
+/// Lossless one-line encoding of one checked selfcheck scenario.
+[[nodiscard]] std::string encode_scenario_check(const ScenarioCheck& check);
+
+/// Inverse of encode_scenario_check; false on malformed input.
+[[nodiscard]] bool decode_scenario_check(std::string_view text,
+                                         ScenarioCheck& check);
+
+}  // namespace iarank::core

@@ -10,6 +10,7 @@
 
 #include "src/core/free_pack.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
 #include "src/util/stopwatch.hpp"
 
 namespace iarank::core {
@@ -476,9 +477,12 @@ RankResult DpSolver::solve() {
   return res;
 }
 
+const util::FaultSite kSiteDpRank{"core.dp_rank"};
+
 }  // namespace
 
 RankResult dp_rank(const Instance& inst, const DpOptions& options) {
+  util::maybe_inject(kSiteDpRank);
   DpSolver solver(inst, options);
   return solver.solve();
 }

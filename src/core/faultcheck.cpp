@@ -1,0 +1,240 @@
+#include "src/core/faultcheck.hpp"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/core/checkpoint.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/config.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
+#include "src/wld/io.hpp"
+
+namespace iarank::core {
+
+namespace {
+
+/// The workload's inputs are parsed each run so the IO sites
+/// (util.config.parse, wld.io.read) sit on the exercised path.
+constexpr const char* kConfigText =
+    "# faultcheck workload\n"
+    "node = 130nm\n"
+    "gates = 4000\n"
+    "bunch = 200\n";
+
+constexpr const char* kWldText =
+    "# faultcheck WLD (lengths in gate pitches)\n"
+    "600 2\n"
+    "350 30\n"
+    "180 200\n"
+    "90 1500\n"
+    "40 2200\n";
+
+const std::vector<double>& sweep_values() {
+  static const std::vector<double> values = {3.9, 3.0, 2.2};
+  return values;
+}
+
+/// Input stage: config parse + WLD read + design assembly. Hits the IO
+/// sites; throws when one of them is armed.
+struct WorkloadInputs {
+  DesignSpec design;
+  RankOptions base;
+  wld::Wld wld;
+};
+
+WorkloadInputs make_inputs() {
+  const util::Config cfg = util::Config::parse(kConfigText);
+  std::istringstream wld_stream{std::string(kWldText)};
+  WorkloadInputs in;
+  in.wld = wld::read_wld(wld_stream);
+  in.design = baseline_design(cfg.get("node"), cfg.get_int("gates"));
+  in.base.bunch_size = cfg.get_int("bunch");
+  return in;
+}
+
+/// Compute stage: the 3-point K sweep through `builder`. Single-threaded
+/// so the nth-hit arithmetic is deterministic.
+SweepResult run_sweep(InstanceBuilder& builder, const RankOptions& base) {
+  return sweep_parameter(builder, base,
+                         SweepParameter::kIldPermittivity, sweep_values(),
+                         /*threads=*/1);
+}
+
+/// Encoding of a point with the wall-clock fields zeroed: equal strings
+/// iff the deterministic result fields are bitwise equal.
+std::string deterministic_encoding(SweepPoint point) {
+  point.result.dp.seconds = 0.0;
+  point.result.dp.forward_seconds = 0.0;
+  return encode_sweep_point(point);
+}
+
+bool sweeps_identical(const SweepResult& a, const SweepResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (deterministic_encoding(a.points[i]) !=
+        deterministic_encoding(b.points[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool mentions_injection(const std::string& text, const std::string& site) {
+  return text.find("injected fault at " + site) != std::string::npos;
+}
+
+/// Disarms the process injector on every exit path.
+struct DisarmGuard {
+  ~DisarmGuard() { util::FaultInjector::instance().disarm(); }
+};
+
+}  // namespace
+
+FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
+  util::require(options.seeds >= 1, "faultcheck: seeds must be >= 1");
+  FaultCheckReport report;
+  DisarmGuard guard;
+  util::FaultInjector& injector = util::FaultInjector::instance();
+
+  // Clean baseline: the expected results, and (via counting mode) how
+  // often each site fires in one workload — the modulus for the
+  // seed-derived nth hit.
+  injector.start_counting();
+  const WorkloadInputs baseline_inputs = make_inputs();
+  InstanceBuilder baseline_builder(baseline_inputs.design,
+                                   baseline_inputs.wld);
+  const SweepResult baseline =
+      run_sweep(baseline_builder, baseline_inputs.base);
+  injector.disarm();
+  if (baseline.profile.failed_points != 0) {
+    report.violations.push_back("baseline workload has failed points");
+    return report;
+  }
+
+  // Snapshot the counting-mode tallies now: the first arm() resets them.
+  std::vector<std::pair<std::string, std::int64_t>> site_hits;
+  for (const util::FaultSite* site : util::FaultInjector::sites()) {
+    site_hits.emplace_back(site->name(), injector.hits(site->name()));
+  }
+
+  for (const auto& [site_name, hits] : site_hits) {
+    FaultSiteOutcome outcome;
+    outcome.site = site_name;
+    outcome.workload_hits = hits;
+    if (outcome.workload_hits == 0) {
+      report.sites.push_back(std::move(outcome));
+      continue;
+    }
+
+    for (std::int64_t k = 0; k < options.seeds; ++k) {
+      const std::uint64_t seed = options.first_seed +
+                                 static_cast<std::uint64_t>(k);
+      const std::int64_t nth =
+          1 + static_cast<std::int64_t>(
+                  seed % static_cast<std::uint64_t>(outcome.workload_hits));
+      injector.arm(outcome.site, nth);
+      ++report.runs;
+
+      std::unique_ptr<InstanceBuilder> builder;
+      RankOptions base;
+      bool threw = false;
+      std::string thrown_message;
+      SweepResult swept;
+      try {
+        WorkloadInputs inputs = make_inputs();
+        base = inputs.base;
+        builder = std::make_unique<InstanceBuilder>(std::move(inputs.design),
+                                                    std::move(inputs.wld));
+        swept = run_sweep(*builder, base);
+      } catch (const util::Error& e) {
+        threw = true;
+        thrown_message = e.what();
+      } catch (const std::exception& e) {
+        injector.disarm();
+        report.violations.push_back("site " + outcome.site + " seed " +
+                                    std::to_string(seed) +
+                                    ": non-Error exception escaped: " +
+                                    e.what());
+        continue;
+      }
+      const bool fired = injector.fired();
+      injector.disarm();
+
+      if (!fired) {
+        report.violations.push_back(
+            "site " + outcome.site + " seed " + std::to_string(seed) +
+            ": armed hit " + std::to_string(nth) + " never fired");
+        continue;
+      }
+      ++outcome.injections;
+
+      if (threw) {
+        // Only the pre-sweep input stages may propagate, and only the
+        // injected error itself.
+        if (!mentions_injection(thrown_message, outcome.site)) {
+          report.violations.push_back("site " + outcome.site + " seed " +
+                                      std::to_string(seed) +
+                                      ": unexpected propagated error: " +
+                                      thrown_message);
+          continue;
+        }
+        ++outcome.propagated;
+      } else {
+        // The sweep must have isolated the fault into exactly one
+        // point's status, leaving the rest of the grid evaluated.
+        std::int64_t flagged = 0;
+        for (const SweepPoint& p : swept.points) {
+          if (p.status.ok()) continue;
+          ++flagged;
+          if (!mentions_injection(p.status.message, outcome.site)) {
+            report.violations.push_back(
+                "site " + outcome.site + " seed " + std::to_string(seed) +
+                ": failed point carries foreign status: " + p.status.label());
+          }
+        }
+        if (flagged != 1 || swept.profile.failed_points != 1) {
+          report.violations.push_back(
+              "site " + outcome.site + " seed " + std::to_string(seed) +
+              ": expected exactly one failed point, got " +
+              std::to_string(flagged));
+          continue;
+        }
+        ++outcome.isolated;
+      }
+
+      // Recovery: rerun with injection off. When the builder survived the
+      // fault, reuse it — a stage that threw mid-compute must have left
+      // its caches reusable, and the rebuilt results bitwise equal.
+      try {
+        SweepResult recovered;
+        if (builder) {
+          recovered = run_sweep(*builder, base);
+        } else {
+          WorkloadInputs inputs = make_inputs();
+          InstanceBuilder fresh(std::move(inputs.design),
+                                std::move(inputs.wld));
+          recovered = run_sweep(fresh, inputs.base);
+        }
+        if (!sweeps_identical(recovered, baseline)) {
+          report.violations.push_back(
+              "site " + outcome.site + " seed " + std::to_string(seed) +
+              ": post-failure rerun diverged from baseline");
+          continue;
+        }
+        ++outcome.recovered;
+      } catch (const std::exception& e) {
+        report.violations.push_back("site " + outcome.site + " seed " +
+                                    std::to_string(seed) +
+                                    ": post-failure rerun threw: " + e.what());
+        continue;
+      }
+    }
+    report.sites.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace iarank::core

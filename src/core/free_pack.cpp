@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
 
 namespace iarank::core {
 
@@ -12,10 +13,13 @@ namespace {
 /// Relative slack for floating-point capacity comparisons.
 constexpr double kAreaTol = 1e-9;
 
+const util::FaultSite kSiteFreePack{"core.free_pack"};
+
 }  // namespace
 
 std::optional<std::vector<BunchPlacement>> free_pack_detailed(
     const Instance& inst, const FreePackInput& input) {
+  util::maybe_inject(kSiteFreePack);
   const std::size_t m = inst.pair_count();
   const std::size_t n_bunches = inst.bunch_count();
   iarank::util::require(input.first_pair <= m,

@@ -4,15 +4,27 @@
 #include <optional>
 #include <utility>
 
+#include "src/core/checkpoint.hpp"
 #include "src/delay/target.hpp"
 #include "src/tech/noise.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/wld/coarsen.hpp"
 
 namespace iarank::core {
 
 namespace {
+
+// Fault-injection sites, one per cacheable stage plus the per-build
+// assembly. The stage sites sit inside the compute lambdas (the miss
+// path), so `rank_tool faultcheck` exercises exactly the case that must
+// not corrupt a cache: an exception thrown mid-compute.
+const util::FaultSite kSiteCoarsen{"core.instance_builder.coarsen"};
+const util::FaultSite kSiteDie{"core.instance_builder.die"};
+const util::FaultSite kSiteStack{"core.instance_builder.stack"};
+const util::FaultSite kSitePlans{"core.instance_builder.plans"};
+const util::FaultSite kSiteAssemble{"core.instance_builder.assemble"};
 
 /// Validates the fixed inputs before any member that derives from them
 /// is initialized (arch_ and wld_max_pitches_ both need a valid design
@@ -48,12 +60,18 @@ InstanceBuilder::InstanceBuilder(DesignSpec design, wld::Wld wld_in_pitches)
     : design_(std::move(design)),
       wld_(std::move(wld_in_pitches)),
       arch_(make_arch(design_, wld_)),
-      wld_max_pitches_(wld_.max_length()) {}
+      wld_max_pitches_(wld_.max_length()) {
+  util::Digest d;
+  digest_design(d, design_);
+  digest_wld(d, wld_);
+  fingerprint_ = d.value();
+}
 
 const std::vector<wld::WireGroup>& InstanceBuilder::coarsen_stage(
     const RankOptions& options) {
   const CoarsenKey key{options.bin_window, options.bunch_size};
   return cached(coarsen_cache_, key, profile_.coarsen, [&] {
+    util::maybe_inject(kSiteCoarsen);
     const wld::Wld coarse =
         options.bin_window > 0.0
             ? wld::bin_absolute(wld_, options.bin_window)
@@ -65,6 +83,7 @@ const std::vector<wld::WireGroup>& InstanceBuilder::coarsen_stage(
 const tech::DieModel& InstanceBuilder::die_stage(const RankOptions& options) {
   const DieKey key = options.repeater_fraction;
   return cached(die_cache_, key, profile_.die, [&] {
+    util::maybe_inject(kSiteDie);
     // Die sizing (paper Eq. 6): repeater area inflates the die, gates are
     // redistributed, and the effective gate pitch converts WLD lengths.
     return tech::DieModel({design_.gate_count, design_.node.gate_pitch(),
@@ -78,6 +97,7 @@ const InstanceBuilder::StackStage& InstanceBuilder::stack_stage(
                      static_cast<int>(options.cap_model), options.switching.a,
                      options.switching.b};
   return cached(stack_cache_, key, profile_.stack, [&] {
+    util::maybe_inject(kSiteStack);
     const tech::RcParams rc{design_.node.conductor, options.ild_permittivity,
                             options.miller_factor, options.cap_model};
     return StackStage{rc, delay::ElectricalStack(arch_, rc, options.switching)};
@@ -101,6 +121,7 @@ const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
       options.charge_drivers,
       options.max_noise_ratio};
   return cached(plan_cache_, key, profile_.plans, [&] {
+    util::maybe_inject(kSitePlans);
     // Target delays from the longest *physical* wire.
     const double pitch_to_m = die.effective_gate_pitch();
     const double l_max = wld_max_pitches_ * pitch_to_m;
@@ -164,6 +185,7 @@ Instance InstanceBuilder::build(const RankOptions& options) {
   const tech::DieModel& die = die_stage(options);
   const StackStage& electrical = stack_stage(options);
   const PlanStage& planned = plan_stage(options, groups, die, electrical);
+  util::maybe_inject(kSiteAssemble);
 
   // A layer-pair offers `pair_capacity_factor` layers' worth of routing
   // area; a via cut blocks that many layers' worth of via area. Assembled

@@ -77,6 +77,12 @@ class InstanceBuilder {
   /// Snapshot of the cache/timing counters.
   [[nodiscard]] BuildProfile profile() const;
 
+  /// FNV-1a digest of the fixed inputs (design + WLD), computed once at
+  /// construction. Two builders with equal fingerprints produce bitwise
+  /// identical instances for equal options; the sweep checkpoint key is
+  /// built on this.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   // Stage keys: tuples of exactly the option fields each stage reads.
   using CoarsenKey = std::tuple<double, std::int64_t>;
@@ -106,6 +112,7 @@ class InstanceBuilder {
   wld::Wld wld_;
   tech::Architecture arch_;  ///< derived once; design is fixed per builder
   double wld_max_pitches_ = 0.0;
+  std::uint64_t fingerprint_ = 0;
 
   mutable std::mutex mutex_;
   util::LruCache<CoarsenKey, std::vector<wld::WireGroup>> coarsen_cache_{8};

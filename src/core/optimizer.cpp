@@ -18,6 +18,19 @@ bool better(const ArchCandidate& a, const ArchCandidate& b) {
   return a.spec.global_pairs < b.spec.global_pairs;
 }
 
+/// Re-raises an all-candidates-failed search as the category of its
+/// first failure (a fully bad-input grid is the caller's error, not ours).
+iarank::util::ErrorCategory category_of(iarank::util::StatusCode code) {
+  switch (code) {
+    case iarank::util::StatusCode::kBadInput:
+      return iarank::util::ErrorCategory::kBadInput;
+    case iarank::util::StatusCode::kInfeasible:
+      return iarank::util::ErrorCategory::kInfeasible;
+    default:
+      return iarank::util::ErrorCategory::kInternal;
+  }
+}
+
 }  // namespace
 
 OptimizerResult optimize_architecture(const tech::TechNode& node,
@@ -53,13 +66,33 @@ OptimizerResult optimize_architecture(const tech::TechNode& node,
         design.arch = grid[i];
         design.gate_count = gate_count;
         out.evaluated[i].spec = design.arch;
-        out.evaluated[i].result = compute_rank(design, options, wld_in_pitches);
+        try {
+          out.evaluated[i].result =
+              compute_rank(design, options, wld_in_pitches);
+        } catch (const std::exception& e) {
+          out.evaluated[i].result = RankResult{};
+          out.evaluated[i].status = iarank::util::Status::from_exception(e);
+        }
       });
 
-  out.best = out.evaluated.front();
+  // Winner scan skips failed candidates; the search only gives up when
+  // nothing evaluated at all.
+  const ArchCandidate* best = nullptr;
   for (const ArchCandidate& cand : out.evaluated) {
-    if (better(cand, out.best)) out.best = cand;
+    if (!cand.status.ok()) {
+      ++out.failed_candidates;
+      continue;
+    }
+    if (best == nullptr || better(cand, *best)) best = &cand;
   }
+  if (best == nullptr) {
+    const iarank::util::Status& first = out.evaluated.front().status;
+    throw iarank::util::Error(
+        "optimize_architecture: all " + std::to_string(out.evaluated.size()) +
+            " candidates failed; first: " + first.message,
+        category_of(first.code));
+  }
+  out.best = *best;
   return out;
 }
 

@@ -10,9 +10,11 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/core/engine.hpp"
+#include "src/util/status.hpp"
 
 namespace iarank::core {
 
@@ -31,21 +33,26 @@ struct OptimizerOptions {
   unsigned threads = 1;
 };
 
-/// One evaluated architecture.
+/// One evaluated architecture. A candidate whose evaluation threw keeps
+/// the failure in `status` (result value-initialized) and is skipped by
+/// the winner scan.
 struct ArchCandidate {
   tech::ArchitectureSpec spec;
   RankResult result;
+  util::Status status;
 };
 
 /// Search outcome: every evaluated candidate plus the winner.
 struct OptimizerResult {
   std::vector<ArchCandidate> evaluated;
   ArchCandidate best;
+  std::int64_t failed_candidates = 0;  ///< candidates with non-ok status
 };
 
 /// Exhaustively evaluates the allocation grid and returns the best
-/// architecture under the rank metric. Throws util::Error when the grid
-/// is empty.
+/// architecture under the rank metric. A throwing candidate is recorded
+/// in its status and skipped; throws util::Error only when the grid is
+/// empty or every candidate failed.
 [[nodiscard]] OptimizerResult optimize_architecture(
     const tech::TechNode& node, std::int64_t gate_count,
     const RankOptions& options, const wld::Wld& wld_in_pitches,

@@ -1,8 +1,9 @@
 #include "src/core/report.hpp"
 
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "src/util/atomic_file.hpp"
 #include "src/util/error.hpp"
 
 namespace iarank::core {
@@ -32,6 +33,11 @@ void write_sweep_csv(std::ostream& os, const SweepResult& sweep) {
   os << "# " << to_string(sweep.parameter) << "\n";
   os << "value,normalized_rank,rank,repeaters\n";
   for (const SweepPoint& p : sweep.points) {
+    if (!p.status.ok()) {
+      // Status::label() flattens commas, so the reason stays one field.
+      os << p.value << "," << p.status.label() << ",n/a,n/a\n";
+      continue;
+    }
     os << p.value << "," << p.result.normalized << "," << p.result.rank << ","
        << p.result.repeater_count << "\n";
   }
@@ -39,22 +45,30 @@ void write_sweep_csv(std::ostream& os, const SweepResult& sweep) {
 
 namespace {
 
-std::ofstream open_or_throw(const std::string& path) {
-  std::ofstream out(path);
-  iarank::util::require(out.good(), "report: cannot open '" + path + "'");
-  return out;
+/// Renders through a buffer and publishes with write-temp-fsync-rename:
+/// a crashed or failed save never leaves a truncated artefact behind.
+template <typename Payload, typename Writer>
+void save_atomic(const std::string& path, const Payload& payload,
+                 Writer&& writer) {
+  std::ostringstream buffer;
+  writer(buffer, payload);
+  iarank::util::atomic_write_file(path, buffer.str());
 }
 
 }  // namespace
 
 void save_result_csv(const std::string& path, const RankResult& result) {
-  auto out = open_or_throw(path);
-  write_result_csv(out, result);
+  save_atomic(path, result,
+              [](std::ostream& os, const RankResult& r) {
+                write_result_csv(os, r);
+              });
 }
 
 void save_sweep_csv(const std::string& path, const SweepResult& sweep) {
-  auto out = open_or_throw(path);
-  write_sweep_csv(out, sweep);
+  save_atomic(path, sweep,
+              [](std::ostream& os, const SweepResult& s) {
+                write_sweep_csv(os, s);
+              });
 }
 
 }  // namespace iarank::core

@@ -5,10 +5,12 @@
 #include <iomanip>
 #include <iterator>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "src/core/brute_force.hpp"
+#include "src/core/checkpoint.hpp"
 #include "src/core/dp_rank.hpp"
 #include "src/core/greedy_rank.hpp"
 #include "src/core/paper_setup.hpp"
@@ -16,6 +18,7 @@
 #include "src/core/verify.hpp"
 #include "src/tech/envelope.hpp"
 #include "src/util/error.hpp"
+#include "src/util/journal.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/units.hpp"
 #include "src/wld/davis.hpp"
@@ -743,10 +746,38 @@ SelfCheckReport run_selfcheck(std::int64_t count,
   util::ThreadPool& workers = pool ? *pool : util::ThreadPool::shared();
 
   std::vector<ScenarioCheck> checks(static_cast<std::size_t>(count));
+  std::vector<char> done(static_cast<std::size_t>(count), 0);
+
+  // Checkpoint/resume: recover already-checked seeds, journal new ones.
+  // check_scenario is deterministic per seed, so a resumed report is
+  // identical to an uninterrupted one.
+  std::unique_ptr<util::CheckpointJournal> journal;
+  if (!options.checkpoint_path.empty()) {
+    util::CheckpointJournal::Options jopt;
+    jopt.fsync_each_append = options.fsync_checkpoint;
+    journal = std::make_unique<util::CheckpointJournal>(
+        options.checkpoint_path,
+        selfcheck_checkpoint_key(count, options.first_seed), jopt);
+    for (const auto& [index, payload] : journal->entries()) {
+      if (index < 0 || index >= count) continue;
+      ScenarioCheck check;
+      if (!decode_scenario_check(payload, check)) continue;
+      const auto i = static_cast<std::size_t>(index);
+      checks[i] = std::move(check);
+      done[i] = 1;
+      ++report.resumed;
+    }
+  }
+
   workers.parallel_for(static_cast<std::size_t>(count), options.parallelism,
                        [&](std::size_t i) {
+                         if (done[i]) return;
                          checks[i] = check_scenario(sample_scenario(
                              options.first_seed + i));
+                         if (journal) {
+                           journal->append(static_cast<std::int64_t>(i),
+                                           encode_scenario_check(checks[i]));
+                         }
                        });
 
   report.scenarios = count;

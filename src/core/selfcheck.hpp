@@ -128,6 +128,7 @@ struct SelfCheckReport {
   std::int64_t scenarios = 0;
   std::int64_t brute_checked = 0;      ///< scenarios the oracle also ran on
   std::int64_t reference_checked = 0;  ///< scenarios the reference DP ran on
+  std::int64_t resumed = 0;            ///< scenarios recovered from checkpoint
   std::vector<SelfCheckFailure> failures;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
@@ -139,6 +140,17 @@ struct SelfCheckOptions {
   bool shrink = true;          ///< minimize failures before reporting
   std::size_t max_failures = 8;  ///< stop collecting (not checking) beyond
   unsigned parallelism = 0;    ///< thread-pool fan-out; 0 = all workers
+
+  /// Journaled checkpoint/resume (util::CheckpointJournal), keyed by the
+  /// seed range. Every checked scenario is appended; a rerun after a
+  /// crash re-checks only the missing seeds and reports identically to an
+  /// uninterrupted run (check_scenario is deterministic per seed).
+  std::string checkpoint_path;
+
+  /// fsync per appended record. Off by default: selfcheck appends at a
+  /// much higher rate than a sweep, and the CRC guard already bounds a
+  /// crash's damage to the records the kernel had not written back.
+  bool fsync_checkpoint = false;
 };
 
 /// Checks seeds [first_seed, first_seed + count) over `pool` (the shared

@@ -1,6 +1,7 @@
 #include "src/core/sensitivity.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "src/util/error.hpp"
 
@@ -59,6 +60,18 @@ std::vector<Sensitivity> rank_sensitivities(const DesignSpec& design,
 
     const auto sweep = sweep_parameter(builder, baseline, p,
                                        {s.low_value, s.high_value}, threads);
+    const util::Status& low_status = sweep.points[0].status;
+    const util::Status& high_status = sweep.points[1].status;
+    if (!low_status.ok() || !high_status.ok()) {
+      // A failed endpoint makes this parameter's elasticity undefined;
+      // carry the reason and keep evaluating the other parameters.
+      s.status = low_status.ok() ? high_status : low_status;
+      s.low_normalized = std::numeric_limits<double>::quiet_NaN();
+      s.high_normalized = std::numeric_limits<double>::quiet_NaN();
+      s.elasticity = std::numeric_limits<double>::quiet_NaN();
+      out.push_back(s);
+      continue;
+    }
     s.low_normalized = sweep.points[0].result.normalized;
     s.high_normalized = sweep.points[1].result.normalized;
 

@@ -29,6 +29,11 @@ struct Sensitivity {
   /// d(ln rank)/d(ln parameter), central difference. Negative for
   /// parameters whose increase hurts (K, M, C); positive for R.
   double elasticity = 0.0;
+
+  /// kOk, or why this parameter's elasticity is NaN: when a perturbed
+  /// endpoint throws, the failure lands here and the other parameters
+  /// still report — per-point isolation, same as the sweep engine.
+  util::Status status;
 };
 
 /// Evaluates all four Table 4 parameters at +-rel_step around the given

@@ -1,10 +1,15 @@
 #include "src/core/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "src/core/checkpoint.hpp"
 #include "src/util/error.hpp"
+#include "src/util/journal.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/util/units.hpp"
@@ -54,8 +59,9 @@ RankOptions with_value(const RankOptions& base, SweepParameter parameter,
 SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
                             SweepParameter parameter,
                             const std::vector<double>& values,
-                            unsigned threads) {
-  iarank::util::require(threads >= 1, "sweep_parameter: threads must be >= 1");
+                            const SweepRunOptions& run) {
+  iarank::util::require(run.threads >= 1,
+                        "sweep_parameter: threads must be >= 1");
   util::Stopwatch total;
   const BuildProfile before = builder.profile();
 
@@ -66,16 +72,70 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
     out.points[i].value = values[i];
   }
 
+  // Checkpoint/resume: recover every journaled point whose index and
+  // value still match the grid (the key digest already pins the whole
+  // configuration; the per-point value check is belt and braces against
+  // a hand-edited journal).
+  std::unique_ptr<util::CheckpointJournal> journal;
+  std::vector<char> done(values.size(), 0);
+  std::atomic<std::int64_t> checkpoint_nanos{0};
+  if (!run.checkpoint_path.empty()) {
+    util::Stopwatch open_timer;
+    util::CheckpointJournal::Options jopt;
+    jopt.fsync_each_append = run.fsync_checkpoint;
+    journal = std::make_unique<util::CheckpointJournal>(
+        run.checkpoint_path,
+        sweep_checkpoint_key(builder.fingerprint(), base, parameter, values),
+        jopt);
+    for (const auto& [index, payload] : journal->entries()) {
+      if (index < 0 || static_cast<std::size_t>(index) >= values.size()) {
+        continue;
+      }
+      const auto i = static_cast<std::size_t>(index);
+      SweepPoint point;
+      if (!decode_sweep_point(payload, point)) continue;
+      if (std::bit_cast<std::uint64_t>(point.value) !=
+          std::bit_cast<std::uint64_t>(values[i])) {
+        continue;
+      }
+      out.points[i] = std::move(point);
+      done[i] = 1;
+      ++out.profile.resumed_points;
+    }
+    checkpoint_nanos.fetch_add(
+        static_cast<std::int64_t>(open_timer.seconds() * 1e9),
+        std::memory_order_relaxed);
+  }
+
   // Points are independent and write disjoint slots; the pool propagates
   // the lowest-index exception. Each evaluation mirrors compute_rank, but
-  // through the shared builder so unchanged stages are cache hits.
+  // through the shared builder so unchanged stages are cache hits. A
+  // throwing evaluation is captured as the point's status — one bad point
+  // must not discard the rest of the grid. Journal appends stay outside
+  // the catch: losing the checkpoint file is a run-level failure.
   util::ThreadPool::shared().parallel_for(
-      values.size(), threads, [&](std::size_t i) {
-        const RankOptions opt = with_value(base, parameter, values[i]);
-        const Instance inst = builder.build(opt);
-        DpOptions dp;
-        dp.refine_boundary = opt.refine_boundary;
-        out.points[i].result = dp_rank(inst, dp);
+      values.size(), run.threads, [&](std::size_t i) {
+        if (done[i]) return;
+        SweepPoint& point = out.points[i];
+        try {
+          const RankOptions opt = with_value(base, parameter, values[i]);
+          const Instance inst = builder.build(opt);
+          DpOptions dp;
+          dp.refine_boundary = opt.refine_boundary;
+          point.result = dp_rank(inst, dp);
+          point.status = util::Status::make_ok();
+        } catch (const std::exception& e) {
+          point.result = RankResult{};
+          point.status = util::Status::from_exception(e);
+        }
+        if (journal) {
+          util::Stopwatch append_timer;
+          journal->append(static_cast<std::int64_t>(i),
+                          encode_sweep_point(point));
+          checkpoint_nanos.fetch_add(
+              static_cast<std::int64_t>(append_timer.seconds() * 1e9),
+              std::memory_order_relaxed);
+        }
       });
 
   // Aggregate observability. The DP counters are sums of deterministic
@@ -97,6 +157,10 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
   out.profile.build.builds -= before.builds;
   out.profile.build.total_seconds -= before.total_seconds;
   for (const SweepPoint& p : out.points) {
+    if (!p.status.ok()) {
+      ++out.profile.failed_points;
+      continue;
+    }
     out.profile.dp_seconds += p.result.dp.seconds;
     out.profile.dp_arena_nodes += p.result.dp.arena_nodes;
     out.profile.dp_heap_pops += p.result.dp.heap_pops;
@@ -104,9 +168,30 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
     out.profile.dp_max_frontier =
         std::max(out.profile.dp_max_frontier, p.result.dp.max_frontier);
   }
-  out.profile.threads = threads;
+  out.profile.threads = run.threads;
+  out.profile.checkpoint_seconds =
+      static_cast<double>(checkpoint_nanos.load(std::memory_order_relaxed)) /
+      1e9;
   out.profile.total_seconds = total.seconds();
   return out;
+}
+
+SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
+                            SweepParameter parameter,
+                            const std::vector<double>& values,
+                            unsigned threads) {
+  SweepRunOptions run;
+  run.threads = threads;
+  return sweep_parameter(builder, base, parameter, values, run);
+}
+
+SweepResult sweep_parameter(const DesignSpec& design, const RankOptions& base,
+                            const wld::Wld& wld_in_pitches,
+                            SweepParameter parameter,
+                            const std::vector<double>& values,
+                            const SweepRunOptions& run) {
+  InstanceBuilder builder(design, wld_in_pitches);
+  return sweep_parameter(builder, base, parameter, values, run);
 }
 
 SweepResult sweep_parameter(const DesignSpec& design, const RankOptions& base,
@@ -114,8 +199,9 @@ SweepResult sweep_parameter(const DesignSpec& design, const RankOptions& base,
                             SweepParameter parameter,
                             const std::vector<double>& values,
                             unsigned threads) {
-  InstanceBuilder builder(design, wld_in_pitches);
-  return sweep_parameter(builder, base, parameter, values, threads);
+  SweepRunOptions run;
+  run.threads = threads;
+  return sweep_parameter(design, base, wld_in_pitches, parameter, values, run);
 }
 
 std::vector<double> table4_k_values() {

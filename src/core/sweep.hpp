@@ -10,6 +10,7 @@
 
 #include "src/core/engine.hpp"
 #include "src/core/instance_builder.hpp"
+#include "src/util/status.hpp"
 
 namespace iarank::core {
 
@@ -23,10 +24,14 @@ enum class SweepParameter {
 
 [[nodiscard]] std::string to_string(SweepParameter p);
 
-/// One evaluated sweep point.
+/// One evaluated sweep point. A point whose evaluation threw carries the
+/// failure in `status` (result is value-initialized); the rest of the
+/// grid still completes — per-point isolation is the sweep engine's
+/// failure model.
 struct SweepPoint {
   double value = 0.0;  ///< the swept parameter's value
   RankResult result;
+  util::Status status;  ///< kOk, or why this point has no result
 };
 
 /// Observability of one sweep run: the builder's per-stage cache profile
@@ -42,6 +47,9 @@ struct SweepProfile {
   std::int64_t dp_verify_calls = 0;  ///< free-pack verifications run
   double total_seconds = 0.0;        ///< wall time of the whole sweep
   unsigned threads = 1;              ///< parallelism requested
+  std::int64_t failed_points = 0;    ///< points with a non-ok status
+  std::int64_t resumed_points = 0;   ///< points recovered from a checkpoint
+  double checkpoint_seconds = 0.0;   ///< wall time in the journal (open+appends)
 };
 
 /// A completed sweep.
@@ -51,11 +59,32 @@ struct SweepResult {
   SweepProfile profile;
 };
 
+/// Execution knobs of one sweep run.
+struct SweepRunOptions {
+  unsigned threads = 1;  ///< points evaluated concurrently (>= 1)
+
+  /// Journaled checkpoint/resume: when non-empty, every completed point
+  /// is appended to this CRC-guarded journal (util::CheckpointJournal),
+  /// keyed by a digest of (design, WLD, options, parameter, grid). A rerun
+  /// after a crash — SIGKILL included — salvages all completed points and
+  /// evaluates only the missing ones; resumed results are bitwise
+  /// identical to an uninterrupted run. A key mismatch (the file belongs
+  /// to different work) restarts the journal from scratch.
+  std::string checkpoint_path;
+
+  /// fsync the journal after every point (durable through power loss).
+  /// Off still flushes per point, bounding loss to what the kernel had
+  /// not written back at the crash.
+  bool fsync_checkpoint = true;
+};
+
 /// Evaluates `values` of `parameter`, all other options at `base`.
 /// The WLD is in gate pitches and shared across points. Points are
 /// independent; `threads` > 1 evaluates them concurrently on the shared
 /// util::ThreadPool (results are identical and ordered regardless of
-/// thread count).
+/// thread count). A point whose evaluation throws is recorded in its
+/// SweepPoint::status and the rest of the grid completes; only journal IO
+/// errors (and pool misuse) propagate out of the sweep itself.
 [[nodiscard]] SweepResult sweep_parameter(const DesignSpec& design,
                                           const RankOptions& base,
                                           const wld::Wld& wld_in_pitches,
@@ -72,6 +101,20 @@ struct SweepResult {
                                           SweepParameter parameter,
                                           const std::vector<double>& values,
                                           unsigned threads = 1);
+
+/// Full-control variants (checkpointing lives here).
+[[nodiscard]] SweepResult sweep_parameter(const DesignSpec& design,
+                                          const RankOptions& base,
+                                          const wld::Wld& wld_in_pitches,
+                                          SweepParameter parameter,
+                                          const std::vector<double>& values,
+                                          const SweepRunOptions& run);
+
+[[nodiscard]] SweepResult sweep_parameter(InstanceBuilder& builder,
+                                          const RankOptions& base,
+                                          SweepParameter parameter,
+                                          const std::vector<double>& values,
+                                          const SweepRunOptions& run);
 
 /// The exact value grids of the paper's Table 4 (130 nm, 1M gates).
 /// Generated by index (value = formula(i)), not by repeated addition, so

@@ -19,9 +19,14 @@
 #pragma once
 
 // Utilities
+#include "src/util/atomic_file.hpp"
 #include "src/util/config.hpp"
+#include "src/util/digest.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
+#include "src/util/journal.hpp"
 #include "src/util/numeric.hpp"
+#include "src/util/status.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 #include "src/util/units.hpp"
@@ -62,8 +67,10 @@
 // The rank metric
 #include "src/core/anneal.hpp"
 #include "src/core/brute_force.hpp"
+#include "src/core/checkpoint.hpp"
 #include "src/core/config_run.hpp"
 #include "src/core/dp_rank.hpp"
+#include "src/core/faultcheck.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/figure2.hpp"
 #include "src/core/free_pack.hpp"

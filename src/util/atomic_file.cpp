@@ -1,0 +1,107 @@
+#include "src/util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/error.hpp"
+
+#if defined(_WIN32)
+#include <cstdio>
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace iarank::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path,
+                       int err) {
+  throw Error("atomic_write_file: " + op + " '" + path +
+                  "' failed: " + std::strerror(err),
+              ErrorCategory::kIo);
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+// Portability fallback: plain write + rename. No durability barrier, but
+// still never exposes a partially written target.
+void atomic_write_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) fail("open", tmp, errno);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) fail("write", tmp, errno);
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    fail("rename", tmp, err);
+  }
+}
+
+#else
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open", tmp, errno);
+
+  const char* data = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ::ssize_t wrote = ::write(fd, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write", tmp, err);
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync", tmp, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("close", tmp, err);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("rename", tmp, err);
+  }
+
+  // Persist the rename: fsync the containing directory. Failure here is
+  // non-fatal on filesystems that forbid directory fsync (the rename
+  // itself already happened).
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+#endif
+
+}  // namespace iarank::util

@@ -1,0 +1,25 @@
+/// \file atomic_file.hpp
+/// \brief Crash-safe whole-file writes: write-temp, fsync, rename.
+///
+/// Every artefact rank_tool produces (CSV exports, reports, checkpoint
+/// journal headers) goes through atomic_write_file, so a crash — or a
+/// SIGKILL mid-write — can never leave a truncated or interleaved file
+/// behind: readers observe either the previous content or the complete
+/// new content, never a prefix.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace iarank::util {
+
+/// Writes `content` to `path` atomically: the bytes land in a temporary
+/// sibling file (`<path>.tmp.<pid>`), are fsync'd to stable storage, and
+/// the temporary is renamed over `path` (POSIX rename atomicity). The
+/// containing directory is fsync'd afterwards so the rename itself
+/// survives a power cut. Throws util::Error (category kIo) on any
+/// failure; the temporary is removed on the error path.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+}  // namespace iarank::util

@@ -4,11 +4,17 @@
 #include <sstream>
 
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
 #include "src/util/strings.hpp"
 
 namespace iarank::util {
 
+namespace {
+const FaultSite kSiteParse{"util.config.parse"};
+}  // namespace
+
 Config Config::parse(std::string_view text) {
+  maybe_inject(kSiteParse);
   Config cfg;
   std::size_t line_no = 0;
   std::size_t start = 0;

@@ -1,0 +1,82 @@
+/// \file digest.hpp
+/// \brief Streaming FNV-1a fingerprints and CRC-32, for checkpoint keys
+///        and journal record guards.
+///
+/// The checkpoint journal (util/journal.hpp) keys a file to the exact
+/// work it was written for: the sweep driver digests (design, WLD,
+/// options, parameter, grid) and refuses to resume from a journal whose
+/// key disagrees. Doubles are fed as their IEEE-754 bit patterns, so the
+/// digest is exactly as strict as bitwise equality — the same standard
+/// the resumed results themselves are held to. CRC-32 (reflected
+/// 0xEDB88320, the zlib polynomial) guards individual journal records
+/// against torn or corrupted lines.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace iarank::util {
+
+/// Streaming 64-bit FNV-1a.
+class Digest {
+ public:
+  Digest& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  Digest& u64(std::uint64_t v) {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    return bytes(buf, sizeof buf);
+  }
+
+  Digest& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  /// Bit-pattern feed: distinguishes -0.0 from 0.0 and every NaN payload,
+  /// matching the bitwise-identity contract of resumed sweeps.
+  Digest& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+  Digest& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  Digest& boolean(bool v) { return u64(v ? 1 : 0); }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  ///< FNV offset basis
+};
+
+/// CRC-32 of `data` (reflected polynomial 0xEDB88320, init/final 0xFFFFFFFF
+/// — the common zlib/PNG parameterization). Table built on first use.
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data) {
+  static const auto table = [] {
+    struct Table { std::uint32_t entry[256]; };
+    Table t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t.entry[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table.entry[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace iarank::util

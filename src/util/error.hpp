@@ -1,5 +1,10 @@
 /// \file error.hpp
-/// \brief Error type and precondition checks for the iarank library.
+/// \brief Error type, error categories and precondition checks.
+///
+/// Every iarank failure carries a category so callers can act on the
+/// *kind* of failure without parsing messages: the CLI maps categories to
+/// exit codes (user error vs internal), and the fault-tolerant sweep
+/// drivers map a caught Error to a per-point util::Status.
 
 #pragma once
 
@@ -10,11 +15,36 @@
 
 namespace iarank::util {
 
+/// Coarse failure taxonomy.
+enum class ErrorCategory {
+  kBadInput,    ///< invalid user-supplied parameter, option or file content
+  kInfeasible,  ///< a well-posed problem with no solution in bounds
+  kInternal,    ///< broken invariant, injected fault, or engine defect
+  kIo,          ///< file system failure (open/write/rename/fsync)
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kBadInput: return "bad-input";
+    case ErrorCategory::kInfeasible: return "infeasible";
+    case ErrorCategory::kInternal: return "internal";
+    case ErrorCategory::kIo: return "io";
+  }
+  return "unknown";
+}
+
 /// Exception thrown for all iarank domain errors (bad parameters,
-/// inconsistent models, malformed input files).
+/// inconsistent models, malformed input files, IO failures).
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+  explicit Error(const std::string& what_arg,
+                 ErrorCategory category = ErrorCategory::kBadInput)
+      : std::runtime_error(what_arg), category_(category) {}
+
+  [[nodiscard]] ErrorCategory category() const { return category_; }
+
+ private:
+  ErrorCategory category_;
 };
 
 /// Throws util::Error with a message that includes the failing call site
@@ -24,6 +54,17 @@ inline void require(bool condition, std::string_view message,
   if (!condition) {
     throw Error(std::string(message) + " [" + loc.file_name() + ":" +
                 std::to_string(loc.line()) + "]");
+  }
+}
+
+/// require() for IO failures: same call-site message, category kIo.
+inline void require_io(bool condition, std::string_view message,
+                       std::source_location loc =
+                           std::source_location::current()) {
+  if (!condition) {
+    throw Error(std::string(message) + " [" + loc.file_name() + ":" +
+                    std::to_string(loc.line()) + "]",
+                ErrorCategory::kIo);
   }
 }
 

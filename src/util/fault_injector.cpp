@@ -1,0 +1,94 @@
+#include "src/util/fault_injector.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iarank::util {
+
+FaultSite::FaultSite(const char* name) : name_(name) {
+  // Static-initialization time: single-threaded by the C++ startup model.
+  FaultInjector::mutable_sites().push_back(this);
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+std::vector<const FaultSite*>& FaultInjector::mutable_sites() {
+  static std::vector<const FaultSite*> registry;
+  return registry;
+}
+
+const std::vector<const FaultSite*>& FaultInjector::sites() {
+  return mutable_sites();
+}
+
+std::atomic<bool>& FaultInjector::enabled_flag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+void FaultInjector::arm(std::string_view site, std::int64_t nth) {
+  require(nth >= 1, "FaultInjector::arm: nth must be >= 1");
+  {
+    const std::scoped_lock lock(mutex_);
+    hit_counts_.clear();
+    armed_site_ = std::string(site);
+    armed_nth_ = nth;
+    counting_ = false;
+    fired_ = false;
+  }
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::start_counting() {
+  {
+    const std::scoped_lock lock(mutex_);
+    hit_counts_.clear();
+    armed_site_.clear();
+    armed_nth_ = 0;
+    counting_ = true;
+    fired_ = false;
+  }
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+  const std::scoped_lock lock(mutex_);
+  armed_site_.clear();
+  armed_nth_ = 0;
+  counting_ = false;
+}
+
+bool FaultInjector::fired() const {
+  const std::scoped_lock lock(mutex_);
+  return fired_;
+}
+
+std::int64_t FaultInjector::hits(std::string_view site) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = hit_counts_.find(site);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+void FaultInjector::on_hit(const FaultSite& site) {
+  std::int64_t count = 0;
+  bool throw_now = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    count = ++hit_counts_[site.name()];
+    if (!counting_ && !fired_ && armed_site_ == site.name() &&
+        count == armed_nth_) {
+      fired_ = true;
+      throw_now = true;
+    }
+  }
+  if (throw_now) {
+    throw Error("injected fault at " + std::string(site.name()) + " (hit " +
+                    std::to_string(count) + ")",
+                ErrorCategory::kInternal);
+  }
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,101 @@
+/// \file fault_injector.hpp
+/// \brief Deterministic fault injection with named, statically registered
+///        sites — zero-cost when disabled.
+///
+/// Failure paths deserve the same rigor as success paths: `rank_tool
+/// faultcheck` sweeps one-shot failures across every registered site and
+/// asserts each one surfaces as an isolated per-point status — never a
+/// crash, hang, or corrupted builder cache. A site is declared once per
+/// translation unit:
+///
+/// \code
+///   static const util::FaultSite kSiteDp{"core.dp_rank"};
+///   ...
+///   util::maybe_inject(kSiteDp);  // throws util::Error(kInternal) when armed
+/// \endcode
+///
+/// Cost model: when no fault is armed, maybe_inject is a single relaxed
+/// atomic bool load and a predictable branch — nothing is counted, locked
+/// or allocated, so production runs pay (near) zero. When armed (or in
+/// counting mode), every hit is tallied under a mutex and the armed
+/// site's nth hit throws `util::Error("injected fault at <site> ...",
+/// ErrorCategory::kInternal)`.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iarank::util {
+
+/// One named injection point. Construct only as a namespace-scope static
+/// (registration happens in the constructor, before main).
+class FaultSite {
+ public:
+  explicit FaultSite(const char* name);
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector.
+  static FaultInjector& instance();
+
+  /// Every registered site, in registration order.
+  [[nodiscard]] static const std::vector<const FaultSite*>& sites();
+
+  /// Hot-path gate, checked by maybe_inject before anything else.
+  [[nodiscard]] static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Arms a one-shot fault: the `nth` hit (1-based) of `site` throws.
+  /// Resets all hit counters.
+  void arm(std::string_view site, std::int64_t nth);
+
+  /// Counting mode: tally hits per site without ever throwing. Used by
+  /// faultcheck to learn how often each site fires in a workload.
+  void start_counting();
+
+  /// Disables injection and counting; counters survive until the next
+  /// arm/start_counting so callers can read them.
+  void disarm();
+
+  /// True when the armed fault has thrown.
+  [[nodiscard]] bool fired() const;
+
+  /// Hits of `site` since the last arm/start_counting.
+  [[nodiscard]] std::int64_t hits(std::string_view site) const;
+
+  /// Called by maybe_inject when enabled; may throw the injected Error.
+  void on_hit(const FaultSite& site);
+
+ private:
+  FaultInjector() = default;
+  static std::atomic<bool>& enabled_flag();
+  friend class FaultSite;
+  static std::vector<const FaultSite*>& mutable_sites();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t, std::less<>> hit_counts_;
+  std::string armed_site_;
+  std::int64_t armed_nth_ = 0;
+  bool counting_ = false;
+  bool fired_ = false;
+};
+
+/// The per-site hook. Zero-cost when injection is disabled.
+inline void maybe_inject(const FaultSite& site) {
+  if (!FaultInjector::enabled()) [[likely]] return;
+  FaultInjector::instance().on_hit(site);
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,235 @@
+#include "src/util/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/util/atomic_file.hpp"
+#include "src/util/digest.hpp"
+#include "src/util/error.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace iarank::util {
+
+namespace {
+
+constexpr std::string_view kMagic = "iarank-journal";
+constexpr int kVersion = 1;
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string escape(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (const char c : payload) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape(std::string_view text, std::string& out) {
+  out.clear();
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (++i >= text.size()) return false;
+    switch (text[i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+std::string header_line(std::uint64_t key) {
+  std::ostringstream os;
+  os << kMagic << " " << kVersion << " " << hex64(key) << "\n";
+  return os.str();
+}
+
+/// `r <crc8hex> <index> <escaped-payload>`; CRC over "<index> <escaped>".
+std::string record_line(std::int64_t index, std::string_view payload) {
+  const std::string escaped = escape(payload);
+  std::ostringstream body;
+  body << index << " " << escaped;
+  std::ostringstream os;
+  os << "r " << std::hex << crc32(body.str()) << std::dec << " " << body.str()
+     << "\n";
+  return os.str();
+}
+
+/// Parses one record line (no trailing newline). Returns false on any
+/// malformation or CRC mismatch.
+bool parse_record(std::string_view line, std::int64_t& index,
+                  std::string& payload) {
+  if (line.size() < 2 || line[0] != 'r' || line[1] != ' ') return false;
+  const std::size_t crc_end = line.find(' ', 2);
+  if (crc_end == std::string_view::npos) return false;
+  const std::string_view crc_text = line.substr(2, crc_end - 2);
+  const std::string_view body = line.substr(crc_end + 1);
+
+  std::uint32_t crc = 0;
+  for (const char c : crc_text) {
+    crc <<= 4;
+    if (c >= '0' && c <= '9') crc |= static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') crc |= static_cast<std::uint32_t>(c - 'a' + 10);
+    else return false;
+  }
+  if (crc_text.empty() || crc_text.size() > 8) return false;
+  if (crc32(body) != crc) return false;
+
+  const std::size_t index_end = body.find(' ');
+  if (index_end == std::string_view::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string index_text(body.substr(0, index_end));
+  const long long parsed = std::strtoll(index_text.c_str(), &end, 10);
+  if (errno != 0 || end != index_text.c_str() + index_text.size()) return false;
+  index = parsed;
+  return unescape(body.substr(index_end + 1), payload);
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(std::string path, std::uint64_t key)
+    : CheckpointJournal(std::move(path), key, Options{}) {}
+
+CheckpointJournal::CheckpointJournal(std::string path, std::uint64_t key,
+                                     Options options)
+    : path_(std::move(path)), key_(key), options_(options) {
+  bool needs_rewrite = false;
+  bool have_file = false;
+
+  std::ifstream in(path_, std::ios::binary);
+  if (in.good()) {
+    have_file = true;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    in.close();
+
+    // Only lines terminated by '\n' are candidates: a record whose final
+    // newline was torn off must not be appended onto, even if its bytes
+    // happen to CRC clean.
+    std::size_t start = 0;
+    bool first = true;
+    bool header_ok = false;
+    while (start < content.size()) {
+      const std::size_t nl = content.find('\n', start);
+      if (nl == std::string::npos) {
+        salvaged_tail_ = !first && header_ok;
+        needs_rewrite = true;
+        break;
+      }
+      const std::string_view line(content.data() + start, nl - start);
+      start = nl + 1;
+      if (first) {
+        first = false;
+        const std::string expected = header_line(key_);
+        header_ok = line == std::string_view(expected).substr(
+                                0, expected.size() - 1);
+        if (!header_ok) {
+          // Wrong key, wrong version, or corrupt header: not resumable.
+          restarted_ = true;
+          needs_rewrite = true;
+          entries_.clear();
+          break;
+        }
+        continue;
+      }
+      std::int64_t index = 0;
+      std::string payload;
+      if (!parse_record(line, index, payload)) {
+        // Torn or corrupted record: keep the valid prefix, drop the rest
+        // (append-only implies everything after is younger).
+        salvaged_tail_ = true;
+        needs_rewrite = true;
+        break;
+      }
+      entries_[index] = std::move(payload);
+    }
+    if (first) {
+      // Empty file: not even a header.
+      restarted_ = have_file;
+      needs_rewrite = true;
+    }
+  }
+
+  if (!have_file || needs_rewrite) {
+    std::string content = header_line(key_);
+    for (const auto& [index, payload] : entries_) {
+      content += record_line(index, payload);
+    }
+    atomic_write_file(path_, content);
+  }
+
+  open_for_append();
+}
+
+void CheckpointJournal::open_for_append() {
+#if !defined(_WIN32)
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  require_io(fd_ >= 0, "CheckpointJournal: cannot open '" + path_ +
+                           "' for append: " + std::strerror(errno));
+#endif
+}
+
+CheckpointJournal::~CheckpointJournal() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void CheckpointJournal::append(std::int64_t index, std::string_view payload) {
+  const std::string line = record_line(index, payload);
+  const std::scoped_lock lock(mutex_);
+#if !defined(_WIN32)
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ::ssize_t wrote = ::write(fd_, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw Error("CheckpointJournal: append to '" + path_ +
+                      "' failed: " + std::strerror(errno),
+                  ErrorCategory::kIo);
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  if (options_.fsync_each_append) (void)::fsync(fd_);
+#else
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out.flush();
+  require_io(out.good(), "CheckpointJournal: append to '" + path_ + "' failed");
+#endif
+  entries_[index] = std::string(payload);
+  bytes_appended_ += static_cast<std::int64_t>(line.size());
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,93 @@
+/// \file status.hpp
+/// \brief Per-item outcome carried by the fault-tolerant batch drivers.
+///
+/// The sweep engine, the optimizer, the annealer and the sensitivity
+/// analysis evaluate many independent points; a throwing point must not
+/// discard the rest of the grid. Each point therefore carries a Status:
+/// kOk for a normal result, otherwise the failure category plus message.
+/// Failed points render as `n/a (<reason>)` in tables and CSV.
+
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "src/util/error.hpp"
+
+namespace iarank::util {
+
+/// Outcome categories of one evaluated point. Mirrors ErrorCategory with
+/// an explicit success state and a timeout bucket for cancelled work.
+enum class StatusCode {
+  kOk,
+  kBadInput,   ///< the point's parameters were invalid
+  kInfeasible, ///< no solution exists for the point
+  kInternal,   ///< engine invariant broke (or a fault was injected)
+  kTimedOut,   ///< the point was cancelled before completing
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kBadInput: return "bad-input";
+    case StatusCode::kInfeasible: return "infeasible";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kTimedOut: return "timed-out";
+  }
+  return "unknown";
+}
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return code == StatusCode::kOk; }
+
+  [[nodiscard]] static Status make_ok() { return {}; }
+
+  [[nodiscard]] static Status failure(StatusCode code, std::string message) {
+    return {code, std::move(message)};
+  }
+
+  /// Maps a caught exception to a Status: util::Error categories carry
+  /// over; anything else is an internal failure.
+  [[nodiscard]] static Status from_exception(const std::exception& e) {
+    if (const auto* err = dynamic_cast<const Error*>(&e)) {
+      switch (err->category()) {
+        case ErrorCategory::kBadInput:
+          return failure(StatusCode::kBadInput, err->what());
+        case ErrorCategory::kInfeasible:
+          return failure(StatusCode::kInfeasible, err->what());
+        case ErrorCategory::kIo:
+        case ErrorCategory::kInternal:
+          return failure(StatusCode::kInternal, err->what());
+      }
+    }
+    return failure(StatusCode::kInternal, e.what());
+  }
+
+  /// `n/a (<category>: <message>)` label for tables and CSV cells. The
+  /// message is flattened (commas and newlines replaced) so the label is
+  /// safe inside one CSV field.
+  [[nodiscard]] std::string label() const {
+    if (ok()) return "ok";
+    std::string flat = message;
+    for (char& c : flat) {
+      if (c == ',' || c == '\n' || c == '\r') c = ';';
+    }
+    std::string out = "n/a (";
+    out += to_string(code);
+    if (!flat.empty()) {
+      out += ": ";
+      out += flat;
+    }
+    out += ")";
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code == b.code && a.message == b.message;
+  }
+};
+
+}  // namespace iarank::util

@@ -3,10 +3,16 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/atomic_file.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
 #include "src/util/strings.hpp"
 
 namespace iarank::wld {
+
+namespace {
+const iarank::util::FaultSite kSiteRead{"wld.io.read"};
+}  // namespace
 
 void write_wld(std::ostream& os, const Wld& wld) {
   os << "# iarank WLD: " << wld.total_wires() << " wires, "
@@ -18,12 +24,13 @@ void write_wld(std::ostream& os, const Wld& wld) {
 }
 
 void save_wld(const std::string& path, const Wld& wld) {
-  std::ofstream out(path);
-  iarank::util::require(out.good(), "save_wld: cannot open '" + path + "'");
-  write_wld(out, wld);
+  std::ostringstream buffer;
+  write_wld(buffer, wld);
+  iarank::util::atomic_write_file(path, buffer.str());
 }
 
 Wld read_wld(std::istream& is) {
+  iarank::util::maybe_inject(kSiteRead);
   std::vector<WireGroup> groups;
   std::string line;
   std::size_t line_no = 0;

@@ -152,12 +152,20 @@ TEST(ParallelSweep, ZeroThreadsThrows) {
                Error);
 }
 
-TEST(ParallelSweep, PropagatesWorkerExceptions) {
+TEST(ParallelSweep, IsolatesWorkerExceptionsPerPoint) {
   const auto setup = small_setup();
-  // An invalid value (negative Miller factor) must surface as util::Error
-  // even when thrown inside a worker thread.
-  EXPECT_THROW((void)core::sweep_parameter(
-                   setup.design, setup.options, small_wld(),
-                   core::SweepParameter::kMillerFactor, {2.0, -1.0, 1.5}, 3),
-               Error);
+  // An invalid value (negative Miller factor) thrown inside a worker
+  // thread is captured as that point's status; the rest of the grid
+  // still completes — per-point isolation, not batch abort.
+  const auto sweep = core::sweep_parameter(
+      setup.design, setup.options, small_wld(),
+      core::SweepParameter::kMillerFactor, {2.0, -1.0, 1.5}, 3);
+  ASSERT_EQ(sweep.points.size(), 3u);
+  EXPECT_TRUE(sweep.points[0].status.ok());
+  EXPECT_FALSE(sweep.points[1].status.ok());
+  EXPECT_TRUE(sweep.points[2].status.ok());
+  EXPECT_EQ(sweep.points[1].status.code, iarank::util::StatusCode::kBadInput);
+  EXPECT_EQ(sweep.profile.failed_points, 1);
+  EXPECT_GT(sweep.points[0].result.rank, 0);
+  EXPECT_GT(sweep.points[2].result.rank, 0);
 }

@@ -1,0 +1,527 @@
+/// Tests for the fault-tolerance layer: error categories and per-point
+/// Status, atomic file publication, the CRC-guarded checkpoint journal
+/// (torn tails, key mismatches, payload escaping), the checkpoint record
+/// codecs, deterministic fault injection, per-point isolation inside the
+/// sweep engine, and bitwise-identical checkpoint resume.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/checkpoint.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/faultcheck.hpp"
+#include "src/core/instance_builder.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/atomic_file.hpp"
+#include "src/util/digest.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
+#include "src/util/journal.hpp"
+#include "src/util/status.hpp"
+
+namespace core = iarank::core;
+namespace util = iarank::util;
+namespace wld = iarank::wld;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Tiny 130 nm design (4k gates, coarse bunches) so a full sweep point
+/// costs milliseconds.
+struct TinySetup {
+  core::DesignSpec design = core::baseline_design("130nm", 4000);
+  core::RankOptions options;
+  wld::Wld wld;
+
+  TinySetup() {
+    options.bunch_size = 200;
+    wld = core::default_wld(design);
+  }
+};
+
+/// Bitwise equality over the journal codec: two points are identical iff
+/// their deterministic encodings agree (wall-time fields excluded).
+std::string stable_encoding(const core::SweepPoint& point) {
+  core::SweepPoint copy = point;
+  copy.result.dp.seconds = 0.0;
+  copy.result.dp.forward_seconds = 0.0;
+  return core::encode_sweep_point(copy);
+}
+
+void expect_identical_points(const core::SweepResult& a,
+                             const core::SweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(stable_encoding(a.points[i]), stable_encoding(b.points[i]))
+        << "point " << i;
+  }
+}
+
+/// Disarms the process injector even when an assertion bails out early.
+struct DisarmGuard {
+  ~DisarmGuard() { util::FaultInjector::instance().disarm(); }
+};
+
+}  // namespace
+
+// --- error categories and status --------------------------------------------------
+
+TEST(ErrorCategory, NamesAndDefaults) {
+  EXPECT_STREQ(to_string(util::ErrorCategory::kBadInput), "bad-input");
+  EXPECT_STREQ(to_string(util::ErrorCategory::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(util::ErrorCategory::kInternal), "internal");
+  EXPECT_STREQ(to_string(util::ErrorCategory::kIo), "io");
+  EXPECT_EQ(util::Error("x").category(), util::ErrorCategory::kBadInput);
+
+  try {
+    util::require_io(false, "disk gone");
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kIo);
+  }
+}
+
+TEST(Status, FromExceptionCarriesCategory) {
+  const util::Error bad("no such node", util::ErrorCategory::kBadInput);
+  EXPECT_EQ(util::Status::from_exception(bad).code,
+            util::StatusCode::kBadInput);
+
+  const util::Error infeasible("budget", util::ErrorCategory::kInfeasible);
+  EXPECT_EQ(util::Status::from_exception(infeasible).code,
+            util::StatusCode::kInfeasible);
+
+  // IO failures inside a point are not the point's fault: internal.
+  const util::Error io("rename failed", util::ErrorCategory::kIo);
+  EXPECT_EQ(util::Status::from_exception(io).code,
+            util::StatusCode::kInternal);
+
+  const std::runtime_error plain("bad_alloc-ish");
+  const util::Status s = util::Status::from_exception(plain);
+  EXPECT_EQ(s.code, util::StatusCode::kInternal);
+  EXPECT_EQ(s.message, "bad_alloc-ish");
+}
+
+TEST(Status, LabelIsCsvSafe) {
+  EXPECT_EQ(util::Status::make_ok().label(), "ok");
+  const util::Status s = util::Status::failure(
+      util::StatusCode::kInfeasible, "budget 3,5 exceeded\nsecond line");
+  EXPECT_EQ(s.label(), "n/a (infeasible: budget 3;5 exceeded;second line)");
+}
+
+// --- atomic file publication ------------------------------------------------------
+
+TEST(AtomicFile, WritesAndReplacesWholeFiles) {
+  const std::string path = temp_path("atomic_file_test.txt");
+  util::atomic_write_file(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+  util::atomic_write_file(path, "second, longer content\n");
+  EXPECT_EQ(slurp(path), "second, longer content\n");
+  std::filesystem::remove(path);
+
+  EXPECT_THROW(
+      util::atomic_write_file(temp_path("no/such/dir/file.txt"), "x"),
+      util::Error);
+}
+
+// --- digest -----------------------------------------------------------------------
+
+TEST(Digest, IsDeterministicOrderAndBitSensitive) {
+  util::Digest a;
+  a.str("node").f64(1.5).i64(-3).boolean(true);
+  util::Digest b;
+  b.str("node").f64(1.5).i64(-3).boolean(true);
+  EXPECT_EQ(a.value(), b.value());
+
+  util::Digest reordered;
+  reordered.f64(1.5).str("node").i64(-3).boolean(true);
+  EXPECT_NE(a.value(), reordered.value());
+
+  // Doubles enter as bit patterns: -0.0 and 0.0 are different keys.
+  util::Digest pos, neg;
+  pos.f64(0.0);
+  neg.f64(-0.0);
+  EXPECT_NE(pos.value(), neg.value());
+}
+
+// --- checkpoint journal -----------------------------------------------------------
+
+TEST(CheckpointJournal, AppendsAndRecoversAcrossReopen) {
+  const std::string path = temp_path("journal_roundtrip.journal");
+  std::filesystem::remove(path);
+  {
+    util::CheckpointJournal journal(path, 0xfeedu);
+    EXPECT_FALSE(journal.restarted());
+    EXPECT_TRUE(journal.entries().empty());
+    journal.append(0, "alpha");
+    journal.append(7, "with spaces and\nnewline\\backslash");
+    EXPECT_GT(journal.bytes_appended(), 0);
+  }
+  util::CheckpointJournal reopened(path, 0xfeedu);
+  EXPECT_FALSE(reopened.restarted());
+  EXPECT_FALSE(reopened.salvaged_tail());
+  ASSERT_EQ(reopened.entries().size(), 2u);
+  EXPECT_EQ(reopened.entries().at(0), "alpha");
+  EXPECT_EQ(reopened.entries().at(7), "with spaces and\nnewline\\backslash");
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, KeyMismatchRestartsInsteadOfMixing) {
+  const std::string path = temp_path("journal_key.journal");
+  std::filesystem::remove(path);
+  {
+    util::CheckpointJournal journal(path, 1);
+    journal.append(0, "stale");
+  }
+  util::CheckpointJournal other(path, 2);
+  EXPECT_TRUE(other.restarted());
+  EXPECT_TRUE(other.entries().empty());
+  other.append(0, "fresh");
+
+  // And the restarted file now belongs to key 2.
+  util::CheckpointJournal back(path, 2);
+  EXPECT_FALSE(back.restarted());
+  ASSERT_EQ(back.entries().size(), 1u);
+  EXPECT_EQ(back.entries().at(0), "fresh");
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, TornTailIsSalvagedNotFatal) {
+  const std::string path = temp_path("journal_torn.journal");
+  std::filesystem::remove(path);
+  {
+    util::CheckpointJournal journal(path, 9);
+    journal.append(0, "kept");
+    journal.append(1, "also kept");
+  }
+  // Simulate a crash mid-append: garbage with no trailing newline.
+  {
+    std::ofstream tail(path, std::ios::app | std::ios::binary);
+    tail << "r 12345678 2 torn-rec";
+  }
+  util::CheckpointJournal salvaged(path, 9);
+  EXPECT_FALSE(salvaged.restarted());
+  EXPECT_TRUE(salvaged.salvaged_tail());
+  ASSERT_EQ(salvaged.entries().size(), 2u);
+  EXPECT_EQ(salvaged.entries().at(1), "also kept");
+  salvaged.append(2, "after salvage");
+
+  // The compaction rewrote the file: a further reopen sees three clean
+  // records and no tail damage.
+  util::CheckpointJournal clean(path, 9);
+  EXPECT_FALSE(clean.salvaged_tail());
+  ASSERT_EQ(clean.entries().size(), 3u);
+  EXPECT_EQ(clean.entries().at(2), "after salvage");
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, CorruptRecordBytesFailTheCrc) {
+  const std::string path = temp_path("journal_crc.journal");
+  std::filesystem::remove(path);
+  {
+    util::CheckpointJournal journal(path, 5);
+    journal.append(0, "good");
+    journal.append(1, "flipped");
+  }
+  // Flip one payload byte of the last record (newline kept intact).
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  util::CheckpointJournal reopened(path, 5);
+  EXPECT_TRUE(reopened.salvaged_tail());
+  ASSERT_EQ(reopened.entries().size(), 1u);
+  EXPECT_EQ(reopened.entries().at(0), "good");
+  std::filesystem::remove(path);
+}
+
+// --- checkpoint codecs ------------------------------------------------------------
+
+TEST(CheckpointCodec, SweepPointRoundTripsBitwise) {
+  core::SweepPoint point;
+  point.value = -0.1;  // not exactly representable: bit pattern must survive
+  point.status = util::Status::failure(util::StatusCode::kInfeasible,
+                                       "reason, with\ncontrol chars");
+  point.result.rank = 1234567;
+  point.result.normalized = 0.123456789012345678;
+  point.result.all_assigned = true;
+  point.result.prefix_bunches = 17;
+  point.result.refined_wires = 3;
+  point.result.repeater_count = 42;
+  point.result.repeater_area_used = 6.5e-7;
+  point.result.total_wires = 99;
+  point.result.dp.seconds = 0.25;
+  point.result.dp.arena_nodes = 11;
+  point.result.usage.push_back({"G (global)", 10, 12, 1e-6, 2e-7, 3, 4e-8});
+  point.result.placements.push_back({0, 1, 200, 180});
+  point.result.placements.push_back({1, 0, 150, 150});
+
+  const std::string encoded = core::encode_sweep_point(point);
+  core::SweepPoint decoded;
+  ASSERT_TRUE(core::decode_sweep_point(encoded, decoded));
+  EXPECT_EQ(core::encode_sweep_point(decoded), encoded);
+  EXPECT_EQ(decoded.status, point.status);
+  EXPECT_EQ(decoded.result.usage.at(0).pair_name, "G (global)");
+  EXPECT_EQ(decoded.result.placements.at(1).wires, 150);
+
+  // Malformed records degrade to "recompute", never throw.
+  core::SweepPoint sink;
+  EXPECT_FALSE(core::decode_sweep_point("", sink));
+  EXPECT_FALSE(core::decode_sweep_point("zzzz", sink));
+  EXPECT_FALSE(core::decode_sweep_point(encoded.substr(0, 40), sink));
+  EXPECT_FALSE(core::decode_sweep_point(encoded + " trailing", sink));
+}
+
+TEST(CheckpointCodec, ScenarioCheckRoundTrips) {
+  core::ScenarioCheck check;
+  check.ok = false;
+  check.mismatch = "dp 5 < brute 6 (seed 17)";
+  check.dp = 5;
+  check.dp_bunch = 5;
+  check.greedy = 4;
+  check.brute = 6;
+  check.reference = -1;
+  check.brute_checked = true;
+  check.reference_checked = false;
+
+  const std::string encoded = core::encode_scenario_check(check);
+  core::ScenarioCheck decoded;
+  ASSERT_TRUE(core::decode_scenario_check(encoded, decoded));
+  EXPECT_EQ(decoded.ok, false);
+  EXPECT_EQ(decoded.mismatch, check.mismatch);
+  EXPECT_EQ(decoded.brute, 6);
+  EXPECT_TRUE(decoded.brute_checked);
+  EXPECT_FALSE(decoded.reference_checked);
+
+  core::ScenarioCheck sink;
+  EXPECT_FALSE(core::decode_scenario_check("1 .", sink));
+  EXPECT_FALSE(core::decode_scenario_check(encoded + " 9", sink));
+}
+
+TEST(CheckpointKey, TracksEveryInputThatChangesResults) {
+  const TinySetup setup;
+  core::InstanceBuilder builder(setup.design, setup.wld);
+  const std::vector<double> grid = {3.9, 3.0};
+  const std::uint64_t base_key = core::sweep_checkpoint_key(
+      builder.fingerprint(), setup.options,
+      core::SweepParameter::kIldPermittivity, grid);
+
+  core::RankOptions other = setup.options;
+  other.miller_factor += 0.25;
+  EXPECT_NE(base_key,
+            core::sweep_checkpoint_key(builder.fingerprint(), other,
+                                       core::SweepParameter::kIldPermittivity,
+                                       grid));
+  EXPECT_NE(base_key,
+            core::sweep_checkpoint_key(builder.fingerprint(), setup.options,
+                                       core::SweepParameter::kMillerFactor,
+                                       grid));
+  EXPECT_NE(base_key,
+            core::sweep_checkpoint_key(builder.fingerprint(), setup.options,
+                                       core::SweepParameter::kIldPermittivity,
+                                       {3.9, 3.1}));
+
+  core::DesignSpec bigger = setup.design;
+  bigger.gate_count *= 2;
+  core::InstanceBuilder other_builder(bigger, setup.wld);
+  EXPECT_NE(builder.fingerprint(), other_builder.fingerprint());
+}
+
+// --- fault injector ---------------------------------------------------------------
+
+TEST(FaultInjector, SitesAreRegisteredBeforeMain) {
+  std::vector<std::string> names;
+  for (const util::FaultSite* site : util::FaultInjector::sites()) {
+    names.push_back(site->name());
+  }
+  for (const char* expected :
+       {"core.instance_builder.coarsen", "core.instance_builder.die",
+        "core.instance_builder.stack", "core.instance_builder.plans",
+        "core.instance_builder.assemble", "core.dp_rank", "core.free_pack",
+        "wld.io.read", "util.config.parse"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(FaultInjector, ArmedNthHitFiresExactlyOnce) {
+  const DisarmGuard guard;
+  static const util::FaultSite* dp_site = [] {
+    for (const util::FaultSite* s : util::FaultInjector::sites()) {
+      if (std::string_view(s->name()) == "core.dp_rank") return s;
+    }
+    return static_cast<const util::FaultSite*>(nullptr);
+  }();
+  ASSERT_NE(dp_site, nullptr);
+
+  util::FaultInjector& injector = util::FaultInjector::instance();
+  injector.arm("core.dp_rank", 2);
+  EXPECT_TRUE(util::FaultInjector::enabled());
+
+  util::maybe_inject(*dp_site);  // hit 1: armed for hit 2, passes
+  EXPECT_FALSE(injector.fired());
+  try {
+    util::maybe_inject(*dp_site);  // hit 2: fires
+    FAIL() << "expected injected fault";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kInternal);
+    EXPECT_EQ(std::string(e.what()), "injected fault at core.dp_rank (hit 2)");
+  }
+  EXPECT_TRUE(injector.fired());
+  util::maybe_inject(*dp_site);  // one-shot: hit 3 passes
+  EXPECT_EQ(injector.hits("core.dp_rank"), 3);
+
+  injector.start_counting();
+  EXPECT_EQ(injector.hits("core.dp_rank"), 0);  // counters reset
+  util::maybe_inject(*dp_site);                 // counting never throws
+  EXPECT_EQ(injector.hits("core.dp_rank"), 1);
+
+  injector.disarm();
+  EXPECT_FALSE(util::FaultInjector::enabled());
+}
+
+// --- sweep isolation --------------------------------------------------------------
+
+TEST(SweepIsolation, InjectedFaultFailsOnePointAndSparesTheRest) {
+  const DisarmGuard guard;
+  const TinySetup setup;
+  const std::vector<double> grid = {3.9, 3.0, 2.2};
+
+  core::InstanceBuilder clean_builder(setup.design, setup.wld);
+  const auto clean = core::sweep_parameter(clean_builder, setup.options,
+                                           core::SweepParameter::kIldPermittivity,
+                                           grid, 1);
+  ASSERT_EQ(clean.profile.failed_points, 0);
+
+  // Fail the second dp_rank call: point 1 of a single-threaded sweep.
+  core::InstanceBuilder builder(setup.design, setup.wld);
+  util::FaultInjector::instance().arm("core.dp_rank", 2);
+  const auto swept = core::sweep_parameter(builder, setup.options,
+                                           core::SweepParameter::kIldPermittivity,
+                                           grid, 1);
+  util::FaultInjector::instance().disarm();
+
+  EXPECT_EQ(swept.profile.failed_points, 1);
+  EXPECT_TRUE(swept.points[0].status.ok());
+  EXPECT_FALSE(swept.points[1].status.ok());
+  EXPECT_TRUE(swept.points[2].status.ok());
+  EXPECT_EQ(swept.points[1].status.code, util::StatusCode::kInternal);
+  EXPECT_NE(swept.points[1].status.message.find("core.dp_rank"),
+            std::string::npos);
+  // The failed point's result is empty, and its label renders for tables.
+  EXPECT_EQ(swept.points[1].result.rank, 0);
+  EXPECT_NE(swept.points[1].status.label().find("n/a (internal"),
+            std::string::npos);
+  // Surviving points match the clean sweep bitwise.
+  EXPECT_EQ(stable_encoding(swept.points[0]), stable_encoding(clean.points[0]));
+  EXPECT_EQ(stable_encoding(swept.points[2]), stable_encoding(clean.points[2]));
+
+  // The builder that threw keeps serving: a rerun without the fault is
+  // bitwise-identical to the clean sweep (stage caches survived).
+  const auto rerun = core::sweep_parameter(builder, setup.options,
+                                           core::SweepParameter::kIldPermittivity,
+                                           grid, 1);
+  expect_identical_points(clean, rerun);
+}
+
+// --- checkpoint resume ------------------------------------------------------------
+
+TEST(CheckpointResume, InterruptedSweepResumesBitwiseIdentical) {
+  const TinySetup setup;
+  const std::vector<double> grid = {3.9, 3.4, 3.0, 2.6, 2.2};
+  const std::string path = temp_path("sweep_resume.journal");
+  std::filesystem::remove(path);
+
+  core::SweepRunOptions run;
+  run.checkpoint_path = path;
+  run.fsync_checkpoint = false;
+
+  core::InstanceBuilder builder(setup.design, setup.wld);
+  const auto full = core::sweep_parameter(
+      builder, setup.options, core::SweepParameter::kIldPermittivity, grid,
+      run);
+  EXPECT_EQ(full.profile.resumed_points, 0);
+  EXPECT_EQ(full.profile.failed_points, 0);
+  EXPECT_GE(full.profile.checkpoint_seconds, 0.0);
+
+  // Simulate a SIGKILL after two completed points: truncate the journal
+  // to its header plus the first two records.
+  {
+    std::istringstream lines(slurp(path));
+    std::string line;
+    std::string kept;
+    for (int i = 0; i < 3 && std::getline(lines, line); ++i) {
+      kept += line + "\n";
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << kept;
+  }
+
+  core::InstanceBuilder resumed_builder(setup.design, setup.wld);
+  const auto resumed = core::sweep_parameter(
+      resumed_builder, setup.options, core::SweepParameter::kIldPermittivity,
+      grid, run);
+  EXPECT_EQ(resumed.profile.resumed_points, 2);
+  expect_identical_points(full, resumed);
+
+  // Third run: everything is resumed, nothing recomputes.
+  core::InstanceBuilder warm_builder(setup.design, setup.wld);
+  const auto all_cached = core::sweep_parameter(
+      warm_builder, setup.options, core::SweepParameter::kIldPermittivity,
+      grid, run);
+  EXPECT_EQ(all_cached.profile.resumed_points, 5);
+  EXPECT_EQ(all_cached.profile.build.builds, 0);
+  expect_identical_points(full, all_cached);
+
+  // A changed option invalidates the key: the journal restarts rather
+  // than resuming foreign results.
+  core::RankOptions shifted = setup.options;
+  shifted.miller_factor += 0.1;
+  core::InstanceBuilder shifted_builder(setup.design, setup.wld);
+  const auto restarted = core::sweep_parameter(
+      shifted_builder, shifted, core::SweepParameter::kIldPermittivity, grid,
+      run);
+  EXPECT_EQ(restarted.profile.resumed_points, 0);
+  std::filesystem::remove(path);
+}
+
+// --- faultcheck -------------------------------------------------------------------
+
+TEST(FaultCheck, SmallSweepHoldsTheFailureModel) {
+  core::FaultCheckOptions options;
+  options.seeds = 2;
+  const core::FaultCheckReport report = core::run_faultcheck(options);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+  EXPECT_FALSE(report.sites.empty());
+  EXPECT_EQ(report.runs,
+            static_cast<std::int64_t>(report.sites.size()) * options.seeds);
+  for (const core::FaultSiteOutcome& site : report.sites) {
+    EXPECT_GT(site.workload_hits, 0) << site.site;
+    EXPECT_EQ(site.injections, options.seeds) << site.site;
+    EXPECT_EQ(site.isolated + site.propagated, site.injections) << site.site;
+    EXPECT_EQ(site.recovered, site.injections) << site.site;
+  }
+  EXPECT_FALSE(util::FaultInjector::enabled());
+}

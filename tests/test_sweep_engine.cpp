@@ -143,6 +143,61 @@ TEST(ThreadPool, ExceptionStopsClaimingNewWork) {
   EXPECT_LT(ran.load(), 100);
 }
 
+TEST(ThreadPool, ConcurrentThrowersYieldLowestExecutedIndex) {
+  util::ThreadPool pool(4);
+  // Indices 1 and 3 both throw. Claiming is monotonic from 0, so index 1
+  // is always claimed (and thus executed) before claiming can stop —
+  // whichever thrower finishes first, the lowest *executed* failing index
+  // is deterministically 1.
+  for (int round = 0; round < 25; ++round) {
+    try {
+      pool.parallel_for(8, 0, [](std::size_t i) {
+        if (i == 1 || i == 3) {
+          throw util::Error("thrower " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected util::Error";
+    } catch (const util::Error& e) {
+      EXPECT_STREQ(e.what(), "thrower 1");
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInlineAndPropagates) {
+  util::ThreadPool pool(0);  // batches run inline on the calling thread
+  EXPECT_EQ(pool.worker_count(), 0u);
+  int ran = 0;
+  try {
+    pool.parallel_for(6, 0, [&](std::size_t i) {
+      ++ran;
+      if (i == 2) throw util::Error("inline failure");
+    });
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_STREQ(e.what(), "inline failure");
+  }
+  // Inline execution is sequential: 0..2 ran, the rest were skipped.
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAFailedBatch) {
+  util::ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(32, 0,
+                          [](std::size_t i) {
+                            if (i % 2 == 0) throw std::runtime_error("even");
+                          }),
+        std::runtime_error);
+    // The same pool must run a full clean batch right after the failure.
+    std::vector<std::atomic<int>> seen(64);
+    pool.parallel_for(seen.size(), 0, [&](std::size_t i) {
+      seen[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  }
+}
+
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
   util::ThreadPool pool(2);
   std::atomic<int> total{0};

@@ -4,11 +4,20 @@
 /// Usage:
 ///   rank_tool <config-file> [command] [args...]
 ///   rank_tool selfcheck <seeds> [--shrink] [--first-seed N] [--jobs N]
+///                       [--checkpoint FILE]
+///   rank_tool faultcheck <seeds> [--first-seed N]
 ///
 /// Commands:
 ///   rank                      (default) compute and print the rank
 ///   sweep <K|M|C|R> <lo> <hi> <steps> [--csv] [--out file.csv]
-///                             sweep one Table 4 parameter (4 threads)
+///         [--checkpoint FILE]
+///                             sweep one Table 4 parameter (4 threads).
+///                             With --checkpoint, every completed point is
+///                             journaled; rerunning after a crash (SIGKILL
+///                             included) resumes from the journal and the
+///                             results are bitwise identical to an
+///                             uninterrupted run. Failed points print as
+///                             n/a (<reason>) and never discard the grid.
 ///   profile                   print the per-layer-pair assignment trace,
 ///                             DP effort counters and the staged builder's
 ///                             cache profile, and verify its placement
@@ -21,6 +30,18 @@
 ///                             contracts (DESIGN.md Section 6); needs no
 ///                             config file. Exit 1 on any mismatch, with a
 ///                             seed repro (minimized when --shrink).
+///                             --checkpoint journals checked seeds for
+///                             crash-resume.
+///   faultcheck                deterministic fault injection: sweep
+///                             one-shot failures across every registered
+///                             fault site x <seeds> seeds and assert each
+///                             surfaces as an isolated per-point status
+///                             (or the injected error), with builder
+///                             caches bitwise-reusable afterwards. Needs
+///                             no config file. Exit 1 on any violation.
+///
+/// Exit codes: 0 success, 1 internal error (or selfcheck/faultcheck
+/// failure), 2 user error (bad usage, bad config, bad input file).
 ///
 /// The config format is documented in src/core/config_run.hpp; sample
 /// files live under configs/.
@@ -31,6 +52,7 @@
 
 #include "src/iarank.hpp"
 #include "src/core/config_run.hpp"
+#include "src/core/faultcheck.hpp"
 #include "src/core/instance_builder.hpp"
 #include "src/core/selfcheck.hpp"
 #include "src/core/sensitivity.hpp"
@@ -125,7 +147,7 @@ int cmd_wld(const core::RunSpec& /*spec*/, const wld::Wld& wld) {
 
 int sweep_usage() {
   std::cerr << "usage: rank_tool <config> sweep <K|M|C|R> <lo> <hi> <steps>"
-               " [--csv] [--out file.csv]\n";
+               " [--csv] [--out file.csv] [--checkpoint file.journal]\n";
   return 2;
 }
 
@@ -171,6 +193,8 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
 
   bool csv = false;
   std::string out;
+  core::SweepRunOptions run;
+  run.threads = 4;
   for (int a = 4; a < argc; ++a) {
     const std::string flag = argv[a];
     if (flag == "--csv") {
@@ -181,6 +205,12 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
         return sweep_usage();
       }
       out = argv[++a];
+    } else if (flag == "--checkpoint") {
+      if (a + 1 >= argc) {
+        std::cerr << "sweep: --checkpoint needs a file argument\n";
+        return sweep_usage();
+      }
+      run.checkpoint_path = argv[++a];
     } else {
       std::cerr << "sweep: unknown flag '" << flag << "'\n";
       return sweep_usage();
@@ -189,7 +219,16 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
 
   const auto sweep = core::sweep_parameter(
       spec.design, spec.options, wld, parameter,
-      util::linspace(lo, hi, static_cast<std::size_t>(steps)), 4);
+      util::linspace(lo, hi, static_cast<std::size_t>(steps)), run);
+  if (!run.checkpoint_path.empty()) {
+    std::cout << "checkpoint: " << run.checkpoint_path << " ("
+              << sweep.profile.resumed_points << " of "
+              << sweep.points.size() << " points resumed)\n";
+  }
+  if (sweep.profile.failed_points > 0) {
+    std::cout << "warning: " << sweep.profile.failed_points
+              << " point(s) failed; see the n/a rows\n";
+  }
   if (!out.empty()) {
     core::save_sweep_csv(out, sweep);
     std::cout << "wrote " << out << "\n";
@@ -197,6 +236,11 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
   util::TextTable table(core::to_string(parameter));
   table.set_header({"value", "normalized_rank", "rank"});
   for (const auto& p : sweep.points) {
+    if (!p.status.ok()) {
+      table.add_row({util::TextTable::num(p.value, 4), p.status.label(),
+                     "n/a"});
+      continue;
+    }
     table.add_row({util::TextTable::num(p.value, 4),
                    util::TextTable::num(p.result.normalized, 6),
                    std::to_string(p.result.rank)});
@@ -211,7 +255,7 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
 
 int selfcheck_usage() {
   std::cerr << "usage: rank_tool selfcheck <seeds> [--shrink]"
-               " [--first-seed N] [--jobs N]\n";
+               " [--first-seed N] [--jobs N] [--checkpoint file.journal]\n";
   return 2;
 }
 
@@ -241,6 +285,12 @@ int cmd_selfcheck(int argc, char** argv) {
         }
         options.parallelism =
             static_cast<unsigned>(util::parse_int(argv[++a]));
+      } else if (flag == "--checkpoint") {
+        if (a + 1 >= argc) {
+          std::cerr << "selfcheck: --checkpoint needs a file argument\n";
+          return selfcheck_usage();
+        }
+        options.checkpoint_path = argv[++a];
       } else {
         std::cerr << "selfcheck: unknown flag '" << flag << "'\n";
         return selfcheck_usage();
@@ -258,6 +308,9 @@ int cmd_selfcheck(int argc, char** argv) {
   const core::SelfCheckReport report = core::run_selfcheck(seeds, options);
   std::cout << "selfcheck: " << report.scenarios << " scenarios from seed "
             << options.first_seed << "\n";
+  if (!options.checkpoint_path.empty()) {
+    std::cout << "  resumed from checkpoint    " << report.resumed << "\n";
+  }
   std::cout << "  brute-force oracle ran on " << report.brute_checked
             << "\n";
   std::cout << "  reference dp ran on       " << report.reference_checked
@@ -276,17 +329,78 @@ int cmd_selfcheck(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+int faultcheck_usage() {
+  std::cerr << "usage: rank_tool faultcheck <seeds> [--first-seed N]\n";
+  return 2;
+}
+
+int cmd_faultcheck(int argc, char** argv) {
+  if (argc < 1) return faultcheck_usage();
+
+  core::FaultCheckOptions options;
+  try {
+    options.seeds = util::parse_int(argv[0]);
+    for (int a = 1; a < argc; ++a) {
+      const std::string flag = argv[a];
+      if (flag == "--first-seed") {
+        if (a + 1 >= argc) {
+          std::cerr << "faultcheck: --first-seed needs a value\n";
+          return faultcheck_usage();
+        }
+        options.first_seed =
+            static_cast<std::uint64_t>(util::parse_int(argv[++a]));
+      } else {
+        std::cerr << "faultcheck: unknown flag '" << flag << "'\n";
+        return faultcheck_usage();
+      }
+    }
+  } catch (const util::Error& e) {
+    std::cerr << "faultcheck: " << e.what() << "\n";
+    return faultcheck_usage();
+  }
+  if (options.seeds < 1) {
+    std::cerr << "faultcheck: seed count must be >= 1\n";
+    return faultcheck_usage();
+  }
+
+  const core::FaultCheckReport report = core::run_faultcheck(options);
+  util::TextTable table("fault injection (" + std::to_string(options.seeds) +
+                        " seeds per site)");
+  table.set_header(
+      {"site", "hits", "injected", "isolated", "propagated", "recovered"});
+  for (const core::FaultSiteOutcome& s : report.sites) {
+    table.add_row({s.site, std::to_string(s.workload_hits),
+                   std::to_string(s.injections), std::to_string(s.isolated),
+                   std::to_string(s.propagated),
+                   std::to_string(s.recovered)});
+  }
+  std::cout << table;
+  std::cout << "armed runs: " << report.runs << "\n";
+  for (const std::string& v : report.violations) {
+    std::cout << "VIOLATION: " << v << "\n";
+  }
+  std::cout << (report.ok() ? "OK" : "FAIL") << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: rank_tool <config-file> [rank|sweep|profile|wld] ...\n"
-                 "       rank_tool selfcheck <seeds> [--shrink]\n";
+                 "       rank_tool selfcheck <seeds> [--shrink]\n"
+                 "       rank_tool faultcheck <seeds> [--first-seed N]\n";
     return 2;
   }
+  // Single top-level handler: util::Error categories map onto exit codes
+  // (user error -> 2, internal/unknown -> 1), so scripts and CI can tell
+  // "you gave me a bad config" from "the tool itself broke".
   try {
     if (std::string(argv[1]) == "selfcheck") {
       return cmd_selfcheck(argc - 2, argv + 2);
+    }
+    if (std::string(argv[1]) == "faultcheck") {
+      return cmd_faultcheck(argc - 2, argv + 2);
     }
     const auto config = iarank::util::Config::load(argv[1]);
     const auto spec = iarank::core::run_spec_from_config(config);
@@ -300,8 +414,20 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(spec, wld, argc - 3, argv + 3);
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
+  } catch (const iarank::util::Error& e) {
+    std::cerr << "rank_tool: error (" << to_string(e.category())
+              << "): " << e.what() << "\n";
+    switch (e.category()) {
+      case iarank::util::ErrorCategory::kBadInput:
+      case iarank::util::ErrorCategory::kInfeasible:
+      case iarank::util::ErrorCategory::kIo:
+        return 2;
+      case iarank::util::ErrorCategory::kInternal:
+        return 1;
+    }
+    return 1;
   } catch (const std::exception& e) {
-    std::cerr << "rank_tool: " << e.what() << "\n";
+    std::cerr << "rank_tool: internal error: " << e.what() << "\n";
     return 1;
   }
 }
