@@ -20,6 +20,7 @@
 #include "src/core/sweep.hpp"
 #include "src/delay/model.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
 #include "src/wld/davis.hpp"
 #include "src/wld/coarsen.hpp"
 
@@ -168,6 +169,28 @@ void BM_SweepTable4C(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepTable4C)->Unit(benchmark::kMillisecond);
+
+/// The same sweep with span tracing enabled, for comparison against
+/// BM_SweepTable4C: the gap between the two is the tracing overhead.
+/// The observability budget (DESIGN.md Section 9) is < 3% with tracing
+/// DISABLED — BM_SweepTable4C itself carries the disabled-path cost,
+/// since every span construction still runs the atomic-load gate. This
+/// traced variant is informational: it shows the price of capture.
+void BM_SweepTable4CTraced(benchmark::State& state) {
+  const core::PaperSetup setup = core::paper_baseline();
+  const wld::Wld wld = core::default_wld(setup.design);
+  core::InstanceBuilder builder(setup.design, wld);
+  const std::vector<double> values = core::table4_c_values();
+  for (auto _ : state) {
+    util::Trace::enable();  // fresh capture per iteration: bounded memory
+    benchmark::DoNotOptimize(
+        core::sweep_parameter(builder, setup.options,
+                              core::SweepParameter::kClockFrequency, values, 1)
+            .points.size());
+    util::Trace::disable();
+  }
+}
+BENCHMARK(BM_SweepTable4CTraced)->Unit(benchmark::kMillisecond);
 
 /// The same sweep with a journaled checkpoint (fsync off, the high-rate
 /// mode). The journal is deleted each iteration so every point is

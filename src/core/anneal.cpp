@@ -7,6 +7,7 @@
 
 #include "src/util/error.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
 
 namespace iarank::core {
 
@@ -168,6 +169,7 @@ AnnealResult anneal_architecture(const tech::TechNode& node,
                                  const RankOptions& options,
                                  const wld::Wld& wld_in_pitches,
                                  const AnnealOptions& anneal) {
+  TRACE_SPAN("anneal_architecture");
   anneal.validate();
   if (anneal.restarts == 1) {
     return anneal_chain(node, gate_count, options, wld_in_pitches, anneal,

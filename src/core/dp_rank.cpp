@@ -11,11 +11,27 @@
 #include "src/core/free_pack.hpp"
 #include "src/util/error.hpp"
 #include "src/util/fault_injector.hpp"
+#include "src/util/metrics.hpp"
 #include "src/util/stopwatch.hpp"
+#include "src/util/trace.hpp"
 
 namespace iarank::core {
 
 namespace {
+
+// DP effort mirrored into the process registry once per solve. Every
+// count is deterministic per instance, so the totals are identical across
+// thread counts and hosts.
+util::Counter& kDpRuns = util::MetricsRegistry::counter(
+    "iarank_dp_runs_total", "dp_rank invocations");
+util::Counter& kDpCells = util::MetricsRegistry::counter(
+    "iarank_dp_cells_total", "DP state elements (arena nodes) evaluated");
+util::Counter& kDpHeapPops = util::MetricsRegistry::counter(
+    "iarank_dp_heap_pops_total", "best-first candidates examined");
+util::Counter& kDpVerifyCalls = util::MetricsRegistry::counter(
+    "iarank_dp_verify_calls_total", "free-pack verifications run by the DP");
+util::Gauge& kDpMaxFrontier = util::MetricsRegistry::gauge(
+    "iarank_dp_max_frontier", "largest Pareto frontier seen (high-water)");
 
 constexpr double kRelTol = 1e-9;
 
@@ -64,6 +80,14 @@ struct ChunkCost {
   std::int64_t rep_count = 0;
   bool ok = true;
 };
+
+void publish_stats(const RankResult::DpStats& stats) {
+  kDpRuns.inc();
+  kDpCells.inc(stats.arena_nodes);
+  kDpHeapPops.inc(stats.heap_pops);
+  kDpVerifyCalls.inc(stats.verify_calls);
+  kDpMaxFrontier.set_max(stats.max_frontier);
+}
 
 class DpSolver {
  public:
@@ -439,14 +463,19 @@ RankResult DpSolver::solve() {
     res.all_assigned = false;
     res.dp = stats_;
     res.dp.seconds = total.seconds();
+    publish_stats(res.dp);
     return res;
   }
 
-  util::Stopwatch forward;
-  forward_pass();
-  stats_.forward_seconds = forward.seconds();
+  {
+    TRACE_SPAN("dp.forward");
+    util::Stopwatch forward;
+    forward_pass();
+    stats_.forward_seconds = forward.seconds();
+  }
   stats_.arena_nodes = static_cast<std::int64_t>(arena_.size());
 
+  TRACE_SPAN("dp.search");
   while (!heap_.empty()) {
     const HeapEntry e = heap_.top();
     heap_.pop();
@@ -455,6 +484,7 @@ RankResult DpSolver::solve() {
       RankResult res = assemble(e);
       res.dp = stats_;
       res.dp.seconds = total.seconds();
+      publish_stats(res.dp);
       return res;
     }
     ++stats_.verify_calls;
@@ -474,6 +504,7 @@ RankResult DpSolver::solve() {
   res.all_assigned = false;
   res.dp = stats_;
   res.dp.seconds = total.seconds();
+  publish_stats(res.dp);
   return res;
 }
 
@@ -482,6 +513,7 @@ const util::FaultSite kSiteDpRank{"core.dp_rank"};
 }  // namespace
 
 RankResult dp_rank(const Instance& inst, const DpOptions& options) {
+  TRACE_SPAN("dp_rank");
   util::maybe_inject(kSiteDpRank);
   DpSolver solver(inst, options);
   return solver.solve();

@@ -2,6 +2,7 @@
 
 #include "src/core/greedy_rank.hpp"
 #include "src/tech/node.hpp"
+#include "src/util/trace.hpp"
 #include "src/wld/davis.hpp"
 
 namespace iarank::core {
@@ -23,6 +24,7 @@ DesignSpec baseline_design(const std::string& node_name,
 
 RankResult compute_rank(const DesignSpec& design, const RankOptions& options,
                         const wld::Wld& wld_in_pitches) {
+  TRACE_SPAN("compute_rank");
   const Instance inst = build_instance(design, options, wld_in_pitches);
   DpOptions dp;
   dp.refine_boundary = options.refine_boundary;

@@ -10,6 +10,9 @@
 #include "src/util/config.hpp"
 #include "src/util/error.hpp"
 #include "src/util/fault_injector.hpp"
+#include "src/util/metrics.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/trace.hpp"
 #include "src/wld/io.hpp"
 
 namespace iarank::core {
@@ -93,9 +96,33 @@ struct DisarmGuard {
 
 }  // namespace
 
+util::Histogram& kFaultCheckRunSeconds = util::MetricsRegistry::histogram(
+    "iarank_faultcheck_run_seconds", util::Histogram::duration_bounds(),
+    "wall time per armed faultcheck (site, seed) run");
+
+/// Books one armed run's wall time into the report sample vector and the
+/// process histogram at scope exit — the loop body leaves through many
+/// `continue`s, so the recording must be RAII.
+struct RunTimerGuard {
+  explicit RunTimerGuard(std::vector<double>& sink) : sink_(sink) {}
+  ~RunTimerGuard() {
+    const double elapsed = timer_.seconds();
+    sink_.push_back(elapsed);
+    kFaultCheckRunSeconds.observe(elapsed);
+  }
+  RunTimerGuard(const RunTimerGuard&) = delete;
+  RunTimerGuard& operator=(const RunTimerGuard&) = delete;
+
+ private:
+  std::vector<double>& sink_;
+  util::Stopwatch timer_;
+};
+
 FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
+  TRACE_SPAN("faultcheck");
   util::require(options.seeds >= 1, "faultcheck: seeds must be >= 1");
   FaultCheckReport report;
+  std::vector<double> run_seconds;
   DisarmGuard guard;
   util::FaultInjector& injector = util::FaultInjector::instance();
 
@@ -137,6 +164,8 @@ FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
                   seed % static_cast<std::uint64_t>(outcome.workload_hits));
       injector.arm(outcome.site, nth);
       ++report.runs;
+      TRACE_SPAN("faultcheck.run");
+      const RunTimerGuard run_timer(run_seconds);
 
       std::unique_ptr<InstanceBuilder> builder;
       RankOptions base;
@@ -234,6 +263,10 @@ FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
     }
     report.sites.push_back(std::move(outcome));
   }
+  const util::TimingSummary timing = util::summarize_timings(run_seconds);
+  report.run_seconds_p50 = timing.p50;
+  report.run_seconds_p95 = timing.p95;
+  report.run_seconds_max = timing.max;
   return report;
 }
 

@@ -48,6 +48,12 @@ struct FaultCheckReport {
   std::vector<std::string> violations;  ///< empty when the model held
   std::int64_t runs = 0;                ///< armed workload executions
 
+  /// Wall time per armed (site, seed) run — exact order statistics over
+  /// all runs of this report (includes the recovery rerun each performs).
+  double run_seconds_p50 = 0.0;
+  double run_seconds_p95 = 0.0;
+  double run_seconds_max = 0.0;
+
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
 

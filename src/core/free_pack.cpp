@@ -5,6 +5,7 @@
 
 #include "src/util/error.hpp"
 #include "src/util/fault_injector.hpp"
+#include "src/util/metrics.hpp"
 
 namespace iarank::core {
 
@@ -15,11 +16,20 @@ constexpr double kAreaTol = 1e-9;
 
 const util::FaultSite kSiteFreePack{"core.free_pack"};
 
+// One "bunch take" is a (bunch, pair) placement decision — the packer's
+// unit of work. Deterministic per call, hence across thread counts.
+util::Counter& kFreePackCalls = util::MetricsRegistry::counter(
+    "iarank_free_pack_calls_total", "free_pack invocations");
+util::Counter& kFreePackTakes = util::MetricsRegistry::counter(
+    "iarank_free_pack_bunch_takes_total",
+    "(bunch, pair) takes performed by the packer");
+
 }  // namespace
 
 std::optional<std::vector<BunchPlacement>> free_pack_detailed(
     const Instance& inst, const FreePackInput& input) {
   util::maybe_inject(kSiteFreePack);
+  kFreePackCalls.inc();
   const std::size_t m = inst.pair_count();
   const std::size_t n_bunches = inst.bunch_count();
   iarank::util::require(input.first_pair <= m,
@@ -134,10 +144,12 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
     const double reps_above = fixed_blockage ? input.repeaters_above_first
                                              : input.repeaters_total;
     if (area > die + tol - inst.blockage(q, wires_above, reps_above)) {
+      kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
       return std::nullopt;
     }
   }
 
+  kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
   if (to_place != 0) {
     return std::nullopt;  // wires left over after the topmost available pair
   }

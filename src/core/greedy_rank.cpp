@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/metrics.hpp"
+#include "src/util/trace.hpp"
+
 namespace iarank::core {
 
+namespace {
+
+util::Counter& kGreedyRuns = util::MetricsRegistry::counter(
+    "iarank_greedy_runs_total", "greedy_rank invocations");
+
+}  // namespace
+
 RankResult greedy_rank(const Instance& inst) {
+  TRACE_SPAN("greedy_rank");
+  kGreedyRuns.inc();
   const std::size_t m = inst.pair_count();
 
   RankResult res;

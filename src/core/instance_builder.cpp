@@ -9,12 +9,37 @@
 #include "src/tech/noise.hpp"
 #include "src/util/error.hpp"
 #include "src/util/fault_injector.hpp"
+#include "src/util/metrics.hpp"
 #include "src/util/stopwatch.hpp"
+#include "src/util/trace.hpp"
 #include "src/wld/coarsen.hpp"
 
 namespace iarank::core {
 
 namespace {
+
+/// Per-stage LRU hit/miss counters, mirrored into the process registry so
+/// `--metrics` sees them without plumbing a BuildProfile anywhere. The
+/// totals are deterministic across thread counts (stage lookups are
+/// serialized under the builder mutex and keyed only by option values).
+struct StageMetrics {
+  iarank::util::Counter& hits;
+  iarank::util::Counter& misses;
+};
+
+StageMetrics stage_metrics(const char* stage) {
+  const std::string base = std::string("iarank_builder_") + stage;
+  return {iarank::util::MetricsRegistry::counter(base + "_hits_total"),
+          iarank::util::MetricsRegistry::counter(base + "_misses_total")};
+}
+
+StageMetrics kCoarsenMetrics = stage_metrics("coarsen");
+StageMetrics kDieMetrics = stage_metrics("die");
+StageMetrics kStackMetrics = stage_metrics("stack");
+StageMetrics kPlansMetrics = stage_metrics("plans");
+
+iarank::util::Counter& kBuilds = iarank::util::MetricsRegistry::counter(
+    "iarank_builder_builds_total", "instances assembled by InstanceBuilder");
 
 // Fault-injection sites, one per cacheable stage plus the per-build
 // assembly. The stage sites sit inside the compute lambdas (the miss
@@ -37,18 +62,20 @@ tech::Architecture make_arch(const DesignSpec& design, const wld::Wld& wld) {
 }
 
 /// Cache lookup wrapper that books the hit/miss and miss wall-time into
-/// `counters`.
+/// `counters`, mirroring the counts into the process metric registry.
 template <typename Cache, typename Key, typename Compute>
 const auto& cached(Cache& cache, const Key& key, StageCounters& counters,
-                   Compute&& compute) {
+                   StageMetrics& metrics, Compute&& compute) {
   bool hit = false;
   util::Stopwatch timer;
   const auto& value =
       cache.get_or_compute(key, std::forward<Compute>(compute), &hit);
   if (hit) {
     ++counters.hits;
+    metrics.hits.inc();
   } else {
     ++counters.misses;
+    metrics.misses.inc();
     counters.seconds += timer.seconds();
   }
   return value;
@@ -70,7 +97,8 @@ InstanceBuilder::InstanceBuilder(DesignSpec design, wld::Wld wld_in_pitches)
 const std::vector<wld::WireGroup>& InstanceBuilder::coarsen_stage(
     const RankOptions& options) {
   const CoarsenKey key{options.bin_window, options.bunch_size};
-  return cached(coarsen_cache_, key, profile_.coarsen, [&] {
+  return cached(coarsen_cache_, key, profile_.coarsen, kCoarsenMetrics, [&] {
+    TRACE_SPAN("builder.coarsen");
     util::maybe_inject(kSiteCoarsen);
     const wld::Wld coarse =
         options.bin_window > 0.0
@@ -82,7 +110,8 @@ const std::vector<wld::WireGroup>& InstanceBuilder::coarsen_stage(
 
 const tech::DieModel& InstanceBuilder::die_stage(const RankOptions& options) {
   const DieKey key = options.repeater_fraction;
-  return cached(die_cache_, key, profile_.die, [&] {
+  return cached(die_cache_, key, profile_.die, kDieMetrics, [&] {
+    TRACE_SPAN("builder.die");
     util::maybe_inject(kSiteDie);
     // Die sizing (paper Eq. 6): repeater area inflates the die, gates are
     // redistributed, and the effective gate pitch converts WLD lengths.
@@ -96,7 +125,8 @@ const InstanceBuilder::StackStage& InstanceBuilder::stack_stage(
   const StackKey key{options.ild_permittivity, options.miller_factor,
                      static_cast<int>(options.cap_model), options.switching.a,
                      options.switching.b};
-  return cached(stack_cache_, key, profile_.stack, [&] {
+  return cached(stack_cache_, key, profile_.stack, kStackMetrics, [&] {
+    TRACE_SPAN("builder.stack");
     util::maybe_inject(kSiteStack);
     const tech::RcParams rc{design_.node.conductor, options.ild_permittivity,
                             options.miller_factor, options.cap_model};
@@ -120,7 +150,8 @@ const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
       options.max_stages ? *options.max_stages : std::int64_t{-1},
       options.charge_drivers,
       options.max_noise_ratio};
-  return cached(plan_cache_, key, profile_.plans, [&] {
+  return cached(plan_cache_, key, profile_.plans, kPlansMetrics, [&] {
+    TRACE_SPAN("builder.plans");
     util::maybe_inject(kSitePlans);
     // Target delays from the longest *physical* wire.
     const double pitch_to_m = die.effective_gate_pitch();
@@ -177,9 +208,10 @@ const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
 }
 
 Instance InstanceBuilder::build(const RankOptions& options) {
+  TRACE_SPAN("builder.build");
   options.validate();
   const std::scoped_lock lock(mutex_);
-  util::Stopwatch timer;
+  const util::ScopedTimer timer(&profile_.total_seconds);
 
   const std::vector<wld::WireGroup>& groups = coarsen_stage(options);
   const tech::DieModel& die = die_stage(options);
@@ -208,7 +240,7 @@ Instance InstanceBuilder::build(const RankOptions& options) {
       die.repeater_area_budget(), options.vias);
 
   ++profile_.builds;
-  profile_.total_seconds += timer.seconds();
+  kBuilds.inc();
   return inst;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/util/error.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
 
 namespace iarank::core {
 
@@ -38,6 +39,7 @@ OptimizerResult optimize_architecture(const tech::TechNode& node,
                                       const RankOptions& options,
                                       const wld::Wld& wld_in_pitches,
                                       const OptimizerOptions& search) {
+  TRACE_SPAN("optimize_architecture");
   // Enumerate the grid first so candidates can be evaluated concurrently
   // yet scanned for the winner in the original grid order — the result is
   // identical for any thread count.
@@ -102,6 +104,7 @@ MinPairsResult min_pairs_for_rank(const tech::TechNode& node,
                                   const wld::Wld& wld_in_pitches,
                                   double target_normalized,
                                   const OptimizerOptions& search) {
+  TRACE_SPAN("min_pairs_for_rank");
   iarank::util::require(target_normalized >= 0.0 && target_normalized <= 1.0,
                         "min_pairs_for_rank: target must be in [0, 1]");
   MinPairsResult out;

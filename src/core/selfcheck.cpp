@@ -19,7 +19,10 @@
 #include "src/tech/envelope.hpp"
 #include "src/util/error.hpp"
 #include "src/util/journal.hpp"
+#include "src/util/metrics.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/trace.hpp"
 #include "src/util/units.hpp"
 #include "src/wld/davis.hpp"
 #include "src/wld/synthetic.hpp"
@@ -738,9 +741,18 @@ Scenario shrink_scenario(
   return best;
 }
 
+// Per-seed check wall time (scheduling-dependent; excluded from the
+// determinism contract, included so long runs expose their tail).
+util::Histogram& kSelfCheckSeedSeconds = util::MetricsRegistry::histogram(
+    "iarank_selfcheck_seed_seconds", util::Histogram::duration_bounds(),
+    "wall time per selfcheck seed");
+util::Counter& kSelfCheckSeeds = util::MetricsRegistry::counter(
+    "iarank_selfcheck_seeds_total", "selfcheck seeds evaluated (not resumed)");
+
 SelfCheckReport run_selfcheck(std::int64_t count,
                               const SelfCheckOptions& options,
                               util::ThreadPool* pool) {
+  TRACE_SPAN("selfcheck");
   SelfCheckReport report;
   if (count <= 0) return report;
   util::ThreadPool& workers = pool ? *pool : util::ThreadPool::shared();
@@ -769,16 +781,32 @@ SelfCheckReport run_selfcheck(std::int64_t count,
     }
   }
 
+  std::vector<double> seed_seconds(static_cast<std::size_t>(count), -1.0);
   workers.parallel_for(static_cast<std::size_t>(count), options.parallelism,
                        [&](std::size_t i) {
                          if (done[i]) return;
+                         TRACE_SPAN("selfcheck.seed");
+                         util::Stopwatch timer;
                          checks[i] = check_scenario(sample_scenario(
                              options.first_seed + i));
+                         seed_seconds[i] = timer.seconds();
+                         kSelfCheckSeedSeconds.observe(seed_seconds[i]);
+                         kSelfCheckSeeds.inc();
                          if (journal) {
                            journal->append(static_cast<std::int64_t>(i),
                                            encode_scenario_check(checks[i]));
                          }
                        });
+
+  std::vector<double> evaluated;
+  evaluated.reserve(seed_seconds.size());
+  for (const double t : seed_seconds) {
+    if (t >= 0.0) evaluated.push_back(t);
+  }
+  const util::TimingSummary timing = util::summarize_timings(evaluated);
+  report.seed_seconds_p50 = timing.p50;
+  report.seed_seconds_p95 = timing.p95;
+  report.seed_seconds_max = timing.max;
 
   report.scenarios = count;
   for (std::size_t i = 0; i < checks.size(); ++i) {

@@ -131,6 +131,13 @@ struct SelfCheckReport {
   std::int64_t resumed = 0;            ///< scenarios recovered from checkpoint
   std::vector<SelfCheckFailure> failures;
 
+  /// Per-seed check wall time over the seeds evaluated this run (resumed
+  /// seeds cost no work and are excluded). Exact order statistics from
+  /// the sorted per-seed samples; all zero when every seed was resumed.
+  double seed_seconds_p50 = 0.0;
+  double seed_seconds_p95 = 0.0;
+  double seed_seconds_max = 0.0;
+
   [[nodiscard]] bool ok() const { return failures.empty(); }
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/util/error.hpp"
+#include "src/util/trace.hpp"
 
 namespace iarank::core {
 
@@ -30,6 +31,7 @@ std::vector<Sensitivity> rank_sensitivities(const DesignSpec& design,
                                             const wld::Wld& wld_in_pitches,
                                             double rel_step,
                                             unsigned threads) {
+  TRACE_SPAN("rank_sensitivities");
   iarank::util::require(rel_step > 0.0 && rel_step <= 0.5,
                         "rank_sensitivities: rel_step must be in (0, 0.5]");
   iarank::util::require(threads >= 1,

@@ -10,8 +10,10 @@
 #include "src/core/checkpoint.hpp"
 #include "src/util/error.hpp"
 #include "src/util/journal.hpp"
+#include "src/util/metrics.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
 #include "src/util/units.hpp"
 
 namespace iarank::core {
@@ -33,6 +35,23 @@ std::string to_string(SweepParameter p) {
 }
 
 namespace {
+
+// Point outcomes are deterministic (a point either evaluates or throws
+// regardless of scheduling), so ok/failed/resumed totals are identical
+// across thread counts.
+util::Counter& kSweepRuns = util::MetricsRegistry::counter(
+    "iarank_sweep_runs_total", "sweep_parameter invocations");
+util::Counter& kSweepPointsOk = util::MetricsRegistry::counter(
+    "iarank_sweep_points_ok_total", "sweep points evaluated successfully");
+util::Counter& kSweepPointsFailed = util::MetricsRegistry::counter(
+    "iarank_sweep_points_failed_total",
+    "sweep points whose evaluation threw");
+util::Counter& kSweepPointsResumed = util::MetricsRegistry::counter(
+    "iarank_sweep_points_resumed_total",
+    "sweep points recovered from a checkpoint journal");
+util::Histogram& kSweepPointSeconds = util::MetricsRegistry::histogram(
+    "iarank_sweep_point_seconds", util::Histogram::duration_bounds(),
+    "wall time per evaluated sweep point");
 
 RankOptions with_value(const RankOptions& base, SweepParameter parameter,
                        double v) {
@@ -62,6 +81,8 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
                             const SweepRunOptions& run) {
   iarank::util::require(run.threads >= 1,
                         "sweep_parameter: threads must be >= 1");
+  TRACE_SPAN("sweep");
+  kSweepRuns.inc();
   util::Stopwatch total;
   const BuildProfile before = builder.profile();
 
@@ -113,10 +134,13 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
   // throwing evaluation is captured as the point's status — one bad point
   // must not discard the rest of the grid. Journal appends stay outside
   // the catch: losing the checkpoint file is a run-level failure.
+  std::atomic<std::int64_t> failed_nanos{0};
   util::ThreadPool::shared().parallel_for(
       values.size(), run.threads, [&](std::size_t i) {
         if (done[i]) return;
+        TRACE_SPAN("sweep.point");
         SweepPoint& point = out.points[i];
+        util::Stopwatch point_timer;
         try {
           const RankOptions opt = with_value(base, parameter, values[i]);
           const Instance inst = builder.build(opt);
@@ -127,7 +151,14 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
         } catch (const std::exception& e) {
           point.result = RankResult{};
           point.status = util::Status::from_exception(e);
+          // Wasted work is invisible in dp_seconds (a failed point has no
+          // result); tally it separately so operators see the cost of
+          // failures, not just their count.
+          failed_nanos.fetch_add(
+              static_cast<std::int64_t>(point_timer.seconds() * 1e9),
+              std::memory_order_relaxed);
         }
+        kSweepPointSeconds.observe(point_timer.seconds());
         if (journal) {
           util::Stopwatch append_timer;
           journal->append(static_cast<std::int64_t>(i),
@@ -169,6 +200,12 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
         std::max(out.profile.dp_max_frontier, p.result.dp.max_frontier);
   }
   out.profile.threads = run.threads;
+  out.profile.failed_point_seconds =
+      static_cast<double>(failed_nanos.load(std::memory_order_relaxed)) / 1e9;
+  kSweepPointsOk.inc(static_cast<std::int64_t>(values.size()) -
+                     out.profile.failed_points);
+  kSweepPointsFailed.inc(out.profile.failed_points);
+  kSweepPointsResumed.inc(out.profile.resumed_points);
   out.profile.checkpoint_seconds =
       static_cast<double>(checkpoint_nanos.load(std::memory_order_relaxed)) /
       1e9;

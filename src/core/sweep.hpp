@@ -50,6 +50,7 @@ struct SweepProfile {
   std::int64_t failed_points = 0;    ///< points with a non-ok status
   std::int64_t resumed_points = 0;   ///< points recovered from a checkpoint
   double checkpoint_seconds = 0.0;   ///< wall time in the journal (open+appends)
+  double failed_point_seconds = 0.0;  ///< wall time spent on failed points
 };
 
 /// A completed sweep.

@@ -9,6 +9,7 @@
 #include "src/util/atomic_file.hpp"
 #include "src/util/digest.hpp"
 #include "src/util/error.hpp"
+#include "src/util/metrics.hpp"
 
 #if !defined(_WIN32)
 #include <fcntl.h>
@@ -113,6 +114,25 @@ bool parse_record(std::string_view line, std::int64_t& index,
   return unescape(body.substr(index_end + 1), payload);
 }
 
+// Journal observability. Written/recovered record counts are exact; the
+// salvage/restart counters tally recovery events across every journal the
+// process opens.
+Counter& kJournalRecordsWritten = MetricsRegistry::counter(
+    "iarank_checkpoint_records_written_total",
+    "checkpoint records appended to journals");
+Counter& kJournalRecordsRecovered = MetricsRegistry::counter(
+    "iarank_checkpoint_records_recovered_total",
+    "intact checkpoint records salvaged on journal open");
+Counter& kJournalTornTails = MetricsRegistry::counter(
+    "iarank_checkpoint_torn_tails_total",
+    "journals whose torn/corrupt tail was dropped and compacted");
+Counter& kJournalRestarts = MetricsRegistry::counter(
+    "iarank_checkpoint_restarts_total",
+    "journals discarded on open (key mismatch or corrupt header)");
+Counter& kJournalBytesAppended = MetricsRegistry::counter(
+    "iarank_checkpoint_bytes_appended_total",
+    "bytes appended to checkpoint journals");
+
 }  // namespace
 
 CheckpointJournal::CheckpointJournal(std::string path, std::uint64_t key)
@@ -187,6 +207,10 @@ CheckpointJournal::CheckpointJournal(std::string path, std::uint64_t key,
     atomic_write_file(path_, content);
   }
 
+  kJournalRecordsRecovered.inc(static_cast<std::int64_t>(entries_.size()));
+  if (salvaged_tail_) kJournalTornTails.inc();
+  if (restarted_) kJournalRestarts.inc();
+
   open_for_append();
 }
 
@@ -230,6 +254,8 @@ void CheckpointJournal::append(std::int64_t index, std::string_view payload) {
 #endif
   entries_[index] = std::string(payload);
   bytes_appended_ += static_cast<std::int64_t>(line.size());
+  kJournalRecordsWritten.inc();
+  kJournalBytesAppended.inc(static_cast<std::int64_t>(line.size()));
 }
 
 }  // namespace iarank::util

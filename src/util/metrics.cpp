@@ -1,0 +1,313 @@
+#include "src/util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/atomic_file.hpp"
+#include "src/util/error.hpp"
+
+namespace iarank::util {
+
+namespace {
+
+/// Relaxed fetch-add for atomic<double> via CAS (portable across
+/// standard-library ages; uncontended in practice).
+void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  require(std::is_sorted(bounds_.begin(), bounds_.end()),
+          "Histogram: bucket bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::int64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max();
+    const double frac =
+        counts[i] > 0
+            ? (target - static_cast<double>(before)) /
+                  static_cast<double>(counts[i])
+            : 0.0;
+    return std::min(lo + frac * (hi - lo), max());
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::duration_bounds() {
+  // Two buckets per decade, 1 us .. ~100 s.
+  std::vector<double> bounds;
+  double lo = 1e-6;
+  for (int decade = 0; decade < 8; ++decade) {
+    bounds.push_back(lo);
+    bounds.push_back(lo * 3.2);
+    lo *= 10.0;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // leaked on purpose
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        std::string_view help,
+                                                        Kind kind) {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      require(e->kind == kind,
+              "MetricsRegistry: '" + std::string(name) +
+                  "' re-registered as a different metric kind");
+      if (e->help.empty() && !help.empty()) e->help = std::string(help);
+      return *e;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = kind;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  Entry& e = instance().find_or_create(name, help, Kind::kCounter);
+  return e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  Entry& e = instance().find_or_create(name, help, Kind::kGauge);
+  return e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      std::string_view help) {
+  Entry& e = instance().find_or_create(name, help, Kind::kHistogram);
+  const std::scoped_lock lock(instance().mutex_);
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& entry : entries_) {
+    const Entry& e = *entry;
+    if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << e.name << " counter\n";
+        os << e.name << " " << e.counter.value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << e.name << " gauge\n";
+        os << e.name << " " << e.gauge.value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << e.name << " histogram\n";
+        const auto counts = e.histogram->bucket_counts();
+        const auto& bounds = e.histogram->bounds();
+        std::int64_t cumulative = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          os << e.name << "_bucket{le=\"" << format_double(bounds[i])
+             << "\"} " << cumulative << "\n";
+        }
+        cumulative += counts.back();
+        os << e.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << e.name << "_sum " << format_double(e.histogram->sum()) << "\n";
+        os << e.name << "_count " << e.histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::scoped_lock lock(mutex_);
+  os << "{\n";
+  bool first = true;
+  for (const auto& entry : entries_) {
+    const Entry& e = *entry;
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << e.name << "\": ";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << e.counter.value();
+        break;
+      case Kind::kGauge:
+        os << e.gauge.value();
+        break;
+      case Kind::kHistogram: {
+        const auto counts = e.histogram->bucket_counts();
+        const auto& bounds = e.histogram->bounds();
+        os << "{\"count\": " << e.histogram->count()
+           << ", \"sum\": " << format_double(e.histogram->sum())
+           << ", \"max\": " << format_double(e.histogram->max())
+           << ", \"p50\": " << format_double(e.histogram->quantile(0.5))
+           << ", \"p95\": " << format_double(e.histogram->quantile(0.95))
+           << ", \"buckets\": [";
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << "{\"le\": "
+             << (i < bounds.size() ? format_double(bounds[i]) : "\"+Inf\"")
+             << ", \"count\": " << counts[i] << "}";
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n}\n";
+}
+
+void MetricsRegistry::save(const std::string& path) const {
+  std::ostringstream os;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    write_json(os);
+  } else {
+    write_prometheus(os);
+  }
+  atomic_write_file(path, os.str());
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::snapshot_values() const {
+  const std::scoped_lock lock(mutex_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& entry : entries_) {
+    const Entry& e = *entry;
+    switch (e.kind) {
+      case Kind::kCounter:
+        out[e.name] = e.counter.value();
+        break;
+      case Kind::kGauge:
+        out[e.name] = e.gauge.value();
+        break;
+      case Kind::kHistogram:
+        out[e.name + "_count"] = e.histogram->count();
+        break;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_all() {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& entry : entries_) {
+    Entry& e = *entry;
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter.reset();
+        break;
+      case Kind::kGauge:
+        e.gauge.reset();
+        break;
+      case Kind::kHistogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+TimingSummary summarize_timings(std::vector<double> samples) {
+  TimingSummary out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = [&](double q) {
+    const auto n = static_cast<double>(samples.size());
+    auto i = static_cast<std::size_t>(q * n);
+    return samples[std::min(i, samples.size() - 1)];
+  };
+  out.p50 = rank(0.5);
+  out.p95 = rank(0.95);
+  out.max = samples.back();
+  return out;
+}
+
+ScopedTimer::ScopedTimer(double* sink, Histogram* histogram)
+    : sink_(sink),
+      histogram_(histogram),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ScopedTimer::seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  const double elapsed = seconds();
+  if (sink_ != nullptr) *sink_ += elapsed;
+  if (histogram_ != nullptr) histogram_->observe(elapsed);
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,205 @@
+/// \file metrics.hpp
+/// \brief Process-wide registry of named counters, gauges and fixed-bucket
+///        histograms, exported as Prometheus text or JSON.
+///
+/// Naming convention: `iarank_<module>_<name>` with Prometheus suffixes
+/// (`_total` for counters, `_seconds` for duration histograms). Metrics
+/// are registered once — typically as a namespace-scope reference in the
+/// instrumented .cpp:
+///
+/// \code
+///   util::Counter& kDpHeapPops =
+///       util::MetricsRegistry::counter("iarank_dp_heap_pops_total");
+///   ...
+///   kDpHeapPops.inc(stats.heap_pops);
+/// \endcode
+///
+/// Namespace-scope registration means every metric a binary links in
+/// appears in the export (at zero) even when its path never ran — scrape
+/// consumers see a stable schema, not a run-dependent one.
+///
+/// Cost model: metrics are always on. An increment is one relaxed atomic
+/// add; a histogram observation is a bucket scan (~16 comparisons) plus
+/// three relaxed atomic updates. There is no registry lookup on the hot
+/// path — call sites hold direct references. Counter values that count
+/// deterministic work (cache hits, DP cells, free-pack takes) are
+/// identical across thread counts; durations and queue depths are not.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iarank::util {
+
+/// Monotonically increasing count. Relaxed increments: totals are exact,
+/// cross-metric ordering is not promised.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Instantaneous integer level (queue depth, high-water marks).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` when larger (high-water mark semantics).
+  void set_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over doubles. Buckets are cumulative-le in the
+/// Prometheus sense; quantiles are interpolated within the landing
+/// bucket, `max()` is exact.
+class Histogram {
+ public:
+  /// `bounds` are the ascending upper bounds; one overflow bucket is
+  /// added on top.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double max() const;
+
+  /// Interpolated quantile, q in [0, 1]; 0 when empty. Bounded above by
+  /// `max()` so the overflow bucket cannot report +inf.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, overflow bucket last.
+  [[nodiscard]] std::vector<std::int64_t> bucket_counts() const;
+
+  void reset();
+
+  /// The default duration bucket ladder: 1 us to ~100 s, multiplicative
+  /// steps of ~3.2 (two per decade) — 16 bounds.
+  [[nodiscard]] static std::vector<double> duration_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// The process-wide registry. Thread-safe; metrics live forever once
+/// registered (references never dangle).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Returns the metric named `name`, creating it on first call. A name
+  /// registered as one kind must not be re-requested as another (throws
+  /// util::Error, kInternal).
+  static Counter& counter(std::string_view name, std::string_view help = "");
+  static Gauge& gauge(std::string_view name, std::string_view help = "");
+  static Histogram& histogram(std::string_view name,
+                              std::vector<double> bounds,
+                              std::string_view help = "");
+
+  /// Prometheus text exposition format (counters as `counter`, gauges as
+  /// `gauge`, histograms as `histogram` with `_bucket`/`_sum`/`_count`).
+  void write_prometheus(std::ostream& os) const;
+
+  /// One flat JSON object; histograms expand to nested objects.
+  void write_json(std::ostream& os) const;
+
+  /// Writes through util::atomic_write_file. A path ending in ".json"
+  /// gets JSON, anything else the Prometheus text format.
+  void save(const std::string& path) const;
+
+  /// Counter and gauge values by name — the diffable view the
+  /// determinism tests use.
+  [[nodiscard]] std::map<std::string, std::int64_t> snapshot_values() const;
+
+  /// Zeroes every registered metric (tests and long-lived embedders).
+  void reset_all();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  /// Heap-allocated and never freed: references handed to call sites must
+  /// stay valid for the life of the process regardless of later
+  /// registrations.
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    Counter counter;                       ///< used when kind == kCounter
+    Gauge gauge;                           ///< used when kind == kGauge
+    std::unique_ptr<Histogram> histogram;  ///< used when kind == kHistogram
+  };
+
+  Entry& find_or_create(std::string_view name, std::string_view help,
+                        Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+};
+
+/// Exact order statistics of a sample set (harness per-seed timing
+/// reports). Unlike Histogram::quantile these are not interpolated —
+/// p50/p95 are the nearest-rank samples. All zero when `samples` is
+/// empty.
+struct TimingSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] TimingSummary summarize_timings(std::vector<double> samples);
+
+/// RAII duration recorder: adds the elapsed seconds into `*sink` (when
+/// non-null) and observes them into `*histogram` (when non-null) at scope
+/// exit. The shared plumbing behind every `*_seconds` profile field.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink, Histogram* histogram = nullptr);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction, without stopping.
+  [[nodiscard]] double seconds() const;
+
+ private:
+  double* sink_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace iarank::util

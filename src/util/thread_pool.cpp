@@ -6,9 +6,25 @@
 #include <limits>
 #include <memory>
 
+#include "src/util/metrics.hpp"
+
 namespace iarank::util {
 
 namespace {
+
+// Pool observability: depth of the shared queue, tasks executed, and the
+// wall time of each executed task (a task here is one batch-drain helper,
+// not one index). Durations and depths are scheduling-dependent; only
+// the batch counter is deterministic.
+Counter& kPoolTasks = MetricsRegistry::counter(
+    "iarank_pool_tasks_total", "tasks executed by pool workers");
+Counter& kPoolBatches = MetricsRegistry::counter(
+    "iarank_pool_batches_total", "parallel_for batches dispatched");
+Gauge& kPoolQueueDepth = MetricsRegistry::gauge(
+    "iarank_pool_queue_depth", "tasks waiting in the shared pool queue");
+Histogram& kPoolTaskSeconds = MetricsRegistry::histogram(
+    "iarank_pool_task_seconds", Histogram::duration_bounds(),
+    "wall time of executed pool tasks");
 
 /// Shared state of one parallel_for batch. Helper tasks enqueued on the
 /// pool and the calling thread all claim indices from the same counter.
@@ -93,7 +109,10 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      kPoolQueueDepth.set(static_cast<std::int64_t>(queue_.size()));
     }
+    kPoolTasks.inc();
+    const ScopedTimer timer(nullptr, &kPoolTaskSeconds);
     task();
   }
 }
@@ -112,11 +131,13 @@ void ThreadPool::parallel_for(std::size_t n, unsigned parallelism,
   const auto batch = std::make_shared<Batch>();
   batch->n = n;
   batch->fn = fn;
+  kPoolBatches.inc();
   {
     const std::scoped_lock lock(mutex_);
     for (unsigned h = 0; h + 1 < p; ++h) {
       queue_.emplace_back([batch] { batch->drain(); });
     }
+    kPoolQueueDepth.set(static_cast<std::int64_t>(queue_.size()));
   }
   work_ready_.notify_all();
 

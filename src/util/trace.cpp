@@ -1,0 +1,225 @@
+#include "src/util/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/atomic_file.hpp"
+
+namespace iarank::util {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Per-thread event buffer. Owned jointly by the registry (so events
+/// survive thread exit — pool workers may outlive a capture, test threads
+/// may not) and by the thread_local handle below. `mutex` serializes the
+/// owner thread's appends against a concurrent export; it is uncontended
+/// in steady state.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Trace::Event> events;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  ///< tid = index
+  SteadyClock::time_point epoch = SteadyClock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static destruction
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    const std::scoped_lock lock(r.mutex);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now() - registry().epoch)
+      .count();
+}
+
+/// Builds the aggregated tree for one thread's event stream on top of
+/// `roots`, merging by span-name path.
+void fold_events(const std::vector<Trace::Event>& events,
+                 std::vector<Trace::SummaryNode>& roots) {
+  struct Frame {
+    Trace::SummaryNode* node;
+    std::int64_t begin_ns;
+  };
+  // Paths are resolved against the shared output tree; `stack` mirrors the
+  // currently open spans. Node pointers stay valid because children are
+  // only appended below the current path while its ancestors are open.
+  std::vector<Frame> stack;
+  auto find_or_add = [](std::vector<Trace::SummaryNode>& siblings,
+                        const char* name) -> Trace::SummaryNode* {
+    for (Trace::SummaryNode& n : siblings) {
+      if (n.name == name) return &n;
+    }
+    siblings.push_back({name, 0, 0, 0, {}});
+    return &siblings.back();
+  };
+  for (const Trace::Event& e : events) {
+    if (e.begin) {
+      std::vector<Trace::SummaryNode>& siblings =
+          stack.empty() ? roots : stack.back().node->children;
+      Trace::SummaryNode* node = find_or_add(siblings, e.name);
+      ++node->count;
+      stack.push_back({node, e.ts_ns});
+    } else {
+      if (stack.empty()) continue;  // end without begin: disabled mid-capture
+      Frame frame = stack.back();
+      stack.pop_back();
+      frame.node->total_ns += e.ts_ns - frame.begin_ns;
+    }
+  }
+  // A begin without an end (export while a span is open) contributes its
+  // count but no time; that is the honest reading of an open span.
+}
+
+void fill_self_times(std::vector<Trace::SummaryNode>& nodes) {
+  for (Trace::SummaryNode& n : nodes) {
+    std::int64_t children_ns = 0;
+    for (const Trace::SummaryNode& c : n.children) children_ns += c.total_ns;
+    n.self_ns = n.total_ns - children_ns;
+    fill_self_times(n.children);
+  }
+}
+
+void render_summary(const std::vector<Trace::SummaryNode>& nodes, int depth,
+                    std::ostringstream& os) {
+  for (const Trace::SummaryNode& n : nodes) {
+    std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+    label += n.name;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-40s %8lld %12.3f %12.3f\n",
+                  label.c_str(), static_cast<long long>(n.count),
+                  static_cast<double>(n.total_ns) / 1e6,
+                  static_cast<double>(n.self_ns) / 1e6);
+    os << line;
+    render_summary(n.children, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::atomic<bool>& Trace::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Trace::enable() {
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  r.epoch = SteadyClock::now();
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void Trace::disable() { enabled_flag().store(false, std::memory_order_relaxed); }
+
+void Trace::record(const char* name, bool begin) {
+  const std::int64_t ts = now_ns();
+  ThreadBuffer& buffer = thread_buffer();
+  const std::scoped_lock lock(buffer.mutex);
+  buffer.events.push_back({name, ts, begin});
+}
+
+std::vector<std::vector<Trace::Event>> Trace::snapshot() {
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mutex);
+  std::vector<std::vector<Event>> out;
+  out.reserve(r.buffers.size());
+  for (const auto& buffer : r.buffers) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    out.push_back(buffer->events);
+  }
+  return out;
+}
+
+void Trace::write_chrome_json(std::ostream& os) {
+  const auto threads = snapshot();
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+    // Per-thread stack of open span names, so end events can repeat the
+    // name (Perfetto tolerates nameless "E" events; named ones are easier
+    // to validate and to read raw).
+    std::vector<const char*> open;
+    for (const Event& e : threads[tid]) {
+      const char* name = e.name;
+      if (e.begin) {
+        open.push_back(name);
+      } else {
+        if (open.empty()) continue;  // unmatched end: span began pre-enable
+        name = open.back();
+        open.pop_back();
+      }
+      if (!first) os << ",\n";
+      first = false;
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,"
+                    "\"pid\":1,\"tid\":%zu}",
+                    name, e.begin ? "B" : "E",
+                    static_cast<double>(e.ts_ns) / 1e3, tid);
+      os << line;
+    }
+    // Close spans still open at export time so every B has a matching E.
+    const double now_us = static_cast<double>(now_ns()) / 1e3;
+    while (!open.empty()) {
+      if (!first) os << ",\n";
+      first = false;
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,"
+                    "\"pid\":1,\"tid\":%zu}",
+                    open.back(), now_us, tid);
+      os << line;
+      open.pop_back();
+    }
+  }
+  os << "\n]}\n";
+}
+
+void Trace::save_chrome_json(const std::string& path) {
+  std::ostringstream os;
+  write_chrome_json(os);
+  atomic_write_file(path, os.str());
+}
+
+std::vector<Trace::SummaryNode> Trace::summary() {
+  std::vector<SummaryNode> roots;
+  for (const auto& events : snapshot()) fold_events(events, roots);
+  fill_self_times(roots);
+  return roots;
+}
+
+std::string Trace::summary_report() {
+  std::ostringstream os;
+  char header[160];
+  std::snprintf(header, sizeof(header), "  %-40s %8s %12s %12s\n", "span",
+                "count", "total ms", "self ms");
+  os << header;
+  render_summary(summary(), 0, os);
+  return os.str();
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,136 @@
+/// \file trace.hpp
+/// \brief Span-based tracing with Chrome-trace-event (Perfetto) export —
+///        one relaxed atomic load when disabled.
+///
+/// The DP, the staged builder and the sweep drivers are observed through
+/// RAII spans:
+///
+/// \code
+///   void dp_rank(...) {
+///     TRACE_SPAN("dp_rank");          // nested spans nest in the export
+///     ...
+///   }
+/// \endcode
+///
+/// Cost model (same discipline as util::FaultInjector): when tracing is
+/// disabled — the default — constructing a span is a single relaxed
+/// atomic load and a predictable branch; nothing is allocated, locked or
+/// timestamped, so instrumented hot paths pay (near) zero. When enabled,
+/// each span records a begin and an end event into a per-thread buffer
+/// (one uncontended mutex acquisition per event; the mutex exists only so
+/// export can run while pool workers are mid-span).
+///
+/// Export: `Trace::save_chrome_json` writes the Chrome trace-event JSON
+/// array format (`{"traceEvents":[...]}`) that chrome://tracing and
+/// Perfetto load directly. `Trace::summary()` folds the same events into
+/// an aggregated call tree (count / total / self time per span path) —
+/// the `rank_tool trace` report.
+///
+/// Span names must be string literals (or otherwise outlive the capture):
+/// the buffer stores the pointer, never a copy.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iarank::util {
+
+class Trace {
+ public:
+  /// One raw trace event. `begin` events open a span on their thread's
+  /// stack; the matching end event closes it (strictly nested per thread,
+  /// guaranteed by the RAII recorder).
+  struct Event {
+    const char* name = nullptr;  ///< static string; null for end events
+    std::int64_t ts_ns = 0;      ///< steady-clock nanoseconds since enable()
+    bool begin = false;
+  };
+
+  /// Aggregated call-tree node: every occurrence of a span name at the
+  /// same stack path, merged across threads.
+  struct SummaryNode {
+    std::string name;
+    std::int64_t count = 0;
+    std::int64_t total_ns = 0;  ///< inclusive wall time
+    std::int64_t self_ns = 0;   ///< total minus traced children
+    std::vector<SummaryNode> children;  ///< ordered by first appearance
+  };
+
+  /// Hot-path gate; the only cost tracing adds while disabled.
+  [[nodiscard]] static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Starts a fresh capture: clears every thread's buffer and re-zeroes
+  /// the timebase. Idempotent while already enabled (re-clears).
+  static void enable();
+
+  /// Stops recording. Spans already open still record their end event so
+  /// every begin stays matched. Buffers are kept for export.
+  static void disable();
+
+  /// Events recorded so far, grouped per thread (index = stable small
+  /// thread id, assigned in first-use order). Thread-safe.
+  [[nodiscard]] static std::vector<std::vector<Event>> snapshot();
+
+  /// Chrome trace-event JSON: `{"traceEvents":[...]}`, one event per
+  /// line, "B"/"E" phases, ts in microseconds, pid 1, tid = stable id.
+  static void write_chrome_json(std::ostream& os);
+
+  /// write_chrome_json through util::atomic_write_file.
+  static void save_chrome_json(const std::string& path);
+
+  /// The aggregated call tree (top-level spans as roots), merged across
+  /// threads by span-name path.
+  [[nodiscard]] static std::vector<SummaryNode> summary();
+
+  /// Renders `summary()` as an indented table (name, count, total ms,
+  /// self ms) — what `rank_tool trace` prints.
+  [[nodiscard]] static std::string summary_report();
+
+  /// Called by TraceSpan only, and only while a capture is (or was at
+  /// span entry) enabled.
+  static void record(const char* name, bool begin);
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+/// RAII span recorder. Decides at construction whether this span records
+/// (tracing enabled at entry); the end event is then recorded even if
+/// tracing is disabled mid-span, so begins and ends always match.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Trace::enabled()) [[unlikely]] {
+      name_ = name;
+      Trace::record(name, /*begin=*/true);
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) [[unlikely]] {
+      Trace::record(name_, /*begin=*/false);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null when this span does not record
+};
+
+}  // namespace iarank::util
+
+// TRACE_SPAN("name"): opens a span covering the rest of the enclosing
+// scope. Needs a unique variable name per line to allow several spans in
+// one scope.
+#define IARANK_TRACE_CONCAT2(a, b) a##b
+#define IARANK_TRACE_CONCAT(a, b) IARANK_TRACE_CONCAT2(a, b)
+#define TRACE_SPAN(name) \
+  const ::iarank::util::TraceSpan IARANK_TRACE_CONCAT( \
+      iarank_trace_span_, __LINE__)(name)

@@ -1,0 +1,356 @@
+/// Tests for the tracing & metrics layer (src/util/trace, src/util/metrics)
+/// and its instrumentation contracts:
+///
+///  * deterministic counters are bitwise-identical across thread counts;
+///  * an exported trace is well-formed (every B has a matching E, spans
+///    nest strictly per thread);
+///  * the disabled span path allocates nothing;
+///  * Stopwatch/ScopedTimer never report negative elapsed time.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/error.hpp"
+#include "src/util/metrics.hpp"
+#include "src/util/stopwatch.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/trace.hpp"
+
+namespace core = iarank::core;
+namespace util = iarank::util;
+
+namespace {
+
+/// Global allocation counter for the zero-allocation contract. Counting
+/// is toggled so gtest's own bookkeeping does not pollute the window.
+std::atomic<std::int64_t> g_allocations{0};
+std::atomic<bool> g_count_allocations{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+// --- metric primitives -------------------------------------------------------
+
+TEST(Metrics, CounterGaugeBasics) {
+  util::Counter c;
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+
+  util::Gauge g;
+  g.set(7);
+  g.set_max(3);
+  EXPECT_EQ(g.value(), 7);
+  g.set_max(11);
+  EXPECT_EQ(g.value(), 11);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 10);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles) {
+  util::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[3], 1);
+  // Quantiles are interpolated but always bounded by the exact max.
+  EXPECT_LE(h.quantile(0.99), h.max());
+  EXPECT_GE(h.quantile(0.99), 50.0);
+  EXPECT_GT(h.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, RegistryReturnsSameMetricForSameName) {
+  util::Counter& a =
+      util::MetricsRegistry::counter("iarank_test_registry_total");
+  util::Counter& b =
+      util::MetricsRegistry::counter("iarank_test_registry_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW((void)util::MetricsRegistry::gauge("iarank_test_registry_total"),
+               util::Error);
+}
+
+TEST(Metrics, PrometheusExportContainsRegisteredMetrics) {
+  util::MetricsRegistry::counter("iarank_test_export_total", "a test counter")
+      .inc(3);
+  std::ostringstream os;
+  util::MetricsRegistry::instance().write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE iarank_test_export_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("iarank_test_export_total 3"), std::string::npos);
+  // The instrumented modules register at namespace scope, so their
+  // metrics are present (possibly at zero) in every export.
+  for (const char* name :
+       {"iarank_dp_cells_total", "iarank_free_pack_bunch_takes_total",
+        "iarank_pool_tasks_total", "iarank_checkpoint_records_written_total",
+        "iarank_builder_coarsen_hits_total", "iarank_sweep_points_ok_total"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Metrics, SummarizeTimings) {
+  EXPECT_DOUBLE_EQ(util::summarize_timings({}).max, 0.0);
+  const util::TimingSummary one = util::summarize_timings({3.0});
+  EXPECT_DOUBLE_EQ(one.p50, 3.0);
+  EXPECT_DOUBLE_EQ(one.max, 3.0);
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const util::TimingSummary s = util::summarize_timings(samples);
+  EXPECT_DOUBLE_EQ(s.p50, 51.0);
+  EXPECT_DOUBLE_EQ(s.p95, 96.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+// --- timing primitives -------------------------------------------------------
+
+TEST(Stopwatch, ElapsedIsNeverNegative) {
+  // Regression: wall-clock timers must be steady_clock-based; a
+  // system-clock step backwards (NTP) must not produce negative elapsed.
+  util::Stopwatch sw;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(sw.seconds(), 0.0);
+  }
+  util::ScopedTimer timer(nullptr);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(timer.seconds(), 0.0);
+  }
+}
+
+TEST(Stopwatch, ScopedTimerAccumulatesIntoSinkAndHistogram) {
+  double sink = 0.0;
+  util::Histogram h(util::Histogram::duration_bounds());
+  {
+    const util::ScopedTimer timer(&sink, &h);
+  }
+  {
+    const util::ScopedTimer timer(&sink, &h);
+  }
+  EXPECT_GE(sink, 0.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+// --- determinism across thread counts ---------------------------------------
+
+/// The deterministic counter subset: totals that count work whose amount
+/// is a pure function of the input, independent of scheduling. Pool
+/// metrics (tasks, queue depth, durations) are deliberately excluded.
+const char* const kDeterministicCounters[] = {
+    "iarank_dp_runs_total",          "iarank_dp_cells_total",
+    "iarank_dp_heap_pops_total",     "iarank_dp_verify_calls_total",
+    "iarank_free_pack_calls_total",  "iarank_free_pack_bunch_takes_total",
+    "iarank_builder_builds_total",   "iarank_builder_coarsen_misses_total",
+    "iarank_builder_die_misses_total", "iarank_builder_stack_misses_total",
+    "iarank_builder_plans_misses_total", "iarank_sweep_points_ok_total",
+    "iarank_sweep_points_failed_total",
+};
+
+std::map<std::string, std::int64_t> deterministic_delta(
+    const std::map<std::string, std::int64_t>& before,
+    const std::map<std::string, std::int64_t>& after) {
+  std::map<std::string, std::int64_t> out;
+  for (const char* name : kDeterministicCounters) {
+    const auto b = before.find(name);
+    const auto a = after.find(name);
+    out[name] = (a != after.end() ? a->second : 0) -
+                (b != before.end() ? b->second : 0);
+  }
+  return out;
+}
+
+std::map<std::string, std::int64_t> sweep_counter_delta(unsigned threads) {
+  const core::DesignSpec design = core::baseline_design("130nm", 500000);
+  core::RankOptions options;
+  const iarank::wld::Wld wld = core::default_wld(design);
+  core::InstanceBuilder builder(design, wld);
+
+  const auto before = util::MetricsRegistry::instance().snapshot_values();
+  const core::SweepResult sweep =
+      core::sweep_parameter(builder, options, core::SweepParameter::kMillerFactor,
+                            {2.0, 1.8, 1.6, 1.4, 1.2, 1.0}, threads);
+  EXPECT_EQ(sweep.profile.failed_points, 0);
+  const auto after = util::MetricsRegistry::instance().snapshot_values();
+  return deterministic_delta(before, after);
+}
+
+TEST(MetricsDeterminism, CounterTotalsIdenticalAcrossJobs) {
+  const auto jobs1 = sweep_counter_delta(1);
+  const auto jobs4 = sweep_counter_delta(4);
+  const auto jobs8 = sweep_counter_delta(8);
+  EXPECT_GT(jobs1.at("iarank_dp_cells_total"), 0);
+  EXPECT_GT(jobs1.at("iarank_free_pack_bunch_takes_total"), 0);
+  EXPECT_EQ(jobs1, jobs4);
+  EXPECT_EQ(jobs1, jobs8);
+}
+
+// --- trace capture and export ------------------------------------------------
+
+TEST(Trace, SpansRecordOnlyWhenEnabled) {
+  util::Trace::disable();
+  util::Trace::enable();  // fresh capture
+  util::Trace::disable();
+  { TRACE_SPAN("trace.test.disabled"); }
+  for (const auto& events : util::Trace::snapshot()) {
+    for (const auto& e : events) {
+      if (e.name != nullptr) EXPECT_STRNE(e.name, "trace.test.disabled");
+    }
+  }
+
+  util::Trace::enable();
+  {
+    TRACE_SPAN("trace.test.outer");
+    TRACE_SPAN("trace.test.inner");
+  }
+  util::Trace::disable();
+  std::int64_t begins = 0;
+  std::int64_t ends = 0;
+  for (const auto& events : util::Trace::snapshot()) {
+    for (const auto& e : events) {
+      (e.begin ? begins : ends) += 1;
+    }
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+}
+
+TEST(Trace, SummaryFoldsNestedSpans) {
+  util::Trace::enable();
+  for (int i = 0; i < 3; ++i) {
+    TRACE_SPAN("trace.test.root");
+    TRACE_SPAN("trace.test.child");
+  }
+  util::Trace::disable();
+  const auto roots = util::Trace::summary();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "trace.test.root");
+  EXPECT_EQ(roots[0].count, 3);
+  ASSERT_EQ(roots[0].children.size(), 1u);
+  EXPECT_EQ(roots[0].children[0].name, "trace.test.child");
+  EXPECT_EQ(roots[0].children[0].count, 3);
+  EXPECT_GE(roots[0].total_ns, roots[0].children[0].total_ns);
+  EXPECT_EQ(roots[0].self_ns,
+            roots[0].total_ns - roots[0].children[0].total_ns);
+}
+
+/// Parses the exporter's line-per-event JSON and checks the Chrome
+/// trace-event contract the satellite demands: every "B" has a matching
+/// "E" and spans nest strictly within each tid.
+TEST(Trace, ExportedJsonIsBalancedAndNested) {
+  util::Trace::enable();
+  {
+    const core::DesignSpec design = core::baseline_design("130nm", 200000);
+    core::RankOptions options;
+    (void)core::compute_rank(design, options);
+  }
+  util::Trace::disable();
+
+  std::ostringstream os;
+  util::Trace::write_chrome_json(os);
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"traceEvents\":[");
+
+  const auto field = [](const std::string& text, const std::string& key) {
+    const std::string quoted = "\"" + key + "\":";
+    const std::size_t at = text.find(quoted);
+    EXPECT_NE(at, std::string::npos) << key << " missing in: " << text;
+    std::size_t begin = at + quoted.size();
+    std::size_t end = begin;
+    if (text[begin] == '"') {
+      ++begin;
+      end = text.find('"', begin);
+    } else {
+      end = text.find_first_of(",}", begin);
+    }
+    return text.substr(begin, end - begin);
+  };
+
+  std::map<std::string, std::vector<std::string>> stacks;  // tid -> names
+  std::map<std::string, double> last_ts;
+  std::int64_t events = 0;
+  bool saw_dp_rank = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '{') break;  // closing "]}"
+    ++events;
+    const std::string name = field(line, "name");
+    const std::string ph = field(line, "ph");
+    const std::string tid = field(line, "tid");
+    const double ts = std::stod(field(line, "ts"));
+    saw_dp_rank = saw_dp_rank || name == "dp_rank";
+
+    // Timestamps are non-decreasing per thread (steady clock).
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) EXPECT_GE(ts, it->second);
+    last_ts[tid] = ts;
+
+    auto& stack = stacks[tid];
+    if (ph == "B") {
+      stack.push_back(name);
+    } else {
+      ASSERT_EQ(ph, "E");
+      ASSERT_FALSE(stack.empty()) << "E without open span on tid " << tid;
+      EXPECT_EQ(stack.back(), name) << "spans must nest per thread";
+      stack.pop_back();
+    }
+  }
+  EXPECT_GT(events, 0);
+  EXPECT_TRUE(saw_dp_rank);
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+// --- disabled-path cost ------------------------------------------------------
+
+TEST(Trace, DisabledSpanPathAllocatesNothing) {
+  util::Trace::disable();
+  util::Counter& counter =
+      util::MetricsRegistry::counter("iarank_test_zero_alloc_total");
+  util::Histogram& histogram = util::MetricsRegistry::histogram(
+      "iarank_test_zero_alloc_seconds", util::Histogram::duration_bounds());
+
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 100000; ++i) {
+    TRACE_SPAN("trace.test.zero_alloc");
+    counter.inc();
+    histogram.observe(1e-6);
+  }
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0);
+}
+
+}  // namespace

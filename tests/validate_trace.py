@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file written by `rank_tool --trace`.
+
+Checks (exit 0 when all hold, 1 otherwise, 2 on usage/IO errors):
+  * the file is valid JSON of the form {"traceEvents": [...]}
+  * every event carries name/ph/ts/pid/tid, with ph in {"B", "E"}
+  * per tid, every "B" has a matching "E" and spans nest strictly
+    (the "E" closes the innermost open span of the same name)
+  * per tid, timestamps are non-decreasing
+  * at least one known top-level span is present (the trace actually
+    captured the instrumented pipeline, not just an empty envelope)
+
+Usage: validate_trace.py FILE.json [--require-span NAME]...
+"""
+
+import json
+import sys
+
+KNOWN_SPANS = {
+    "sweep", "sweep.point", "builder.build", "dp_rank", "compute_rank",
+    "selfcheck", "faultcheck",
+}
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    required = []
+    args = argv[2:]
+    while args:
+        if args[0] == "--require-span" and len(args) >= 2:
+            required.append(args[1])
+            args = args[2:]
+        else:
+            print(f"validate_trace: unknown argument {args[0]}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_trace: cannot load {path}: {e}", file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("traceEvents must be an array")
+
+    stacks = {}   # tid -> [open span names]
+    last_ts = {}  # tid -> last timestamp seen
+    names = set()
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                return fail(f"event {i} lacks required key '{key}': {e}")
+        if e["ph"] not in ("B", "E"):
+            return fail(f"event {i} has unexpected phase {e['ph']!r}")
+        if not isinstance(e["ts"], (int, float)):
+            return fail(f"event {i} ts is not numeric: {e['ts']!r}")
+        tid = e["tid"]
+        if tid in last_ts and e["ts"] < last_ts[tid]:
+            return fail(f"event {i}: ts went backwards on tid {tid}")
+        last_ts[tid] = e["ts"]
+
+        stack = stacks.setdefault(tid, [])
+        if e["ph"] == "B":
+            stack.append(e["name"])
+            names.add(e["name"])
+        else:
+            if not stack:
+                return fail(f"event {i}: 'E' with no open span on tid {tid}")
+            if stack[-1] != e["name"]:
+                return fail(
+                    f"event {i}: 'E' for {e['name']!r} but innermost open "
+                    f"span on tid {tid} is {stack[-1]!r} (bad nesting)")
+            stack.pop()
+
+    for tid, stack in stacks.items():
+        if stack:
+            return fail(f"tid {tid} ends with unclosed spans: {stack}")
+    if not events:
+        return fail("trace contains no events")
+    if not names & KNOWN_SPANS:
+        return fail(f"no known pipeline span found; saw {sorted(names)[:10]}")
+    for name in required:
+        if name not in names:
+            return fail(f"required span {name!r} not present")
+
+    n_threads = len(stacks)
+    print(f"validate_trace: OK: {len(events)} events, {n_threads} thread(s), "
+          f"{len(names)} distinct spans")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,13 @@
 ///                       [--checkpoint FILE]
 ///   rank_tool faultcheck <seeds> [--first-seed N]
 ///
+/// Global observability flags, accepted anywhere on any command line:
+///   --trace FILE.json   capture spans and write Chrome trace-event JSON
+///                       (load in Perfetto / chrome://tracing); written
+///                       even when the command fails
+///   --metrics FILE      write the process metric registry; a .json path
+///                       gets JSON, anything else Prometheus text
+///
 /// Commands:
 ///   rank                      (default) compute and print the rank
 ///   sweep <K|M|C|R> <lo> <hi> <steps> [--csv] [--out file.csv]
@@ -32,6 +39,10 @@
 ///                             seed repro (minimized when --shrink).
 ///                             --checkpoint journals checked seeds for
 ///                             crash-resume.
+///   trace                     run one instance build + exact DP with
+///                             tracing force-enabled and print the
+///                             aggregated span tree (count, total ms,
+///                             self ms per span path)
 ///   faultcheck                deterministic fault injection: sweep
 ///                             one-shot failures across every registered
 ///                             fault site x <seeds> seeds and assert each
@@ -49,6 +60,7 @@
 #include <cmath>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/iarank.hpp"
 #include "src/core/config_run.hpp"
@@ -57,7 +69,9 @@
 #include "src/core/selfcheck.hpp"
 #include "src/core/sensitivity.hpp"
 #include "src/core/verify.hpp"
+#include "src/util/metrics.hpp"
 #include "src/util/strings.hpp"
+#include "src/util/trace.hpp"
 
 namespace {
 
@@ -145,6 +159,18 @@ int cmd_wld(const core::RunSpec& /*spec*/, const wld::Wld& wld) {
   return 0;
 }
 
+int cmd_trace(const core::RunSpec& spec, const wld::Wld& wld) {
+  // Force-enable even without --trace: this command IS the trace viewer.
+  util::Trace::enable();
+  core::InstanceBuilder builder(spec.design, wld);
+  const auto inst = builder.build(spec.options);
+  const auto r = core::dp_rank(inst);
+  std::cout << "rank = " << r.rank << " (normalized "
+            << util::TextTable::num(r.normalized, 6) << ")\n\n";
+  std::cout << util::Trace::summary_report();
+  return 0;
+}
+
 int sweep_usage() {
   std::cerr << "usage: rank_tool <config> sweep <K|M|C|R> <lo> <hi> <steps>"
                " [--csv] [--out file.csv] [--checkpoint file.journal]\n";
@@ -227,7 +253,10 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
   }
   if (sweep.profile.failed_points > 0) {
     std::cout << "warning: " << sweep.profile.failed_points
-              << " point(s) failed; see the n/a rows\n";
+              << " point(s) failed; see the n/a rows ("
+              << util::TextTable::num(
+                     sweep.profile.failed_point_seconds * 1e3, 3)
+              << " ms spent on failed points)\n";
   }
   if (!out.empty()) {
     core::save_sweep_csv(out, sweep);
@@ -317,6 +346,13 @@ int cmd_selfcheck(int argc, char** argv) {
             << "\n";
   std::cout << "  mismatches                " << report.failures.size()
             << "\n";
+  if (report.scenarios > report.resumed) {
+    std::cout << "  seed time p50/p95/max ms  "
+              << util::TextTable::num(report.seed_seconds_p50 * 1e3, 3) << " / "
+              << util::TextTable::num(report.seed_seconds_p95 * 1e3, 3) << " / "
+              << util::TextTable::num(report.seed_seconds_max * 1e3, 3)
+              << "\n";
+  }
   for (const core::SelfCheckFailure& f : report.failures) {
     std::cout << "\nMISMATCH seed " << f.seed << ": " << f.mismatch << "\n";
     std::cout << (options.shrink ? "--- shrunk repro ---\n"
@@ -376,6 +412,12 @@ int cmd_faultcheck(int argc, char** argv) {
   }
   std::cout << table;
   std::cout << "armed runs: " << report.runs << "\n";
+  if (report.runs > 0) {
+    std::cout << "run time p50/p95/max ms: "
+              << util::TextTable::num(report.run_seconds_p50 * 1e3, 3) << " / "
+              << util::TextTable::num(report.run_seconds_p95 * 1e3, 3) << " / "
+              << util::TextTable::num(report.run_seconds_max * 1e3, 3) << "\n";
+  }
   for (const std::string& v : report.violations) {
     std::cout << "VIOLATION: " << v << "\n";
   }
@@ -383,15 +425,37 @@ int cmd_faultcheck(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
-}  // namespace
+/// Global observability flags, stripped from argv before dispatch so every
+/// subcommand accepts them in any position.
+struct ObservabilityFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  bool bad_usage = false;
+};
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: rank_tool <config-file> [rank|sweep|profile|wld] ...\n"
-                 "       rank_tool selfcheck <seeds> [--shrink]\n"
-                 "       rank_tool faultcheck <seeds> [--first-seed N]\n";
-    return 2;
+ObservabilityFlags strip_observability_flags(int& argc, char** argv) {
+  ObservabilityFlags flags;
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  for (int a = 0; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--trace" || arg == "--metrics") {
+      if (a + 1 >= argc) {
+        std::cerr << "rank_tool: " << arg << " needs a file argument\n";
+        flags.bad_usage = true;
+        return flags;
+      }
+      (arg == "--trace" ? flags.trace_path : flags.metrics_path) = argv[++a];
+      continue;
+    }
+    kept.push_back(argv[a]);
   }
+  for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
+  argc = static_cast<int>(kept.size());
+  return flags;
+}
+
+int dispatch(int argc, char** argv) {
   // Single top-level handler: util::Error categories map onto exit codes
   // (user error -> 2, internal/unknown -> 1), so scripts and CI can tell
   // "you gave me a bad config" from "the tool itself broke".
@@ -411,6 +475,7 @@ int main(int argc, char** argv) {
     if (command == "profile") return cmd_profile(spec, wld);
     if (command == "wld") return cmd_wld(spec, wld);
     if (command == "sensitivity") return cmd_sensitivity(spec, wld);
+    if (command == "trace") return cmd_trace(spec, wld);
     if (command == "sweep") return cmd_sweep(spec, wld, argc - 3, argv + 3);
     std::cerr << "unknown command '" << command << "'\n";
     return 2;
@@ -430,4 +495,42 @@ int main(int argc, char** argv) {
     std::cerr << "rank_tool: internal error: " << e.what() << "\n";
     return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ObservabilityFlags obs = strip_observability_flags(argc, argv);
+  if (obs.bad_usage) return 2;
+  if (argc < 2) {
+    std::cerr << "usage: rank_tool <config-file>"
+                 " [rank|sweep|profile|sensitivity|trace|wld] ...\n"
+                 "       rank_tool selfcheck <seeds> [--shrink]\n"
+                 "       rank_tool faultcheck <seeds> [--first-seed N]\n"
+                 "       any command also accepts --trace FILE.json and"
+                 " --metrics FILE\n";
+    return 2;
+  }
+
+  if (!obs.trace_path.empty()) iarank::util::Trace::enable();
+  int rc = dispatch(argc, argv);
+
+  // Exports happen even when the command failed: a trace of the failing
+  // run is exactly what the flag was passed for.
+  try {
+    if (!obs.trace_path.empty()) {
+      iarank::util::Trace::disable();
+      iarank::util::Trace::save_chrome_json(obs.trace_path);
+      std::cerr << "trace written to " << obs.trace_path << "\n";
+    }
+    if (!obs.metrics_path.empty()) {
+      iarank::util::MetricsRegistry::instance().save(obs.metrics_path);
+      std::cerr << "metrics written to " << obs.metrics_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rank_tool: observability export failed: " << e.what()
+              << "\n";
+    if (rc == 0) rc = 2;
+  }
+  return rc;
 }
