@@ -1,0 +1,98 @@
+/// \file bench_dp_kernel.cpp
+/// \brief Microbenchmarks of the DP hot path at paper scale: the full
+///        solve (cold / warm / pruning off), the delay-free packer it
+///        leans on, and the per-iteration counter profile. Run by
+///        tests/bench_snapshot.sh to produce BENCH_dp.json.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/dp_rank.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/free_pack.hpp"
+#include "src/core/instance_builder.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/core/sweep.hpp"
+#include "src/wld/wld.hpp"
+
+namespace {
+
+using namespace iarank;
+
+/// The Table 4 baseline instance (130 nm, 1M gates), built once.
+const core::Instance& baseline_instance() {
+  static const core::Instance inst = [] {
+    const core::PaperSetup setup = core::paper_baseline();
+    const wld::Wld wld = core::default_wld(setup.design);
+    return core::InstanceBuilder(setup.design, wld).build(setup.options);
+  }();
+  return inst;
+}
+
+/// Full exact solve, cold. Counters expose where the time goes: the
+/// forward sweep line's share, states committed, and how few candidates
+/// the best-first search actually verifies.
+void BM_DpRankCold(benchmark::State& state) {
+  const core::Instance& inst = baseline_instance();
+  core::DpOptions opt;
+  opt.build_trace = false;
+  core::RankResult last;
+  for (auto _ : state) {
+    last = core::dp_rank(inst, opt);
+    benchmark::DoNotOptimize(last.rank);
+  }
+  state.counters["arena_nodes"] = static_cast<double>(last.dp.arena_nodes);
+  state.counters["max_frontier"] = static_cast<double>(last.dp.max_frontier);
+  state.counters["heap_pops"] = static_cast<double>(last.dp.heap_pops);
+  state.counters["verify_calls"] = static_cast<double>(last.dp.verify_calls);
+  state.counters["forward_frac"] =
+      last.dp.seconds > 0.0 ? last.dp.forward_seconds / last.dp.seconds : 0.0;
+}
+BENCHMARK(BM_DpRankCold)->Unit(benchmark::kMicrosecond);
+
+/// The same solve fed its own witness as a warm start — the best case a
+/// sweep neighbour can offer. Results are bitwise-identical to the cold
+/// solve; only the pruning pressure moves.
+void BM_DpRankWarm(benchmark::State& state) {
+  const core::Instance& inst = baseline_instance();
+  core::DpOptions opt;
+  opt.build_trace = false;
+  const core::RankResult cold = core::dp_rank(inst, opt);
+  opt.warm_start = &cold.witness;
+  core::RankResult last;
+  for (auto _ : state) {
+    last = core::dp_rank(inst, opt);
+    benchmark::DoNotOptimize(last.rank);
+  }
+  state.counters["warm_hit"] = last.dp.warm_start_hit ? 1.0 : 0.0;
+  state.counters["pruned_entries"] =
+      static_cast<double>(last.dp.pruned_entries);
+}
+BENCHMARK(BM_DpRankWarm)->Unit(benchmark::kMicrosecond);
+
+/// Pruning disabled (the differential-test configuration): the gap to
+/// BM_DpRankCold is the incumbent bound's contribution.
+void BM_DpRankNoPruning(benchmark::State& state) {
+  const core::Instance& inst = baseline_instance();
+  core::DpOptions opt;
+  opt.build_trace = false;
+  opt.enable_pruning = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dp_rank(inst, opt).rank);
+  }
+}
+BENCHMARK(BM_DpRankNoPruning)->Unit(benchmark::kMicrosecond);
+
+/// The Lemma-1 delay-free packer on its own — the per-candidate cost the
+/// best-first search pays for each verification.
+void BM_FreePack(benchmark::State& state) {
+  const core::Instance& inst = baseline_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::free_pack_feasible(inst, core::FreePackInput{}));
+  }
+}
+BENCHMARK(BM_FreePack)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

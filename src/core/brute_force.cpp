@@ -78,20 +78,20 @@ class Enumerator {
 
   [[nodiscard]] bool feasible(const std::vector<std::size_t>& chunk_end,
                               std::size_t prefix) const {
-    // Delay feasibility and budget for prefix bunches.
+    // Delay feasibility and budget for prefix bunches, via the instance's
+    // prefix-cost tables (shared with every other engine).
     double rep_area = 0.0;
     std::vector<double> reps_per_pair(m_, 0.0);
     std::size_t start = 0;
     for (std::size_t q = 0; q < m_; ++q) {
-      for (std::size_t t = start; t < chunk_end[q]; ++t) {
-        if (t < prefix) {
-          const DelayPlan& plan = inst_.plan(t, q);
-          if (!plan.feasible) return false;
-          const auto count = static_cast<double>(inst_.bunch(t).count);
-          rep_area += count * plan.area_per_wire;
-          reps_per_pair[q] +=
-              count * static_cast<double>(plan.repeaters_per_wire());
-        }
+      const std::size_t met_end = std::min(chunk_end[q], prefix);
+      if (met_end > start) {
+        if (inst_.first_infeasible(q, start) < met_end) return false;
+        rep_area += inst_.prefix_repeater_area(q, met_end) -
+                    inst_.prefix_repeater_area(q, start);
+        reps_per_pair[q] += static_cast<double>(
+            inst_.prefix_repeater_count(q, met_end) -
+            inst_.prefix_repeater_count(q, start));
       }
       start = chunk_end[q];
     }
@@ -103,13 +103,11 @@ class Enumerator {
     double reps_above = 0.0;
     start = 0;
     for (std::size_t q = 0; q < m_; ++q) {
-      double wire_area = 0.0;
-      double wires_here = 0.0;
-      for (std::size_t t = start; t < chunk_end[q]; ++t) {
-        const std::int64_t count = inst_.bunch(t).count;
-        wire_area += inst_.wire_area(t, q, count);
-        wires_here += static_cast<double>(count);
-      }
+      const double wire_area = inst_.prefix_wire_area(q, chunk_end[q]) -
+                               inst_.prefix_wire_area(q, start);
+      const double wires_here =
+          static_cast<double>(inst_.wires_before(chunk_end[q]) -
+                              inst_.wires_before(start));
       const double capacity =
           inst_.pair_capacity() - inst_.blockage(q, wires_above, reps_above);
       if (wire_area > capacity + inst_.pair_capacity() * kRelTol) return false;

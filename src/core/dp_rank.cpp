@@ -20,8 +20,11 @@ namespace iarank::core {
 namespace {
 
 // DP effort mirrored into the process registry once per solve. Every
-// count is deterministic per instance, so the totals are identical across
-// thread counts and hosts.
+// count except pruned_entries and the warm-start pair is deterministic
+// per instance, so those totals are identical across thread counts and
+// hosts. Pruned/warm counts depend on which warm witness a sweep point
+// received, which is scheduling-dependent — results are not (DESIGN.md
+// Section 10.4).
 util::Counter& kDpRuns = util::MetricsRegistry::counter(
     "iarank_dp_runs_total", "dp_rank invocations");
 util::Counter& kDpCells = util::MetricsRegistry::counter(
@@ -30,6 +33,21 @@ util::Counter& kDpHeapPops = util::MetricsRegistry::counter(
     "iarank_dp_heap_pops_total", "best-first candidates examined");
 util::Counter& kDpVerifyCalls = util::MetricsRegistry::counter(
     "iarank_dp_verify_calls_total", "free-pack verifications run by the DP");
+util::Counter& kDpPrunedEntries = util::MetricsRegistry::counter(
+    "iarank_dp_pruned_entries_total",
+    "heap pushes skipped by incumbent/warm-start bounds");
+util::Counter& kDpWarmChecks = util::MetricsRegistry::counter(
+    "iarank_dp_warm_start_checks_total",
+    "solves offered a warm-start witness");
+util::Counter& kDpWarmHits = util::MetricsRegistry::counter(
+    "iarank_dp_warm_start_hits_total",
+    "warm-start witnesses verified feasible on the new instance");
+util::Counter& kDpFrontierDominated = util::MetricsRegistry::counter(
+    "iarank_dp_frontier_dominated_total",
+    "frontier newcomers dropped as dominated");
+util::Counter& kDpFrontierErased = util::MetricsRegistry::counter(
+    "iarank_dp_frontier_erased_total",
+    "frontier incumbents erased by a dominating newcomer");
 util::Gauge& kDpMaxFrontier = util::MetricsRegistry::gauge(
     "iarank_dp_max_frontier", "largest Pareto frontier seen (high-water)");
 
@@ -45,12 +63,31 @@ struct Node {
 };
 
 /// Frontier entry: the Pareto key duplicated next to the arena index, so
-/// dominance scans touch one contiguous array instead of chasing arena
-/// pointers (the scans dominate forward-pass time).
+/// dominance checks touch one contiguous array instead of chasing arena
+/// pointers. Each bucket's frontier is built exactly once by the sweep
+/// line, already sorted — r strictly ascending, z strictly descending
+/// (DESIGN.md Section 10.2).
 struct FrontEntry {
   double r = 0.0;
   std::int64_t z = 0;
   std::int32_t idx = -1;  ///< arena index of the full node
+};
+
+/// A chunk source in the forward sweep line: the state at (level j,
+/// bucket b) offering delay-met chunks [b, t) to every target bucket
+/// t in [b+1, end]. Its candidate at t costs
+///   (prefix_repeater_area(j, t) + kr, prefix_repeater_count(j, t) + kz),
+/// so the key (kr, kz) is target-independent: one source Pareto-dominates
+/// another at EVERY shared target iff it dominates in key space. That is
+/// what lets the forward pass emit each bucket's frontier straight from
+/// the active Pareto set instead of inserting every (source, c) candidate
+/// one by one (DESIGN.md Section 10.3).
+struct ActiveSource {
+  double kr = 0.0;           ///< r - prefix_repeater_area at the source bucket
+  std::int64_t kz = 0;       ///< z - prefix_repeater_count at the source bucket
+  std::int64_t end = 0;      ///< last admissible target bucket, inclusive
+  std::int64_t b = 0;        ///< source bucket (chunk length at t is t - b)
+  std::int32_t parent = -1;  ///< arena index of the source node
 };
 
 /// Heap entry: either an unverified iterator positioned at its best
@@ -65,10 +102,16 @@ struct HeapEntry {
   std::int64_t w_extra = 0;  ///< refined wires (verified entries only)
 };
 
+/// Strict total order: no two live entries compare equivalent, so the pop
+/// sequence is the fully sorted order regardless of heap layout. That is
+/// what makes push-time pruning invisible — removing entries that would
+/// never pop cannot reorder ties among the ones that do.
 struct HeapCmp {
   bool operator()(const HeapEntry& a, const HeapEntry& b) const {
     if (a.key != b.key) return a.key < b.key;  // max-heap on rank
-    return a.verified < b.verified;            // verified first on ties
+    if (a.verified != b.verified) return a.verified < b.verified;
+    if (a.node != b.node) return a.node > b.node;  // older state first
+    return a.c < b.c;                              // longer chunk first
   }
 };
 
@@ -86,6 +129,11 @@ void publish_stats(const RankResult::DpStats& stats) {
   kDpCells.inc(stats.arena_nodes);
   kDpHeapPops.inc(stats.heap_pops);
   kDpVerifyCalls.inc(stats.verify_calls);
+  kDpPrunedEntries.inc(stats.pruned_entries);
+  kDpFrontierDominated.inc(stats.frontier_dominated);
+  kDpFrontierErased.inc(stats.frontier_erased);
+  if (stats.warm_start_checked) kDpWarmChecks.inc();
+  if (stats.warm_start_hit) kDpWarmHits.inc();
   kDpMaxFrontier.set_max(stats.max_frontier);
 }
 
@@ -105,38 +153,72 @@ class DpSolver {
 
   std::vector<Node> arena_;
   /// levels_[j][b] = active Pareto frontier of states entering pair j with
-  /// bunch b unassigned. Dense by bunch index (was a std::map): the
-  /// forward pass walks buckets in the same ascending-b order, so survivor
-  /// sets, arena order and heap push order — hence results — are
-  /// unchanged, but lookup is an index instead of a tree walk.
+  /// bunch b unassigned. Dense by bunch index; each frontier is sorted
+  /// (r ascending, z descending).
   std::vector<std::vector<std::vector<FrontEntry>>> levels_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap_;
   RankResult::DpStats stats_;
+
+  /// Strict lower bound from a verified warm-start witness. Unverified
+  /// pushes with key < warm_bound_ are dropped; the witness itself is
+  /// never pushed, so it can never be returned (DESIGN.md Section 10.4).
+  std::int64_t warm_bound_ = std::numeric_limits<std::int64_t>::min();
+  /// Best verified key currently in the heap. Unverified pushes with
+  /// key <= incumbent_ are dropped: verified entries win ties, so such an
+  /// entry could never pop before the search terminates.
+  std::int64_t incumbent_ = std::numeric_limits<std::int64_t>::min();
 
   [[nodiscard]] double budget_tol() const {
     return inst_.repeater_budget() * kRelTol + 1e-30;
   }
   [[nodiscard]] double area_tol() const { return inst_.pair_capacity() * kRelTol; }
 
+  /// Sweep-line state of the forward pass, reused across levels.
+  std::vector<ActiveSource> actives_;  ///< Pareto set of live chunk sources
+  std::vector<std::vector<ActiveSource>> wakes_;  ///< suspended, by wake step
+  std::vector<Node> chunk_cands_;  ///< scratch: actives mapped to bucket t
+  std::vector<Node> c0_cands_;     ///< scratch: c = 0 carries into bucket t
+  std::vector<Node> merged_;       ///< scratch: fused frontier of bucket t
+
   [[nodiscard]] ChunkCost chunk_cost(std::int64_t b, std::size_t j,
                                      std::int64_t c, double base_r,
                                      double capacity) const;
 
-  /// Inserts a node into level/bunch state with dominance pruning:
-  /// dominated newcomers are dropped, newly dominated incumbents removed.
-  void add_node(std::size_t level, std::int64_t b, const Node& node);
+  /// Inserts a chunk source into the active Pareto set. A source dominated
+  /// for its whole target range is dropped; one that outlives all its
+  /// dominators is parked on the wake list of the step the last dominator
+  /// expires, and re-attempted then. Symmetrically, actives the newcomer
+  /// dominates are erased for good when the newcomer outlives them and
+  /// parked past its expiry otherwise. The invariant matches the frontier:
+  /// kr strictly ascending, kz strictly descending.
+  void activate(const ActiveSource& s);
+
+  /// Fuses the chunk candidates and the c = 0 carries into the final
+  /// Pareto frontier of (level, bucket t) and commits it to the arena.
+  /// Buckets are written exactly once, so every committed node is live —
+  /// superseded candidates never reach the arena.
+  void merge_and_materialize(std::size_t level, std::size_t t);
 
   void forward_pass();
+  void try_warm_start();
   void push_iterator(std::int32_t node, std::size_t j, std::int64_t b,
                      std::int64_t c);
-  [[nodiscard]] std::int64_t optimistic_rank(std::int64_t b,
-                                             std::int64_t c) const;
+
+  /// Boundary-refinement wire count for the break (j, b, c): how many
+  /// wires of the first failing bunch the leftover budget and area admit.
+  /// O(1); the same arithmetic verify() commits to, so using it inside
+  /// the optimistic key keeps the bound exact-or-above.
+  [[nodiscard]] std::int64_t refine_extra(std::size_t j, std::int64_t b,
+                                          std::int64_t c, double node_r,
+                                          const ChunkCost& cost,
+                                          double capacity) const;
 
   /// Verifies entry `e` (runs free_pack, attempts refinement). Returns the
   /// verified entry when some variant is feasible.
   [[nodiscard]] std::optional<HeapEntry> verify(const HeapEntry& e) const;
 
-  [[nodiscard]] FreePackInput pack_input(const HeapEntry& e,
+  [[nodiscard]] FreePackInput pack_input(std::size_t j, std::int64_t b,
+                                         std::int64_t c, std::int64_t node_z,
                                          const ChunkCost& cost,
                                          std::int64_t w_extra) const;
 
@@ -146,51 +228,178 @@ class DpSolver {
 ChunkCost DpSolver::chunk_cost(std::int64_t b, std::size_t j, std::int64_t c,
                                double base_r, double capacity) const {
   ChunkCost cost;
-  for (std::int64_t t = 0; t < c; ++t) {
-    const auto bb = static_cast<std::size_t>(b + t);
-    const DelayPlan& plan = inst_.plan(bb, j);
-    if (!plan.feasible) {
-      cost.ok = false;
-      return cost;
-    }
-    const std::int64_t count = inst_.bunch(bb).count;
-    cost.wire_area += inst_.wire_area(bb, j, count);
-    cost.rep_area += static_cast<double>(count) * plan.area_per_wire;
-    cost.rep_count += count * plan.repeaters_per_wire();
-    if (cost.wire_area > capacity + area_tol() ||
-        base_r + cost.rep_area > inst_.repeater_budget() + budget_tol()) {
-      cost.ok = false;
-      return cost;
-    }
+  if (c <= 0) return cost;
+  const auto bb = static_cast<std::size_t>(b);
+  const auto cc = static_cast<std::size_t>(c);
+  if (inst_.first_infeasible(j, bb) < bb + cc) {
+    cost.ok = false;
+    return cost;
+  }
+  const Instance::ChunkTotals totals = inst_.chunk_totals(j, bb, cc);
+  cost.wire_area = totals.wire_area;
+  cost.rep_area = totals.rep_area;
+  cost.rep_count = totals.rep_count;
+  if (cost.wire_area > capacity + area_tol() ||
+      base_r + cost.rep_area >
+          inst_.repeater_budget() + budget_tol()) {
+    cost.ok = false;
   }
   return cost;
 }
 
-std::int64_t DpSolver::optimistic_rank(std::int64_t b, std::int64_t c) const {
-  const std::int64_t base =
-      inst_.wires_before(static_cast<std::size_t>(std::min(b + c, n_bunches_)));
-  if (!opt_.refine_boundary || b + c >= n_bunches_) return base;
-  return base + inst_.bunch(static_cast<std::size_t>(b + c)).count;
+std::int64_t DpSolver::refine_extra(std::size_t j, std::int64_t b,
+                                    std::int64_t c, double node_r,
+                                    const ChunkCost& cost,
+                                    double capacity) const {
+  if (!opt_.refine_boundary || b + c >= n_bunches_) return 0;
+  const auto bb = static_cast<std::size_t>(b + c);
+  const DelayPlan& plan = inst_.plan(bb, j);
+  if (!plan.feasible) return 0;
+  const Bunch& bunch = inst_.bunch(bb);
+  std::int64_t by_budget = bunch.count;
+  if (plan.area_per_wire > 0.0) {
+    const double left =
+        inst_.repeater_budget() + budget_tol() - node_r - cost.rep_area;
+    by_budget = left <= 0.0
+                    ? 0
+                    : static_cast<std::int64_t>(
+                          std::floor(left / plan.area_per_wire));
+  }
+  const double area_left = capacity + area_tol() - cost.wire_area;
+  const double per_wire = bunch.length * inst_.pair(j).pitch;
+  const auto by_area = static_cast<std::int64_t>(
+      std::floor(std::max(0.0, area_left) / per_wire));
+  return std::clamp<std::int64_t>(std::min(by_budget, by_area), 0,
+                                  bunch.count);
 }
 
 void DpSolver::push_iterator(std::int32_t node, std::size_t j, std::int64_t b,
                              std::int64_t c) {
-  heap_.push({optimistic_rank(b, c), false, node, static_cast<std::int32_t>(j),
-              b, c, 0});
+  const Node& nd = arena_[static_cast<std::size_t>(node)];
+  const std::int64_t base =
+      inst_.wires_before(static_cast<std::size_t>(std::min(b + c, n_bunches_)));
+  std::int64_t key = base;
+  if (opt_.refine_boundary && b + c < n_bunches_) {
+    // Tight optimistic key: base + the refinement estimate instead of
+    // base + the whole next bunch. verify() can only return base + this
+    // estimate or base, so the bound stays admissible while skipping the
+    // dead key range in between — this is where the verify-call savings
+    // come from.
+    const double wires_above =
+        static_cast<double>(inst_.wires_before(static_cast<std::size_t>(b)));
+    const double capacity =
+        inst_.pair_capacity() -
+        inst_.blockage(j, wires_above, static_cast<double>(nd.z));
+    ChunkCost cost;
+    if (c > 0) {
+      const Instance::ChunkTotals totals = inst_.chunk_totals(
+          j, static_cast<std::size_t>(b), static_cast<std::size_t>(c));
+      cost.wire_area = totals.wire_area;
+      cost.rep_area = totals.rep_area;
+      cost.rep_count = totals.rep_count;
+    }
+    key = base + refine_extra(j, b, c, nd.r, cost, capacity);
+  }
+  if (key < warm_bound_ || (opt_.enable_pruning && key <= incumbent_)) {
+    ++stats_.pruned_entries;
+    return;
+  }
+  heap_.push({key, false, node, static_cast<std::int32_t>(j), b, c, 0});
 }
 
-void DpSolver::add_node(std::size_t level, std::int64_t b, const Node& node) {
-  auto& frontier = levels_[level][static_cast<std::size_t>(b)];
-  for (const FrontEntry& have : frontier) {
-    if (have.r <= node.r && have.z <= node.z) return;  // dominated newcomer
+void DpSolver::activate(const ActiveSource& s) {
+  // First active with kr >= s.kr. Everything before has strictly smaller
+  // kr; with kz strictly descending, the nearest dominance threats are the
+  // predecessor and an equal-kr incumbent.
+  const auto pos = std::lower_bound(
+      actives_.begin(), actives_.end(), s.kr,
+      [](const ActiveSource& have, double kr) { return have.kr < kr; });
+  std::int64_t dom_end = -1;
+  if (pos != actives_.begin() && std::prev(pos)->kz <= s.kz) {
+    dom_end = std::prev(pos)->end;
   }
-  std::erase_if(frontier, [&node](const FrontEntry& have) {
-    return node.r <= have.r && node.z <= have.z;
-  });
-  arena_.push_back(node);
-  frontier.push_back({node.r, node.z, static_cast<std::int32_t>(arena_.size() - 1)});
-  stats_.max_frontier = std::max(
-      stats_.max_frontier, static_cast<std::int64_t>(frontier.size()));
+  if (pos != actives_.end() && pos->kr == s.kr && pos->kz <= s.kz) {
+    dom_end = std::max(dom_end, pos->end);
+  }
+  if (dom_end >= s.end) {
+    ++stats_.frontier_dominated;
+    return;
+  }
+  if (dom_end >= 0) {
+    // Dominated for now but outlives the dominator: resurface at the
+    // first target the dominator no longer reaches. The dominator is live
+    // at the current step, so the wake step is strictly in the future.
+    wakes_[static_cast<std::size_t>(dom_end) + 1].push_back(s);
+    return;
+  }
+  // s is undominated and dominates the contiguous run [pos, q): kr >= s.kr
+  // and (by the descending-kz invariant) kz >= s.kz exactly up to the
+  // first active with kz < s.kz.
+  auto q = pos;
+  while (q != actives_.end() && q->kz >= s.kz) {
+    if (q->end > s.end) {
+      wakes_[static_cast<std::size_t>(s.end) + 1].push_back(*q);
+    } else {
+      ++stats_.frontier_erased;
+    }
+    ++q;
+  }
+  const auto at = actives_.erase(pos, q);
+  actives_.insert(at, s);
+}
+
+void DpSolver::merge_and_materialize(std::size_t level, std::size_t t) {
+  // Both inputs arrive sorted (r non-decreasing, z strictly descending;
+  // z is integral so only r can collapse to ties under rounding). The
+  // merge walks them by (r, then z), keeping the output an antichain:
+  // r strictly ascending, z strictly descending.
+  merged_.clear();
+  const auto push_cand = [this](const Node& nd) {
+    if (!merged_.empty()) {
+      const Node& back = merged_.back();
+      if (nd.z >= back.z) {  // nd.r >= back.r by order, so nd is dominated
+        ++stats_.frontier_dominated;
+        return;
+      }
+      if (nd.r == back.r) {  // equal area, strictly fewer repeaters: nd wins
+        ++stats_.frontier_erased;
+        merged_.pop_back();
+      }
+    }
+    merged_.push_back(nd);
+  };
+  std::size_t i = 0;
+  std::size_t k = 0;
+  while (i < chunk_cands_.size() || k < c0_cands_.size()) {
+    bool take_chunk;
+    if (i >= chunk_cands_.size()) {
+      take_chunk = false;
+    } else if (k >= c0_cands_.size()) {
+      take_chunk = true;
+    } else {
+      const Node& a = chunk_cands_[i];
+      const Node& b = c0_cands_[k];
+      take_chunk = a.r < b.r || (a.r == b.r && a.z <= b.z);
+    }
+    push_cand(take_chunk ? chunk_cands_[i++] : c0_cands_[k++]);
+  }
+
+  std::vector<FrontEntry>& frontier = levels_[level][t];
+  frontier.reserve(merged_.size());
+  for (const Node& nd : merged_) {
+    arena_.push_back(nd);
+    frontier.push_back(
+        {nd.r, nd.z, static_cast<std::int32_t>(arena_.size() - 1)});
+  }
+  stats_.max_frontier = std::max(stats_.max_frontier,
+                                 static_cast<std::int64_t>(frontier.size()));
+  if (opt_.check_invariants) {
+    for (std::size_t x = 1; x < frontier.size(); ++x) {
+      iarank::util::require(frontier[x - 1].r < frontier[x].r &&
+                                frontier[x - 1].z > frontier[x].z,
+                            "dp_rank: frontier sort invariant violated");
+    }
+  }
 }
 
 void DpSolver::forward_pass() {
@@ -198,80 +407,129 @@ void DpSolver::forward_pass() {
   // home even for a degenerate empty instance.
   const std::size_t buckets = static_cast<std::size_t>(n_bunches_) + 1;
   levels_.assign(m_ + 1, std::vector<std::vector<FrontEntry>>(buckets));
+
+  // Shape-based reserves: the sweep line commits only surviving Pareto
+  // entries, so one state per (pair, bunch) bucket plus slack is generous.
+  // Capped so a pathological instance cannot commit gigabytes up front.
+  const std::size_t estimate =
+      std::min<std::size_t>((m_ + 1) * buckets * 2, std::size_t{1} << 22);
+  arena_.reserve(estimate);
+  {
+    std::vector<HeapEntry> storage;
+    storage.reserve(estimate);
+    heap_ = std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp>(
+        HeapCmp{}, std::move(storage));
+  }
+
   arena_.push_back({0.0, 0, -1, 0});
   levels_[0][0].push_back({0.0, 0, 0});
   stats_.max_frontier = std::max<std::int64_t>(stats_.max_frontier, 1);
 
+  wakes_.assign(buckets + 1, {});
+
+  // Per level, one sweep over target buckets t. Bucket t of level j+1 is
+  // the Pareto merge of (a) the active chunk sources mapped through the
+  // prefix tables and (b) the c = 0 carries from level j's bucket t, so
+  // it is built in one shot — the per-(source, c) insertion loop of the
+  // old forward pass never runs.
   for (std::size_t j = 0; j < m_; ++j) {
-    for (std::size_t bi = 0; bi < buckets; ++bi) {
-      // add_node only touches level j+1, so this reference stays valid.
-      const std::vector<FrontEntry>& frontier = levels_[j][bi];
-      if (frontier.empty()) continue;
-      const auto b = static_cast<std::int64_t>(bi);
-      const double wires_above = static_cast<double>(inst_.wires_before(bi));
-      for (const FrontEntry& entry : frontier) {
-        const std::int32_t idx = entry.idx;
-        // Copy: arena_ may reallocate while we extend it below.
-        const Node node = arena_[static_cast<std::size_t>(idx)];
-        const double capacity =
-            inst_.pair_capacity() -
-            inst_.blockage(j, wires_above, static_cast<double>(node.z));
-
-        // c = 0: leave pair j empty, the prefix continues below — legal
-        // only when the via shadow from above fits the empty pair's
-        // capacity (the per-pair constraint binds even with no wires).
-        if (j + 1 < m_ && capacity >= -area_tol()) {
-          add_node(j + 1, b, {node.r, node.z, idx, 0});
+    const bool build_next = j + 1 < m_;
+    actives_.clear();
+    for (std::size_t t = 0; t < buckets; ++t) {
+      const auto tb = static_cast<std::int64_t>(t);
+      if (build_next) {
+        // Expire sources whose target range ended, then re-attempt the
+        // parked ones whose last dominator just expired. Wake steps are
+        // always strictly ahead of the current one, so this loop never
+        // grows the list it walks.
+        if (!actives_.empty()) {
+          actives_.erase(
+              std::remove_if(
+                  actives_.begin(), actives_.end(),
+                  [tb](const ActiveSource& a) { return a.end < tb; }),
+              actives_.end());
         }
+        std::vector<ActiveSource>& wl = wakes_[t];
+        for (const ActiveSource& s : wl) activate(s);
+        wl.clear();
+      }
 
-        double cum_area = 0.0;
-        double cum_rep_area = 0.0;
-        std::int64_t cum_rep_count = 0;
-        std::int64_t c = 0;
-        while (b + c < n_bunches_) {
-          const auto bb = static_cast<std::size_t>(b + c);
-          const DelayPlan& plan = inst_.plan(bb, j);
-          if (!plan.feasible) break;
-          const std::int64_t count = inst_.bunch(bb).count;
-          const double next_area = cum_area + inst_.wire_area(bb, j, count);
-          const double next_rep =
-              cum_rep_area + static_cast<double>(count) * plan.area_per_wire;
-          if (next_area > capacity + area_tol()) break;
-          if (node.r + next_rep > inst_.repeater_budget() + budget_tol()) break;
-          cum_area = next_area;
-          cum_rep_area = next_rep;
-          cum_rep_count += count * plan.repeaters_per_wire();
-          ++c;
-          if (j + 1 < m_ && b + c < n_bunches_) {
-            add_node(j + 1, b + c,
-                     {node.r + cum_rep_area, node.z + cum_rep_count, idx,
-                      static_cast<std::int32_t>(c)});
+      // Chunk candidates for bucket t, snapshotted before this bucket's
+      // own states activate (their targets start at t + 1).
+      chunk_cands_.clear();
+      if (build_next && t >= 1 && tb < n_bunches_ && !actives_.empty()) {
+        const double pr = inst_.prefix_repeater_area(j, t);
+        const std::int64_t pz = inst_.prefix_repeater_count(j, t);
+        for (const ActiveSource& a : actives_) {
+          chunk_cands_.push_back({pr + a.kr, pz + a.kz, a.parent,
+                                  static_cast<std::int32_t>(tb - a.b)});
+        }
+      }
+
+      // Process this bucket's own states: iterators for the best-first
+      // search, c = 0 carries into level j+1, and activation as chunk
+      // sources for targets beyond t.
+      c0_cands_.clear();
+      const std::vector<FrontEntry>& frontier = levels_[j][t];
+      if (!frontier.empty()) {
+        const double wires_above = static_cast<double>(inst_.wires_before(t));
+        for (const FrontEntry& entry : frontier) {
+          // Copy: merge_and_materialize below may grow the arena.
+          const Node node = arena_[static_cast<std::size_t>(entry.idx)];
+          const double capacity =
+              inst_.pair_capacity() -
+              inst_.blockage(j, wires_above, static_cast<double>(node.z));
+
+          // c = 0: leave pair j empty, the prefix continues below — legal
+          // only when the via shadow from above fits the empty pair's
+          // capacity (the per-pair constraint binds even with no wires).
+          if (build_next && capacity >= -area_tol()) {
+            c0_cands_.push_back({node.r, node.z, entry.idx, 0});
           }
+
+          // Largest delay-met chunk on pair j starting at bunch t: the
+          // area and budget prefix sums are monotone in c, so the break
+          // point is one binary search.
+          const std::int64_t c_max = inst_.max_feasible_chunk(
+              j, t, capacity + area_tol(),
+              inst_.repeater_budget() + budget_tol() - node.r);
+          if (build_next && c_max >= 1) {
+            const std::int64_t end = std::min(tb + c_max, n_bunches_ - 1);
+            if (end > tb) {
+              activate({node.r - inst_.prefix_repeater_area(j, t),
+                        node.z - inst_.prefix_repeater_count(j, t), end, tb,
+                        entry.idx});
+            }
+          }
+          // One iterator per state element, positioned at its largest c.
+          push_iterator(entry.idx, j, tb, c_max);
         }
-        // One iterator per state element, positioned at its largest c.
-        push_iterator(idx, j, b, c);
+      }
+
+      if (!chunk_cands_.empty() || !c0_cands_.empty()) {
+        merge_and_materialize(j + 1, t);
       }
     }
   }
 }
 
-FreePackInput DpSolver::pack_input(const HeapEntry& e, const ChunkCost& cost,
+FreePackInput DpSolver::pack_input(std::size_t j, std::int64_t b,
+                                   std::int64_t c, std::int64_t node_z,
+                                   const ChunkCost& cost,
                                    std::int64_t w_extra) const {
-  const Node& node = arena_[static_cast<std::size_t>(e.node)];
   FreePackInput in;
-  in.first_pair = static_cast<std::size_t>(e.j);
-  in.first_bunch = static_cast<std::size_t>(std::min(e.b + e.c, n_bunches_));
+  in.first_pair = j;
+  in.first_bunch = static_cast<std::size_t>(std::min(b + c, n_bunches_));
   in.first_bunch_offset = w_extra;
   in.area_used_first_pair = cost.wire_area;
   in.wires_above_first =
-      static_cast<double>(inst_.wires_before(static_cast<std::size_t>(e.b)));
-  in.repeaters_above_first = static_cast<double>(node.z);
-  in.repeaters_total = static_cast<double>(node.z + cost.rep_count);
+      static_cast<double>(inst_.wires_before(static_cast<std::size_t>(b)));
+  in.repeaters_above_first = static_cast<double>(node_z);
+  in.repeaters_total = static_cast<double>(node_z + cost.rep_count);
   if (w_extra > 0) {
-    const auto bb = static_cast<std::size_t>(e.b + e.c);
-    const DelayPlan& plan = inst_.plan(bb, static_cast<std::size_t>(e.j));
-    in.area_used_first_pair +=
-        inst_.wire_area(bb, static_cast<std::size_t>(e.j), w_extra);
+    const auto bb = static_cast<std::size_t>(b + c);
+    const DelayPlan& plan = inst_.plan(bb, j);
+    in.area_used_first_pair += inst_.wire_area(bb, j, w_extra);
     in.repeaters_total +=
         static_cast<double>(w_extra * plan.repeaters_per_wire());
   }
@@ -280,14 +538,13 @@ FreePackInput DpSolver::pack_input(const HeapEntry& e, const ChunkCost& cost,
 
 std::optional<HeapEntry> DpSolver::verify(const HeapEntry& e) const {
   const Node& node = arena_[static_cast<std::size_t>(e.node)];
+  const auto j = static_cast<std::size_t>(e.j);
   const double wires_above =
       static_cast<double>(inst_.wires_before(static_cast<std::size_t>(e.b)));
   const double capacity =
-      inst_.pair_capacity() - inst_.blockage(static_cast<std::size_t>(e.j),
-                                        wires_above,
-                                        static_cast<double>(node.z));
-  const ChunkCost cost = chunk_cost(e.b, static_cast<std::size_t>(e.j), e.c,
-                                    node.r, capacity);
+      inst_.pair_capacity() -
+      inst_.blockage(j, wires_above, static_cast<double>(node.z));
+  const ChunkCost cost = chunk_cost(e.b, j, e.c, node.r, capacity);
   if (!cost.ok) return std::nullopt;
 
   const std::int64_t base =
@@ -295,34 +552,12 @@ std::optional<HeapEntry> DpSolver::verify(const HeapEntry& e) const {
 
   // Boundary refinement: push w_extra wires of the first failing bunch
   // onto pair j, still meeting delay, within budget and area.
-  std::int64_t w_extra = 0;
-  if (opt_.refine_boundary && e.b + e.c < n_bunches_) {
-    const auto bb = static_cast<std::size_t>(e.b + e.c);
-    const DelayPlan& plan = inst_.plan(bb, static_cast<std::size_t>(e.j));
-    if (plan.feasible) {
-      const Bunch& bunch = inst_.bunch(bb);
-      std::int64_t by_budget = bunch.count;
-      if (plan.area_per_wire > 0.0) {
-        const double left =
-            inst_.repeater_budget() + budget_tol() - node.r - cost.rep_area;
-        by_budget = left <= 0.0
-                        ? 0
-                        : static_cast<std::int64_t>(
-                              std::floor(left / plan.area_per_wire));
-      }
-      const double area_left = capacity + area_tol() - cost.wire_area;
-      const double per_wire =
-          bunch.length * inst_.pair(static_cast<std::size_t>(e.j)).pitch;
-      const auto by_area = static_cast<std::int64_t>(
-          std::floor(std::max(0.0, area_left) / per_wire));
-      w_extra = std::clamp<std::int64_t>(std::min(by_budget, by_area), 0,
-                                         bunch.count);
-    }
-  }
+  const std::int64_t w_extra =
+      refine_extra(j, e.b, e.c, node.r, cost, capacity);
 
   // Try the refined break first, then fall back to the plain one.
   for (const std::int64_t w : {w_extra, std::int64_t{0}}) {
-    if (free_pack_feasible(inst_, pack_input(e, cost, w))) {
+    if (free_pack_feasible(inst_, pack_input(j, e.b, e.c, node.z, cost, w))) {
       HeapEntry out = e;
       out.verified = true;
       out.w_extra = w;
@@ -332,6 +567,77 @@ std::optional<HeapEntry> DpSolver::verify(const HeapEntry& e) const {
     if (w == 0) break;
   }
   return std::nullopt;
+}
+
+void DpSolver::try_warm_start() {
+  if (opt_.warm_start == nullptr) return;
+  const DpWitness& wit = *opt_.warm_start;
+  if (!wit.valid()) return;
+  stats_.warm_start_checked = true;
+
+  // The witness came from a different (neighbouring) instance; validate
+  // its shape against this one before trusting any index.
+  const auto jb = static_cast<std::size_t>(wit.break_pair);
+  if (jb >= m_) return;
+  if (wit.first_bunch != wit.chunk_first.back()) return;
+  if (wit.first_bunch < 0 || wit.chunk_len < 0 ||
+      wit.first_bunch + wit.chunk_len > n_bunches_) {
+    return;
+  }
+  if (wit.chunk_first.front() != 0) return;
+  for (std::size_t j = 0; j + 1 < wit.chunk_first.size(); ++j) {
+    if (wit.chunk_first[j] > wit.chunk_first[j + 1]) return;
+  }
+
+  // Re-cost the prefix chunks on THIS instance, pair by pair, mirroring
+  // the forward pass's feasibility rules.
+  double r = 0.0;
+  std::int64_t z = 0;
+  for (std::size_t j = 0; j < jb; ++j) {
+    const std::int64_t lo = wit.chunk_first[j];
+    const std::int64_t hi = wit.chunk_first[j + 1];
+    const double wires_above =
+        static_cast<double>(inst_.wires_before(static_cast<std::size_t>(lo)));
+    const double capacity =
+        inst_.pair_capacity() -
+        inst_.blockage(j, wires_above, static_cast<double>(z));
+    if (hi == lo) {
+      if (capacity < -area_tol()) return;
+      continue;
+    }
+    const ChunkCost cost = chunk_cost(lo, j, hi - lo, r, capacity);
+    if (!cost.ok) return;
+    r += cost.rep_area;
+    z += cost.rep_count;
+  }
+
+  // Break chunk, refinement and suffix packing — the same checks verify()
+  // runs, but with metrics routed to the warm-start counters: whether a
+  // point receives a witness depends on sweep scheduling, and the
+  // deterministic free-pack totals must not absorb that.
+  const double wires_above = static_cast<double>(
+      inst_.wires_before(static_cast<std::size_t>(wit.first_bunch)));
+  const double capacity =
+      inst_.pair_capacity() -
+      inst_.blockage(jb, wires_above, static_cast<double>(z));
+  const ChunkCost cost =
+      chunk_cost(wit.first_bunch, jb, wit.chunk_len, r, capacity);
+  if (!cost.ok) return;
+  const std::int64_t base = inst_.wires_before(static_cast<std::size_t>(
+      std::min(wit.first_bunch + wit.chunk_len, n_bunches_)));
+  const std::int64_t w_extra =
+      refine_extra(jb, wit.first_bunch, wit.chunk_len, r, cost, capacity);
+  for (const std::int64_t w : {w_extra, std::int64_t{0}}) {
+    if (free_pack_feasible(
+            inst_,
+            pack_input(jb, wit.first_bunch, wit.chunk_len, z, cost, w),
+            /*count_metrics=*/false)) {
+      warm_bound_ = base + w;
+      stats_.warm_start_hit = true;
+      return;
+    }
+    if (w == 0) break;
+  }
 }
 
 RankResult DpSolver::assemble(const HeapEntry& best) const {
@@ -367,10 +673,9 @@ RankResult DpSolver::assemble(const HeapEntry& best) const {
   res.repeater_area_used = node.r + cost.rep_area + refine_rep_area;
   res.repeater_count = node.z + cost.rep_count + refine_rep_count;
 
-  if (!opt_.build_trace) return res;
-
-  // Reconstruct the prefix chunks by walking parents: chain[j'] = first
-  // bunch of pair j's chunk.
+  // Reconstruct the prefix chunks by walking parents: chunk_first[j'] =
+  // first bunch of pair j's chunk. Always built — it is the witness the
+  // sweep engine feeds into the next point's solve.
   std::vector<std::int64_t> chunk_first(static_cast<std::size_t>(best.j) + 1, 0);
   {
     std::int64_t b = best.b;
@@ -383,10 +688,21 @@ RankResult DpSolver::assemble(const HeapEntry& best) const {
     }
     chunk_first[0] = 0;
   }
+  res.witness.chunk_first = chunk_first;
+  res.witness.break_pair = best.j;
+  res.witness.first_bunch = best.b;
+  res.witness.chunk_len = best.c;
+  res.witness.w_extra = best.w_extra;
+
+  if (!opt_.build_trace) return res;
 
   res.usage.resize(m_);
   double z_above = 0.0;
   for (std::size_t j = 0; j < m_; ++j) res.usage[j].pair_name = inst_.pair(j).name;
+
+  // n_bunches placements is the prefix ceiling; the packed suffix adds at
+  // most one split row per pair on top of its bunch rows.
+  res.placements.reserve(static_cast<std::size_t>(n_bunches_) + 2 * m_);
 
   for (std::size_t j = 0; j <= static_cast<std::size_t>(best.j); ++j) {
     const std::int64_t lo = chunk_first[j];
@@ -422,8 +738,9 @@ RankResult DpSolver::assemble(const HeapEntry& best) const {
   }
 
   // Suffix loads from the packer, at per-bunch detail.
-  const auto detail =
-      free_pack_detailed(inst_, pack_input(best, cost, best.w_extra));
+  const auto detail = free_pack_detailed(
+      inst_, pack_input(static_cast<std::size_t>(best.j), best.b, best.c,
+                        node.z, cost, best.w_extra));
   iarank::util::require(detail.has_value(),
                         "dp_rank: winning candidate failed re-packing");
   for (const BunchPlacement& p : *detail) {
@@ -467,6 +784,10 @@ RankResult DpSolver::solve() {
     return res;
   }
 
+  // Establish the warm-start bound before the forward pass so it prunes
+  // pushes from the start.
+  try_warm_start();
+
   {
     TRACE_SPAN("dp.forward");
     util::Stopwatch forward;
@@ -489,7 +810,10 @@ RankResult DpSolver::solve() {
     }
     ++stats_.verify_calls;
     const auto verified = verify(e);
-    if (verified) heap_.push(*verified);
+    if (verified) {
+      incumbent_ = std::max(incumbent_, verified->key);
+      heap_.push(*verified);
+    }
     if (e.c > 0) {
       // Retry this state's next-lower break point later.
       push_iterator(e.node, static_cast<std::size_t>(e.j), e.b, e.c - 1);

@@ -27,9 +27,9 @@ util::Counter& kFreePackTakes = util::MetricsRegistry::counter(
 }  // namespace
 
 std::optional<std::vector<BunchPlacement>> free_pack_detailed(
-    const Instance& inst, const FreePackInput& input) {
+    const Instance& inst, const FreePackInput& input, bool count_metrics) {
   util::maybe_inject(kSiteFreePack);
-  kFreePackCalls.inc();
+  if (count_metrics) kFreePackCalls.inc();
   const std::size_t m = inst.pair_count();
   const std::size_t n_bunches = inst.bunch_count();
   iarank::util::require(input.first_pair <= m,
@@ -144,12 +144,16 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
     const double reps_above = fixed_blockage ? input.repeaters_above_first
                                              : input.repeaters_total;
     if (area > die + tol - inst.blockage(q, wires_above, reps_above)) {
-      kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
+      if (count_metrics) {
+        kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
+      }
       return std::nullopt;
     }
   }
 
-  kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
+  if (count_metrics) {
+    kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
+  }
   if (to_place != 0) {
     return std::nullopt;  // wires left over after the topmost available pair
   }
@@ -175,8 +179,9 @@ std::optional<std::vector<PairLoad>> free_pack(const Instance& inst,
   return loads;
 }
 
-bool free_pack_feasible(const Instance& inst, const FreePackInput& input) {
-  return free_pack_detailed(inst, input).has_value();
+bool free_pack_feasible(const Instance& inst, const FreePackInput& input,
+                        bool count_metrics) {
+  return free_pack_detailed(inst, input, count_metrics).has_value();
 }
 
 }  // namespace iarank::core

@@ -51,7 +51,70 @@ Instance Instance::from_raw(std::vector<Bunch> bunches,
     inst.wires_before_[b + 1] = inst.wires_before_[b] + inst.bunches_[b].count;
   }
   inst.total_wires_ = inst.wires_before_.back();
+  inst.build_prefix_tables();
   return inst;
+}
+
+void Instance::build_prefix_tables() {
+  const std::size_t n = bunches_.size();
+  const std::size_t m = pairs_.size();
+  prefix_stride_ = n + 1;
+  prefix_wire_area_.assign(m * prefix_stride_, 0.0);
+  prefix_rep_area_.assign(m * prefix_stride_, 0.0);
+  prefix_rep_count_.assign(m * prefix_stride_, 0);
+  next_infeasible_.assign(m * prefix_stride_, n);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t base = j * prefix_stride_;
+    const double pitch = pairs_[j].pitch;
+    for (std::size_t b = 0; b < n; ++b) {
+      const DelayPlan& plan = plans_[b][j];
+      const std::int64_t count = bunches_[b].count;
+      const double wire =
+          bunches_[b].length * pitch * static_cast<double>(count);
+      // Infeasible plans contribute zero repeater cost: delay-met chunk
+      // queries never span them (next_infeasible_ guards), and the
+      // wire-area prefix is plan-independent so it stays usable across
+      // them (the reference DP's delay-free spans rely on that).
+      prefix_wire_area_[base + b + 1] = prefix_wire_area_[base + b] + wire;
+      prefix_rep_area_[base + b + 1] =
+          prefix_rep_area_[base + b] +
+          (plan.feasible ? static_cast<double>(count) * plan.area_per_wire
+                         : 0.0);
+      prefix_rep_count_[base + b + 1] =
+          prefix_rep_count_[base + b] +
+          (plan.feasible ? count * plan.repeaters_per_wire() : 0);
+    }
+    // Backward pass: first infeasible bunch at or after b.
+    for (std::size_t b = n; b-- > 0;) {
+      next_infeasible_[base + b] =
+          plans_[b][j].feasible ? next_infeasible_[base + b + 1] : b;
+    }
+  }
+}
+
+std::int64_t Instance::max_feasible_chunk(std::size_t j, std::size_t b,
+                                          double wire_limit,
+                                          double rep_limit) const {
+  const std::size_t base = j * prefix_stride_;
+  const std::size_t cap = std::min(first_infeasible(j, b), bunches_.size());
+  const double w0 = prefix_wire_area_[base + b];
+  const double r0 = prefix_rep_area_[base + b];
+  // Invariant: chunk [b, b+lo) satisfies both limits, [b, b+hi+1) does not
+  // (or hi is the feasibility cap). The prefix sums are nondecreasing, so
+  // the predicate is monotone in c.
+  std::int64_t lo = 0;
+  std::int64_t hi = static_cast<std::int64_t>(cap - b);
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo + 1) / 2;
+    const auto e = base + b + static_cast<std::size_t>(mid);
+    if (prefix_wire_area_[e] - w0 <= wire_limit &&
+        prefix_rep_area_[e] - r0 <= rep_limit) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
 }
 
 std::int64_t Instance::wires_before(std::size_t b) const {

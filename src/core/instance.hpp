@@ -115,13 +115,73 @@ class Instance {
                                      double wires_above,
                                      double repeaters_above) const;
 
+  // --- Prefix-cost tables ----------------------------------------------------
+  // Per-pair cumulative delay-met costs over bunches [0, b), built once in
+  // from_raw so the engines' chunk loops become prefix differences plus a
+  // binary search (DESIGN.md Section 10). Sums skip infeasible plans (a
+  // feasible chunk never crosses one — guard with first_infeasible). All
+  // four rank engines read these same tables, so any floating-point
+  // difference vs. sequential accumulation is shared and cross-engine
+  // agreement is preserved.
+
+  /// Cumulative wiring area of bunches [0, b) fully placed on pair j.
+  [[nodiscard]] double prefix_wire_area(std::size_t j, std::size_t b) const {
+    return prefix_wire_area_[j * prefix_stride_ + b];
+  }
+  /// Cumulative repeater area of delay-met bunches [0, b) on pair j.
+  [[nodiscard]] double prefix_repeater_area(std::size_t j, std::size_t b) const {
+    return prefix_rep_area_[j * prefix_stride_ + b];
+  }
+  /// Cumulative repeater count of delay-met bunches [0, b) on pair j.
+  [[nodiscard]] std::int64_t prefix_repeater_count(std::size_t j,
+                                                   std::size_t b) const {
+    return prefix_rep_count_[j * prefix_stride_ + b];
+  }
+  /// First bunch t >= b whose plan on pair j is infeasible (bunch_count()
+  /// when every bunch from b on is feasible). A delay-met chunk [b, b+c)
+  /// on pair j is plan-feasible iff first_infeasible(j, b) >= b + c.
+  [[nodiscard]] std::size_t first_infeasible(std::size_t j,
+                                             std::size_t b) const {
+    return next_infeasible_[j * prefix_stride_ + b];
+  }
+
+  /// Aggregate cost of the delay-met chunk [b, b+c) on pair j, as prefix
+  /// differences. Caller guarantees plan feasibility over the range.
+  struct ChunkTotals {
+    double wire_area = 0.0;
+    double rep_area = 0.0;
+    std::int64_t rep_count = 0;
+  };
+  [[nodiscard]] ChunkTotals chunk_totals(std::size_t j, std::size_t b,
+                                         std::size_t c) const {
+    const std::size_t base = j * prefix_stride_;
+    return {prefix_wire_area_[base + b + c] - prefix_wire_area_[base + b],
+            prefix_rep_area_[base + b + c] - prefix_rep_area_[base + b],
+            prefix_rep_count_[base + b + c] - prefix_rep_count_[base + b]};
+  }
+
+  /// Largest c such that the delay-met chunk [b, b+c) on pair j has every
+  /// plan feasible, wire area <= wire_limit and repeater area <= rep_limit
+  /// (absolute limits, tolerances folded in by the caller). Binary search
+  /// over the monotone prefix sums.
+  [[nodiscard]] std::int64_t max_feasible_chunk(std::size_t j, std::size_t b,
+                                                double wire_limit,
+                                                double rep_limit) const;
+
  private:
   Instance() = default;
+
+  void build_prefix_tables();
 
   std::vector<Bunch> bunches_;
   std::vector<PairInfo> pairs_;
   std::vector<std::vector<DelayPlan>> plans_;  ///< [bunch][pair]
   std::vector<std::int64_t> wires_before_;     ///< prefix sums, size B+1
+  std::size_t prefix_stride_ = 0;              ///< bunch_count() + 1
+  std::vector<double> prefix_wire_area_;       ///< [pair][bunch], flattened
+  std::vector<double> prefix_rep_area_;
+  std::vector<std::int64_t> prefix_rep_count_;
+  std::vector<std::size_t> next_infeasible_;
   double pair_capacity_ = 0.0;
   double repeater_budget_ = 0.0;
   tech::ViaSpec vias_;

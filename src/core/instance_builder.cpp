@@ -11,6 +11,7 @@
 #include "src/util/fault_injector.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/stopwatch.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/trace.hpp"
 #include "src/wld/coarsen.hpp"
 
@@ -169,7 +170,27 @@ const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
     const double a_inv = design_.node.device.min_inv_area;
     result.plans.assign(result.bunches.size(),
                         std::vector<DelayPlan>(arch_.pair_count()));
-    for (std::size_t b = 0; b < result.bunches.size(); ++b) {
+
+    // Noise gate hoisted out of the bunch loop: the coupling ratio
+    // depends only on pair geometry and RC, so one evaluation per pair
+    // replaces one per (bunch, pair) — bitwise-identical plans.
+    std::vector<char> noise_blocked(arch_.pair_count(), 0);
+    if (options.max_noise_ratio < 1.0) {
+      for (std::size_t j = 0; j < arch_.pair_count(); ++j) {
+        noise_blocked[j] =
+            tech::coupling_noise_ratio(arch_.pair(j).geometry, electrical.rc) >
+                    options.max_noise_ratio
+                ? 1
+                : 0;
+      }
+    }
+
+    // Bunches are independent (each writes only result.plans[b]), so the
+    // stages_to_meet grid fans out over the shared pool. Writes land at
+    // fixed indices and every input is frozen, so the table is
+    // bitwise-identical at any worker count. Chunked claiming keeps
+    // per-index atomic traffic negligible for cheap rows.
+    const auto plan_bunch = [&](std::size_t b) {
       // Repeater-interval cap: at most floor(l / spacing) stages per wire
       // (paper Section 4.1: insertion stops when repeaters cannot be
       // placed at appropriate intervals).
@@ -182,11 +203,7 @@ const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
       }
       for (std::size_t j = 0; j < arch_.pair_count(); ++j) {
         // Noise-constrained pairs cannot carry delay-met wires.
-        if (options.max_noise_ratio < 1.0 &&
-            tech::coupling_noise_ratio(arch_.pair(j).geometry, electrical.rc) >
-                options.max_noise_ratio) {
-          continue;
-        }
+        if (noise_blocked[j] != 0) continue;
         const auto sol = electrical.stack.pair(j).model.stages_to_meet(
             result.bunches[b].length, result.bunches[b].target_delay,
             max_stages);
@@ -202,7 +219,9 @@ const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
                             (electrical.stack.pair(j).s_opt * a_inv);
         }
       }
-    }
+    };
+    util::ThreadPool::shared().parallel_for(result.bunches.size(), 0,
+                                            /*grain=*/8, plan_bunch);
     return result;
   });
 }

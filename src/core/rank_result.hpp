@@ -31,6 +31,24 @@ struct BunchPlacement {
   std::int64_t meeting_delay = 0;
 };
 
+/// Compact description of the winning break candidate of a DP solve: the
+/// prefix partition (first bunch of each pair's delay-met chunk), the
+/// break pair and its chunk, and the boundary-refinement wire count. A
+/// sweep feeds the previous point's witness into the next solve as a
+/// warm-start lower bound (prune-only — results never depend on it).
+struct DpWitness {
+  std::vector<std::int64_t> chunk_first;  ///< size break_pair + 1; [j] = first bunch of pair j's chunk
+  std::int64_t break_pair = -1;  ///< pair whose chunk ends the prefix
+  std::int64_t first_bunch = 0;  ///< == chunk_first[break_pair]
+  std::int64_t chunk_len = 0;    ///< delay-met bunches on the break pair
+  std::int64_t w_extra = 0;      ///< refined wires of the first failing bunch
+
+  [[nodiscard]] bool valid() const {
+    return break_pair >= 0 &&
+           chunk_first.size() == static_cast<std::size_t>(break_pair) + 1;
+  }
+};
+
 /// Outcome of one rank evaluation.
 struct RankResult {
   /// r(alpha): number of longest wires meeting their target delay in the
@@ -64,8 +82,23 @@ struct RankResult {
     std::int64_t max_frontier = 0; ///< largest per-(pair,bunch) frontier
     std::int64_t heap_pops = 0;    ///< best-first candidates examined
     std::int64_t verify_calls = 0; ///< free-pack verifications run
+    /// Heap pushes skipped because the entry's optimistic key could not
+    /// beat the warm-start bound or the in-heap verified incumbent. The
+    /// pruned entries are exactly those the search would never pop, so
+    /// results are unchanged; with a warm start the count depends on
+    /// which witness arrived, so it is NOT comparable across thread
+    /// counts (unlike the fields above).
+    std::int64_t pruned_entries = 0;
+    std::int64_t frontier_dominated = 0;  ///< newcomers dropped as dominated
+    std::int64_t frontier_erased = 0;     ///< incumbents erased by newcomers
+    bool warm_start_checked = false;  ///< a warm witness was offered
+    bool warm_start_hit = false;      ///< ... and verified feasible here
   };
   DpStats dp;
+
+  /// Winning break candidate, filled by dp_rank whenever all_assigned —
+  /// independent of build_trace (it is the sweep warm-start payload).
+  DpWitness witness;
 
   /// Per-pair trace of the winning assignment (top pair first). Filled by
   /// engines when trace reconstruction is requested.

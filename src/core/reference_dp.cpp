@@ -89,18 +89,15 @@ int RefDp::wire_assign(std::size_t i1, std::size_t ip, std::size_t i,
   const double capacity =
       inst_.pair_capacity() - inst_.blockage(j, wires_above, z_above);
 
-  double wire_area = 0.0;
-  double rep_area = 0.0;
-  for (std::size_t t = i1; t < ip; ++t) {
-    const DelayPlan& plan = inst_.plan(t, j);
-    if (!plan.feasible) return -1;
-    const std::int64_t count = inst_.bunch(t).count;
-    wire_area += inst_.wire_area(t, j, count);
-    rep_area += static_cast<double>(count) * plan.area_per_wire;
-  }
-  for (std::size_t t = ip; t < i; ++t) {
-    wire_area += inst_.wire_area(t, j, inst_.bunch(t).count);
-  }
+  // Delay-met part [i1, ip) plus delay-free part [ip, i), all on pair j,
+  // as prefix differences (instance tables, same sums the other engines
+  // read). Wiring area is length * pitch * count either way, so one
+  // prefix difference over [i1, i) covers both parts.
+  if (inst_.first_infeasible(j, i1) < ip) return -1;
+  const double wire_area =
+      inst_.prefix_wire_area(j, i) - inst_.prefix_wire_area(j, i1);
+  const double rep_area =
+      inst_.prefix_repeater_area(j, ip) - inst_.prefix_repeater_area(j, i1);
   if (wire_area > capacity + inst_.pair_capacity() * kRelTol) return -1;
   const int quanta = quanta_up(rep_area);
   if (quanta > quanta_avail) return -1;

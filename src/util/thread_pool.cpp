@@ -34,38 +34,47 @@ Histogram& kPoolTaskSeconds = MetricsRegistry::histogram(
 /// running. Kept alive by shared_ptr until the last late helper fires.
 struct Batch {
   std::size_t n = 0;
+  std::size_t grain = 1;  ///< indices claimed per counter bump
   std::function<void(std::size_t)> fn;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
 
   std::mutex mutex;
   std::condition_variable done;
-  std::size_t running = 0;  ///< claimed indices still executing (guarded)
+  std::size_t running = 0;  ///< claimed blocks still executing (guarded)
   std::exception_ptr error;
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
 
   void drain() {
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      const std::size_t first =
+          next.fetch_add(grain, std::memory_order_relaxed);
+      if (first >= n) return;
+      const std::size_t last = std::min(first + grain, n);
       {
         const std::scoped_lock lock(mutex);
         ++running;
       }
       std::exception_ptr thrown;
-      try {
-        fn(i);
-      } catch (...) {
-        thrown = std::current_exception();
+      std::size_t thrown_index = 0;
+      for (std::size_t i = first; i < last; ++i) {
+        if (failed.load(std::memory_order_relaxed)) break;
+        try {
+          fn(i);
+        } catch (...) {
+          thrown = std::current_exception();
+          thrown_index = i;
+          break;  // rest of this block counts as skipped
+        }
       }
       {
         const std::scoped_lock lock(mutex);
         --running;
         if (thrown) {
           failed.store(true, std::memory_order_relaxed);
-          if (i < error_index) {
-            error_index = i;
+          if (thrown_index < error_index) {
+            error_index = thrown_index;
             error = thrown;
           }
         }
@@ -119,10 +128,18 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n, unsigned parallelism,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, parallelism, 1, fn);
+}
+
+void ThreadPool::parallel_for(std::size_t n, unsigned parallelism,
+                              std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
   const unsigned capacity = worker_count() + 1;  // workers + calling thread
   unsigned p = parallelism == 0 ? capacity : std::min(parallelism, capacity);
-  p = static_cast<unsigned>(std::min<std::size_t>(p, n));
+  const std::size_t blocks = (n + grain - 1) / grain;
+  p = static_cast<unsigned>(std::min<std::size_t>(p, blocks));
   if (p <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -130,6 +147,7 @@ void ThreadPool::parallel_for(std::size_t n, unsigned parallelism,
 
   const auto batch = std::make_shared<Batch>();
   batch->n = n;
+  batch->grain = grain;
   batch->fn = fn;
   kPoolBatches.inc();
   {

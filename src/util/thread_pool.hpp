@@ -47,6 +47,16 @@ class ThreadPool {
   void parallel_for(std::size_t n, unsigned parallelism,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Chunked variant: indices are claimed in blocks of `grain` from the
+  /// shared counter, cutting per-index atomic traffic when fn is cheap
+  /// (e.g. the instance builder's per-bunch plan loop). Semantics match
+  /// the single-index overload — fn(i) runs exactly once per executed
+  /// index, the lowest executed failing index is rethrown, and the
+  /// calling thread participates — except that a failure also skips the
+  /// remaining indices of its own block. grain == 0 behaves as 1.
+  void parallel_for(std::size_t n, unsigned parallelism, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
   [[nodiscard]] unsigned worker_count() const {
     return static_cast<unsigned>(workers_.size());
   }

@@ -1,0 +1,200 @@
+/// Property tests of the DP kernel hot path (PR: DP-kernel overhaul):
+///
+///  * the prefix-cost tables agree with sequential accumulation on every
+///    (pair, bunch-range) of sampled scenarios;
+///  * max_feasible_chunk (binary search over the prefixes) matches a
+///    linear scan for arbitrary limits;
+///  * the sorted-frontier invariant holds after every bucket the forward
+///    sweep line materializes (DpOptions::check_invariants throws on
+///    violation);
+///  * incumbent pruning and witness warm starts are prune-only: the full
+///    RankResult — rank, certificate, placements, witness — is identical
+///    with them on or off, across a 200-seed scenario block.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dp_rank.hpp"
+#include "src/core/instance.hpp"
+#include "src/core/selfcheck.hpp"
+#include "tests/helpers.hpp"
+
+namespace core = iarank::core;
+
+namespace {
+
+constexpr std::uint64_t kSeeds = 200;
+
+/// Bitwise equality of two rank results, certificate and witness included.
+void expect_identical(const core::RankResult& a, const core::RankResult& b) {
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.normalized, b.normalized);  // exact, not NEAR
+  EXPECT_EQ(a.all_assigned, b.all_assigned);
+  EXPECT_EQ(a.prefix_bunches, b.prefix_bunches);
+  EXPECT_EQ(a.refined_wires, b.refined_wires);
+  EXPECT_EQ(a.repeater_count, b.repeater_count);
+  EXPECT_EQ(a.repeater_area_used, b.repeater_area_used);
+  EXPECT_EQ(a.witness.break_pair, b.witness.break_pair);
+  EXPECT_EQ(a.witness.first_bunch, b.witness.first_bunch);
+  EXPECT_EQ(a.witness.chunk_len, b.witness.chunk_len);
+  EXPECT_EQ(a.witness.w_extra, b.witness.w_extra);
+  EXPECT_EQ(a.witness.chunk_first, b.witness.chunk_first);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t p = 0; p < a.placements.size(); ++p) {
+    EXPECT_EQ(a.placements[p].bunch, b.placements[p].bunch);
+    EXPECT_EQ(a.placements[p].pair, b.placements[p].pair);
+    EXPECT_EQ(a.placements[p].wires, b.placements[p].wires);
+    EXPECT_EQ(a.placements[p].meeting_delay, b.placements[p].meeting_delay);
+  }
+}
+
+}  // namespace
+
+// --- prefix-cost tables --------------------------------------------------------
+
+TEST(DpKernelPrefixTables, MatchSequentialAccumulation) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const std::size_t n = inst.bunch_count();
+    for (std::size_t j = 0; j < inst.pair_count(); ++j) {
+      for (std::size_t b = 0; b < n; ++b) {
+        double wire = 0.0;
+        double rep = 0.0;
+        std::int64_t count = 0;
+        bool feasible_so_far = true;
+        for (std::size_t e = b; e < n; ++e) {
+          const core::DelayPlan& plan = inst.plan(e, j);
+          const std::int64_t wires = inst.bunch(e).count;
+          wire += inst.wire_area(e, j, wires);
+          if (plan.feasible) {
+            rep += static_cast<double>(wires) * plan.area_per_wire;
+            count += wires * plan.repeaters_per_wire();
+          } else {
+            feasible_so_far = false;
+          }
+          const std::size_t c = e - b + 1;
+          // Plan feasibility of the whole range is one table lookup.
+          EXPECT_EQ(inst.first_infeasible(j, b) >= b + c, feasible_so_far)
+              << "seed " << seed << " j=" << j << " [" << b << "," << b + c
+              << ")";
+          const core::Instance::ChunkTotals t = inst.chunk_totals(j, b, c);
+          const double tol = 1e-9 * (1.0 + wire + rep);
+          EXPECT_NEAR(t.wire_area, wire, tol) << "seed " << seed;
+          EXPECT_NEAR(t.rep_area, rep, tol) << "seed " << seed;
+          EXPECT_EQ(t.rep_count, count) << "seed " << seed;  // integral: exact
+        }
+      }
+    }
+  }
+}
+
+TEST(DpKernelPrefixTables, MaxFeasibleChunkMatchesLinearScan) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const std::size_t n = inst.bunch_count();
+    // A limit grid bracketing the interesting region, degenerate values
+    // included.
+    const double wire_limits[] = {-1.0, 0.0, inst.pair_capacity() * 0.3,
+                                  inst.pair_capacity(), 1e30};
+    const double rep_limits[] = {-1.0, 0.0, inst.repeater_budget() * 0.5,
+                                 inst.repeater_budget(), 1e30};
+    for (std::size_t j = 0; j < inst.pair_count(); ++j) {
+      for (std::size_t b = 0; b < n; ++b) {
+        for (const double wl : wire_limits) {
+          for (const double rl : rep_limits) {
+            std::int64_t expect = 0;
+            while (b + static_cast<std::size_t>(expect) < n) {
+              const auto c = static_cast<std::size_t>(expect) + 1;
+              if (inst.first_infeasible(j, b) < b + c) break;
+              const core::Instance::ChunkTotals t = inst.chunk_totals(j, b, c);
+              if (t.wire_area > wl || t.rep_area > rl) break;
+              ++expect;
+            }
+            EXPECT_EQ(inst.max_feasible_chunk(j, b, wl, rl), expect)
+                << "seed " << seed << " j=" << j << " b=" << b << " wl=" << wl
+                << " rl=" << rl;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- frontier invariant --------------------------------------------------------
+
+TEST(DpKernelFrontier, SortInvariantHoldsOnEveryMaterializedBucket) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    core::DpOptions checked;
+    checked.check_invariants = true;  // util::require throws on violation
+    core::RankResult a;
+    ASSERT_NO_THROW(a = core::dp_rank(inst, checked)) << "seed " << seed;
+    const core::RankResult b = core::dp_rank(inst, {});
+    expect_identical(a, b);
+  }
+}
+
+// --- pruning and warm starts are prune-only ------------------------------------
+
+TEST(DpKernelPruning, OnOffIdenticalResultAcrossSeedBlock) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    core::DpOptions no_prune;
+    no_prune.enable_pruning = false;
+    expect_identical(core::dp_rank(inst, {}), core::dp_rank(inst, no_prune));
+  }
+}
+
+TEST(DpKernelWarmStart, OwnWitnessIsPruneOnly) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const core::RankResult cold = core::dp_rank(inst, {});
+    core::DpOptions warm_opt;
+    warm_opt.warm_start = &cold.witness;  // the best witness there is
+    const core::RankResult warm = core::dp_rank(inst, warm_opt);
+    expect_identical(cold, warm);
+    if (cold.all_assigned) {
+      EXPECT_TRUE(warm.dp.warm_start_checked) << "seed " << seed;
+      EXPECT_TRUE(warm.dp.warm_start_hit) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DpKernelWarmStart, ForeignWitnessIsPruneOnly) {
+  // Witness from a *different* scenario: shapes rarely line up, and when
+  // they do the bound must still be admissible. Either way the result is
+  // identical to the cold solve.
+  for (std::uint64_t seed = 0; seed + 1 < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const core::RankResult neighbour =
+        core::dp_rank(core::sample_scenario(seed + 1).instance(), {});
+    const core::RankResult cold = core::dp_rank(inst, {});
+    core::DpOptions warm_opt;
+    warm_opt.warm_start = &neighbour.witness;
+    expect_identical(cold, core::dp_rank(inst, warm_opt));
+  }
+}
+
+TEST(DpKernelWarmStart, InvalidWitnessIsIgnored) {
+  const core::Instance inst =
+      iarank::testing::random_instance(7, {.allow_infeasible_plans = false});
+  const core::RankResult cold = core::dp_rank(inst, {});
+
+  core::DpWitness bogus;
+  bogus.break_pair = 99;  // out of range
+  bogus.chunk_first.assign(100, 0);
+  core::DpOptions opt;
+  opt.warm_start = &bogus;
+  const core::RankResult guarded = core::dp_rank(inst, opt);
+  expect_identical(cold, guarded);
+  EXPECT_FALSE(guarded.dp.warm_start_hit);
+
+  core::DpWitness malformed;  // valid() == false: never even checked
+  core::DpOptions opt2;
+  opt2.warm_start = &malformed;
+  const core::RankResult skipped = core::dp_rank(inst, opt2);
+  expect_identical(cold, skipped);
+  EXPECT_FALSE(skipped.dp.warm_start_checked);
+}

@@ -17,14 +17,19 @@
 /// Commands:
 ///   rank                      (default) compute and print the rank
 ///   sweep <K|M|C|R> <lo> <hi> <steps> [--csv] [--out file.csv]
-///         [--checkpoint FILE]
-///                             sweep one Table 4 parameter (4 threads).
+///         [--checkpoint FILE] [--jobs N] [--no-warm-start]
+///                             sweep one Table 4 parameter (--jobs
+///                             concurrent points, default 4).
 ///                             With --checkpoint, every completed point is
 ///                             journaled; rerunning after a crash (SIGKILL
 ///                             included) resumes from the journal and the
 ///                             results are bitwise identical to an
 ///                             uninterrupted run. Failed points print as
 ///                             n/a (<reason>) and never discard the grid.
+///                             Each point warm-starts the DP from the
+///                             previous point's witness (prune-only;
+///                             results identical either way) unless
+///                             --no-warm-start.
 ///   profile                   print the per-layer-pair assignment trace,
 ///                             DP effort counters and the staged builder's
 ///                             cache profile, and verify its placement
@@ -107,6 +112,10 @@ int cmd_profile(const core::RunSpec& spec, const wld::Wld& wld) {
   dp_table.add_row({"max frontier", std::to_string(r.dp.max_frontier)});
   dp_table.add_row({"heap pops", std::to_string(r.dp.heap_pops)});
   dp_table.add_row({"verify calls", std::to_string(r.dp.verify_calls)});
+  dp_table.add_row({"pruned entries", std::to_string(r.dp.pruned_entries)});
+  dp_table.add_row(
+      {"frontier dominated", std::to_string(r.dp.frontier_dominated)});
+  dp_table.add_row({"frontier erased", std::to_string(r.dp.frontier_erased)});
   dp_table.add_row(
       {"forward ms", util::TextTable::num(r.dp.forward_seconds * 1e3, 3)});
   dp_table.add_row({"total ms", util::TextTable::num(r.dp.seconds * 1e3, 3)});
@@ -173,7 +182,8 @@ int cmd_trace(const core::RunSpec& spec, const wld::Wld& wld) {
 
 int sweep_usage() {
   std::cerr << "usage: rank_tool <config> sweep <K|M|C|R> <lo> <hi> <steps>"
-               " [--csv] [--out file.csv] [--checkpoint file.journal]\n";
+               " [--csv] [--out file.csv] [--checkpoint file.journal]"
+               " [--jobs N] [--no-warm-start]\n";
   return 2;
 }
 
@@ -237,6 +247,21 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
         return sweep_usage();
       }
       run.checkpoint_path = argv[++a];
+    } else if (flag == "--jobs") {
+      if (a + 1 >= argc) {
+        std::cerr << "sweep: --jobs needs a value\n";
+        return sweep_usage();
+      }
+      try {
+        const long long jobs = util::parse_int(argv[++a]);
+        if (jobs < 1) throw util::Error("jobs must be >= 1");
+        run.threads = static_cast<unsigned>(jobs);
+      } catch (const util::Error& e) {
+        std::cerr << "sweep: " << e.what() << "\n";
+        return sweep_usage();
+      }
+    } else if (flag == "--no-warm-start") {
+      run.warm_start = false;
     } else {
       std::cerr << "sweep: unknown flag '" << flag << "'\n";
       return sweep_usage();
