@@ -1,0 +1,246 @@
+/// Experiment S1 — rank_server throughput and latency: an in-process
+/// daemon on a Unix socket, hammered by concurrent clients issuing warm
+/// `rank` requests (four ILD-permittivity variants, so every request
+/// after warm-up is four builder-stage cache hits plus the DP).
+///
+/// Reports req/s and nearest-rank p50/p99/max latency, cross-checks the
+/// server's own metrics (requests_total == ok + failed must hold on the
+/// final scrape), and snapshots everything to BENCH_server.json (the
+/// artifact CI's server-smoke job uploads; the checked-in copy records
+/// the numbers DESIGN.md Section 11 quotes).
+///
+/// usage: bench_server [--seconds S] [--clients N] [--workers N]
+///                     [--queue-cap N] [--out FILE]
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/core/config_run.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/server.hpp"
+#include "src/server/service.hpp"
+#include "src/util/atomic_file.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+using namespace iarank;
+
+struct BenchArgs {
+  double seconds = 3.0;
+  unsigned clients = 8;
+  unsigned workers = 4;
+  std::size_t queue_cap = 64;
+  std::string out = "BENCH_server.json";
+};
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int a = 1; a < argc; ++a) {
+    const std::string flag = argv[a];
+    const auto value = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        throw util::Error("bench_server: " + flag + " needs a value");
+      }
+      return argv[++a];
+    };
+    if (flag == "--seconds") {
+      args.seconds = util::parse_double(value());
+    } else if (flag == "--clients") {
+      args.clients = static_cast<unsigned>(util::parse_int(value()));
+    } else if (flag == "--workers") {
+      args.workers = static_cast<unsigned>(util::parse_int(value()));
+    } else if (flag == "--queue-cap") {
+      args.queue_cap = static_cast<std::size_t>(util::parse_int(value()));
+    } else if (flag == "--out") {
+      args.out = value();
+    } else {
+      throw util::Error("bench_server: unknown flag '" + flag + "'");
+    }
+  }
+  return args;
+}
+
+/// Nearest-rank percentile of an already sorted sample vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const BenchArgs args = parse_args(argc, argv);
+
+  const core::PaperSetup setup = core::paper_baseline();
+  bench::print_header("S1: rank_server throughput (warm rank requests)",
+                      setup);
+  const wld::Wld wld = core::default_wld(setup.design);
+
+  core::RunSpec spec;
+  spec.design = setup.design;
+  spec.options = setup.options;
+  server::RankService service(spec, wld);
+
+  char socket_dir[] = "/tmp/iarank_bench_XXXXXX";
+  if (::mkdtemp(socket_dir) == nullptr) {
+    std::cerr << "bench_server: mkdtemp failed\n";
+    return 1;
+  }
+  server::ServerOptions server_options;
+  server_options.address.kind = server::Address::Kind::kUnix;
+  server_options.address.path = std::string(socket_dir) + "/rank.sock";
+  server_options.workers = args.workers;
+  server_options.queue_capacity = args.queue_cap;
+  server::Server daemon(service, server_options);
+
+  // The request mix: four K variants. After the warm-up pass below, every
+  // variant is resident in the builder's stage caches, so the steady state
+  // measures serving cost (framing, queueing, cached build, DP), not
+  // instance construction.
+  std::vector<std::string> payloads;
+  for (const char* k : {"3.9", "3.3", "2.7", "2.1"}) {
+    util::Json overrides;
+    overrides["ild_permittivity"] = std::string(k);
+    util::Json request;
+    request["type"] = "rank";
+    request["overrides"] = std::move(overrides);
+    payloads.push_back(request.dump());
+  }
+  {
+    const int fd = server::connect_to(daemon.address());
+    for (const std::string& payload : payloads) {
+      (void)server::round_trip(fd, payload);
+    }
+    ::close(fd);
+  }
+
+  std::mutex merge_mutex;
+  std::vector<double> latencies;  // seconds
+  std::int64_t failures = 0;
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(args.seconds);
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(args.clients);
+  for (unsigned c = 0; c < args.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double> local;
+      std::int64_t local_failures = 0;
+      const int fd = server::connect_to(daemon.address());
+      std::size_t i = c;  // stagger the variant each client starts with
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string response =
+            server::round_trip(fd, payloads[i++ % payloads.size()]);
+        const auto t1 = std::chrono::steady_clock::now();
+        local.push_back(std::chrono::duration<double>(t1 - t0).count());
+        if (response.find("\"ok\":true") == std::string::npos) {
+          ++local_failures;
+        }
+      }
+      ::close(fd);
+      const std::scoped_lock lock(merge_mutex);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+      failures += local_failures;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+
+  // Final metrics scrape through the protocol itself, then stop.
+  std::string metrics_body;
+  {
+    const int fd = server::connect_to(daemon.address());
+    const util::Json response = util::Json::parse(
+        server::round_trip(fd, std::string("{\"type\":\"metrics\"}")));
+    ::close(fd);
+    metrics_body = response.at("body").as_string();
+  }
+  daemon.stop();
+  ::rmdir(socket_dir);
+
+  const auto metric_value = [&](const std::string& name) -> std::int64_t {
+    const auto pos = metrics_body.find("\n" + name + " ");
+    if (pos == std::string::npos) return -1;
+    const auto start = pos + 1 + name.size() + 1;
+    const auto end = metrics_body.find('\n', start);
+    return static_cast<std::int64_t>(
+        util::parse_double(metrics_body.substr(start, end - start)));
+  };
+  const std::int64_t requests_total =
+      metric_value("iarank_server_requests_total");
+  const std::int64_t requests_ok =
+      metric_value("iarank_server_requests_ok_total");
+  const std::int64_t requests_failed =
+      metric_value("iarank_server_requests_failed_total");
+  const std::int64_t overloaded =
+      metric_value("iarank_server_overloaded_total");
+
+  std::sort(latencies.begin(), latencies.end());
+  const double count = static_cast<double>(latencies.size());
+  const double req_per_s = elapsed > 0.0 ? count / elapsed : 0.0;
+  const double p50_ms = percentile(latencies, 0.50) * 1e3;
+  const double p99_ms = percentile(latencies, 0.99) * 1e3;
+  const double max_ms = latencies.empty() ? 0.0 : latencies.back() * 1e3;
+
+  util::TextTable table("server load (" + std::to_string(args.clients) +
+                        " clients, " + std::to_string(args.workers) +
+                        " workers)");
+  table.set_header({"metric", "value"});
+  table.add_row({"requests", std::to_string(latencies.size())});
+  table.add_row({"req/s", util::TextTable::num(req_per_s, 1)});
+  table.add_row({"p50 ms", util::TextTable::num(p50_ms, 3)});
+  table.add_row({"p99 ms", util::TextTable::num(p99_ms, 3)});
+  table.add_row({"max ms", util::TextTable::num(max_ms, 3)});
+  table.add_row({"error responses", std::to_string(failures)});
+  table.add_row({"overloaded", std::to_string(overloaded)});
+  std::cout << table;
+
+  const bool books_balance =
+      requests_total >= 0 && requests_total == requests_ok + requests_failed;
+  std::cout << "metrics: total=" << requests_total << " ok=" << requests_ok
+            << " failed=" << requests_failed
+            << (books_balance ? " (consistent)" : " (INCONSISTENT)") << "\n";
+
+  util::Json snapshot;
+  snapshot["bench"] = "bench_server";
+  snapshot["seconds"] = elapsed;
+  snapshot["clients"] = static_cast<std::int64_t>(args.clients);
+  snapshot["workers"] = static_cast<std::int64_t>(args.workers);
+  snapshot["queue_capacity"] = static_cast<std::int64_t>(args.queue_cap);
+  snapshot["requests"] = static_cast<std::int64_t>(latencies.size());
+  snapshot["req_per_s"] = req_per_s;
+  snapshot["p50_ms"] = p50_ms;
+  snapshot["p99_ms"] = p99_ms;
+  snapshot["max_ms"] = max_ms;
+  snapshot["error_responses"] = failures;
+  snapshot["requests_total"] = requests_total;
+  snapshot["requests_ok"] = requests_ok;
+  snapshot["requests_failed"] = requests_failed;
+  snapshot["overloaded"] = overloaded;
+  snapshot["metrics_consistent"] = books_balance;
+  util::atomic_write_file(args.out, snapshot.dump());
+  std::cout << "wrote " << args.out << "\n";
+
+  return books_balance ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "bench_server: " << e.what() << "\n";
+  return 1;
+}

@@ -8,14 +8,15 @@
 ///   target_rank_gain — desired rank improvement factor (default 1.25).
 
 #include <cmath>
-#include <cstdlib>
 #include <iostream>
 
 #include "src/iarank.hpp"
 
 int main(int argc, char** argv) {
   using namespace iarank;
-  const double gain = argc > 1 ? std::atof(argv[1]) : 1.25;
+  // util::parse_double, not atof: atof is locale-sensitive (comma decimal
+  // locales silently truncate "1.25" to 1) and swallows trailing garbage.
+  const double gain = argc > 1 ? util::parse_double(argv[1]) : 1.25;
 
   const core::PaperSetup setup = core::paper_baseline();
   const wld::Wld wld = core::default_wld(setup.design);

@@ -9,7 +9,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <iostream>
 
 #include "src/iarank.hpp"
@@ -17,10 +16,13 @@
 int main(int argc, char** argv) {
   using namespace iarank;
 
+  // util::parse_* instead of atoi/atof/strtoull: locale-independent and
+  // loud on garbage instead of silently yielding 0.
   netlist::GeneratorParams gen;
-  gen.levels = argc > 1 ? std::atoi(argv[1]) : 8;
-  gen.rent_p = argc > 2 ? std::atof(argv[2]) : 0.6;
-  gen.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  gen.levels = argc > 1 ? static_cast<int>(util::parse_int(argv[1])) : 8;
+  gen.rent_p = argc > 2 ? util::parse_double(argv[2]) : 0.6;
+  gen.seed =
+      argc > 3 ? static_cast<std::uint64_t>(util::parse_int(argv[3])) : 1;
 
   std::cout << "1. Synthesizing netlist: " << gen.gate_count()
             << " gates, Rent p = " << gen.rent_p << "\n";

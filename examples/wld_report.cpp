@@ -6,15 +6,16 @@
 ///
 /// Usage: wld_report [gates] [rent_p] [output.wld]
 
-#include <cstdlib>
 #include <iostream>
 
 #include "src/iarank.hpp"
 
 int main(int argc, char** argv) {
   using namespace iarank;
-  const std::int64_t gates = argc > 1 ? std::atoll(argv[1]) : 1000000;
-  const double rent_p = argc > 2 ? std::atof(argv[2]) : 0.6;
+  // util::parse_* instead of atoll/atof: locale-independent and loud on
+  // garbage instead of silently yielding 0.
+  const std::int64_t gates = argc > 1 ? util::parse_int(argv[1]) : 1000000;
+  const double rent_p = argc > 2 ? util::parse_double(argv[2]) : 0.6;
 
   const wld::DavisParams params{gates, rent_p, 4.0, 3.0};
   const wld::DavisModel model(params);

@@ -30,6 +30,28 @@ delay::TargetModel target_model_from(const std::string& name) {
 
 }  // namespace
 
+void apply_rank_options(const util::Config& config, RankOptions& o) {
+  o.ild_permittivity = config.get_double("ild_permittivity", o.ild_permittivity);
+  o.miller_factor = config.get_double("miller_factor", o.miller_factor);
+  o.clock_frequency = config.get_double("clock_hz", o.clock_frequency);
+  o.repeater_fraction =
+      config.get_double("repeater_fraction", o.repeater_fraction);
+  if (config.has("cap_model")) o.cap_model = cap_model_from(config.get("cap_model"));
+  if (config.has("target_model")) {
+    o.target_model = target_model_from(config.get("target_model"));
+  }
+  o.max_noise_ratio = config.get_double("max_noise_ratio", o.max_noise_ratio);
+  o.charge_drivers =
+      config.get_int("charge_drivers", o.charge_drivers ? 1 : 0) != 0;
+  o.bunch_size = config.get_int("bunch_size", o.bunch_size);
+  o.bin_window = config.get_double("bin_window", o.bin_window);
+  o.refine_boundary =
+      config.get_int("refine_boundary", o.refine_boundary ? 1 : 0) != 0;
+  o.vias.vias_per_wire = config.get_double("vias_per_wire", o.vias.vias_per_wire);
+  o.vias.vias_per_repeater =
+      config.get_double("vias_per_repeater", o.vias.vias_per_repeater);
+}
+
 RunSpec run_spec_from_config(const util::Config& config) {
   RunSpec spec;
 
@@ -85,26 +107,7 @@ RunSpec run_spec_from_config(const util::Config& config) {
       "arch.ild_height_factor", spec.design.arch.ild_height_factor);
 
   // Table 4 parameters and modelling options.
-  RankOptions& o = spec.options;
-  o.ild_permittivity = config.get_double("ild_permittivity", o.ild_permittivity);
-  o.miller_factor = config.get_double("miller_factor", o.miller_factor);
-  o.clock_frequency = config.get_double("clock_hz", o.clock_frequency);
-  o.repeater_fraction =
-      config.get_double("repeater_fraction", o.repeater_fraction);
-  if (config.has("cap_model")) o.cap_model = cap_model_from(config.get("cap_model"));
-  if (config.has("target_model")) {
-    o.target_model = target_model_from(config.get("target_model"));
-  }
-  o.max_noise_ratio = config.get_double("max_noise_ratio", o.max_noise_ratio);
-  o.charge_drivers =
-      config.get_int("charge_drivers", o.charge_drivers ? 1 : 0) != 0;
-  o.bunch_size = config.get_int("bunch_size", o.bunch_size);
-  o.bin_window = config.get_double("bin_window", o.bin_window);
-  o.refine_boundary =
-      config.get_int("refine_boundary", o.refine_boundary ? 1 : 0) != 0;
-  o.vias.vias_per_wire = config.get_double("vias_per_wire", o.vias.vias_per_wire);
-  o.vias.vias_per_repeater =
-      config.get_double("vias_per_repeater", o.vias.vias_per_repeater);
+  apply_rank_options(config, spec.options);
 
   // WLD source.
   spec.wld.rent_p = config.get_double("wld.rent_p", spec.wld.rent_p);

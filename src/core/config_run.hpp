@@ -43,6 +43,13 @@ struct RunSpec {
 /// parameters (via the usual validators).
 [[nodiscard]] RunSpec run_spec_from_config(const util::Config& config);
 
+/// Applies the RankOptions-level keys of `config` (Table 4 parameters and
+/// modelling options — everything below "Architecture overrides" in the
+/// key list above) onto `options`. Shared by run_spec_from_config and the
+/// rank server's per-request override path; does NOT validate — callers
+/// run options.validate() once all overlays are applied.
+void apply_rank_options(const util::Config& config, RankOptions& options);
+
 /// Resolves the WLD: loads wld_file when set, else generates Davis.
 [[nodiscard]] wld::Wld resolve_wld(const RunSpec& spec);
 

@@ -1,5 +1,6 @@
 #include "src/core/faultcheck.hpp"
 
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -7,6 +8,7 @@
 #include "src/core/checkpoint.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/sweep.hpp"
+#include "src/util/atomic_file.hpp"
 #include "src/util/config.hpp"
 #include "src/util/error.hpp"
 #include "src/util/fault_injector.hpp"
@@ -74,6 +76,24 @@ std::string deterministic_encoding(SweepPoint point) {
   return encode_sweep_point(point);
 }
 
+/// Output stage: publish the sweep's deterministic encoding through the
+/// atomic-file path, putting util.atomic_file.rename on the exercised
+/// path (an injected publish failure must propagate as the injected
+/// error and leave no temporary behind). The artifact itself is scratch.
+void publish_output(const SweepResult& swept) {
+  std::string text;
+  for (SweepPoint point : swept.points) {
+    point.result.dp.seconds = 0.0;
+    point.result.dp.forward_seconds = 0.0;
+    text += encode_sweep_point(point);
+    text += '\n';
+  }
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "iarank_faultcheck.out";
+  util::atomic_write_file(path.string(), text);
+  std::filesystem::remove(path);
+}
+
 bool sweeps_identical(const SweepResult& a, const SweepResult& b) {
   if (a.points.size() != b.points.size()) return false;
   for (std::size_t i = 0; i < a.points.size(); ++i) {
@@ -135,6 +155,7 @@ FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
                                    baseline_inputs.wld);
   const SweepResult baseline =
       run_sweep(baseline_builder, baseline_inputs.base);
+  publish_output(baseline);
   injector.disarm();
   if (baseline.profile.failed_points != 0) {
     report.violations.push_back("baseline workload has failed points");
@@ -178,6 +199,7 @@ FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
         builder = std::make_unique<InstanceBuilder>(std::move(inputs.design),
                                                     std::move(inputs.wld));
         swept = run_sweep(*builder, base);
+        publish_output(swept);
       } catch (const util::Error& e) {
         threw = true;
         thrown_message = e.what();
@@ -201,8 +223,8 @@ FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
       ++outcome.injections;
 
       if (threw) {
-        // Only the pre-sweep input stages may propagate, and only the
-        // injected error itself.
+        // Only the pre-sweep input stages and the post-sweep output
+        // stage may propagate, and only the injected error itself.
         if (!mentions_injection(thrown_message, outcome.site)) {
           report.violations.push_back("site " + outcome.site + " seed " +
                                       std::to_string(seed) +

@@ -1,5 +1,6 @@
 #include "src/core/report.hpp"
 
+#include <locale>
 #include <ostream>
 #include <sstream>
 
@@ -9,6 +10,9 @@
 namespace iarank::core {
 
 void write_result_csv(std::ostream& os, const RankResult& result) {
+  // CSV is a machine format: pin the classic locale so doubles keep a
+  // '.' decimal point under any process locale.
+  os.imbue(std::locale::classic());
   os << "key,value\n";
   os << "rank," << result.rank << "\n";
   os << "normalized," << result.normalized << "\n";
@@ -30,6 +34,7 @@ void write_result_csv(std::ostream& os, const RankResult& result) {
 }
 
 void write_sweep_csv(std::ostream& os, const SweepResult& sweep) {
+  os.imbue(std::locale::classic());
   os << "# " << to_string(sweep.parameter) << "\n";
   os << "value,normalized_rank,rank,repeaters\n";
   for (const SweepPoint& p : sweep.points) {

@@ -34,6 +34,15 @@ std::string to_string(SweepParameter p) {
   return "unknown";
 }
 
+SweepParameter sweep_parameter_from_string(std::string_view token) {
+  if (token == "K") return SweepParameter::kIldPermittivity;
+  if (token == "M") return SweepParameter::kMillerFactor;
+  if (token == "C") return SweepParameter::kClockFrequency;
+  if (token == "R") return SweepParameter::kRepeaterFraction;
+  throw util::Error("sweep: unknown parameter '" + std::string(token) +
+                    "' (expected K, M, C or R)");
+}
+
 namespace {
 
 // Point outcomes are deterministic (a point either evaluates or throws

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/engine.hpp"
@@ -23,6 +24,12 @@ enum class SweepParameter {
 };
 
 [[nodiscard]] std::string to_string(SweepParameter p);
+
+/// Parses the Table 4 column letter ("K", "M", "C", "R") used by the CLI
+/// and the rank-server protocol. Throws util::Error(kBadInput) on any
+/// other token.
+[[nodiscard]] SweepParameter sweep_parameter_from_string(
+    std::string_view token);
 
 /// One evaluated sweep point. A point whose evaluation threw carries the
 /// failure in `status` (result is value-initialized); the rest of the

@@ -1,0 +1,231 @@
+#include "src/server/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iarank::server {
+
+namespace {
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+/// Reads exactly `len` bytes, retrying EINTR. Returns the byte count
+/// actually read (< len only on EOF or error; errno holds the cause when
+/// the return is negative... we fold both into the pair below).
+struct ReadExact {
+  std::size_t got = 0;
+  bool eof = false;
+  int err = 0;
+};
+
+ReadExact read_exact(int fd, char* buf, std::size_t len) {
+  ReadExact r;
+  while (r.got < len) {
+    const ::ssize_t n = ::read(fd, buf + r.got, len - r.got);
+    if (n > 0) {
+      r.got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      r.eof = true;
+      return r;
+    }
+    if (errno == EINTR) continue;
+    r.err = errno;
+    return r;
+  }
+  return r;
+}
+
+}  // namespace
+
+FrameResult read_frame(int fd, std::size_t max_bytes) {
+  FrameResult out;
+  unsigned char header[4];
+  const ReadExact h = read_exact(fd, reinterpret_cast<char*>(header), 4);
+  if (h.got == 0 && h.eof) {
+    out.state = FrameResult::State::kEof;
+    return out;
+  }
+  if (h.got < 4) {
+    out.state = FrameResult::State::kError;
+    out.message = h.err != 0
+                      ? std::string("read failed: ") + std::strerror(h.err)
+                      : std::string("stream ended inside a frame header");
+    return out;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (len > max_bytes) {
+    out.state = FrameResult::State::kOversized;
+    out.message = "frame of " + std::to_string(len) +
+                  " bytes exceeds the limit of " + std::to_string(max_bytes);
+    return out;
+  }
+  out.payload.resize(len);
+  if (len > 0) {
+    const ReadExact b = read_exact(fd, out.payload.data(), len);
+    if (b.got < len) {
+      out.state = FrameResult::State::kError;
+      out.message = b.err != 0
+                        ? std::string("read failed: ") + std::strerror(b.err)
+                        : std::string("stream ended inside a frame payload");
+      return out;
+    }
+  }
+  out.state = FrameResult::State::kOk;
+  return out;
+}
+
+util::Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return util::Status::failure(util::StatusCode::kInternal,
+                                 "frame payload too large");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(payload.size() + 4);
+  buf += static_cast<char>((len >> 24) & 0xFF);
+  buf += static_cast<char>((len >> 16) & 0xFF);
+  buf += static_cast<char>((len >> 8) & 0xFF);
+  buf += static_cast<char>(len & 0xFF);
+  buf += payload;
+
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ::ssize_t n =
+        ::send(fd, buf.data() + sent, buf.size() - sent, kSendFlags);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    // EPIPE here is the routine "client disconnected mid-write" case a
+    // long-lived server must absorb (SIGPIPE is suppressed above).
+    return util::Status::failure(
+        util::StatusCode::kInternal,
+        std::string("write failed: ") + std::strerror(errno));
+  }
+  return util::Status::make_ok();
+}
+
+Address parse_address(const std::string& text) {
+  Address out;
+  if (util::starts_with(text, "unix:")) {
+    out.kind = Address::Kind::kUnix;
+    out.path = text.substr(5);
+    util::require(!out.path.empty(), "address: empty unix socket path");
+    return out;
+  }
+  std::string rest = text;
+  bool forced_tcp = false;
+  if (util::starts_with(text, "tcp:")) {
+    forced_tcp = true;
+    rest = text.substr(4);
+  }
+  if (!forced_tcp && rest.find('/') != std::string::npos) {
+    out.kind = Address::Kind::kUnix;
+    out.path = rest;
+    return out;
+  }
+  const auto colon = rest.rfind(':');
+  util::require(colon != std::string::npos && colon + 1 < rest.size(),
+                "address: expected unix:<path>, tcp:<host>:<port> or "
+                "<host>:<port>, got '" + text + "'");
+  out.kind = Address::Kind::kTcp;
+  out.host = rest.substr(0, colon);
+  // Numeric IPv4 only (no resolver dependency); the loopback name is the
+  // one spelling worth special-casing.
+  if (out.host.empty() || out.host == "localhost") out.host = "127.0.0.1";
+  const long long port = util::parse_int(rest.substr(colon + 1));
+  util::require(port >= 0 && port <= 65535,
+                "address: port out of range in '" + text + "'");
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+std::string to_string(const Address& address) {
+  if (address.kind == Address::Kind::kUnix) return "unix:" + address.path;
+  return "tcp:" + address.host + ":" + std::to_string(address.port);
+}
+
+int connect_to(const Address& address) {
+  if (address.kind == Address::Kind::kUnix) {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    util::require_io(address.path.size() < sizeof(sa.sun_path),
+                     "connect: unix socket path too long");
+    std::memcpy(sa.sun_path, address.path.c_str(), address.path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    util::require_io(fd >= 0, "connect: socket() failed");
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw util::Error("connect: cannot reach '" + to_string(address) +
+                            "': " + std::strerror(err),
+                        util::ErrorCategory::kIo);
+    }
+    return fd;
+  }
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(address.port));
+  util::require_io(::inet_pton(AF_INET, address.host.c_str(), &sa.sin_addr) == 1,
+                   "connect: invalid IPv4 address '" + address.host + "'");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  util::require_io(fd >= 0, "connect: socket() failed");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw util::Error("connect: cannot reach '" + to_string(address) +
+                          "': " + std::strerror(err),
+                      util::ErrorCategory::kIo);
+  }
+  return fd;
+}
+
+std::string round_trip(int fd, std::string_view request) {
+  const util::Status wrote = write_frame(fd, request);
+  if (!wrote.ok()) {
+    throw util::Error("request: " + wrote.message, util::ErrorCategory::kIo);
+  }
+  FrameResult reply = read_frame(fd);
+  switch (reply.state) {
+    case FrameResult::State::kOk:
+      return std::move(reply.payload);
+    case FrameResult::State::kEof:
+      throw util::Error("request: server closed the connection",
+                        util::ErrorCategory::kIo);
+    case FrameResult::State::kOversized:
+    case FrameResult::State::kError:
+      throw util::Error("request: " + reply.message,
+                        util::ErrorCategory::kIo);
+  }
+  throw util::Error("request: unreachable", util::ErrorCategory::kInternal);
+}
+
+}  // namespace iarank::server

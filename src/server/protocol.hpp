@@ -1,0 +1,80 @@
+/// \file protocol.hpp
+/// \brief Wire protocol of the rank server: length-prefixed JSON frames
+///        over a Unix or TCP stream socket.
+///
+/// Framing: a 4-byte big-endian unsigned payload length, then that many
+/// bytes of UTF-8 JSON. A frame longer than the receiver's limit is a
+/// protocol violation — the receiver reports it and closes the stream
+/// (the byte stream is desynchronized; recovery is a reconnect).
+///
+/// All socket I/O here retries EINTR and never raises SIGPIPE: writes go
+/// through send(MSG_NOSIGNAL) where available, and the server process
+/// additionally ignores SIGPIPE — a client vanishing mid-response must
+/// surface as a per-connection error status, not kill the daemon.
+///
+/// Request/response JSON schemas are documented in DESIGN.md Section 11;
+/// this layer moves opaque payload strings only.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.hpp"
+
+namespace iarank::server {
+
+/// Hard cap on one frame's payload. Guards the daemon against a garbage
+/// length prefix allocating gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Outcome of reading one frame.
+struct FrameResult {
+  enum class State {
+    kOk,         ///< payload holds one complete frame
+    kEof,        ///< orderly stream end at a frame boundary
+    kError,      ///< read failed or the stream ended mid-frame
+    kOversized,  ///< declared length exceeds the limit; stream desynced
+  };
+  State state = State::kError;
+  std::string payload;
+  std::string message;  ///< human-readable detail for kError/kOversized
+};
+
+/// Reads one length-prefixed frame, retrying EINTR. Blocks until a full
+/// frame, EOF, or an error.
+[[nodiscard]] FrameResult read_frame(int fd,
+                                     std::size_t max_bytes = kMaxFrameBytes);
+
+/// Writes one frame, retrying EINTR and short writes. Returns kOk, or an
+/// kInternal status naming the errno (EPIPE when the peer is gone).
+[[nodiscard]] util::Status write_frame(int fd, std::string_view payload);
+
+/// A parsed server address.
+struct Address {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;             ///< kUnix: socket path
+  std::string host = "127.0.0.1";  ///< kTcp
+  int port = 0;                 ///< kTcp
+};
+
+/// Parses "unix:<path>", "tcp:<host>:<port>", a bare "<host>:<port>", or
+/// a bare path containing '/'. Throws util::Error(kBadInput) otherwise.
+[[nodiscard]] Address parse_address(const std::string& text);
+
+/// Renders an Address back to its canonical "unix:..."/"tcp:..." form.
+[[nodiscard]] std::string to_string(const Address& address);
+
+/// Connects a blocking stream socket to `address`, retrying EINTR.
+/// Throws util::Error(kIo) on failure. Caller owns the fd.
+[[nodiscard]] int connect_to(const Address& address);
+
+/// One request/response round trip over an already connected fd. Throws
+/// util::Error(kIo) on transport failure (including a response frame the
+/// peer never sent).
+[[nodiscard]] std::string round_trip(int fd, std::string_view request);
+
+}  // namespace iarank::server

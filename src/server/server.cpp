@@ -1,0 +1,352 @@
+#include "src/server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <future>
+
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/metrics.hpp"
+
+namespace iarank::server {
+
+namespace {
+
+// The transport layer answers some requests without reaching
+// RankService::handle (queue full, shutdown, oversized frame); it keeps
+// the same books so requests_total == ok + failed always holds.
+util::Counter& kRequestsTotal =
+    util::MetricsRegistry::counter("iarank_server_requests_total");
+util::Counter& kRequestsFailed =
+    util::MetricsRegistry::counter("iarank_server_requests_failed_total");
+util::Counter& kOverloaded = util::MetricsRegistry::counter(
+    "iarank_server_overloaded_total",
+    "requests rejected because the job queue was full");
+util::Gauge& kQueueDepth = util::MetricsRegistry::gauge(
+    "iarank_server_queue_depth", "jobs waiting for a worker");
+util::Counter& kConnections = util::MetricsRegistry::counter(
+    "iarank_server_connections_total", "connections accepted");
+
+/// Extracts the request type without failing: a payload that is not a
+/// JSON object (or has no string `type`) classifies as "" and is answered
+/// inline — RankService::handle produces the malformed/bad-input response
+/// cheaply.
+std::string classify(const std::string& payload) {
+  try {
+    const util::Json parsed = util::Json::parse(payload);
+    if (parsed.is_object()) {
+      const util::Json* type = parsed.find("type");
+      if (type != nullptr && type->is_string()) return type->as_string();
+    }
+  } catch (...) {
+  }
+  return std::string();
+}
+
+bool is_executor_request(const std::string& type) {
+  return type == "rank" || type == "sweep" || type == "sleep";
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+int bind_unix(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  util::require_io(path.size() < sizeof(sa.sun_path),
+                   "serve: unix socket path too long: " + path);
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  util::require_io(fd >= 0, "serve: socket() failed");
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) return fd;
+
+  if (errno == EADDRINUSE) {
+    // A socket file with a live listener behind it is a real conflict; a
+    // stale file left by a crashed daemon is safe to replace. Probing
+    // with connect() tells them apart.
+    Address probe;
+    probe.kind = Address::Kind::kUnix;
+    probe.path = path;
+    bool live = true;
+    try {
+      int probe_fd = connect_to(probe);
+      ::close(probe_fd);
+    } catch (const util::Error&) {
+      live = false;
+    }
+    if (!live) {
+      ::unlink(path.c_str());
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+        return fd;
+      }
+    } else {
+      ::close(fd);
+      throw util::Error("serve: '" + path + "' already has a listener",
+                        util::ErrorCategory::kIo);
+    }
+  }
+  const int err = errno;
+  ::close(fd);
+  throw util::Error(
+      "serve: cannot bind '" + path + "': " + std::strerror(err),
+      util::ErrorCategory::kIo);
+}
+
+int bind_tcp(const std::string& host, int& port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  util::require_io(::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) == 1,
+                   "serve: invalid IPv4 address '" + host + "'");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  util::require_io(fd >= 0, "serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw util::Error("serve: cannot bind tcp:" + host + ":" +
+                          std::to_string(port) + ": " + std::strerror(err),
+                      util::ErrorCategory::kIo);
+  }
+  if (port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      port = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+struct Server::Job {
+  std::string text;
+  std::promise<std::string> response;
+};
+
+struct Server::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+Server::Server(RankService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)), address_(options_.address) {
+  // A client vanishing mid-response must surface as a per-connection
+  // write error, not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (address_.kind == Address::Kind::kUnix) {
+    listen_fd_ = bind_unix(address_.path);
+  } else {
+    listen_fd_ = bind_tcp(address_.host, address_.port);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    close_fd(listen_fd_);
+    throw util::Error(
+        std::string("serve: listen() failed: ") + std::strerror(err),
+        util::ErrorCategory::kIo);
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    close_fd(listen_fd_);
+    throw util::Error("serve: pipe() failed", util::ErrorCategory::kIo);
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+  queue_ = std::make_unique<util::BoundedQueue<Job>>(options_.queue_capacity);
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() {
+  stop();
+  close_fd(listen_fd_);
+  close_fd(wake_read_fd_);
+  close_fd(wake_write_fd_);
+  if (address_.kind == Address::Kind::kUnix) {
+    ::unlink(address_.path.c_str());
+  }
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    // Another caller is (or was) tearing down; wait for it to finish.
+    std::unique_lock lock(stop_mutex_);
+    stopped_.wait(lock, [&] { return stop_done_; });
+    return;
+  }
+
+  // 1. Stop accepting: wake the poll(), join the acceptor.
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'x';
+    ::ssize_t n;
+    do {
+      n = ::write(wake_write_fd_, &byte, 1);
+    } while (n < 0 && errno == EINTR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. Drain: no new jobs, queued jobs still run, workers exit when the
+  //    queue is empty.
+  queue_->close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  // 3. Every promise is now fulfilled; connection threads blocked on a
+  //    response have it. Wake the ones blocked in read_frame (SHUT_RD
+  //    delivers EOF; pending writes on the socket still complete).
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (auto& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+      close_fd(conn->fd);
+    }
+    connections_.clear();
+  }
+
+  {
+    const std::scoped_lock lock(stop_mutex_);
+    stop_done_ = true;
+  }
+  stopped_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock lock(stop_mutex_);
+  stopped_.wait(lock, [&] { return stop_done_; });
+}
+
+void Server::reap_finished_connections() {
+  const std::scoped_lock lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      close_fd((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, 250);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    reap_finished_connections();
+    if (fds[1].revents != 0) break;  // stop() knocked
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    int client_fd;
+    do {
+      client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    } while (client_fd < 0 && errno == EINTR);
+    if (client_fd < 0) continue;
+
+    kConnections.inc();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = client_fd;
+    Connection& ref = *conn;
+    {
+      const std::scoped_lock lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    ref.thread = std::thread([this, &ref] { connection_loop(ref); });
+  }
+}
+
+void Server::connection_loop(Connection& conn) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    FrameResult frame = read_frame(conn.fd, options_.max_frame_bytes);
+    if (frame.state == FrameResult::State::kEof) break;
+    if (frame.state == FrameResult::State::kError) break;
+    if (frame.state == FrameResult::State::kOversized) {
+      // The stream is desynchronized past this header; report and close.
+      kRequestsTotal.inc();
+      kRequestsFailed.inc();
+      (void)write_frame(conn.fd,
+                        RankService::error_response("malformed", frame.message));
+      break;
+    }
+
+    std::string response;
+    const std::string type = classify(frame.payload);
+    if (!is_executor_request(type)) {
+      // ping/metrics/malformed: cheap, answered on this thread.
+      response = service_.handle(frame.payload);
+    } else {
+      Job job;
+      job.text = std::move(frame.payload);
+      std::future<std::string> pending = job.response.get_future();
+      const auto pushed = queue_->try_push(std::move(job));
+      kQueueDepth.set(static_cast<std::int64_t>(queue_->size()));
+      switch (pushed) {
+        case util::BoundedQueue<Server::Job>::PushResult::kOk:
+          response = pending.get();
+          break;
+        case util::BoundedQueue<Server::Job>::PushResult::kFull:
+          kRequestsTotal.inc();
+          kRequestsFailed.inc();
+          kOverloaded.inc();
+          response = RankService::error_response(
+              "overloaded", "job queue full; retry with backoff");
+          break;
+        case util::BoundedQueue<Server::Job>::PushResult::kClosed:
+          kRequestsTotal.inc();
+          kRequestsFailed.inc();
+          response = RankService::error_response(
+              "shutting-down", "server is draining; reconnect later");
+          break;
+      }
+    }
+
+    const util::Status wrote = write_frame(conn.fd, response);
+    if (!wrote.ok()) break;  // client gone mid-write (EPIPE and friends)
+  }
+  conn.done.store(true, std::memory_order_release);
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::optional<Job> job = queue_->pop();
+    if (!job.has_value()) return;  // closed and drained
+    kQueueDepth.set(static_cast<std::int64_t>(queue_->size()));
+    job->response.set_value(service_.handle(job->text));
+  }
+}
+
+}  // namespace iarank::server

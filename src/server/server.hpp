@@ -1,0 +1,110 @@
+/// \file server.hpp
+/// \brief The rank daemon: a Unix/TCP listener dispatching framed JSON
+///        requests onto a bounded worker pool.
+///
+/// Threading model (v1, thread-per-connection):
+///
+///   acceptor thread ── poll(listen fd, wake pipe) ──> connection threads
+///   connection thread ── read frame ──> cheap requests (ping/metrics)
+///                                        answered inline; rank/sweep
+///                                        enqueued as jobs
+///   worker threads   ── pop job ──> RankService::handle ──> fulfil
+///                                   promise; the connection thread
+///                                   writes the response frame
+///
+/// Backpressure: the job queue is a util::BoundedQueue. When it is full
+/// the connection thread answers immediately with the typed `overloaded`
+/// error instead of queueing unbounded work — the client's signal to back
+/// off. Queue capacity bounds memory; worker count bounds CPU.
+///
+/// Failure isolation: a request that fails produces an error response
+/// (RankService never throws); a connection whose stream breaks —
+/// malformed frame, oversized frame, EPIPE mid-write — is closed without
+/// touching its neighbours or the daemon.
+///
+/// Shutdown (SIGTERM semantics): stop() stops accepting, closes the
+/// queue (already-queued jobs still run — drain, not drop), lets workers
+/// finish, shuts down connection reads so blocked readers wake, and joins
+/// every thread. In-flight requests get their responses before the
+/// process exits 0.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/protocol.hpp"
+#include "src/server/service.hpp"
+#include "src/util/bounded_queue.hpp"
+
+namespace iarank::server {
+
+struct ServerOptions {
+  Address address;                ///< where to listen
+  unsigned workers = 4;           ///< rank/sweep executor threads
+  std::size_t queue_capacity = 64;  ///< pending jobs before `overloaded`
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws util::Error(kIo) on bind failure; a stale
+  /// unix socket file with no listener behind it is replaced), starts the
+  /// worker pool and the acceptor. The service must outlive the server.
+  Server(RankService& service, ServerOptions options);
+
+  /// stop() + join everything.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound address — for TCP with port 0, the kernel-assigned port.
+  [[nodiscard]] const Address& address() const { return address_; }
+
+  /// Graceful shutdown: drain queued jobs, answer in-flight requests,
+  /// join all threads. Idempotent; called by the destructor.
+  void stop();
+
+  /// Blocks until stop() is called (the serve CLI parks its main thread
+  /// here while the signal handler decides when to stop).
+  void wait();
+
+ private:
+  struct Job;
+  struct Connection;
+
+  void accept_loop();
+  void connection_loop(Connection& conn);
+  void worker_loop();
+  void reap_finished_connections();
+
+  RankService& service_;
+  ServerOptions options_;
+  Address address_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   ///< acceptor poll() wake-up pipe
+  int wake_write_fd_ = -1;
+
+  std::unique_ptr<util::BoundedQueue<Job>> queue_;
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stopped_;
+  bool stop_done_ = false;
+};
+
+}  // namespace iarank::server

@@ -1,0 +1,108 @@
+/// \file service.hpp
+/// \brief Socket-free core of the rank server: one JSON request in, one
+///        JSON response out, against a shared staged InstanceBuilder.
+///
+/// The service owns the process-long state that makes a daemon worth
+/// running: the InstanceBuilder bound to the served design + WLD, whose
+/// per-stage LRU caches turn repeated requests for the same scenario into
+/// cache hits, and the metric counters the /metrics endpoint exports.
+/// Sweep requests fan out over the process-wide util::ThreadPool.
+///
+/// Request schema (one JSON object per frame):
+///
+///   {"type":"ping"}
+///   {"type":"rank","overrides":{"ild_permittivity":3.0, ...}}
+///   {"type":"sweep","parameter":"K","lo":3.9,"hi":1.8,"steps":22,
+///    "overrides":{...}}
+///   {"type":"metrics"}
+///
+/// `overrides` accepts the RankOptions-level config keys (the Table 4
+/// parameters and modelling options of src/core/config_run.hpp); design-
+/// level keys (node, gates, arch.*, wld.*) are rejected with bad-input —
+/// the builder is bound to one design for its lifetime. Values may be
+/// JSON numbers or strings; strings go through the same locale-
+/// independent parser as config files.
+///
+/// Response schema:
+///
+///   {"ok":true,"type":"pong"}
+///   {"ok":true,"type":"rank","rank":...,"normalized":...,
+///    "all_assigned":...,"prefix_bunches":...,"refined_wires":...,
+///    "repeater_count":...,"repeater_area_m2":...,"total_wires":...}
+///   {"ok":true,"type":"sweep","parameter":"K","points":[
+///      {"value":...,"status":"ok","rank":...,"normalized":...}, ...]}
+///   {"ok":true,"type":"metrics","format":"prometheus","body":"..."}
+///   {"ok":false,"error":{"code":"malformed|bad-input|infeasible|
+///                         internal|io|overloaded|shutting-down",
+///                        "message":"..."}}
+///
+/// Responses deliberately carry no timings: N clients issuing the same
+/// request must receive byte-identical responses (the server's
+/// determinism contract, tested in tests/test_server.cpp).
+///
+/// handle() never throws and never terminates the process — every
+/// failure, including malformed JSON, becomes an error response. That is
+/// the per-request isolation half of the daemon's failure model; the
+/// per-connection half lives in server.cpp.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/core/config_run.hpp"
+#include "src/core/instance_builder.hpp"
+#include "src/util/json.hpp"
+
+namespace iarank::server {
+
+struct ServiceOptions {
+  /// Parallelism of one sweep request's grid (the shared pool bounds
+  /// global concurrency; results are thread-count independent).
+  unsigned sweep_threads = 4;
+
+  /// Upper bound on one sweep request's grid size, so a single request
+  /// cannot monopolize the daemon.
+  std::int64_t max_sweep_steps = 4096;
+
+  /// Accepts {"type":"sleep","ms":N} requests — a load-test hook for
+  /// deterministically occupying workers. Off outside tests/bench.
+  bool enable_test_endpoints = false;
+};
+
+class RankService {
+ public:
+  /// Binds the service to the served scenario. The builder is constructed
+  /// once here and shared by every request.
+  RankService(core::RunSpec spec, const wld::Wld& wld_in_pitches,
+              ServiceOptions options = {});
+
+  /// Handles one request payload; always returns a response payload.
+  /// Thread-safe: workers call this concurrently.
+  [[nodiscard]] std::string handle(std::string_view request_text);
+
+  /// Builds the canonical error response ({"ok":false,...}). `code` is a
+  /// protocol error code string; exposed so the transport layer emits
+  /// the same shape for queue-full ("overloaded") and framing
+  /// ("malformed") failures.
+  [[nodiscard]] static std::string error_response(std::string_view code,
+                                                  std::string_view message);
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] const core::RunSpec& spec() const { return spec_; }
+
+ private:
+  [[nodiscard]] std::string handle_parsed(const std::string& type,
+                                          const util::Json& request);
+
+  /// Served baseline options + the request's `overrides` object (validated;
+  /// unknown keys rejected with bad-input).
+  [[nodiscard]] core::RankOptions options_with_overrides(
+      const util::Json& request) const;
+
+  core::RunSpec spec_;
+  core::InstanceBuilder builder_;
+  ServiceOptions options_;
+};
+
+}  // namespace iarank::server

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
 
 #if defined(_WIN32)
 #include <cstdio>
@@ -16,6 +17,11 @@
 namespace iarank::util {
 
 namespace {
+
+// Injection point covering the publish step (rename + the fsyncs around
+// it): a long-lived server must never leave `<path>.tmp.<pid>` files
+// accumulating when publication fails.
+const FaultSite kSiteRename{"util.atomic_file.rename"};
 
 [[noreturn]] void fail(const std::string& op, const std::string& path,
                        int err) {
@@ -37,7 +43,18 @@ void atomic_write_file(const std::string& path, std::string_view content) {
     if (!out.good()) fail("open", tmp, errno);
     out.write(content.data(), static_cast<std::streamsize>(content.size()));
     out.flush();
-    if (!out.good()) fail("write", tmp, errno);
+    if (!out.good()) {
+      const int err = errno;
+      out.close();
+      std::remove(tmp.c_str());
+      fail("write", tmp, err);
+    }
+  }
+  try {
+    maybe_inject(kSiteRename);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
   }
   std::remove(path.c_str());
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -80,6 +97,16 @@ void atomic_write_file(const std::string& path, std::string_view content) {
     const int err = errno;
     ::unlink(tmp.c_str());
     fail("close", tmp, err);
+  }
+
+  // The injected throw models a failing rename: every exit from here on
+  // must unlink the tmp file, or a long-lived process slowly litters its
+  // output directories.
+  try {
+    maybe_inject(kSiteRename);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
   }
 
   if (::rename(tmp.c_str(), path.c_str()) != 0) {

@@ -49,6 +49,10 @@ Config Config::load(const std::string& path) {
 
 bool Config::has(const std::string& key) const { return values_.contains(key); }
 
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
 const std::string& Config::get(const std::string& key) const {
   const auto it = values_.find(key);
   require(it != values_.end(), "Config: missing key '" + key + "'");

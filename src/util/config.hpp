@@ -27,6 +27,11 @@ class Config {
 
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// Inserts or replaces one key. Programmatic overlay for callers that
+  /// merge request-level overrides onto a loaded base configuration (the
+  /// rank server does); parse()'s duplicate-key rejection is unaffected.
+  void set(const std::string& key, std::string value);
+
   /// Raw string accessor; throws util::Error for a missing key.
   [[nodiscard]] const std::string& get(const std::string& key) const;
 

@@ -1,0 +1,430 @@
+#include "src/util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iarank::util {
+
+namespace {
+
+constexpr int kMaxDepth = 64;  ///< nesting cap: malformed input must not
+                               ///< overflow the parser's stack
+
+[[noreturn]] void parse_fail(std::size_t offset, const std::string& what) {
+  throw Error("json: " + what + " at offset " + std::to_string(offset));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    skip_ws();
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) parse_fail(pos_, "trailing characters");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) parse_fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      parse_fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) parse_fail(pos_, "nesting too deep");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) parse_fail(pos_, "invalid literal");
+        return Json();
+      case 't':
+        if (!consume_literal("true")) parse_fail(pos_, "invalid literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) parse_fail(pos_, "invalid literal");
+        return Json(false);
+      case '"':
+        return Json(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      out.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Json(std::move(out));
+      if (c != ',') parse_fail(pos_ - 1, "expected ',' or ']'");
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') parse_fail(pos_, "expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Json(std::move(out));
+      if (c != ',') parse_fail(pos_ - 1, "expected ',' or '}'");
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) parse_fail(pos_, "truncated \\u escape");
+    std::uint32_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, v, 16);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ + 4) {
+      parse_fail(pos_, "invalid \\u escape");
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) parse_fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        parse_fail(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) parse_fail(pos_, "truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the low half must follow as another \u.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const std::uint32_t lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                parse_fail(pos_ - 4, "invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              parse_fail(pos_, "unpaired high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            parse_fail(pos_ - 4, "unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          parse_fail(pos_ - 1, "invalid escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") parse_fail(start, "invalid number");
+    // "-0" must stay a double: the integer path would drop the sign bit,
+    // breaking the bitwise round-trip (dump(-0.0) == "-0").
+    if (token == "-0") is_double = true;
+    if (!is_double) {
+      std::int64_t iv = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), iv);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return Json(iv);
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double dv = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), dv);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      parse_fail(start, "invalid number");
+    }
+    return Json(dv);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void type_fail(const char* wanted, Json::Type got) {
+  const char* name = "unknown";
+  switch (got) {
+    case Json::Type::kNull: name = "null"; break;
+    case Json::Type::kBool: name = "bool"; break;
+    case Json::Type::kNumber: name = "number"; break;
+    case Json::Type::kString: name = "string"; break;
+    case Json::Type::kArray: name = "array"; break;
+    case Json::Type::kObject: name = "object"; break;
+  }
+  throw Error(std::string("json: expected ") + wanted + ", got " + name);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      if (is_int_) {
+        out += std::to_string(int_);
+      } else {
+        require(std::isfinite(num_),
+                "json: cannot serialize a non-finite number");
+        out += format_double_shortest(num_);
+      }
+      return;
+    case Type::kString:
+      append_escaped(out, str_);
+      return;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, key);
+        out += ':';
+        value.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_fail("bool", type_);
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) type_fail("number", type_);
+  return is_int_ ? static_cast<double>(int_) : num_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kNumber) type_fail("number", type_);
+  if (is_int_) return int_;
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (std::floor(num_) == num_ && std::fabs(num_) <= kExact) {
+    return static_cast<std::int64_t>(num_);
+  }
+  throw Error("json: number is not an exact integer");
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_fail("string", type_);
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) type_fail("array", type_);
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) type_fail("object", type_);
+  return obj_;
+}
+
+bool Json::contains(const std::string& key) const {
+  return type_ == Type::kObject && obj_.contains(key);
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) type_fail("object", type_);
+  const auto it = obj_.find(key);
+  if (it == obj_.end()) throw Error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) type_fail("object", type_);
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_fail("object", type_);
+  return obj_[key];
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_fail("array", type_);
+  arr_.push_back(std::move(v));
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) {
+    // Integral numbers compare across representations (1 == 1.0).
+    if (a.type_ == Json::Type::kNumber && b.type_ == Json::Type::kNumber) {
+      return a.as_double() == b.as_double();
+    }
+    return false;
+  }
+  switch (a.type_) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.bool_ == b.bool_;
+    case Json::Type::kNumber:
+      if (a.is_int_ != b.is_int_) return a.as_double() == b.as_double();
+      return a.is_int_ ? a.int_ == b.int_ : a.num_ == b.num_;
+    case Json::Type::kString: return a.str_ == b.str_;
+    case Json::Type::kArray: return a.arr_ == b.arr_;
+    case Json::Type::kObject: return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,108 @@
+/// \file json.hpp
+/// \brief Minimal, locale-independent JSON value type (parse + serialize).
+///
+/// The rank server's wire protocol and the bench snapshots need JSON that
+/// behaves identically regardless of the process locale and round-trips
+/// doubles bitwise. Numbers are parsed with std::from_chars and written
+/// with std::to_chars (shortest round-trip spelling), so
+/// `Json::parse(v.dump())` reproduces every finite double exactly — the
+/// property the server's bitwise-determinism contract rests on.
+///
+/// Scope: full JSON values (null, bool, number, string with \uXXXX
+/// escapes incl. surrogate pairs, array, object). Objects are ordered
+/// maps, so `dump()` is deterministic: equal values serialize to equal
+/// bytes. Number syntax is the std::from_chars superset of JSON's (e.g.
+/// leading zeros parse); nothing we emit uses the difference.
+///
+/// Errors: parse() and the checked accessors throw util::Error
+/// (kBadInput). dump() throws util::Error (kInternal) on non-finite
+/// numbers — JSON has no spelling for them, and silently emitting null
+/// would corrupt the protocol.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iarank::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;  ///< null
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), int_(v), is_int_(true) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : Json(std::string(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+  Json(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  /// Parses one JSON document (trailing garbage rejected). Throws
+  /// util::Error(kBadInput) with a byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Compact, deterministic serialization (no whitespace, object keys in
+  /// map order, doubles in shortest round-trip form).
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // Checked accessors; throw util::Error(kBadInput) on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// Requires an integral number representable in int64 (either parsed
+  /// without fraction/exponent, or a double with zero fraction inside
+  /// the exactly-representable range).
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  // Object helpers.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Member lookup; throws util::Error(kBadInput) when missing or when
+  /// this value is not an object.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Member lookup; nullptr when missing (still throws on non-objects).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Insert-or-assign on an object (null values become empty objects
+  /// first, matching the common builder idiom `j["k"] = v`).
+  Json& operator[](const std::string& key);
+
+  /// Append to an array (null values become empty arrays first).
+  void push_back(Json v);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;  ///< number stored in int_ (exact), not num_
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace iarank::util

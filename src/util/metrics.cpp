@@ -1,13 +1,14 @@
 #include "src/util/metrics.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <locale>
 #include <memory>
 #include <ostream>
 #include <sstream>
 
 #include "src/util/atomic_file.hpp"
 #include "src/util/error.hpp"
+#include "src/util/strings.hpp"
 
 namespace iarank::util {
 
@@ -30,9 +31,9 @@ void atomic_max(std::atomic<double>& target, double v) {
 }
 
 std::string format_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
+  // to_chars, not snprintf: the export spelling must not depend on the
+  // process locale (a daemon may run under LC_NUMERIC=de_DE).
+  return format_double_general(v, 9);
 }
 
 }  // namespace
@@ -158,6 +159,9 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  // Machine-readable export: pin the classic locale so integer insertion
+  // never picks up thousands grouping from a locale-imbued stream.
+  os.imbue(std::locale::classic());
   const std::scoped_lock lock(mutex_);
   for (const auto& entry : entries_) {
     const Entry& e = *entry;
@@ -192,6 +196,7 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
+  os.imbue(std::locale::classic());
   const std::scoped_lock lock(mutex_);
   os << "{\n";
   bool first = true;

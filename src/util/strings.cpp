@@ -59,4 +59,44 @@ bool starts_with(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;
 }
 
+namespace {
+
+std::string format_with(double value, std::chars_format format, int precision) {
+  // 64 bytes covers every fixed/scientific/general spelling up to the
+  // precisions used here; fixed spellings of huge magnitudes need more,
+  // so retry with a buffer sized for DBL_MAX in %f form.
+  char small[64];
+  auto [ptr, ec] = std::to_chars(small, small + sizeof(small), value, format,
+                                 precision);
+  if (ec == std::errc{}) return std::string(small, ptr);
+  char big[384];
+  auto [ptr2, ec2] =
+      std::to_chars(big, big + sizeof(big), value, format, precision);
+  require(ec2 == std::errc{}, "format_double: to_chars failed");
+  return std::string(big, ptr2);
+}
+
+}  // namespace
+
+std::string format_double_fixed(double value, int precision) {
+  return format_with(value, std::chars_format::fixed, precision);
+}
+
+std::string format_double_sci(double value, int precision) {
+  return format_with(value, std::chars_format::scientific, precision);
+}
+
+std::string format_double_general(double value, int precision) {
+  // %g treats precision 0 as 1, to_chars does not; match printf.
+  return format_with(value, std::chars_format::general,
+                     precision < 1 ? 1 : precision);
+}
+
+std::string format_double_shortest(double value) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  require(ec == std::errc{}, "format_double: to_chars failed");
+  return std::string(buf, ptr);
+}
+
 }  // namespace iarank::util

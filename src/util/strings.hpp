@@ -27,4 +27,20 @@ namespace iarank::util {
 /// True when `text` starts with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
 
+/// Locale-independent double formatting built on std::to_chars. The
+/// printf family ("%f", "%g") and ostream insertion both honour
+/// LC_NUMERIC / the global C++ locale, so a long-lived process started
+/// under a comma-decimal locale would emit "0,5" into CSV, JSON and
+/// Prometheus exports. These always produce the C-locale spelling.
+///
+/// format_double_fixed:    printf "%.*f" equivalent
+/// format_double_sci:      printf "%.*e" equivalent
+/// format_double_general:  printf "%.*g" equivalent
+/// format_double_shortest: shortest spelling that parses back bitwise
+///                         identical (to_chars round-trip guarantee)
+[[nodiscard]] std::string format_double_fixed(double value, int precision);
+[[nodiscard]] std::string format_double_sci(double value, int precision);
+[[nodiscard]] std::string format_double_general(double value, int precision);
+[[nodiscard]] std::string format_double_shortest(double value);
+
 }  // namespace iarank::util

@@ -1,10 +1,10 @@
 #include "src/util/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <ostream>
 
 #include "src/util/error.hpp"
+#include "src/util/strings.hpp"
 
 namespace iarank::util {
 
@@ -24,15 +24,13 @@ void TextTable::add_row(std::vector<std::string> row) {
 }
 
 std::string TextTable::num(double value, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-  return buf;
+  // snprintf honours LC_NUMERIC; table/CSV cells must not change spelling
+  // when the embedding process runs under a comma-decimal locale.
+  return format_double_fixed(value, precision);
 }
 
 std::string TextTable::sci(double value, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
-  return buf;
+  return format_double_sci(value, precision);
 }
 
 void TextTable::print(std::ostream& os) const {

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "src/util/atomic_file.hpp"
+#include "src/util/strings.hpp"
 
 namespace iarank::util {
 
@@ -102,15 +103,22 @@ void fill_self_times(std::vector<Trace::SummaryNode>& nodes) {
 
 void render_summary(const std::vector<Trace::SummaryNode>& nodes, int depth,
                     std::ostringstream& os) {
+  const auto pad_left = [](std::string s, std::size_t width) {
+    if (s.size() < width) s.insert(0, width - s.size(), ' ');
+    return s;
+  };
   for (const Trace::SummaryNode& n : nodes) {
     std::string label(static_cast<std::size_t>(depth) * 2, ' ');
     label += n.name;
-    char line[160];
-    std::snprintf(line, sizeof(line), "  %-40s %8lld %12.3f %12.3f\n",
-                  label.c_str(), static_cast<long long>(n.count),
-                  static_cast<double>(n.total_ns) / 1e6,
-                  static_cast<double>(n.self_ns) / 1e6);
-    os << line;
+    if (label.size() < 40) label.append(40 - label.size(), ' ');
+    os << "  " << label << " "
+       << pad_left(std::to_string(n.count), 8) << " "
+       << pad_left(format_double_fixed(
+                       static_cast<double>(n.total_ns) / 1e6, 3), 12)
+       << " "
+       << pad_left(format_double_fixed(
+                       static_cast<double>(n.self_ns) / 1e6, 3), 12)
+       << "\n";
     render_summary(n.children, depth + 1, os);
   }
 }
@@ -174,25 +182,21 @@ void Trace::write_chrome_json(std::ostream& os) {
       }
       if (!first) os << ",\n";
       first = false;
-      char line[192];
-      std::snprintf(line, sizeof(line),
-                    "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,"
-                    "\"pid\":1,\"tid\":%zu}",
-                    name, e.begin ? "B" : "E",
-                    static_cast<double>(e.ts_ns) / 1e3, tid);
-      os << line;
+      // Built by hand with to_chars-backed formatting: snprintf "%f"
+      // would emit a comma decimal under LC_NUMERIC=de_DE — invalid JSON.
+      os << "{\"name\":\"" << name << "\",\"ph\":\"" << (e.begin ? "B" : "E")
+         << "\",\"ts\":"
+         << format_double_fixed(static_cast<double>(e.ts_ns) / 1e3, 3)
+         << ",\"pid\":1,\"tid\":" << tid << "}";
     }
     // Close spans still open at export time so every B has a matching E.
     const double now_us = static_cast<double>(now_ns()) / 1e3;
     while (!open.empty()) {
       if (!first) os << ",\n";
       first = false;
-      char line[192];
-      std::snprintf(line, sizeof(line),
-                    "{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,"
-                    "\"pid\":1,\"tid\":%zu}",
-                    open.back(), now_us, tid);
-      os << line;
+      os << "{\"name\":\"" << open.back() << "\",\"ph\":\"E\",\"ts\":"
+         << format_double_fixed(now_us, 3) << ",\"pid\":1,\"tid\":" << tid
+         << "}";
       open.pop_back();
     }
   }

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Server smoke test: boot a real rank_server daemon, drive it through the
+# CLI client, require the server's own books to balance
+# (requests_total == requests_ok + requests_failed), then SIGTERM it and
+# require a clean drain: exit status 0 and the socket file unlinked.
+#
+# usage: server_smoke.sh <rank_tool> <config> [bench_server]
+set -euo pipefail
+
+RANK_TOOL=${1:?usage: server_smoke.sh <rank_tool> <config> [bench_server]}
+CONFIG=${2:?usage: server_smoke.sh <rank_tool> <config> [bench_server]}
+BENCH_SERVER=${3:-}
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2> /dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCKET="$WORK/rank.sock"
+ADDR="unix:$SOCKET"
+
+"$RANK_TOOL" serve "$CONFIG" --socket "$SOCKET" --workers 2 \
+  > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the readiness line (the daemon prints it only once the listener
+# is accepting).
+for _ in $(seq 1 500); do
+  grep -q "listening on" "$WORK/server.log" 2> /dev/null && break
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+    echo "FAIL: server died during startup" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.02
+done
+grep -q "listening on" "$WORK/server.log" \
+  || { echo "FAIL: no readiness line" >&2; exit 1; }
+
+# A request mix: health check, two warm ranks (the second hits the builder
+# caches), an override variant, a malformed body (must fail the request,
+# not the daemon), and a small sweep.
+"$RANK_TOOL" request "$ADDR" ping
+"$RANK_TOOL" request "$ADDR" rank > "$WORK/rank1.json"
+"$RANK_TOOL" request "$ADDR" rank > "$WORK/rank2.json"
+diff "$WORK/rank1.json" "$WORK/rank2.json"  # deterministic responses
+"$RANK_TOOL" request "$ADDR" rank ild_permittivity=2.7 > /dev/null
+if "$RANK_TOOL" request "$ADDR" raw '{"type":"rank","overrides":{"no_such_key":1}}' \
+    > "$WORK/bad.json" 2>&1; then
+  echo "FAIL: unknown override was accepted" >&2
+  exit 1
+fi
+grep -q '"bad-input"' "$WORK/bad.json"
+"$RANK_TOOL" request "$ADDR" sweep K 3.9 3.3 3 > /dev/null
+
+# Optional load generator against the same daemon's service class (it
+# spins up its own in-process server; run it for the throughput numbers
+# and its internal metrics cross-check).
+if [ -n "$BENCH_SERVER" ]; then
+  "$BENCH_SERVER" --seconds 2 --out "$WORK/BENCH_server.json"
+fi
+
+# The daemon's books must balance: requests_total == ok + failed.
+"$RANK_TOOL" request "$ADDR" metrics > "$WORK/metrics.txt"
+awk '
+  $1 == "iarank_server_requests_total"        { total  = $2 }
+  $1 == "iarank_server_requests_ok_total"     { ok     = $2 }
+  $1 == "iarank_server_requests_failed_total" { failed = $2 }
+  END {
+    if (total == "" || total != ok + failed) {
+      printf "FAIL: books do not balance: total=%s ok=%s failed=%s\n", \
+             total, ok, failed > "/dev/stderr"
+      exit 1
+    }
+    printf "metrics consistent: total=%d == ok=%d + failed=%d\n", \
+           total, ok, failed
+  }' "$WORK/metrics.txt"
+
+# SIGTERM must drain and exit 0, and the socket file must be unlinked.
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: server exited $STATUS after SIGTERM" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+fi
+grep -q "draining" "$WORK/server.log"
+if [ -e "$SOCKET" ]; then
+  echo "FAIL: socket file left behind after shutdown" >&2
+  exit 1
+fi
+echo "OK: daemon served the mix, books balanced, SIGTERM drained cleanly"

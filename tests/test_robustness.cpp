@@ -142,6 +142,39 @@ TEST(AtomicFile, WritesAndReplacesWholeFiles) {
       util::Error);
 }
 
+TEST(AtomicFile, FailedPublicationLeavesNoTemporaryBehind) {
+  const DisarmGuard guard;
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "atomic_clean";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string target = (dir / "out.json").string();
+  util::atomic_write_file(target, "published\n");
+
+  // Fail the publish step (the rename): the half-written temporary must be
+  // unlinked and the previously published content must survive untouched.
+  util::FaultInjector::instance().arm("util.atomic_file.rename", 1);
+  EXPECT_THROW(util::atomic_write_file(target, "never published\n"),
+               util::Error);
+  std::vector<std::string> entries;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    entries.push_back(entry.path().filename().string());
+  }
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], "out.json");
+  EXPECT_EQ(slurp(target), "published\n");
+
+  // Same contract when the target never existed: the directory ends empty.
+  const std::string fresh = (dir / "fresh.json").string();
+  util::FaultInjector::instance().arm("util.atomic_file.rename", 1);
+  EXPECT_THROW(util::atomic_write_file(fresh, "x"), util::Error);
+  EXPECT_FALSE(fs::exists(fresh));
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir),
+                          fs::directory_iterator()),
+            1);
+  fs::remove_all(dir);
+}
+
 // --- digest -----------------------------------------------------------------------
 
 TEST(Digest, IsDeterministicOrderAndBitSensitive) {
@@ -358,7 +391,7 @@ TEST(FaultInjector, SitesAreRegisteredBeforeMain) {
        {"core.instance_builder.coarsen", "core.instance_builder.die",
         "core.instance_builder.stack", "core.instance_builder.plans",
         "core.instance_builder.assemble", "core.dp_rank", "core.free_pack",
-        "wld.io.read", "util.config.parse"}) {
+        "wld.io.read", "util.config.parse", "util.atomic_file.rename"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

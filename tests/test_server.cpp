@@ -1,0 +1,584 @@
+/// \file test_server.cpp
+/// \brief The rank server stack, bottom up: the JSON value type, the
+///        bounded queue, the frame protocol over socketpairs, the
+///        socket-free service, and the full daemon end to end.
+///
+/// The load-bearing contracts:
+///  - a `rank` response equals the in-process dp_rank result bitwise
+///    (the service adds no arithmetic of its own);
+///  - concurrent clients issuing the same request receive identical
+///    bytes;
+///  - a malformed or oversized frame poisons one connection, never the
+///    daemon;
+///  - a full job queue answers `overloaded` instead of queueing
+///    unboundedly;
+///  - stop() drains: requests accepted before shutdown get responses.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cmath>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/config_run.hpp"
+#include "src/core/dp_rank.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/paper_setup.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/server.hpp"
+#include "src/server/service.hpp"
+#include "src/util/bounded_queue.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+
+namespace iarank {
+namespace {
+
+// --- util::Json -------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  EXPECT_TRUE(util::Json::parse("null").is_null());
+  EXPECT_EQ(util::Json::parse("true").as_bool(), true);
+  EXPECT_EQ(util::Json::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(util::Json::parse("2.5e-3").as_double(), 2.5e-3);
+  EXPECT_EQ(util::Json::parse("\"a\\nb\"").as_string(), "a\nb");
+  EXPECT_EQ(util::Json::parse("[1,2,3]").as_array().size(), 3u);
+
+  const util::Json obj = util::Json::parse(
+      "{\"k\": 3.9, \"nested\": {\"deep\": [true, null]}}");
+  EXPECT_DOUBLE_EQ(obj.at("k").as_double(), 3.9);
+  EXPECT_TRUE(obj.at("nested").at("deep").as_array()[1].is_null());
+}
+
+TEST(Json, UnicodeEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(util::Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(util::Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  // U+1F600 via a surrogate pair.
+  EXPECT_EQ(util::Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\":1}x", "\"\x01\"",
+        "nan", "+1", "\"\\ud83d\"", "01a"}) {
+    EXPECT_THROW((void)util::Json::parse(bad), util::Error) << bad;
+  }
+  // Depth bomb: deeper than the parser's recursion limit.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)util::Json::parse(deep), util::Error);
+}
+
+TEST(Json, DumpParseRoundTripsDoublesBitwise) {
+  const std::vector<double> values = {0.0,    -0.0,       1.0 / 3.0,
+                                      1e-308, 1.7976e308, 0.1,
+                                      3.9,    2148408.0,  5e-324};
+  for (const double v : values) {
+    const util::Json parsed = util::Json::parse(util::Json(v).dump());
+    const double back = parsed.as_double();
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << v;
+  }
+}
+
+TEST(Json, DumpIsDeterministicAndOrdered) {
+  util::Json a;
+  a["zeta"] = 1;
+  a["alpha"] = 2;
+  util::Json b;
+  b["alpha"] = 2;
+  b["zeta"] = 1;
+  EXPECT_EQ(a.dump(), b.dump());  // map order, not insertion order
+  EXPECT_EQ(a.dump(), "{\"alpha\":2,\"zeta\":1}");
+  EXPECT_TRUE(a == b);
+
+  // Non-finite numbers have no JSON spelling: dump must refuse, not emit.
+  EXPECT_THROW((void)util::Json(std::nan("")).dump(), util::Error);
+}
+
+// --- util::BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueue, RejectsWhenFullAndDeliversInOrder) {
+  util::BoundedQueue<int> queue(2);
+  using Push = util::BoundedQueue<int>::PushResult;
+  EXPECT_EQ(queue.try_push(1), Push::kOk);
+  EXPECT_EQ(queue.try_push(2), Push::kOk);
+  EXPECT_EQ(queue.try_push(3), Push::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.try_push(3), Push::kOk);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsConsumers) {
+  util::BoundedQueue<int> queue(4);
+  (void)queue.try_push(7);
+  (void)queue.try_push(8);
+  queue.close();
+  EXPECT_EQ(queue.try_push(9), util::BoundedQueue<int>::PushResult::kClosed);
+  // Items enqueued before the close are still delivered (drain, not drop).
+  EXPECT_EQ(queue.pop().value(), 7);
+  EXPECT_EQ(queue.pop().value(), 8);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  util::BoundedQueue<int> queue(1);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(queue.pop().has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(woke);
+}
+
+// --- frame protocol ---------------------------------------------------------------
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Protocol, FrameRoundTripIncludingEmptyAndBinary) {
+  SocketPair sp;
+  std::string binary = "x\0y\xff z";
+  binary[1] = '\0';
+  for (const std::string& payload :
+       {std::string(), std::string("{\"type\":\"ping\"}"), binary,
+        std::string(100000, 'q')}) {
+    ASSERT_TRUE(server::write_frame(sp.a, payload).ok());
+    const server::FrameResult got = server::read_frame(sp.b);
+    ASSERT_EQ(got.state, server::FrameResult::State::kOk);
+    EXPECT_EQ(got.payload, payload);
+  }
+}
+
+TEST(Protocol, EofAtFrameBoundaryVsMidFrame) {
+  {
+    SocketPair sp;
+    ::close(sp.a);
+    sp.a = -1;
+    EXPECT_EQ(server::read_frame(sp.b).state, server::FrameResult::State::kEof);
+  }
+  {
+    SocketPair sp;
+    // Two header bytes, then the stream dies: an error, not a clean EOF.
+    ASSERT_EQ(::send(sp.a, "\x00\x00", 2, 0), 2);
+    ::close(sp.a);
+    sp.a = -1;
+    const server::FrameResult got = server::read_frame(sp.b);
+    EXPECT_EQ(got.state, server::FrameResult::State::kError);
+  }
+}
+
+TEST(Protocol, OversizedFrameIsRejectedWithoutAllocating) {
+  SocketPair sp;
+  // Header declaring ~4 GiB; read_frame must refuse before reading payload.
+  const unsigned char header[4] = {0xFF, 0xFF, 0xFF, 0xF0};
+  ASSERT_EQ(::send(sp.a, header, 4, 0), 4);
+  const server::FrameResult got = server::read_frame(sp.b, 1 << 20);
+  EXPECT_EQ(got.state, server::FrameResult::State::kOversized);
+}
+
+TEST(Protocol, ParseAddressForms) {
+  const server::Address unix_addr = server::parse_address("unix:/tmp/x.sock");
+  EXPECT_EQ(unix_addr.kind, server::Address::Kind::kUnix);
+  EXPECT_EQ(unix_addr.path, "/tmp/x.sock");
+  EXPECT_EQ(server::to_string(unix_addr), "unix:/tmp/x.sock");
+
+  const server::Address bare_path = server::parse_address("/tmp/y.sock");
+  EXPECT_EQ(bare_path.kind, server::Address::Kind::kUnix);
+
+  const server::Address tcp = server::parse_address("tcp:127.0.0.1:8080");
+  EXPECT_EQ(tcp.kind, server::Address::Kind::kTcp);
+  EXPECT_EQ(tcp.port, 8080);
+
+  const server::Address local = server::parse_address("localhost:9");
+  EXPECT_EQ(local.host, "127.0.0.1");
+
+  EXPECT_THROW((void)server::parse_address("unix:"), util::Error);
+  EXPECT_THROW((void)server::parse_address("tcp:1.2.3.4:99999"), util::Error);
+  EXPECT_THROW((void)server::parse_address("justaname"), util::Error);
+}
+
+// --- RankService (socket-free) ----------------------------------------------------
+
+/// One service over a small paper-regime design, shared across the
+/// service/daemon tests (construction builds the WLD once).
+class ServiceTest : public ::testing::Test {
+ protected:
+  static core::RunSpec& spec() {
+    static core::RunSpec s = [] {
+      const core::PaperSetup setup = core::paper_baseline("130nm", 200000);
+      core::RunSpec out;
+      out.design = setup.design;
+      out.options = setup.options;
+      return out;
+    }();
+    return s;
+  }
+  static const wld::Wld& wld() {
+    static wld::Wld w = core::default_wld(spec().design);
+    return w;
+  }
+  static server::RankService& service() {
+    static server::RankService s(spec(), wld());
+    return s;
+  }
+};
+
+TEST_F(ServiceTest, PingPongs) {
+  EXPECT_EQ(service().handle("{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+}
+
+TEST_F(ServiceTest, RankMatchesInProcessComputeRankBitwise) {
+  const util::Json response =
+      util::Json::parse(service().handle("{\"type\":\"rank\"}"));
+  ASSERT_TRUE(response.at("ok").as_bool());
+
+  const core::RankResult direct =
+      core::compute_rank(spec().design, spec().options, wld());
+  EXPECT_EQ(response.at("rank").as_int(), direct.rank);
+  EXPECT_EQ(response.at("total_wires").as_int(), direct.total_wires);
+  EXPECT_EQ(response.at("prefix_bunches").as_int(), direct.prefix_bunches);
+  EXPECT_EQ(response.at("refined_wires").as_int(), direct.refined_wires);
+  EXPECT_EQ(response.at("repeater_count").as_int(), direct.repeater_count);
+  EXPECT_EQ(response.at("all_assigned").as_bool(), direct.all_assigned);
+  // Bitwise, not approximate: the service must add no arithmetic.
+  const double got_norm = response.at("normalized").as_double();
+  const double got_area = response.at("repeater_area_m2").as_double();
+  EXPECT_EQ(std::memcmp(&got_norm, &direct.normalized, sizeof got_norm), 0);
+  EXPECT_EQ(
+      std::memcmp(&got_area, &direct.repeater_area_used, sizeof got_area), 0);
+}
+
+TEST_F(ServiceTest, OverridesReachTheSolverAndUnknownKeysAreRejected) {
+  // A 3x clock makes targets strictly harder: the override must visibly
+  // reach the solver (the small test design has no K headroom, so the
+  // clock is the discriminating knob here).
+  const util::Json base =
+      util::Json::parse(service().handle("{\"type\":\"rank\"}"));
+  const util::Json harder = util::Json::parse(service().handle(
+      "{\"type\":\"rank\",\"overrides\":{\"clock_hz\":1.5e9}}"));
+  EXPECT_LT(harder.at("rank").as_int(), base.at("rank").as_int());
+
+  // String-typed numbers go through the same parser.
+  const util::Json same = util::Json::parse(service().handle(
+      "{\"type\":\"rank\",\"overrides\":{\"clock_hz\":\"1.5e9\"}}"));
+  EXPECT_EQ(same.dump(), harder.dump());
+
+  const util::Json rejected = util::Json::parse(service().handle(
+      "{\"type\":\"rank\",\"overrides\":{\"gates\":9}}"));
+  EXPECT_FALSE(rejected.at("ok").as_bool());
+  EXPECT_EQ(rejected.at("error").at("code").as_string(), "bad-input");
+
+  const util::Json invalid = util::Json::parse(service().handle(
+      "{\"type\":\"rank\",\"overrides\":{\"miller_factor\":-1}}"));
+  EXPECT_FALSE(invalid.at("ok").as_bool());
+  EXPECT_EQ(invalid.at("error").at("code").as_string(), "bad-input");
+}
+
+TEST_F(ServiceTest, SweepMatchesRankPointForPoint) {
+  const util::Json sweep = util::Json::parse(service().handle(
+      "{\"type\":\"sweep\",\"parameter\":\"K\",\"lo\":3.9,\"hi\":2.9,"
+      "\"steps\":3}"));
+  ASSERT_TRUE(sweep.at("ok").as_bool());
+  const auto& points = sweep.at("points").as_array();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].at("value").as_double(), 3.9);
+  EXPECT_DOUBLE_EQ(points[2].at("value").as_double(), 2.9);
+
+  for (const util::Json& point : points) {
+    util::Json request;
+    request["type"] = "rank";
+    util::Json overrides;
+    overrides["ild_permittivity"] = point.at("value").as_double();
+    request["overrides"] = std::move(overrides);
+    const util::Json one = util::Json::parse(service().handle(request.dump()));
+    EXPECT_EQ(one.at("rank").as_int(), point.at("rank").as_int());
+  }
+}
+
+TEST_F(ServiceTest, ErrorsNeverEscapeHandle) {
+  for (const char* bad : {
+           "not json at all",
+           "[]",                                     // not an object
+           "{\"no_type\":1}",                        // missing type
+           "{\"type\":\"launch-missiles\"}",         // unknown type
+           "{\"type\":\"sleep\",\"ms\":1}",          // gated test endpoint
+           "{\"type\":\"sweep\",\"parameter\":\"K\",\"lo\":1,\"hi\":2,"
+           "\"steps\":100000000}",                   // steps cap
+           "{\"type\":\"sweep\",\"parameter\":\"Q\",\"lo\":1,\"hi\":2,"
+           "\"steps\":2}",                           // unknown parameter
+       }) {
+    const util::Json response = util::Json::parse(service().handle(bad));
+    EXPECT_FALSE(response.at("ok").as_bool()) << bad;
+    EXPECT_FALSE(response.at("error").at("code").as_string().empty()) << bad;
+  }
+  const util::Json malformed =
+      util::Json::parse(service().handle("{{{{"));
+  EXPECT_EQ(malformed.at("error").at("code").as_string(), "malformed");
+}
+
+TEST_F(ServiceTest, MetricsExportIsServedInline) {
+  const util::Json response =
+      util::Json::parse(service().handle("{\"type\":\"metrics\"}"));
+  ASSERT_TRUE(response.at("ok").as_bool());
+  const std::string& body = response.at("body").as_string();
+  EXPECT_NE(body.find("iarank_server_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("iarank_server_request_seconds"), std::string::npos);
+}
+
+// --- the daemon end to end --------------------------------------------------------
+
+class ServerTest : public ServiceTest {
+ protected:
+  /// A fresh unix-socket path under a per-test temp directory (sun_path
+  /// is only ~100 bytes, so keep it short).
+  static std::string socket_path(const std::string& name) {
+    const auto dir = std::filesystem::path(::testing::TempDir()) / "iarank_srv";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+};
+
+TEST_F(ServerTest, EndToEndOverUnixSocket) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("e2e.sock");
+  options.workers = 2;
+  server::Server daemon(service(), options);
+
+  const int fd = server::connect_to(daemon.address());
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  // The response over the wire is the service's response, byte for byte.
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"rank\"}"),
+            service().handle("{\"type\":\"rank\"}"));
+  ::close(fd);
+  daemon.stop();
+}
+
+TEST_F(ServerTest, ConcurrentClientsReceiveIdenticalBytes) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("concurrent.sock");
+  options.workers = 4;
+  server::Server daemon(service(), options);
+
+  const std::string request =
+      "{\"type\":\"rank\",\"overrides\":{\"ild_permittivity\":3.1}}";
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 5;
+  std::vector<std::string> first_responses(kClients);
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = server::connect_to(daemon.address());
+      first_responses[c] = server::round_trip(fd, request);
+      for (int r = 1; r < kRequestsEach; ++r) {
+        if (server::round_trip(fd, request) != first_responses[c]) {
+          ++mismatches;
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  daemon.stop();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(first_responses[c], first_responses[0]) << "client " << c;
+  }
+  EXPECT_NE(first_responses[0].find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(ServerTest, MalformedFramePoisonsOnlyItsConnection) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("malformed.sock");
+  options.workers = 1;
+  options.max_frame_bytes = 4096;
+  server::Server daemon(service(), options);
+
+  // Connection 1 sends an oversized frame: it gets an error and a close.
+  const int bad_fd = server::connect_to(daemon.address());
+  const unsigned char huge_header[4] = {0x7F, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::send(bad_fd, huge_header, 4, 0), 4);
+  const server::FrameResult reply = server::read_frame(bad_fd);
+  ASSERT_EQ(reply.state, server::FrameResult::State::kOk);
+  EXPECT_NE(reply.payload.find("\"malformed\""), std::string::npos);
+  EXPECT_EQ(server::read_frame(bad_fd).state,
+            server::FrameResult::State::kEof);
+  ::close(bad_fd);
+
+  // Unparseable JSON inside a well-formed frame: error response, the
+  // connection stays usable.
+  const int fd = server::connect_to(daemon.address());
+  const std::string garbage_reply = server::round_trip(fd, "}{");
+  EXPECT_NE(garbage_reply.find("\"malformed\""), std::string::npos);
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+  daemon.stop();
+}
+
+TEST_F(ServerTest, FloodedQueueAnswersOverloaded) {
+  // One worker, a one-slot queue, and a service with the sleep endpoint:
+  // occupy the worker, fill the slot, then the next request must bounce.
+  server::ServiceOptions service_options;
+  service_options.enable_test_endpoints = true;
+  server::RankService slow_service(spec(), wld(), service_options);
+
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("overload.sock");
+  options.workers = 1;
+  options.queue_capacity = 1;
+  server::Server daemon(slow_service, options);
+
+  const auto occupy = [&](int ms) {
+    return std::thread([&, ms] {
+      const int fd = server::connect_to(daemon.address());
+      const std::string response = server::round_trip(
+          fd, "{\"type\":\"sleep\",\"ms\":" + std::to_string(ms) + "}");
+      EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+      ::close(fd);
+    });
+  };
+  // First sleeper occupies the worker; give it time to be popped, then
+  // the second parks in the queue's only slot.
+  std::thread first = occupy(600);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::thread second = occupy(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const int fd = server::connect_to(daemon.address());
+  const std::string bounced =
+      server::round_trip(fd, "{\"type\":\"sleep\",\"ms\":1}");
+  EXPECT_NE(bounced.find("\"overloaded\"", 0), std::string::npos) << bounced;
+  // The same connection is still healthy for cheap inline requests.
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+
+  first.join();
+  second.join();
+  daemon.stop();
+}
+
+TEST_F(ServerTest, StopDrainsQueuedRequests) {
+  server::ServiceOptions service_options;
+  service_options.enable_test_endpoints = true;
+  server::RankService slow_service(spec(), wld(), service_options);
+
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("drain.sock");
+  options.workers = 1;
+  options.queue_capacity = 8;
+  server::Server daemon(slow_service, options);
+
+  // Three in-flight sleepers: one running, two queued. stop() must answer
+  // all three (drain), not drop the queued ones.
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      const int fd = server::connect_to(daemon.address());
+      const std::string response =
+          server::round_trip(fd, "{\"type\":\"sleep\",\"ms\":150}");
+      if (response.find("\"ok\":true") != std::string::npos) ++answered;
+      ::close(fd);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  daemon.stop();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(answered.load(), 3);
+}
+
+TEST_F(ServerTest, StaleSocketFileIsReplacedLiveListenerIsNot) {
+  const std::string path = socket_path("stale.sock");
+  {
+    server::ServerOptions options;
+    options.address.kind = server::Address::Kind::kUnix;
+    options.address.path = path;
+    server::Server daemon(service(), options);
+    // A second daemon on the same live socket must refuse.
+    EXPECT_THROW(server::Server(service(), options), util::Error);
+    daemon.stop();
+  }
+  // Simulate a crashed daemon: recreate the socket file with no listener.
+  {
+    server::ServerOptions options;
+    options.address.kind = server::Address::Kind::kUnix;
+    options.address.path = path;
+    server::Server first(service(), options);
+    // Destructor unlinks; re-create a stale file by hand.
+  }
+  {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::snprintf(sa.sun_path, sizeof(sa.sun_path), "%s", path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+    ::close(fd);  // bound but never listening: a stale file remains
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = path;
+  server::Server daemon(service(), options);  // must replace the stale file
+  const int fd = server::connect_to(daemon.address());
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+  daemon.stop();
+}
+
+TEST_F(ServerTest, TcpLoopbackWithKernelAssignedPort) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kTcp;
+  options.address.host = "127.0.0.1";
+  options.address.port = 0;  // kernel picks
+  server::Server daemon(service(), options);
+  ASSERT_GT(daemon.address().port, 0);
+
+  const int fd = server::connect_to(daemon.address());
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace iarank

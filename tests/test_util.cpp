@@ -1,12 +1,16 @@
 /// Unit tests for src/util: numerics, strings, config, tables.
 
+#include <clocale>
 #include <cmath>
+#include <locale>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "src/util/config.hpp"
 #include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/metrics.hpp"
 #include "src/util/numeric.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/strings.hpp"
@@ -160,6 +164,81 @@ TEST(Strings, ParseInt) {
 TEST(Strings, StartsWith) {
   EXPECT_TRUE(util::starts_with("foobar", "foo"));
   EXPECT_FALSE(util::starts_with("fo", "foo"));
+}
+
+// --- locale independence --------------------------------------------------------
+
+namespace {
+
+/// German-style numpunct: comma decimal point, dot grouping. Installing it
+/// as the global C++ locale reproduces the comma-decimal hazard even when
+/// the container ships no de_DE locale data.
+struct CommaDecimal : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Restores both the C locale and the C++ global locale on scope exit, so
+/// a failing assertion cannot leak comma-decimal formatting into later
+/// tests.
+struct LocaleGuard {
+  std::string saved_c;
+  std::locale saved_cpp;
+  LocaleGuard() : saved_c(std::setlocale(LC_ALL, nullptr)) {}
+  ~LocaleGuard() {
+    std::locale::global(saved_cpp);
+    std::setlocale(LC_ALL, saved_c.c_str());
+  }
+};
+
+}  // namespace
+
+TEST(Locale, NumericsIgnoreCommaDecimalLocales) {
+  const LocaleGuard guard;
+  // Prefer real de_DE data when the host has it (exercises the C library
+  // paths too); the custom facet below covers the C++ stream paths either
+  // way.
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) break;
+  }
+  std::locale::global(std::locale(std::locale::classic(), new CommaDecimal));
+
+  // Parsing: '.' is the only decimal separator, ',' is always garbage.
+  EXPECT_DOUBLE_EQ(util::parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(util::parse_double("-1e-3"), -1e-3);
+  EXPECT_THROW((void)util::parse_double("2,5"), util::Error);
+
+  // Formatting: never a comma, never grouping separators.
+  EXPECT_EQ(util::format_double_shortest(2.5), "2.5");
+  EXPECT_EQ(util::format_double_fixed(1234567.5, 2), "1234567.50");
+  const std::string sci = util::format_double_sci(6.25e-3, 2);
+  EXPECT_EQ(sci.find(','), std::string::npos) << sci;
+  EXPECT_DOUBLE_EQ(util::parse_double(sci), 6.25e-3);
+  EXPECT_EQ(util::format_double_general(1234.5, 6), "1234.5");
+  EXPECT_EQ(util::TextTable::num(1234.5, 2), "1234.50");
+
+  // Config round-trip keeps the C-locale spelling.
+  const auto cfg = util::Config::parse("x = 2.5\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("x"), 2.5);
+
+  // Json dump/parse stays bit-exact under the hostile locale.
+  const util::Json doc = util::Json::parse("{\"k\":2.5,\"n\":-1e-3}");
+  EXPECT_EQ(doc.dump(), "{\"k\":2.5,\"n\":-0.001}");
+  EXPECT_DOUBLE_EQ(util::Json::parse(doc.dump()).at("k").as_double(), 2.5);
+
+  // Prometheus exposition must use '.' decimals (scrapers reject commas).
+  auto& histogram = util::MetricsRegistry::histogram(
+      "iarank_test_locale_seconds", {0.25, 2.5});
+  histogram.observe(0.5);
+  std::ostringstream prometheus;
+  util::MetricsRegistry::instance().write_prometheus(prometheus);
+  const std::string text = prometheus.str();
+  EXPECT_NE(text.find("le=\"0.25\""), std::string::npos);
+  EXPECT_NE(text.find("iarank_test_locale_seconds_sum 0.5"),
+            std::string::npos);
+  EXPECT_EQ(text.find("0,25"), std::string::npos);
+  EXPECT_EQ(text.find("0,5"), std::string::npos);
 }
 
 // --- config ---------------------------------------------------------------------

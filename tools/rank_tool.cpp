@@ -55,6 +55,23 @@
 ///                             (or the injected error), with builder
 ///                             caches bitwise-reusable afterwards. Needs
 ///                             no config file. Exit 1 on any violation.
+///   serve <config> (--socket PATH | --port N [--host A.B.C.D])
+///         [--workers N] [--queue-cap N] [--sweep-jobs N]
+///                             run the rank daemon for the configured
+///                             scenario (framed JSON protocol, DESIGN.md
+///                             Section 11). Prints `listening on <addr>`
+///                             when ready; SIGTERM/SIGINT drain in-flight
+///                             requests, then the process exits 0.
+///   request <addr> ping | metrics | rank [key=value ...]
+///           | sweep <K|M|C|R> <lo> <hi> <steps> [key=value ...]
+///           | raw <json>
+///                             one request against a running daemon.
+///                             <addr> is unix:<path> or tcp:<host>:<port>.
+///                             key=value pairs become per-request option
+///                             overrides (same keys as the config file's
+///                             Table 4 / modelling block). Exit 0 on an
+///                             ok response, 2 on a request error, 1 on an
+///                             internal server error.
 ///
 /// Exit codes: 0 success, 1 internal error (or selfcheck/faultcheck
 /// failure), 2 user error (bad usage, bad config, bad input file).
@@ -62,7 +79,11 @@
 /// The config format is documented in src/core/config_run.hpp; sample
 /// files live under configs/.
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -74,6 +95,10 @@
 #include "src/core/selfcheck.hpp"
 #include "src/core/sensitivity.hpp"
 #include "src/core/verify.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/server.hpp"
+#include "src/server/service.hpp"
+#include "src/util/json.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/trace.hpp"
@@ -193,15 +218,9 @@ int cmd_sweep(const core::RunSpec& spec, const wld::Wld& wld, int argc,
 
   const std::string token = argv[0];
   core::SweepParameter parameter;
-  if (token == "K") {
-    parameter = core::SweepParameter::kIldPermittivity;
-  } else if (token == "M") {
-    parameter = core::SweepParameter::kMillerFactor;
-  } else if (token == "C") {
-    parameter = core::SweepParameter::kClockFrequency;
-  } else if (token == "R") {
-    parameter = core::SweepParameter::kRepeaterFraction;
-  } else {
+  try {
+    parameter = core::sweep_parameter_from_string(token);
+  } catch (const util::Error&) {
     std::cerr << "sweep: unknown parameter '" << token << "'\n";
     return sweep_usage();
   }
@@ -450,6 +469,214 @@ int cmd_faultcheck(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+int serve_usage() {
+  std::cerr << "usage: rank_tool serve <config>"
+               " (--socket PATH | --port N [--host A.B.C.D])"
+               " [--workers N] [--queue-cap N] [--sweep-jobs N]\n";
+  return 2;
+}
+
+// SIGTERM/SIGINT handoff to the main thread: the handler's only
+// async-signal-safe job is one write to this self-pipe; the main thread
+// blocks on the read end and runs the orderly drain.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void on_shutdown_signal(int /*signo*/) {
+  const char byte = 's';
+  [[maybe_unused]] const ::ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 1) return serve_usage();
+  const std::string config_path = argv[0];
+
+  server::ServerOptions options;
+  server::ServiceOptions service_options;
+  bool have_address = false;
+  const auto int_flag = [&](int& a, const char* name) {
+    if (a + 1 >= argc) {
+      throw util::Error(std::string("serve: ") + name + " needs a value");
+    }
+    return util::parse_int(argv[++a]);
+  };
+  try {
+    for (int a = 1; a < argc; ++a) {
+      const std::string flag = argv[a];
+      if (flag == "--socket") {
+        if (a + 1 >= argc) throw util::Error("serve: --socket needs a path");
+        options.address.kind = server::Address::Kind::kUnix;
+        options.address.path = argv[++a];
+        have_address = true;
+      } else if (flag == "--port") {
+        const long long port = int_flag(a, "--port");
+        if (port < 0 || port > 65535) {
+          throw util::Error("serve: port out of range");
+        }
+        options.address.kind = server::Address::Kind::kTcp;
+        options.address.port = static_cast<int>(port);
+        have_address = true;
+      } else if (flag == "--host") {
+        if (a + 1 >= argc) throw util::Error("serve: --host needs a value");
+        options.address.host = argv[++a];
+      } else if (flag == "--workers") {
+        const long long workers = int_flag(a, "--workers");
+        if (workers < 1) throw util::Error("serve: --workers must be >= 1");
+        options.workers = static_cast<unsigned>(workers);
+      } else if (flag == "--queue-cap") {
+        const long long cap = int_flag(a, "--queue-cap");
+        if (cap < 1) throw util::Error("serve: --queue-cap must be >= 1");
+        options.queue_capacity = static_cast<std::size_t>(cap);
+      } else if (flag == "--sweep-jobs") {
+        const long long jobs = int_flag(a, "--sweep-jobs");
+        if (jobs < 1) throw util::Error("serve: --sweep-jobs must be >= 1");
+        service_options.sweep_threads = static_cast<unsigned>(jobs);
+      } else if (flag == "--test-endpoints") {
+        // Undocumented: enables the sleep request type (load tests only).
+        service_options.enable_test_endpoints = true;
+      } else {
+        std::cerr << "serve: unknown flag '" << flag << "'\n";
+        return serve_usage();
+      }
+    }
+  } catch (const util::Error& e) {
+    std::cerr << e.what() << "\n";
+    return serve_usage();
+  }
+  if (!have_address) {
+    std::cerr << "serve: one of --socket or --port is required\n";
+    return serve_usage();
+  }
+
+  const auto config = util::Config::load(config_path);
+  const auto spec = core::run_spec_from_config(config);
+  const auto wld = core::resolve_wld(spec);
+  server::RankService service(spec, wld, service_options);
+  server::Server daemon(service, options);
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::cerr << "serve: pipe() failed\n";
+    return 1;
+  }
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::signal(SIGINT, on_shutdown_signal);
+
+  // The readiness line scripts wait for (flushed before blocking).
+  std::cout << "listening on " << server::to_string(daemon.address())
+            << std::endl;
+
+  char byte;
+  ::ssize_t n;
+  do {
+    n = ::read(g_shutdown_pipe[0], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+
+  std::cout << "shutdown signal received; draining" << std::endl;
+  daemon.stop();
+  ::close(g_shutdown_pipe[0]);
+  ::close(g_shutdown_pipe[1]);
+  std::cout << "drained; exiting" << std::endl;
+  return 0;
+}
+
+int request_usage() {
+  std::cerr << "usage: rank_tool request <addr> ping\n"
+               "       rank_tool request <addr> metrics\n"
+               "       rank_tool request <addr> rank [key=value ...]\n"
+               "       rank_tool request <addr> sweep <K|M|C|R> <lo> <hi>"
+               " <steps> [key=value ...]\n"
+               "       rank_tool request <addr> raw <json>\n"
+               "  <addr>: unix:<path> or tcp:<host>:<port>\n";
+  return 2;
+}
+
+util::Json overrides_from_args(int argc, char** argv, int start) {
+  util::Json overrides;
+  for (int a = start; a < argc; ++a) {
+    const std::string pair = argv[a];
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw util::Error("request: expected key=value, got '" + pair + "'");
+    }
+    overrides[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return overrides;
+}
+
+int cmd_request(int argc, char** argv) {
+  if (argc < 2) return request_usage();
+  const server::Address address = server::parse_address(argv[0]);
+  const std::string what = argv[1];
+
+  std::string payload;
+  if (what == "ping" || what == "metrics") {
+    util::Json request;
+    request["type"] = what;
+    payload = request.dump();
+  } else if (what == "rank") {
+    util::Json request;
+    request["type"] = "rank";
+    if (argc > 2) request["overrides"] = overrides_from_args(argc, argv, 2);
+    payload = request.dump();
+  } else if (what == "sweep") {
+    if (argc < 6) return request_usage();
+    util::Json request;
+    request["type"] = "sweep";
+    request["parameter"] = argv[2];
+    request["lo"] = util::parse_double(argv[3]);
+    request["hi"] = util::parse_double(argv[4]);
+    request["steps"] = static_cast<std::int64_t>(util::parse_int(argv[5]));
+    if (argc > 6) request["overrides"] = overrides_from_args(argc, argv, 6);
+    payload = request.dump();
+  } else if (what == "raw") {
+    if (argc < 3) return request_usage();
+    payload = argv[2];
+  } else {
+    std::cerr << "request: unknown request '" << what << "'\n";
+    return request_usage();
+  }
+
+  const int fd = server::connect_to(address);
+  std::string response_text;
+  try {
+    response_text = server::round_trip(fd, payload);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+
+  // An unparseable response is a server bug; report it verbatim.
+  util::Json response;
+  try {
+    response = util::Json::parse(response_text);
+  } catch (const util::Error&) {
+    std::cerr << "request: unparseable response: " << response_text << "\n";
+    return 1;
+  }
+  const util::Json* ok = response.is_object() ? response.find("ok") : nullptr;
+  if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+    // Metrics unwrap to the Prometheus text itself; everything else prints
+    // as the response JSON.
+    const util::Json* body = response.find("body");
+    if (what == "metrics" && body != nullptr && body->is_string()) {
+      std::cout << body->as_string();
+    } else {
+      std::cout << response_text << "\n";
+    }
+    return 0;
+  }
+  std::cerr << response_text << "\n";
+  const util::Json* error = response.find("error");
+  if (error != nullptr && error->is_object()) {
+    const util::Json* code = error->find("code");
+    if (code != nullptr && code->is_string() &&
+        code->as_string() == "internal") {
+      return 1;
+    }
+  }
+  return 2;
+}
+
 /// Global observability flags, stripped from argv before dispatch so every
 /// subcommand accepts them in any position.
 struct ObservabilityFlags {
@@ -490,6 +717,12 @@ int dispatch(int argc, char** argv) {
     }
     if (std::string(argv[1]) == "faultcheck") {
       return cmd_faultcheck(argc - 2, argv + 2);
+    }
+    if (std::string(argv[1]) == "serve") {
+      return cmd_serve(argc - 2, argv + 2);
+    }
+    if (std::string(argv[1]) == "request") {
+      return cmd_request(argc - 2, argv + 2);
     }
     const auto config = iarank::util::Config::load(argv[1]);
     const auto spec = iarank::core::run_spec_from_config(config);
@@ -532,6 +765,10 @@ int main(int argc, char** argv) {
                  " [rank|sweep|profile|sensitivity|trace|wld] ...\n"
                  "       rank_tool selfcheck <seeds> [--shrink]\n"
                  "       rank_tool faultcheck <seeds> [--first-seed N]\n"
+                 "       rank_tool serve <config-file>"
+                 " (--socket PATH | --port N) [--workers N]\n"
+                 "       rank_tool request <addr>"
+                 " ping|metrics|rank|sweep|raw ...\n"
                  "       any command also accepts --trace FILE.json and"
                  " --metrics FILE\n";
     return 2;
