@@ -1,17 +1,26 @@
 /// Experiment S1 — rank_server throughput and latency: an in-process
 /// daemon on a Unix socket, hammered by concurrent clients issuing warm
 /// `rank` requests (four ILD-permittivity variants, so every request
-/// after warm-up is four builder-stage cache hits plus the DP).
+/// after warm-up is four builder-stage cache hits plus the DP; with v2
+/// batching, concurrent duplicates of a variant coalesce onto one DP).
 ///
-/// Reports req/s and nearest-rank p50/p99/max latency, cross-checks the
-/// server's own metrics (requests_total == ok + failed must hold on the
-/// final scrape), and snapshots everything to BENCH_server.json (the
-/// artifact CI's server-smoke job uploads; the checked-in copy records
-/// the numbers DESIGN.md Section 11 quotes).
+/// Reports req/s and nearest-rank p50/p99/max latency, then audits the
+/// books on both sides of the wire: every framed request the bench sent
+/// (warm-up + timed load + the final metrics scrape) is counted client-
+/// side, and the run fails (exit nonzero) unless
+///
+///   client_total == requests_total == requests_ok + requests_failed
+///   client_failures == requests_failed
+///
+/// HTTP traffic is booked separately (iarank_server_http_requests_total)
+/// and must match the probe count. Snapshots everything to
+/// BENCH_server.json (the artifact CI's server-smoke job uploads; the
+/// checked-in copy records the numbers DESIGN.md Section 11 quotes).
 ///
 /// usage: bench_server [--seconds S] [--clients N] [--workers N]
 ///                     [--queue-cap N] [--out FILE]
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -80,6 +89,32 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+/// One raw HTTP GET against the daemon's HTTP listener; returns the full
+/// response (the server closes after each response).
+std::string http_get(const server::Address& address,
+                     const std::string& target) {
+  const int fd = server::connect_to(address);
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: b\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ::ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[8192];
+  while (true) {
+    const ::ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -105,7 +140,15 @@ int main(int argc, char** argv) try {
   server_options.address.path = std::string(socket_dir) + "/rank.sock";
   server_options.workers = args.workers;
   server_options.queue_capacity = args.queue_cap;
+  server_options.http_port = 0;  // probe the scrape path below
   server::Server daemon(service, server_options);
+
+  // Client-side books: every framed request this process sends is
+  // counted in exactly one of these three, so the sum must equal the
+  // server's requests_total at the final scrape.
+  std::int64_t warmup_requests = 0;
+  std::int64_t scrape_requests = 0;
+  std::int64_t failures = 0;  // error responses, any phase
 
   // The request mix: four K variants. After the warm-up pass below, every
   // variant is resident in the builder's stage caches, so the steady state
@@ -123,14 +166,15 @@ int main(int argc, char** argv) try {
   {
     const int fd = server::connect_to(daemon.address());
     for (const std::string& payload : payloads) {
-      (void)server::round_trip(fd, payload);
+      const std::string response = server::round_trip(fd, payload);
+      ++warmup_requests;
+      if (response.find("\"ok\":true") == std::string::npos) ++failures;
     }
     ::close(fd);
   }
 
   std::mutex merge_mutex;
   std::vector<double> latencies;  // seconds
-  std::int64_t failures = 0;
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(args.seconds);
@@ -164,13 +208,22 @@ int main(int argc, char** argv) try {
                              std::chrono::steady_clock::now() - started)
                              .count();
 
-  // Final metrics scrape through the protocol itself, then stop.
+  // One HTTP scrape (booked separately from the framed protocol), then
+  // the final framed metrics scrape, then stop.
+  std::int64_t http_probes = 0;
+  const std::string http_response = http_get(daemon.http_address(), "/metrics");
+  ++http_probes;
+  const bool http_ok =
+      http_response.rfind("HTTP/1.1 200 OK\r\n", 0) == 0 &&
+      http_response.find("iarank_server_requests_total") != std::string::npos;
+
   std::string metrics_body;
   {
     const int fd = server::connect_to(daemon.address());
     const util::Json response = util::Json::parse(
         server::round_trip(fd, std::string("{\"type\":\"metrics\"}")));
     ::close(fd);
+    ++scrape_requests;  // counts itself server-side before rendering
     metrics_body = response.at("body").as_string();
   }
   daemon.stop();
@@ -192,6 +245,11 @@ int main(int argc, char** argv) try {
       metric_value("iarank_server_requests_failed_total");
   const std::int64_t overloaded =
       metric_value("iarank_server_overloaded_total");
+  const std::int64_t batched =
+      metric_value("iarank_server_batched_requests_total");
+  const std::int64_t batches = metric_value("iarank_server_batches_total");
+  const std::int64_t http_requests =
+      metric_value("iarank_server_http_requests_total");
 
   std::sort(latencies.begin(), latencies.end());
   const double count = static_cast<double>(latencies.size());
@@ -199,6 +257,9 @@ int main(int argc, char** argv) try {
   const double p50_ms = percentile(latencies, 0.50) * 1e3;
   const double p99_ms = percentile(latencies, 0.99) * 1e3;
   const double max_ms = latencies.empty() ? 0.0 : latencies.back() * 1e3;
+  const std::int64_t client_total = warmup_requests +
+                                    static_cast<std::int64_t>(latencies.size()) +
+                                    scrape_requests;
 
   util::TextTable table("server load (" + std::to_string(args.clients) +
                         " clients, " + std::to_string(args.workers) +
@@ -211,13 +272,48 @@ int main(int argc, char** argv) try {
   table.add_row({"max ms", util::TextTable::num(max_ms, 3)});
   table.add_row({"error responses", std::to_string(failures)});
   table.add_row({"overloaded", std::to_string(overloaded)});
+  table.add_row({"batched requests", std::to_string(batched)});
   std::cout << table;
 
-  const bool books_balance =
-      requests_total >= 0 && requests_total == requests_ok + requests_failed;
-  std::cout << "metrics: total=" << requests_total << " ok=" << requests_ok
-            << " failed=" << requests_failed
-            << (books_balance ? " (consistent)" : " (INCONSISTENT)") << "\n";
+  // The audit. Any line failing here is a bookkeeping bug, not noise.
+  std::vector<std::string> violations;
+  if (requests_total < 0 || requests_total != requests_ok + requests_failed) {
+    violations.push_back("server books: requests_total (" +
+                         std::to_string(requests_total) + ") != ok (" +
+                         std::to_string(requests_ok) + ") + failed (" +
+                         std::to_string(requests_failed) + ")");
+  }
+  if (client_total != requests_total) {
+    violations.push_back(
+        "wire books: client sent " + std::to_string(client_total) +
+        " framed requests (warmup " + std::to_string(warmup_requests) +
+        " + load " + std::to_string(latencies.size()) + " + scrape " +
+        std::to_string(scrape_requests) + ") but server counted " +
+        std::to_string(requests_total));
+  }
+  if (failures != requests_failed) {
+    violations.push_back("failure books: client saw " +
+                         std::to_string(failures) +
+                         " error responses, server counted " +
+                         std::to_string(requests_failed));
+  }
+  if (!http_ok) {
+    violations.push_back("http probe: GET /metrics did not return a 200 "
+                         "Prometheus exposition");
+  }
+  if (http_requests != http_probes) {
+    violations.push_back("http books: sent " + std::to_string(http_probes) +
+                         " HTTP requests, server counted " +
+                         std::to_string(http_requests));
+  }
+  std::cout << "books: client=" << client_total << " total=" << requests_total
+            << " ok=" << requests_ok << " failed=" << requests_failed
+            << " http=" << http_requests
+            << (violations.empty() ? " (balanced)" : " (INCONSISTENT)")
+            << "\n";
+  for (const std::string& v : violations) {
+    std::cout << "VIOLATION: " << v << "\n";
+  }
 
   util::Json snapshot;
   snapshot["bench"] = "bench_server";
@@ -226,6 +322,9 @@ int main(int argc, char** argv) try {
   snapshot["workers"] = static_cast<std::int64_t>(args.workers);
   snapshot["queue_capacity"] = static_cast<std::int64_t>(args.queue_cap);
   snapshot["requests"] = static_cast<std::int64_t>(latencies.size());
+  snapshot["warmup_requests"] = warmup_requests;
+  snapshot["scrape_requests"] = scrape_requests;
+  snapshot["client_total"] = client_total;
   snapshot["req_per_s"] = req_per_s;
   snapshot["p50_ms"] = p50_ms;
   snapshot["p99_ms"] = p99_ms;
@@ -235,11 +334,14 @@ int main(int argc, char** argv) try {
   snapshot["requests_ok"] = requests_ok;
   snapshot["requests_failed"] = requests_failed;
   snapshot["overloaded"] = overloaded;
-  snapshot["metrics_consistent"] = books_balance;
+  snapshot["batched_requests"] = batched;
+  snapshot["batches"] = batches;
+  snapshot["http_requests"] = http_requests;
+  snapshot["books_balanced"] = violations.empty();
   util::atomic_write_file(args.out, snapshot.dump());
   std::cout << "wrote " << args.out << "\n";
 
-  return books_balance ? 0 : 1;
+  return violations.empty() ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "bench_server: " << e.what() << "\n";
   return 1;

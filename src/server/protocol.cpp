@@ -1,6 +1,7 @@
 #include "src/server/protocol.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -92,19 +93,29 @@ FrameResult read_frame(int fd, std::size_t max_bytes) {
   return out;
 }
 
+void append_frame(std::string& out, std::string_view payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  out.reserve(out.size() + payload.size() + 4);
+  out += static_cast<char>((len >> 24) & 0xFF);
+  out += static_cast<char>((len >> 16) & 0xFF);
+  out += static_cast<char>((len >> 8) & 0xFF);
+  out += static_cast<char>(len & 0xFF);
+  out += payload;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  util::require_io(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "fcntl(O_NONBLOCK) failed");
+}
+
 util::Status write_frame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFrameBytes) {
     return util::Status::failure(util::StatusCode::kInternal,
                                  "frame payload too large");
   }
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   std::string buf;
-  buf.reserve(payload.size() + 4);
-  buf += static_cast<char>((len >> 24) & 0xFF);
-  buf += static_cast<char>((len >> 16) & 0xFF);
-  buf += static_cast<char>((len >> 8) & 0xFF);
-  buf += static_cast<char>(len & 0xFF);
-  buf += payload;
+  append_frame(buf, payload);
 
   std::size_t sent = 0;
   while (sent < buf.size()) {

@@ -52,6 +52,14 @@ struct FrameResult {
 /// kInternal status naming the errno (EPIPE when the peer is gone).
 [[nodiscard]] util::Status write_frame(int fd, std::string_view payload);
 
+/// Appends the 4-byte big-endian header plus the payload to `out` — the
+/// staging step shared by the blocking writer above and the server's
+/// nonblocking per-connection write buffers.
+void append_frame(std::string& out, std::string_view payload);
+
+/// Sets O_NONBLOCK on `fd`. Throws util::Error(kIo) on failure.
+void set_nonblocking(int fd);
+
 /// A parsed server address.
 struct Address {
   enum class Kind { kUnix, kTcp };

@@ -1,16 +1,22 @@
 #include "src/server/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
-#include <future>
+#include <sstream>
+#include <utility>
 
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
@@ -21,34 +27,60 @@ namespace iarank::server {
 namespace {
 
 // The transport layer answers some requests without reaching
-// RankService::handle (queue full, shutdown, oversized frame); it keeps
-// the same books so requests_total == ok + failed always holds.
+// RankService::handle (queue full, shutdown, oversized frame) and fans
+// one handled batch out to several requests; it keeps the same books so
+// requests_total == ok + failed always holds.
 util::Counter& kRequestsTotal =
     util::MetricsRegistry::counter("iarank_server_requests_total");
+util::Counter& kRequestsOk =
+    util::MetricsRegistry::counter("iarank_server_requests_ok_total");
 util::Counter& kRequestsFailed =
     util::MetricsRegistry::counter("iarank_server_requests_failed_total");
 util::Counter& kOverloaded = util::MetricsRegistry::counter(
     "iarank_server_overloaded_total",
     "requests rejected because the job queue was full");
 util::Gauge& kQueueDepth = util::MetricsRegistry::gauge(
-    "iarank_server_queue_depth", "jobs waiting for a worker");
+    "iarank_server_queue_depth", "batches waiting for a worker");
 util::Counter& kConnections = util::MetricsRegistry::counter(
     "iarank_server_connections_total", "connections accepted");
+util::Counter& kBatches = util::MetricsRegistry::counter(
+    "iarank_server_batches_total",
+    "executor batches run (one service call each)");
+util::Counter& kBatchedRequests = util::MetricsRegistry::counter(
+    "iarank_server_batched_requests_total",
+    "requests answered by coalescing onto an open batch");
+util::Counter& kHttpRequests = util::MetricsRegistry::counter(
+    "iarank_server_http_requests_total", "plain-HTTP requests answered");
 
-/// Extracts the request type without failing: a payload that is not a
-/// JSON object (or has no string `type`) classifies as "" and is answered
-/// inline — RankService::handle produces the malformed/bad-input response
-/// cheaply.
-std::string classify(const std::string& payload) {
+/// Backpressure bounds of one connection's buffers: past these the
+/// connection is not read until the peer drains responses.
+constexpr std::size_t kOutHighWater = 4u << 20;
+constexpr std::size_t kMaxHttpHeaderBytes = 16u << 10;
+
+/// One parse per request: the type routes it, and the canonical dump —
+/// deterministic key order, shortest number spellings — is both the
+/// batching key and the payload handed to the service (two requests with
+/// equal canonical form are semantically identical, so their responses
+/// are byte-identical).
+struct Classified {
+  std::string type;       ///< "" when unparseable / not an object / no type
+  std::string canonical;  ///< set iff type is
+};
+
+Classified classify(const std::string& payload) {
+  Classified out;
   try {
     const util::Json parsed = util::Json::parse(payload);
     if (parsed.is_object()) {
       const util::Json* type = parsed.find("type");
-      if (type != nullptr && type->is_string()) return type->as_string();
+      if (type != nullptr && type->is_string()) {
+        out.type = type->as_string();
+        out.canonical = parsed.dump();
+      }
     }
   } catch (...) {
   }
-  return std::string();
+  return out;
 }
 
 bool is_executor_request(const std::string& type) {
@@ -62,47 +94,104 @@ void close_fd(int& fd) {
   }
 }
 
-int bind_unix(const std::string& path) {
-  sockaddr_un sa{};
-  sa.sun_family = AF_UNIX;
-  util::require_io(path.size() < sizeof(sa.sun_path),
-                   "serve: unix socket path too long: " + path);
-  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+bool make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
 
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  util::require_io(fd >= 0, "serve: socket() failed");
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) return fd;
-
-  if (errno == EADDRINUSE) {
-    // A socket file with a live listener behind it is a real conflict; a
-    // stale file left by a crashed daemon is safe to replace. Probing
-    // with connect() tells them apart.
-    Address probe;
-    probe.kind = Address::Kind::kUnix;
-    probe.path = path;
-    bool live = true;
-    try {
-      int probe_fd = connect_to(probe);
-      ::close(probe_fd);
-    } catch (const util::Error&) {
-      live = false;
-    }
-    if (!live) {
-      ::unlink(path.c_str());
-      if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
-        return fd;
-      }
-    } else {
+/// Acquires the flock'd lockfile that serializes every probe/unlink/bind
+/// on `path`. Two daemons racing startup used to be able to unlink each
+/// other's freshly bound socket between the liveness probe and the bind
+/// (TOCTOU); under the lock the whole sequence is atomic, and the lock is
+/// held for the daemon's lifetime. The stat/fstat identity loop guards
+/// the lockfile itself: a lock on an inode a previous holder already
+/// unlinked protects nothing, so reopen until the locked inode is the one
+/// on disk.
+int acquire_socket_lock(const std::string& path) {
+  const std::string lock_path = path + ".lock";
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                          0600);
+    util::require_io(fd >= 0,
+                     "serve: cannot open lockfile '" + lock_path + "'");
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
       ::close(fd);
-      throw util::Error("serve: '" + path + "' already has a listener",
+      throw util::Error("serve: '" + path +
+                            "' is locked by another server (lockfile " +
+                            lock_path + ")",
                         util::ErrorCategory::kIo);
     }
+    struct stat on_disk {};
+    struct stat held {};
+    if (::stat(lock_path.c_str(), &on_disk) == 0 &&
+        ::fstat(fd, &held) == 0 && on_disk.st_ino == held.st_ino &&
+        on_disk.st_dev == held.st_dev) {
+      return fd;
+    }
+    ::close(fd);
   }
-  const int err = errno;
-  ::close(fd);
-  throw util::Error(
-      "serve: cannot bind '" + path + "': " + std::strerror(err),
-      util::ErrorCategory::kIo);
+  throw util::Error("serve: cannot stabilize lockfile '" + lock_path + "'",
+                    util::ErrorCategory::kIo);
+}
+
+struct UnixBind {
+  int fd = -1;
+  int lock_fd = -1;
+};
+
+UnixBind bind_unix(const std::string& path) {
+  UnixBind out;
+  out.lock_fd = acquire_socket_lock(path);
+  try {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    util::require_io(path.size() < sizeof(sa.sun_path),
+                     "serve: unix socket path too long: " + path);
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    util::require_io(fd >= 0, "serve: socket() failed");
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+      out.fd = fd;
+      return out;
+    }
+
+    if (errno == EADDRINUSE) {
+      // A socket file with a live listener behind it is a real conflict;
+      // a stale file left by a crashed daemon is safe to replace. Probing
+      // with connect() tells them apart, and the lockfile held above
+      // makes probe-then-unlink-then-bind atomic against other starters.
+      Address probe;
+      probe.kind = Address::Kind::kUnix;
+      probe.path = path;
+      bool live = true;
+      try {
+        int probe_fd = connect_to(probe);
+        ::close(probe_fd);
+      } catch (const util::Error&) {
+        live = false;
+      }
+      if (!live) {
+        ::unlink(path.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+          out.fd = fd;
+          return out;
+        }
+      } else {
+        ::close(fd);
+        throw util::Error("serve: '" + path + "' already has a listener",
+                          util::ErrorCategory::kIo);
+      }
+    }
+    const int err = errno;
+    ::close(fd);
+    throw util::Error(
+        "serve: cannot bind '" + path + "': " + std::strerror(err),
+        util::ErrorCategory::kIo);
+  } catch (...) {
+    ::close(out.lock_fd);  // releases the flock
+    throw;
+  }
 }
 
 int bind_tcp(const std::string& host, int& port) {
@@ -133,62 +222,118 @@ int bind_tcp(const std::string& host, int& port) {
   return fd;
 }
 
+std::string http_response(int status, const char* reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + std::string(content_type) +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
 }  // namespace
 
-struct Server::Job {
-  std::string text;
-  std::promise<std::string> response;
-};
-
-struct Server::Connection {
-  int fd = -1;
-  std::thread thread;
-  std::atomic<bool> done{false};
-};
-
 Server::Server(RankService& service, ServerOptions options)
-    : service_(service), options_(std::move(options)), address_(options_.address) {
+    : service_(service), options_(std::move(options)),
+      address_(options_.address) {
   // A client vanishing mid-response must surface as a per-connection
   // write error, not kill the daemon.
   ::signal(SIGPIPE, SIG_IGN);
 
   if (address_.kind == Address::Kind::kUnix) {
-    listen_fd_ = bind_unix(address_.path);
+    const UnixBind bound = bind_unix(address_.path);
+    listen_fd_ = bound.fd;
+    lock_fd_ = bound.lock_fd;
   } else {
     listen_fd_ = bind_tcp(address_.host, address_.port);
   }
-  if (::listen(listen_fd_, 64) != 0) {
-    const int err = errno;
-    close_fd(listen_fd_);
-    throw util::Error(
-        std::string("serve: listen() failed: ") + std::strerror(err),
-        util::ErrorCategory::kIo);
-  }
 
-  int pipe_fds[2];
-  if (::pipe(pipe_fds) != 0) {
-    close_fd(listen_fd_);
-    throw util::Error("serve: pipe() failed", util::ErrorCategory::kIo);
-  }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
+  try {
+    util::require_io(::listen(listen_fd_, 128) == 0,
+                     std::string("serve: listen() failed: ") +
+                         std::strerror(errno));
+    util::require_io(make_nonblocking(listen_fd_),
+                     "serve: cannot make listener nonblocking");
 
-  queue_ = std::make_unique<util::BoundedQueue<Job>>(options_.queue_capacity);
-  workers_.reserve(options_.workers);
-  for (unsigned i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    if (options_.http_port >= 0) {
+      http_address_.kind = Address::Kind::kTcp;
+      http_address_.host = options_.http_host;
+      http_address_.port = options_.http_port;
+      http_listen_fd_ = bind_tcp(http_address_.host, http_address_.port);
+      util::require_io(::listen(http_listen_fd_, 128) == 0,
+                       "serve: listen() on http port failed");
+      util::require_io(make_nonblocking(http_listen_fd_),
+                       "serve: cannot make http listener nonblocking");
+    }
+
+    int pipe_fds[2];
+    util::require_io(::pipe(pipe_fds) == 0, "serve: pipe() failed");
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    util::require_io(make_nonblocking(wake_read_fd_),
+                     "serve: cannot make wake pipe nonblocking");
+
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    util::require_io(epoll_fd_ >= 0, "serve: epoll_create1() failed");
+    const auto watch = [&](int fd) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      util::require_io(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                       "serve: epoll_ctl(ADD) failed");
+    };
+    watch(listen_fd_);
+    if (http_listen_fd_ >= 0) watch(http_listen_fd_);
+    watch(wake_read_fd_);
+
+    queue_ = std::make_unique<util::BoundedQueue<std::shared_ptr<Batch>>>(
+        options_.queue_capacity);
+    workers_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    io_thread_ = std::thread([this] { io_loop(); });
+  } catch (...) {
+    close_fd(epoll_fd_);
+    close_fd(wake_read_fd_);
+    close_fd(wake_write_fd_);
+    close_fd(listen_fd_);
+    close_fd(http_listen_fd_);
+    if (address_.kind == Address::Kind::kUnix) {
+      ::unlink(address_.path.c_str());
+      if (lock_fd_ >= 0) ::unlink((address_.path + ".lock").c_str());
+    }
+    close_fd(lock_fd_);
+    throw;
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 Server::~Server() {
   stop();
-  close_fd(listen_fd_);
+  close_fd(epoll_fd_);
   close_fd(wake_read_fd_);
   close_fd(wake_write_fd_);
+  close_fd(listen_fd_);
+  close_fd(http_listen_fd_);
   if (address_.kind == Address::Kind::kUnix) {
+    // Unlink the socket, then the lockfile, both while still holding the
+    // flock — a starter racing this shutdown sees either the live socket
+    // or a clean slate, never a half-removed pair.
     ::unlink(address_.path.c_str());
+    if (lock_fd_ >= 0) ::unlink((address_.path + ".lock").c_str());
   }
+  close_fd(lock_fd_);
+}
+
+void Server::wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 'x';
+  ::ssize_t n;
+  do {
+    n = ::write(wake_write_fd_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
 }
 
 void Server::stop() {
@@ -199,40 +344,23 @@ void Server::stop() {
     return;
   }
 
-  // 1. Stop accepting: wake the poll(), join the acceptor.
-  if (wake_write_fd_ >= 0) {
-    const char byte = 'x';
-    ::ssize_t n;
-    do {
-      n = ::write(wake_write_fd_, &byte, 1);
-    } while (n < 0 && errno == EINTR);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
+  // 1. The io thread sees stopping_: closes the listeners and stops
+  //    reading (no new requests).
+  wake();
 
-  // 2. Drain: no new jobs, queued jobs still run, workers exit when the
-  //    queue is empty.
+  // 2. Drain: no new batches, queued batches still run, workers exit
+  //    when the queue is empty. Every accepted request now has (or will
+  //    get) a completed response slot.
   queue_->close();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 
-  // 3. Every promise is now fulfilled; connection threads blocked on a
-  //    response have it. Wake the ones blocked in read_frame (SHUT_RD
-  //    delivers EOF; pending writes on the socket still complete).
-  {
-    const std::scoped_lock lock(connections_mutex_);
-    for (const auto& conn : connections_) {
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
-    }
-  }
-  {
-    const std::scoped_lock lock(connections_mutex_);
-    for (auto& conn : connections_) {
-      if (conn->thread.joinable()) conn->thread.join();
-      close_fd(conn->fd);
-    }
-    connections_.clear();
-  }
+  // 3. Final flush: the io thread applies the remaining completions,
+  //    writes every pending response, and exits.
+  drain_done_.store(true, std::memory_order_release);
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
 
   {
     const std::scoped_lock lock(stop_mutex_);
@@ -246,106 +374,480 @@ void Server::wait() {
   stopped_.wait(lock, [&] { return stop_done_; });
 }
 
-void Server::reap_finished_connections() {
-  const std::scoped_lock lock(connections_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      close_fd((*it)->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+bool Server::wants_read(const Connection& conn) const {
+  return !conn.read_closed &&
+         conn.pending.size() < options_.max_pipelined &&
+         conn.out.size() - conn.out_off < kOutHighWater &&
+         !stopping_.load(std::memory_order_relaxed);
 }
 
-void Server::accept_loop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
-    const int rc = ::poll(fds, 2, 250);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    reap_finished_connections();
-    if (fds[1].revents != 0) break;  // stop() knocked
-    if ((fds[0].revents & POLLIN) == 0) continue;
+void Server::io_loop() {
+  bool listeners_closed = false;
+  bool deadline_set = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  std::vector<epoll_event> events(64);
 
-    int client_fd;
-    do {
-      client_fd = ::accept(listen_fd_, nullptr, nullptr);
-    } while (client_fd < 0 && errno == EINTR);
-    if (client_fd < 0) continue;
-
-    kConnections.inc();
-    auto conn = std::make_unique<Connection>();
-    conn->fd = client_fd;
-    Connection& ref = *conn;
-    {
-      const std::scoped_lock lock(connections_mutex_);
-      connections_.push_back(std::move(conn));
-    }
-    ref.thread = std::thread([this, &ref] { connection_loop(ref); });
-  }
-}
-
-void Server::connection_loop(Connection& conn) {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    FrameResult frame = read_frame(conn.fd, options_.max_frame_bytes);
-    if (frame.state == FrameResult::State::kEof) break;
-    if (frame.state == FrameResult::State::kError) break;
-    if (frame.state == FrameResult::State::kOversized) {
-      // The stream is desynchronized past this header; report and close.
-      kRequestsTotal.inc();
-      kRequestsFailed.inc();
-      (void)write_frame(conn.fd,
-                        RankService::error_response("malformed", frame.message));
-      break;
-    }
-
-    std::string response;
-    const std::string type = classify(frame.payload);
-    if (!is_executor_request(type)) {
-      // ping/metrics/malformed: cheap, answered on this thread.
-      response = service_.handle(frame.payload);
-    } else {
-      Job job;
-      job.text = std::move(frame.payload);
-      std::future<std::string> pending = job.response.get_future();
-      const auto pushed = queue_->try_push(std::move(job));
-      kQueueDepth.set(static_cast<std::int64_t>(queue_->size()));
-      switch (pushed) {
-        case util::BoundedQueue<Server::Job>::PushResult::kOk:
-          response = pending.get();
-          break;
-        case util::BoundedQueue<Server::Job>::PushResult::kFull:
-          kRequestsTotal.inc();
-          kRequestsFailed.inc();
-          kOverloaded.inc();
-          response = RankService::error_response(
-              "overloaded", "job queue full; retry with backoff");
-          break;
-        case util::BoundedQueue<Server::Job>::PushResult::kClosed:
-          kRequestsTotal.inc();
-          kRequestsFailed.inc();
-          response = RankService::error_response(
-              "shutting-down", "server is draining; reconnect later");
-          break;
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && !listeners_closed) {
+      listeners_closed = true;
+      close_fd(listen_fd_);       // epoll interest dies with the fd
+      close_fd(http_listen_fd_);
+      // Stop consuming input; pending responses still flush. Copy the
+      // handles: flushing an idle connection closes and erases it.
+      std::vector<std::shared_ptr<Connection>> conns;
+      conns.reserve(connections_.size());
+      for (const auto& [fd, conn] : connections_) conns.push_back(conn);
+      for (const auto& conn : conns) {
+        conn->read_closed = true;
+        if (conn->fd >= 0) flush_connection(*conn);
       }
     }
 
-    const util::Status wrote = write_frame(conn.fd, response);
-    if (!wrote.ok()) break;  // client gone mid-write (EPIPE and friends)
+    apply_completions();
+
+    if (stopping) {
+      bool completions_pending;
+      {
+        const std::scoped_lock lock(completion_mutex_);
+        completions_pending = !completions_.empty();
+      }
+      if (drain_done_.load(std::memory_order_acquire) &&
+          !completions_pending) {
+        if (!deadline_set) {
+          deadline_set = true;
+          drain_deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        }
+        bool busy = false;
+        for (const auto& [fd, conn] : connections_) {
+          if (!conn->pending.empty() || conn->out_off < conn->out.size()) {
+            busy = true;
+            break;
+          }
+        }
+        // Done when every response reached the wire; the deadline guards
+        // against a peer that stopped reading mid-drain.
+        if (!busy || std::chrono::steady_clock::now() > drain_deadline) break;
+      }
+    }
+
+    const int timeout_ms = stopping ? 20 : 250;
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == wake_read_fd_) {
+        char buf[256];
+        while (::read(wake_read_fd_, buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_ && listen_fd_ >= 0) {
+        on_accept(listen_fd_, /*http=*/false);
+        continue;
+      }
+      if (fd == http_listen_fd_ && http_listen_fd_ >= 0) {
+        on_accept(http_listen_fd_, /*http=*/true);
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      const std::shared_ptr<Connection> conn = it->second;
+      if ((ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        on_readable(conn);
+      }
+      if (conn->fd >= 0 && (ev & EPOLLOUT) != 0) {
+        flush_connection(*conn);
+      }
+    }
   }
-  conn.done.store(true, std::memory_order_release);
+
+  for (auto& [fd, conn] : connections_) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_.clear();
+}
+
+void Server::on_accept(int listen_fd, bool http) {
+  while (true) {
+    int fd;
+    do {
+      fd = ::accept(listen_fd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return;  // EAGAIN and transient errors alike: next wakeup
+    if (!make_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    if (address_.kind == Address::Kind::kTcp || http) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    kConnections.inc();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->http = http;
+    conn->armed_events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::on_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  while (conn->fd >= 0 && wants_read(*conn)) {
+    const ::ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      process_input(conn);
+      continue;
+    }
+    if (n == 0) {
+      conn->read_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // ECONNRESET and friends: nothing further to deliver on this stream.
+    conn->read_closed = true;
+    conn->pending.clear();
+    conn->out.clear();
+    conn->out_off = 0;
+    break;
+  }
+  if (conn->fd >= 0) pump(conn);
+}
+
+void Server::pump(const std::shared_ptr<Connection>& conn) {
+  while (true) {
+    flush_connection(*conn);
+    if (conn->fd < 0) return;
+    const std::size_t before = conn->in.size() - conn->in_off;
+    if (before == 0) return;
+    process_input(conn);
+    if (conn->fd < 0) return;
+    if (conn->in.size() - conn->in_off == before) return;
+  }
+}
+
+void Server::process_input(const std::shared_ptr<Connection>& conn) {
+  if (conn->http) {
+    process_http_input(conn);
+    return;
+  }
+  while (!conn->read_closed &&
+         conn->pending.size() < options_.max_pipelined) {
+    const std::size_t avail = conn->in.size() - conn->in_off;
+    if (avail < 4) break;
+    const auto* h =
+        reinterpret_cast<const unsigned char*>(conn->in.data() + conn->in_off);
+    const std::uint32_t len = (static_cast<std::uint32_t>(h[0]) << 24) |
+                              (static_cast<std::uint32_t>(h[1]) << 16) |
+                              (static_cast<std::uint32_t>(h[2]) << 8) |
+                              static_cast<std::uint32_t>(h[3]);
+    if (len > options_.max_frame_bytes) {
+      // The stream is desynchronized past this header; report and close.
+      kRequestsTotal.inc();
+      kRequestsFailed.inc();
+      auto slot = std::make_shared<Slot>();
+      slot->bytes = RankService::error_response(
+          "malformed", "frame of " + std::to_string(len) +
+                           " bytes exceeds the limit of " +
+                           std::to_string(options_.max_frame_bytes));
+      slot->ready = true;
+      slot->close_after = true;
+      conn->pending.push_back(std::move(slot));
+      conn->read_closed = true;
+      break;
+    }
+    if (avail < 4 + static_cast<std::size_t>(len)) break;  // partial frame
+    std::string payload = conn->in.substr(conn->in_off + 4, len);
+    conn->in_off += 4 + static_cast<std::size_t>(len);
+    dispatch_framed(conn, std::move(payload));
+  }
+  if (conn->in_off == conn->in.size()) {
+    conn->in.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > (64u << 10)) {
+    conn->in.erase(0, conn->in_off);
+    conn->in_off = 0;
+  }
+}
+
+void Server::process_http_input(const std::shared_ptr<Connection>& conn) {
+  if (conn->read_closed || !conn->pending.empty()) return;
+  const std::string_view buf(conn->in.data() + conn->in_off,
+                             conn->in.size() - conn->in_off);
+  const auto head_end = buf.find("\r\n\r\n");
+  const auto respond = [&](std::string bytes) {
+    auto slot = std::make_shared<Slot>();
+    slot->bytes = std::move(bytes);
+    slot->ready = true;
+    slot->close_after = true;
+    conn->pending.push_back(std::move(slot));
+    conn->read_closed = true;
+  };
+  if (head_end == std::string_view::npos) {
+    if (buf.size() > kMaxHttpHeaderBytes) {
+      kHttpRequests.inc();
+      respond(http_response(400, "Bad Request", "text/plain; charset=utf-8",
+                            "request header too large\n"));
+    }
+    return;  // wait for the rest of the header
+  }
+
+  kHttpRequests.inc();
+  const std::string_view line = buf.substr(0, buf.find("\r\n"));
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string_view::npos
+                       ? std::string_view::npos
+                       : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.substr(sp2 + 1).substr(0, 5) != "HTTP/") {
+    respond(http_response(400, "Bad Request", "text/plain; charset=utf-8",
+                          "malformed request line\n"));
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  target = target.substr(0, target.find('?'));
+  if (method != "GET") {
+    respond(http_response(405, "Method Not Allowed",
+                          "text/plain; charset=utf-8",
+                          "only GET is supported\n"));
+    return;
+  }
+  if (target == "/metrics") {
+    std::ostringstream body;
+    util::MetricsRegistry::instance().write_prometheus(body);
+    respond(http_response(200, "OK",
+                          "text/plain; version=0.0.4; charset=utf-8",
+                          body.str()));
+  } else if (target == "/metrics.json") {
+    std::ostringstream body;
+    util::MetricsRegistry::instance().write_json(body);
+    respond(http_response(200, "OK", "application/json", body.str()));
+  } else if (target == "/healthz") {
+    respond(http_response(200, "OK", "text/plain; charset=utf-8", "ok\n"));
+  } else {
+    respond(http_response(404, "Not Found", "text/plain; charset=utf-8",
+                          "not found\n"));
+  }
+}
+
+void Server::dispatch_framed(const std::shared_ptr<Connection>& conn,
+                             std::string payload) {
+  auto slot = std::make_shared<Slot>();
+  conn->pending.push_back(slot);
+
+  const Classified request = classify(payload);
+  if (!is_executor_request(request.type)) {
+    // ping/metrics/malformed: cheap, answered on the io thread.
+    slot->bytes = service_.handle(payload);
+    slot->ready = true;
+    return;
+  }
+
+  // Only `rank` batches: its responses depend on nothing but the
+  // canonical request, and one DP is the unit worth deduplicating.
+  const bool coalescible = request.type == "rank";
+  if (coalescible) {
+    const std::scoped_lock lock(batch_mutex_);
+    const auto it = open_batches_.find(request.canonical);
+    if (it != open_batches_.end()) {
+      it->second->targets.emplace_back(conn, slot);
+      return;  // answered when the open batch completes
+    }
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->text = request.canonical;
+  batch->key = coalescible ? request.canonical : std::string();
+  batch->targets.emplace_back(conn, slot);
+  if (coalescible) {
+    const std::scoped_lock lock(batch_mutex_);
+    open_batches_.emplace(batch->key, batch);
+  }
+
+  const auto pushed = queue_->try_push(batch);
+  kQueueDepth.set(static_cast<std::int64_t>(queue_->size()));
+  if (pushed ==
+      util::BoundedQueue<std::shared_ptr<Batch>>::PushResult::kOk) {
+    return;
+  }
+  // Rejected before any worker saw it: retract the batch and answer every
+  // target (only ours — attachment happens on this thread) inline.
+  if (coalescible) {
+    const std::scoped_lock lock(batch_mutex_);
+    open_batches_.erase(batch->key);
+  }
+  const bool full =
+      pushed == util::BoundedQueue<std::shared_ptr<Batch>>::PushResult::kFull;
+  const std::string response =
+      full ? RankService::error_response(
+                 "overloaded", "job queue full; retry with backoff")
+           : RankService::error_response(
+                 "shutting-down", "server is draining; reconnect later");
+  for (const auto& [target_conn, target_slot] : batch->targets) {
+    (void)target_conn;
+    kRequestsTotal.inc();
+    kRequestsFailed.inc();
+    if (full) kOverloaded.inc();
+    target_slot->bytes = response;
+    target_slot->ready = true;
+  }
+}
+
+void Server::finish_batch(const std::shared_ptr<Batch>& batch,
+                          const std::string& response) {
+  std::vector<std::pair<std::shared_ptr<Connection>, std::shared_ptr<Slot>>>
+      targets;
+  {
+    const std::scoped_lock lock(batch_mutex_);
+    if (!batch->key.empty()) open_batches_.erase(batch->key);
+    targets = std::move(batch->targets);
+  }
+  kBatches.inc();
+  if (targets.size() > 1) {
+    // The service counted the batch once; the coalesced requests settle
+    // their books here so requests_total == ok + failed stays exact.
+    const auto extra = static_cast<std::int64_t>(targets.size() - 1);
+    kBatchedRequests.inc(extra);
+    kRequestsTotal.inc(extra);
+    if (RankService::response_ok(response)) {
+      kRequestsOk.inc(extra);
+    } else {
+      kRequestsFailed.inc(extra);
+    }
+  }
+  {
+    const std::scoped_lock lock(completion_mutex_);
+    for (auto& [conn, slot] : targets) {
+      slot->bytes = response;
+      completions_.push_back({std::move(conn), std::move(slot)});
+    }
+  }
+  wake();
+}
+
+void Server::apply_completions() {
+  std::vector<Completion> ready;
+  {
+    const std::scoped_lock lock(completion_mutex_);
+    ready.swap(completions_);
+  }
+  for (Completion& c : ready) {
+    c.slot->ready = true;
+    if (c.conn->fd < 0) continue;  // client vanished before the answer
+    pump(c.conn);
+  }
+}
+
+void Server::flush_connection(Connection& conn) {
+  while (!conn.pending.empty() && conn.pending.front()->ready) {
+    Slot& slot = *conn.pending.front();
+    if (conn.http) {
+      conn.out += slot.bytes;
+    } else if (slot.bytes.size() > kMaxFrameBytes) {
+      append_frame(conn.out, RankService::error_response(
+                                 "internal", "response exceeds frame limit"));
+    } else {
+      append_frame(conn.out, slot.bytes);
+    }
+    const bool close_after = slot.close_after;
+    conn.pending.pop_front();
+    if (close_after) {
+      conn.close_after_flush = true;
+      conn.read_closed = true;
+      conn.pending.clear();
+      break;
+    }
+  }
+
+  while (conn.out_off < conn.out.size()) {
+    const ::ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                               conn.out.size() - conn.out_off,
+#if defined(MSG_NOSIGNAL)
+                               MSG_NOSIGNAL
+#else
+                               0
+#endif
+    );
+    if (n >= 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // EPOLLOUT resumes
+    close_connection(conn);  // client gone mid-write (EPIPE and friends)
+    return;
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    if (conn.close_after_flush ||
+        (conn.read_closed && conn.pending.empty())) {
+      close_connection(conn);
+      return;
+    }
+  } else if (conn.out_off > (1u << 20)) {
+    conn.out.erase(0, conn.out_off);
+    conn.out_off = 0;
+  }
+  update_interest(conn);
+}
+
+void Server::update_interest(Connection& conn) {
+  if (conn.fd < 0) return;
+  std::uint32_t ev = 0;
+  if (wants_read(conn)) ev |= EPOLLIN;
+  if (conn.out_off < conn.out.size()) ev |= EPOLLOUT;
+  if (ev == conn.armed_events) return;
+  epoll_event e{};
+  e.events = ev;
+  e.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &e);
+  conn.armed_events = ev;
+}
+
+void Server::close_connection(Connection& conn) {
+  if (conn.fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  const int fd = conn.fd;
+  conn.fd = -1;
+  ::close(fd);
+  connections_.erase(fd);  // `conn` may now be held only by batch targets
 }
 
 void Server::worker_loop() {
   while (true) {
-    std::optional<Job> job = queue_->pop();
-    if (!job.has_value()) return;  // closed and drained
+    std::optional<std::shared_ptr<Batch>> batch = queue_->pop();
+    if (!batch.has_value()) return;  // closed and drained
     kQueueDepth.set(static_cast<std::int64_t>(queue_->size()));
-    job->response.set_value(service_.handle(job->text));
+    std::string response;
+    try {
+      response = service_.handle((*batch)->text);
+    } catch (const std::exception& e) {
+      // handle() never throws by contract; this is belt and braces.
+      response = RankService::error_response("internal", e.what());
+    }
+    finish_batch(*batch, response);
   }
 }
 

@@ -1,43 +1,67 @@
 /// \file server.hpp
-/// \brief The rank daemon: a Unix/TCP listener dispatching framed JSON
-///        requests onto a bounded worker pool.
+/// \brief The rank daemon: an epoll event loop dispatching framed JSON
+///        requests onto a bounded worker pool, with request batching and
+///        a plain-HTTP metrics endpoint.
 ///
-/// Threading model (v1, thread-per-connection):
+/// Threading model (v2, event loop):
 ///
-///   acceptor thread ── poll(listen fd, wake pipe) ──> connection threads
-///   connection thread ── read frame ──> cheap requests (ping/metrics)
-///                                        answered inline; rank/sweep
-///                                        enqueued as jobs
-///   worker threads   ── pop job ──> RankService::handle ──> fulfil
-///                                   promise; the connection thread
-///                                   writes the response frame
+///   io thread     ── epoll(listen fds, wake pipe, connections) ──
+///                    nonblocking reads/writes with per-connection
+///                    partial-frame state; cheap requests (ping/metrics/
+///                    malformed) answered inline; rank/sweep staged as
+///                    batches on a util::BoundedQueue
+///   worker threads ── pop batch ──> RankService::handle once ──> fan the
+///                    response out to every request coalesced onto the
+///                    batch, then wake the io thread to write
 ///
-/// Backpressure: the job queue is a util::BoundedQueue. When it is full
-/// the connection thread answers immediately with the typed `overloaded`
-/// error instead of queueing unbounded work — the client's signal to back
-/// off. Queue capacity bounds memory; worker count bounds CPU.
+/// Batching: queued `rank` requests whose canonical JSON is identical
+/// (same config+override key) coalesce onto one open batch — one staged
+/// InstanceBuilder build and one DP answer them all. Because responses
+/// are a pure function of the parsed request, a batched response is
+/// bitwise-identical to the unbatched one (property-tested). A batch
+/// stays open for attachment until its worker finishes computing, so
+/// near-simultaneous duplicates coalesce even mid-execution.
+///
+/// Ordering: one connection's responses are written strictly in request
+/// order (a FIFO of pending response slots per connection), so clients
+/// may pipeline. A connection with too many in-flight requests stops
+/// being read until responses drain — per-connection backpressure on top
+/// of the queue's `overloaded` rejection.
+///
+/// HTTP: when enabled, a second listener speaks plain HTTP on the same
+/// event loop: `GET /metrics` returns the Prometheus text exposition
+/// (correct Content-Type, cumulative `le` buckets with `+Inf`),
+/// `GET /metrics.json` the JSON export, `GET /healthz` a liveness probe.
+/// Real scrapers attach here without speaking the framed protocol.
 ///
 /// Failure isolation: a request that fails produces an error response
 /// (RankService never throws); a connection whose stream breaks —
-/// malformed frame, oversized frame, EPIPE mid-write — is closed without
-/// touching its neighbours or the daemon.
+/// malformed frame, oversized frame, EPIPE mid-write, HTTP garbage — is
+/// closed without touching its neighbours or the daemon.
 ///
-/// Shutdown (SIGTERM semantics): stop() stops accepting, closes the
-/// queue (already-queued jobs still run — drain, not drop), lets workers
-/// finish, shuts down connection reads so blocked readers wake, and joins
-/// every thread. In-flight requests get their responses before the
-/// process exits 0.
+/// Shutdown (SIGTERM semantics): stop() stops accepting and reading,
+/// closes the queue (already-queued batches still run — drain, not
+/// drop), joins workers, flushes every pending response through the
+/// event loop, and joins it. In-flight requests get their responses
+/// before the process exits 0.
+///
+/// Unix-socket startup is guarded by an flock'd lockfile next to the
+/// socket path: the probe-then-unlink-then-bind sequence for stale
+/// socket files runs under the lock, so two daemons racing startup can
+/// never unlink each other's live socket (the TOCTOU fix).
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <list>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/server/protocol.hpp"
@@ -47,17 +71,27 @@
 namespace iarank::server {
 
 struct ServerOptions {
-  Address address;                ///< where to listen
+  Address address;                ///< where the framed protocol listens
   unsigned workers = 4;           ///< rank/sweep executor threads
-  std::size_t queue_capacity = 64;  ///< pending jobs before `overloaded`
+  std::size_t queue_capacity = 64;  ///< pending batches before `overloaded`
   std::size_t max_frame_bytes = kMaxFrameBytes;
+
+  /// Per-connection cap on requests awaiting responses; beyond it the
+  /// connection is not read until responses drain (pipelining bound).
+  std::size_t max_pipelined = 128;
+
+  /// >= 0 enables the plain-HTTP listener on http_host:http_port
+  /// (0 = kernel-assigned). -1 disables it.
+  int http_port = -1;
+  std::string http_host = "127.0.0.1";
 };
 
 class Server {
  public:
   /// Binds and listens (throws util::Error(kIo) on bind failure; a stale
-  /// unix socket file with no listener behind it is replaced), starts the
-  /// worker pool and the acceptor. The service must outlive the server.
+  /// unix socket file with no listener behind it is replaced under the
+  /// startup lockfile), starts the worker pool and the event loop. The
+  /// service must outlive the server.
   Server(RankService& service, ServerOptions options);
 
   /// stop() + join everything.
@@ -69,7 +103,11 @@ class Server {
   /// The bound address — for TCP with port 0, the kernel-assigned port.
   [[nodiscard]] const Address& address() const { return address_; }
 
-  /// Graceful shutdown: drain queued jobs, answer in-flight requests,
+  /// The bound HTTP address; meaningful only when http_enabled().
+  [[nodiscard]] const Address& http_address() const { return http_address_; }
+  [[nodiscard]] bool http_enabled() const { return http_listen_fd_ >= 0; }
+
+  /// Graceful shutdown: drain queued batches, answer in-flight requests,
   /// join all threads. Idempotent; called by the destructor.
   void stop();
 
@@ -78,30 +116,97 @@ class Server {
   void wait();
 
  private:
-  struct Job;
-  struct Connection;
+  /// One response awaiting its place on the wire. Slots are filled by
+  /// the io thread (inline requests) or by workers via the completion
+  /// queue; only the io thread reads them.
+  struct Slot {
+    std::string bytes;        ///< response payload (framed/HTTP at flush)
+    bool ready = false;
+    bool close_after = false;  ///< stream is done after this response
+  };
 
-  void accept_loop();
-  void connection_loop(Connection& conn);
+  /// Per-connection state, owned and mutated by the io thread only.
+  struct Connection {
+    int fd = -1;
+    bool http = false;
+    bool read_closed = false;       ///< EOF seen or stream poisoned
+    bool close_after_flush = false;
+    std::uint32_t armed_events = 0;  ///< current epoll interest set
+    std::string in;                 ///< unparsed inbound bytes
+    std::size_t in_off = 0;
+    std::string out;                ///< outbound bytes not yet written
+    std::size_t out_off = 0;
+    std::deque<std::shared_ptr<Slot>> pending;  ///< responses, FIFO
+  };
+
+  /// One unit of executor work: the canonical request text plus every
+  /// (connection, slot) waiting on its response. `targets` is guarded by
+  /// batch_mutex_ while the batch is open for attachment.
+  struct Batch {
+    std::string text;  ///< canonical request payload handed to the service
+    std::string key;   ///< coalescing key; empty = never coalesced
+    std::vector<std::pair<std::shared_ptr<Connection>, std::shared_ptr<Slot>>>
+        targets;
+  };
+
+  struct Completion {
+    std::shared_ptr<Connection> conn;
+    std::shared_ptr<Slot> slot;
+  };
+
+  void io_loop();
   void worker_loop();
-  void reap_finished_connections();
+  void wake();
+
+  void on_accept(int listen_fd, bool http);
+  void on_readable(const std::shared_ptr<Connection>& conn);
+  void process_input(const std::shared_ptr<Connection>& conn);
+  void process_http_input(const std::shared_ptr<Connection>& conn);
+  void dispatch_framed(const std::shared_ptr<Connection>& conn,
+                       std::string payload);
+  void finish_batch(const std::shared_ptr<Batch>& batch,
+                    const std::string& response);
+  void apply_completions();
+
+  /// Alternates flush / parse-buffered-input until neither makes
+  /// progress. Needed because progress can be gated in both directions:
+  /// flushing drains `pending` below the pipelining cap, which re-opens
+  /// parsing of bytes already sitting in `in` — bytes a level-triggered
+  /// epoll will never signal again.
+  void pump(const std::shared_ptr<Connection>& conn);
+  void flush_connection(Connection& conn);
+  void update_interest(Connection& conn);
+  void close_connection(Connection& conn);
+  [[nodiscard]] bool wants_read(const Connection& conn) const;
 
   RankService& service_;
   ServerOptions options_;
   Address address_;
+  Address http_address_;
 
+  int epoll_fd_ = -1;
   int listen_fd_ = -1;
-  int wake_read_fd_ = -1;   ///< acceptor poll() wake-up pipe
+  int http_listen_fd_ = -1;
+  int lock_fd_ = -1;        ///< flock'd <socket>.lock (unix only)
+  int wake_read_fd_ = -1;   ///< event-loop wake-up pipe
   int wake_write_fd_ = -1;
 
-  std::unique_ptr<util::BoundedQueue<Job>> queue_;
+  std::unique_ptr<util::BoundedQueue<std::shared_ptr<Batch>>> queue_;
   std::vector<std::thread> workers_;
-  std::thread acceptor_;
+  std::thread io_thread_;
 
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  /// io thread's connection table (fd -> state). Never touched by
+  /// workers; they hold shared_ptrs via batches/completions only.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  std::mutex batch_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Batch>> open_batches_;
+
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_done_{false};  ///< workers joined; final flush
   std::mutex stop_mutex_;
   std::condition_variable stopped_;
   bool stop_done_ = false;

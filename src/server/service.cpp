@@ -109,6 +109,16 @@ std::string RankService::error_response(std::string_view code,
   return out.dump();
 }
 
+bool RankService::response_ok(std::string_view response) {
+  try {
+    const util::Json parsed = util::Json::parse(response);
+    const util::Json* ok = parsed.find("ok");
+    return ok != nullptr && ok->as_bool();
+  } catch (...) {
+    return false;
+  }
+}
+
 std::string RankService::handle(std::string_view request_text) {
   TRACE_SPAN("server.request");
   kRequestsTotal.inc();

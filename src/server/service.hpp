@@ -88,6 +88,11 @@ class RankService {
   [[nodiscard]] static std::string error_response(std::string_view code,
                                                   std::string_view message);
 
+  /// True when `response` is a response payload with top-level ok:true.
+  /// The transport layer uses this to settle the ok/failed books for
+  /// requests it answers by fanning out one batched response.
+  [[nodiscard]] static bool response_ok(std::string_view response);
+
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
   [[nodiscard]] const core::RunSpec& spec() const { return spec_; }
 

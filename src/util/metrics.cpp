@@ -188,7 +188,11 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
         cumulative += counts.back();
         os << e.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
         os << e.name << "_sum " << format_double(e.histogram->sum()) << "\n";
-        os << e.name << "_count " << e.histogram->count() << "\n";
+        // _count comes from the same bucket snapshot as +Inf, not from
+        // the separately updated count_ atomic: a scrape concurrent with
+        // observe() must never export _count != the +Inf bucket (the
+        // exposition format requires them equal).
+        os << e.name << "_count " << cumulative << "\n";
         break;
       }
     }

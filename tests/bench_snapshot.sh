@@ -6,14 +6,27 @@
 # the checked-in copy at the repo root records the numbers the README
 # quotes.
 #
-# usage: bench_snapshot.sh <build-dir> [out.json]
+# usage: bench_snapshot.sh <build-dir> [out.json] [dp|server]
+#
+# Mode `server` regenerates the rank_server load snapshot instead: it
+# runs bench_server (which audits its own wire books and exits nonzero on
+# any imbalance) and writes its BENCH_server.json to <out.json>.
 set -euo pipefail
 
-BUILD=${1:?usage: bench_snapshot.sh <build-dir> [out.json]}
+BUILD=${1:?usage: bench_snapshot.sh <build-dir> [out.json] [dp|server]}
 OUT=${2:-BENCH_dp.json}
+MODE=${3:-dp}
 CONFIG=$(dirname "$0")/../configs/baseline_130nm.cfg
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
+
+if [ "$MODE" = "server" ]; then
+  "$BUILD"/bench/bench_server --seconds 3 --out "$OUT"
+  exit 0
+elif [ "$MODE" != "dp" ]; then
+  echo "bench_snapshot.sh: unknown mode '$MODE' (want dp or server)" >&2
+  exit 2
+fi
 
 "$BUILD"/bench/bench_dp_kernel \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \

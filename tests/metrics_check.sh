@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Metrics exposition check: self-test the validator, then produce a real
+# Prometheus export from rank_tool (--metrics) and require it to pass.
+#
+# usage: metrics_check.sh <rank_tool> <config>
+set -euo pipefail
+
+RANK_TOOL=${1:?usage: metrics_check.sh <rank_tool> <config>}
+CONFIG=${2:?usage: metrics_check.sh <rank_tool> <config>}
+HERE=$(cd "$(dirname "$0")" && pwd)
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+python3 "$HERE/validate_metrics.py" --self-test
+
+"$RANK_TOOL" "$CONFIG" rank --metrics "$WORK/metrics.prom" > /dev/null
+python3 "$HERE/validate_metrics.py" "$WORK/metrics.prom"
+
+echo "OK: validator self-test passed and a live export validates"

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Server smoke test: boot a real rank_server daemon, drive it through the
-# CLI client, require the server's own books to balance
-# (requests_total == requests_ok + requests_failed), then SIGTERM it and
-# require a clean drain: exit status 0 and the socket file unlinked.
+# Server smoke test: boot a real rank_server daemon (framed protocol plus
+# the HTTP metrics listener), drive it through the CLI client, scrape
+# GET /metrics over plain HTTP and validate the exposition, require the
+# server's books to balance EXACTLY against the requests this script
+# sent, then SIGTERM it and require a clean drain: exit status 0 and the
+# socket file (and its startup lockfile) unlinked.
 #
 # usage: server_smoke.sh <rank_tool> <config> [bench_server]
 set -euo pipefail
@@ -10,6 +12,7 @@ set -euo pipefail
 RANK_TOOL=${1:?usage: server_smoke.sh <rank_tool> <config> [bench_server]}
 CONFIG=${2:?usage: server_smoke.sh <rank_tool> <config> [bench_server]}
 BENCH_SERVER=${3:-}
+HERE=$(cd "$(dirname "$0")" && pwd)
 WORK=$(mktemp -d)
 SERVER_PID=
 cleanup() {
@@ -21,14 +24,14 @@ trap cleanup EXIT
 SOCKET="$WORK/rank.sock"
 ADDR="unix:$SOCKET"
 
-"$RANK_TOOL" serve "$CONFIG" --socket "$SOCKET" --workers 2 \
+"$RANK_TOOL" serve "$CONFIG" --socket "$SOCKET" --workers 2 --http-port 0 \
   > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 
-# Wait for the readiness line (the daemon prints it only once the listener
-# is accepting).
+# Wait for the readiness lines (the daemon prints them only once the
+# listeners are accepting; the http line carries the resolved port).
 for _ in $(seq 1 500); do
-  grep -q "listening on" "$WORK/server.log" 2> /dev/null && break
+  grep -q "^http listening on" "$WORK/server.log" 2> /dev/null && break
   if ! kill -0 "$SERVER_PID" 2> /dev/null; then
     echo "FAIL: server died during startup" >&2
     cat "$WORK/server.log" >&2
@@ -36,35 +39,68 @@ for _ in $(seq 1 500); do
   fi
   sleep 0.02
 done
-grep -q "listening on" "$WORK/server.log" \
+grep -q "^listening on" "$WORK/server.log" \
   || { echo "FAIL: no readiness line" >&2; exit 1; }
+HTTP_PORT=$(sed -n 's/^http listening on tcp:127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+  "$WORK/server.log")
+[ -n "$HTTP_PORT" ] || { echo "FAIL: no http readiness line" >&2; exit 1; }
+if [ ! -e "$SOCKET.lock" ]; then
+  echo "FAIL: startup lockfile missing next to the socket" >&2
+  exit 1
+fi
 
 # A request mix: health check, two warm ranks (the second hits the builder
 # caches), an override variant, a malformed body (must fail the request,
-# not the daemon), and a small sweep.
-"$RANK_TOOL" request "$ADDR" ping
-"$RANK_TOOL" request "$ADDR" rank > "$WORK/rank1.json"
-"$RANK_TOOL" request "$ADDR" rank > "$WORK/rank2.json"
+# not the daemon), and a small sweep. Every framed request is counted in
+# EXPECTED_* so the final books check is exact, not just balanced.
+EXPECTED_OK=0
+EXPECTED_FAILED=0
+"$RANK_TOOL" request "$ADDR" ping;                   EXPECTED_OK=$((EXPECTED_OK + 1))
+"$RANK_TOOL" request "$ADDR" rank > "$WORK/rank1.json"; EXPECTED_OK=$((EXPECTED_OK + 1))
+"$RANK_TOOL" request "$ADDR" rank > "$WORK/rank2.json"; EXPECTED_OK=$((EXPECTED_OK + 1))
 diff "$WORK/rank1.json" "$WORK/rank2.json"  # deterministic responses
 "$RANK_TOOL" request "$ADDR" rank ild_permittivity=2.7 > /dev/null
+EXPECTED_OK=$((EXPECTED_OK + 1))
 if "$RANK_TOOL" request "$ADDR" raw '{"type":"rank","overrides":{"no_such_key":1}}' \
     > "$WORK/bad.json" 2>&1; then
   echo "FAIL: unknown override was accepted" >&2
   exit 1
 fi
+EXPECTED_FAILED=$((EXPECTED_FAILED + 1))
 grep -q '"bad-input"' "$WORK/bad.json"
 "$RANK_TOOL" request "$ADDR" sweep K 3.9 3.3 3 > /dev/null
+EXPECTED_OK=$((EXPECTED_OK + 1))
+
+# The HTTP metrics endpoint: scrape it like a real Prometheus server
+# would and validate the exposition format (cumulative buckets, +Inf,
+# _count/_sum consistency).
+http_get() {
+  if command -v curl > /dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$HTTP_PORT$1"
+  else
+    python3 -c "import sys, urllib.request; \
+sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$HTTP_PORT' + \
+sys.argv[1]).read().decode())" "$1"
+  fi
+}
+http_get /healthz > /dev/null
+http_get /metrics > "$WORK/metrics_http.txt"
+python3 "$HERE/validate_metrics.py" "$WORK/metrics_http.txt"
+grep -q 'iarank_server_http_requests_total' "$WORK/metrics_http.txt"
 
 # Optional load generator against the same daemon's service class (it
 # spins up its own in-process server; run it for the throughput numbers
-# and its internal metrics cross-check).
+# and its internal books audit — it exits nonzero on any imbalance).
 if [ -n "$BENCH_SERVER" ]; then
   "$BENCH_SERVER" --seconds 2 --out "$WORK/BENCH_server.json"
 fi
 
-# The daemon's books must balance: requests_total == ok + failed.
+# The daemon's books must balance EXACTLY: this script sent a known
+# request mix, and the framed scrape below counts itself.
 "$RANK_TOOL" request "$ADDR" metrics > "$WORK/metrics.txt"
-awk '
+EXPECTED_OK=$((EXPECTED_OK + 1))
+python3 "$HERE/validate_metrics.py" "$WORK/metrics.txt"
+awk -v want_ok="$EXPECTED_OK" -v want_failed="$EXPECTED_FAILED" '
   $1 == "iarank_server_requests_total"        { total  = $2 }
   $1 == "iarank_server_requests_ok_total"     { ok     = $2 }
   $1 == "iarank_server_requests_failed_total" { failed = $2 }
@@ -74,11 +110,18 @@ awk '
              total, ok, failed > "/dev/stderr"
       exit 1
     }
-    printf "metrics consistent: total=%d == ok=%d + failed=%d\n", \
+    if (ok != want_ok || failed != want_failed) {
+      printf "FAIL: books do not match the sent mix: ok=%d want %d, " \
+             "failed=%d want %d\n", ok, want_ok, failed, want_failed \
+             > "/dev/stderr"
+      exit 1
+    }
+    printf "metrics exact: total=%d == ok=%d + failed=%d (as sent)\n", \
            total, ok, failed
   }' "$WORK/metrics.txt"
 
-# SIGTERM must drain and exit 0, and the socket file must be unlinked.
+# SIGTERM must drain and exit 0, and the socket file and lockfile must be
+# unlinked.
 kill -TERM "$SERVER_PID"
 STATUS=0
 wait "$SERVER_PID" || STATUS=$?
@@ -93,4 +136,9 @@ if [ -e "$SOCKET" ]; then
   echo "FAIL: socket file left behind after shutdown" >&2
   exit 1
 fi
-echo "OK: daemon served the mix, books balanced, SIGTERM drained cleanly"
+if [ -e "$SOCKET.lock" ]; then
+  echo "FAIL: lockfile left behind after shutdown" >&2
+  exit 1
+fi
+echo "OK: daemon served the mix, HTTP scrape validated, books exact," \
+     "SIGTERM drained cleanly"

@@ -14,6 +14,8 @@
 ///    unboundedly;
 ///  - stop() drains: requests accepted before shutdown get responses.
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -41,6 +43,7 @@
 #include "src/util/bounded_queue.hpp"
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
+#include "src/util/metrics.hpp"
 
 namespace iarank {
 namespace {
@@ -573,6 +576,391 @@ TEST_F(ServerTest, TcpLoopbackWithKernelAssignedPort) {
   server::Server daemon(service(), options);
   ASSERT_GT(daemon.address().port, 0);
 
+  const int fd = server::connect_to(daemon.address());
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+  daemon.stop();
+}
+
+// --- wire-level robustness --------------------------------------------------------
+
+TEST_F(ServerTest, SlowClientDribblesAFrameByteAtATime) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("dribble.sock");
+  options.workers = 1;
+  server::Server daemon(service(), options);
+
+  const int fd = server::connect_to(daemon.address());
+  // Client -> server: the frame arrives one byte per read, so the
+  // server's partial-read state machine must reassemble it.
+  std::string framed;
+  server::append_frame(framed, "{\"type\":\"ping\"}");
+  for (const char byte : framed) {
+    ASSERT_EQ(::send(fd, &byte, 1, 0), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Server -> client: drain the response one byte at a time too.
+  const auto recv_byte = [&] {
+    char byte = 0;
+    ::ssize_t n;
+    do {
+      n = ::recv(fd, &byte, 1, 0);
+    } while (n < 0 && errno == EINTR);
+    EXPECT_EQ(n, 1);
+    return byte;
+  };
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len = (len << 8) | static_cast<unsigned char>(recv_byte());
+  }
+  std::string payload;
+  for (std::uint32_t i = 0; i < len; ++i) payload += recv_byte();
+  EXPECT_EQ(payload, "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+  daemon.stop();
+}
+
+TEST_F(ServerTest, FrameSizedExactlyAtTheLimitRoundTrips) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("maxframe.sock");
+  options.workers = 1;
+  server::Server daemon(service(), options);
+
+  // A valid request padded to exactly kMaxFrameBytes: the limit is
+  // inclusive on both the client writer and the server reader.
+  const std::string prefix = "{\"type\":\"ping\",\"pad\":\"";
+  const std::string suffix = "\"}";
+  std::string request = prefix;
+  request.resize(server::kMaxFrameBytes - suffix.size(), 'x');
+  request += suffix;
+  ASSERT_EQ(request.size(), server::kMaxFrameBytes);
+
+  const int fd = server::connect_to(daemon.address());
+  EXPECT_EQ(server::round_trip(fd, request),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  // The connection survives the giant frame.
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+  daemon.stop();
+}
+
+TEST_F(ServerTest, PipelinedResponsesStayOrderedUnderPartialWrites) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("pipeline.sock");
+  options.workers = 2;
+  server::Server daemon(service(), options);
+
+  // Write far more responses than the socket buffers hold before reading
+  // any: the server must buffer the overflow (short writes) and still
+  // deliver responses strictly in request order. Every 7th request is
+  // malformed so the expected sequence has distinct entries.
+  constexpr int kCount = 20000;
+  const std::string ping = "{\"type\":\"ping\"}";
+  const std::string garbage = "}{";
+  const std::string pong_expected = service().handle(ping);
+  const std::string garbage_expected = service().handle(garbage);
+
+  const int fd = server::connect_to(daemon.address());
+  std::thread writer([&] {
+    std::string bulk;
+    for (int i = 0; i < kCount; ++i) {
+      server::append_frame(bulk, i % 7 == 6 ? garbage : ping);
+    }
+    std::size_t sent = 0;
+    while (sent < bulk.size()) {
+      const ::ssize_t n =
+          ::send(fd, bulk.data() + sent, bulk.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  });
+  int out_of_order = 0;
+  for (int i = 0; i < kCount; ++i) {
+    const server::FrameResult got = server::read_frame(fd);
+    ASSERT_EQ(got.state, server::FrameResult::State::kOk) << "at " << i;
+    const std::string& expected =
+        i % 7 == 6 ? garbage_expected : pong_expected;
+    if (got.payload != expected) ++out_of_order;
+  }
+  EXPECT_EQ(out_of_order, 0);
+  writer.join();
+  ::close(fd);
+  daemon.stop();
+}
+
+// --- request batching -------------------------------------------------------------
+
+TEST_F(ServerTest, QueuedIdenticalRankRequestsCoalesceOntoOneBatch) {
+  // One worker pinned by a sleep request: identical rank requests that
+  // arrive meanwhile must coalesce onto one batch — one service call,
+  // every client answered with identical bytes.
+  server::ServiceOptions service_options;
+  service_options.enable_test_endpoints = true;
+  server::RankService slow_service(spec(), wld(), service_options);
+
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("coalesce.sock");
+  options.workers = 1;
+  options.queue_capacity = 8;
+  server::Server daemon(slow_service, options);
+
+  util::Counter& batched =
+      util::MetricsRegistry::counter("iarank_server_batched_requests_total");
+  util::Counter& total =
+      util::MetricsRegistry::counter("iarank_server_requests_total");
+  const std::int64_t batched_before = batched.value();
+  const std::int64_t total_before = total.value();
+
+  std::thread sleeper([&] {
+    const int fd = server::connect_to(daemon.address());
+    const std::string response =
+        server::round_trip(fd, "{\"type\":\"sleep\",\"ms\":500}");
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+    ::close(fd);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  const std::string request = "{\"type\":\"rank\"}";
+  constexpr int kClients = 4;
+  int fds[kClients];
+  for (int c = 0; c < kClients; ++c) {
+    fds[c] = server::connect_to(daemon.address());
+    ASSERT_TRUE(server::write_frame(fds[c], request).ok());
+  }
+  std::vector<std::string> responses;
+  for (int c = 0; c < kClients; ++c) {
+    server::FrameResult got = server::read_frame(fds[c]);
+    ASSERT_EQ(got.state, server::FrameResult::State::kOk);
+    responses.push_back(std::move(got.payload));
+    ::close(fds[c]);
+  }
+  sleeper.join();
+  daemon.stop();
+
+  // Snapshot the deltas before the reference handle() call below bumps
+  // the same process-wide counters.
+  const std::int64_t batched_delta = batched.value() - batched_before;
+  const std::int64_t total_delta = total.value() - total_before;
+  const std::string expected = slow_service.handle(request);
+  for (const std::string& response : responses) {
+    EXPECT_EQ(response, expected);
+  }
+  // 3 of the 4 attached to the first one's open batch, and the books
+  // still count all of them: 1 sleep + 1 executed rank + 3 coalesced.
+  EXPECT_EQ(batched_delta, kClients - 1);
+  EXPECT_EQ(total_delta, kClients + 1);
+}
+
+TEST_F(ServerTest, BatchedResponsesBitwiseIdenticalAcrossWorkerCounts) {
+  // The batching equivalence property: under mixed-override traffic with
+  // natural coalescing, every response equals the unbatched service
+  // response bitwise, for 1, 4 and 8 workers.
+  const std::vector<std::string> variants = {
+      "{\"type\":\"rank\"}",
+      "{\"type\":\"rank\",\"overrides\":{\"ild_permittivity\":3.0}}",
+      "{\"type\":\"rank\",\"overrides\":{\"ild_permittivity\":3.3}}",
+      "{\"type\":\"rank\",\"overrides\":{\"miller_factor\":1.4}}",
+      "{\"type\":\"rank\",\"overrides\":{\"clock_hz\":\"1.5e9\"}}",
+  };
+  std::vector<std::string> expected;
+  expected.reserve(variants.size());
+  for (const std::string& v : variants) expected.push_back(service().handle(v));
+
+  for (const unsigned workers : {1u, 4u, 8u}) {
+    server::ServerOptions options;
+    options.address.kind = server::Address::Kind::kUnix;
+    options.address.path =
+        socket_path("equiv" + std::to_string(workers) + ".sock");
+    options.workers = workers;
+    server::Server daemon(service(), options);
+
+    constexpr int kClients = 6;
+    constexpr int kRequestsEach = 10;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        const int fd = server::connect_to(daemon.address());
+        for (int r = 0; r < kRequestsEach; ++r) {
+          const std::size_t v = (c + r) % variants.size();
+          if (server::round_trip(fd, variants[v]) != expected[v]) {
+            ++mismatches;
+          }
+        }
+        ::close(fd);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    daemon.stop();
+    EXPECT_EQ(mismatches.load(), 0) << "workers=" << workers;
+  }
+}
+
+// --- the HTTP listener ------------------------------------------------------------
+
+/// One raw HTTP exchange: send `request` verbatim, read to EOF (the
+/// server closes after each response).
+std::string http_exchange(const server::Address& address,
+                          const std::string& request) {
+  const int fd = server::connect_to(address);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ::ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    EXPECT_GT(n, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ::ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ServerTest, HttpMetricsEndpointSpeaksPrometheusText) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("http.sock");
+  options.workers = 1;
+  options.http_port = 0;  // kernel picks
+  server::Server daemon(service(), options);
+  ASSERT_TRUE(daemon.http_enabled());
+  ASSERT_GT(daemon.http_address().port, 0);
+
+  const std::string response = http_exchange(
+      daemon.http_address(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(
+      response.find(
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+      std::string::npos);
+  const auto body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  // Content-Length matches the body actually delivered.
+  const auto cl_at = response.find("Content-Length: ");
+  ASSERT_NE(cl_at, std::string::npos);
+  EXPECT_EQ(std::stoul(response.substr(cl_at + 16)), body.size());
+  EXPECT_NE(body.find("# TYPE iarank_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("iarank_server_request_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  // /metrics.json parses as JSON; /healthz answers; unknown paths 404;
+  // non-GET methods 405.
+  const std::string json_response = http_exchange(
+      daemon.http_address(), "GET /metrics.json HTTP/1.1\r\n\r\n");
+  const auto json_at = json_response.find("\r\n\r\n");
+  ASSERT_NE(json_at, std::string::npos);
+  EXPECT_NO_THROW((void)util::Json::parse(json_response.substr(json_at + 4)));
+  EXPECT_EQ(http_exchange(daemon.http_address(),
+                          "GET /healthz HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+  EXPECT_EQ(http_exchange(daemon.http_address(),
+                          "GET /nope HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 404 Not Found\r\n", 0),
+            0u);
+  EXPECT_EQ(http_exchange(daemon.http_address(),
+                          "POST /metrics HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 405 Method Not Allowed\r\n", 0),
+            0u);
+  daemon.stop();
+}
+
+TEST_F(ServerTest, HttpGarbageIsIsolatedFromTheLoop) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("httpbad.sock");
+  options.workers = 1;
+  options.http_port = 0;
+  server::Server daemon(service(), options);
+
+  // A malformed request line gets a 400.
+  EXPECT_EQ(http_exchange(daemon.http_address(), "NOT-HTTP-AT-ALL\r\n\r\n")
+                .rfind("HTTP/1.1 400 Bad Request\r\n", 0),
+            0u);
+  // An unbounded header stream is cut off with a 400, not buffered
+  // forever.
+  EXPECT_EQ(http_exchange(daemon.http_address(),
+                          "GET / HTTP/1.1\r\n" +
+                              std::string(20000, 'h') + "\r\n")
+                .rfind("HTTP/1.1 400 Bad Request\r\n", 0),
+            0u);
+  // Framed-protocol bytes on the HTTP port: never a response, and the
+  // connection ends at the client's EOF instead of wedging the loop.
+  {
+    const int fd = server::connect_to(daemon.http_address());
+    std::string framed;
+    server::append_frame(framed, "{\"type\":\"ping\"}");
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<::ssize_t>(framed.size()));
+    ::shutdown(fd, SHUT_WR);
+    char buf[64];
+    EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0);  // EOF, no bytes
+    ::close(fd);
+  }
+  // Both listeners still serve.
+  EXPECT_EQ(http_exchange(daemon.http_address(),
+                          "GET /healthz HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+  const int fd = server::connect_to(daemon.address());
+  EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
+            "{\"ok\":true,\"type\":\"pong\"}");
+  ::close(fd);
+  daemon.stop();
+}
+
+// --- the startup lockfile ---------------------------------------------------------
+
+TEST_F(ServerTest, LockfileClosesTheStaleProbeRace) {
+  // Regression for the probe-then-unlink-then-bind TOCTOU: a starter that
+  // loses the lock race must neither bind nor unlink anything — the stale
+  // file is untouched until the lock holder decides its fate.
+  const std::string path = socket_path("toctou.sock");
+  {
+    // A stale socket file (bound once, never listening, owner gone).
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::snprintf(sa.sun_path, sizeof(sa.sun_path), "%s", path.c_str());
+    ::unlink(path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+    ::close(fd);
+  }
+  // Another starter holds the lock mid-sequence.
+  const int lock_fd =
+      ::open((path + ".lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0600);
+  ASSERT_GE(lock_fd, 0);
+  ASSERT_EQ(::flock(lock_fd, LOCK_EX | LOCK_NB), 0);
+
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = path;
+  EXPECT_THROW(server::Server(service(), options), util::Error);
+  EXPECT_TRUE(std::filesystem::exists(path))
+      << "loser of the lock race must not unlink the socket file";
+
+  ASSERT_EQ(::flock(lock_fd, LOCK_UN), 0);
+  ::close(lock_fd);
+
+  // With the lock released, startup replaces the stale file and serves.
+  server::Server daemon(service(), options);
   const int fd = server::connect_to(daemon.address());
   EXPECT_EQ(server::round_trip(fd, "{\"type\":\"ping\"}"),
             "{\"ok\":true,\"type\":\"pong\"}");

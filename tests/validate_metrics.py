@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format 0.0.4).
+
+Checks the invariants a scraper relies on, the histogram ones being the
+load-bearing part (regression guard for the `_count` != `+Inf` bucket
+export bug):
+
+  * every line is a comment, blank, or `name{labels} value` sample;
+  * `# TYPE` appears once per family, before that family's samples;
+  * no duplicate sample (same name + label set);
+  * counter samples are finite and non-negative;
+  * for each histogram family `x`:
+      - `x_bucket` samples carry an `le` label, ascending, with
+        non-decreasing cumulative counts,
+      - an `le="+Inf"` bucket is present,
+      - `x_count` exists and equals the `+Inf` bucket,
+      - `x_sum` exists and is finite.
+
+usage: validate_metrics.py FILE        # or '-' for stdin
+       validate_metrics.py --self-test
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def base_family(name):
+    """Histogram/summary series name -> family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text):
+    """Returns a list of violation strings (empty = valid)."""
+    errors = []
+    types = {}          # family -> declared type
+    samples_seen = set()  # (name, labels-text) for duplicate detection
+    families_sampled = set()
+    buckets = {}        # family -> list of (le, value, line_no)
+    counts = {}         # family -> value
+    sums = {}           # family -> value
+
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    errors.append(f"line {line_no}: malformed {parts[1]} comment")
+                    continue
+                if parts[1] == "TYPE":
+                    family = parts[2]
+                    kind = parts[3] if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                        errors.append(
+                            f"line {line_no}: unknown TYPE '{kind}'")
+                    if family in types:
+                        errors.append(
+                            f"line {line_no}: duplicate TYPE for '{family}'")
+                    if family in families_sampled:
+                        errors.append(
+                            f"line {line_no}: TYPE for '{family}' after "
+                            "its samples")
+                    types[family] = kind
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {line_no}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels_text = m.group("labels") or ""
+        labels = {}
+        if labels_text:
+            ok = True
+            for part in labels_text.split(","):
+                lm = LABEL_RE.match(part.strip())
+                if not lm:
+                    errors.append(
+                        f"line {line_no}: malformed label '{part.strip()}'")
+                    ok = False
+                    break
+                labels[lm.group(1)] = lm.group(2)
+            if not ok:
+                continue
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {line_no}: non-numeric value {m.group('value')!r}")
+            continue
+
+        key = (name, labels_text)
+        if key in samples_seen:
+            errors.append(f"line {line_no}: duplicate sample {name}"
+                          f"{{{labels_text}}}")
+        samples_seen.add(key)
+
+        family = base_family(name)
+        families_sampled.add(family)
+        families_sampled.add(name)
+        kind = types.get(family)
+
+        if kind == "histogram":
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    errors.append(
+                        f"line {line_no}: {name} sample without an le label")
+                    continue
+                try:
+                    le = parse_value(labels["le"])
+                except ValueError:
+                    errors.append(
+                        f"line {line_no}: unparseable le={labels['le']!r}")
+                    continue
+                buckets.setdefault(family, []).append((le, value, line_no))
+            elif name == family + "_count":
+                counts[family] = (value, line_no)
+            elif name == family + "_sum":
+                sums[family] = (value, line_no)
+        elif kind == "counter":
+            if math.isnan(value) or math.isinf(value) or value < 0:
+                errors.append(
+                    f"line {line_no}: counter {name} has value {value}")
+        elif kind == "gauge":
+            if math.isnan(value):
+                errors.append(f"line {line_no}: gauge {name} is NaN")
+        elif kind is None:
+            errors.append(f"line {line_no}: sample {name} has no TYPE")
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(family, [])
+        if not series:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        prev_le, prev_value = -math.inf, -math.inf
+        for le, value, line_no in series:
+            if le <= prev_le:
+                errors.append(
+                    f"line {line_no}: {family} le={le} out of order")
+            if value < prev_value:
+                errors.append(
+                    f"line {line_no}: {family} bucket counts not "
+                    f"cumulative ({value} < {prev_value})")
+            prev_le, prev_value = le, value
+        inf_le, inf_value, _ = series[-1]
+        if not math.isinf(inf_le):
+            errors.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        if family not in counts:
+            errors.append(f"histogram {family}: missing _count")
+        elif math.isinf(inf_le) and counts[family][0] != inf_value:
+            errors.append(
+                f"histogram {family}: _count={counts[family][0]} != "
+                f"+Inf bucket={inf_value}")
+        if family not in sums:
+            errors.append(f"histogram {family}: missing _sum")
+        elif math.isnan(sums[family][0]) or math.isinf(sums[family][0]):
+            errors.append(f"histogram {family}: _sum is not finite")
+
+    return errors
+
+
+GOOD = """\
+# HELP demo_requests_total requests
+# TYPE demo_requests_total counter
+demo_requests_total 5
+# TYPE demo_depth gauge
+demo_depth -3
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.1"} 2
+demo_seconds_bucket{le="1"} 3
+demo_seconds_bucket{le="+Inf"} 4
+demo_seconds_sum 1.25
+demo_seconds_count 4
+"""
+
+BAD_CASES = {
+    "negative counter": "# TYPE x counter\nx -1\n",
+    "untyped sample": "x 1\n",
+    "non-cumulative buckets": (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+        "h_sum 1\nh_count 5\n"
+    ),
+    "missing +Inf": (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\nh_sum 1\nh_count 5\n'
+    ),
+    "count != +Inf": (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 4\nh_bucket{le="+Inf"} 5\nh_sum 1\nh_count 4\n'
+    ),
+    "missing sum": (
+        "# TYPE h histogram\n"
+        'h_bucket{le="+Inf"} 5\nh_count 5\n'
+    ),
+    "duplicate sample": "# TYPE x counter\nx 1\nx 2\n",
+    "garbage line": "# TYPE x counter\nx one\n",
+}
+
+
+def self_test():
+    failures = []
+    errors = validate(GOOD)
+    if errors:
+        failures.append(f"good exposition rejected: {errors}")
+    for label, text in BAD_CASES.items():
+        if not validate(text):
+            failures.append(f"bad exposition accepted: {label}")
+    for f in failures:
+        print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+    print("self-test: %d bad cases rejected, good case accepted"
+          % len(BAD_CASES) if not failures else "self-test failed")
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], "r", encoding="utf-8") as fh:
+            text = fh.read()
+    errors = validate(text)
+    for e in errors:
+        print(f"INVALID: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    n_samples = sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.startswith("#"))
+    print(f"valid Prometheus exposition: {n_samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

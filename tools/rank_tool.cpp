@@ -57,10 +57,15 @@
 ///                             no config file. Exit 1 on any violation.
 ///   serve <config> (--socket PATH | --port N [--host A.B.C.D])
 ///         [--workers N] [--queue-cap N] [--sweep-jobs N]
+///         [--http-port N [--http-host A.B.C.D]]
 ///                             run the rank daemon for the configured
 ///                             scenario (framed JSON protocol, DESIGN.md
-///                             Section 11). Prints `listening on <addr>`
-///                             when ready; SIGTERM/SIGINT drain in-flight
+///                             Section 11). --http-port adds a plain-HTTP
+///                             listener (GET /metrics Prometheus text,
+///                             /metrics.json, /healthz; 0 = kernel-
+///                             assigned). Prints `listening on <addr>`
+///                             (and `http listening on <addr>`) when
+///                             ready; SIGTERM/SIGINT drain in-flight
 ///                             requests, then the process exits 0.
 ///   request <addr> ping | metrics | rank [key=value ...]
 ///           | sweep <K|M|C|R> <lo> <hi> <steps> [key=value ...]
@@ -472,7 +477,8 @@ int cmd_faultcheck(int argc, char** argv) {
 int serve_usage() {
   std::cerr << "usage: rank_tool serve <config>"
                " (--socket PATH | --port N [--host A.B.C.D])"
-               " [--workers N] [--queue-cap N] [--sweep-jobs N]\n";
+               " [--workers N] [--queue-cap N] [--sweep-jobs N]"
+               " [--http-port N [--http-host A.B.C.D]]\n";
   return 2;
 }
 
@@ -526,6 +532,17 @@ int cmd_serve(int argc, char** argv) {
         const long long cap = int_flag(a, "--queue-cap");
         if (cap < 1) throw util::Error("serve: --queue-cap must be >= 1");
         options.queue_capacity = static_cast<std::size_t>(cap);
+      } else if (flag == "--http-port") {
+        const long long port = int_flag(a, "--http-port");
+        if (port < 0 || port > 65535) {
+          throw util::Error("serve: http port out of range");
+        }
+        options.http_port = static_cast<int>(port);
+      } else if (flag == "--http-host") {
+        if (a + 1 >= argc) {
+          throw util::Error("serve: --http-host needs a value");
+        }
+        options.http_host = argv[++a];
       } else if (flag == "--sweep-jobs") {
         const long long jobs = int_flag(a, "--sweep-jobs");
         if (jobs < 1) throw util::Error("serve: --sweep-jobs must be >= 1");
@@ -560,9 +577,15 @@ int cmd_serve(int argc, char** argv) {
   std::signal(SIGTERM, on_shutdown_signal);
   std::signal(SIGINT, on_shutdown_signal);
 
-  // The readiness line scripts wait for (flushed before blocking).
+  // The readiness lines scripts wait for (flushed before blocking). The
+  // http line carries the resolved port when --http-port 0 asked the
+  // kernel to pick one.
   std::cout << "listening on " << server::to_string(daemon.address())
             << std::endl;
+  if (daemon.http_enabled()) {
+    std::cout << "http listening on "
+              << server::to_string(daemon.http_address()) << std::endl;
+  }
 
   char byte;
   ::ssize_t n;
