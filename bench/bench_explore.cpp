@@ -1,0 +1,123 @@
+/// Exploration harness benchmarks (google-benchmark).
+///
+/// What the crash-tolerance machinery costs: the clean in-process grid
+/// sets the floor; the worker-mode run adds fork + leased-queue + journal
+/// + merge on top of the identical evaluation work; the scan and lease
+/// benches price the two per-record/per-chunk primitives the coordinator
+/// and workers pay during a run.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/core/explore.hpp"
+#include "src/util/config.hpp"
+#include "src/util/journal.hpp"
+#include "src/util/lease_queue.hpp"
+
+namespace {
+
+using namespace iarank;
+
+constexpr const char* kGridText =
+    "gates = 20000\n"
+    "bunch_size = 2000\n"
+    "explore.K = 2.2:3.9:6\n"
+    "explore.M = 1.0:2.0:5\n"
+    "explore.R = 0.25:0.45:8\n";  // 240 points
+
+const core::ExploreSpec& bench_spec() {
+  static const core::ExploreSpec spec =
+      core::ExploreSpec::parse(util::Config::parse(kGridText));
+  return spec;
+}
+
+std::string fresh_dir(const std::string& stem) {
+  static int counter = 0;
+  const std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                                    (stem + std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Floor: the whole grid evaluated in process, no queue, no forks.
+void BM_ExploreCleanGrid(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExploreOptions options;
+    options.dir = fresh_dir("iarank_bench_explore_clean");
+    options.jobs = static_cast<unsigned>(state.range(0));
+    const core::ExploreResult result = core::run_explore(bench_spec(), options);
+    benchmark::DoNotOptimize(result.ok);
+    std::filesystem::remove_all(options.dir);
+  }
+  state.counters["points"] =
+      benchmark::Counter(static_cast<double>(bench_spec().total_points() *
+                                             state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreCleanGrid)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// The same grid through forked workers: fork + flock'd lease traffic +
+/// per-record journaling + merge audit, on top of the identical solves.
+void BM_ExploreWorkerGrid(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExploreOptions options;
+    options.dir = fresh_dir("iarank_bench_explore_workers");
+    options.workers = static_cast<int>(state.range(0));
+    options.chunk_points = 16;
+    const core::ExploreResult result = core::run_explore(bench_spec(), options);
+    benchmark::DoNotOptimize(result.ok);
+    std::filesystem::remove_all(options.dir);
+  }
+  state.counters["points"] =
+      benchmark::Counter(static_cast<double>(bench_spec().total_points() *
+                                             state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreWorkerGrid)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// Merge-side read of one worker journal: what every coordinator merge
+/// and suspect-scan pays per journal file.
+void BM_JournalScan(benchmark::State& state) {
+  const std::string dir = fresh_dir("iarank_bench_explore_scan");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/scan.journal";
+  const std::int64_t records = state.range(0);
+  {
+    util::CheckpointJournal journal(path, 42, {false});
+    const std::string payload(120, 'x');  // a typical encoded point
+    for (std::int64_t i = 0; i < records; ++i) journal.append(i, payload);
+  }
+  for (auto _ : state) {
+    const util::CheckpointJournal::Scan scan =
+        util::CheckpointJournal::scan(path, 42);
+    benchmark::DoNotOptimize(scan.entries.size());
+  }
+  state.counters["records"] = benchmark::Counter(
+      static_cast<double>(records * state.iterations()),
+      benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_JournalScan)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// One full lease lifecycle (enqueue, claim, renew, complete), all under
+/// the queue's flock: the fixed coordination cost per chunk.
+void BM_LeaseLifecycle(benchmark::State& state) {
+  const std::string dir = fresh_dir("iarank_bench_explore_lease");
+  util::LeaseQueue queue(dir, {});
+  std::int64_t lo = 0;
+  for (auto _ : state) {
+    queue.enqueue(lo, lo + 64, 0);
+    const auto chunk = queue.claim("bench");
+    (void)queue.renew(*chunk, "bench", lo + 32);
+    queue.complete(*chunk, "bench");
+    lo += 64;
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LeaseLifecycle)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+/// \file explore.hpp
+/// \brief Crash-tolerant multi-dimensional design-space exploration.
+///
+/// `rank_tool explore` evaluates the cross product of a declarative
+/// scenario spec — tech node x WLD family (Rent exponent) x target-delay
+/// model x K x M x C x R — sharded across worker *processes* coordinated
+/// through a file-based leased work queue (util/lease_queue.hpp). Workers
+/// journal every completed point into a per-worker CheckpointJournal; the
+/// coordinator reclaims leases from killed or hung workers, lets idle
+/// workers steal from stragglers, and finally merges all journals into a
+/// global result table, Pareto front and CSV.
+///
+/// The standing contract: the merged result of an N-worker run with
+/// injected kills is bitwise-identical to a clean single-process run
+/// (workers = 0). Three mechanisms carry it:
+///
+///  * journaled payloads are deterministic — workers zero the
+///    scheduling/timing-dependent DpStats before encoding, so the same
+///    grid index always journals the same bytes, and duplicate records
+///    (from lease reclaim or steal overlap) are required to be
+///    bitwise-equal at merge (first-complete-wins, audited loudly);
+///  * a point is only trusted once its completion record is intact — a
+///    worker appends an intent marker before evaluating, so a torn tail
+///    or a trailing intent just means "recompute this index";
+///  * poisoned points (those whose evaluation crashed a worker twice) are
+///    quarantined from the worker phase and re-evaluated at merge time in
+///    a sacrificial child process, so a spuriously-suspected point (two
+///    random kills landing on it) still produces its normal result.
+///
+/// Spec file format — a normal rank_tool config (config_run.hpp keys)
+/// defining the base scenario, plus `explore.*` list keys naming the
+/// swept dimensions (omitted dimensions stay at the base value):
+///
+///   explore.node         = 130nm, 90nm            (names or .tech paths)
+///   explore.rent_p       = 0.55, 0.6, 0.65        (Davis WLD family)
+///   explore.target_model = linear, sqrt
+///   explore.K            = 1.8:3.9:22             (lo:hi:n linspace ...)
+///   explore.M            = 1.0, 1.5, 2.0          (... or explicit list)
+///   explore.C            = 0.5e9:1.7e9:13
+///   explore.R            = 0.1, 0.3, 0.5
+///
+/// Grid order is row-major with node slowest and R fastest, so index 0 is
+/// the first value of every dimension.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/config_run.hpp"
+#include "src/core/sweep.hpp"
+#include "src/util/config.hpp"
+#include "src/wld/wld.hpp"
+
+namespace iarank::core {
+
+/// A fully parsed, resolved exploration grid. Parsing validates every
+/// dimension value eagerly (per-node designs are built and validated, all
+/// WLDs generated), so workers never discover a bad spec mid-run.
+class ExploreSpec {
+ public:
+  /// Parses `config`; throws util::Error (kBadInput) on malformed lists,
+  /// unknown nodes/models, or an explore.rent_p sweep combined with
+  /// wld.file (a file pins the WLD, so a Rent sweep would be a lie).
+  [[nodiscard]] static ExploreSpec parse(const util::Config& config);
+
+  /// parse() of util::Config::load(path).
+  [[nodiscard]] static ExploreSpec load(const std::string& path);
+
+  [[nodiscard]] std::int64_t total_points() const;
+
+  /// 64-bit work key: digests every resolved design, WLD, base option and
+  /// dimension value (doubles as bit patterns). Journals and run
+  /// directories are only resumable against the same key.
+  [[nodiscard]] std::uint64_t key() const;
+
+  /// Dimension indices of one grid point (row-major decomposition).
+  struct Scenario {
+    std::size_t node = 0;
+    std::size_t rent = 0;
+    std::size_t target = 0;
+    std::size_t k = 0;
+    std::size_t m = 0;
+    std::size_t c = 0;
+    std::size_t r = 0;
+  };
+  [[nodiscard]] Scenario scenario(std::int64_t index) const;
+
+  /// RankOptions of one grid point: base options with the scenario's
+  /// target model and K/M/C/R applied.
+  [[nodiscard]] RankOptions options_at(const Scenario& s) const;
+
+  // Resolved dimensions (never empty; a fixed dimension has one entry).
+  [[nodiscard]] const std::vector<std::string>& nodes() const { return node_names_; }
+  [[nodiscard]] const std::vector<double>& rent_ps() const { return rent_ps_; }
+  [[nodiscard]] const std::vector<delay::TargetModel>& target_models() const {
+    return target_models_;
+  }
+  [[nodiscard]] const std::vector<double>& k_values() const { return k_; }
+  [[nodiscard]] const std::vector<double>& m_values() const { return m_; }
+  [[nodiscard]] const std::vector<double>& c_values() const { return c_; }
+  [[nodiscard]] const std::vector<double>& r_values() const { return r_; }
+
+  /// Resolved design of node dimension entry `node_idx`.
+  [[nodiscard]] const DesignSpec& design(std::size_t node_idx) const {
+    return designs_[node_idx];
+  }
+  /// Resolved WLD of (node_idx, rent_idx), in gate pitches.
+  [[nodiscard]] const wld::Wld& wld(std::size_t node_idx,
+                                    std::size_t rent_idx) const {
+    return wlds_[node_idx * rent_ps_.size() + rent_idx];
+  }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<double> rent_ps_;
+  std::vector<delay::TargetModel> target_models_;
+  std::vector<double> k_, m_, c_, r_;
+  std::vector<DesignSpec> designs_;       ///< per node entry
+  std::vector<RankOptions> base_options_; ///< per node entry (regime-applied)
+  std::vector<wld::Wld> wlds_;            ///< node-major [node][rent]
+};
+
+/// Execution knobs of one exploration run.
+struct ExploreOptions {
+  std::string dir = "explore-run";  ///< run directory (created)
+
+  /// Worker processes to fork. 0 = clean single-process mode: no queue,
+  /// no forks — the reference a chaos run must match bitwise.
+  int workers = 0;
+
+  /// Threads for in-process evaluation (workers = 0 mode, and the merge
+  /// phase's recomputation of missing points).
+  unsigned jobs = 1;
+
+  std::int64_t chunk_points = 256;   ///< lease granularity
+  double lease_ttl_seconds = 10.0;   ///< heartbeat staleness before reclaim
+  int poison_threshold = 2;          ///< crashes before quarantine
+  bool fsync_journal = false;        ///< fsync per record (SIGKILL needs none)
+};
+
+/// Merged outcome of a run.
+struct ExploreResult {
+  std::vector<SweepPoint> points;       ///< index-ordered, size total_points
+  std::vector<std::int64_t> pareto;     ///< indices: normalized up, area down
+  std::int64_t ok = 0;
+  std::int64_t failed = 0;       ///< evaluated, but Status not ok
+  std::int64_t quarantined = 0;  ///< poisoned and unsalvageable
+  std::int64_t resumed = 0;      ///< recovered from journals at merge
+  std::int64_t torn_tails = 0;   ///< journals with a torn tail at merge
+  std::int64_t duplicates = 0;   ///< duplicate records (all bitwise-audited)
+};
+
+/// Runs the full exploration as the coordinator (forking workers when
+/// options.workers > 0) and merges. Restartable: an existing run
+/// directory with the same spec key resumes; with a different key the
+/// journals restart from scratch. Throws util::Error on spec/IO errors or
+/// a failed bitwise audit.
+[[nodiscard]] ExploreResult run_explore(const ExploreSpec& spec,
+                                        const ExploreOptions& options);
+
+/// Worker main loop: attach to `dir`'s queue, claim/renew/steal leases,
+/// journal points, export per-worker metrics. Returns a process exit
+/// code. Used by forked workers and `rank_tool explore --worker`.
+[[nodiscard]] int run_explore_worker(const ExploreSpec& spec,
+                                     const ExploreOptions& options);
+
+/// Writes the merged table and Pareto front as CSV (atomic, classic
+/// locale, doubles in shortest round-trip spelling).
+void write_explore_csv(const std::string& path, const ExploreSpec& spec,
+                       const ExploreResult& result, bool pareto_only);
+
+}  // namespace iarank::core

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -12,6 +13,8 @@
 #include "src/util/config.hpp"
 #include "src/util/error.hpp"
 #include "src/util/fault_injector.hpp"
+#include "src/util/journal.hpp"
+#include "src/util/lease_queue.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/util/trace.hpp"
@@ -94,6 +97,39 @@ void publish_output(const SweepResult& swept) {
   std::filesystem::remove(path);
 }
 
+/// Work-queue stage: one enqueue/claim/renew/complete lease cycle plus a
+/// journal append and read-only scan in a scratch directory — the
+/// coordination path of `rank_tool explore`. Puts util.lease.acquire,
+/// util.lease.renew and util.journal.scan on the exercised path. The
+/// queue layer has no per-point isolation of its own, so an injected
+/// failure propagates as the injected error (the explore driver's process
+/// supervision is the recovery story at that layer).
+void exercise_work_queue() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "iarank_faultcheck_queue";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  try {
+    util::LeaseQueue queue((dir / "queue").string(), {});
+    queue.enqueue(0, 8, 0);
+    const std::optional<util::LeaseChunk> chunk = queue.claim("faultcheck");
+    if (chunk.has_value()) {
+      (void)queue.renew(*chunk, "faultcheck", chunk->lo + 4);
+      queue.complete(*chunk, "faultcheck");
+    }
+    const std::string journal_path = (dir / "probe.journal").string();
+    {
+      util::CheckpointJournal journal(journal_path, 0xfa57u, {false});
+      journal.append(0, "probe");
+    }
+    (void)util::CheckpointJournal::scan(journal_path, 0xfa57u);
+    std::filesystem::remove_all(dir);
+  } catch (...) {
+    std::filesystem::remove_all(dir);  // scratch must not leak across runs
+    throw;
+  }
+}
+
 bool sweeps_identical(const SweepResult& a, const SweepResult& b) {
   if (a.points.size() != b.points.size()) return false;
   for (std::size_t i = 0; i < a.points.size(); ++i) {
@@ -156,6 +192,7 @@ FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
   const SweepResult baseline =
       run_sweep(baseline_builder, baseline_inputs.base);
   publish_output(baseline);
+  exercise_work_queue();
   injector.disarm();
   if (baseline.profile.failed_points != 0) {
     report.violations.push_back("baseline workload has failed points");
@@ -200,6 +237,7 @@ FaultCheckReport run_faultcheck(const FaultCheckOptions& options) {
                                                     std::move(inputs.wld));
         swept = run_sweep(*builder, base);
         publish_output(swept);
+        exercise_work_queue();
       } catch (const util::Error& e) {
         threw = true;
         thrown_message = e.what();

@@ -3,10 +3,13 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -175,48 +178,114 @@ std::string to_string(const Address& address) {
   return "tcp:" + address.host + ":" + std::to_string(address.port);
 }
 
-int connect_to(const Address& address) {
-  if (address.kind == Address::Kind::kUnix) {
-    sockaddr_un sa{};
-    sa.sun_family = AF_UNIX;
-    util::require_io(address.path.size() < sizeof(sa.sun_path),
-                     "connect: unix socket path too long");
-    std::memcpy(sa.sun_path, address.path.c_str(), address.path.size() + 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    util::require_io(fd >= 0, "connect: socket() failed");
+namespace {
+
+/// Connects `fd` to `sa` within `timeout_seconds` (0 = block forever):
+/// nonblocking connect, poll for writability, read SO_ERROR, restore
+/// blocking mode. Throws util::Error(kIo), closing nothing — the caller
+/// owns the fd either way.
+void connect_with_deadline(int fd, const sockaddr* sa, socklen_t len,
+                           const Address& address, double timeout_seconds) {
+  if (timeout_seconds <= 0.0) {
     int rc;
     do {
-      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+      rc = ::connect(fd, sa, len);
     } while (rc != 0 && errno == EINTR);
-    if (rc != 0) {
-      const int err = errno;
-      ::close(fd);
-      throw util::Error("connect: cannot reach '" + to_string(address) +
-                            "': " + std::strerror(err),
-                        util::ErrorCategory::kIo);
-    }
-    return fd;
+    util::require_io(rc == 0, "connect: cannot reach '" + to_string(address) +
+                                  "': " + std::strerror(errno));
+    return;
   }
 
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_port = htons(static_cast<std::uint16_t>(address.port));
-  util::require_io(::inet_pton(AF_INET, address.host.c_str(), &sa.sin_addr) == 1,
-                   "connect: invalid IPv4 address '" + address.host + "'");
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  util::require_io(fd >= 0, "connect: socket() failed");
+  set_nonblocking(fd);
   int rc;
   do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    rc = ::connect(fd, sa, len);
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw util::Error("connect: cannot reach '" + to_string(address) +
-                          "': " + std::strerror(err),
-                      util::ErrorCategory::kIo);
+    util::require_io(errno == EINPROGRESS,
+                     "connect: cannot reach '" + to_string(address) +
+                         "': " + std::strerror(errno));
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms =
+        static_cast<int>(std::min(timeout_seconds * 1000.0, 2147483.0 * 1000));
+    int polled;
+    do {
+      polled = ::poll(&pfd, 1, timeout_ms);
+    } while (polled < 0 && errno == EINTR);
+    util::require_io(polled >= 0,
+                     std::string("connect: poll failed: ") + std::strerror(errno));
+    util::require_io(polled > 0, "connect: cannot reach '" +
+                                     to_string(address) + "': timed out after " +
+                                     std::to_string(timeout_seconds) + "s");
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    util::require_io(
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) == 0,
+        "connect: getsockopt(SO_ERROR) failed");
+    util::require_io(so_error == 0, "connect: cannot reach '" +
+                                        to_string(address) +
+                                        "': " + std::strerror(so_error));
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  util::require_io(
+      flags >= 0 && ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) == 0,
+      "connect: cannot restore blocking mode");
+}
+
+/// Arms per-operation read/write deadlines. A read blocked past the
+/// deadline fails with EAGAIN, which read_frame reports as a kError — the
+/// accepts-then-stalls server becomes a bounded-time failure.
+void arm_io_deadlines(int fd, double timeout_seconds) {
+  if (timeout_seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  util::require_io(
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+          ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0,
+      "connect: cannot set socket timeouts");
+}
+
+}  // namespace
+
+int connect_to(const Address& address, const ClientOptions& options) {
+  int fd = -1;
+  try {
+    if (address.kind == Address::Kind::kUnix) {
+      sockaddr_un sa{};
+      sa.sun_family = AF_UNIX;
+      util::require_io(address.path.size() < sizeof(sa.sun_path),
+                       "connect: unix socket path too long");
+      std::memcpy(sa.sun_path, address.path.c_str(), address.path.size() + 1);
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      util::require_io(fd >= 0, "connect: socket() failed");
+      connect_with_deadline(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa),
+                            address, options.timeout_seconds);
+    } else {
+      sockaddr_in sa{};
+      sa.sin_family = AF_INET;
+      sa.sin_port = htons(static_cast<std::uint16_t>(address.port));
+      util::require_io(
+          ::inet_pton(AF_INET, address.host.c_str(), &sa.sin_addr) == 1,
+          "connect: invalid IPv4 address '" + address.host + "'");
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      util::require_io(fd >= 0, "connect: socket() failed");
+      connect_with_deadline(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa),
+                            address, options.timeout_seconds);
+    }
+    arm_io_deadlines(fd, options.timeout_seconds);
+  } catch (...) {
+    if (fd >= 0) ::close(fd);
+    throw;
   }
   return fd;
+}
+
+int connect_to(const Address& address) {
+  return connect_to(address, ClientOptions{});
 }
 
 std::string round_trip(int fd, std::string_view request) {
@@ -237,6 +306,37 @@ std::string round_trip(int fd, std::string_view request) {
                         util::ErrorCategory::kIo);
   }
   throw util::Error("request: unreachable", util::ErrorCategory::kInternal);
+}
+
+std::string request_with_retry(const Address& address,
+                               std::string_view request,
+                               const ClientOptions& options) {
+  double delay = std::max(options.backoff_seconds, 0.0);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const int fd = connect_to(address, options);
+      std::string response;
+      try {
+        response = round_trip(fd, request);
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      ::close(fd);
+      return response;
+    } catch (const util::Error& e) {
+      // Only transport failures are worth a fresh connection; a response
+      // the server sent (even an error response) returned above.
+      if (e.category() != util::ErrorCategory::kIo ||
+          attempt >= options.retries) {
+        throw;
+      }
+    }
+    if (delay > 0.0) {
+      ::usleep(static_cast<useconds_t>(std::min(delay, 30.0) * 1e6));
+    }
+    delay = delay > 0.0 ? delay * 2.0 : 0.0;
+  }
 }
 
 }  // namespace iarank::server

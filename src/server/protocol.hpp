@@ -76,13 +76,45 @@ struct Address {
 /// Renders an Address back to its canonical "unix:..."/"tcp:..." form.
 [[nodiscard]] std::string to_string(const Address& address);
 
+/// Client-side resilience knobs. A daemon that accepted the connection
+/// and then stalled (wedged worker, paused process) must surface as a
+/// bounded-time kIo failure, not hang the client forever.
+struct ClientOptions {
+  /// Deadline for connect() and for each subsequent socket read/write
+  /// (SO_RCVTIMEO/SO_SNDTIMEO). 0 disables all deadlines (block forever).
+  double timeout_seconds = 0.0;
+
+  /// Additional attempts after the first on a transport (kIo) failure —
+  /// ECONNREFUSED, a timed-out read, a mid-frame EOF. Each attempt opens a
+  /// fresh connection. Request/response errors are never retried.
+  int retries = 0;
+
+  /// Delay before the first retry; doubles per subsequent retry.
+  double backoff_seconds = 0.05;
+};
+
 /// Connects a blocking stream socket to `address`, retrying EINTR.
 /// Throws util::Error(kIo) on failure. Caller owns the fd.
 [[nodiscard]] int connect_to(const Address& address);
 
+/// Same with a connect deadline (nonblocking connect + poll), leaving the
+/// fd blocking with SO_RCVTIMEO/SO_SNDTIMEO armed per `options`.
+[[nodiscard]] int connect_to(const Address& address,
+                             const ClientOptions& options);
+
 /// One request/response round trip over an already connected fd. Throws
 /// util::Error(kIo) on transport failure (including a response frame the
-/// peer never sent).
+/// peer never sent, and a read deadline expiring on a connect_to fd armed
+/// with timeouts).
 [[nodiscard]] std::string round_trip(int fd, std::string_view request);
+
+/// Full client call: connect, one round trip, close — retried per
+/// `options` with exponential backoff on kIo failures. The rank protocol's
+/// requests are read-only computations, so re-sending after a torn
+/// connection is safe. Throws the final attempt's error when the budget is
+/// exhausted.
+[[nodiscard]] std::string request_with_retry(const Address& address,
+                                             std::string_view request,
+                                             const ClientOptions& options);
 
 }  // namespace iarank::server

@@ -1,0 +1,144 @@
+#include "src/util/alloc_count.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "src/util/metrics.hpp"
+
+namespace iarank::util {
+
+namespace {
+
+#if defined(IARANK_ALLOC_COUNTER)
+/// Constant-initialized: usable before any static constructor runs, so
+/// allocations made during static init are counted too.
+constinit std::atomic<std::int64_t> g_alloc_total{0};
+#endif
+
+}  // namespace
+
+bool alloc_counter_enabled() {
+#if defined(IARANK_ALLOC_COUNTER)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::int64_t alloc_total() {
+#if defined(IARANK_ALLOC_COUNTER)
+  return g_alloc_total.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+void sync_alloc_counter() {
+#if defined(IARANK_ALLOC_COUNTER)
+  // Lazily registered (not at namespace scope): registering allocates, and
+  // this TU's statics may construct before the registry's.
+  static Gauge& gauge = MetricsRegistry::gauge(
+      "iarank_alloc_total",
+      "global operator-new calls since process start (IARANK_COUNT_ALLOCS)");
+  gauge.set(alloc_total());
+#endif
+}
+
+}  // namespace iarank::util
+
+#if defined(IARANK_ALLOC_COUNTER)
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  iarank::util::g_alloc_total.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    if (const std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc();
+    }
+  }
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  iarank::util::g_alloc_total.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  for (;;) {
+    void* p = nullptr;
+    if (::posix_memalign(&p, align, size) == 0) return p;
+    if (const std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc();
+    }
+  }
+}
+
+}  // namespace
+
+// Global replacements: every form forwards to the two counted allocators
+// above and frees with std::free, so new/delete pairing stays consistent
+// across the whole process (including allocations sanitizer runtimes see
+// through their malloc interceptors).
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // IARANK_ALLOC_COUNTER

@@ -1,0 +1,39 @@
+/// \file alloc_count.hpp
+/// \brief Process-wide operator-new counter exported as iarank_alloc_total.
+///
+/// Built behind the IARANK_COUNT_ALLOCS cmake option (ON by default, which
+/// defines IARANK_ALLOC_COUNTER for every target linking iarank_util).
+/// When enabled, alloc_count.cpp replaces the global operator new/delete
+/// family with malloc-backed versions that bump one constant-initialized
+/// relaxed atomic — safe from the first static initializer onward, and one
+/// relaxed fetch_add per allocation when enabled.
+///
+/// The raw count is mirrored into a registry gauge (`iarank_alloc_total`)
+/// lazily at export time via sync_alloc_counter(), called by
+/// MetricsRegistry::save()/snapshot_values(): the hot path never touches
+/// the registry, and the metrics.cpp call is what drags this translation
+/// unit out of the static archive so the replacement operators actually
+/// link in.
+///
+/// This is the allocation regression guard ROADMAP item 2 asks for: the
+/// steady-state test pins the warm-sweep allocation delta, so a kernel
+/// change that starts allocating per point fails loudly.
+
+#pragma once
+
+#include <cstdint>
+
+namespace iarank::util {
+
+/// True when the build replaces operator new (IARANK_COUNT_ALLOCS=ON).
+[[nodiscard]] bool alloc_counter_enabled();
+
+/// Allocations since process start (0 when the counter is disabled).
+[[nodiscard]] std::int64_t alloc_total();
+
+/// Copies alloc_total() into the `iarank_alloc_total` registry gauge.
+/// No-op when disabled (the gauge is then never registered, keeping the
+/// export schema honest about what was measured).
+void sync_alloc_counter();
+
+}  // namespace iarank::util

@@ -9,6 +9,7 @@
 #include "src/util/atomic_file.hpp"
 #include "src/util/digest.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
 #include "src/util/metrics.hpp"
 
 #if !defined(_WIN32)
@@ -133,7 +134,53 @@ Counter& kJournalBytesAppended = MetricsRegistry::counter(
     "iarank_checkpoint_bytes_appended_total",
     "bytes appended to checkpoint journals");
 
+// Merge-side reads of foreign journals (rank_tool explore).
+const FaultSite kSiteScan{"util.journal.scan"};
+
 }  // namespace
+
+CheckpointJournal::Scan CheckpointJournal::scan(const std::string& path,
+                                                std::uint64_t key) {
+  maybe_inject(kSiteScan);
+  Scan out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return out;
+  out.exists = true;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  require_io(!in.bad(), "CheckpointJournal: cannot read '" + path + "'");
+  const std::string content = buf.str();
+
+  std::size_t start = 0;
+  bool first = true;
+  while (start < content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      // Unterminated final line: either torn by a crash or mid-append by a
+      // live writer. Either way the intact prefix is the usable view.
+      if (out.key_matches) out.torn_tail = true;
+      break;
+    }
+    const std::string_view line(content.data() + start, nl - start);
+    start = nl + 1;
+    if (first) {
+      first = false;
+      const std::string expected = header_line(key);
+      out.key_matches =
+          line == std::string_view(expected).substr(0, expected.size() - 1);
+      if (!out.key_matches) break;
+      continue;
+    }
+    std::int64_t index = 0;
+    std::string payload;
+    if (!parse_record(line, index, payload)) {
+      out.torn_tail = true;
+      break;
+    }
+    out.entries[index] = std::move(payload);
+  }
+  return out;
+}
 
 CheckpointJournal::CheckpointJournal(std::string path, std::uint64_t key)
     : CheckpointJournal(std::move(path), key, Options{}) {}

@@ -42,6 +42,24 @@ class CheckpointJournal {
     bool fsync_each_append = true;
   };
 
+  /// Result of a read-only scan of a journal file (see scan()).
+  struct Scan {
+    std::map<std::int64_t, std::string> entries;  ///< intact records
+    bool exists = false;        ///< the file could be opened at all
+    bool key_matches = false;   ///< header present and bound to `key`
+    bool torn_tail = false;     ///< a trailing torn/corrupt record was dropped
+  };
+
+  /// Reads every intact record of `path` without mutating the file: no
+  /// compaction, no header rewrite, no append descriptor. This is the
+  /// merge-side view of a journal another process may still be appending
+  /// to (or died while appending to) — a torn tail is reported, not
+  /// repaired. A missing file or key mismatch yields empty entries with
+  /// the corresponding flags cleared. Throws util::Error (kIo) only for
+  /// read failures on an openable file (and via the `util.journal.scan`
+  /// fault site under injection).
+  [[nodiscard]] static Scan scan(const std::string& path, std::uint64_t key);
+
   /// Opens or creates `path` for the work keyed `key`. Loads every intact
   /// record from a previous run with the same key into `entries()`.
   /// Throws util::Error (kIo) when the file cannot be created or written.

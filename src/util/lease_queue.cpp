@@ -1,0 +1,330 @@
+#include "src/util/lease_queue.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/util/atomic_file.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault_injector.hpp"
+#include "src/util/metrics.hpp"
+#include "src/util/strings.hpp"
+
+namespace iarank::util {
+
+namespace {
+
+// Lease lifecycle observability (per process — each explore worker exports
+// its own registry snapshot, so these read as per-worker in the run's
+// metrics directory).
+Counter& kLeasesClaimed = MetricsRegistry::counter(
+    "iarank_explore_leases_claimed_total", "work-queue chunk leases claimed");
+Counter& kLeasesExpired = MetricsRegistry::counter(
+    "iarank_explore_leases_expired_total",
+    "expired leases reclaimed from dead or stalled workers");
+Counter& kLeasesStolen = MetricsRegistry::counter(
+    "iarank_explore_leases_stolen_total",
+    "lease ranges split by work-stealing");
+
+const FaultSite kSiteAcquire{"util.lease.acquire"};
+const FaultSite kSiteRenew{"util.lease.renew"};
+
+/// Monotonic milliseconds; CLOCK_MONOTONIC is system-wide on Linux, so
+/// heartbeats stamped by different processes are comparable.
+std::int64_t now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::int64_t>(ts.tv_nsec) / 1000000;
+}
+
+/// Blocking flock on <dir>/queue.lock, released by destruction (or by the
+/// kernel when the holder dies). The lockfile is never unlinked, so no
+/// inode-identity loop is needed (unlike the server's socket lock).
+class DirLock {
+ public:
+  explicit DirLock(const std::string& dir) {
+    const std::string path = dir + "/queue.lock";
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0600);
+    require_io(fd_ >= 0, "LeaseQueue: cannot open lockfile '" + path +
+                             "': " + std::strerror(errno));
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw Error("LeaseQueue: flock('" + path +
+                      "') failed: " + std::strerror(err),
+                  ErrorCategory::kIo);
+    }
+  }
+  ~DirLock() {
+    if (fd_ >= 0) ::close(fd_);  // closing releases the flock
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Parsed view of one chunk file. A freshly renamed lease that its claimer
+/// died before rewriting still has todo-shaped content (3 fields);
+/// `stamped` distinguishes the two shapes.
+struct ChunkFile {
+  LeaseChunk chunk;
+  bool stamped = false;        ///< 6-field lease content
+  std::string worker;          ///< empty unless stamped
+  std::int64_t heartbeat_ms = 0;
+  std::int64_t progress = 0;
+};
+
+bool parse_i64(std::string_view text, std::int64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const std::string copy(text);
+  const long long v = std::strtoll(copy.c_str(), &end, 10);
+  if (errno != 0 || end != copy.c_str() + copy.size() || copy.empty()) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_chunk_file(const std::string& path, ChunkFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::istringstream tokens(buf.str());
+  std::vector<std::string> fields;
+  std::string field;
+  while (tokens >> field) fields.push_back(field);
+  if (fields.size() != 3 && fields.size() != 6) return false;
+  std::int64_t attempts = 0;
+  if (!parse_i64(fields[0], out.chunk.lo) ||
+      !parse_i64(fields[1], out.chunk.hi) || !parse_i64(fields[2], attempts)) {
+    return false;
+  }
+  out.chunk.attempts = static_cast<int>(attempts);
+  out.stamped = fields.size() == 6;
+  if (out.stamped) {
+    out.worker = fields[3];
+    if (!parse_i64(fields[4], out.heartbeat_ms) ||
+        !parse_i64(fields[5], out.progress)) {
+      return false;
+    }
+  } else {
+    out.heartbeat_ms = 0;
+    out.progress = out.chunk.lo;
+  }
+  return true;
+}
+
+std::string todo_content(std::int64_t lo, std::int64_t hi, int attempts) {
+  std::ostringstream os;
+  os << lo << " " << hi << " " << attempts << "\n";
+  return os.str();
+}
+
+std::string lease_content(const ChunkFile& f) {
+  std::ostringstream os;
+  os << f.chunk.lo << " " << f.chunk.hi << " " << f.chunk.attempts << " "
+     << f.worker << " " << f.heartbeat_ms << " " << f.progress << "\n";
+  return os.str();
+}
+
+/// Chunk ids (== lo bounds) of every file named `<prefix><id>` in `dir`,
+/// sorted ascending for deterministic claim order.
+std::vector<std::int64_t> list_ids(const std::string& dir,
+                                   std::string_view prefix) {
+  std::vector<std::int64_t> ids;
+  DIR* d = ::opendir(dir.c_str());
+  require_io(d != nullptr, "LeaseQueue: cannot list '" + dir +
+                               "': " + std::strerror(errno));
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string_view name(entry->d_name);
+    if (!starts_with(name, prefix)) continue;
+    std::int64_t id = 0;
+    if (parse_i64(name.substr(prefix.size()), id)) ids.push_back(id);
+  }
+  ::closedir(d);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+LeaseQueue::LeaseQueue(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error("LeaseQueue: cannot create '" + dir_ +
+                    "': " + std::strerror(errno),
+                ErrorCategory::kIo);
+  }
+  const DirLock lock(dir_);  // creates the lockfile eagerly
+}
+
+void LeaseQueue::clear() {
+  const DirLock lock(dir_);
+  for (const std::int64_t id : list_ids(dir_, "todo-")) {
+    (void)::unlink((dir_ + "/todo-" + std::to_string(id)).c_str());
+  }
+  for (const std::int64_t id : list_ids(dir_, "lease-")) {
+    (void)::unlink((dir_ + "/lease-" + std::to_string(id)).c_str());
+  }
+}
+
+void LeaseQueue::enqueue(std::int64_t lo, std::int64_t hi, int attempts) {
+  if (lo >= hi) return;
+  const DirLock lock(dir_);
+  atomic_write_file(dir_ + "/todo-" + std::to_string(lo),
+                    todo_content(lo, hi, attempts));
+}
+
+std::optional<LeaseChunk> LeaseQueue::claim(const std::string& worker) {
+  maybe_inject(kSiteAcquire);
+  const DirLock lock(dir_);
+  const std::vector<std::int64_t> todos = list_ids(dir_, "todo-");
+  if (todos.empty()) return std::nullopt;
+  const std::int64_t id = todos.front();
+  const std::string todo_path = dir_ + "/todo-" + std::to_string(id);
+  const std::string lease_path = dir_ + "/lease-" + std::to_string(id);
+
+  ChunkFile f;
+  require_io(parse_chunk_file(todo_path, f) && !f.stamped,
+             "LeaseQueue: unreadable chunk file '" + todo_path + "'");
+  require_io(::rename(todo_path.c_str(), lease_path.c_str()) == 0,
+             "LeaseQueue: claim rename failed for '" + todo_path +
+                 "': " + std::strerror(errno));
+  f.stamped = true;
+  f.worker = worker;
+  f.heartbeat_ms = now_ms();
+  f.progress = f.chunk.lo;
+  atomic_write_file(lease_path, lease_content(f));
+  kLeasesClaimed.inc();
+  return f.chunk;
+}
+
+std::optional<std::int64_t> LeaseQueue::renew(const LeaseChunk& chunk,
+                                              const std::string& worker,
+                                              std::int64_t progress) {
+  maybe_inject(kSiteRenew);
+  const DirLock lock(dir_);
+  const std::string path = dir_ + "/lease-" + std::to_string(chunk.lo);
+  ChunkFile f;
+  if (!parse_chunk_file(path, f) || !f.stamped || f.worker != worker) {
+    return std::nullopt;  // reclaimed (and possibly re-owned) — abandon
+  }
+  f.heartbeat_ms = now_ms();
+  f.progress = std::min(std::max(progress, f.chunk.lo), f.chunk.hi);
+  atomic_write_file(path, lease_content(f));
+  return f.chunk.hi;
+}
+
+void LeaseQueue::complete(const LeaseChunk& chunk, const std::string& worker) {
+  const DirLock lock(dir_);
+  const std::string path = dir_ + "/lease-" + std::to_string(chunk.lo);
+  ChunkFile f;
+  if (!parse_chunk_file(path, f) || !f.stamped || f.worker != worker) {
+    return;  // reclaimed from under us; the new owner's copy wins
+  }
+  (void)::unlink(path.c_str());
+}
+
+bool LeaseQueue::steal(const std::string& thief) {
+  const DirLock lock(dir_);
+  ChunkFile best;
+  std::int64_t best_remaining = 0;
+  for (const std::int64_t id : list_ids(dir_, "lease-")) {
+    const std::string path = dir_ + "/lease-" + std::to_string(id);
+    ChunkFile f;
+    if (!parse_chunk_file(path, f) || !f.stamped || f.worker == thief) {
+      continue;  // torn claims are reclaim's job, not steal's
+    }
+    const std::int64_t remaining = f.chunk.hi - f.progress;
+    if (remaining > best_remaining) {
+      best_remaining = remaining;
+      best = f;
+    }
+  }
+  if (best_remaining < 2 * options_.min_steal_points) return false;
+
+  const std::int64_t mid = best.progress + best_remaining / 2;
+  // Order matters for crash-consistency: shrink the victim before the new
+  // todo exists and a coordinator crash in between would lose [mid, hi)
+  // until the victim's lease expired — writing the todo first only risks a
+  // transient overlap, which journal dedup absorbs.
+  atomic_write_file(dir_ + "/todo-" + std::to_string(mid),
+                    todo_content(mid, best.chunk.hi, best.chunk.attempts));
+  best.chunk.hi = mid;
+  atomic_write_file(dir_ + "/lease-" + std::to_string(best.chunk.lo),
+                    lease_content(best));
+  kLeasesStolen.inc();
+  return true;
+}
+
+std::vector<LeaseQueue::Reclaimed> LeaseQueue::reclaim_expired() {
+  const DirLock lock(dir_);
+  std::vector<Reclaimed> out;
+  const std::int64_t now = now_ms();
+  const std::int64_t ttl_ms =
+      static_cast<std::int64_t>(options_.lease_ttl_seconds * 1000.0);
+  for (const std::int64_t id : list_ids(dir_, "lease-")) {
+    const std::string path = dir_ + "/lease-" + std::to_string(id);
+    ChunkFile f;
+    if (!parse_chunk_file(path, f)) continue;
+    const bool torn_claim = !f.stamped;
+    // A heartbeat in the future means CLOCK_MONOTONIC restarted under the
+    // lease (reboot mid-run): its worker is gone, and waiting for `now` to
+    // catch up could stall for the machine's whole previous uptime.
+    const bool from_before_reboot = f.heartbeat_ms > now;
+    if (!torn_claim && !from_before_reboot && now - f.heartbeat_ms <= ttl_ms) {
+      continue;
+    }
+
+    Reclaimed r;
+    r.worker = f.worker;
+    r.taken_lo = f.chunk.lo;
+    r.chunk.lo = f.progress;
+    r.chunk.hi = f.chunk.hi;
+    r.chunk.attempts = f.chunk.attempts + 1;
+    if (r.chunk.lo < r.chunk.hi) {
+      // Requeue before unlinking: a crash in between leaves an overlap
+      // (requeued todo + dead lease), which a later reclaim collapses and
+      // journal dedup absorbs — never a lost range.
+      atomic_write_file(
+          dir_ + "/todo-" + std::to_string(r.chunk.lo),
+          todo_content(r.chunk.lo, r.chunk.hi, r.chunk.attempts));
+    }
+    (void)::unlink(path.c_str());
+    kLeasesExpired.inc();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool LeaseQueue::idle() {
+  const DirLock lock(dir_);
+  return list_ids(dir_, "todo-").empty() && list_ids(dir_, "lease-").empty();
+}
+
+std::size_t LeaseQueue::todo_count() {
+  const DirLock lock(dir_);
+  return list_ids(dir_, "todo-").size();
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,130 @@
+/// \file lease_queue.hpp
+/// \brief File-based leased work queue for multi-process exploration.
+///
+/// A queue lives in a directory shared by one coordinator and N worker
+/// processes (same host; the files are tiny and every mutation happens
+/// under an flock). State is the set of chunk files:
+///
+///   queue.lock    flock'd (blocking, per operation) — serializes every
+///                 mutation below. The kernel releases it when a holder
+///                 dies, so a SIGKILL mid-operation never wedges the
+///                 queue.
+///   todo-<lo>     an unclaimed chunk of grid indices [lo, hi):
+///                 "<lo> <hi> <attempts>"
+///   lease-<lo>    a claimed chunk:
+///                 "<lo> <hi> <attempts> <worker> <heartbeat_ms> <progress>"
+///
+/// Chunk ranges are disjoint by construction (enqueue, claim, steal and
+/// reclaim preserve this), so `lo` doubles as the chunk id. Claiming is
+/// rename(todo-X, lease-X) followed by an atomic content rewrite; a
+/// worker killed between the two leaves a 3-field lease file, which
+/// reclaim treats as already expired. Leases are renewed on a heartbeat
+/// carrying the worker's progress (the next index it will evaluate);
+/// reclaim requeues only [progress, hi) since everything before progress
+/// is already journaled. Stealing splits the remaining range of the
+/// largest live foreign lease so stragglers don't dominate the tail of a
+/// run.
+///
+/// Crash-safety: every file appears via atomic_write_file or rename, so
+/// readers never observe a half-written chunk file; the lock makes each
+/// operation atomic against other processes.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iarank::util {
+
+/// One chunk of work: grid indices [lo, hi).
+struct LeaseChunk {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  int attempts = 0;  ///< times this range has been (re)queued after a claim
+};
+
+class LeaseQueue {
+ public:
+  struct Options {
+    /// A lease whose heartbeat is older than this is reclaimable.
+    double lease_ttl_seconds = 10.0;
+    /// Never steal fewer than this many points (and never leave the victim
+    /// with fewer): chunks below 2*min_steal_points are not split.
+    std::int64_t min_steal_points = 16;
+  };
+
+  /// Opens the queue rooted at `dir`, creating the directory and lockfile
+  /// when absent. Throws util::Error (kIo) on failure.
+  LeaseQueue(std::string dir, Options options);
+
+  LeaseQueue(const LeaseQueue&) = delete;
+  LeaseQueue& operator=(const LeaseQueue&) = delete;
+
+  /// Adds an unclaimed chunk [lo, hi). No-op when lo >= hi.
+  void enqueue(std::int64_t lo, std::int64_t hi, int attempts);
+
+  /// Deletes every todo and lease file. The coordinator calls this once at
+  /// startup: it owns the queue lifecycle, and chunk files surviving a dead
+  /// previous coordinator describe work it is about to re-derive from the
+  /// journals anyway (any orphaned worker still holding one of those leases
+  /// merely journals duplicates, which merge dedup absorbs).
+  void clear();
+
+  /// Claims the lowest unclaimed chunk for `worker`, stamping a fresh
+  /// heartbeat with progress = lo. Returns nullopt when no todo chunk
+  /// exists (which does not mean the queue is idle — see idle()).
+  /// Fault site: `util.lease.acquire`.
+  [[nodiscard]] std::optional<LeaseChunk> claim(const std::string& worker);
+
+  /// Renews the heartbeat of `chunk` held by `worker`, recording that all
+  /// indices below `progress` are journaled. Returns the chunk's current
+  /// upper bound — a steal may have shrunk it below chunk.hi, in which
+  /// case the caller must stop early. Returns nullopt when the lease is
+  /// gone or owned by someone else (reclaimed after a stall): the caller
+  /// must abandon the chunk without completing it.
+  /// Fault site: `util.lease.renew`.
+  [[nodiscard]] std::optional<std::int64_t> renew(const LeaseChunk& chunk,
+                                                  const std::string& worker,
+                                                  std::int64_t progress);
+
+  /// Releases a finished chunk (deletes the lease). A missing or
+  /// foreign-owned lease is ignored: the chunk was reclaimed, and the
+  /// new owner's results will dedup against ours at merge.
+  void complete(const LeaseChunk& chunk, const std::string& worker);
+
+  /// Splits the largest live foreign lease's remaining range, enqueueing
+  /// its upper half as a new todo chunk. Returns true when a chunk was
+  /// created (the thief should then claim()).
+  bool steal(const std::string& thief);
+
+  /// Description of one reclaimed lease, for the coordinator's
+  /// suspect-point scan.
+  struct Reclaimed {
+    LeaseChunk chunk;        ///< the requeued range [progress, hi)
+    std::string worker;      ///< last owner ("" for a torn claim)
+    std::int64_t taken_lo = 0;  ///< original lower bound of the dead lease
+  };
+
+  /// Coordinator only: requeues every expired lease (stale heartbeat, or
+  /// a torn 3-field claim) as todo with attempts+1, dropping the already
+  /// journaled prefix [taken_lo, progress). Fully-progressed leases are
+  /// simply deleted.
+  std::vector<Reclaimed> reclaim_expired();
+
+  /// True when no todo and no lease files exist: every enqueued index has
+  /// been completed (or its worker finished and released the chunk).
+  [[nodiscard]] bool idle();
+
+  /// Number of unclaimed chunks (diagnostic).
+  [[nodiscard]] std::size_t todo_count();
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  Options options_;
+};
+
+}  // namespace iarank::util

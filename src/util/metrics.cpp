@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/util/alloc_count.hpp"
 #include "src/util/atomic_file.hpp"
 #include "src/util/error.hpp"
 #include "src/util/strings.hpp"
@@ -159,6 +160,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  sync_alloc_counter();  // before taking mutex_: registration locks too
   // Machine-readable export: pin the classic locale so integer insertion
   // never picks up thousands grouping from a locale-imbued stream.
   os.imbue(std::locale::classic());
@@ -200,6 +202,7 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
+  sync_alloc_counter();  // before taking mutex_: registration locks too
   os.imbue(std::locale::classic());
   const std::scoped_lock lock(mutex_);
   os << "{\n";
@@ -250,6 +253,7 @@ void MetricsRegistry::save(const std::string& path) const {
 }
 
 std::map<std::string, std::int64_t> MetricsRegistry::snapshot_values() const {
+  sync_alloc_counter();  // refresh iarank_alloc_total before snapshotting
   const std::scoped_lock lock(mutex_);
   std::map<std::string, std::int64_t> out;
   for (const auto& entry : entries_) {

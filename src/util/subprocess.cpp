@@ -1,0 +1,81 @@
+#include "src/util/subprocess.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "src/util/error.hpp"
+
+namespace iarank::util {
+
+namespace {
+
+ChildExit from_status(pid_t pid, int status) {
+  ChildExit out;
+  out.pid = pid;
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.term_signal = WTERMSIG(status);
+  }
+  return out;
+}
+
+}  // namespace
+
+pid_t spawn_child(const std::function<int()>& body) {
+  // The child inherits stdio buffers; flush so pending parent output is
+  // not replayed from the child's copy.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw Error("spawn_child: fork failed: " + std::string(std::strerror(errno)),
+                ErrorCategory::kInternal);
+  }
+  if (pid == 0) {
+    int code = 125;
+    try {
+      code = body();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "child %d: %s\n", static_cast<int>(::getpid()),
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr, "child %d: unknown exception\n",
+                   static_cast<int>(::getpid()));
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    ::_exit(code);
+  }
+  return pid;
+}
+
+std::optional<ChildExit> try_wait_any() {
+  int status = 0;
+  const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+  if (pid <= 0) return std::nullopt;  // 0 = running, -1/ECHILD = none
+  return from_status(pid, status);
+}
+
+ChildExit wait_child(pid_t pid) {
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid, &status, 0);
+  } while (got < 0 && errno == EINTR);
+  if (got != pid) {
+    throw Error("wait_child: waitpid failed: " +
+                    std::string(std::strerror(errno)),
+                ErrorCategory::kInternal);
+  }
+  return from_status(pid, status);
+}
+
+}  // namespace iarank::util

@@ -1,0 +1,51 @@
+/// \file subprocess.hpp
+/// \brief fork()-based child process helpers for the explore coordinator.
+///
+/// The coordinator shards work across real processes (not threads) so a
+/// crashing or SIGKILLed worker cannot take the run down. Children run a
+/// C++ callable in the forked image and _exit() with its return value —
+/// there is no exec, so a child shares the parent's code but must not
+/// return into the parent's stack (gtest main, atexit handlers, static
+/// destructors are all skipped by _exit).
+///
+/// Fork-ordering discipline: fork before creating threads. A child forked
+/// after ThreadPool::shared() exists inherits a threadless pool;
+/// parallel_for detects this by pid and runs inline (see thread_pool.hpp),
+/// but any *other* lock held by a non-forked thread at fork time is
+/// undefined — so the coordinator forks all workers before doing any
+/// threaded work of its own.
+
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+
+namespace iarank::util {
+
+/// Terminal state of a waited-for child.
+struct ChildExit {
+  pid_t pid = -1;
+  bool exited = false;     ///< normal _exit; exit_code valid
+  int exit_code = -1;
+  bool signaled = false;   ///< killed by a signal; term_signal valid
+  int term_signal = 0;
+
+  [[nodiscard]] bool ok() const { return exited && exit_code == 0; }
+};
+
+/// Forks and runs `body` in the child, flushing stdio first so buffered
+/// output is not emitted twice. The child calls _exit(body()); an
+/// exception escaping `body` becomes exit code 125. Throws util::Error
+/// (kInternal) when fork fails.
+[[nodiscard]] pid_t spawn_child(const std::function<int()>& body);
+
+/// Non-blocking reap of any child. Returns nullopt when no child has
+/// exited (or none exist).
+[[nodiscard]] std::optional<ChildExit> try_wait_any();
+
+/// Blocking wait for one specific child.
+[[nodiscard]] ChildExit wait_child(pid_t pid);
+
+}  // namespace iarank::util

@@ -1,5 +1,7 @@
 #include "src/util/thread_pool.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <exception>
@@ -93,7 +95,7 @@ struct Batch {
 
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned workers) {
+ThreadPool::ThreadPool(unsigned workers) : creator_pid_(::getpid()) {
   workers_.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -136,6 +138,13 @@ void ThreadPool::parallel_for(std::size_t n, unsigned parallelism,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
+  if (::getpid() != creator_pid_) {
+    // Forked child: the worker threads did not survive fork, and mutex_ may
+    // have been held by one of them at fork time. Run inline without ever
+    // touching the pool's shared state.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const unsigned capacity = worker_count() + 1;  // workers + calling thread
   unsigned p = parallelism == 0 ? capacity : std::min(parallelism, capacity);
   const std::size_t blocks = (n + grain - 1) / grain;

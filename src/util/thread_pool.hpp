@@ -17,6 +17,8 @@
 
 #pragma once
 
+#include <sys/types.h>
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -67,6 +69,12 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  /// fork() does not duplicate worker threads, so a child that inherits a
+  /// pool created by its parent must never enqueue work on it (the queue
+  /// would grow unbounded and the inherited mutex may be mid-acquire).
+  /// parallel_for detects this by pid and runs inline in the child.
+  const pid_t creator_pid_;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kill-storm chaos test for `rank_tool explore`: run a 10^5-point grid
+# sharded across worker processes while SIGKILLing random workers every
+# few hundred milliseconds, and require (a) the run to complete, (b) no
+# point to be quarantined (the storm is fault-free — every kill is
+# external), and (c) the merged points.csv / pareto.csv to be
+# byte-identical to an uninterrupted single-process run. SIGKILL cannot
+# be trapped, so this exercises the real crash contract: leased chunks
+# reclaimed from dead workers, journals with torn tails, duplicate
+# records from steal/reclaim overlap — all merged back to the exact
+# clean-run bytes.
+#
+# usage: explore_chaos_smoke.sh <rank_tool> [workers]
+set -euo pipefail
+
+RANK_TOOL=${1:?usage: explore_chaos_smoke.sh <rank_tool> [workers]}
+WORKERS=${2:-4}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# 20 x 10 x 2 x 25 x 10 = 100000 grid points, each cheap enough that the
+# whole grid stays a smoke test but the worker phase lasts long enough
+# for the storm to land many kills mid-chunk.
+cat > "$WORK/grid.explore" << 'EOF'
+gates = 50000
+bunch_size = 2500
+explore.K = 2.2:3.9:20
+explore.M = 1.0:2.0:10
+explore.target_model = linear, sqrt
+explore.C = 4e8:8e8:25
+explore.R = 0.25:0.45:10
+EOF
+
+# Reference: one uninterrupted single-process run.
+"$RANK_TOOL" explore "$WORK/grid.explore" --dir "$WORK/clean" \
+  --jobs "$WORKERS" > "$WORK/clean_stdout.txt"
+grep -q 'quarantined 0' "$WORK/clean_stdout.txt"
+
+# Chaos run: workers with a short lease TTL and small chunks, under a
+# storm that SIGKILLs a random child of the coordinator every 0.2-0.4s.
+"$RANK_TOOL" explore "$WORK/grid.explore" --dir "$WORK/chaos" \
+  --workers "$WORKERS" --chunk 128 --lease-ttl 1 \
+  > "$WORK/chaos_stdout.txt" &
+COORD=$!
+
+KILLS=0
+while kill -0 "$COORD" 2> /dev/null; do
+  sleep "0.$((2 + RANDOM % 3))"
+  # Storm only while unfinished chunks exist: the queue directory holds
+  # todo-*/lease-* files exactly while the worker phase is live, so the
+  # storm never hits the merge phase's salvage children (killing those
+  # would legitimately quarantine a point and change the output).
+  if ! compgen -G "$WORK/chaos/queue/todo-*" > /dev/null \
+     && ! compgen -G "$WORK/chaos/queue/lease-*" > /dev/null; then
+    break
+  fi
+  mapfile -t VICTIMS < <(pgrep -P "$COORD" || true)
+  [ "${#VICTIMS[@]}" -gt 0 ] || continue
+  if kill -9 "${VICTIMS[$((RANDOM % ${#VICTIMS[@]}))]}" 2> /dev/null; then
+    KILLS=$((KILLS + 1))
+  fi
+done
+
+wait "$COORD"
+echo "storm landed $KILLS worker kills"
+cat "$WORK/chaos_stdout.txt"
+
+if [ "$KILLS" -lt 1 ]; then
+  echo "FAIL: the storm never landed a kill — grid too small for this host" >&2
+  exit 1
+fi
+grep -q 'quarantined 0' "$WORK/chaos_stdout.txt" \
+  || { echo "FAIL: fault-free kills must not quarantine points" >&2; exit 1; }
+
+cmp "$WORK/clean/points.csv" "$WORK/chaos/points.csv"
+cmp "$WORK/clean/pareto.csv" "$WORK/chaos/pareto.csv"
+echo "OK: chaos-run merge is byte-identical to the uninterrupted run"

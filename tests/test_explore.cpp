@@ -1,0 +1,481 @@
+/// \file test_explore.cpp
+/// \brief Crash-tolerant exploration: lease-queue semantics, journal scan
+///        and merge edge cases, spec parsing, and the standing invariant
+///        that a sharded worker run is bitwise-identical to a clean
+///        single-process run — including under injected worker crashes.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/core/explore.hpp"
+#include "src/util/config.hpp"
+#include "src/util/error.hpp"
+#include "src/util/journal.hpp"
+#include "src/util/lease_queue.hpp"
+
+namespace iarank {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_path(const std::string& name) {
+  // Per-process suffix: ctest runs each discovered test as its own
+  // process, in parallel — a shared fixed path would race.
+  const fs::path dir = fs::path(testing::TempDir()) /
+                       (name + "." + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ---------------------------------------------------------------------------
+// LeaseQueue
+
+TEST(LeaseQueue, ClaimRenewCompleteLifecycle) {
+  util::LeaseQueue queue(scratch_path("lq_lifecycle"), {});
+  EXPECT_TRUE(queue.idle());
+  EXPECT_FALSE(queue.claim("a").has_value());
+
+  queue.enqueue(0, 100, 0);
+  EXPECT_FALSE(queue.idle());
+  EXPECT_EQ(queue.todo_count(), 1u);
+
+  const std::optional<util::LeaseChunk> chunk = queue.claim("a");
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->lo, 0);
+  EXPECT_EQ(chunk->hi, 100);
+  EXPECT_EQ(chunk->attempts, 0);
+  EXPECT_EQ(queue.todo_count(), 0u);
+  EXPECT_FALSE(queue.idle());  // leased, not done
+
+  const std::optional<std::int64_t> hi = queue.renew(*chunk, "a", 40);
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_EQ(*hi, 100);
+
+  queue.complete(*chunk, "a");
+  EXPECT_TRUE(queue.idle());
+}
+
+TEST(LeaseQueue, ClaimsLowestChunkFirst) {
+  util::LeaseQueue queue(scratch_path("lq_order"), {});
+  queue.enqueue(100, 200, 0);
+  queue.enqueue(0, 100, 0);
+  const std::optional<util::LeaseChunk> chunk = queue.claim("a");
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->lo, 0);
+}
+
+TEST(LeaseQueue, RenewReportsForeignOrMissingLease) {
+  util::LeaseQueue queue(scratch_path("lq_foreign"), {});
+  queue.enqueue(0, 50, 0);
+  const std::optional<util::LeaseChunk> chunk = queue.claim("a");
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_FALSE(queue.renew(*chunk, "b", 10).has_value());  // not the owner
+  queue.complete(*chunk, "b");                             // ignored: foreign
+  EXPECT_FALSE(queue.idle());
+  queue.complete(*chunk, "a");
+  EXPECT_TRUE(queue.idle());
+  EXPECT_FALSE(queue.renew(*chunk, "a", 10).has_value());  // lease gone
+}
+
+TEST(LeaseQueue, StealSplitsLargestForeignLease) {
+  util::LeaseQueue queue(scratch_path("lq_steal"), {});
+  queue.enqueue(0, 100, 0);
+  const std::optional<util::LeaseChunk> victim = queue.claim("a");
+  ASSERT_TRUE(victim.has_value());
+
+  EXPECT_FALSE(queue.steal("a"));  // never steals from itself
+  ASSERT_TRUE(queue.steal("b"));
+  const std::optional<util::LeaseChunk> stolen = queue.claim("b");
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->lo, 50);
+  EXPECT_EQ(stolen->hi, 100);
+
+  // The victim learns about the shrink on its next heartbeat.
+  const std::optional<std::int64_t> hi = queue.renew(*victim, "a", 10);
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_EQ(*hi, 50);
+}
+
+TEST(LeaseQueue, StealRespectsMinimumChunk) {
+  util::LeaseQueue queue(scratch_path("lq_steal_min"), {});
+  queue.enqueue(0, 20, 0);  // below 2 * min_steal_points = 32
+  ASSERT_TRUE(queue.claim("a").has_value());
+  EXPECT_FALSE(queue.steal("b"));
+}
+
+TEST(LeaseQueue, ReclaimRequeuesOnlyUnjournaledRemainder) {
+  util::LeaseQueue::Options options;
+  options.lease_ttl_seconds = 0.05;
+  util::LeaseQueue queue(scratch_path("lq_reclaim"), options);
+  queue.enqueue(0, 100, 0);
+  const std::optional<util::LeaseChunk> chunk = queue.claim("a");
+  ASSERT_TRUE(chunk.has_value());
+  ASSERT_TRUE(queue.renew(*chunk, "a", 40).has_value());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  const std::vector<util::LeaseQueue::Reclaimed> reclaimed =
+      queue.reclaim_expired();
+  ASSERT_EQ(reclaimed.size(), 1u);
+  EXPECT_EQ(reclaimed[0].worker, "a");
+  EXPECT_EQ(reclaimed[0].taken_lo, 0);
+  EXPECT_EQ(reclaimed[0].chunk.lo, 40);  // [0, 40) is already journaled
+  EXPECT_EQ(reclaimed[0].chunk.hi, 100);
+  EXPECT_EQ(reclaimed[0].chunk.attempts, 1);
+
+  const std::optional<util::LeaseChunk> retaken = queue.claim("b");
+  ASSERT_TRUE(retaken.has_value());
+  EXPECT_EQ(retaken->lo, 40);
+  EXPECT_EQ(retaken->attempts, 1);
+}
+
+TEST(LeaseQueue, TornClaimIsExpiredImmediately) {
+  util::LeaseQueue queue(scratch_path("lq_torn"), {});
+  // A worker SIGKILLed between rename(todo, lease) and the content rewrite
+  // leaves the original 3-field todo body under the lease name.
+  write_file(queue.dir() + "/lease-0", "0 10 2\n");
+  const std::vector<util::LeaseQueue::Reclaimed> reclaimed =
+      queue.reclaim_expired();
+  ASSERT_EQ(reclaimed.size(), 1u);
+  EXPECT_EQ(reclaimed[0].worker, "");
+  EXPECT_EQ(reclaimed[0].chunk.lo, 0);
+  EXPECT_EQ(reclaimed[0].chunk.hi, 10);
+  EXPECT_EQ(reclaimed[0].chunk.attempts, 3);
+}
+
+TEST(LeaseQueue, HeartbeatFromBeforeRebootIsExpired) {
+  util::LeaseQueue queue(scratch_path("lq_reboot"), {});
+  // CLOCK_MONOTONIC restarts at boot, so a pre-reboot heartbeat sits in
+  // the apparent future forever. It must count as expired, not as fresh.
+  write_file(queue.dir() + "/lease-0", "0 10 0 w 9000000000000000 3\n");
+  const std::vector<util::LeaseQueue::Reclaimed> reclaimed =
+      queue.reclaim_expired();
+  ASSERT_EQ(reclaimed.size(), 1u);
+  EXPECT_EQ(reclaimed[0].worker, "w");
+  EXPECT_EQ(reclaimed[0].chunk.lo, 3);  // progress survives the reboot
+  EXPECT_EQ(reclaimed[0].chunk.hi, 10);
+}
+
+TEST(LeaseQueue, ClearRemovesEveryChunkFile) {
+  util::LeaseQueue queue(scratch_path("lq_clear"), {});
+  queue.enqueue(0, 100, 0);
+  queue.enqueue(100, 200, 0);
+  ASSERT_TRUE(queue.claim("a").has_value());
+  EXPECT_FALSE(queue.idle());
+  queue.clear();
+  EXPECT_TRUE(queue.idle());
+  EXPECT_EQ(queue.todo_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointJournal::scan — the read-only merge-side view
+
+TEST(JournalScan, MissingFile) {
+  const util::CheckpointJournal::Scan scan = util::CheckpointJournal::scan(
+      scratch_path("js_missing") + "/nope.journal", 7);
+  EXPECT_FALSE(scan.exists);
+  EXPECT_FALSE(scan.key_matches);
+  EXPECT_TRUE(scan.entries.empty());
+}
+
+TEST(JournalScan, ZeroByteFileHasNoKeyAndNoEntries) {
+  const std::string dir = scratch_path("js_empty");
+  fs::create_directories(dir);
+  const std::string path = dir + "/empty.journal";
+  write_file(path, "");
+  const util::CheckpointJournal::Scan scan =
+      util::CheckpointJournal::scan(path, 7);
+  EXPECT_TRUE(scan.exists);
+  EXPECT_FALSE(scan.key_matches);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_TRUE(scan.entries.empty());
+}
+
+TEST(JournalScan, KeyMismatchYieldsNoEntries) {
+  const std::string dir = scratch_path("js_key");
+  fs::create_directories(dir);
+  const std::string path = dir + "/j.journal";
+  {
+    util::CheckpointJournal journal(path, 1, {false});
+    journal.append(0, "zero");
+  }
+  const util::CheckpointJournal::Scan scan =
+      util::CheckpointJournal::scan(path, 2);
+  EXPECT_TRUE(scan.exists);
+  EXPECT_FALSE(scan.key_matches);
+  EXPECT_TRUE(scan.entries.empty());
+}
+
+TEST(JournalScan, TornTailIsReportedAndPrefixKept) {
+  const std::string dir = scratch_path("js_torn");
+  fs::create_directories(dir);
+  const std::string path = dir + "/j.journal";
+  {
+    util::CheckpointJournal journal(path, 9, {false});
+    journal.append(0, "first");
+    journal.append(1, "second");
+  }
+  const std::string full = read_file(path);
+  write_file(path, full.substr(0, full.size() - 3));  // tear the last record
+
+  const util::CheckpointJournal::Scan scan =
+      util::CheckpointJournal::scan(path, 9);
+  EXPECT_TRUE(scan.key_matches);
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.entries.size(), 1u);
+  EXPECT_EQ(scan.entries.at(0), "first");
+}
+
+TEST(JournalScan, LaterRecordForSameIndexWins) {
+  const std::string dir = scratch_path("js_rewrite");
+  fs::create_directories(dir);
+  const std::string path = dir + "/j.journal";
+  {
+    util::CheckpointJournal journal(path, 9, {false});
+    journal.append(4, "!");  // intent marker: "about to evaluate index 4"
+    journal.append(4, "completed");
+  }
+  const util::CheckpointJournal::Scan scan =
+      util::CheckpointJournal::scan(path, 9);
+  ASSERT_EQ(scan.entries.size(), 1u);
+  EXPECT_EQ(scan.entries.at(4), "completed");
+}
+
+// ---------------------------------------------------------------------------
+// ExploreSpec parsing
+
+constexpr const char* kSpecText =
+    "gates = 20000\n"
+    "bunch_size = 2000\n"
+    "explore.K = 2.2:3.9:3\n"
+    "explore.M = 1.0, 2.0\n"
+    "explore.R = 0.3, 0.4\n";
+
+core::ExploreSpec test_spec() {
+  return core::ExploreSpec::parse(util::Config::parse(kSpecText));
+}
+
+TEST(ExploreSpec, ParsesListsAndLinspace) {
+  const core::ExploreSpec spec = test_spec();
+  ASSERT_EQ(spec.k_values().size(), 3u);  // lo:hi:n linspace
+  EXPECT_DOUBLE_EQ(spec.k_values()[0], 2.2);
+  EXPECT_DOUBLE_EQ(spec.k_values()[1], 3.05);
+  EXPECT_DOUBLE_EQ(spec.k_values()[2], 3.9);
+  ASSERT_EQ(spec.m_values().size(), 2u);  // explicit comma list
+  EXPECT_DOUBLE_EQ(spec.m_values()[1], 2.0);
+  // Unswept dimensions collapse to the single base value.
+  EXPECT_EQ(spec.nodes().size(), 1u);
+  EXPECT_EQ(spec.rent_ps().size(), 1u);
+  EXPECT_EQ(spec.target_models().size(), 1u);
+  EXPECT_EQ(spec.c_values().size(), 1u);
+  EXPECT_EQ(spec.total_points(), 3 * 2 * 2);
+}
+
+TEST(ExploreSpec, ScenarioDecomposesRowMajorWithRFastest) {
+  const core::ExploreSpec spec = test_spec();
+  std::int64_t index = 0;
+  for (std::size_t k = 0; k < spec.k_values().size(); ++k) {
+    for (std::size_t m = 0; m < spec.m_values().size(); ++m) {
+      for (std::size_t r = 0; r < spec.r_values().size(); ++r, ++index) {
+        const core::ExploreSpec::Scenario s = spec.scenario(index);
+        EXPECT_EQ(s.k, k) << index;
+        EXPECT_EQ(s.m, m) << index;
+        EXPECT_EQ(s.r, r) << index;
+        EXPECT_EQ(s.node, 0u);
+        const core::RankOptions options = spec.options_at(s);
+        EXPECT_DOUBLE_EQ(options.ild_permittivity, spec.k_values()[k]);
+        EXPECT_DOUBLE_EQ(options.miller_factor, spec.m_values()[m]);
+        EXPECT_DOUBLE_EQ(options.repeater_fraction, spec.r_values()[r]);
+      }
+    }
+  }
+  EXPECT_EQ(index, spec.total_points());
+}
+
+TEST(ExploreSpec, RejectsRentSweepOverFixedWldFile) {
+  const std::string dir = scratch_path("spec_wldfile");
+  fs::create_directories(dir);
+  const std::string wld_path = dir + "/fixed.wld";
+  write_file(wld_path, "600 2\n350 30\n180 200\n90 1500\n40 2200\n");
+  const std::string text = "gates = 20000\nwld.file = " + wld_path +
+                           "\nexplore.rent_p = 0.55, 0.65\n";
+  EXPECT_THROW(
+      { (void)core::ExploreSpec::parse(util::Config::parse(text)); },
+      util::Error);
+}
+
+TEST(ExploreSpec, KeyTracksDimensionValues) {
+  const core::ExploreSpec a = test_spec();
+  const core::ExploreSpec b = test_spec();
+  EXPECT_EQ(a.key(), b.key());
+  const std::string changed = std::string(kSpecText) + "explore.C = 4e8, 6e8\n";
+  const core::ExploreSpec c =
+      core::ExploreSpec::parse(util::Config::parse(changed));
+  EXPECT_NE(a.key(), c.key());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: merge, dedup, torn tails, crash salvage, bitwise identity
+
+struct CleanRun {
+  core::ExploreResult result;
+  std::string dir;
+  std::string points_csv;
+  std::string pareto_csv;
+};
+
+/// One shared clean reference run (workers = 0): every other e2e test
+/// compares its outputs byte-for-byte against this.
+const CleanRun& clean_run() {
+  static const CleanRun run = [] {
+    CleanRun r;
+    r.dir = scratch_path("explore_clean");
+    core::ExploreOptions options;
+    options.dir = r.dir;
+    options.jobs = 2;
+    r.result = core::run_explore(test_spec(), options);
+    r.points_csv = read_file(r.dir + "/points.csv");
+    r.pareto_csv = read_file(r.dir + "/pareto.csv");
+    return r;
+  }();
+  return run;
+}
+
+TEST(Explore, CleanRunEvaluatesWholeGrid) {
+  const CleanRun& clean = clean_run();
+  EXPECT_EQ(static_cast<std::int64_t>(clean.result.points.size()),
+            test_spec().total_points());
+  EXPECT_GT(clean.result.ok, 0);
+  EXPECT_EQ(clean.result.quarantined, 0);
+  EXPECT_FALSE(clean.result.pareto.empty());
+  EXPECT_NE(clean.points_csv.find("index,node,rent_p"), std::string::npos);
+}
+
+TEST(Explore, WorkerRunIsBitwiseIdenticalToCleanRun) {
+  const CleanRun& clean = clean_run();
+  core::ExploreOptions options;
+  options.dir = scratch_path("explore_workers");
+  options.workers = 2;
+  options.chunk_points = 3;
+  const core::ExploreResult result = core::run_explore(test_spec(), options);
+  EXPECT_EQ(result.ok, clean.result.ok);
+  EXPECT_EQ(result.quarantined, 0);
+  EXPECT_EQ(read_file(options.dir + "/points.csv"), clean.points_csv);
+  EXPECT_EQ(read_file(options.dir + "/pareto.csv"), clean.pareto_csv);
+}
+
+TEST(Explore, MergesTwoTornJournalsWithDuplicatesBitwiseIdentically) {
+  const CleanRun& clean = clean_run();
+  // Two overlapping journal copies, each with its last record torn mid-line
+  // (a SIGKILL mid-append on two workers at once). Merge must count both
+  // tails, dedup the bitwise-equal overlap, and recompute only the torn-off
+  // indices — ending bitwise-identical to the clean run.
+  core::ExploreOptions options;
+  options.dir = scratch_path("explore_torn");
+  fs::create_directories(options.dir + "/journals");
+  const std::string full = read_file(clean.dir + "/journals/inline.journal");
+  write_file(options.dir + "/journals/wa.journal",
+             full.substr(0, full.size() - 3));
+  write_file(options.dir + "/journals/wb.journal",
+             full.substr(0, full.size() - 3));
+  const core::ExploreResult result = core::run_explore(test_spec(), options);
+  EXPECT_EQ(result.torn_tails, 2);
+  EXPECT_GT(result.duplicates, 0);
+  EXPECT_GT(result.resumed, 0);
+  EXPECT_LT(result.resumed, test_spec().total_points());  // tail was torn off
+  EXPECT_EQ(read_file(options.dir + "/points.csv"), clean.points_csv);
+  EXPECT_EQ(read_file(options.dir + "/pareto.csv"), clean.pareto_csv);
+}
+
+TEST(Explore, ZeroByteJournalIsIgnored) {
+  const CleanRun& clean = clean_run();
+  core::ExploreOptions options;
+  options.dir = scratch_path("explore_zerobyte");
+  fs::create_directories(options.dir + "/journals");
+  write_file(options.dir + "/journals/dead.journal", "");
+  const core::ExploreResult result = core::run_explore(test_spec(), options);
+  EXPECT_EQ(result.torn_tails, 0);
+  EXPECT_EQ(result.resumed, 0);
+  EXPECT_EQ(read_file(options.dir + "/points.csv"), clean.points_csv);
+}
+
+TEST(Explore, DivergentDuplicateRecordsFailTheBitwiseAudit) {
+  core::ExploreOptions options;
+  options.dir = scratch_path("explore_divergent");
+  fs::create_directories(options.dir + "/journals");
+  const std::uint64_t key = test_spec().key();
+  {
+    util::CheckpointJournal a(options.dir + "/journals/wa.journal", key,
+                              {false});
+    a.append(0, "payload-one");
+  }
+  {
+    util::CheckpointJournal b(options.dir + "/journals/wb.journal", key,
+                              {false});
+    b.append(0, "payload-two");
+  }
+  try {
+    (void)core::run_explore(test_spec(), options);
+    FAIL() << "divergent duplicates must not merge silently";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kInternal);
+    EXPECT_NE(std::string(e.what()).find("bitwise audit"), std::string::npos);
+  }
+}
+
+TEST(Explore, PointThatKillsItsWorkerTwiceIsSalvaged) {
+  const CleanRun& clean = clean_run();
+  const std::string dir = scratch_path("explore_crash");
+  fs::create_directories(dir);
+  const std::string state = dir + "/crash.state";
+  // Grid index 5 SIGKILLs its evaluating process twice, then behaves: the
+  // coordinator reclaims the lease each time, marks the point poisoned at
+  // the second crash, and the salvage child recovers its true value — so
+  // the merged output still matches the clean run byte for byte.
+  ASSERT_EQ(setenv("IARANK_EXPLORE_CRASH", ("5:2:" + state).c_str(), 1), 0);
+  core::ExploreOptions options;
+  options.dir = dir + "/run";
+  options.workers = 2;
+  options.chunk_points = 3;
+  options.lease_ttl_seconds = 0.3;
+  core::ExploreResult result;
+  try {
+    result = core::run_explore(test_spec(), options);
+  } catch (...) {
+    unsetenv("IARANK_EXPLORE_CRASH");
+    throw;
+  }
+  unsetenv("IARANK_EXPLORE_CRASH");
+
+  // The hook fired: each crash appended one line to the state file.
+  EXPECT_EQ(read_file(state), "x\nx\n");
+  EXPECT_EQ(result.quarantined, 0);
+  EXPECT_EQ(result.ok, clean.result.ok);
+  EXPECT_EQ(read_file(options.dir + "/points.csv"), clean.points_csv);
+  EXPECT_EQ(read_file(options.dir + "/pareto.csv"), clean.pareto_csv);
+}
+
+}  // namespace
+}  // namespace iarank

@@ -23,6 +23,7 @@
 #include <cmath>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -966,6 +967,104 @@ TEST_F(ServerTest, LockfileClosesTheStaleProbeRace) {
             "{\"ok\":true,\"type\":\"pong\"}");
   ::close(fd);
   daemon.stop();
+}
+
+// --- client resilience: timeouts and bounded retry --------------------------------
+
+/// A unix socket that listens but never accepts or responds — the wire
+/// view of a wedged daemon. Connects land in the backlog and succeed;
+/// every read after that stalls forever.
+class StalledListener {
+ public:
+  explicit StalledListener(const std::string& path) : path_(path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+  }
+  ~StalledListener() {
+    if (fd_ >= 0) ::close(fd_);
+    std::filesystem::remove(path_);
+  }
+  [[nodiscard]] server::Address address() const {
+    server::Address a;
+    a.kind = server::Address::Kind::kUnix;
+    a.path = path_;
+    return a;
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+TEST_F(ServerTest, StalledServerFailsWithinTheReadDeadline) {
+  const StalledListener stalled(socket_path("stalled.sock"));
+  server::ClientOptions client;
+  client.timeout_seconds = 0.3;
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = server::connect_to(stalled.address(), client);
+  try {
+    (void)server::round_trip(fd, "{\"type\":\"ping\"}");
+    ::close(fd);
+    FAIL() << "a never-responding server must not hang the client";
+  } catch (const util::Error& e) {
+    ::close(fd);
+    EXPECT_EQ(e.category(), util::ErrorCategory::kIo);
+  }
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  EXPECT_LT(elapsed, 5.0) << "deadline did not bound the stall";
+}
+
+TEST_F(ServerTest, RetryBudgetExhaustsAgainstAPersistentStall) {
+  const StalledListener stalled(socket_path("stalled_retry.sock"));
+  server::ClientOptions client;
+  client.timeout_seconds = 0.2;
+  client.retries = 2;
+  client.backoff_seconds = 0.01;
+  EXPECT_THROW(
+      {
+        (void)server::request_with_retry(stalled.address(),
+                                         "{\"type\":\"ping\"}", client);
+      },
+      util::Error);
+}
+
+TEST_F(ServerTest, RetrySucceedsOnceTheServerComesUp) {
+  const std::string path = socket_path("lateboot.sock");
+  // The daemon appears only after the client's first attempts have been
+  // refused: the connect failures are kIo, so the retry loop must carry
+  // the client across the gap.
+  std::atomic<bool> served{false};
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    server::ServerOptions options;
+    options.address.kind = server::Address::Kind::kUnix;
+    options.address.path = path;
+    options.workers = 1;
+    server::Server daemon(service(), options);
+    while (!served.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    daemon.stop();
+  });
+  server::Address address;
+  address.kind = server::Address::Kind::kUnix;
+  address.path = path;
+  server::ClientOptions client;
+  client.timeout_seconds = 5.0;
+  client.retries = 20;
+  client.backoff_seconds = 0.05;
+  const std::string response =
+      server::request_with_retry(address, "{\"type\":\"ping\"}", client);
+  served.store(true);
+  late.join();
+  EXPECT_EQ(response, "{\"ok\":true,\"type\":\"pong\"}");
 }
 
 }  // namespace

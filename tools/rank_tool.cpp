@@ -76,7 +76,24 @@
 ///                             overrides (same keys as the config file's
 ///                             Table 4 / modelling block). Exit 0 on an
 ///                             ok response, 2 on a request error, 1 on an
-///                             internal server error.
+///                             internal server error. --timeout S bounds
+///                             connect and each read (default 30 s);
+///                             --retries N reconnects with exponential
+///                             backoff on transport failures.
+///   explore <spec> [--dir D] [--workers N] [--jobs N] [--chunk N]
+///           [--lease-ttl S] [--poison-threshold N] [--fsync] [--worker]
+///                             evaluate the cross product of the spec's
+///                             explore.* dimension lists (node, rent_p,
+///                             target_model, K, M, C, R), sharded across
+///                             --workers forked processes through a leased
+///                             file work queue with work-stealing; crash-
+///                             tolerant (SIGKILLed workers are respawned,
+///                             their leases reclaimed, their journals
+///                             merged with a bitwise audit) and resumable
+///                             (rerun with the same --dir). Writes
+///                             points.csv + pareto.csv into --dir.
+///                             --worker attaches one standalone worker to
+///                             an existing run directory instead.
 ///
 /// Exit codes: 0 success, 1 internal error (or selfcheck/faultcheck
 /// failure), 2 user error (bad usage, bad config, bad input file).
@@ -95,6 +112,7 @@
 
 #include "src/iarank.hpp"
 #include "src/core/config_run.hpp"
+#include "src/core/explore.hpp"
 #include "src/core/faultcheck.hpp"
 #include "src/core/instance_builder.hpp"
 #include "src/core/selfcheck.hpp"
@@ -608,8 +626,85 @@ int request_usage() {
                "       rank_tool request <addr> sweep <K|M|C|R> <lo> <hi>"
                " <steps> [key=value ...]\n"
                "       rank_tool request <addr> raw <json>\n"
-               "  <addr>: unix:<path> or tcp:<host>:<port>\n";
+               "  <addr>: unix:<path> or tcp:<host>:<port>\n"
+               "  flags: --timeout S (connect/read deadline, default 30;"
+               " 0 = none)\n"
+               "         --retries N (reconnect attempts on transport"
+               " failure, default 0)\n";
   return 2;
+}
+
+int explore_usage() {
+  std::cerr
+      << "usage: rank_tool explore <spec> [--dir D] [--workers N] [--jobs N]\n"
+         "                 [--chunk N] [--lease-ttl S] [--poison-threshold N]\n"
+         "                 [--fsync] [--worker]\n"
+         "  <spec>: a rank_tool config plus explore.* dimension lists\n"
+         "          (explore.node, explore.rent_p, explore.target_model,\n"
+         "          explore.K/M/C/R as comma lists or lo:hi:n ranges)\n"
+         "  --dir D          run directory (default explore-run); a rerun\n"
+         "                   with the same spec resumes from its journals\n"
+         "  --workers N      worker processes to fork (default 0 = evaluate\n"
+         "                   in-process); SIGKILLed workers are respawned\n"
+         "                   and their leases reclaimed\n"
+         "  --jobs N         threads for in-process evaluation (default 1)\n"
+         "  --chunk N        lease granularity in grid points (default 256)\n"
+         "  --lease-ttl S    heartbeat staleness before reclaim (default 10)\n"
+         "  --worker         run one worker attached to --dir's queue (a\n"
+         "                   coordinator must have populated it)\n";
+  return 2;
+}
+
+int cmd_explore(int argc, char** argv) {
+  if (argc < 1) return explore_usage();
+  const std::string spec_path = argv[0];
+  core::ExploreOptions options;
+  bool worker_mode = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--fsync") {
+      options.fsync_journal = true;
+      continue;
+    }
+    if (arg == "--worker") {
+      worker_mode = true;
+      continue;
+    }
+    if (a + 1 >= argc) return explore_usage();
+    const std::string value = argv[++a];
+    if (arg == "--dir") {
+      options.dir = value;
+    } else if (arg == "--workers") {
+      options.workers = static_cast<int>(util::parse_int(value));
+    } else if (arg == "--jobs") {
+      const long long jobs = util::parse_int(value);
+      if (jobs < 1) return explore_usage();
+      options.jobs = static_cast<unsigned>(jobs);
+    } else if (arg == "--chunk") {
+      options.chunk_points = util::parse_int(value);
+    } else if (arg == "--lease-ttl") {
+      options.lease_ttl_seconds = util::parse_double(value);
+    } else if (arg == "--poison-threshold") {
+      options.poison_threshold = static_cast<int>(util::parse_int(value));
+    } else {
+      return explore_usage();
+    }
+  }
+
+  const core::ExploreSpec spec = core::ExploreSpec::load(spec_path);
+  if (worker_mode) return core::run_explore_worker(spec, options);
+
+  const core::ExploreResult result = core::run_explore(spec, options);
+  std::cout << "explore: " << spec.total_points() << " points, ok "
+            << result.ok << ", failed " << result.failed << ", quarantined "
+            << result.quarantined << "\n"
+            << "merge: resumed " << result.resumed << ", duplicates "
+            << result.duplicates << ", torn tails " << result.torn_tails
+            << "\n"
+            << "pareto front: " << result.pareto.size() << " points\n"
+            << "results: " << options.dir << "/points.csv, " << options.dir
+            << "/pareto.csv\n";
+  return 0;
 }
 
 util::Json overrides_from_args(int argc, char** argv, int start) {
@@ -626,6 +721,32 @@ util::Json overrides_from_args(int argc, char** argv, int start) {
 }
 
 int cmd_request(int argc, char** argv) {
+  // Client resilience flags, accepted anywhere: a wedged daemon must be a
+  // bounded-time failure, and a restarting one is worth a few retries.
+  server::ClientOptions client;
+  client.timeout_seconds = 30.0;
+  {
+    std::vector<char*> kept;
+    kept.reserve(static_cast<std::size_t>(argc));
+    for (int a = 0; a < argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg == "--timeout" || arg == "--retries") {
+        if (a + 1 >= argc) {
+          std::cerr << "request: " << arg << " needs a value\n";
+          return request_usage();
+        }
+        if (arg == "--timeout") {
+          client.timeout_seconds = util::parse_double(argv[++a]);
+        } else {
+          client.retries = static_cast<int>(util::parse_int(argv[++a]));
+        }
+        continue;
+      }
+      kept.push_back(argv[a]);
+    }
+    for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
+    argc = static_cast<int>(kept.size());
+  }
   if (argc < 2) return request_usage();
   const server::Address address = server::parse_address(argv[0]);
   const std::string what = argv[1];
@@ -658,15 +779,8 @@ int cmd_request(int argc, char** argv) {
     return request_usage();
   }
 
-  const int fd = server::connect_to(address);
-  std::string response_text;
-  try {
-    response_text = server::round_trip(fd, payload);
-  } catch (...) {
-    ::close(fd);
-    throw;
-  }
-  ::close(fd);
+  const std::string response_text =
+      server::request_with_retry(address, payload, client);
 
   // An unparseable response is a server bug; report it verbatim.
   util::Json response;
@@ -747,6 +861,9 @@ int dispatch(int argc, char** argv) {
     if (std::string(argv[1]) == "request") {
       return cmd_request(argc - 2, argv + 2);
     }
+    if (std::string(argv[1]) == "explore") {
+      return cmd_explore(argc - 2, argv + 2);
+    }
     const auto config = iarank::util::Config::load(argv[1]);
     const auto spec = iarank::core::run_spec_from_config(config);
     const auto wld = iarank::core::resolve_wld(spec);
@@ -792,6 +909,8 @@ int main(int argc, char** argv) {
                  " (--socket PATH | --port N) [--workers N]\n"
                  "       rank_tool request <addr>"
                  " ping|metrics|rank|sweep|raw ...\n"
+                 "       rank_tool explore <spec> [--dir D] [--workers N]"
+                 " [--worker] ...\n"
                  "       any command also accepts --trace FILE.json and"
                  " --metrics FILE\n";
     return 2;
