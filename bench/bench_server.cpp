@@ -40,6 +40,7 @@
 #include "src/util/atomic_file.hpp"
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
+#include "src/util/metrics.hpp"
 #include "src/util/strings.hpp"
 
 namespace {
@@ -208,14 +209,30 @@ int main(int argc, char** argv) try {
                              std::chrono::steady_clock::now() - started)
                              .count();
 
-  // One HTTP scrape (booked separately from the framed protocol), then
-  // the final framed metrics scrape, then stop.
+  // HTTP scrapes (booked separately from the framed protocol), then the
+  // final framed metrics scrape, then stop. /debug/slow is probed along
+  // with /metrics so the bench also guards the debug surface's framing.
   std::int64_t http_probes = 0;
   const std::string http_response = http_get(daemon.http_address(), "/metrics");
   ++http_probes;
   const bool http_ok =
       http_response.rfind("HTTP/1.1 200 OK\r\n", 0) == 0 &&
       http_response.find("iarank_server_requests_total") != std::string::npos;
+  const std::string slow_response =
+      http_get(daemon.http_address(), "/debug/slow");
+  ++http_probes;
+  bool debug_slow_ok = slow_response.rfind("HTTP/1.1 200 OK\r\n", 0) == 0;
+  if (debug_slow_ok) {
+    const auto body_at = slow_response.find("\r\n\r\n");
+    try {
+      debug_slow_ok =
+          body_at != std::string::npos &&
+          util::Json::parse(slow_response.substr(body_at + 4))
+              .contains("requests");
+    } catch (const std::exception&) {
+      debug_slow_ok = false;
+    }
+  }
 
   std::string metrics_body;
   {
@@ -228,6 +245,13 @@ int main(int argc, char** argv) try {
   }
   daemon.stop();
   ::rmdir(socket_dir);
+
+  // The daemon is in-process, so queue-wait quantiles come straight from
+  // its histogram (registering the same name returns the live instance).
+  util::Histogram& queue_wait = util::MetricsRegistry::histogram(
+      "iarank_server_queue_wait_seconds", util::Histogram::duration_bounds());
+  const double queue_wait_p50_ms = queue_wait.quantile(0.50) * 1e3;
+  const double queue_wait_p99_ms = queue_wait.quantile(0.99) * 1e3;
 
   const auto metric_value = [&](const std::string& name) -> std::int64_t {
     const auto pos = metrics_body.find("\n" + name + " ");
@@ -273,6 +297,8 @@ int main(int argc, char** argv) try {
   table.add_row({"error responses", std::to_string(failures)});
   table.add_row({"overloaded", std::to_string(overloaded)});
   table.add_row({"batched requests", std::to_string(batched)});
+  table.add_row({"queue wait p50 ms", util::TextTable::num(queue_wait_p50_ms, 3)});
+  table.add_row({"queue wait p99 ms", util::TextTable::num(queue_wait_p99_ms, 3)});
   std::cout << table;
 
   // The audit. Any line failing here is a bookkeeping bug, not noise.
@@ -300,6 +326,10 @@ int main(int argc, char** argv) try {
   if (!http_ok) {
     violations.push_back("http probe: GET /metrics did not return a 200 "
                          "Prometheus exposition");
+  }
+  if (!debug_slow_ok) {
+    violations.push_back("http probe: GET /debug/slow did not return a 200 "
+                         "JSON object with a 'requests' key");
   }
   if (http_requests != http_probes) {
     violations.push_back("http books: sent " + std::to_string(http_probes) +
@@ -329,6 +359,8 @@ int main(int argc, char** argv) try {
   snapshot["p50_ms"] = p50_ms;
   snapshot["p99_ms"] = p99_ms;
   snapshot["max_ms"] = max_ms;
+  snapshot["queue_wait_p50_ms"] = queue_wait_p50_ms;
+  snapshot["queue_wait_p99_ms"] = queue_wait_p99_ms;
   snapshot["error_responses"] = failures;
   snapshot["requests_total"] = requests_total;
   snapshot["requests_ok"] = requests_ok;

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -25,7 +26,9 @@
 #include "src/util/atomic_file.hpp"
 #include "src/util/digest.hpp"
 #include "src/util/error.hpp"
+#include "src/util/event_log.hpp"
 #include "src/util/journal.hpp"
+#include "src/util/json.hpp"
 #include "src/util/lease_queue.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/numeric.hpp"
@@ -289,6 +292,113 @@ std::string journals_dir(const ExploreOptions& options) {
   return options.dir + "/journals";
 }
 
+std::string events_dir(const ExploreOptions& options) {
+  return options.dir + "/events";
+}
+
+/// Same clock as the lease heartbeats (CLOCK_MONOTONIC, system-wide on
+/// Linux), so heartbeat ages in status.json are meaningful.
+std::int64_t monotonic_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::int64_t>(ts.tv_nsec) / 1000000;
+}
+
+// ---------------------------------------------------------------------------
+// Live status surface: <dir>/status.json, atomically rewritten by the
+// coordinator — while workers run, a snapshot of the queue (per-worker
+// progress, ETA); after the merge, the final reconciled counts. Readers
+// (humans, the chaos smoke) always see a complete JSON document.
+
+void write_running_status(const std::string& path, std::int64_t total,
+                          util::LeaseQueue& queue, double elapsed_seconds,
+                          std::size_t live_workers,
+                          std::size_t poisoned_points) {
+  const util::LeaseQueue::Snapshot snap = queue.snapshot();
+  std::int64_t todo_points = 0;
+  for (const util::LeaseChunk& chunk : snap.todos) {
+    todo_points += chunk.hi - chunk.lo;
+  }
+  const std::int64_t now = monotonic_ms();
+  std::int64_t leased_points = 0;
+  util::Json workers(util::Json::Array{});
+  for (const util::LeaseQueue::LeaseView& lease : snap.leases) {
+    leased_points += lease.chunk.hi - lease.progress;
+    util::Json w;
+    w["worker"] = lease.worker;  // "" for a torn claim awaiting reclaim
+    w["lo"] = lease.chunk.lo;
+    w["hi"] = lease.chunk.hi;
+    w["progress"] = lease.progress;
+    w["attempts"] = static_cast<std::int64_t>(lease.chunk.attempts);
+    w["heartbeat_age_ms"] =
+        std::max<std::int64_t>(0, now - lease.heartbeat_ms);
+    workers.push_back(std::move(w));
+  }
+  const std::int64_t remaining = todo_points + leased_points;
+  const std::int64_t done = std::max<std::int64_t>(0, total - remaining);
+
+  util::Json out;
+  out["state"] = "running";
+  out["total_points"] = total;
+  out["done_points"] = done;
+  out["todo_points"] = todo_points;
+  out["leased_points"] = leased_points;
+  out["live_workers"] = static_cast<std::int64_t>(live_workers);
+  out["poisoned_points"] = static_cast<std::int64_t>(poisoned_points);
+  out["elapsed_seconds"] = elapsed_seconds;
+  if (done > 0 && elapsed_seconds > 0.0) {
+    out["eta_seconds"] = elapsed_seconds * static_cast<double>(remaining) /
+                         static_cast<double>(done);
+  }
+  out["workers"] = std::move(workers);
+  util::atomic_write_file(path, out.dump() + "\n");
+}
+
+void write_final_status(const std::string& path, std::int64_t total,
+                        const ExploreResult& result, double elapsed_seconds) {
+  util::Json out;
+  out["state"] = "done";
+  out["total_points"] = total;
+  out["ok"] = result.ok;
+  out["failed"] = result.failed;
+  out["quarantined"] = result.quarantined;
+  out["resumed"] = result.resumed;
+  out["duplicates"] = result.duplicates;
+  out["torn_tails"] = result.torn_tails;
+  out["pareto_points"] = static_cast<std::int64_t>(result.pareto.size());
+  out["elapsed_seconds"] = elapsed_seconds;
+  util::atomic_write_file(path, out.dump() + "\n");
+}
+
+/// Concatenates every per-worker event log into <dir>/events.jsonl. Each
+/// worker file is complete, line-oriented JSONL, so plain concatenation
+/// (in sorted name order, for reproducible diagnostics) is a valid merge.
+void merge_event_logs(const ExploreOptions& options) {
+  std::vector<std::string> names;
+  if (DIR* d = ::opendir(events_dir(options).c_str())) {
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string_view name(entry->d_name);
+      if (name.size() > 6 &&
+          name.substr(name.size() - 6) == std::string_view(".jsonl")) {
+        names.emplace_back(name);
+      }
+    }
+    ::closedir(d);
+  }
+  if (names.empty()) return;
+  std::sort(names.begin(), names.end());
+  std::string merged;
+  for (const std::string& name : names) {
+    std::ifstream in(events_dir(options) + "/" + name, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    merged += buf.str();
+    if (!merged.empty() && merged.back() != '\n') merged += '\n';
+  }
+  util::atomic_write_file(options.dir + "/events.jsonl", merged);
+}
+
 /// Every journal file of the run, sorted by name for a deterministic merge
 /// order (first-complete-wins only ever keeps bitwise-equal copies, but a
 /// stable order keeps diagnostics reproducible).
@@ -478,6 +588,19 @@ int run_explore_worker(const ExploreSpec& spec, const ExploreOptions& options) {
   util::CheckpointJournal journal(
       journals_dir(options) + "/" + name + ".journal", spec.key(),
       {options.fsync_journal});
+  // Per-worker event log (merged into <dir>/events.jsonl by the
+  // coordinator). Best-effort: a worker that cannot log still evaluates.
+  // close() first drops any sink fd inherited across fork.
+  util::EventLog& events = util::EventLog::instance();
+  try {
+    events.close();
+    make_dir(events_dir(options));
+    events.open(events_dir(options) + "/" + name + ".jsonl");
+    util::Json fields;
+    fields["worker"] = name;
+    events.emit(util::Severity::kInfo, "worker.start", std::move(fields));
+  } catch (const std::exception&) {
+  }
   PointEvaluator evaluator(spec);
   const std::string poison_path = options.dir + "/poison.txt";
   // Renew well inside the TTL so one slow point (or a scheduling hiccup)
@@ -492,6 +615,14 @@ int run_explore_worker(const ExploreSpec& spec, const ExploreOptions& options) {
       if (queue.idle()) break;          // every index is completed
       ::usleep(20 * 1000);              // all work leased; wait to steal
       continue;
+    }
+    if (events.enabled()) {
+      util::Json fields;
+      fields["worker"] = name;
+      fields["lo"] = chunk->lo;
+      fields["hi"] = chunk->hi;
+      fields["attempts"] = static_cast<std::int64_t>(chunk->attempts);
+      events.emit(util::Severity::kDebug, "chunk.claim", std::move(fields));
     }
     const std::map<std::int64_t, int> poison = load_poison(poison_path);
     std::int64_t hi = chunk->hi;
@@ -519,6 +650,24 @@ int run_explore_worker(const ExploreSpec& spec, const ExploreOptions& options) {
       }
     }
     if (!abandoned) queue.complete(*chunk, name);
+    if (events.enabled()) {
+      util::Json fields;
+      fields["worker"] = name;
+      fields["lo"] = chunk->lo;
+      fields["hi"] = hi;
+      events.emit(abandoned ? util::Severity::kWarn : util::Severity::kDebug,
+                  abandoned ? "chunk.abandoned" : "chunk.complete",
+                  std::move(fields));
+    }
+  }
+  if (events.enabled()) {
+    util::Json fields;
+    fields["worker"] = name;
+    events.emit(util::Severity::kInfo, "worker.exit", std::move(fields));
+    try {
+      events.close();
+    } catch (const std::exception&) {
+    }
   }
   util::MetricsRegistry::instance().save(options.dir + "/metrics/" + name +
                                          ".prom");
@@ -534,10 +683,24 @@ ExploreResult run_explore(const ExploreSpec& spec,
   make_dir(options.dir);
   make_dir(journals_dir(options));
   make_dir(options.dir + "/metrics");
+  make_dir(events_dir(options));
   const std::uint64_t key = spec.key();
   const std::int64_t total = spec.total_points();
   const std::string poison_path = options.dir + "/poison.txt";
+  const std::string status_path = options.dir + "/status.json";
   std::map<std::int64_t, int> poison = load_poison(poison_path);
+  util::Stopwatch run_timer;
+
+  util::EventLog& events = util::EventLog::instance();
+  if (events.enabled()) {
+    util::Json fields;
+    fields["total_points"] = total;
+    fields["workers"] = static_cast<std::int64_t>(options.workers);
+    events.emit(util::Severity::kInfo, "explore.start", std::move(fields));
+    // Flush before forking: a worker child inherits this process's
+    // buffered lines and would duplicate them into its own close().
+    events.flush();
+  }
 
   // Fork-ordering discipline (subprocess.hpp): materialize the shared pool
   // now, while no pool thread can hold a lock, so every child forked below
@@ -588,12 +751,20 @@ ExploreResult run_explore(const ExploreSpec& spec,
     if (!queue.idle()) {
       for (int i = 0; i < options.workers; ++i) spawn_worker();
     }
+    write_running_status(status_path, total, queue, run_timer.seconds(),
+                         live.size(), poison.size());
+    util::Stopwatch since_status;
 
     bool poison_dirty = false;
     while (!queue.idle()) {
       while (const std::optional<util::ChildExit> exit = util::try_wait_any()) {
         live.erase(std::remove(live.begin(), live.end(), exit->pid),
                    live.end());
+      }
+      if (since_status.seconds() >= 0.5) {
+        write_running_status(status_path, total, queue, run_timer.seconds(),
+                             live.size(), poison.size());
+        since_status.restart();
       }
       for (const util::LeaseQueue::Reclaimed& r : queue.reclaim_expired()) {
         if (r.worker.empty()) continue;  // torn claim: nothing was evaluated
@@ -776,6 +947,16 @@ ExploreResult run_explore(const ExploreSpec& spec,
 
   write_explore_csv(options.dir + "/points.csv", spec, result, false);
   write_explore_csv(options.dir + "/pareto.csv", spec, result, true);
+  merge_event_logs(options);
+  write_final_status(status_path, total, result, run_timer.seconds());
+  if (events.enabled()) {
+    util::Json fields;
+    fields["ok"] = result.ok;
+    fields["failed"] = result.failed;
+    fields["quarantined"] = result.quarantined;
+    fields["resumed"] = result.resumed;
+    events.emit(util::Severity::kInfo, "explore.done", std::move(fields));
+  }
   util::MetricsRegistry::instance().save(options.dir +
                                          "/metrics/coordinator.prom");
   return result;

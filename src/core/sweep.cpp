@@ -9,6 +9,7 @@
 
 #include "src/core/checkpoint.hpp"
 #include "src/util/error.hpp"
+#include "src/util/event_log.hpp"
 #include "src/util/journal.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/stopwatch.hpp"
@@ -93,6 +94,14 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
   TRACE_SPAN("sweep");
   kSweepRuns.inc();
   util::Stopwatch total;
+  auto& events = util::EventLog::instance();
+  if (events.enabled()) {
+    util::Json fields;
+    fields["parameter"] = to_string(parameter);
+    fields["points"] = static_cast<std::int64_t>(values.size());
+    fields["threads"] = static_cast<std::int64_t>(run.threads);
+    events.emit(util::Severity::kInfo, "sweep.start", std::move(fields));
+  }
   const BuildProfile before = builder.profile();
 
   SweepResult out;
@@ -199,6 +208,15 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
               std::memory_order_relaxed);
         }
         kSweepPointSeconds.observe(point_timer.seconds());
+        if (events.enabled()) {
+          util::Json fields;
+          fields["index"] = static_cast<std::int64_t>(i);
+          fields["value"] = values[i];
+          fields["ok"] = point.status.ok();
+          fields["seconds"] = point_timer.seconds();
+          events.emit(util::Severity::kDebug, "sweep.point",
+                      std::move(fields));
+        }
         if (journal) {
           util::Stopwatch append_timer;
           journal->append(static_cast<std::int64_t>(i),
@@ -252,6 +270,15 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
       static_cast<double>(checkpoint_nanos.load(std::memory_order_relaxed)) /
       1e9;
   out.profile.total_seconds = total.seconds();
+  if (events.enabled()) {
+    util::Json fields;
+    fields["ok"] = static_cast<std::int64_t>(values.size()) -
+                   out.profile.failed_points;
+    fields["failed"] = out.profile.failed_points;
+    fields["resumed"] = out.profile.resumed_points;
+    fields["seconds"] = out.profile.total_seconds;
+    events.emit(util::Severity::kInfo, "sweep.done", std::move(fields));
+  }
   return out;
 }
 

@@ -1,0 +1,97 @@
+#include "src/server/context.hpp"
+
+#include <algorithm>
+
+#include "src/util/event_log.hpp"
+
+namespace iarank::server {
+
+util::Json RequestContext::to_json() const {
+  const double known = parse_seconds + queue_seconds + build_seconds +
+                       dp_seconds + format_seconds;
+  util::Json ms;
+  ms["parse"] = parse_seconds * 1e3;
+  ms["queue"] = queue_seconds * 1e3;
+  ms["build"] = build_seconds * 1e3;
+  ms["dp"] = dp_seconds * 1e3;
+  ms["format"] = format_seconds * 1e3;
+  ms["write"] = std::max(0.0, total_seconds - known) * 1e3;
+  ms["total"] = total_seconds * 1e3;
+
+  util::Json ids(util::Json::Array{});
+  for (const std::uint64_t id : coalesced_ids) {
+    ids.push_back(static_cast<std::int64_t>(id));
+  }
+
+  util::Json out;
+  out["request_id"] = static_cast<std::int64_t>(request_id);
+  out["type"] = type;
+  out["ok"] = ok;
+  out["status"] = status;
+  out["batch_size"] = static_cast<std::int64_t>(batch_size);
+  out["coalesced"] = coalesced;
+  out["coalesced_ids"] = std::move(ids);
+  out["ms"] = std::move(ms);
+  return out;
+}
+
+RequestLog::RequestLog(std::size_t recent_capacity, std::size_t slow_capacity)
+    : recent_capacity_(recent_capacity), slow_capacity_(slow_capacity) {}
+
+void RequestLog::set_slow_threshold_ms(double ms) {
+  const std::scoped_lock lock(mutex_);
+  slow_threshold_ms_ = ms;
+}
+
+double RequestLog::slow_threshold_ms() const {
+  const std::scoped_lock lock(mutex_);
+  return slow_threshold_ms_;
+}
+
+void RequestLog::record(const RequestContext& context) {
+  bool slow = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++recorded_;
+    recent_.push_back(context);
+    while (recent_.size() > recent_capacity_) recent_.pop_front();
+    slow = slow_threshold_ms_ > 0.0 &&
+           context.total_seconds * 1e3 >= slow_threshold_ms_;
+    if (slow) {
+      slow_.push_back(context);
+      while (slow_.size() > slow_capacity_) slow_.pop_front();
+    }
+  }
+  util::EventLog& events = util::EventLog::instance();
+  if (events.enabled()) {
+    events.emit(slow ? util::Severity::kInfo : util::Severity::kDebug,
+                slow ? "request.slow" : "request", context.to_json());
+  }
+}
+
+util::Json RequestLog::recent_json() const {
+  const std::scoped_lock lock(mutex_);
+  util::Json requests(util::Json::Array{});
+  for (const RequestContext& context : recent_) {
+    requests.push_back(context.to_json());
+  }
+  util::Json out;
+  out["count"] = static_cast<std::int64_t>(recorded_);
+  out["requests"] = std::move(requests);
+  return out;
+}
+
+util::Json RequestLog::slow_json() const {
+  const std::scoped_lock lock(mutex_);
+  util::Json requests(util::Json::Array{});
+  for (const RequestContext& context : slow_) {
+    requests.push_back(context.to_json());
+  }
+  util::Json out;
+  out["count"] = static_cast<std::int64_t>(requests.as_array().size());
+  out["slow_threshold_ms"] = slow_threshold_ms_;
+  out["requests"] = std::move(requests);
+  return out;
+}
+
+}  // namespace iarank::server

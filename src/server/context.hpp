@@ -1,0 +1,97 @@
+/// \file context.hpp
+/// \brief Request-scoped trace context and the in-memory request log
+///        behind the /debug endpoints.
+///
+/// Every framed request the daemon accepts gets a RequestContext: a
+/// server-assigned `request_id` plus the stage timing breakdown
+/// (parse / queue-wait / build / dp / format / write) filled in as the
+/// request moves io thread -> worker -> io thread. The id is echoed in
+/// the response **only when the client supplied a top-level `trace`
+/// field** — default responses carry no id (and no timings), so the
+/// byte-determinism contract of service.hpp is untouched. Requests with
+/// a `trace` field are also never coalesced onto a batch: each needs a
+/// unique id in its response, and two responses differing only in
+/// request_id could not share bytes.
+///
+/// RequestLog keeps two bounded rings of completed contexts — the most
+/// recent N requests (`GET /debug/requests`) and the last N requests
+/// slower than the `--slow-ms` threshold (`GET /debug/slow`) — and
+/// forwards slow requests to util::EventLog as `request.slow` events.
+/// Recording is one mutex push per request, off the response hot path
+/// (the io thread records at write-stage time, after the response bytes
+/// are already staged).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/json.hpp"
+
+namespace iarank::server {
+
+struct RequestContext {
+  std::uint64_t request_id = 0;
+  bool trace_requested = false;  ///< client sent a top-level `trace` field
+
+  std::string type;    ///< request type once parsed ("rank", "sweep", ...)
+  std::string status;  ///< "ok" or the protocol error code
+  bool ok = false;
+
+  // Stage seconds. `write` is derived at render time as the residual of
+  // total minus the instrumented stages (wire staging + epoll writes are
+  // not separately clocked).
+  double parse_seconds = 0.0;
+  double queue_seconds = 0.0;
+  double build_seconds = 0.0;
+  double dp_seconds = 0.0;
+  double format_seconds = 0.0;
+  double total_seconds = 0.0;  ///< accepted -> response staged on the wire
+
+  std::size_t batch_size = 1;  ///< requests answered by the same execution
+  bool coalesced = false;      ///< answered by another request's execution
+  std::vector<std::uint64_t> coalesced_ids;  ///< executing request only
+
+  std::chrono::steady_clock::time_point accepted{};
+
+  /// {"batch_size":...,"coalesced":...,"coalesced_ids":[...],
+  ///  "ms":{"build":...,"dp":...,"format":...,"parse":...,"queue":...,
+  ///        "total":...,"write":...},
+  ///  "ok":...,"request_id":...,"status":...,"type":...}
+  [[nodiscard]] util::Json to_json() const;
+};
+
+class RequestLog {
+ public:
+  explicit RequestLog(std::size_t recent_capacity = 64,
+                      std::size_t slow_capacity = 32);
+
+  /// <= 0 disables slow capture.
+  void set_slow_threshold_ms(double ms);
+  [[nodiscard]] double slow_threshold_ms() const;
+
+  /// Records a completed request: recent ring always, slow ring (plus a
+  /// `request.slow` event-log entry) when total time exceeds the
+  /// threshold. Thread-safe.
+  void record(const RequestContext& context);
+
+  /// {"count":N,"requests":[...oldest first...]}
+  [[nodiscard]] util::Json recent_json() const;
+  /// {"count":N,"slow_threshold_ms":...,"requests":[...oldest first...]}
+  [[nodiscard]] util::Json slow_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t recent_capacity_;
+  std::size_t slow_capacity_;
+  double slow_threshold_ms_ = 0.0;
+  std::uint64_t recorded_ = 0;  ///< lifetime total, monotonic
+  std::deque<RequestContext> recent_;
+  std::deque<RequestContext> slow_;
+};
+
+}  // namespace iarank::server

@@ -11,6 +11,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -18,9 +19,13 @@
 #include <sstream>
 #include <utility>
 
+#include "src/util/build_info.hpp"
 #include "src/util/error.hpp"
+#include "src/util/event_log.hpp"
 #include "src/util/json.hpp"
 #include "src/util/metrics.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/trace.hpp"
 
 namespace iarank::server {
 
@@ -51,6 +56,9 @@ util::Counter& kBatchedRequests = util::MetricsRegistry::counter(
     "requests answered by coalescing onto an open batch");
 util::Counter& kHttpRequests = util::MetricsRegistry::counter(
     "iarank_server_http_requests_total", "plain-HTTP requests answered");
+util::Histogram& kQueueWaitSeconds = util::MetricsRegistry::histogram(
+    "iarank_server_queue_wait_seconds", util::Histogram::duration_bounds(),
+    "batch wait from enqueue to worker pop");
 
 /// Backpressure bounds of one connection's buffers: past these the
 /// connection is not read until the peer drains responses.
@@ -65,6 +73,7 @@ constexpr std::size_t kMaxHttpHeaderBytes = 16u << 10;
 struct Classified {
   std::string type;       ///< "" when unparseable / not an object / no type
   std::string canonical;  ///< set iff type is
+  bool traced = false;    ///< top-level `trace` field present
 };
 
 Classified classify(const std::string& payload) {
@@ -76,6 +85,7 @@ Classified classify(const std::string& payload) {
       if (type != nullptr && type->is_string()) {
         out.type = type->as_string();
         out.canonical = parsed.dump();
+        out.traced = parsed.find("trace") != nullptr;
       }
     }
   } catch (...) {
@@ -242,6 +252,9 @@ Server::Server(RankService& service, ServerOptions options)
   // write error, not kill the daemon.
   ::signal(SIGPIPE, SIG_IGN);
 
+  request_log_.set_slow_threshold_ms(options_.slow_ms);
+  util::register_build_metrics();
+
   if (address_.kind == Address::Kind::kUnix) {
     const UnixBind bound = bind_unix(address_.path);
     listen_fd_ = bound.fd;
@@ -405,6 +418,7 @@ void Server::io_loop() {
     }
 
     apply_completions();
+    maybe_finish_trace_capture(/*force=*/stopping);
 
     if (stopping) {
       bool completions_pending;
@@ -432,7 +446,17 @@ void Server::io_loop() {
       }
     }
 
-    const int timeout_ms = stopping ? 20 : 250;
+    int timeout_ms = stopping ? 20 : 250;
+    if (trace_capture_.active) {
+      // Wake at (or just past) the capture deadline even if the loop is
+      // otherwise idle, so the response is not delayed a full tick.
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              trace_capture_.deadline - std::chrono::steady_clock::now())
+              .count();
+      timeout_ms = static_cast<int>(
+          std::clamp<long long>(remaining + 1, 1, timeout_ms));
+    }
     const int n =
         ::epoll_wait(epoll_fd_, events.data(),
                      static_cast<int>(events.size()), timeout_ms);
@@ -626,7 +650,12 @@ void Server::process_http_input(const std::shared_ptr<Connection>& conn) {
   }
   const std::string_view method = line.substr(0, sp1);
   std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  target = target.substr(0, target.find('?'));
+  std::string_view query;
+  const auto qpos = target.find('?');
+  if (qpos != std::string_view::npos) {
+    query = target.substr(qpos + 1);
+    target = target.substr(0, qpos);
+  }
   if (method != "GET") {
     respond(http_response(405, "Method Not Allowed",
                           "text/plain; charset=utf-8",
@@ -634,21 +663,87 @@ void Server::process_http_input(const std::shared_ptr<Connection>& conn) {
     return;
   }
   if (target == "/metrics") {
+    util::touch_uptime();
     std::ostringstream body;
     util::MetricsRegistry::instance().write_prometheus(body);
     respond(http_response(200, "OK",
                           "text/plain; version=0.0.4; charset=utf-8",
                           body.str()));
   } else if (target == "/metrics.json") {
+    util::touch_uptime();
     std::ostringstream body;
     util::MetricsRegistry::instance().write_json(body);
     respond(http_response(200, "OK", "application/json", body.str()));
   } else if (target == "/healthz") {
-    respond(http_response(200, "OK", "text/plain; charset=utf-8", "ok\n"));
+    // "200 OK" is the liveness signal; the body carries the build-info
+    // and uptime so a probe doubles as a version check.
+    util::Json out = util::build_info_json();
+    out["status"] = "ok";
+    respond(http_response(200, "OK", "application/json",
+                          out.dump() + "\n"));
+  } else if (target == "/debug/requests") {
+    respond(http_response(200, "OK", "application/json",
+                          request_log_.recent_json().dump() + "\n"));
+  } else if (target == "/debug/slow") {
+    respond(http_response(200, "OK", "application/json",
+                          request_log_.slow_json().dump() + "\n"));
+  } else if (target == "/debug/trace") {
+    if (trace_capture_.active) {
+      respond(http_response(409, "Conflict", "text/plain; charset=utf-8",
+                            "a trace capture is already running\n"));
+      return;
+    }
+    // ?ms=N bounds the capture window (default 250ms, clamped to 10s).
+    std::int64_t window_ms = 250;
+    const auto ms_pos = query.find("ms=");
+    if (ms_pos != std::string_view::npos &&
+        (ms_pos == 0 || query[ms_pos - 1] == '&')) {
+      std::string_view value = query.substr(ms_pos + 3);
+      value = value.substr(0, value.find('&'));
+      try {
+        window_ms = util::parse_int(std::string(value));
+      } catch (...) {
+        respond(http_response(400, "Bad Request",
+                              "text/plain; charset=utf-8",
+                              "ms must be an integer\n"));
+        return;
+      }
+    }
+    window_ms = std::clamp<std::int64_t>(window_ms, 1, 10000);
+    // The response slot is staged now but stays un-ready until the
+    // deadline; the connection just waits (it is not read meanwhile).
+    auto slot = std::make_shared<Slot>();
+    slot->close_after = true;
+    conn->pending.push_back(slot);
+    conn->read_closed = true;
+    util::Trace::enable();
+    trace_capture_.active = true;
+    trace_capture_.conn = conn;
+    trace_capture_.slot = std::move(slot);
+    trace_capture_.deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(window_ms);
+    return;  // no respond(): maybe_finish_trace_capture fills the slot
   } else {
     respond(http_response(404, "Not Found", "text/plain; charset=utf-8",
                           "not found\n"));
   }
+}
+
+void Server::maybe_finish_trace_capture(bool force) {
+  if (!trace_capture_.active) return;
+  if (!force &&
+      std::chrono::steady_clock::now() < trace_capture_.deadline) {
+    return;
+  }
+  util::Trace::disable();
+  std::ostringstream body;
+  util::Trace::write_chrome_json(body);
+  trace_capture_.slot->bytes =
+      http_response(200, "OK", "application/json", body.str());
+  trace_capture_.slot->ready = true;
+  const std::shared_ptr<Connection> conn = std::move(trace_capture_.conn);
+  trace_capture_ = TraceCapture{};
+  if (conn != nullptr && conn->fd >= 0) pump(conn);
 }
 
 void Server::dispatch_framed(const std::shared_ptr<Connection>& conn,
@@ -657,16 +752,30 @@ void Server::dispatch_framed(const std::shared_ptr<Connection>& conn,
   conn->pending.push_back(slot);
 
   const Classified request = classify(payload);
+
+  // Every framed request gets an id and a context; whether the id ever
+  // reaches the client depends solely on the request's `trace` field.
+  auto context = std::make_shared<RequestContext>();
+  context->request_id = next_request_id_.fetch_add(1,
+                                                   std::memory_order_relaxed) +
+                        1;
+  context->accepted = std::chrono::steady_clock::now();
+  context->trace_requested = request.traced;
+  slot->context = context;
+
   if (!is_executor_request(request.type)) {
     // ping/metrics/malformed: cheap, answered on the io thread.
-    slot->bytes = service_.handle(payload);
+    slot->bytes = service_.handle(payload, context.get());
     slot->ready = true;
     return;
   }
 
   // Only `rank` batches: its responses depend on nothing but the
-  // canonical request, and one DP is the unit worth deduplicating.
-  const bool coalescible = request.type == "rank";
+  // canonical request, and one DP is the unit worth deduplicating. A
+  // traced request never coalesces — its response carries its own unique
+  // request_id, so sharing bytes with a neighbour would be wrong both
+  // ways.
+  const bool coalescible = request.type == "rank" && !request.traced;
   if (coalescible) {
     const std::scoped_lock lock(batch_mutex_);
     const auto it = open_batches_.find(request.canonical);
@@ -680,6 +789,8 @@ void Server::dispatch_framed(const std::shared_ptr<Connection>& conn,
   batch->text = request.canonical;
   batch->key = coalescible ? request.canonical : std::string();
   batch->targets.emplace_back(conn, slot);
+  batch->context = context;
+  batch->enqueued = std::chrono::steady_clock::now();
   if (coalescible) {
     const std::scoped_lock lock(batch_mutex_);
     open_batches_.emplace(batch->key, batch);
@@ -709,8 +820,32 @@ void Server::dispatch_framed(const std::shared_ptr<Connection>& conn,
     kRequestsTotal.inc();
     kRequestsFailed.inc();
     if (full) kOverloaded.inc();
+    if (target_slot->context != nullptr) {
+      target_slot->context->type = request.type;
+      target_slot->context->ok = false;
+      target_slot->context->status = full ? "overloaded" : "shutting-down";
+    }
     target_slot->bytes = response;
     target_slot->ready = true;
+  }
+  util::EventLog& events = util::EventLog::instance();
+  if (full && events.enabled()) {
+    util::Json fields;
+    fields["request_id"] = static_cast<std::int64_t>(context->request_id);
+    fields["type"] = request.type;
+    fields["queue_capacity"] =
+        static_cast<std::int64_t>(options_.queue_capacity);
+    events.emit(util::Severity::kWarn, "server.overloaded",
+                std::move(fields));
+    // A backpressure trip is exactly the moment the flight recorder is
+    // for; dump it, rate-limited so a rejection storm costs one file
+    // write per second, not one per request.
+    const auto now = std::chrono::steady_clock::now();
+    if (events.flight_recorder_armed() &&
+        now - last_overload_dump_ >= std::chrono::seconds(1)) {
+      last_overload_dump_ = now;
+      events.dump_flight_recorder();
+    }
   }
 }
 
@@ -724,16 +859,51 @@ void Server::finish_batch(const std::shared_ptr<Batch>& batch,
     targets = std::move(batch->targets);
   }
   kBatches.inc();
+  const bool ok = RankService::response_ok(response);
   if (targets.size() > 1) {
     // The service counted the batch once; the coalesced requests settle
     // their books here so requests_total == ok + failed stays exact.
     const auto extra = static_cast<std::int64_t>(targets.size() - 1);
     kBatchedRequests.inc(extra);
     kRequestsTotal.inc(extra);
-    if (RankService::response_ok(response)) {
+    if (ok) {
       kRequestsOk.inc(extra);
     } else {
       kRequestsFailed.inc(extra);
+    }
+  }
+  // Trace-context bookkeeping: the primary context (the one whose
+  // execution answered the batch) records which request_ids coalesced
+  // onto it; each extra context records that it was answered by the
+  // primary. Safe without batch_mutex_: targets were moved out above, so
+  // no further attachment can happen, and the completion queue's mutex
+  // orders these writes before the io thread reads them.
+  const std::shared_ptr<RequestContext>& primary = batch->context;
+  if (primary != nullptr) {
+    primary->batch_size = targets.size();
+    for (auto& [conn, slot] : targets) {
+      (void)conn;
+      const std::shared_ptr<RequestContext>& ctx = slot->context;
+      if (ctx == nullptr || ctx == primary) continue;
+      primary->coalesced_ids.push_back(ctx->request_id);
+      ctx->coalesced = true;
+      ctx->batch_size = targets.size();
+      ctx->type = primary->type;
+      ctx->ok = ok;
+      ctx->status = ok ? "ok" : primary->status;
+    }
+    util::EventLog& events = util::EventLog::instance();
+    if (targets.size() > 1 && events.enabled()) {
+      util::Json ids(util::Json::Array{});
+      for (const std::uint64_t id : primary->coalesced_ids) {
+        ids.push_back(static_cast<std::int64_t>(id));
+      }
+      util::Json fields;
+      fields["request_id"] = static_cast<std::int64_t>(primary->request_id);
+      fields["batch_size"] = static_cast<std::int64_t>(targets.size());
+      fields["coalesced_ids"] = std::move(ids);
+      events.emit(util::Severity::kDebug, "batch.coalesced",
+                  std::move(fields));
     }
   }
   {
@@ -769,6 +939,17 @@ void Server::flush_connection(Connection& conn) {
                                  "internal", "response exceeds frame limit"));
     } else {
       append_frame(conn.out, slot.bytes);
+    }
+    if (slot.context != nullptr) {
+      // The response just reached the wire buffer: close the end-to-end
+      // clock and record. io thread only, after the completion queue's
+      // mutex ordered any worker-side writes.
+      slot.context->total_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        slot.context->accepted)
+              .count();
+      request_log_.record(*slot.context);
+      slot.context.reset();
     }
     const bool close_after = slot.close_after;
     conn.pending.pop_front();
@@ -840,9 +1021,16 @@ void Server::worker_loop() {
     std::optional<std::shared_ptr<Batch>> batch = queue_->pop();
     if (!batch.has_value()) return;  // closed and drained
     kQueueDepth.set(static_cast<std::int64_t>(queue_->size()));
+    RequestContext* context = (*batch)->context.get();
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      (*batch)->enqueued)
+            .count();
+    kQueueWaitSeconds.observe(waited);
+    if (context != nullptr) context->queue_seconds = waited;
     std::string response;
     try {
-      response = service_.handle((*batch)->text);
+      response = service_.handle((*batch)->text, context);
     } catch (const std::exception& e) {
       // handle() never throws by contract; this is belt and braces.
       response = RankService::error_response("internal", e.what());

@@ -31,8 +31,16 @@
 /// HTTP: when enabled, a second listener speaks plain HTTP on the same
 /// event loop: `GET /metrics` returns the Prometheus text exposition
 /// (correct Content-Type, cumulative `le` buckets with `+Inf`),
-/// `GET /metrics.json` the JSON export, `GET /healthz` a liveness probe.
-/// Real scrapers attach here without speaking the framed protocol.
+/// `GET /metrics.json` the JSON export, `GET /healthz` a liveness probe
+/// carrying the build-info JSON. Real scrapers attach here without
+/// speaking the framed protocol.
+///
+/// Debug surfaces (same listener): `GET /debug/requests` returns the
+/// recent-request ring (request_id, stage timings, batch coalescing) as
+/// JSON, `GET /debug/slow` the ring of requests over the `--slow-ms`
+/// threshold, and `GET /debug/trace?ms=N` enables util::Trace for a
+/// bounded window and answers with the Chrome-trace JSON capture (one
+/// capture at a time; concurrent requests get 409).
 ///
 /// Failure isolation: a request that fails produces an error response
 /// (RankService never throws); a connection whose stream breaks —
@@ -53,6 +61,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -64,6 +73,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/server/context.hpp"
 #include "src/server/protocol.hpp"
 #include "src/server/service.hpp"
 #include "src/util/bounded_queue.hpp"
@@ -84,6 +94,10 @@ struct ServerOptions {
   /// (0 = kernel-assigned). -1 disables it.
   int http_port = -1;
   std::string http_host = "127.0.0.1";
+
+  /// Requests slower than this land in the /debug/slow ring (and the
+  /// event log as `request.slow`); <= 0 disables slow capture.
+  double slow_ms = 100.0;
 };
 
 class Server {
@@ -115,6 +129,9 @@ class Server {
   /// here while the signal handler decides when to stop).
   void wait();
 
+  /// The /debug/requests + /debug/slow rings (tests poke at thresholds).
+  [[nodiscard]] RequestLog& request_log() { return request_log_; }
+
  private:
   /// One response awaiting its place on the wire. Slots are filled by
   /// the io thread (inline requests) or by workers via the completion
@@ -123,6 +140,10 @@ class Server {
     std::string bytes;        ///< response payload (framed/HTTP at flush)
     bool ready = false;
     bool close_after = false;  ///< stream is done after this response
+    /// Trace context of the framed request this slot answers (null for
+    /// HTTP and poisoned-stream slots). Recorded into request_log_ when
+    /// the response is staged on the wire.
+    std::shared_ptr<RequestContext> context;
   };
 
   /// Per-connection state, owned and mutated by the io thread only.
@@ -147,6 +168,10 @@ class Server {
     std::string key;   ///< coalescing key; empty = never coalesced
     std::vector<std::pair<std::shared_ptr<Connection>, std::shared_ptr<Slot>>>
         targets;
+    /// The first target's context: the request whose execution answers
+    /// the batch. The worker fills its stage timings.
+    std::shared_ptr<RequestContext> context;
+    std::chrono::steady_clock::time_point enqueued{};  ///< queue-wait origin
   };
 
   struct Completion {
@@ -167,6 +192,10 @@ class Server {
   void finish_batch(const std::shared_ptr<Batch>& batch,
                     const std::string& response);
   void apply_completions();
+
+  /// Completes an in-flight /debug/trace capture once its deadline (or a
+  /// forced finish at shutdown) arrives. io thread only.
+  void maybe_finish_trace_capture(bool force);
 
   /// Alternates flush / parse-buffered-input until neither makes
   /// progress. Needed because progress can be gated in both directions:
@@ -204,6 +233,19 @@ class Server {
 
   std::mutex completion_mutex_;
   std::vector<Completion> completions_;
+
+  RequestLog request_log_;
+  std::atomic<std::uint64_t> next_request_id_{0};
+
+  /// One bounded on-demand trace capture at a time (io thread only).
+  struct TraceCapture {
+    bool active = false;
+    std::shared_ptr<Connection> conn;
+    std::shared_ptr<Slot> slot;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+  TraceCapture trace_capture_;
+  std::chrono::steady_clock::time_point last_overload_dump_{};
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> drain_done_{false};  ///< workers joined; final flush

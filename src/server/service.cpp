@@ -8,6 +8,8 @@
 
 #include "src/core/dp_rank.hpp"
 #include "src/core/sweep.hpp"
+#include "src/server/context.hpp"
+#include "src/util/build_info.hpp"
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
 #include "src/util/metrics.hpp"
@@ -96,7 +98,11 @@ RankService::RankService(core::RunSpec spec, const wld::Wld& wld_in_pitches,
                          ServiceOptions options)
     : spec_(std::move(spec)),
       builder_(spec_.design, wld_in_pitches),
-      options_(options) {}
+      options_(options) {
+  // Every service-backed export (framed metrics requests, the HTTP
+  // listener) should carry the build-info and start-time gauges.
+  util::register_build_metrics();
+}
 
 std::string RankService::error_response(std::string_view code,
                                         std::string_view message) {
@@ -120,43 +126,75 @@ bool RankService::response_ok(std::string_view response) {
 }
 
 std::string RankService::handle(std::string_view request_text) {
+  return handle(request_text, nullptr);
+}
+
+std::string RankService::handle(std::string_view request_text,
+                                RequestContext* context) {
   TRACE_SPAN("server.request");
   kRequestsTotal.inc();
   const util::ScopedTimer timer(nullptr, &kRequestSeconds);
 
+  // Records the outcome into the context and — only for requests that
+  // opted in with a `trace` field — re-renders the response with the
+  // server-assigned request_id. The re-render is paid by traced requests
+  // alone; default responses are returned untouched, byte for byte.
+  const auto finalize = [&](std::string response, bool ok,
+                            std::string_view status) {
+    if (context != nullptr) {
+      context->ok = ok;
+      context->status = std::string(status);
+      if (context->trace_requested && context->request_id != 0) {
+        util::Json parsed = util::Json::parse(response);
+        parsed["request_id"] = static_cast<std::int64_t>(context->request_id);
+        response = parsed.dump();
+      }
+    }
+    return response;
+  };
+
   util::Json request;
   try {
+    const util::ScopedTimer parse_timer(
+        context != nullptr ? &context->parse_seconds : nullptr);
     request = util::Json::parse(request_text);
   } catch (const std::exception& e) {
     kMalformed.inc();
     kRequestsFailed.inc();
-    return error_response("malformed", e.what());
+    return finalize(error_response("malformed", e.what()), false, "malformed");
   }
 
   try {
     util::require(request.is_object(), "request must be a JSON object");
     const std::string& type = request.at("type").as_string();
+    if (context != nullptr) {
+      context->type = type;
+      context->trace_requested =
+          context->trace_requested || request.contains("trace");
+    }
     if (type == "metrics") {
       // Count the scrape as completed before rendering, so the export it
       // returns satisfies requests_total == ok + failed instead of showing
       // itself as perpetually in flight.
       kRequestsOk.inc();
-      return handle_parsed(type, request);
+      return finalize(handle_parsed(type, request, context), true, "ok");
     }
-    std::string response = handle_parsed(type, request);
+    std::string response = handle_parsed(type, request, context);
     kRequestsOk.inc();
-    return response;
+    return finalize(std::move(response), true, "ok");
   } catch (const util::Error& e) {
     kRequestsFailed.inc();
-    return error_response(code_for(e.category()), e.what());
+    const char* code = code_for(e.category());
+    return finalize(error_response(code, e.what()), false, code);
   } catch (const std::exception& e) {
     kRequestsFailed.inc();
-    return error_response("internal", e.what());
+    return finalize(error_response("internal", e.what()), false, "internal");
   }
 }
 
 std::string RankService::handle_parsed(const std::string& type,
-                                       const util::Json& request) {
+                                       const util::Json& request,
+                                       RequestContext* context) {
   if (type == "ping") {
     util::Json out;
     out["ok"] = true;
@@ -165,6 +203,7 @@ std::string RankService::handle_parsed(const std::string& type,
   }
 
   if (type == "metrics") {
+    util::touch_uptime();
     std::ostringstream body;
     util::MetricsRegistry::instance().write_prometheus(body);
     util::Json out;
@@ -188,10 +227,20 @@ std::string RankService::handle_parsed(const std::string& type,
 
   if (type == "rank") {
     const core::RankOptions options = options_with_overrides(request);
-    const core::Instance inst = builder_.build(options);
+    const core::Instance inst = [&] {
+      const util::ScopedTimer build_timer(
+          context != nullptr ? &context->build_seconds : nullptr);
+      return builder_.build(options);
+    }();
     core::DpOptions dp;
     dp.refine_boundary = options.refine_boundary;
-    const core::RankResult result = core::dp_rank(inst, dp);
+    const core::RankResult result = [&] {
+      const util::ScopedTimer dp_timer(
+          context != nullptr ? &context->dp_seconds : nullptr);
+      return core::dp_rank(inst, dp);
+    }();
+    const util::ScopedTimer format_timer(
+        context != nullptr ? &context->format_seconds : nullptr);
     util::Json out = rank_result_to_json(result);
     out["ok"] = true;
     out["type"] = "rank";

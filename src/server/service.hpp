@@ -40,6 +40,13 @@
 /// request must receive byte-identical responses (the server's
 /// determinism contract, tested in tests/test_server.cpp).
 ///
+/// Trace opt-in: a request may carry a top-level `"trace"` field (any
+/// value). Through the daemon, such a request is never batch-coalesced
+/// and its response additionally carries `"request_id":<n>`, the
+/// server-assigned id /debug/requests reports. Requests without `trace`
+/// never see an id — opting in is the only way to perturb response
+/// bytes, and it perturbs only your own.
+///
 /// handle() never throws and never terminates the process — every
 /// failure, including malformed JSON, becomes an error response. That is
 /// the per-request isolation half of the daemon's failure model; the
@@ -55,6 +62,8 @@
 #include "src/util/json.hpp"
 
 namespace iarank::server {
+
+struct RequestContext;
 
 struct ServiceOptions {
   /// Parallelism of one sweep request's grid (the shared pool bounds
@@ -81,6 +90,15 @@ class RankService {
   /// Thread-safe: workers call this concurrently.
   [[nodiscard]] std::string handle(std::string_view request_text);
 
+  /// Context-carrying overload: fills the stage timings (parse/build/dp/
+  /// format), type and outcome into `*context`, and — only when the
+  /// client supplied a top-level `trace` field (context->trace_requested)
+  /// — echoes the server-assigned request_id into the response. With a
+  /// null context, identical to handle(request_text): responses stay
+  /// byte-deterministic.
+  [[nodiscard]] std::string handle(std::string_view request_text,
+                                   RequestContext* context);
+
   /// Builds the canonical error response ({"ok":false,...}). `code` is a
   /// protocol error code string; exposed so the transport layer emits
   /// the same shape for queue-full ("overloaded") and framing
@@ -98,7 +116,8 @@ class RankService {
 
  private:
   [[nodiscard]] std::string handle_parsed(const std::string& type,
-                                          const util::Json& request);
+                                          const util::Json& request,
+                                          RequestContext* context);
 
   /// Served baseline options + the request's `overrides` object (validated;
   /// unknown keys rejected with bad-input).

@@ -1,0 +1,110 @@
+#include "src/util/build_info.hpp"
+
+#include <chrono>
+
+#include "src/util/metrics.hpp"
+
+// Baked in by src/util/CMakeLists.txt at configure time; the fallbacks
+// keep non-CMake compiles (tooling, IDE indexers) working.
+#ifndef IARANK_GIT_DESCRIBE
+#define IARANK_GIT_DESCRIBE "unknown"
+#endif
+#ifndef IARANK_COMPILER
+#define IARANK_COMPILER "unknown"
+#endif
+#ifndef IARANK_SANITIZE_FLAGS
+#define IARANK_SANITIZE_FLAGS "none"
+#endif
+
+namespace iarank::util {
+
+namespace {
+
+struct StartStamp {
+  std::chrono::system_clock::time_point wall;
+  std::chrono::steady_clock::time_point mono;
+};
+
+const StartStamp& start_stamp() {
+  static const StartStamp* stamp = new StartStamp{
+      std::chrono::system_clock::now(), std::chrono::steady_clock::now()};
+  return *stamp;
+}
+
+// Force the stamp as early as static initialization reaches this TU, so
+// "uptime" means process lifetime, not time-since-first-scrape.
+const StartStamp& kEarlyStamp = start_stamp();
+
+std::string escape_label(const std::string& value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+const std::string& build_info_metric_name() {
+  static const std::string* name = [] {
+    const BuildInfo& info = build_info();
+    return new std::string("iarank_build_info{git=\"" +
+                           escape_label(info.git) + "\",compiler=\"" +
+                           escape_label(info.compiler) + "\",sanitize=\"" +
+                           escape_label(info.sanitize) + "\"}");
+  }();
+  return *name;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo* info = new BuildInfo{
+      IARANK_GIT_DESCRIBE, IARANK_COMPILER, IARANK_SANITIZE_FLAGS};
+  return *info;
+}
+
+double process_start_time_seconds() {
+  return std::chrono::duration<double>(start_stamp().wall.time_since_epoch())
+      .count();
+}
+
+double process_uptime_seconds() {
+  (void)kEarlyStamp;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_stamp().mono)
+      .count();
+}
+
+void register_build_metrics() {
+  MetricsRegistry::gauge(
+      build_info_metric_name(),
+      "Build metadata; value is always 1, the labels carry the info")
+      .set(1);
+  MetricsRegistry::gauge("iarank_process_start_time_seconds",
+                         "Unix time the process started")
+      .set(static_cast<std::int64_t>(process_start_time_seconds()));
+  touch_uptime();
+}
+
+void touch_uptime() {
+  MetricsRegistry::gauge("iarank_process_uptime_seconds",
+                         "Seconds since process start, refreshed per export")
+      .set(static_cast<std::int64_t>(process_uptime_seconds()));
+}
+
+Json build_info_json() {
+  const BuildInfo& info = build_info();
+  Json out;
+  out["git"] = info.git;
+  out["compiler"] = info.compiler;
+  out["sanitize"] = info.sanitize;
+  out["start_time"] = process_start_time_seconds();
+  out["uptime_seconds"] = process_uptime_seconds();
+  return out;
+}
+
+}  // namespace iarank::util

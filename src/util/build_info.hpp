@@ -1,0 +1,44 @@
+/// \file build_info.hpp
+/// \brief Build and process metadata: git describe, compiler, sanitizer
+///        flags (baked in at configure time) plus process start/uptime.
+///
+/// Exposed two ways: as Prometheus gauges (`iarank_build_info{...} 1`,
+/// `iarank_process_start_time_seconds`, `iarank_process_uptime_seconds`)
+/// and as the JSON object `/healthz` serves. The build_info gauge follows
+/// the Prometheus "info metric" convention — the value is always 1 and
+/// the labels carry the metadata, so dashboards can join on it.
+
+#pragma once
+
+#include "src/util/json.hpp"
+
+#include <string>
+
+namespace iarank::util {
+
+struct BuildInfo {
+  std::string git;       ///< `git describe --always --dirty --tags`
+  std::string compiler;  ///< compiler id + version
+  std::string sanitize;  ///< IARANK_SANITIZE value, or "none"
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Unix-epoch seconds at process start (stamped at static init).
+[[nodiscard]] double process_start_time_seconds();
+
+/// Monotonic seconds since process start.
+[[nodiscard]] double process_uptime_seconds();
+
+/// Registers (and re-sets — idempotent, survives reset_all) the
+/// build-info and start-time gauges and refreshes uptime.
+void register_build_metrics();
+
+/// Refreshes the uptime gauge; exporters call this just before writing.
+void touch_uptime();
+
+/// {"compiler":...,"git":...,"sanitize":...,"start_time":...,
+///  "uptime_seconds":...} — the /healthz payload body.
+[[nodiscard]] Json build_info_json();
+
+}  // namespace iarank::util

@@ -1,0 +1,312 @@
+#include "src/util/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "src/util/atomic_file.hpp"
+#include "src/util/error.hpp"
+#include "src/util/metrics.hpp"
+
+namespace iarank::util {
+
+namespace {
+
+Counter& kEventsEmitted = MetricsRegistry::counter(
+    "iarank_events_total", "Structured events recorded by util::EventLog");
+Counter& kFlightDumps =
+    MetricsRegistry::counter("iarank_flight_recorder_dumps_total",
+                             "Flight-recorder ring dumps written");
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One thread's pending JSONL lines for the file sink. shared_ptr-owned
+/// jointly by the thread_local handle and the registry, so neither a
+/// thread exiting nor a late flush dangles.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+};
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ::ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Upper bound on the armed dump path so the signal-safe path buffers
+/// (which a handler reads without locking or allocating) are fixed-size.
+constexpr std::size_t kMaxDumpPath = 3584;
+
+}  // namespace
+
+const char* severity_name(Severity sev) {
+  switch (sev) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+struct EventLog::Impl {
+  std::mutex mutex;  ///< buffer registry, sink fd, dump paths
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+
+  int sink_fd = -1;
+  std::string sink_path;
+  std::atomic<bool> sink_open{false};
+
+  std::atomic<bool> ring_armed{false};
+  std::string ring_path;
+  // NUL-terminated copies for dump_flight_recorder_signal_safe: written
+  // under `mutex` before the release-store to ring_armed, read by the
+  // handler after an acquire-load, never reallocated.
+  char sig_tmp_path[kMaxDumpPath + 64] = {0};
+  char sig_final_path[kMaxDumpPath + 64] = {0};
+
+  /// Seqlocked ring slot: seq is odd while a writer is mid-copy, and
+  /// bumps on every rewrite, so readers can detect (and skip) torn text.
+  struct RingSlot {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint32_t> length{0};
+    char text[kSlotBytes];
+  };
+  std::atomic<std::uint64_t> ring_head{0};  ///< total events ring-recorded
+  RingSlot slots[kRingSlots];
+
+  std::shared_ptr<ThreadBuffer> thread_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+      auto fresh = std::make_shared<ThreadBuffer>();
+      const std::scoped_lock lock(mutex);
+      buffers.push_back(fresh);
+      return fresh;
+    }();
+    return buffer;
+  }
+};
+
+EventLog::EventLog() : impl_(new Impl) {}
+
+EventLog& EventLog::instance() {
+  static EventLog* log = new EventLog;  // leaked on purpose
+  return *log;
+}
+
+void EventLog::open(const std::string& path) {
+  Impl& impl = *impl_;
+  const std::scoped_lock lock(impl.mutex);
+  require(impl.sink_fd < 0,
+          "EventLog: a log sink is already open (" + impl.sink_path + ")");
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  require_io(fd >= 0, "EventLog: cannot open '" + path +
+                          "': " + std::strerror(errno));
+  // Drop lines buffered by threads after the previous close(): they
+  // belong to the old sink, not this one.
+  for (const auto& buffer : impl.buffers) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    buffer->lines.clear();
+  }
+  impl.sink_fd = fd;
+  impl.sink_path = path;
+  impl.sink_open.store(true, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventLog::close() {
+  flush();
+  Impl& impl = *impl_;
+  const std::scoped_lock lock(impl.mutex);
+  if (impl.sink_fd < 0) return;
+  impl.sink_open.store(false, std::memory_order_relaxed);
+  ::close(impl.sink_fd);
+  impl.sink_fd = -1;
+  impl.sink_path.clear();
+  enabled_.store(impl.ring_armed.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+void EventLog::arm_flight_recorder(const std::string& path) {
+  require(path.size() <= kMaxDumpPath,
+          "EventLog: flight-recorder path too long");
+  Impl& impl = *impl_;
+  const std::scoped_lock lock(impl.mutex);
+  impl.ring_path = path;
+  const std::string tmp = path + ".sig.tmp";
+  std::snprintf(impl.sig_tmp_path, sizeof impl.sig_tmp_path, "%s",
+                tmp.c_str());
+  std::snprintf(impl.sig_final_path, sizeof impl.sig_final_path, "%s",
+                path.c_str());
+  impl.ring_armed.store(true, std::memory_order_release);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventLog::disarm_flight_recorder() {
+  Impl& impl = *impl_;
+  const std::scoped_lock lock(impl.mutex);
+  impl.ring_armed.store(false, std::memory_order_release);
+  impl.ring_path.clear();
+  enabled_.store(impl.sink_open.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+bool EventLog::flight_recorder_armed() const {
+  return impl_->ring_armed.load(std::memory_order_relaxed);
+}
+
+std::string EventLog::flight_recorder_path() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->ring_path;
+}
+
+void EventLog::emit(Severity sev, std::string_view type, Json fields) {
+  if (!enabled()) return;
+  Json line;
+  line["ts_ms"] = wall_ms();
+  line["sev"] = severity_name(sev);
+  line["type"] = std::string(type);
+  if (!fields.is_null()) line["fields"] = std::move(fields);
+  std::string text = line.dump();
+  kEventsEmitted.inc();
+
+  Impl& impl = *impl_;
+  if (impl.ring_armed.load(std::memory_order_relaxed)) {
+    std::string stub;
+    const std::string* ring_text = &text;
+    if (text.size() > kSlotBytes) {
+      // A truncated JSON line would poison the dump; record a valid stub
+      // instead (the file sink still gets the full line).
+      Json short_line;
+      short_line["ts_ms"] = wall_ms();
+      short_line["sev"] = severity_name(sev);
+      short_line["type"] = std::string(type.substr(0, 64));
+      short_line["truncated"] = true;
+      stub = short_line.dump();
+      ring_text = &stub;
+    }
+    const std::uint64_t index =
+        impl.ring_head.fetch_add(1, std::memory_order_relaxed);
+    Impl::RingSlot& slot = impl.slots[index % kRingSlots];
+    slot.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write begins
+    std::memcpy(slot.text, ring_text->data(), ring_text->size());
+    slot.length.store(static_cast<std::uint32_t>(ring_text->size()),
+                      std::memory_order_relaxed);
+    slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+  }
+  if (impl.sink_open.load(std::memory_order_relaxed)) {
+    const auto buffer = impl.thread_buffer();
+    const std::scoped_lock lock(buffer->mutex);
+    buffer->lines.push_back(std::move(text));
+  }
+}
+
+void EventLog::flush() {
+  Impl& impl = *impl_;
+  const std::scoped_lock lock(impl.mutex);
+  if (impl.sink_fd < 0) return;
+  std::string out;
+  for (const auto& buffer : impl.buffers) {
+    std::vector<std::string> lines;
+    {
+      const std::scoped_lock buffer_lock(buffer->mutex);
+      lines.swap(buffer->lines);
+    }
+    for (const std::string& line : lines) {
+      out += line;
+      out += '\n';
+    }
+  }
+  if (!out.empty()) {
+    require_io(write_all(impl.sink_fd, out.data(), out.size()),
+               "EventLog: write to '" + impl.sink_path + "' failed");
+  }
+}
+
+std::vector<std::string> EventLog::ring_snapshot() const {
+  Impl& impl = *impl_;
+  std::vector<std::string> out;
+  const std::uint64_t head = impl.ring_head.load(std::memory_order_acquire);
+  const std::uint64_t count = head < kRingSlots ? head : kRingSlots;
+  const std::uint64_t start = head - count;
+  char local[kSlotBytes];
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Impl::RingSlot& slot = impl.slots[(start + i) % kRingSlots];
+    const std::uint32_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if ((seq_before & 1u) != 0) continue;  // writer mid-copy
+    const std::uint32_t length = slot.length.load(std::memory_order_relaxed);
+    if (length == 0 || length > kSlotBytes) continue;
+    std::memcpy(local, slot.text, length);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+    out.emplace_back(local, length);
+  }
+  return out;
+}
+
+void EventLog::dump_flight_recorder() const {
+  Impl& impl = *impl_;
+  if (!impl.ring_armed.load(std::memory_order_acquire)) return;
+  std::string path;
+  {
+    const std::scoped_lock lock(impl.mutex);
+    path = impl.ring_path;
+  }
+  std::string out;
+  for (const std::string& line : ring_snapshot()) {
+    out += line;
+    out += '\n';
+  }
+  atomic_write_file(path, out);
+  kFlightDumps.inc();
+}
+
+void EventLog::dump_flight_recorder_signal_safe() const noexcept {
+  // Async-signal-safe: open/write/fsync/close/rename only, fixed-size
+  // stack buffers, paths precomputed at arm time, relaxed atomics.
+  Impl& impl = *impl_;
+  if (!impl.ring_armed.load(std::memory_order_acquire)) return;
+  const int fd = ::open(impl.sig_tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  char local[kSlotBytes + 1];
+  const std::uint64_t head = impl.ring_head.load(std::memory_order_acquire);
+  const std::uint64_t count = head < kRingSlots ? head : kRingSlots;
+  const std::uint64_t start = head - count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Impl::RingSlot& slot = impl.slots[(start + i) % kRingSlots];
+    const std::uint32_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if ((seq_before & 1u) != 0) continue;
+    const std::uint32_t length = slot.length.load(std::memory_order_relaxed);
+    if (length == 0 || length > kSlotBytes) continue;
+    std::memcpy(local, slot.text, length);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+    local[length] = '\n';
+    if (!write_all(fd, local, length + 1)) break;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  if (::rename(impl.sig_tmp_path, impl.sig_final_path) == 0) {
+    kFlightDumps.inc();
+  }
+}
+
+}  // namespace iarank::util

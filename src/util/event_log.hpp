@@ -1,0 +1,112 @@
+/// \file event_log.hpp
+/// \brief Process-wide structured event sink: JSONL file log plus a
+///        bounded in-memory "flight recorder" ring.
+///
+/// The event log is the request-scoped complement to util::Trace (spans)
+/// and util::MetricsRegistry (aggregates): discrete, timestamped,
+/// structured records of what the process did — a slow request with its
+/// stage breakdown, a backpressure trip, a worker claiming a chunk. Two
+/// sinks share one `emit()` call:
+///
+///  - a JSONL file sink (`open()`): events buffer per thread (one mutex
+///    push each, no global lock on the hot path) and `flush()` drains
+///    them to an O_APPEND fd. Lines within a thread stay FIFO; across
+///    threads the file order is arbitrary — consumers sort by `ts_ms`.
+///  - a flight recorder (`arm_flight_recorder()`): a fixed ring of
+///    preallocated slots holding the most recent events, dumped to a
+///    precomputed path on demand (`dump_flight_recorder()`, via
+///    util::atomic_write_file) or from a fatal-signal handler
+///    (`dump_flight_recorder_signal_safe()`, raw syscalls only — the
+///    paths are precomputed at arm time because a handler may not
+///    allocate). Slots are seqlocked so a dump taken concurrently with
+///    writers never emits a torn line.
+///
+/// Cost model mirrors util::Trace: `enabled()` is one relaxed atomic
+/// load, and every call site gates on it, so a binary that never opens
+/// a log or arms the recorder pays (almost) nothing.
+///
+/// Event line schema (one JSON object per line; keys serialize sorted):
+///
+///   {"fields":{...},"sev":"info","ts_ms":1717171717000,"type":"..."}
+///
+/// `ts_ms` is wall-clock milliseconds, `sev` one of debug|info|warn|
+/// error, `type` a dotted event name (e.g. "request.slow"), `fields`
+/// an optional object of event-specific data. tests/validate_events.py
+/// checks this schema.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/json.hpp"
+
+namespace iarank::util {
+
+enum class Severity { kDebug, kInfo, kWarn, kError };
+
+[[nodiscard]] const char* severity_name(Severity sev);
+
+class EventLog {
+ public:
+  /// The process-wide instance (leaked on purpose: signal handlers and
+  /// exit paths must never race its destruction).
+  static EventLog& instance();
+
+  /// Opens the JSONL file sink (O_APPEND, created 0644) and enables the
+  /// log. Throws util::Error if a sink is already open or on I/O error.
+  void open(const std::string& path);
+
+  /// Flushes the per-thread buffers and closes the file sink. No-op when
+  /// no sink is open.
+  void close();
+
+  /// Arms the flight recorder: subsequent events are (also) recorded in
+  /// the in-memory ring, and the dump paths are precomputed so the
+  /// signal-safe dump needs no allocation. Re-arming re-points the dump.
+  void arm_flight_recorder(const std::string& path);
+  void disarm_flight_recorder();
+  [[nodiscard]] bool flight_recorder_armed() const;
+  [[nodiscard]] std::string flight_recorder_path() const;
+
+  /// True when a file sink is open or the flight recorder is armed. One
+  /// relaxed atomic load — every emit call site gates on this.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one event (no-op unless enabled). Lines longer than
+  /// kSlotBytes are replaced in the ring by a short `"truncated":true`
+  /// stub so the dump stays valid JSONL; the file sink keeps the full
+  /// line.
+  void emit(Severity sev, std::string_view type, Json fields = Json());
+
+  /// Drains every thread's buffered lines to the file sink.
+  void flush();
+
+  /// Dumps the ring (oldest first) atomically to the armed path. Normal
+  /// code paths only — allocates. No-op when not armed.
+  void dump_flight_recorder() const;
+
+  /// Async-signal-safe dump: raw open/write/fsync/rename on the paths
+  /// precomputed at arm time. Best effort; never throws or allocates.
+  void dump_flight_recorder_signal_safe() const noexcept;
+
+  /// The ring contents, oldest first (tests and the normal-path dump).
+  [[nodiscard]] std::vector<std::string> ring_snapshot() const;
+
+  static constexpr std::size_t kRingSlots = 256;
+  static constexpr std::size_t kSlotBytes = 768;
+
+ private:
+  EventLog();
+
+  struct Impl;
+  Impl* impl_;  ///< leaked with the singleton
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace iarank::util

@@ -322,6 +322,28 @@ bool LeaseQueue::idle() {
   return list_ids(dir_, "todo-").empty() && list_ids(dir_, "lease-").empty();
 }
 
+LeaseQueue::Snapshot LeaseQueue::snapshot() {
+  const DirLock lock(dir_);
+  Snapshot out;
+  for (const std::int64_t id : list_ids(dir_, "todo-")) {
+    ChunkFile f;
+    if (parse_chunk_file(dir_ + "/todo-" + std::to_string(id), f)) {
+      out.todos.push_back(f.chunk);
+    }
+  }
+  for (const std::int64_t id : list_ids(dir_, "lease-")) {
+    ChunkFile f;
+    if (!parse_chunk_file(dir_ + "/lease-" + std::to_string(id), f)) continue;
+    LeaseView view;
+    view.chunk = f.chunk;
+    view.worker = f.worker;  // "" for a torn claim
+    view.heartbeat_ms = f.heartbeat_ms;
+    view.progress = f.progress;
+    out.leases.push_back(std::move(view));
+  }
+  return out;
+}
+
 std::size_t LeaseQueue::todo_count() {
   const DirLock lock(dir_);
   return list_ids(dir_, "todo-").size();

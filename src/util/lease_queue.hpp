@@ -117,6 +117,25 @@ class LeaseQueue {
   /// been completed (or its worker finished and released the chunk).
   [[nodiscard]] bool idle();
 
+  /// One live lease as seen by snapshot(): the chunk plus the owner's
+  /// heartbeat and journaled-progress stamp (a torn 3-field claim reads
+  /// as an empty worker with progress == lo).
+  struct LeaseView {
+    LeaseChunk chunk;
+    std::string worker;
+    std::int64_t heartbeat_ms = 0;
+    std::int64_t progress = 0;
+  };
+
+  /// Read-only view of the whole queue under one lock acquisition:
+  /// unclaimed chunks plus every live lease. The coordinator's status
+  /// surface polls this; it never mutates queue state.
+  struct Snapshot {
+    std::vector<LeaseChunk> todos;
+    std::vector<LeaseView> leases;
+  };
+  [[nodiscard]] Snapshot snapshot();
+
   /// Number of unclaimed chunks (diagnostic).
   [[nodiscard]] std::size_t todo_count();
 

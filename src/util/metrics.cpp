@@ -1,6 +1,7 @@
 #include "src/util/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <locale>
 #include <memory>
 #include <ostream>
@@ -35,6 +36,27 @@ std::string format_double(double v) {
   // to_chars, not snprintf: the export spelling must not depend on the
   // process locale (a daemon may run under LC_NUMERIC=de_DE).
   return format_double_general(v, 9);
+}
+
+/// JSON string-escapes a metric name. Labeled names (the info-metric
+/// idiom, e.g. iarank_build_info{git="v1"}) embed double quotes, which
+/// must not leak raw into a JSON key.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -167,18 +189,22 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
   const std::scoped_lock lock(mutex_);
   for (const auto& entry : entries_) {
     const Entry& e = *entry;
-    if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+    // Labeled metrics (the info-metric idiom, e.g. iarank_build_info)
+    // embed `{label="v",...}` in the registered name; HELP/TYPE lines
+    // must carry the bare family name, samples keep the labels.
+    const std::string family = e.name.substr(0, e.name.find('{'));
+    if (!e.help.empty()) os << "# HELP " << family << " " << e.help << "\n";
     switch (e.kind) {
       case Kind::kCounter:
-        os << "# TYPE " << e.name << " counter\n";
+        os << "# TYPE " << family << " counter\n";
         os << e.name << " " << e.counter.value() << "\n";
         break;
       case Kind::kGauge:
-        os << "# TYPE " << e.name << " gauge\n";
+        os << "# TYPE " << family << " gauge\n";
         os << e.name << " " << e.gauge.value() << "\n";
         break;
       case Kind::kHistogram: {
-        os << "# TYPE " << e.name << " histogram\n";
+        os << "# TYPE " << family << " histogram\n";
         const auto counts = e.histogram->bucket_counts();
         const auto& bounds = e.histogram->bounds();
         std::int64_t cumulative = 0;
@@ -211,7 +237,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     const Entry& e = *entry;
     if (!first) os << ",\n";
     first = false;
-    os << "  \"" << e.name << "\": ";
+    os << "  \"" << json_escape(e.name) << "\": ";
     switch (e.kind) {
       case Kind::kCounter:
         os << e.counter.value();

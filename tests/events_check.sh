@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Event-log surface check: self-test the validator, then exercise both
+# sinks end to end —
+#   (1) a sweep with --log must write a JSONL event log carrying the
+#       tool and sweep lifecycle events;
+#   (2) a run with --flight-recorder must leave a valid dump on a clean
+#       exit;
+#   (3) a sweep SIGTERMed mid-grid with --flight-recorder must still
+#       leave a valid dump (the signal handler's async-signal-safe path;
+#       if the race is lost and the sweep finishes first, the exit-time
+#       dump covers the same contract).
+#
+# usage: events_check.sh <rank_tool> <config>
+set -euo pipefail
+
+RANK_TOOL=${1:?usage: events_check.sh <rank_tool> <config>}
+CONFIG=${2:?usage: events_check.sh <rank_tool> <config>}
+HERE=$(cd "$(dirname "$0")" && pwd)
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+python3 "$HERE/validate_events.py" --self-test
+
+# (1) File sink: full lifecycle present, every line schema-valid.
+"$RANK_TOOL" "$CONFIG" sweep C 0.5e9 1.7e9 5 --jobs 2 \
+  --log "$WORK/events.jsonl" > /dev/null
+python3 "$HERE/validate_events.py" "$WORK/events.jsonl" \
+  --require-type tool.start --require-type sweep.start \
+  --require-type sweep.point --require-type sweep.done \
+  --require-type tool.exit
+
+# (2) Flight recorder, clean exit.
+"$RANK_TOOL" "$CONFIG" rank --flight-recorder "$WORK/flight.jsonl" > /dev/null
+python3 "$HERE/validate_events.py" "$WORK/flight.jsonl" \
+  --require-type tool.start
+
+# (3) Flight recorder, SIGTERM mid-sweep. Either the handler's
+# signal-safe dump or (race lost) the clean-exit dump must be there and
+# valid — a torn or missing file fails either way.
+rm -f "$WORK/flight.jsonl"
+"$RANK_TOOL" "$CONFIG" sweep C 0.4e9 1.8e9 400 --jobs 1 \
+  --flight-recorder "$WORK/flight.jsonl" > /dev/null 2>&1 &
+PID=$!
+sleep 0.2
+kill -TERM "$PID" 2> /dev/null || true
+wait "$PID" || true
+python3 "$HERE/validate_events.py" "$WORK/flight.jsonl" \
+  --require-type tool.start --require-type sweep.start
+
+echo "OK: validator self-test passed, file sink and flight recorder validate"

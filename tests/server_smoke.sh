@@ -24,8 +24,10 @@ trap cleanup EXIT
 SOCKET="$WORK/rank.sock"
 ADDR="unix:$SOCKET"
 
+# --slow-ms far below any real request time: every request must land in
+# the /debug/slow ring, so the debug-surface checks below see traffic.
 "$RANK_TOOL" serve "$CONFIG" --socket "$SOCKET" --workers 2 --http-port 0 \
-  > "$WORK/server.log" 2>&1 &
+  --slow-ms 0.001 > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the readiness lines (the daemon prints them only once the
@@ -71,6 +73,17 @@ grep -q '"bad-input"' "$WORK/bad.json"
 "$RANK_TOOL" request "$ADDR" sweep K 3.9 3.3 3 > /dev/null
 EXPECTED_OK=$((EXPECTED_OK + 1))
 
+# Trace opt-in: a top-level `trace` field buys a request_id echo; the
+# default responses diffed above must carry none (byte determinism).
+if grep -q 'request_id' "$WORK/rank1.json"; then
+  echo "FAIL: default response leaked a request_id" >&2
+  exit 1
+fi
+"$RANK_TOOL" request "$ADDR" raw '{"trace":true,"type":"rank"}' \
+  > "$WORK/traced.json"
+EXPECTED_OK=$((EXPECTED_OK + 1))
+grep -q '"request_id":' "$WORK/traced.json"
+
 # The HTTP metrics endpoint: scrape it like a real Prometheus server
 # would and validate the exposition format (cumulative buckets, +Inf,
 # _count/_sum consistency).
@@ -83,10 +96,48 @@ sys.stdout.write(urllib.request.urlopen('http://127.0.0.1:$HTTP_PORT' + \
 sys.argv[1]).read().decode())" "$1"
   fi
 }
-http_get /healthz > /dev/null
+http_get /healthz > "$WORK/healthz.json"
+python3 - "$WORK/healthz.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"] == "ok", doc
+for key in ("git", "compiler", "sanitize", "start_time", "uptime_seconds"):
+    assert key in doc, f"healthz lacks {key}"
+EOF
 http_get /metrics > "$WORK/metrics_http.txt"
 python3 "$HERE/validate_metrics.py" "$WORK/metrics_http.txt"
 grep -q 'iarank_server_http_requests_total' "$WORK/metrics_http.txt"
+grep -q '^iarank_build_info{' "$WORK/metrics_http.txt"
+
+# The debug surfaces. /debug/requests and /debug/slow must parse and
+# carry the contract fields (the microscopic --slow-ms above guarantees
+# the slow ring saw the mix); /debug/trace is a bounded capture, so give
+# it a request mid-window and validate the Chrome trace it returns.
+http_get /debug/requests > "$WORK/debug_requests.json"
+python3 - "$WORK/debug_requests.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["count"] >= len(doc["requests"]) > 0, "recent ring is empty"
+for entry in doc["requests"]:
+    assert entry["request_id"] > 0, entry
+    for stage in ("parse", "queue", "dp", "total", "write"):
+        assert stage in entry["ms"], entry
+EOF
+http_get /debug/slow > "$WORK/debug_slow.json"
+python3 - "$WORK/debug_slow.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["slow_threshold_ms"] > 0, doc
+assert doc["count"] > 0 and len(doc["requests"]) > 0, "slow ring is empty"
+EOF
+http_get '/debug/trace?ms=800' > "$WORK/debug_trace.json" &
+TRACE_HTTP_PID=$!
+sleep 0.2
+"$RANK_TOOL" request "$ADDR" rank miller_factor=1.5 > /dev/null
+EXPECTED_OK=$((EXPECTED_OK + 1))
+wait "$TRACE_HTTP_PID"
+python3 "$HERE/validate_trace.py" "$WORK/debug_trace.json" \
+  --require-span dp_rank
 
 # Optional load generator against the same daemon's service class (it
 # spins up its own in-process server; run it for the throughput numbers
@@ -140,5 +191,5 @@ if [ -e "$SOCKET.lock" ]; then
   echo "FAIL: lockfile left behind after shutdown" >&2
   exit 1
 fi
-echo "OK: daemon served the mix, HTTP scrape validated, books exact," \
-     "SIGTERM drained cleanly"
+echo "OK: daemon served the mix, HTTP scrape and debug surfaces" \
+     "validated, books exact, SIGTERM drained cleanly"

@@ -10,10 +10,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,7 +24,10 @@
 #include "src/core/engine.hpp"
 #include "src/core/sweep.hpp"
 #include "src/util/alloc_count.hpp"
+#include "src/util/build_info.hpp"
 #include "src/util/error.hpp"
+#include "src/util/event_log.hpp"
+#include "src/util/json.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/stopwatch.hpp"
 #include "src/util/thread_pool.hpp"
@@ -369,6 +375,164 @@ TEST(Trace, DisabledSpanPathAllocatesNothing) {
   g_count_allocations.store(false, std::memory_order_relaxed);
   EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0);
 #endif
+}
+
+// --- the event log -----------------------------------------------------------
+
+std::string event_path(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / "iarank_evt";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Every event line must parse standalone and carry the closed schema
+/// (ts_ms / sev / type, optional fields) — the C++ mirror of what
+/// tests/validate_events.py enforces on real logs.
+void expect_valid_event_line(const std::string& line) {
+  const util::Json event = util::Json::parse(line);
+  ASSERT_TRUE(event.is_object()) << line;
+  EXPECT_TRUE(event.at("ts_ms").is_number()) << line;
+  const std::string sev = event.at("sev").as_string();
+  EXPECT_TRUE(sev == "debug" || sev == "info" || sev == "warn" ||
+              sev == "error")
+      << line;
+  EXPECT_FALSE(event.at("type").as_string().empty()) << line;
+  if (event.contains("fields")) {
+    EXPECT_TRUE(event.at("fields").is_object()) << line;
+  }
+}
+
+TEST(EventLog, DisabledSinkDropsEventsAndRingStaysEmpty) {
+  util::EventLog& events = util::EventLog::instance();
+  ASSERT_FALSE(events.enabled());
+  events.emit(util::Severity::kInfo, "test.dropped");
+  events.flush();  // no sink: must be a no-op, not a crash
+  EXPECT_TRUE(events.ring_snapshot().empty());
+  events.dump_flight_recorder();  // not armed: no-op
+}
+
+TEST(EventLog, FileSinkRoundTripsEventsFromManyThreads) {
+  const std::string path = event_path("sink.jsonl");
+  std::filesystem::remove(path);
+  util::EventLog& events = util::EventLog::instance();
+  events.open(path);
+  EXPECT_TRUE(events.enabled());
+  EXPECT_THROW(events.open(path), util::Error);  // one sink at a time
+
+  constexpr int kThreads = 4;
+  constexpr int kEach = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i) {
+        util::Json fields;
+        fields["thread"] = t;
+        fields["i"] = i;
+        events.emit(util::Severity::kDebug, "test.sink", std::move(fields));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  events.close();
+  EXPECT_FALSE(events.enabled());
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kEach));
+  for (const std::string& line : lines) expect_valid_event_line(line);
+  // Per-thread FIFO: for each thread, the i fields appear in order.
+  std::map<std::int64_t, std::int64_t> next;
+  for (const std::string& line : lines) {
+    const util::Json event = util::Json::parse(line);
+    const std::int64_t thread = event.at("fields").at("thread").as_int();
+    EXPECT_EQ(event.at("fields").at("i").as_int(), next[thread]) << line;
+    ++next[thread];
+  }
+}
+
+TEST(EventLog, FlightRecorderRingWrapsKeepingTheNewestEvents) {
+  const std::string path = event_path("ring.jsonl");
+  std::filesystem::remove(path);
+  util::EventLog& events = util::EventLog::instance();
+  events.arm_flight_recorder(path);
+  EXPECT_TRUE(events.flight_recorder_armed());
+  EXPECT_TRUE(events.enabled());
+
+  const std::size_t total = util::EventLog::kRingSlots + 50;
+  for (std::size_t i = 0; i < total; ++i) {
+    util::Json fields;
+    fields["i"] = static_cast<std::int64_t>(i);
+    events.emit(util::Severity::kInfo, "test.ring", std::move(fields));
+  }
+  const std::vector<std::string> ring = events.ring_snapshot();
+  ASSERT_EQ(ring.size(), util::EventLog::kRingSlots);
+  // Oldest first, and only the newest kRingSlots survive the wrap.
+  for (std::size_t s = 0; s < ring.size(); ++s) {
+    expect_valid_event_line(ring[s]);
+    EXPECT_EQ(util::Json::parse(ring[s]).at("fields").at("i").as_int(),
+              static_cast<std::int64_t>(total - ring.size() + s));
+  }
+
+  events.dump_flight_recorder();
+  const std::vector<std::string> dumped = read_lines(path);
+  ASSERT_EQ(dumped.size(), ring.size());
+  EXPECT_EQ(dumped, ring);
+
+  events.disarm_flight_recorder();
+  EXPECT_FALSE(events.enabled());
+}
+
+TEST(EventLog, OversizedRingLineBecomesAValidTruncationStub) {
+  const std::string path = event_path("trunc.jsonl");
+  util::EventLog& events = util::EventLog::instance();
+  events.arm_flight_recorder(path);
+  util::Json fields;
+  fields["blob"] = std::string(2 * util::EventLog::kSlotBytes, 'x');
+  events.emit(util::Severity::kWarn, "test.huge", std::move(fields));
+  const std::vector<std::string> ring = events.ring_snapshot();
+  ASSERT_FALSE(ring.empty());
+  const util::Json stub = util::Json::parse(ring.back());
+  EXPECT_TRUE(stub.at("truncated").as_bool());
+  EXPECT_EQ(stub.at("type").as_string(), "test.huge");
+  EXPECT_LE(ring.back().size(), util::EventLog::kSlotBytes);
+  events.disarm_flight_recorder();
+}
+
+// --- build info --------------------------------------------------------------
+
+TEST(BuildInfo, InfoMetricAndHealthzPayloadCarryTheBakedMetadata) {
+  const util::BuildInfo& info = util::build_info();
+  EXPECT_FALSE(info.git.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.sanitize.empty());
+  EXPECT_GT(util::process_start_time_seconds(), 0.0);
+  EXPECT_GE(util::process_uptime_seconds(), 0.0);
+
+  util::register_build_metrics();
+  std::ostringstream os;
+  util::MetricsRegistry::instance().write_prometheus(os);
+  const std::string text = os.str();
+  // Info-metric convention: labeled sample with value 1, HELP/TYPE on
+  // the bare family name (no braces — validate_metrics.py enforces it).
+  EXPECT_NE(text.find("# TYPE iarank_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("iarank_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("iarank_process_start_time_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("iarank_process_uptime_seconds"), std::string::npos);
+
+  const util::Json payload = util::build_info_json();
+  for (const char* key :
+       {"git", "compiler", "sanitize", "start_time", "uptime_seconds"}) {
+    EXPECT_TRUE(payload.contains(key)) << key;
+  }
 }
 
 // --- allocation counter ------------------------------------------------------

@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,11 +39,13 @@
 #include "src/core/dp_rank.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/paper_setup.hpp"
+#include "src/server/context.hpp"
 #include "src/server/protocol.hpp"
 #include "src/server/server.hpp"
 #include "src/server/service.hpp"
 #include "src/util/bounded_queue.hpp"
 #include "src/util/error.hpp"
+#include "src/util/event_log.hpp"
 #include "src/util/json.hpp"
 #include "src/util/metrics.hpp"
 
@@ -967,6 +970,240 @@ TEST_F(ServerTest, LockfileClosesTheStaleProbeRace) {
             "{\"ok\":true,\"type\":\"pong\"}");
   ::close(fd);
   daemon.stop();
+}
+
+// --- request-scoped observability -------------------------------------------------
+
+TEST_F(ServerTest, TracedRequestsEchoUniqueIdsDefaultResponsesCarryNone) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("traceid.sock");
+  options.workers = 2;
+  server::Server daemon(service(), options);
+
+  const int fd = server::connect_to(daemon.address());
+  // The default path: no trace field, no request_id, bytes identical to
+  // the socket-free service response.
+  const std::string plain = server::round_trip(fd, "{\"type\":\"rank\"}");
+  EXPECT_EQ(plain.find("request_id"), std::string::npos);
+  EXPECT_EQ(plain, service().handle("{\"type\":\"rank\"}"));
+
+  // Opting in: a top-level trace field buys a server-assigned id, unique
+  // per request, with the payload otherwise unchanged.
+  const util::Json first = util::Json::parse(
+      server::round_trip(fd, "{\"trace\":true,\"type\":\"rank\"}"));
+  const util::Json second = util::Json::parse(
+      server::round_trip(fd, "{\"trace\":true,\"type\":\"rank\"}"));
+  ASSERT_TRUE(first.at("ok").as_bool());
+  EXPECT_GT(first.at("request_id").as_int(), 0);
+  EXPECT_NE(first.at("request_id").as_int(), second.at("request_id").as_int());
+  EXPECT_EQ(first.at("rank").as_int(),
+            util::Json::parse(plain).at("rank").as_int());
+  ::close(fd);
+  daemon.stop();
+}
+
+TEST_F(ServerTest, EventLogEnabledKeepsResponsesByteIdenticalAcrossWorkers) {
+  // The tentpole determinism contract: with the event log open, the
+  // flight recorder armed and a slow threshold that flags everything,
+  // default-path responses stay bitwise identical to the plain service
+  // responses — for 1, 4 and 8 workers.
+  const std::vector<std::string> variants = {
+      "{\"type\":\"rank\"}",
+      "{\"type\":\"rank\",\"overrides\":{\"ild_permittivity\":3.0}}",
+      "{\"type\":\"rank\",\"overrides\":{\"ild_permittivity\":3.3}}",
+      "{\"type\":\"rank\",\"overrides\":{\"miller_factor\":1.4}}",
+      "{\"type\":\"rank\",\"overrides\":{\"clock_hz\":\"1.5e9\"}}",
+  };
+  std::vector<std::string> expected;  // captured with the log disabled
+  expected.reserve(variants.size());
+  for (const std::string& v : variants) expected.push_back(service().handle(v));
+
+  const auto dir = std::filesystem::path(::testing::TempDir()) / "iarank_srv";
+  std::filesystem::create_directories(dir);
+  const std::string log_path = (dir / "server_events.jsonl").string();
+  const std::string flight_path = (dir / "server_flight.jsonl").string();
+  std::filesystem::remove(log_path);
+  util::EventLog& events = util::EventLog::instance();
+  events.open(log_path);
+  events.arm_flight_recorder(flight_path);
+
+  for (const unsigned workers : {1u, 4u, 8u}) {
+    server::ServerOptions options;
+    options.address.kind = server::Address::Kind::kUnix;
+    options.address.path =
+        socket_path("evtlog" + std::to_string(workers) + ".sock");
+    options.workers = workers;
+    options.slow_ms = 1e-6;  // everything is "slow": maximal logging
+    server::Server daemon(service(), options);
+
+    constexpr int kClients = 6;
+    constexpr int kRequestsEach = 10;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        const int fd = server::connect_to(daemon.address());
+        for (int r = 0; r < kRequestsEach; ++r) {
+          const std::size_t v = (c + r) % variants.size();
+          if (server::round_trip(fd, variants[v]) != expected[v]) {
+            ++mismatches;
+          }
+        }
+        ::close(fd);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    daemon.stop();
+    EXPECT_EQ(mismatches.load(), 0) << "workers=" << workers;
+  }
+
+  events.flush();
+  events.disarm_flight_recorder();
+  events.close();
+
+  // The log actually captured the traffic, and every line is valid.
+  std::ifstream in(log_path);
+  std::string line;
+  std::size_t slow_events = 0;
+  while (std::getline(in, line)) {
+    const util::Json event = util::Json::parse(line);
+    EXPECT_TRUE(event.at("ts_ms").is_number()) << line;
+    if (event.at("type").as_string() == "request.slow") ++slow_events;
+  }
+  EXPECT_GT(slow_events, 0u);
+}
+
+TEST_F(ServerTest, DebugEndpointsServeRequestLogAndBoundedTraceCapture) {
+  server::ServerOptions options;
+  options.address.kind = server::Address::Kind::kUnix;
+  options.address.path = socket_path("debug.sock");
+  options.workers = 2;
+  options.http_port = 0;
+  options.slow_ms = 1e-6;  // every request lands in the slow ring
+  server::Server daemon(service(), options);
+  ASSERT_TRUE(daemon.http_enabled());
+
+  util::Histogram& queue_wait = util::MetricsRegistry::histogram(
+      "iarank_server_queue_wait_seconds", util::Histogram::duration_bounds());
+  const std::int64_t waits_before = queue_wait.count();
+
+  const int fd = server::connect_to(daemon.address());
+  for (int i = 0; i < 3; ++i) {
+    (void)server::round_trip(fd, "{\"type\":\"rank\"}");
+  }
+  (void)server::round_trip(fd, "{\"trace\":true,\"type\":\"rank\"}");
+  ::close(fd);
+  // rank requests take the batched path, so each one's queue wait was
+  // observed.
+  EXPECT_GE(queue_wait.count() - waits_before, 4);
+
+  const auto body_of = [](const std::string& response) {
+    const auto at = response.find("\r\n\r\n");
+    EXPECT_NE(at, std::string::npos) << response;
+    return response.substr(at + 4);
+  };
+
+  // /debug/requests: the recent ring, oldest first, with the stage
+  // breakdown on every entry.
+  const std::string recent_response = http_exchange(
+      daemon.http_address(), "GET /debug/requests HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(recent_response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const util::Json recent = util::Json::parse(body_of(recent_response));
+  EXPECT_GE(recent.at("count").as_int(), 4);
+  const auto& entries = recent.at("requests").as_array();
+  ASSERT_GE(entries.size(), 4u);
+  for (const util::Json& entry : entries) {
+    EXPECT_GT(entry.at("request_id").as_int(), 0);
+    EXPECT_TRUE(entry.at("ms").contains("queue"));
+    EXPECT_TRUE(entry.at("ms").contains("dp"));
+    EXPECT_TRUE(entry.at("ms").contains("write"));
+  }
+
+  // /debug/slow: with a microscopic threshold, the same requests again.
+  const util::Json slow = util::Json::parse(body_of(http_exchange(
+      daemon.http_address(), "GET /debug/slow HTTP/1.1\r\n\r\n")));
+  EXPECT_GE(slow.at("count").as_int(), 4);
+  EXPECT_GT(slow.at("slow_threshold_ms").as_double(), 0.0);
+
+  // /debug/trace: a bounded capture returns Chrome trace JSON; bad or
+  // missing ms is a client error, not a hang.
+  const std::string trace_response = http_exchange(
+      daemon.http_address(), "GET /debug/trace?ms=50 HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(trace_response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_TRUE(util::Json::parse(body_of(trace_response))
+                  .contains("traceEvents"));
+  EXPECT_EQ(http_exchange(daemon.http_address(),
+                          "GET /debug/trace?ms=bogus HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 400 Bad Request\r\n", 0),
+            0u);
+
+  // Only one capture at a time: a second request while one is running is
+  // refused with 409, and the first still completes.
+  const int slow_fd = server::connect_to(daemon.http_address());
+  const std::string first_request =
+      "GET /debug/trace?ms=400 HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(slow_fd, first_request.data(), first_request.size(),
+                   MSG_NOSIGNAL),
+            static_cast<::ssize_t>(first_request.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(http_exchange(daemon.http_address(),
+                          "GET /debug/trace?ms=10 HTTP/1.1\r\n\r\n")
+                .rfind("HTTP/1.1 409 Conflict\r\n", 0),
+            0u);
+  std::string first_response;
+  char buf[4096];
+  while (true) {
+    const ::ssize_t n = ::recv(slow_fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    first_response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(slow_fd);
+  EXPECT_EQ(first_response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  daemon.stop();
+}
+
+TEST(RequestLog, RingsAreBoundedAndSlowCaptureHonorsTheThreshold) {
+  server::RequestLog log(/*recent_capacity=*/4, /*slow_capacity=*/2);
+  log.set_slow_threshold_ms(10.0);
+  for (int i = 0; i < 10; ++i) {
+    server::RequestContext context;
+    context.request_id = static_cast<std::uint64_t>(i + 1);
+    context.type = "rank";
+    context.ok = true;
+    context.status = "ok";
+    context.total_seconds = i >= 8 ? 0.05 : 0.001;  // last two are slow
+    log.record(context);
+  }
+  const util::Json recent = log.recent_json();
+  EXPECT_EQ(recent.at("count").as_int(), 10);  // lifetime total
+  const auto& entries = recent.at("requests").as_array();
+  ASSERT_EQ(entries.size(), 4u);  // ring capacity
+  EXPECT_EQ(entries.back().at("request_id").as_int(), 10);  // newest kept
+
+  const util::Json slow = log.slow_json();
+  EXPECT_EQ(slow.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(slow.at("slow_threshold_ms").as_double(), 10.0);
+  for (const util::Json& entry : slow.at("requests").as_array()) {
+    EXPECT_GE(entry.at("ms").at("total").as_double(), 10.0);
+  }
+
+  // The write stage is the residual of total minus the clocked stages.
+  server::RequestContext context;
+  context.total_seconds = 0.010;
+  context.dp_seconds = 0.004;
+  context.parse_seconds = 0.001;
+  const util::Json rendered = context.to_json();
+  EXPECT_NEAR(rendered.at("ms").at("write").as_double(), 5.0, 1e-9);
+
+  // A non-positive threshold disables slow capture entirely.
+  server::RequestLog quiet(4, 2);
+  quiet.set_slow_threshold_ms(0.0);
+  server::RequestContext slow_context;
+  slow_context.total_seconds = 99.0;
+  quiet.record(slow_context);
+  EXPECT_EQ(quiet.slow_json().at("count").as_int(), 0);
 }
 
 // --- client resilience: timeouts and bounded retry --------------------------------

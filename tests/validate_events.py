@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validates a JSONL event log written by util::EventLog (--log / the
+flight recorder dump).
+
+Checks (exit 0 when all hold, 1 otherwise, 2 on usage/IO errors):
+  * every line is a standalone JSON object (the file is JSONL — a torn
+    or truncated line anywhere fails the file)
+  * every event carries a numeric "ts_ms", a "sev" in
+    {debug, info, warn, error} and a nonempty string "type"
+  * "fields", when present, is an object
+  * no unknown top-level keys (the schema is closed: consumers sort and
+    filter on exactly these four)
+  * with --require-type NAME (repeatable), at least one event of each
+    named type is present
+
+Usage: validate_events.py FILE [--require-type NAME]...
+       validate_events.py -        (read stdin)
+       validate_events.py --self-test
+"""
+
+import io
+import json
+import sys
+
+SEVERITIES = {"debug", "info", "warn", "error"}
+TOP_KEYS = {"ts_ms", "sev", "type", "fields", "truncated"}
+
+
+def fail(message):
+    print(f"validate_events: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(stream, required):
+    events = 0
+    types = set()
+    for lineno, line in enumerate(stream, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            return fail(f"line {lineno}: empty line inside the log")
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(f"line {lineno}: not valid JSON ({e})")
+        if not isinstance(event, dict):
+            return fail(f"line {lineno}: not a JSON object")
+        unknown = set(event) - TOP_KEYS
+        if unknown:
+            return fail(f"line {lineno}: unknown keys {sorted(unknown)}")
+        if not isinstance(event.get("ts_ms"), (int, float)) or \
+                isinstance(event.get("ts_ms"), bool):
+            return fail(f"line {lineno}: ts_ms missing or not numeric")
+        if event.get("sev") not in SEVERITIES:
+            return fail(f"line {lineno}: sev {event.get('sev')!r} not in "
+                        f"{sorted(SEVERITIES)}")
+        etype = event.get("type")
+        if not isinstance(etype, str) or not etype:
+            return fail(f"line {lineno}: type missing or empty")
+        if "fields" in event and not isinstance(event["fields"], dict):
+            return fail(f"line {lineno}: fields is not an object")
+        events += 1
+        types.add(etype)
+    if events == 0:
+        return fail("log contains no events")
+    for name in required:
+        if name not in types:
+            return fail(f"required event type {name!r} not present; saw "
+                        f"{sorted(types)[:10]}")
+    print(f"validate_events: OK: {events} events, {len(types)} distinct "
+          f"types")
+    return 0
+
+
+def self_test():
+    ok = (
+        '{"fields":{"pid":1},"sev":"info","ts_ms":1717171717000,'
+        '"type":"tool.start"}\n'
+        '{"sev":"debug","ts_ms":1717171717001,"type":"sweep.point"}\n'
+        '{"sev":"warn","truncated":true,"ts_ms":1717171717002,'
+        '"type":"request.slow"}\n'
+    )
+    cases = [
+        (ok, [], 0),
+        (ok, ["tool.start"], 0),
+        (ok, ["missing.type"], 1),
+        ("", [], 1),                                   # empty log
+        ('{"sev":"info","ts_ms":1,"type":"a"}\nnot json\n', [], 1),
+        ('{"sev":"fatal","ts_ms":1,"type":"a"}\n', [], 1),   # bad sev
+        ('{"sev":"info","ts_ms":"x","type":"a"}\n', [], 1),  # bad ts
+        ('{"sev":"info","ts_ms":1,"type":""}\n', [], 1),     # empty type
+        ('{"sev":"info","ts_ms":1,"type":"a","extra":1}\n', [], 1),
+        ('{"fields":[1],"sev":"info","ts_ms":1,"type":"a"}\n', [], 1),
+        ('[1,2]\n', [], 1),                            # not an object
+    ]
+    for i, (text, required, expected) in enumerate(cases):
+        got = validate(io.StringIO(text), required)
+        if got != expected:
+            print(f"validate_events: self-test case {i} returned {got}, "
+                  f"expected {expected}", file=sys.stderr)
+            return 1
+    print("validate_events: self-test OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    path = argv[1]
+    required = []
+    args = argv[2:]
+    while args:
+        if args[0] == "--require-type" and len(args) >= 2:
+            required.append(args[1])
+            args = args[2:]
+        else:
+            print(f"validate_events: unknown argument {args[0]}",
+                  file=sys.stderr)
+            return 2
+    try:
+        if path == "-":
+            return validate(sys.stdin, required)
+        with open(path, encoding="utf-8") as f:
+            return validate(f, required)
+    except OSError as e:
+        print(f"validate_events: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark snapshot against a checked-in baseline.
+
+Handles both snapshot schemas produced by tests/bench_snapshot.sh:
+
+  * BENCH_dp.json — google-benchmark reports ("dp_kernel", "sweep"
+    sections with *_median / *_mean aggregate entries) plus the
+    deterministic "sweep_c_jobs1_dp_counters" block;
+  * BENCH_server.json — bench_server's flat dict (req/s, latency
+    percentiles, queue-wait percentiles, wire books).
+
+Timing metrics are compared against --threshold (percent): a timed
+metric that regresses past the threshold (slower, or lower req/s) fails
+the run. CI passes a deliberately generous threshold — shared runners
+are noisy, so only order-of-magnitude regressions should gate — while a
+developer on quiet hardware can tighten it. Deterministic DP counters
+are compared exactly; mismatches are informational by default (an
+intentional algorithm change legitimately moves them, and the snapshot
+is regenerated in the same PR) and fatal under --strict-counters.
+
+usage: bench_compare.py BASELINE FRESH [--threshold PCT]
+                        [--strict-counters]
+       bench_compare.py --self-test
+
+exit codes: 0 within threshold, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _gb_timings(section):
+    """name -> real_time from a google-benchmark section, preferring the
+    _median aggregate over _mean (3 repetitions; the median shrugs off a
+    single noisy run)."""
+    out = {}
+    for bench in section.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "real_time" not in bench:
+            continue
+        for suffix in ("_median", "_mean"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if suffix == "_median" or base not in out:
+                    out[base] = float(bench["real_time"])
+                break
+    return out
+
+
+def extract(snapshot):
+    """Returns (timings, counters). Timings map name -> (value,
+    better) with better in {"lower", "higher"}; counters map
+    name -> exact value."""
+    timings = {}
+    counters = {}
+    if "dp_kernel" in snapshot or "sweep" in snapshot:
+        for section in ("dp_kernel", "sweep"):
+            for name, value in _gb_timings(snapshot.get(section, {})).items():
+                timings[f"{section}/{name}"] = (value, "lower")
+        for name, value in snapshot.get(
+            "sweep_c_jobs1_dp_counters", {}
+        ).items():
+            counters[name] = value
+    elif snapshot.get("bench") == "bench_server":
+        gated = {
+            "req_per_s": "higher",
+            "p50_ms": "lower",
+            "p99_ms": "lower",
+            "queue_wait_p50_ms": "lower",
+            "queue_wait_p99_ms": "lower",
+        }
+        for name, better in gated.items():
+            if isinstance(snapshot.get(name), (int, float)):
+                timings[name] = (float(snapshot[name]), better)
+    else:
+        raise ValueError("unrecognized snapshot schema")
+    return timings, counters
+
+
+def compare(baseline, fresh, threshold_pct, strict_counters):
+    """Prints the delta table; returns the list of violation strings."""
+    base_t, base_c = extract(baseline)
+    fresh_t, fresh_c = extract(fresh)
+    violations = []
+
+    rows = []
+    for name in sorted(set(base_t) & set(fresh_t)):
+        b, better = base_t[name]
+        f, _ = fresh_t[name]
+        if b <= 0:
+            continue
+        delta_pct = (f - b) / b * 100.0
+        regressed = (
+            delta_pct > threshold_pct
+            if better == "lower"
+            else -delta_pct > threshold_pct
+        )
+        status = "REGRESSED" if regressed else "ok"
+        if regressed:
+            violations.append(
+                f"{name}: {b:.6g} -> {f:.6g} ({delta_pct:+.1f}%, "
+                f"threshold {threshold_pct:.0f}%)"
+            )
+        rows.append((name, f"{b:.6g}", f"{f:.6g}", f"{delta_pct:+.1f}%", status))
+
+    for name in sorted(set(base_c) & set(fresh_c)):
+        b, f = base_c[name], fresh_c[name]
+        if b == f:
+            rows.append((name, f"{b:g}", f"{f:g}", "=", "ok"))
+            continue
+        status = "COUNTER-DRIFT" if strict_counters else "drift (info)"
+        if strict_counters:
+            violations.append(f"{name}: counter {b:g} -> {f:g}")
+        rows.append((name, f"{b:g}", f"{f:g}", "", status))
+
+    missing = (set(base_t) | set(base_c)) - (set(fresh_t) | set(fresh_c))
+    for name in sorted(missing):
+        rows.append((name, "", "", "", "missing in fresh"))
+
+    if not rows:
+        raise ValueError("no comparable metrics between the two snapshots")
+    widths = [
+        max(len(r[i]) for r in rows + [("metric", "baseline", "fresh",
+                                        "delta", "status")])
+        for i in range(5)
+    ]
+    header = ("metric", "baseline", "fresh", "delta", "status")
+    for row in (header,) + tuple(rows):
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return violations
+
+
+def self_test():
+    base = {
+        "dp_kernel": {
+            "benchmarks": [
+                {"name": "BM_Dp_median", "real_time": 100.0},
+                {"name": "BM_Dp_mean", "real_time": 105.0},
+            ]
+        },
+        "sweep": {"benchmarks": []},
+        "sweep_c_jobs1_dp_counters": {"iarank_dp_heap_pops_total": 26},
+    }
+    ok = json.loads(json.dumps(base))
+    slow = json.loads(json.dumps(base))
+    slow["dp_kernel"]["benchmarks"][0]["real_time"] = 200.0
+    drift = json.loads(json.dumps(base))
+    drift["sweep_c_jobs1_dp_counters"]["iarank_dp_heap_pops_total"] = 28
+
+    assert compare(base, ok, 25.0, False) == []
+    assert len(compare(base, slow, 25.0, False)) == 1
+    assert compare(base, slow, 150.0, False) == []
+    assert compare(base, drift, 25.0, False) == []
+    assert len(compare(base, drift, 25.0, True)) == 1
+
+    server = {"bench": "bench_server", "req_per_s": 1000.0, "p50_ms": 1.0,
+              "p99_ms": 4.0}
+    slower = dict(server, req_per_s=100.0)
+    assert compare(server, server, 25.0, False) == []
+    assert len(compare(server, slower, 25.0, False)) == 1
+    print("bench_compare self-test: OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff two bench snapshots, exit nonzero past threshold"
+    )
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max allowed timing regression, percent")
+    parser.add_argument("--strict-counters", action="store_true",
+                        help="deterministic counter drift fails the run")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.fresh is None:
+        parser.error("BASELINE and FRESH are required (or --self-test)")
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        violations = compare(baseline, fresh, args.threshold,
+                             args.strict_counters)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+    for v in violations:
+        print(f"REGRESSION: {v}")
+    if not violations:
+        print(f"within threshold ({args.threshold:.0f}%)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,6 +13,12 @@
 ///                       even when the command fails
 ///   --metrics FILE      write the process metric registry; a .json path
 ///                       gets JSON, anything else Prometheus text
+///   --log FILE          append structured JSONL events (one object per
+///                       line: ts_ms, sev, type, fields) to FILE
+///   --flight-recorder FILE
+///                       arm the in-memory event ring; its last ~256
+///                       events are dumped to FILE on SIGTERM/SIGINT, on
+///                       server backpressure trips, and at exit
 ///
 /// Commands:
 ///   rank                      (default) compute and print the rank
@@ -57,13 +63,17 @@
 ///                             no config file. Exit 1 on any violation.
 ///   serve <config> (--socket PATH | --port N [--host A.B.C.D])
 ///         [--workers N] [--queue-cap N] [--sweep-jobs N]
-///         [--http-port N [--http-host A.B.C.D]]
+///         [--http-port N [--http-host A.B.C.D]] [--slow-ms MS]
 ///                             run the rank daemon for the configured
 ///                             scenario (framed JSON protocol, DESIGN.md
 ///                             Section 11). --http-port adds a plain-HTTP
 ///                             listener (GET /metrics Prometheus text,
-///                             /metrics.json, /healthz; 0 = kernel-
-///                             assigned). Prints `listening on <addr>`
+///                             /metrics.json, /healthz, plus the debug
+///                             surfaces /debug/requests, /debug/slow and
+///                             /debug/trace?ms=N; 0 = kernel-assigned).
+///                             Requests slower than --slow-ms (default
+///                             100) land in /debug/slow with their stage
+///                             breakdown. Prints `listening on <addr>`
 ///                             (and `http listening on <addr>`) when
 ///                             ready; SIGTERM/SIGINT drain in-flight
 ///                             requests, then the process exits 0.
@@ -121,6 +131,7 @@
 #include "src/server/protocol.hpp"
 #include "src/server/server.hpp"
 #include "src/server/service.hpp"
+#include "src/util/event_log.hpp"
 #include "src/util/json.hpp"
 #include "src/util/metrics.hpp"
 #include "src/util/strings.hpp"
@@ -496,7 +507,7 @@ int serve_usage() {
   std::cerr << "usage: rank_tool serve <config>"
                " (--socket PATH | --port N [--host A.B.C.D])"
                " [--workers N] [--queue-cap N] [--sweep-jobs N]"
-               " [--http-port N [--http-host A.B.C.D]]\n";
+               " [--http-port N [--http-host A.B.C.D]] [--slow-ms MS]\n";
   return 2;
 }
 
@@ -565,6 +576,9 @@ int cmd_serve(int argc, char** argv) {
         const long long jobs = int_flag(a, "--sweep-jobs");
         if (jobs < 1) throw util::Error("serve: --sweep-jobs must be >= 1");
         service_options.sweep_threads = static_cast<unsigned>(jobs);
+      } else if (flag == "--slow-ms") {
+        if (a + 1 >= argc) throw util::Error("serve: --slow-ms needs a value");
+        options.slow_ms = util::parse_double(argv[++a]);
       } else if (flag == "--test-endpoints") {
         // Undocumented: enables the sleep request type (load tests only).
         service_options.enable_test_endpoints = true;
@@ -819,6 +833,8 @@ int cmd_request(int argc, char** argv) {
 struct ObservabilityFlags {
   std::string trace_path;
   std::string metrics_path;
+  std::string log_path;
+  std::string flight_path;
   bool bad_usage = false;
 };
 
@@ -828,13 +844,18 @@ ObservabilityFlags strip_observability_flags(int& argc, char** argv) {
   kept.reserve(static_cast<std::size_t>(argc));
   for (int a = 0; a < argc; ++a) {
     const std::string arg = argv[a];
-    if (arg == "--trace" || arg == "--metrics") {
+    if (arg == "--trace" || arg == "--metrics" || arg == "--log" ||
+        arg == "--flight-recorder") {
       if (a + 1 >= argc) {
         std::cerr << "rank_tool: " << arg << " needs a file argument\n";
         flags.bad_usage = true;
         return flags;
       }
-      (arg == "--trace" ? flags.trace_path : flags.metrics_path) = argv[++a];
+      std::string& slot = arg == "--trace"     ? flags.trace_path
+                          : arg == "--metrics" ? flags.metrics_path
+                          : arg == "--log"     ? flags.log_path
+                                               : flags.flight_path;
+      slot = argv[++a];
       continue;
     }
     kept.push_back(argv[a]);
@@ -842,6 +863,15 @@ ObservabilityFlags strip_observability_flags(int& argc, char** argv) {
   for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
   argc = static_cast<int>(kept.size());
   return flags;
+}
+
+/// SIGTERM/SIGINT with the flight recorder armed: the only async-signal-
+/// safe work is the recorder's raw-syscall dump; then the default action
+/// runs so the exit status still says "killed by signal".
+void on_fatal_signal(int signo) {
+  iarank::util::EventLog::instance().dump_flight_recorder_signal_safe();
+  std::signal(signo, SIG_DFL);
+  ::raise(signo);
 }
 
 int dispatch(int argc, char** argv) {
@@ -911,13 +941,52 @@ int main(int argc, char** argv) {
                  " ping|metrics|rank|sweep|raw ...\n"
                  "       rank_tool explore <spec> [--dir D] [--workers N]"
                  " [--worker] ...\n"
-                 "       any command also accepts --trace FILE.json and"
-                 " --metrics FILE\n";
+                 "       any command also accepts --trace FILE.json,"
+                 " --metrics FILE,\n"
+                 "       --log FILE (JSONL events) and --flight-recorder"
+                 " FILE\n";
     return 2;
   }
 
   if (!obs.trace_path.empty()) iarank::util::Trace::enable();
+  try {
+    if (!obs.log_path.empty()) {
+      iarank::util::EventLog::instance().open(obs.log_path);
+    }
+    if (!obs.flight_path.empty()) {
+      iarank::util::EventLog::instance().arm_flight_recorder(obs.flight_path);
+      // Dump the ring before dying on a signal; serve installs its own
+      // drain handler later, and its orderly exit reaches the exit-time
+      // dump below instead.
+      std::signal(SIGTERM, on_fatal_signal);
+      std::signal(SIGINT, on_fatal_signal);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rank_tool: cannot open event log: " << e.what() << "\n";
+    return 2;
+  }
+  {
+    iarank::util::EventLog& events = iarank::util::EventLog::instance();
+    if (events.enabled()) {
+      iarank::util::Json fields;
+      iarank::util::Json args(iarank::util::Json::Array{});
+      for (int a = 1; a < argc; ++a) args.push_back(std::string(argv[a]));
+      fields["argv"] = std::move(args);
+      fields["pid"] = static_cast<std::int64_t>(::getpid());
+      events.emit(iarank::util::Severity::kInfo, "tool.start",
+                  std::move(fields));
+    }
+  }
   int rc = dispatch(argc, argv);
+  {
+    iarank::util::EventLog& events = iarank::util::EventLog::instance();
+    if (events.enabled()) {
+      iarank::util::Json fields;
+      fields["exit_code"] = static_cast<std::int64_t>(rc);
+      events.emit(iarank::util::Severity::kInfo, "tool.exit",
+                  std::move(fields));
+    }
+  }
 
   // Exports happen even when the command failed: a trace of the failing
   // run is exactly what the flag was passed for.
@@ -930,6 +999,16 @@ int main(int argc, char** argv) {
     if (!obs.metrics_path.empty()) {
       iarank::util::MetricsRegistry::instance().save(obs.metrics_path);
       std::cerr << "metrics written to " << obs.metrics_path << "\n";
+    }
+    if (!obs.log_path.empty()) {
+      iarank::util::EventLog::instance().close();
+      std::cerr << "events written to " << obs.log_path << "\n";
+    }
+    if (!obs.flight_path.empty()) {
+      // A run that ends without crashing still leaves its last events on
+      // disk — the recorder is a postmortem either way.
+      iarank::util::EventLog::instance().dump_flight_recorder();
+      std::cerr << "flight recorder written to " << obs.flight_path << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "rank_tool: observability export failed: " << e.what()
