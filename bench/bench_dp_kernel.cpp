@@ -6,12 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "src/core/dp_rank.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/free_pack.hpp"
 #include "src/core/instance_builder.hpp"
 #include "src/core/paper_setup.hpp"
 #include "src/core/sweep.hpp"
+#include "src/util/alloc_count.hpp"
 #include "src/wld/wld.hpp"
 
 namespace {
@@ -44,10 +47,40 @@ void BM_DpRankCold(benchmark::State& state) {
   state.counters["max_frontier"] = static_cast<double>(last.dp.max_frontier);
   state.counters["heap_pops"] = static_cast<double>(last.dp.heap_pops);
   state.counters["verify_calls"] = static_cast<double>(last.dp.verify_calls);
+  state.counters["arena_bytes"] = static_cast<double>(last.dp.arena_bytes);
   state.counters["forward_frac"] =
       last.dp.seconds > 0.0 ? last.dp.forward_seconds / last.dp.seconds : 0.0;
 }
 BENCHMARK(BM_DpRankCold)->Unit(benchmark::kMicrosecond);
+
+/// The sweep engine's per-point configuration: one warm kernel,
+/// solve_into reusing the result's buffers. The `steady_allocs` counter
+/// is the exact operator-new count of 1000 warm solves measured outside
+/// the timed loop — the steady-state zero-allocation contract
+/// (DESIGN.md Section 10.6); bench_compare.py --strict-counters fails
+/// the run if it ever leaves zero.
+void BM_DpRankSteady(benchmark::State& state) {
+  const core::Instance& inst = baseline_instance();
+  core::DpOptions opt;
+  opt.build_trace = false;
+  core::DpKernel kernel;
+  core::RankResult last;
+  kernel.solve_into(inst, opt, last);  // warm-up: pool + result buffers
+
+  const std::int64_t before = util::alloc_total();
+  for (int i = 0; i < 1000; ++i) kernel.solve_into(inst, opt, last);
+  const std::int64_t steady = util::alloc_total() - before;
+
+  for (auto _ : state) {
+    kernel.solve_into(inst, opt, last);
+    benchmark::DoNotOptimize(last.rank);
+  }
+  if (util::alloc_counter_enabled()) {
+    state.counters["steady_allocs"] = static_cast<double>(steady);
+  }
+  state.counters["arena_bytes"] = static_cast<double>(last.dp.arena_bytes);
+}
+BENCHMARK(BM_DpRankSteady)->Unit(benchmark::kMicrosecond);
 
 /// The same solve fed its own witness as a warm start — the best case a
 /// sweep neighbour can offer. Results are bitwise-identical to the cold

@@ -28,6 +28,8 @@
 
 #pragma once
 
+#include <memory>
+
 #include "src/core/instance.hpp"
 #include "src/core/rank_result.hpp"
 
@@ -59,10 +61,66 @@ struct DpOptions {
   bool check_invariants = false;
 };
 
+/// Reusable DP kernel (the data-oriented v2 engine). One kernel owns a
+/// monotonic pool backing every per-solve structure — arena lanes,
+/// frontier lanes, wake lists, the search heap — which is reset (not
+/// freed) between solves, so a kernel reused across sweep points performs
+/// zero steady-state heap allocation (DESIGN.md Section 10.6). Results
+/// are bitwise-identical to the retained scalar reference path
+/// (dp_rank_reference) and independent of whether a kernel is fresh or
+/// reused. Not thread-safe: use one kernel per thread (the free dp_rank()
+/// wrapper keeps one per thread automatically).
+class DpKernel {
+ public:
+  DpKernel();
+  ~DpKernel();
+  DpKernel(DpKernel&&) noexcept;
+  DpKernel& operator=(DpKernel&&) noexcept;
+  DpKernel(const DpKernel&) = delete;
+  DpKernel& operator=(const DpKernel&) = delete;
+
+  [[nodiscard]] RankResult solve(const Instance& inst,
+                                 const DpOptions& options = {});
+
+  /// Like solve(), but reuses `out`'s existing buffer capacities (usage,
+  /// placements, witness) instead of returning a fresh result — the
+  /// zero-allocation variant for hot sweep loops.
+  void solve_into(const Instance& inst, const DpOptions& options,
+                  RankResult& out);
+
+  /// Pool accounting of this kernel (mirrored into the iarank_pool_* /
+  /// iarank_dp_arena_bytes metrics after every solve).
+  struct PoolStats {
+    std::int64_t arena_bytes = 0;      ///< pool bytes drawn by the last solve
+    std::int64_t high_water_bytes = 0; ///< lifetime max of arena_bytes
+    std::int64_t chunks_allocated = 0; ///< pool chunks ever heap-allocated
+  };
+  [[nodiscard]] PoolStats pool_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Computes r(alpha) for the instance. Never throws on well-formed
 /// instances; infeasible assignment (Definition 3) yields rank 0 with
-/// all_assigned = false.
+/// all_assigned = false. Solves on a thread-local DpKernel, so repeated
+/// calls from the same thread (every sweep/optimizer/server worker)
+/// reuse the kernel's pool automatically.
 [[nodiscard]] RankResult dp_rank(const Instance& inst,
                                  const DpOptions& options = {});
+
+/// dp_rank() with caller-owned result storage (thread-local kernel +
+/// solve_into): the per-point form the sweep engine uses to keep its
+/// steady state allocation-free.
+void dp_rank_into(const Instance& inst, const DpOptions& options,
+                  RankResult& out);
+
+/// The retained scalar reference path: the pre-v2 nested-vector solver,
+/// kept verbatim (dp_rank_reference.cpp) as the oracle the data-oriented
+/// kernel is pinned against bitwise — including the deterministic effort
+/// counters. Test-only by intent; publishes no metrics.
+[[nodiscard]] RankResult dp_rank_reference(const Instance& inst,
+                                           const DpOptions& options = {});
 
 }  // namespace iarank::core

@@ -238,8 +238,12 @@ class PointEvaluator {
     point.value = static_cast<double>(index);
     try {
       const RankOptions opt = spec_.options_at(s);
-      const Instance inst = group.builder->build(opt);
+      // Reused per worker thread (the builder varies by scenario group,
+      // but shapes repeat, so warm rebuilds stay allocation-free).
+      thread_local Instance inst;
+      group.builder->build_into(opt, inst);
       DpOptions dp;
+      dp.build_trace = false;  // journal carries headline fields only
       dp.refine_boundary = opt.refine_boundary;
       DpWitness warm_witness;
       {
@@ -249,7 +253,7 @@ class PointEvaluator {
           dp.warm_start = &warm_witness;
         }
       }
-      point.result = dp_rank(inst, dp);
+      dp_rank_into(inst, dp, point.result);
       point.status = util::Status::make_ok();
       if (point.result.all_assigned && point.result.witness.valid()) {
         const std::scoped_lock lock(group.mutex);

@@ -26,8 +26,15 @@ util::Counter& kFreePackTakes = util::MetricsRegistry::counter(
 
 }  // namespace
 
-std::optional<std::vector<BunchPlacement>> free_pack_detailed(
-    const Instance& inst, const FreePackInput& input, bool count_metrics) {
+namespace {
+
+/// The packing loop shared by the detailed and feasibility-only entry
+/// points. `out == nullptr` skips placement recording entirely — the DP's
+/// verify path calls this thousands of times per sweep and must stay off
+/// the heap (DESIGN.md Section 10.6). The take counter is maintained
+/// either way, so the free-pack metrics are identical on both paths.
+bool pack_core(const Instance& inst, const FreePackInput& input,
+               bool count_metrics, std::vector<BunchPlacement>* out) {
   util::maybe_inject(kSiteFreePack);
   if (count_metrics) kFreePackCalls.inc();
   const std::size_t m = inst.pair_count();
@@ -50,8 +57,7 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
                                ? input.first_bunch_offset
                                : 0);
   if (input.first_pair >= m) {
-    return to_place == 0 ? std::optional(std::vector<BunchPlacement>{})
-                         : std::nullopt;
+    return to_place == 0;
   }
 
   const double die = inst.pair_capacity();
@@ -74,7 +80,7 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
     return true;
   };
 
-  std::vector<BunchPlacement> placements;
+  std::int64_t takes = 0;   // (bunch, pair) placement rows decided
   std::int64_t packed = 0;  // free wires placed in pairs >= current pair
 
   for (std::size_t qi = m; qi-- > input.first_pair;) {
@@ -131,7 +137,8 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
       packed += w;
       remaining_in_bunch -= w;
       to_place -= w;
-      placements.push_back({b, q, w, 0});
+      ++takes;
+      if (out != nullptr) out->push_back({b, q, w, 0});
       if (w < avail) break;  // pair q filled mid-bunch
     }
 
@@ -144,18 +151,22 @@ std::optional<std::vector<BunchPlacement>> free_pack_detailed(
     const double reps_above = fixed_blockage ? input.repeaters_above_first
                                              : input.repeaters_total;
     if (area > die + tol - inst.blockage(q, wires_above, reps_above)) {
-      if (count_metrics) {
-        kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
-      }
-      return std::nullopt;
+      if (count_metrics) kFreePackTakes.inc(takes);
+      return false;
     }
   }
 
-  if (count_metrics) {
-    kFreePackTakes.inc(static_cast<std::int64_t>(placements.size()));
-  }
-  if (to_place != 0) {
-    return std::nullopt;  // wires left over after the topmost available pair
+  if (count_metrics) kFreePackTakes.inc(takes);
+  return to_place == 0;  // wires left over fail the topmost available pair
+}
+
+}  // namespace
+
+std::optional<std::vector<BunchPlacement>> free_pack_detailed(
+    const Instance& inst, const FreePackInput& input, bool count_metrics) {
+  std::vector<BunchPlacement> placements;
+  if (!pack_core(inst, input, count_metrics, &placements)) {
+    return std::nullopt;
   }
   return placements;
 }
@@ -181,7 +192,7 @@ std::optional<std::vector<PairLoad>> free_pack(const Instance& inst,
 
 bool free_pack_feasible(const Instance& inst, const FreePackInput& input,
                         bool count_metrics) {
-  return free_pack_detailed(inst, input, count_metrics).has_value();
+  return pack_core(inst, input, count_metrics, nullptr);
 }
 
 }  // namespace iarank::core

@@ -7,11 +7,10 @@
 
 namespace iarank::core {
 
-Instance Instance::from_raw(std::vector<Bunch> bunches,
-                            std::vector<PairInfo> pairs,
-                            std::vector<std::vector<DelayPlan>> plans,
-                            double pair_capacity, double repeater_budget,
-                            tech::ViaSpec vias) {
+void Instance::validate_raw(const std::vector<Bunch>& bunches,
+                            const std::vector<PairInfo>& pairs,
+                            const std::vector<std::vector<DelayPlan>>& plans,
+                            double pair_capacity, double repeater_budget) {
   iarank::util::require(!pairs.empty(), "Instance: need >= 1 layer-pair");
   iarank::util::require(plans.size() == bunches.size(),
                         "Instance: plans rows must match bunch count");
@@ -37,22 +36,51 @@ Instance Instance::from_raw(std::vector<Bunch> bunches,
   iarank::util::require(pair_capacity > 0.0, "Instance: pair_capacity must be > 0");
   iarank::util::require(repeater_budget >= 0.0,
                         "Instance: repeater_budget must be >= 0");
+}
+
+void Instance::finish_raw(double pair_capacity, double repeater_budget,
+                          tech::ViaSpec vias) {
+  pair_capacity_ = pair_capacity;
+  repeater_budget_ = repeater_budget;
+  vias_ = vias;
+  wires_before_.assign(bunches_.size() + 1, 0);
+  for (std::size_t b = 0; b < bunches_.size(); ++b) {
+    wires_before_[b + 1] = wires_before_[b] + bunches_[b].count;
+  }
+  total_wires_ = wires_before_.back();
+  build_prefix_tables();
+}
+
+Instance Instance::from_raw(std::vector<Bunch> bunches,
+                            std::vector<PairInfo> pairs,
+                            std::vector<std::vector<DelayPlan>> plans,
+                            double pair_capacity, double repeater_budget,
+                            tech::ViaSpec vias) {
+  validate_raw(bunches, pairs, plans, pair_capacity, repeater_budget);
   vias.validate();
 
   Instance inst;
   inst.bunches_ = std::move(bunches);
   inst.pairs_ = std::move(pairs);
   inst.plans_ = std::move(plans);
-  inst.pair_capacity_ = pair_capacity;
-  inst.repeater_budget_ = repeater_budget;
-  inst.vias_ = vias;
-  inst.wires_before_.resize(inst.bunches_.size() + 1, 0);
-  for (std::size_t b = 0; b < inst.bunches_.size(); ++b) {
-    inst.wires_before_[b + 1] = inst.wires_before_[b] + inst.bunches_[b].count;
-  }
-  inst.total_wires_ = inst.wires_before_.back();
-  inst.build_prefix_tables();
+  inst.finish_raw(pair_capacity, repeater_budget, vias);
   return inst;
+}
+
+void Instance::assign_raw(const std::vector<Bunch>& bunches,
+                          const std::vector<PairInfo>& pairs,
+                          const std::vector<std::vector<DelayPlan>>& plans,
+                          double pair_capacity, double repeater_budget,
+                          tech::ViaSpec vias) {
+  validate_raw(bunches, pairs, plans, pair_capacity, repeater_budget);
+  vias.validate();
+
+  // Copy-assignment element-wise: outer and inner vectors keep their
+  // buffers when the shapes match, so a warm rebuild touches no heap.
+  bunches_ = bunches;
+  pairs_ = pairs;
+  plans_ = plans;
+  finish_raw(pair_capacity, repeater_budget, vias);
 }
 
 void Instance::build_prefix_tables() {
@@ -89,6 +117,29 @@ void Instance::build_prefix_tables() {
       next_infeasible_[base + b] =
           plans_[b][j].feasible ? next_infeasible_[base + b + 1] : b;
     }
+  }
+
+  // SoA lanes for the data-oriented DP kernel: one field per array,
+  // [pair][bunch] with the same stride as the prefix tables and a
+  // sentinel row at index n (infeasible, zero cost) so chunk-boundary
+  // reads at b + c == n stay in bounds.
+  plan_feasible_.assign(m * prefix_stride_, 0);
+  plan_area_per_wire_.assign(m * prefix_stride_, 0.0);
+  plan_reps_per_wire_.assign(m * prefix_stride_, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t base = j * prefix_stride_;
+    for (std::size_t b = 0; b < n; ++b) {
+      const DelayPlan& plan = plans_[b][j];
+      plan_feasible_[base + b] = plan.feasible ? 1 : 0;
+      plan_area_per_wire_[base + b] = plan.area_per_wire;
+      plan_reps_per_wire_[base + b] = plan.repeaters_per_wire();
+    }
+  }
+  bunch_count_.assign(n + 1, 0);
+  bunch_length_.assign(n + 1, 0.0);
+  for (std::size_t b = 0; b < n; ++b) {
+    bunch_count_[b] = bunches_[b].count;
+    bunch_length_[b] = bunches_[b].length;
   }
 }
 

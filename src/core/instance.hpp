@@ -76,6 +76,20 @@ class Instance {
                                          double repeater_budget,
                                          tech::ViaSpec vias);
 
+  /// Default-constructed instances are empty shells; populate them with
+  /// assign_raw before use (the reuse idiom of the sweep workers).
+  Instance() = default;
+
+  /// from_raw into an existing instance: same validation, same resulting
+  /// values, but every member is copy-assigned so a reused instance with
+  /// matching shapes performs zero heap allocation — the per-point build
+  /// path of the hot drivers (DESIGN.md Section 10.6).
+  void assign_raw(const std::vector<Bunch>& bunches,
+                  const std::vector<PairInfo>& pairs,
+                  const std::vector<std::vector<DelayPlan>>& plans,
+                  double pair_capacity, double repeater_budget,
+                  tech::ViaSpec vias);
+
   // --- Shape ----------------------------------------------------------------
   [[nodiscard]] std::size_t bunch_count() const { return bunches_.size(); }
   [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
@@ -168,8 +182,65 @@ class Instance {
                                                 double wire_limit,
                                                 double rep_limit) const;
 
+  // --- Structure-of-arrays lanes ---------------------------------------------
+  // Flat per-pair views of the plan matrix and the bunch list, built once
+  // in from_raw for the data-oriented DP kernel: the forward pass reads
+  // one field of many bunches at a time, and the AoS plan()/bunch()
+  // accessors would make those loops gather loads. Each plan lane is
+  // bunch_count() + 1 long — index bunch_count() is a sentinel row
+  // (infeasible, zero cost) so batched reads at a chunk's one-past-the-end
+  // bunch stay in bounds. Values are copies of the plan()/bunch() fields,
+  // so lane reads are bitwise-identical to AoS reads.
+
+  /// plan(b, j).feasible as 0/1, lane of pair j (stride bunch_count()+1).
+  [[nodiscard]] const std::uint8_t* plan_feasible_lane(std::size_t j) const {
+    return plan_feasible_.data() + j * prefix_stride_;
+  }
+  /// plan(b, j).area_per_wire, lane of pair j (sentinel 0.0 at index n).
+  [[nodiscard]] const double* plan_area_per_wire_lane(std::size_t j) const {
+    return plan_area_per_wire_.data() + j * prefix_stride_;
+  }
+  /// plan(b, j).repeaters_per_wire(), lane of pair j (sentinel 0).
+  [[nodiscard]] const std::int64_t* plan_reps_per_wire_lane(
+      std::size_t j) const {
+    return plan_reps_per_wire_.data() + j * prefix_stride_;
+  }
+  /// bunch(b).count with a 0 sentinel at index bunch_count().
+  [[nodiscard]] const std::int64_t* bunch_count_lane() const {
+    return bunch_count_.data();
+  }
+  /// bunch(b).length with a 0.0 sentinel at index bunch_count().
+  [[nodiscard]] const double* bunch_length_lane() const {
+    return bunch_length_.data();
+  }
+  /// wires_before(b) for b in [0, bunch_count()], unchecked.
+  [[nodiscard]] const std::int64_t* wires_before_lane() const {
+    return wires_before_.data();
+  }
+  /// prefix_repeater_area(j, b) for b in [0, bunch_count()].
+  [[nodiscard]] const double* prefix_repeater_area_lane(std::size_t j) const {
+    return prefix_rep_area_.data() + j * prefix_stride_;
+  }
+  /// prefix_repeater_count(j, b) for b in [0, bunch_count()].
+  [[nodiscard]] const std::int64_t* prefix_repeater_count_lane(
+      std::size_t j) const {
+    return prefix_rep_count_.data() + j * prefix_stride_;
+  }
+  /// prefix_wire_area(j, b) for b in [0, bunch_count()].
+  [[nodiscard]] const double* prefix_wire_area_lane(std::size_t j) const {
+    return prefix_wire_area_.data() + j * prefix_stride_;
+  }
+
  private:
-  Instance() = default;
+  static void validate_raw(const std::vector<Bunch>& bunches,
+                           const std::vector<PairInfo>& pairs,
+                           const std::vector<std::vector<DelayPlan>>& plans,
+                           double pair_capacity, double repeater_budget);
+
+  /// Derived state (wires_before_, prefix tables, SoA lanes) from the
+  /// just-assigned raw members. Reuses existing vector capacity.
+  void finish_raw(double pair_capacity, double repeater_budget,
+                  tech::ViaSpec vias);
 
   void build_prefix_tables();
 
@@ -182,6 +253,11 @@ class Instance {
   std::vector<double> prefix_rep_area_;
   std::vector<std::int64_t> prefix_rep_count_;
   std::vector<std::size_t> next_infeasible_;
+  std::vector<std::uint8_t> plan_feasible_;    ///< [pair][bunch] SoA lanes,
+  std::vector<double> plan_area_per_wire_;     ///< sentinel row at index
+  std::vector<std::int64_t> plan_reps_per_wire_;  ///< bunch_count()
+  std::vector<std::int64_t> bunch_count_;      ///< size B+1, sentinel 0
+  std::vector<double> bunch_length_;           ///< size B+1, sentinel 0.0
   double pair_capacity_ = 0.0;
   double repeater_budget_ = 0.0;
   tech::ViaSpec vias_;

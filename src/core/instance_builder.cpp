@@ -227,6 +227,12 @@ const InstanceBuilder::PlanStage& InstanceBuilder::plan_stage(
 }
 
 Instance InstanceBuilder::build(const RankOptions& options) {
+  Instance inst;
+  build_into(options, inst);
+  return inst;
+}
+
+void InstanceBuilder::build_into(const RankOptions& options, Instance& out) {
   TRACE_SPAN("builder.build");
   options.validate();
   const std::scoped_lock lock(mutex_);
@@ -240,27 +246,28 @@ Instance InstanceBuilder::build(const RankOptions& options) {
 
   // A layer-pair offers `pair_capacity_factor` layers' worth of routing
   // area; a via cut blocks that many layers' worth of via area. Assembled
-  // per build — it is the only capacity-factor-dependent piece and costs
-  // a handful of multiplies.
-  std::vector<PairInfo> pairs;
-  pairs.reserve(arch_.pair_count());
+  // per build into the scratch (capacity retained across builds) — it is
+  // the only capacity-factor-dependent piece and costs a handful of
+  // multiplies.
+  pairs_scratch_.resize(arch_.pair_count());
   const double a_inv = design_.node.device.min_inv_area;
   for (std::size_t j = 0; j < arch_.pair_count(); ++j) {
     const tech::LayerPair& lp = arch_.pair(j);
     const delay::PairElectricals& el = electrical.stack.pair(j);
-    pairs.push_back({lp.name, lp.geometry.pitch(),
-                     options.pair_capacity_factor * lp.geometry.via_area(),
-                     el.s_opt, el.s_opt * a_inv});
+    PairInfo& p = pairs_scratch_[j];
+    p.name = lp.name;  // string assign reuses capacity on rebuild
+    p.pitch = lp.geometry.pitch();
+    p.via_area = options.pair_capacity_factor * lp.geometry.via_area();
+    p.s_opt = el.s_opt;
+    p.repeater_area = el.s_opt * a_inv;
   }
 
-  Instance inst = Instance::from_raw(
-      planned.bunches, std::move(pairs), planned.plans,
-      options.pair_capacity_factor * die.die_area(),
-      die.repeater_area_budget(), options.vias);
+  out.assign_raw(planned.bunches, pairs_scratch_, planned.plans,
+                 options.pair_capacity_factor * die.die_area(),
+                 die.repeater_area_budget(), options.vias);
 
   ++profile_.builds;
   kBuilds.inc();
-  return inst;
 }
 
 BuildProfile InstanceBuilder::profile() const {

@@ -74,6 +74,12 @@ class InstanceBuilder {
   /// options.
   [[nodiscard]] Instance build(const RankOptions& options);
 
+  /// build() into caller-owned storage: identical resulting instance,
+  /// but every vector is copy-assigned so a reused `out` with matching
+  /// shapes performs zero heap allocation — the per-point form the hot
+  /// sweep/exploration drivers use. Thread-safe.
+  void build_into(const RankOptions& options, Instance& out);
+
   /// Snapshot of the cache/timing counters.
   [[nodiscard]] BuildProfile profile() const;
 
@@ -115,6 +121,7 @@ class InstanceBuilder {
   std::uint64_t fingerprint_ = 0;
 
   mutable std::mutex mutex_;
+  std::vector<PairInfo> pairs_scratch_;  ///< per-build assembly, under mutex_
   util::LruCache<CoarsenKey, std::vector<wld::WireGroup>> coarsen_cache_{8};
   util::LruCache<DieKey, tech::DieModel> die_cache_{32};
   util::LruCache<StackKey, StackStage> stack_cache_{32};

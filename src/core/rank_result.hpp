@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/small_vec.hpp"
+
 namespace iarank::core {
 
 /// Per-layer-pair utilization in the winning assignment (the textual
@@ -37,7 +39,11 @@ struct BunchPlacement {
 /// sweep feeds the previous point's witness into the next solve as a
 /// warm-start lower bound (prune-only — results never depend on it).
 struct DpWitness {
-  std::vector<std::int64_t> chunk_first;  ///< size break_pair + 1; [j] = first bunch of pair j's chunk
+  /// size break_pair + 1; [j] = first bunch of pair j's chunk. Inline up
+  /// to 24 pairs: witnesses are copied through the sweep warm-start slot
+  /// on every point, and paper-scale stacks fit the buffer, keeping those
+  /// copies off the heap (the steady-state zero-allocation contract).
+  util::SmallVec<std::int64_t, 24> chunk_first;
   std::int64_t break_pair = -1;  ///< pair whose chunk ends the prefix
   std::int64_t first_bunch = 0;  ///< == chunk_first[break_pair]
   std::int64_t chunk_len = 0;    ///< delay-met bunches on the break pair
@@ -91,6 +97,10 @@ struct RankResult {
     std::int64_t pruned_entries = 0;
     std::int64_t frontier_dominated = 0;  ///< newcomers dropped as dominated
     std::int64_t frontier_erased = 0;     ///< incumbents erased by newcomers
+    /// Bytes the solve drew from the kernel's monotonic pool (arena lanes,
+    /// frontiers, wake lists, heap storage). Deterministic per instance;
+    /// 0 for the scalar reference path, which allocates from the heap.
+    std::int64_t arena_bytes = 0;
     bool warm_start_checked = false;  ///< a warm witness was offered
     bool warm_start_hit = false;      ///< ... and verified feasible here
   };

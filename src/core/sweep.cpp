@@ -174,8 +174,18 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
         util::Stopwatch point_timer;
         try {
           const RankOptions opt = with_value(base, parameter, values[i]);
-          const Instance inst = builder.build(opt);
+          // Reused per worker thread: a warm rebuild with unchanged
+          // shapes (the common case — one parameter moving) allocates
+          // nothing, and neither does the thread-local DP kernel behind
+          // dp_rank_into. Per-pair usage/placement traces are skipped —
+          // sweep consumers (CSV, server, figure tables, checkpoint
+          // resume) read the headline fields only — which keeps the
+          // steady-state point evaluation heap-silent (DESIGN.md
+          // Section 10.6).
+          thread_local Instance inst;
+          builder.build_into(opt, inst);
           DpOptions dp;
+          dp.build_trace = false;
           dp.refine_boundary = opt.refine_boundary;
           DpWitness warm_witness;
           if (run.warm_start) {
@@ -187,7 +197,7 @@ SweepResult sweep_parameter(InstanceBuilder& builder, const RankOptions& base,
               dp.warm_start = &warm_witness;
             }
           }
-          point.result = dp_rank(inst, dp);
+          dp_rank_into(inst, dp, point.result);
           point.status = util::Status::make_ok();
           if (run.warm_start && point.result.all_assigned &&
               point.result.witness.valid()) {

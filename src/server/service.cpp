@@ -227,18 +227,23 @@ std::string RankService::handle_parsed(const std::string& type,
 
   if (type == "rank") {
     const core::RankOptions options = options_with_overrides(request);
-    const core::Instance inst = [&] {
+    // Reused per worker thread (instance, result, and the thread-local
+    // DP kernel inside dp_rank_into): a warm repeat request allocates
+    // nothing in the build/solve stages.
+    thread_local core::Instance inst;
+    {
       const util::ScopedTimer build_timer(
           context != nullptr ? &context->build_seconds : nullptr);
-      return builder_.build(options);
-    }();
+      builder_.build_into(options, inst);
+    }
     core::DpOptions dp;
     dp.refine_boundary = options.refine_boundary;
-    const core::RankResult result = [&] {
+    thread_local core::RankResult result;
+    {
       const util::ScopedTimer dp_timer(
           context != nullptr ? &context->dp_seconds : nullptr);
-      return core::dp_rank(inst, dp);
-    }();
+      core::dp_rank_into(inst, dp, result);
+    }
     const util::ScopedTimer format_timer(
         context != nullptr ? &context->format_seconds : nullptr);
     util::Json out = rank_result_to_json(result);

@@ -92,6 +92,32 @@ struct EventLog::Impl {
   };
   std::atomic<std::uint64_t> ring_head{0};  ///< total events ring-recorded
   RingSlot slots[kRingSlots];
+  /// The first kPinnedSlots events ever recorded (written once, at the
+  /// same time as their ring copy): a dump taken after the ring wrapped
+  /// still opens with the run's lifecycle context.
+  RingSlot pinned[kPinnedSlots];
+
+  static void write_slot(RingSlot& slot, const char* text,
+                         std::size_t length) {
+    slot.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write begins
+    std::memcpy(slot.text, text, length);
+    slot.length.store(static_cast<std::uint32_t>(length),
+                      std::memory_order_relaxed);
+    slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+  }
+
+  /// Seqlock-checked copy of one slot into `local` (>= kSlotBytes).
+  /// Returns 0 when the slot is empty or a writer is mid-copy.
+  static std::uint32_t read_slot(const RingSlot& slot, char* local) {
+    const std::uint32_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if ((seq_before & 1u) != 0) return 0;  // writer mid-copy
+    const std::uint32_t length = slot.length.load(std::memory_order_relaxed);
+    if (length == 0 || length > kSlotBytes) return 0;
+    std::memcpy(local, slot.text, length);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) return 0;
+    return length;
+  }
 
   std::shared_ptr<ThreadBuffer> thread_buffer() {
     thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
@@ -205,12 +231,12 @@ void EventLog::emit(Severity sev, std::string_view type, Json fields) {
     }
     const std::uint64_t index =
         impl.ring_head.fetch_add(1, std::memory_order_relaxed);
-    Impl::RingSlot& slot = impl.slots[index % kRingSlots];
-    slot.seq.fetch_add(1, std::memory_order_acq_rel);  // odd: write begins
-    std::memcpy(slot.text, ring_text->data(), ring_text->size());
-    slot.length.store(static_cast<std::uint32_t>(ring_text->size()),
-                      std::memory_order_relaxed);
-    slot.seq.fetch_add(1, std::memory_order_release);  // even: stable
+    Impl::write_slot(impl.slots[index % kRingSlots], ring_text->data(),
+                     ring_text->size());
+    if (index < kPinnedSlots) {
+      Impl::write_slot(impl.pinned[index], ring_text->data(),
+                       ring_text->size());
+    }
   }
   if (impl.sink_open.load(std::memory_order_relaxed)) {
     const auto buffer = impl.thread_buffer();
@@ -248,16 +274,17 @@ std::vector<std::string> EventLog::ring_snapshot() const {
   const std::uint64_t count = head < kRingSlots ? head : kRingSlots;
   const std::uint64_t start = head - count;
   char local[kSlotBytes];
+  // Pinned prefix: events the ring window no longer covers.
+  const std::uint64_t pinned =
+      start < kPinnedSlots ? start : std::uint64_t{kPinnedSlots};
+  for (std::uint64_t i = 0; i < pinned; ++i) {
+    const std::uint32_t length = Impl::read_slot(impl.pinned[i], local);
+    if (length > 0) out.emplace_back(local, length);
+  }
   for (std::uint64_t i = 0; i < count; ++i) {
-    const Impl::RingSlot& slot = impl.slots[(start + i) % kRingSlots];
-    const std::uint32_t seq_before = slot.seq.load(std::memory_order_acquire);
-    if ((seq_before & 1u) != 0) continue;  // writer mid-copy
-    const std::uint32_t length = slot.length.load(std::memory_order_relaxed);
-    if (length == 0 || length > kSlotBytes) continue;
-    std::memcpy(local, slot.text, length);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
-    out.emplace_back(local, length);
+    const std::uint32_t length =
+        Impl::read_slot(impl.slots[(start + i) % kRingSlots], local);
+    if (length > 0) out.emplace_back(local, length);
   }
   return out;
 }
@@ -290,15 +317,14 @@ void EventLog::dump_flight_recorder_signal_safe() const noexcept {
   const std::uint64_t head = impl.ring_head.load(std::memory_order_acquire);
   const std::uint64_t count = head < kRingSlots ? head : kRingSlots;
   const std::uint64_t start = head - count;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const Impl::RingSlot& slot = impl.slots[(start + i) % kRingSlots];
-    const std::uint32_t seq_before = slot.seq.load(std::memory_order_acquire);
-    if ((seq_before & 1u) != 0) continue;
-    const std::uint32_t length = slot.length.load(std::memory_order_relaxed);
-    if (length == 0 || length > kSlotBytes) continue;
-    std::memcpy(local, slot.text, length);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+  const std::uint64_t pinned =
+      start < kPinnedSlots ? start : std::uint64_t{kPinnedSlots};
+  for (std::uint64_t i = 0; i < pinned + count; ++i) {
+    const Impl::RingSlot& slot =
+        i < pinned ? impl.pinned[i]
+                   : impl.slots[(start + (i - pinned)) % kRingSlots];
+    const std::uint32_t length = Impl::read_slot(slot, local);
+    if (length == 0) continue;
     local[length] = '\n';
     if (!write_all(fd, local, length + 1)) break;
   }

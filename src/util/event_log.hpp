@@ -13,9 +13,11 @@
 ///    them to an O_APPEND fd. Lines within a thread stay FIFO; across
 ///    threads the file order is arbitrary — consumers sort by `ts_ms`.
 ///  - a flight recorder (`arm_flight_recorder()`): a fixed ring of
-///    preallocated slots holding the most recent events, dumped to a
-///    precomputed path on demand (`dump_flight_recorder()`, via
-///    util::atomic_write_file) or from a fatal-signal handler
+///    preallocated slots holding the most recent events, plus a pinned
+///    prefix of the first kPinnedSlots events (a long run's lifecycle
+///    context survives the ring wrapping), dumped to a precomputed path
+///    on demand (`dump_flight_recorder()`, via util::atomic_write_file)
+///    or from a fatal-signal handler
 ///    (`dump_flight_recorder_signal_safe()`, raw syscalls only — the
 ///    paths are precomputed at arm time because a handler may not
 ///    allocate). Slots are seqlocked so a dump taken concurrently with
@@ -95,11 +97,17 @@ class EventLog {
   /// precomputed at arm time. Best effort; never throws or allocates.
   void dump_flight_recorder_signal_safe() const noexcept;
 
-  /// The ring contents, oldest first (tests and the normal-path dump).
+  /// The recorder contents, oldest first (tests and the normal-path
+  /// dump): the pinned prefix (events that fell out of the ring), then
+  /// the ring window.
   [[nodiscard]] std::vector<std::string> ring_snapshot() const;
 
   static constexpr std::size_t kRingSlots = 256;
   static constexpr std::size_t kSlotBytes = 768;
+  /// The first events of a run are pinned outside the ring: a wrapped
+  /// dump still carries the tool/sweep lifecycle context (who ran, with
+  /// what arguments) that the newest kRingSlots events have evicted.
+  static constexpr std::size_t kPinnedSlots = 16;
 
  private:
   EventLog();

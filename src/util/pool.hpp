@@ -1,0 +1,259 @@
+/// \file pool.hpp
+/// \brief Monotonic bump allocator with reset-not-free semantics, plus a
+///        trivially-copyable vector (`PoolVec`) built on top of it.
+///
+/// The DP kernel's per-solve state — arena lanes, frontier lanes, wake
+/// lists, the search heap — is short-lived, identically shaped solve to
+/// solve, and hot. A `MonotonicPool` serves it from a chain of retained
+/// chunks: allocation is a pointer bump, `reset()` rewinds to the first
+/// chunk without returning memory to the heap, and after one warm-up
+/// solve the high-water chunk covers every later solve, so steady-state
+/// heap traffic is zero (the `IARANK_COUNT_ALLOCS` hook is the referee;
+/// DESIGN.md Section 10.6).
+///
+/// Accounting: bytes handed out since the last reset (`bytes_used`), the
+/// lifetime high-water of that figure (`high_water_bytes`), chunks
+/// currently retained (`chunk_count`) and chunks ever heap-allocated
+/// (`chunks_allocated`) back the `iarank_pool_*` gauges.
+///
+/// Not thread-safe: one pool per kernel, one kernel per thread.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iarank::util {
+
+class MonotonicPool {
+ public:
+  /// `chunk_bytes` is the size of the first chunk; later chunks double
+  /// until they cover the request (oversized requests get a dedicated
+  /// chunk of exactly the aligned request size).
+  explicit MonotonicPool(std::size_t chunk_bytes = std::size_t{1} << 16)
+      : default_chunk_bytes_(chunk_bytes < kMinChunk ? kMinChunk
+                                                     : chunk_bytes) {}
+
+  MonotonicPool(const MonotonicPool&) = delete;
+  MonotonicPool& operator=(const MonotonicPool&) = delete;
+
+  ~MonotonicPool() { release(); }
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two; alignment
+  /// is applied to the absolute address, so requests beyond
+  /// alignof(std::max_align_t) are honored too). Never returns nullptr
+  /// for bytes == 0 (a one-past pointer into the current chunk is handed
+  /// out instead).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    Chunk* c = current_;
+    if (c != nullptr) {
+      if (void* p = try_bump(c, bytes, align)) return p;
+      // Reuse an already-retained successor before touching the heap:
+      // after reset() the chain still holds last round's chunks.
+      while (c->next != nullptr) {
+        c = c->next;
+        c->used = 0;
+        current_ = c;
+        if (void* p = try_bump(c, bytes, align)) return p;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to the first chunk. Retains every chunk for reuse — the
+  /// whole point: a kernel that resets between solves stops allocating
+  /// once its first solve has established the high-water footprint.
+  void reset() {
+    current_ = head_;
+    if (current_ != nullptr) current_->used = 0;
+    bytes_used_ = 0;
+  }
+
+  /// Returns every chunk to the heap (destructor behaviour).
+  void release() {
+    Chunk* c = head_;
+    while (c != nullptr) {
+      Chunk* next = c->next;
+      std::free(c);
+      c = next;
+    }
+    head_ = current_ = nullptr;
+    bytes_used_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (excludes alignment padding).
+  [[nodiscard]] std::int64_t bytes_used() const {
+    return static_cast<std::int64_t>(bytes_used_);
+  }
+  /// Lifetime maximum of bytes_used().
+  [[nodiscard]] std::int64_t high_water_bytes() const {
+    return static_cast<std::int64_t>(high_water_bytes_);
+  }
+  /// Chunks currently retained.
+  [[nodiscard]] std::int64_t chunk_count() const {
+    return static_cast<std::int64_t>(chunk_count_);
+  }
+  /// Chunks ever requested from the heap (monotone; flat once warm).
+  [[nodiscard]] std::int64_t chunks_allocated() const {
+    return static_cast<std::int64_t>(chunks_allocated_);
+  }
+  /// Total capacity of the retained chunks.
+  [[nodiscard]] std::int64_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk* c = head_; c != nullptr; c = c->next) {
+      total += c->capacity;
+    }
+    return static_cast<std::int64_t>(total);
+  }
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+    [[nodiscard]] std::byte* data() {
+      return reinterpret_cast<std::byte*>(this) + kHeaderBytes;
+    }
+  };
+  // Chunk payloads start at a maximally-aligned offset past the header.
+  static constexpr std::size_t kHeaderBytes =
+      (sizeof(Chunk) + alignof(std::max_align_t) - 1) /
+      alignof(std::max_align_t) * alignof(std::max_align_t);
+  static constexpr std::size_t kMinChunk = 1024;
+
+  static std::size_t align_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  /// Bump within `c` if the aligned request fits; nullptr otherwise.
+  /// The offset is chosen so the absolute address is aligned (the chunk
+  /// payload itself is only guaranteed max_align_t alignment).
+  void* try_bump(Chunk* c, std::size_t bytes, std::size_t align) {
+    const auto base = reinterpret_cast<std::uintptr_t>(c->data());
+    const std::size_t aligned =
+        static_cast<std::size_t>(align_up(base + c->used, align) - base);
+    if (aligned + bytes > c->capacity) return nullptr;
+    c->used = aligned + bytes;
+    bytes_used_ += bytes;
+    if (bytes_used_ > high_water_bytes_) high_water_bytes_ = bytes_used_;
+    return c->data() + aligned;
+  }
+
+  void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // Doubling growth, floored at the default and at the request itself
+    // (+ worst-case alignment slack); an oversized request simply gets a
+    // chunk of its own size.
+    std::size_t want = default_chunk_bytes_;
+    if (current_ != nullptr && current_->capacity * 2 > want) {
+      want = current_->capacity * 2;
+    }
+    const std::size_t need = bytes + align;
+    if (need > want) want = need;
+
+    void* raw = std::malloc(kHeaderBytes + want);
+    if (raw == nullptr) throw std::bad_alloc();
+    auto* chunk = new (raw) Chunk{};
+    chunk->capacity = want;
+    ++chunk_count_;
+    ++chunks_allocated_;
+
+    if (current_ != nullptr) {
+      current_->next = chunk;
+    } else {
+      head_ = chunk;
+    }
+    current_ = chunk;
+
+    // capacity >= bytes + align, so the aligned bump always fits.
+    return try_bump(chunk, bytes, align);
+  }
+
+  const std::size_t default_chunk_bytes_;
+  Chunk* head_ = nullptr;
+  Chunk* current_ = nullptr;
+  std::size_t bytes_used_ = 0;
+  std::size_t high_water_bytes_ = 0;
+  std::size_t chunk_count_ = 0;
+  std::size_t chunks_allocated_ = 0;
+};
+
+/// Vector of trivially-copyable elements backed by a MonotonicPool. Grow
+/// allocates a fresh block and memcpys; the old block is abandoned to the
+/// pool until the next reset — acceptable for per-solve scratch whose
+/// capacity is reserved up front. Invalidated by the pool's reset();
+/// callers re-reserve each solve.
+template <typename T>
+class PoolVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  PoolVec() = default;
+  explicit PoolVec(MonotonicPool* pool) : pool_(pool) {}
+
+  void attach(MonotonicPool* pool) {
+    pool_ = pool;
+    data_ = nullptr;
+    size_ = cap_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    T* fresh = pool_->allocate_array<T>(n);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    cap_ = n;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data_[size_++] = v;
+  }
+
+  void resize(std::size_t n) {
+    if (n > cap_) reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  void clear() { size_ = 0; }
+  void pop_back() { --size_; }
+
+  /// Sets the size without initializing elements. Caller guarantees
+  /// `n <= capacity` (reserve first) and writes the elements itself —
+  /// the lane-loop idiom of the DP kernel.
+  void set_size(std::size_t n) { size_ = n; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  void grow() { reserve(cap_ == 0 ? 8 : cap_ * 2); }
+
+  MonotonicPool* pool_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace iarank::util

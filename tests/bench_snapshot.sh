@@ -38,10 +38,13 @@ fi
   --benchmark_format=json > "$WORK/sweep.json"
 
 # Deterministic DP effort of one single-threaded Table 4 C sweep, from
-# the process metrics registry (prune/warm counters included).
+# the process metrics registry (prune/warm counters included), plus the
+# kernel pool accounting (arena bytes per solve, pool high water, chunks
+# ever allocated — all exact for a fixed instance at --jobs 1).
 "$BUILD"/tools/rank_tool "$CONFIG" sweep C 0.5e9 1.7e9 13 --jobs 1 \
   --metrics "$WORK/metrics.txt" > /dev/null
-grep '^iarank_dp_' "$WORK/metrics.txt" | sort > "$WORK/dp_counters.txt"
+grep -E '^(iarank_dp_|iarank_pool_bytes |iarank_pool_chunks_total )' \
+  "$WORK/metrics.txt" | sort > "$WORK/dp_counters.txt"
 
 python3 - "$WORK" "$OUT" <<'EOF'
 import json, sys

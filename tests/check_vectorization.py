@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Verify that every `// VEC-LOOP: <name>`-tagged loop vectorized.
+
+The DP kernel's forward-pass mapping loops are written branch-free so the
+auto-vectorizer takes them (src/core/dp_rank.cpp, DESIGN.md Section
+10.5). This guard pins that property in CI: the file is compiled with
+`-O3 -fopt-info-vec` and each tagged loop must produce a
+"loop vectorized" record — a refactor that quietly breaks vectorization
+(an introduced branch, a non-affine access) fails the build instead of
+shipping a silent slowdown.
+
+A marker tags the loop on one of the next few source lines:
+
+    // VEC-LOOP: map-chunk-area
+    for (std::size_t i = 0; i < n; ++i) cr[i] = pr + akr[i];
+
+usage: check_vectorization.py SOURCE VEC_REPORT
+       check_vectorization.py --self-test
+
+where VEC_REPORT is the stderr of
+`g++ -std=c++20 -O3 -fopt-info-vec -I. -c SOURCE -o /dev/null`.
+
+exit codes: 0 all tagged loops vectorized, 1 some did not, 2 bad input.
+"""
+
+import os
+import re
+import sys
+
+MARKER_RE = re.compile(r"//\s*VEC-LOOP:\s*(\S+)")
+# e.g. "src/core/dp_rank.cpp:753:37: optimized: loop vectorized using ..."
+RECORD_RE = re.compile(
+    r"^(?P<file>[^:]+):(?P<line>\d+):\d+:\s+optimized:\s+loop vectorized"
+)
+
+# A marker sits directly above its loop; allow a few lines of slack for
+# wrapped for-statements.
+MARKER_WINDOW = 4
+
+
+def find_markers(source_text):
+    """Returns [(name, line_no)] for every VEC-LOOP marker."""
+    markers = []
+    for line_no, line in enumerate(source_text.splitlines(), 1):
+        m = MARKER_RE.search(line)
+        if m:
+            markers.append((m.group(1), line_no))
+    return markers
+
+
+def vectorized_lines(report_text, source_basename):
+    """Line numbers of 'loop vectorized' records for the source file."""
+    lines = set()
+    for raw in report_text.splitlines():
+        m = RECORD_RE.match(raw.strip())
+        if m and os.path.basename(m.group("file")) == source_basename:
+            lines.add(int(m.group("line")))
+    return lines
+
+
+def check(source_text, report_text, source_basename):
+    """Returns (results, failures): results is [(name, marker_line,
+    vectorized_line_or_None)]."""
+    markers = find_markers(source_text)
+    records = vectorized_lines(report_text, source_basename)
+    results = []
+    failures = []
+    for name, marker_line in markers:
+        hit = next(
+            (ln for ln in range(marker_line + 1,
+                                marker_line + 1 + MARKER_WINDOW)
+             if ln in records),
+            None,
+        )
+        results.append((name, marker_line, hit))
+        if hit is None:
+            failures.append(name)
+    return results, failures
+
+
+def self_test():
+    source = (
+        "int f(double* a, double* b, int n) {\n"
+        "  // VEC-LOOP: add\n"
+        "  for (int i = 0; i < n; ++i) a[i] += b[i];\n"
+        "  // VEC-LOOP: scaled\n"
+        "  for (int i = 0; i < n; ++i)\n"
+        "    a[i] = 2.0 * b[i];\n"
+        "  // VEC-LOOP: broken\n"
+        "  for (int i = 0; i < n; ++i) if (b[i] > 0) a[i] = 1;\n"
+        "  return n;\n"
+        "}\n"
+    )
+    report = (
+        "x.cpp:3:3: optimized: loop vectorized using 16 byte vectors\n"
+        "x.cpp:5:3: optimized: loop vectorized using 16 byte vectors\n"
+        "other.cpp:8:3: optimized: loop vectorized using 16 byte vectors\n"
+    )
+    results, failures = check(source, report, "x.cpp")
+    assert [r[0] for r in results] == ["add", "scaled", "broken"]
+    assert failures == ["broken"], failures
+    # No markers at all is a usage error the caller should notice.
+    assert find_markers("int g() { return 0; }") == []
+    print("check_vectorization self-test: OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    source_path, report_path = argv[1], argv[2]
+    try:
+        with open(source_path, "r", encoding="utf-8") as fh:
+            source_text = fh.read()
+        with open(report_path, "r", encoding="utf-8") as fh:
+            report_text = fh.read()
+    except OSError as e:
+        print(f"check_vectorization: {e}", file=sys.stderr)
+        return 2
+
+    results, failures = check(source_text, report_text,
+                              os.path.basename(source_path))
+    if not results:
+        print(f"check_vectorization: no VEC-LOOP markers in {source_path}",
+              file=sys.stderr)
+        return 2
+    for name, marker_line, hit in results:
+        status = f"vectorized (line {hit})" if hit else "NOT VECTORIZED"
+        print(f"  {name:<24} {source_path}:{marker_line:<5} {status}")
+    if failures:
+        print(f"FAIL: {len(failures)} tagged loop(s) did not vectorize: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"all {len(results)} tagged loops vectorized")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -36,14 +36,37 @@ python3 "$HERE/validate_events.py" "$WORK/flight.jsonl" \
 
 # (3) Flight recorder, SIGTERM mid-sweep. Either the handler's
 # signal-safe dump or (race lost) the clean-exit dump must be there and
-# valid — a torn or missing file fails either way.
-rm -f "$WORK/flight.jsonl"
-"$RANK_TOOL" "$CONFIG" sweep C 0.4e9 1.8e9 400 --jobs 1 \
-  --flight-recorder "$WORK/flight.jsonl" > /dev/null 2>&1 &
-PID=$!
-sleep 0.2
-kill -TERM "$PID" 2> /dev/null || true
-wait "$PID" || true
+# valid — a torn or missing file fails either way. The delay before the
+# signal races tool startup: on a loaded machine the SIGTERM can land
+# before sweep.start is even emitted, in which case the (correct) dump
+# holds only tool.start. That run didn't exercise the mid-sweep
+# scenario, so retry with a longer delay; an invalid or missing dump
+# still fails the first time.
+attempt_ok=0
+delay=0.2
+for attempt in 1 2 3 4 5; do
+  rm -f "$WORK/flight.jsonl"
+  "$RANK_TOOL" "$CONFIG" sweep C 0.4e9 1.8e9 400 --jobs 1 \
+    --flight-recorder "$WORK/flight.jsonl" > /dev/null 2>&1 &
+  PID=$!
+  sleep "$delay"
+  kill -TERM "$PID" 2> /dev/null || true
+  wait "$PID" || true
+  python3 "$HERE/validate_events.py" "$WORK/flight.jsonl" \
+    --require-type tool.start
+  if grep -q '"type":"sweep.start"' "$WORK/flight.jsonl"; then
+    attempt_ok=1
+    break
+  fi
+  echo "events_check: SIGTERM landed before sweep.start" \
+    "(attempt $attempt, delay ${delay}s); retrying" >&2
+  delay=$(python3 -c "print($delay * 2)")
+done
+if [ "$attempt_ok" != 1 ]; then
+  echo "events_check: FAIL: no attempt caught the sweep after" \
+    "sweep.start (signal always landed during startup)" >&2
+  exit 1
+fi
 python3 "$HERE/validate_events.py" "$WORK/flight.jsonl" \
   --require-type tool.start --require-type sweep.start
 

@@ -13,7 +13,13 @@ trap 'rm -rf "$WORK"' EXIT
 
 python3 "$HERE/validate_metrics.py" --self-test
 
+# One solve publishes the DP pool gauges; require them so the export
+# schema cannot silently lose the zero-steady-state-allocation evidence.
 "$RANK_TOOL" "$CONFIG" rank --metrics "$WORK/metrics.prom" > /dev/null
-python3 "$HERE/validate_metrics.py" "$WORK/metrics.prom"
+python3 "$HERE/validate_metrics.py" "$WORK/metrics.prom" \
+  --require iarank_dp_arena_bytes \
+  --require iarank_pool_bytes \
+  --require iarank_pool_chunks_total \
+  --require iarank_dp_runs_total
 
 echo "OK: validator self-test passed and a live export validates"

@@ -9,7 +9,13 @@
 ///    violation);
 ///  * incumbent pruning and witness warm starts are prune-only: the full
 ///    RankResult — rank, certificate, placements, witness — is identical
-///    with them on or off, across a 200-seed scenario block.
+///    with them on or off, across a 200-seed scenario block;
+///  * the data-oriented v2 kernel is pinned bitwise against the retained
+///    scalar reference path (dp_rank_reference), deterministic effort
+///    counters included, over the same seed block and option variants;
+///  * one DpKernel reused across every scenario produces results identical
+///    to a fresh kernel per solve, and solve_into into dirty storage
+///    equals solve into fresh storage.
 
 #include <gtest/gtest.h>
 
@@ -48,6 +54,33 @@ void expect_identical(const core::RankResult& a, const core::RankResult& b) {
     EXPECT_EQ(a.placements[p].wires, b.placements[p].wires);
     EXPECT_EQ(a.placements[p].meeting_delay, b.placements[p].meeting_delay);
   }
+}
+
+/// expect_identical plus the usage trace and every deterministic DpStats
+/// counter. Timings are excluded, and so is arena_bytes: the scalar
+/// reference path allocates from the heap and reports 0 there.
+void expect_identical_with_stats(const core::RankResult& a,
+                                 const core::RankResult& b) {
+  expect_identical(a, b);
+  ASSERT_EQ(a.usage.size(), b.usage.size());
+  for (std::size_t j = 0; j < a.usage.size(); ++j) {
+    EXPECT_EQ(a.usage[j].pair_name, b.usage[j].pair_name);
+    EXPECT_EQ(a.usage[j].wires_meeting_delay, b.usage[j].wires_meeting_delay);
+    EXPECT_EQ(a.usage[j].wires_total, b.usage[j].wires_total);
+    EXPECT_EQ(a.usage[j].wire_area, b.usage[j].wire_area);
+    EXPECT_EQ(a.usage[j].via_blockage, b.usage[j].via_blockage);
+    EXPECT_EQ(a.usage[j].repeaters, b.usage[j].repeaters);
+    EXPECT_EQ(a.usage[j].repeater_area, b.usage[j].repeater_area);
+  }
+  EXPECT_EQ(a.dp.arena_nodes, b.dp.arena_nodes);
+  EXPECT_EQ(a.dp.max_frontier, b.dp.max_frontier);
+  EXPECT_EQ(a.dp.heap_pops, b.dp.heap_pops);
+  EXPECT_EQ(a.dp.verify_calls, b.dp.verify_calls);
+  EXPECT_EQ(a.dp.pruned_entries, b.dp.pruned_entries);
+  EXPECT_EQ(a.dp.frontier_dominated, b.dp.frontier_dominated);
+  EXPECT_EQ(a.dp.frontier_erased, b.dp.frontier_erased);
+  EXPECT_EQ(a.dp.warm_start_checked, b.dp.warm_start_checked);
+  EXPECT_EQ(a.dp.warm_start_hit, b.dp.warm_start_hit);
 }
 
 }  // namespace
@@ -197,4 +230,94 @@ TEST(DpKernelWarmStart, InvalidWitnessIsIgnored) {
   const core::RankResult skipped = core::dp_rank(inst, opt2);
   expect_identical(cold, skipped);
   EXPECT_FALSE(skipped.dp.warm_start_checked);
+}
+
+// --- v2 kernel vs the retained scalar reference --------------------------------
+
+TEST(DpKernelReference, BitwiseEqualAcrossSeedBlock) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    expect_identical_with_stats(core::dp_rank(inst, {}),
+                                core::dp_rank_reference(inst, {}));
+  }
+}
+
+TEST(DpKernelReference, BitwiseEqualUnderOptionVariants) {
+  // Exercise the option axes that change which kernel paths run: trace
+  // reconstruction off, boundary refinement off, pruning off, and a warm
+  // start from the instance's own witness.
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 4) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const core::RankResult cold = core::dp_rank(inst, {});
+
+    core::DpOptions no_trace;
+    no_trace.build_trace = false;
+    expect_identical_with_stats(core::dp_rank(inst, no_trace),
+                                core::dp_rank_reference(inst, no_trace));
+
+    core::DpOptions no_refine;
+    no_refine.refine_boundary = false;
+    expect_identical_with_stats(core::dp_rank(inst, no_refine),
+                                core::dp_rank_reference(inst, no_refine));
+
+    core::DpOptions no_prune;
+    no_prune.enable_pruning = false;
+    expect_identical_with_stats(core::dp_rank(inst, no_prune),
+                                core::dp_rank_reference(inst, no_prune));
+
+    core::DpOptions warm;
+    warm.warm_start = &cold.witness;
+    expect_identical_with_stats(core::dp_rank(inst, warm),
+                                core::dp_rank_reference(inst, warm));
+  }
+}
+
+// --- kernel reuse --------------------------------------------------------------
+
+TEST(DpKernelReuse, ReusedKernelMatchesFreshKernelPerSolve) {
+  // One kernel carried across the whole seed block — its pool is reset,
+  // never freed, so any stale-state leak between solves would surface as
+  // a mismatch against the fresh-kernel oracle.
+  core::DpKernel reused;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const core::RankResult a = reused.solve(inst, {});
+    core::DpKernel fresh;
+    expect_identical_with_stats(a, fresh.solve(inst, {}));
+  }
+}
+
+TEST(DpKernelReuse, SolveIntoDirtyStorageEqualsSolve) {
+  // solve_into reuses the previous result's buffers; alternating between
+  // scenarios of different shapes checks both growth and shrink reuse.
+  core::DpKernel kernel;
+  core::RankResult dirty;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    kernel.solve_into(inst, {}, dirty);
+    core::DpKernel fresh;
+    expect_identical_with_stats(dirty, fresh.solve(inst, {}));
+  }
+}
+
+TEST(DpKernelReuse, PoolAccountingIsMonotone) {
+  core::DpKernel kernel;
+  std::int64_t high_water = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const core::RankResult r = kernel.solve(inst, {});
+    const core::DpKernel::PoolStats stats = kernel.pool_stats();
+    EXPECT_EQ(stats.arena_bytes, r.dp.arena_bytes) << "seed " << seed;
+    EXPECT_GE(stats.high_water_bytes, stats.arena_bytes) << "seed " << seed;
+    EXPECT_GE(stats.high_water_bytes, high_water) << "seed " << seed;
+    high_water = stats.high_water_bytes;
+  }
+  // Re-solving the block draws the same bytes per solve (deterministic
+  // pool accounting) without raising the high-water mark.
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const core::Instance inst = core::sample_scenario(seed).instance();
+    const core::RankResult r = kernel.solve(inst, {});
+    EXPECT_EQ(r.dp.arena_bytes, kernel.pool_stats().arena_bytes);
+  }
+  EXPECT_EQ(kernel.pool_stats().high_water_bytes, high_water);
 }

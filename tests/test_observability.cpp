@@ -471,13 +471,21 @@ TEST(EventLog, FlightRecorderRingWrapsKeepingTheNewestEvents) {
     fields["i"] = static_cast<std::int64_t>(i);
     events.emit(util::Severity::kInfo, "test.ring", std::move(fields));
   }
+  // After the wrap the snapshot is the pinned prefix (the first events
+  // this process ever recorded — lifecycle context) followed by the
+  // newest kRingSlots events.
   const std::vector<std::string> ring = events.ring_snapshot();
-  ASSERT_EQ(ring.size(), util::EventLog::kRingSlots);
-  // Oldest first, and only the newest kRingSlots survive the wrap.
-  for (std::size_t s = 0; s < ring.size(); ++s) {
+  ASSERT_EQ(ring.size(),
+            util::EventLog::kRingSlots + util::EventLog::kPinnedSlots);
+  const std::size_t window = ring.size() - util::EventLog::kRingSlots;
+  for (std::size_t s = 0; s < window; ++s) {
+    expect_valid_event_line(ring[s]);
+  }
+  for (std::size_t s = window; s < ring.size(); ++s) {
     expect_valid_event_line(ring[s]);
     EXPECT_EQ(util::Json::parse(ring[s]).at("fields").at("i").as_int(),
-              static_cast<std::int64_t>(total - ring.size() + s));
+              static_cast<std::int64_t>(total - util::EventLog::kRingSlots +
+                                        (s - window)));
   }
 
   events.dump_flight_recorder();
@@ -583,6 +591,54 @@ TEST(Metrics, AllocCounterSteadyState) {
   const std::int64_t warm_b = run_once();
   EXPECT_EQ(warm_a, warm_b);
   EXPECT_LT(warm_a, cold);
+}
+
+TEST(Metrics, WarmSweepPerPointAllocationsAreZero) {
+  if (!util::alloc_counter_enabled()) {
+    GTEST_SKIP() << "built with IARANK_COUNT_ALLOCS=OFF";
+  }
+
+  // The zero-steady-state contract (DESIGN.md Section 10.6): with warm
+  // builder caches, a warm thread-local instance/kernel/result, and the
+  // pool at its high-water footprint, the per-POINT cost of a sweep is
+  // zero operator-new calls. Proven by size independence: a warm
+  // 1000-point sweep performs exactly as many allocations as a warm
+  // 100-point sweep (the remaining fixed per-sweep cost is the result
+  // containers), so each of the extra 900 points allocated nothing.
+  const core::DesignSpec design = core::baseline_design("130nm", 500000);
+  core::RankOptions options;
+  const iarank::wld::Wld wld = core::default_wld(design);
+  core::InstanceBuilder builder(design, wld);
+
+  // Values tiled from a fixed set of 8, so every point past warm-up hits
+  // all four builder stage caches (distinct values would recompute the
+  // plan stage, which legitimately allocates its result).
+  const auto tiled = [](std::size_t n) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = 2.0 - 0.1 * static_cast<double>(i % 8);
+    }
+    return v;
+  };
+
+  const auto run_once = [&](const std::vector<double>& values) {
+    const std::int64_t before = util::alloc_total();
+    const core::SweepResult result = core::sweep_parameter(
+        builder, options, core::SweepParameter::kMillerFactor, values, 1);
+    EXPECT_EQ(result.points.size(), values.size());
+    EXPECT_EQ(result.profile.failed_points, 0);
+    return util::alloc_total() - before;
+  };
+
+  const std::vector<double> small = tiled(100);
+  const std::vector<double> large = tiled(1000);
+  (void)run_once(large);  // warm-up: caches, thread-locals, pool high water
+  (void)run_once(small);
+  const std::int64_t d_small = run_once(small);
+  const std::int64_t d_large = run_once(large);
+  EXPECT_EQ(d_large, d_small)
+      << "the 900 extra warm points must not allocate: per-point delta = "
+      << static_cast<double>(d_large - d_small) / 900.0;
 }
 
 }  // namespace

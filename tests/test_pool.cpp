@@ -1,0 +1,189 @@
+/// Unit tests of the monotonic bump allocator behind the DP kernel
+/// (src/util/pool.hpp): alignment of every handed-out pointer, dedicated
+/// chunks for oversized requests, bytes/high-water/chunk accounting, and
+/// the reset-reuse contract — after one warm-up round the pool stops
+/// touching the heap (the steady-state zero-allocation guarantee the
+/// IARANK_COUNT_ALLOCS referee enforces end to end).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/alloc_count.hpp"
+#include "src/util/pool.hpp"
+
+namespace util = iarank::util;
+
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+}  // namespace
+
+// --- MonotonicPool -------------------------------------------------------------
+
+TEST(MonotonicPool, RespectsEveryPowerOfTwoAlignment) {
+  util::MonotonicPool pool(/*chunk_bytes=*/4096);
+  for (std::size_t align = 1; align <= 64; align *= 2) {
+    for (int i = 0; i < 16; ++i) {
+      // Odd sizes force misaligned bump offsets the next call must fix.
+      void* p = pool.allocate(static_cast<std::size_t>(i) * 3 + 1, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_TRUE(aligned_to(p, align)) << "align " << align << " i " << i;
+    }
+  }
+}
+
+TEST(MonotonicPool, ZeroByteAllocationIsNotNull) {
+  util::MonotonicPool pool;
+  EXPECT_NE(pool.allocate(0, 1), nullptr);
+  EXPECT_EQ(pool.bytes_used(), 0);
+}
+
+TEST(MonotonicPool, BytesUsedExcludesPaddingAndTracksHighWater) {
+  util::MonotonicPool pool(4096);
+  pool.allocate(10, 1);
+  pool.allocate(6, 64);  // padding to 64 is not billed
+  EXPECT_EQ(pool.bytes_used(), 16);
+  EXPECT_EQ(pool.high_water_bytes(), 16);
+
+  pool.reset();
+  EXPECT_EQ(pool.bytes_used(), 0);
+  EXPECT_EQ(pool.high_water_bytes(), 16);  // high water survives reset
+
+  pool.allocate(100, 8);
+  EXPECT_EQ(pool.bytes_used(), 100);
+  EXPECT_EQ(pool.high_water_bytes(), 100);
+}
+
+TEST(MonotonicPool, OversizedRequestGetsDedicatedChunk) {
+  util::MonotonicPool pool(/*chunk_bytes=*/1024);
+  void* small = pool.allocate(8, 8);
+  ASSERT_NE(small, nullptr);
+  EXPECT_EQ(pool.chunk_count(), 1);
+
+  // Far beyond any doubling step: served by a chunk of its own size.
+  const std::size_t big = 1 << 20;
+  auto* p = static_cast<unsigned char*>(pool.allocate(big, 16));
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(aligned_to(p, 16));
+  EXPECT_EQ(pool.chunk_count(), 2);
+  EXPECT_EQ(pool.bytes_used(), static_cast<std::int64_t>(big) + 8);
+  EXPECT_GE(pool.capacity_bytes(), static_cast<std::int64_t>(big));
+
+  // The whole block is writable.
+  std::memset(p, 0xAB, big);
+  EXPECT_EQ(p[0], 0xAB);
+  EXPECT_EQ(p[big - 1], 0xAB);
+}
+
+TEST(MonotonicPool, ResetRetainsChunksAndReusesThem) {
+  util::MonotonicPool pool(/*chunk_bytes=*/1024);
+  // Warm-up: force several chunks into the chain.
+  std::vector<void*> first_round;
+  for (int i = 0; i < 64; ++i) first_round.push_back(pool.allocate(256, 8));
+  const std::int64_t warm_chunks = pool.chunks_allocated();
+  const std::int64_t warm_capacity = pool.capacity_bytes();
+  EXPECT_GT(warm_chunks, 1);
+
+  // Ten more identical rounds: same pointers come back, no new chunks.
+  for (int round = 0; round < 10; ++round) {
+    pool.reset();
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(pool.allocate(256, 8), first_round[static_cast<std::size_t>(i)])
+          << "round " << round << " i " << i;
+    }
+    EXPECT_EQ(pool.chunks_allocated(), warm_chunks) << "round " << round;
+    EXPECT_EQ(pool.capacity_bytes(), warm_capacity) << "round " << round;
+  }
+}
+
+TEST(MonotonicPool, WarmRoundsPerformZeroHeapAllocations) {
+  if (!util::alloc_counter_enabled()) {
+    GTEST_SKIP() << "built without IARANK_COUNT_ALLOCS";
+  }
+  util::MonotonicPool pool(/*chunk_bytes=*/1024);
+  for (int i = 0; i < 64; ++i) pool.allocate(200, 8);  // warm-up
+
+  const std::int64_t before = util::alloc_total();
+  for (int round = 0; round < 10; ++round) {
+    pool.reset();
+    for (int i = 0; i < 64; ++i) pool.allocate(200, 8);
+  }
+  EXPECT_EQ(util::alloc_total(), before);
+}
+
+TEST(MonotonicPool, ReleaseReturnsEverythingAndPoolStaysUsable) {
+  util::MonotonicPool pool(1024);
+  pool.allocate(4000, 8);
+  EXPECT_GT(pool.chunk_count(), 0);
+  pool.release();
+  EXPECT_EQ(pool.capacity_bytes(), 0);
+  EXPECT_EQ(pool.bytes_used(), 0);
+  // Usable again after release: a fresh chain is grown on demand.
+  void* p = pool.allocate(64, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(pool.bytes_used(), 64);
+}
+
+// --- PoolVec -------------------------------------------------------------------
+
+TEST(PoolVec, PushBackGrowsAndPreservesContents) {
+  util::MonotonicPool pool;
+  util::PoolVec<std::int64_t> v(&pool);
+  for (std::int64_t i = 0; i < 1000; ++i) v.push_back(i * i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(v[static_cast<std::size_t>(i)], i * i) << "i " << i;
+  }
+  EXPECT_EQ(v.back(), 999 * 999);
+}
+
+TEST(PoolVec, ReserveCopiesExistingElements) {
+  util::MonotonicPool pool;
+  util::PoolVec<int> v(&pool);
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  const int* old_data = v.data();
+  v.reserve(4096);  // forces relocation into a fresh block
+  EXPECT_NE(v.data(), old_data);
+  ASSERT_EQ(v.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(PoolVec, ResizeValueInitializesNewTail) {
+  util::MonotonicPool pool;
+  util::PoolVec<double> v(&pool);
+  v.push_back(3.5);
+  v.resize(5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 3.5);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(v[i], 0.0);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(PoolVec, SetSizeAfterReserveIsTheLaneLoopIdiom) {
+  util::MonotonicPool pool;
+  util::PoolVec<int> v(&pool);
+  v.reserve(128);
+  v.set_size(128);
+  for (std::size_t i = 0; i < 128; ++i) v[i] = static_cast<int>(i);
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 127 * 128 / 2);
+}
+
+TEST(PoolVec, AttachRebindsAfterPoolReset) {
+  util::MonotonicPool pool;
+  util::PoolVec<int> v(&pool);
+  v.push_back(1);
+  pool.reset();   // invalidates v's storage by contract
+  v.attach(&pool);  // callers re-attach + re-reserve every solve
+  EXPECT_EQ(v.size(), 0u);
+  v.push_back(42);
+  EXPECT_EQ(v[0], 42);
+}

@@ -16,8 +16,12 @@ export bug):
       - `x_count` exists and equals the `+Inf` bucket,
       - `x_sum` exists and is finite.
 
-usage: validate_metrics.py FILE        # or '-' for stdin
+usage: validate_metrics.py [--require NAME]... FILE   # or '-' for stdin
        validate_metrics.py --self-test
+
+--require NAME fails the run unless a sample of metric NAME is present —
+CI pins the export schema with it (e.g. the DP pool gauges
+iarank_dp_arena_bytes / iarank_pool_bytes / iarank_pool_chunks_total).
 """
 
 import math
@@ -225,6 +229,18 @@ BAD_CASES = {
 }
 
 
+def missing_required(text, names):
+    """Returns the subset of `names` with no sample in the exposition."""
+    present = set()
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if m:
+            present.add(m.group("name"))
+    return [n for n in names if n not in present]
+
+
 def self_test():
     failures = []
     errors = validate(GOOD)
@@ -233,6 +249,10 @@ def self_test():
     for label, text in BAD_CASES.items():
         if not validate(text):
             failures.append(f"bad exposition accepted: {label}")
+    if missing_required(GOOD, ["demo_depth", "demo_seconds_count"]):
+        failures.append("--require rejected present metrics")
+    if missing_required(GOOD, ["absent_metric"]) != ["absent_metric"]:
+        failures.append("--require accepted a missing metric")
     for f in failures:
         print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
     print("self-test: %d bad cases rejected, good case accepted"
@@ -241,17 +261,28 @@ def self_test():
 
 
 def main(argv):
-    if len(argv) != 2:
+    args = argv[1:]
+    required = []
+    while "--require" in args:
+        i = args.index("--require")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        required.append(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    if argv[1] == "--self-test":
+    if args[0] == "--self-test":
         return self_test()
-    if argv[1] == "-":
+    if args[0] == "-":
         text = sys.stdin.read()
     else:
-        with open(argv[1], "r", encoding="utf-8") as fh:
+        with open(args[0], "r", encoding="utf-8") as fh:
             text = fh.read()
     errors = validate(text)
+    errors += [f"required metric '{n}' has no sample"
+               for n in missing_required(text, required)]
     for e in errors:
         print(f"INVALID: {e}", file=sys.stderr)
     if errors:
@@ -259,7 +290,8 @@ def main(argv):
     n_samples = sum(
         1 for line in text.splitlines()
         if line.strip() and not line.startswith("#"))
-    print(f"valid Prometheus exposition: {n_samples} samples")
+    print(f"valid Prometheus exposition: {n_samples} samples"
+          + (f" ({len(required)} required present)" if required else ""))
     return 0
 
 

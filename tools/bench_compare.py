@@ -62,6 +62,22 @@ def extract(snapshot):
             "sweep_c_jobs1_dp_counters", {}
         ).items():
             counters[name] = value
+        # Deterministic per-benchmark counters: the kernel's pool draw and
+        # the steady-state allocation count of the warm-reuse benchmark
+        # (exact zero by contract; gated absolutely under
+        # --strict-counters).
+        for bench in snapshot.get("dp_kernel", {}).get("benchmarks", []):
+            name = bench.get("name", "")
+            for suffix in ("_median", "_mean"):
+                if not name.endswith(suffix):
+                    continue
+                base = name[: -len(suffix)]
+                for key in ("steady_allocs", "arena_bytes"):
+                    full = f"dp_kernel/{base}/{key}"
+                    if key in bench and (suffix == "_median"
+                                         or full not in counters):
+                        counters[full] = float(bench[key])
+                break
     elif snapshot.get("bench") == "bench_server":
         gated = {
             "req_per_s": "higher",
@@ -114,6 +130,17 @@ def compare(baseline, fresh, threshold_pct, strict_counters):
             violations.append(f"{name}: counter {b:g} -> {f:g}")
         rows.append((name, f"{b:g}", f"{f:g}", "", status))
 
+    # Absolute gate, baseline-independent: a warm kernel must not touch
+    # the heap. Only enforced when the fresh snapshot actually measured
+    # it (builds with IARANK_COUNT_ALLOCS=OFF omit the counter).
+    if strict_counters:
+        for name, value in sorted(fresh_c.items()):
+            if name.endswith("/steady_allocs") and value != 0:
+                violations.append(
+                    f"{name}: steady-state allocations must be zero, "
+                    f"got {value:g}"
+                )
+
     missing = (set(base_t) | set(base_c)) - (set(fresh_t) | set(fresh_c))
     for name in sorted(missing):
         rows.append((name, "", "", "", "missing in fresh"))
@@ -137,6 +164,8 @@ def self_test():
             "benchmarks": [
                 {"name": "BM_Dp_median", "real_time": 100.0},
                 {"name": "BM_Dp_mean", "real_time": 105.0},
+                {"name": "BM_DpSteady_median", "real_time": 90.0,
+                 "steady_allocs": 0.0, "arena_bytes": 4096.0},
             ]
         },
         "sweep": {"benchmarks": []},
@@ -153,6 +182,14 @@ def self_test():
     assert compare(base, slow, 150.0, False) == []
     assert compare(base, drift, 25.0, False) == []
     assert len(compare(base, drift, 25.0, True)) == 1
+
+    # The zero-allocation gate is absolute: even a baseline with the same
+    # nonzero count fails under --strict-counters.
+    leaky = json.loads(json.dumps(base))
+    leaky["dp_kernel"]["benchmarks"][2]["steady_allocs"] = 7.0
+    assert compare(base, leaky, 25.0, False) == []  # info only
+    assert any("must be zero" in v for v in compare(leaky, leaky, 25.0, True))
+    assert compare(base, ok, 25.0, True) == []
 
     server = {"bench": "bench_server", "req_per_s": 1000.0, "p50_ms": 1.0,
               "p99_ms": 4.0}

@@ -180,6 +180,26 @@ int cmd_profile(const core::RunSpec& spec, const wld::Wld& wld) {
   dp_table.add_row({"total ms", util::TextTable::num(r.dp.seconds * 1e3, 3)});
   std::cout << dp_table;
 
+  // Kernel pool accounting (the iarank_dp_arena_bytes / iarank_pool_*
+  // gauges, read back from the registry the solve just published to):
+  // chunks going flat across solves is the zero-steady-state-allocation
+  // property of the reusable kernel.
+  const auto gauges = util::MetricsRegistry::instance().snapshot_values();
+  const auto gauge_row = [&](util::TextTable& t, const char* label,
+                             const char* metric) {
+    const auto it = gauges.find(metric);
+    t.add_row({label, it != gauges.end()
+                          ? std::to_string(static_cast<long long>(it->second))
+                          : "n/a"});
+  };
+  util::TextTable pool_table("dp kernel pool");
+  pool_table.set_header({"metric", "value"});
+  pool_table.add_row({"arena bytes (this solve)",
+                      std::to_string(r.dp.arena_bytes)});
+  gauge_row(pool_table, "pool bytes (high water)", "iarank_pool_bytes");
+  gauge_row(pool_table, "pool chunks allocated", "iarank_pool_chunks_total");
+  std::cout << pool_table;
+
   // Rebuild once more: the second pass hits every stage cache, which is
   // what a Table 4 sweep exploits point to point.
   (void)builder.build(spec.options);
